@@ -1,0 +1,165 @@
+//! AFL's edge-coverage bitmap with hit-count bucketing.
+
+use pdf_runtime::{Event, ExecLog};
+
+/// Bitmap size (AFL uses 64 KiB).
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// The classic AFL coverage map: edges between consecutive branch
+/// events, with hit counts classified into the 8 AFL buckets. An input
+/// is "interesting" when it sets a (edge, bucket) bit never seen before.
+///
+/// # Example
+///
+/// ```
+/// use pdf_afl::CoverageBitmap;
+///
+/// let subject = pdf_subjects::arith::subject();
+/// let mut map = CoverageBitmap::new();
+/// let first = subject.run(b"1");
+/// assert!(map.record(&first.log));   // new edges
+/// let again = subject.run(b"1");
+/// assert!(!map.record(&again.log));  // nothing new
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoverageBitmap {
+    virgin: Vec<u8>,
+}
+
+impl Default for CoverageBitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// AFL's hit-count bucketing: 1, 2, 3, 4–7, 8–15, 16–31, 32–127, 128+.
+fn bucket(count: u32) -> u8 {
+    match count {
+        0 => 0,
+        1 => 1,
+        2 => 2,
+        3 => 4,
+        4..=7 => 8,
+        8..=15 => 16,
+        16..=31 => 32,
+        32..=127 => 64,
+        _ => 128,
+    }
+}
+
+impl CoverageBitmap {
+    /// Creates an empty (all-virgin) map.
+    pub fn new() -> Self {
+        CoverageBitmap {
+            virgin: vec![0; MAP_SIZE],
+        }
+    }
+
+    /// Records an execution's edge profile; returns `true` if any new
+    /// (edge, bucket) bit appeared.
+    pub fn record(&mut self, log: &ExecLog) -> bool {
+        let mut counts: Vec<(usize, u32)> = Vec::new();
+        let mut local = std::collections::HashMap::new();
+        let mut prev: u64 = 0;
+        for event in &log.events {
+            if let Event::Branch(b, _) = event {
+                let cur = b.site.0 ^ u64::from(b.outcome);
+                let edge = ((cur ^ (prev >> 1)) % MAP_SIZE as u64) as usize;
+                *local.entry(edge).or_insert(0u32) += 1;
+                prev = cur;
+            }
+        }
+        counts.extend(local);
+        let mut interesting = false;
+        for (edge, count) in counts {
+            let b = bucket(count);
+            if self.virgin[edge] & b != b {
+                self.virgin[edge] |= b;
+                interesting = true;
+            }
+        }
+        interesting
+    }
+
+    /// Number of bitmap bytes with at least one bit set (AFL's map
+    /// density numerator).
+    pub fn covered_bytes(&self) -> usize {
+        self.virgin.iter().filter(|&&b| b != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_runtime::{BranchId, SiteId};
+
+    fn log_of(sites: &[(u64, bool)]) -> ExecLog {
+        ExecLog {
+            events: sites
+                .iter()
+                .map(|&(s, o)| Event::Branch(BranchId::new(SiteId::from_raw(s), o), 0))
+                .collect(),
+            input_len: 0,
+        }
+    }
+
+    #[test]
+    fn first_run_is_interesting() {
+        let mut m = CoverageBitmap::new();
+        assert!(m.record(&log_of(&[(1, true), (2, true)])));
+    }
+
+    #[test]
+    fn identical_run_is_boring() {
+        let mut m = CoverageBitmap::new();
+        let log = log_of(&[(1, true), (2, true)]);
+        assert!(m.record(&log));
+        assert!(!m.record(&log));
+    }
+
+    #[test]
+    fn new_edge_is_interesting() {
+        let mut m = CoverageBitmap::new();
+        assert!(m.record(&log_of(&[(1, true), (2, true)])));
+        assert!(m.record(&log_of(&[(1, true), (3, true)])));
+    }
+
+    #[test]
+    fn changed_hit_count_bucket_is_interesting() {
+        let mut m = CoverageBitmap::new();
+        assert!(m.record(&log_of(&[(1, true), (2, true)])));
+        // same edges, but the 1→2 edge now fires twice (bucket 1 → 2)
+        assert!(m.record(&log_of(&[(1, true), (2, true), (1, true), (2, true)])));
+    }
+
+    #[test]
+    fn branch_outcome_distinguishes_edges() {
+        let mut m = CoverageBitmap::new();
+        assert!(m.record(&log_of(&[(1, true)])));
+        assert!(m.record(&log_of(&[(1, false)])));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 4);
+        assert_eq!(bucket(4), 8);
+        assert_eq!(bucket(7), 8);
+        assert_eq!(bucket(8), 16);
+        assert_eq!(bucket(16), 32);
+        assert_eq!(bucket(32), 64);
+        assert_eq!(bucket(127), 64);
+        assert_eq!(bucket(128), 128);
+        assert_eq!(bucket(100_000), 128);
+    }
+
+    #[test]
+    fn covered_bytes_counts() {
+        let mut m = CoverageBitmap::new();
+        assert_eq!(m.covered_bytes(), 0);
+        m.record(&log_of(&[(1, true), (2, true)]));
+        assert!(m.covered_bytes() >= 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! An AFL-style coverage-guided mutational fuzzer — the "lexical"
+//! baseline of the pFuzzer evaluation (Section 5).
+//!
+//! Reproduces the behavioural signature of AFL that the paper's
+//! comparison rests on:
+//!
+//! - an **edge-coverage bitmap** with hit-count bucketing; inputs that
+//!   light up new bitmap bits enter the seed queue,
+//! - **deterministic stages** (bit flips, byte flips, arithmetic,
+//!   interesting values) followed by **havoc** (stacked random
+//!   mutations) and **splicing**,
+//! - no comparison feedback of any kind: AFL sees coverage only, which
+//!   is exactly why it finds `{`/`+`/`<` quickly but virtually never
+//!   composes `while` (1 : 26⁵, as the paper computes),
+//! - seeded with a single space character, the paper's Section 5.1
+//!   setup.
+//!
+//! # Example
+//!
+//! ```
+//! use pdf_afl::{AflConfig, AflFuzzer};
+//!
+//! let subject = pdf_subjects::ini::subject();
+//! let config = AflConfig { seed: 1, max_execs: 2_000, ..AflConfig::default() };
+//! let report = AflFuzzer::new(subject, config).run();
+//! assert!(report.execs <= 2_000);
+//! // ini accepts almost anything, so AFL finds valid inputs fast
+//! assert!(!report.valid_inputs.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmap;
+mod mutate;
+
+pub use bitmap::CoverageBitmap;
+pub use mutate::{havoc, splice, MutationOp};
+
+use pdf_runtime::{BranchSet, Execution, Rng, Subject};
+
+/// AFL driver configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AflConfig {
+    /// RNG seed; equal seeds give identical campaigns.
+    pub seed: u64,
+    /// Execution budget (number of subject runs).
+    pub max_execs: u64,
+    /// Initial seed inputs. Defaults to a single space — the paper gives
+    /// AFL "one space character as starting point".
+    pub seeds: Vec<Vec<u8>>,
+    /// Stacked mutations per havoc case.
+    pub havoc_stack: u32,
+    /// Havoc cases generated per queue entry per cycle.
+    pub havoc_cases: u32,
+    /// Run the deterministic stages on fresh queue entries.
+    pub deterministic: bool,
+    /// Generated inputs are truncated to this length.
+    pub max_input_len: usize,
+    /// Dictionary tokens (AFL's `-x`): when non-empty, havoc also
+    /// inserts and overwrites with these tokens. Used by the ablation
+    /// that revisits the paper's AFL-CTP discussion (Section 6).
+    pub dictionary: Vec<Vec<u8>>,
+}
+
+impl Default for AflConfig {
+    fn default() -> Self {
+        AflConfig {
+            seed: 0,
+            max_execs: 100_000,
+            seeds: vec![b" ".to_vec()],
+            havoc_stack: 6,
+            havoc_cases: 64,
+            deterministic: true,
+            max_input_len: 256,
+            dictionary: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of an AFL campaign.
+#[derive(Debug, Clone)]
+pub struct AflReport {
+    /// Valid inputs that covered new branches, in discovery order (the
+    /// paper determines AFL's valid inputs by exit code afterwards; we
+    /// record them online, deduplicated by coverage like KLEE's
+    /// only-new-coverage output mode to keep the set manageable).
+    pub valid_inputs: Vec<Vec<u8>>,
+    /// Execution count at which each valid input was found (parallel to
+    /// `valid_inputs`).
+    pub valid_found_at: Vec<u64>,
+    /// Subject executions spent.
+    pub execs: u64,
+    /// Branches covered by valid inputs.
+    pub valid_branches: BranchSet,
+    /// Branches covered by any run.
+    pub all_branches: BranchSet,
+    /// Queue entries discovered (AFL's "paths").
+    pub paths: usize,
+    /// Total count of valid executions (including ones that added no
+    /// coverage) — AFL generates "1,000 times more inputs than pFuzzer".
+    pub valid_execs: u64,
+}
+
+/// The AFL-style fuzzer.
+#[derive(Debug)]
+pub struct AflFuzzer {
+    subject: Subject,
+    cfg: AflConfig,
+    rng: Rng,
+}
+
+impl AflFuzzer {
+    /// Creates a fuzzer for `subject`.
+    pub fn new(subject: Subject, cfg: AflConfig) -> Self {
+        let rng = Rng::new(cfg.seed);
+        AflFuzzer { subject, cfg, rng }
+    }
+
+    /// Runs the campaign to completion.
+    pub fn run(mut self) -> AflReport {
+        let mut report = AflReport {
+            valid_inputs: Vec::new(),
+            valid_found_at: Vec::new(),
+            execs: 0,
+            valid_branches: BranchSet::new(),
+            all_branches: BranchSet::new(),
+            paths: 0,
+            valid_execs: 0,
+        };
+        let mut bitmap = CoverageBitmap::new();
+        let mut queue: Vec<Vec<u8>> = Vec::new();
+
+        // seed corpus
+        for seed in self.cfg.seeds.clone() {
+            if report.execs >= self.cfg.max_execs {
+                break;
+            }
+            let exec = self.execute(&mut report, &seed);
+            if bitmap.record(&exec.log) {
+                queue.push(seed);
+                report.paths += 1;
+            } else if queue.is_empty() {
+                // keep at least one seed so mutation has a base
+                queue.push(seed);
+            }
+        }
+
+        let mut det_done = 0usize; // deterministic stages run for queue[..det_done]
+        let mut cursor = 0usize;
+        while report.execs < self.cfg.max_execs && !queue.is_empty() {
+            // deterministic stages for entries that have not had them
+            if self.cfg.deterministic && det_done < queue.len() {
+                let base = queue[det_done].clone();
+                det_done += 1;
+                for case in mutate::deterministic_cases(&base) {
+                    if report.execs >= self.cfg.max_execs {
+                        break;
+                    }
+                    self.try_case(case, &mut report, &mut bitmap, &mut queue);
+                }
+                continue;
+            }
+            // havoc + splice over the queue, round robin
+            let base = queue[cursor % queue.len()].clone();
+            cursor += 1;
+            for _ in 0..self.cfg.havoc_cases {
+                if report.execs >= self.cfg.max_execs {
+                    break;
+                }
+                let case = havoc(
+                    &base,
+                    self.cfg.havoc_stack,
+                    self.cfg.max_input_len,
+                    &self.cfg.dictionary,
+                    &mut self.rng,
+                );
+                self.try_case(case, &mut report, &mut bitmap, &mut queue);
+            }
+            if queue.len() >= 2 && report.execs < self.cfg.max_execs {
+                let other = queue[self.rng.gen_range(0, queue.len())].clone();
+                let case = splice(&base, &other, &mut self.rng);
+                let case = havoc(
+                    &case,
+                    self.cfg.havoc_stack,
+                    self.cfg.max_input_len,
+                    &self.cfg.dictionary,
+                    &mut self.rng,
+                );
+                self.try_case(case, &mut report, &mut bitmap, &mut queue);
+            }
+        }
+        report
+    }
+
+    fn try_case(
+        &mut self,
+        mut case: Vec<u8>,
+        report: &mut AflReport,
+        bitmap: &mut CoverageBitmap,
+        queue: &mut Vec<Vec<u8>>,
+    ) {
+        case.truncate(self.cfg.max_input_len);
+        let exec = self.execute(report, &case);
+        if bitmap.record(&exec.log) {
+            queue.push(case);
+            report.paths += 1;
+        }
+    }
+
+    fn execute(&mut self, report: &mut AflReport, input: &[u8]) -> Execution {
+        report.execs += 1;
+        let exec = self.subject.run(input);
+        report.all_branches.union_with(&exec.log.branches());
+        if exec.valid {
+            report.valid_execs += 1;
+            let branches = exec.log.branches();
+            if branches.difference_size(&report.valid_branches) > 0 {
+                report.valid_branches.union_with(&branches);
+                report.valid_inputs.push(input.to_vec());
+                report.valid_found_at.push(report.execs);
+            }
+        }
+        exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(subject: Subject, seed: u64, execs: u64) -> AflReport {
+        let cfg = AflConfig {
+            seed,
+            max_execs: execs,
+            ..AflConfig::default()
+        };
+        AflFuzzer::new(subject, cfg).run()
+    }
+
+    #[test]
+    fn finds_valid_ini_inputs_quickly() {
+        let report = run(pdf_subjects::ini::subject(), 1, 2_000);
+        assert!(!report.valid_inputs.is_empty());
+        let subject = pdf_subjects::ini::subject();
+        for input in &report.valid_inputs {
+            assert!(subject.run(input).valid);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = run(pdf_subjects::csv::subject(), 3, 1_500);
+        let b = run(pdf_subjects::csv::subject(), 3, 1_500);
+        assert_eq!(a.valid_inputs, b.valid_inputs);
+        assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let report = run(pdf_subjects::json::subject(), 2, 500);
+        assert!(report.execs <= 500);
+    }
+
+    #[test]
+    fn covers_shallow_json_punctuation() {
+        // AFL excels at single characters: digits and brackets appear fast
+        let report = run(pdf_subjects::json::subject(), 5, 15_000);
+        let corpus: Vec<String> = report
+            .valid_inputs
+            .iter()
+            .map(|i| String::from_utf8_lossy(i).into_owned())
+            .collect();
+        let joined = corpus.join("\n");
+        assert!(
+            joined.contains('[') || joined.contains('{') || joined.chars().any(|c| c.is_ascii_digit()),
+            "no shallow JSON structure found: {corpus:?}"
+        );
+    }
+
+    #[test]
+    fn valid_execs_counts_all_valid_runs() {
+        let report = run(pdf_subjects::csv::subject(), 7, 2_000);
+        assert!(report.valid_execs >= report.valid_inputs.len() as u64);
+    }
+
+    #[test]
+    fn paths_grow_with_coverage() {
+        let report = run(pdf_subjects::json::subject(), 9, 5_000);
+        assert!(report.paths >= 1);
+    }
+}

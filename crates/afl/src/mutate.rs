@@ -1,0 +1,329 @@
+//! AFL's mutation stages: deterministic passes, havoc and splicing.
+
+use pdf_runtime::Rng;
+
+/// AFL's "interesting" byte values.
+const INTERESTING8: [u8; 9] = [0, 1, 16, 32, 64, 100, 127, 128, 255];
+
+/// The havoc mutation operators, mirroring AFL's repertoire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Insert a dictionary token at a random position (AFL's `-x`).
+    InsertDict,
+    /// Overwrite bytes with a dictionary token.
+    OverwriteDict,
+    /// Flip one random bit.
+    BitFlip,
+    /// Overwrite a byte with a random value.
+    RandomByte,
+    /// Add or subtract a small amount from a byte.
+    Arith,
+    /// Overwrite a byte with an "interesting" value.
+    Interesting,
+    /// Delete a random block.
+    DeleteBlock,
+    /// Duplicate a random block.
+    DupBlock,
+    /// Insert a random byte.
+    InsertByte,
+    /// Overwrite a block with a repeated byte.
+    OverwriteBlock,
+}
+
+const ALL_OPS: [MutationOp; 8] = [
+    MutationOp::BitFlip,
+    MutationOp::RandomByte,
+    MutationOp::Arith,
+    MutationOp::Interesting,
+    MutationOp::DeleteBlock,
+    MutationOp::DupBlock,
+    MutationOp::InsertByte,
+    MutationOp::OverwriteBlock,
+];
+
+const ALL_OPS_DICT: [MutationOp; 10] = [
+    MutationOp::BitFlip,
+    MutationOp::RandomByte,
+    MutationOp::Arith,
+    MutationOp::Interesting,
+    MutationOp::DeleteBlock,
+    MutationOp::DupBlock,
+    MutationOp::InsertByte,
+    MutationOp::OverwriteBlock,
+    MutationOp::InsertDict,
+    MutationOp::OverwriteDict,
+];
+
+/// Applies one random havoc operator in place.
+pub fn apply_op(op: MutationOp, input: &mut Vec<u8>, dict: &[Vec<u8>], rng: &mut Rng) {
+    match op {
+        MutationOp::InsertDict => {
+            if !dict.is_empty() {
+                let token = rng.pick(dict).clone();
+                let at = rng.gen_range(0, input.len() + 1);
+                for (k, b) in token.into_iter().enumerate() {
+                    input.insert(at + k, b);
+                }
+            }
+        }
+        MutationOp::OverwriteDict => {
+            if !dict.is_empty() && !input.is_empty() {
+                let token = rng.pick(dict).clone();
+                let at = rng.gen_range(0, input.len());
+                for (k, b) in token.into_iter().enumerate() {
+                    if at + k < input.len() {
+                        input[at + k] = b;
+                    } else {
+                        input.push(b);
+                    }
+                }
+            }
+        }
+        MutationOp::BitFlip => {
+            if !input.is_empty() {
+                let i = rng.gen_range(0, input.len());
+                input[i] ^= 1 << rng.gen_range(0, 8);
+            }
+        }
+        MutationOp::RandomByte => {
+            if !input.is_empty() {
+                let i = rng.gen_range(0, input.len());
+                input[i] = rng.byte_any();
+            }
+        }
+        MutationOp::Arith => {
+            if !input.is_empty() {
+                let i = rng.gen_range(0, input.len());
+                let delta = rng.gen_range(1, 36) as u8;
+                input[i] = if rng.chance(1, 2) {
+                    input[i].wrapping_add(delta)
+                } else {
+                    input[i].wrapping_sub(delta)
+                };
+            }
+        }
+        MutationOp::Interesting => {
+            if !input.is_empty() {
+                let i = rng.gen_range(0, input.len());
+                input[i] = *rng.pick(&INTERESTING8);
+            }
+        }
+        MutationOp::DeleteBlock => {
+            if input.len() >= 2 {
+                let start = rng.gen_range(0, input.len());
+                let len = rng.gen_range(1, input.len() - start + 1);
+                input.drain(start..start + len);
+            }
+        }
+        MutationOp::DupBlock => {
+            if !input.is_empty() {
+                let start = rng.gen_range(0, input.len());
+                let len = rng.gen_range(1, (input.len() - start).min(8) + 1);
+                let block: Vec<u8> = input[start..start + len].to_vec();
+                let at = rng.gen_range(0, input.len() + 1);
+                for (k, b) in block.into_iter().enumerate() {
+                    input.insert(at + k, b);
+                }
+            }
+        }
+        MutationOp::InsertByte => {
+            let at = rng.gen_range(0, input.len() + 1);
+            input.insert(at, rng.byte_any());
+        }
+        MutationOp::OverwriteBlock => {
+            if !input.is_empty() {
+                let start = rng.gen_range(0, input.len());
+                let len = rng.gen_range(1, (input.len() - start).min(8) + 1);
+                let b = rng.byte_any();
+                for slot in &mut input[start..start + len] {
+                    *slot = b;
+                }
+            }
+        }
+    }
+}
+
+/// AFL's havoc stage: `stack` random operators applied in sequence.
+/// Dictionary operators join the rotation only when `dict` is non-empty
+/// (AFL with `-x`).
+pub fn havoc(base: &[u8], stack: u32, max_len: usize, dict: &[Vec<u8>], rng: &mut Rng) -> Vec<u8> {
+    let mut out = base.to_vec();
+    let n = 1 + rng.gen_range(0, stack as usize);
+    for _ in 0..n {
+        let op = if dict.is_empty() {
+            *rng.pick(&ALL_OPS)
+        } else {
+            *rng.pick(&ALL_OPS_DICT)
+        };
+        apply_op(op, &mut out, dict, rng);
+        if out.len() > max_len {
+            out.truncate(max_len);
+        }
+    }
+    out
+}
+
+/// AFL's splice stage: the head of one input glued to the tail of
+/// another.
+pub fn splice(a: &[u8], b: &[u8], rng: &mut Rng) -> Vec<u8> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let cut_a = rng.gen_range(0, a.len());
+    let cut_b = rng.gen_range(0, b.len());
+    let mut out = a[..cut_a].to_vec();
+    out.extend_from_slice(&b[cut_b..]);
+    out
+}
+
+/// The deterministic stages AFL runs once per queue entry: walking bit
+/// flips, byte flips, arithmetic and interesting values. Returns the
+/// mutated cases (bounded for long inputs, as AFL's effector map would).
+pub fn deterministic_cases(base: &[u8]) -> Vec<Vec<u8>> {
+    let mut cases = Vec::new();
+    let limit = base.len().min(64); // effector-style bound
+    // walking bit flips
+    for i in 0..limit {
+        for bit in 0..8 {
+            let mut c = base.to_vec();
+            c[i] ^= 1 << bit;
+            cases.push(c);
+        }
+    }
+    // byte flips
+    for i in 0..limit {
+        let mut c = base.to_vec();
+        c[i] ^= 0xff;
+        cases.push(c);
+    }
+    // arithmetic ±1..8
+    for i in 0..limit {
+        for d in 1..=8u8 {
+            let mut c = base.to_vec();
+            c[i] = c[i].wrapping_add(d);
+            cases.push(c);
+            let mut c = base.to_vec();
+            c[i] = c[i].wrapping_sub(d);
+            cases.push(c);
+        }
+    }
+    // interesting values
+    for i in 0..limit {
+        for &v in &INTERESTING8 {
+            let mut c = base.to_vec();
+            c[i] = v;
+            cases.push(c);
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn havoc_is_deterministic_per_seed() {
+        let mut r1 = Rng::new(5);
+        let mut r2 = Rng::new(5);
+        assert_eq!(havoc(b"hello", 6, 64, &[], &mut r1), havoc(b"hello", 6, 64, &[], &mut r2));
+    }
+
+    #[test]
+    fn havoc_respects_max_len() {
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            let out = havoc(b"0123456789", 8, 12, &[], &mut rng);
+            assert!(out.len() <= 12 + 1, "len {}", out.len());
+        }
+    }
+
+    #[test]
+    fn havoc_on_empty_input_can_grow() {
+        let mut rng = Rng::new(2);
+        let mut grew = false;
+        for _ in 0..100 {
+            if !havoc(b"", 6, 64, &[], &mut rng).is_empty() {
+                grew = true;
+                break;
+            }
+        }
+        assert!(grew, "insert op never fired on empty input");
+    }
+
+    #[test]
+    fn splice_combines_head_and_tail() {
+        let mut rng = Rng::new(3);
+        let out = splice(b"aaaa", b"bbbb", &mut rng);
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|&b| b == b'a' || b == b'b'));
+    }
+
+    #[test]
+    fn splice_with_empty_sides() {
+        let mut rng = Rng::new(4);
+        assert_eq!(splice(b"", b"xy", &mut rng), b"xy".to_vec());
+        assert_eq!(splice(b"xy", b"", &mut rng), b"xy".to_vec());
+    }
+
+    #[test]
+    fn deterministic_cases_cover_all_positions() {
+        let cases = deterministic_cases(b"ab");
+        // every case differs from the base
+        assert!(cases.iter().all(|c| c != b"ab" || c.len() != 2 || c != &b"ab".to_vec()));
+        // bit flips alone: 2 bytes * 8 bits
+        assert!(cases.len() >= 16);
+        // a single bit flip of 'a' (0x61) to 'c' (0x63) must be present
+        assert!(cases.contains(&b"cb".to_vec()));
+    }
+
+    #[test]
+    fn deterministic_cases_bounded_for_long_inputs() {
+        let long = vec![b'x'; 10_000];
+        let cases = deterministic_cases(&long);
+        assert!(cases.len() < 64 * 40);
+    }
+
+    #[test]
+    fn all_ops_run_without_panicking() {
+        let mut rng = Rng::new(9);
+        let dict = vec![b"true".to_vec()];
+        for op in ALL_OPS_DICT {
+            for base in [&b""[..], b"a", b"hello world"] {
+                let mut input = base.to_vec();
+                apply_op(op, &mut input, &dict, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn dictionary_tokens_get_inserted() {
+        let mut rng = Rng::new(21);
+        let dict = vec![b"while".to_vec()];
+        let mut hit = false;
+        for _ in 0..300 {
+            let out = havoc(b"xx", 8, 64, &dict, &mut rng);
+            if out.windows(5).any(|w| w == b"while") {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "dictionary token never inserted");
+    }
+
+    #[test]
+    fn empty_dictionary_never_picks_dict_ops() {
+        // with an empty dict, havoc must be identical to the plain rotation
+        let mut r1 = Rng::new(33);
+        let mut r2 = Rng::new(33);
+        for _ in 0..50 {
+            assert_eq!(
+                havoc(b"abc", 6, 64, &[], &mut r1),
+                havoc(b"abc", 6, 64, &[], &mut r2)
+            );
+        }
+    }
+}

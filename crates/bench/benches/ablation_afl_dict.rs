@@ -1,0 +1,63 @@
+//! Ablation revisiting the Section 6 AFL-CTP discussion: can AFL match
+//! pFuzzer's token coverage when it is handed keyword knowledge (a
+//! dictionary)? Prints keyword counts for AFL, AFL+dictionary and
+//! pFuzzer on json, then benchmarks the dictionary run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_afl::{AflConfig, AflFuzzer};
+use pdf_bench::bench_execs;
+use pdf_core::{DriverConfig, Fuzzer};
+use pdf_tokens::TokenCoverage;
+use std::hint::black_box;
+
+fn keywords(inputs: &[Vec<u8>]) -> usize {
+    let mut cov = TokenCoverage::new("cjson").unwrap();
+    for input in inputs {
+        cov.add_input(input);
+    }
+    ["true", "false", "null"].iter().filter(|k| cov.found(k)).count()
+}
+
+fn afl_run(execs: u64, dictionary: Vec<Vec<u8>>) -> usize {
+    let report = AflFuzzer::new(
+        pdf_subjects::json::subject(),
+        AflConfig {
+            seed: 1,
+            max_execs: execs,
+            dictionary,
+            ..AflConfig::default()
+        },
+    )
+    .run();
+    keywords(&report.valid_inputs)
+}
+
+fn bench(c: &mut Criterion) {
+    let execs = bench_execs() * 4;
+    let dict = vec![b"true".to_vec(), b"false".to_vec(), b"null".to_vec()];
+    let plain = afl_run(execs, Vec::new());
+    let with_dict = afl_run(execs, dict.clone());
+    let pfuzzer = {
+        let report = Fuzzer::new(
+            pdf_subjects::json::subject(),
+            DriverConfig {
+                seed: 1,
+                max_execs: execs,
+                ..DriverConfig::default()
+            },
+        )
+        .run();
+        keywords(&report.valid_inputs)
+    };
+    println!("json keywords found ({execs} execs): AFL {plain}/3, AFL+dict {with_dict}/3, pFuzzer {pfuzzer}/3");
+
+    let mut group = c.benchmark_group("ablation_afl_dict");
+    group.sample_size(10);
+    group.bench_function("afl_dict_json", |b| {
+        b.iter(|| afl_run(black_box(execs / 4), dict.clone()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

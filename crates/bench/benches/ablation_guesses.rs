@@ -1,0 +1,48 @@
+//! Section 2's analytical claim: "building a valid input of size n
+//! takes in worst case 2n guesses" for single-lookahead parsers.
+//! Prints executions-to-first-valid on arith across seeds and the
+//! Section 3 Dyck closing statistics, then benchmarks the driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_core::{DriverConfig, Fuzzer};
+use std::hint::black_box;
+
+fn first_valid(subject: &str, seed: u64) -> Option<(u64, usize)> {
+    let info = pdf_subjects::by_name(subject).unwrap();
+    let cfg = DriverConfig {
+        seed,
+        max_execs: 20_000,
+        max_valid_inputs: Some(1),
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(info.subject, cfg).run();
+    let input = report.valid_inputs.first()?;
+    Some((report.first_valid_execs?, input.len()))
+}
+
+fn bench(c: &mut Criterion) {
+    println!("Guesses (executions) until the first valid input:");
+    println!("{:<10}{:>8}{:>12}{:>12}{:>12}", "subject", "seed", "execs", "len n", "execs/n");
+    for subject in ["arith", "dyck"] {
+        for seed in 1..=5u64 {
+            if let Some((execs, len)) = first_valid(subject, seed) {
+                println!(
+                    "{subject:<10}{seed:>8}{execs:>12}{len:>12}{:>12.1}",
+                    execs as f64 / len.max(1) as f64
+                );
+            } else {
+                println!("{subject:<10}{seed:>8}{:>12}", "none");
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_guesses");
+    group.sample_size(10);
+    group.bench_function("arith_first_valid", |b| {
+        b.iter(|| first_valid(black_box("arith"), 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

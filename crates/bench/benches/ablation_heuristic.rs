@@ -1,0 +1,106 @@
+//! Ablation: the Algorithm 1 heuristic terms (DESIGN.md section 5).
+//! For each variant, prints valid inputs found and long tokens covered
+//! under a fixed budget on json and dyck, then benchmarks one variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_bench::bench_execs;
+use pdf_core::{DriverConfig, ExtensionMode, Fuzzer, HeuristicConfig};
+use pdf_tokens::TokenCoverage;
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, HeuristicConfig, ExtensionMode)> {
+    let full = HeuristicConfig::default();
+    vec![
+        ("full", full, ExtensionMode::Both),
+        (
+            "no_new_branches",
+            HeuristicConfig { use_new_branches: false, ..full },
+            ExtensionMode::Both,
+        ),
+        (
+            "no_input_length",
+            HeuristicConfig { use_input_length: false, ..full },
+            ExtensionMode::Both,
+        ),
+        (
+            "no_replacement_len",
+            HeuristicConfig { use_replacement_len: false, ..full },
+            ExtensionMode::Both,
+        ),
+        (
+            "no_stack_size",
+            HeuristicConfig { use_stack_size: false, ..full },
+            ExtensionMode::Both,
+        ),
+        (
+            "no_path_dedup",
+            HeuristicConfig { use_path_dedup: false, ..full },
+            ExtensionMode::Both,
+        ),
+        (
+            "paper_literal_parent_sign",
+            HeuristicConfig { paper_literal_parent_sign: true, ..full },
+            ExtensionMode::Both,
+        ),
+        ("disabled", HeuristicConfig::disabled(), ExtensionMode::Both),
+        ("replace_only", full, ExtensionMode::ReplaceOnly),
+        ("append_only", full, ExtensionMode::AppendOnly),
+    ]
+}
+
+fn run_variant(
+    subject: &str,
+    heuristic: HeuristicConfig,
+    extension_mode: ExtensionMode,
+    execs: u64,
+) -> (usize, usize) {
+    let info = pdf_subjects::by_name(subject).unwrap();
+    let cfg = DriverConfig {
+        seed: 1,
+        max_execs: execs,
+        heuristic,
+        extension_mode,
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(info.subject, cfg).run();
+    let long_tokens = TokenCoverage::new(subject)
+        .map(|mut cov| {
+            for input in &report.valid_inputs {
+                cov.add_input(input);
+            }
+            cov.fraction_in(4, usize::MAX).0
+        })
+        .unwrap_or(0);
+    (report.valid_inputs.len(), long_tokens)
+}
+
+fn bench(c: &mut Criterion) {
+    let execs = bench_execs();
+    println!("Heuristic ablation ({execs} execs, seed 1):");
+    println!(
+        "{:<28}{:>18}{:>18}{:>16}",
+        "variant", "json valid", "json long tokens", "dyck valid"
+    );
+    for (name, heuristic, mode) in variants() {
+        let (json_valid, json_long) = run_variant("cjson", heuristic, mode, execs);
+        let (dyck_valid, _) = run_variant("dyck", heuristic, mode, execs);
+        println!("{name:<28}{json_valid:>18}{json_long:>18}{dyck_valid:>16}");
+    }
+
+    let mut group = c.benchmark_group("ablation_heuristic");
+    group.sample_size(10);
+    group.bench_function("full_json", |b| {
+        b.iter(|| {
+            run_variant(
+                black_box("cjson"),
+                HeuristicConfig::default(),
+                ExtensionMode::Both,
+                execs / 4,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

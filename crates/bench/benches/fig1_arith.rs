@@ -1,0 +1,21 @@
+//! Figure 1: the prefix-extension walkthrough on the arithmetic
+//! expression subject. Prints the trace once and measures the cost of
+//! driving pFuzzer to its first valid input.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (trace, first) = pdf_eval::fig1_walkthrough(1, 10_000);
+    println!(
+        "fig1: {} steps to first valid input {:?}",
+        trace.len(),
+        first.map(|i| String::from_utf8_lossy(&i).into_owned())
+    );
+    c.bench_function("fig1/first_valid_arith", |b| {
+        b.iter(|| pdf_eval::fig1_walkthrough(black_box(1), black_box(10_000)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

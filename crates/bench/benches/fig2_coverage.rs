@@ -1,0 +1,26 @@
+//! Figure 2: branch coverage per subject and tool. Prints the
+//! reproduced figure once (for EXPERIMENTS.md) and measures one
+//! subject's three-tool comparison as the benchmark body.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_bench::{bench_budget, bench_execs};
+use pdf_eval::{run_tool_seeded, Tool};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let outcomes = pdf_eval::run_matrix(&bench_budget());
+    println!("{}", pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes)));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for tool in Tool::ALL {
+        group.bench_function(format!("json_{}", tool.name()), |b| {
+            let info = pdf_subjects::by_name("cjson").unwrap();
+            b.iter(|| run_tool_seeded(black_box(tool), &info, bench_execs() / 4, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

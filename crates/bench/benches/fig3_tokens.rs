@@ -1,0 +1,20 @@
+//! Figure 3: tokens generated per subject and tool, grouped by length.
+//! Prints the reproduced figure once and measures the token-coverage
+//! scoring step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_bench::bench_budget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let outcomes = pdf_eval::run_matrix(&bench_budget());
+    let cells = pdf_eval::fig3_tokens(&outcomes);
+    println!("{}", pdf_eval::render_fig3(&cells));
+
+    c.bench_function("fig3/token_scoring", |b| {
+        b.iter(|| pdf_eval::fig3_tokens(black_box(&outcomes)).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! The Section 7.4 pipeline as a benchmark: explore with pFuzzer, mine
+//! a grammar, generate longer recursive inputs. Prints the mined-grammar
+//! statistics and acceptance rates, then benchmarks the mining stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_bench::bench_execs;
+use pdf_grammar::pipeline::{run_pipeline, PipelineConfig};
+use pdf_grammar::mine_corpus;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for subject_name in ["arith", "dyck", "cjson"] {
+        let info = pdf_subjects::by_name(subject_name).unwrap();
+        let report = run_pipeline(
+            info.subject,
+            &PipelineConfig {
+                seed: 1,
+                fuzz_execs: bench_execs(),
+                generate: 300,
+                max_depth: 12,
+            },
+        );
+        println!(
+            "{subject_name:<8} fuzzed {:>3} (max len {:>3}) | grammar: {:>3} nts, {:>3} alts, recursive {} | generated accept {:>5.1}%, max len {:>4}",
+            report.fuzzed.len(),
+            report.max_fuzzed_len,
+            report.grammar.len(),
+            report.grammar.alt_count(),
+            report.grammar.has_recursion(),
+            100.0 * report.acceptance_rate(),
+            report.max_generated_len,
+        );
+    }
+
+    let corpus: Vec<Vec<u8>> = [&b"1"[..], b"(1)", b"((2))", b"1+2", b"(1+2)-3"]
+        .iter()
+        .map(|x| x.to_vec())
+        .collect();
+    c.bench_function("grammar/mine_arith", |b| {
+        b.iter(|| mine_corpus(pdf_subjects::arith::subject(), black_box(&corpus)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Section 5.3 headline aggregates: token coverage for short and long
+//! tokens across all subjects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_bench::bench_budget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let outcomes = pdf_eval::run_matrix(&bench_budget());
+    println!("{}", pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes)));
+
+    c.bench_function("headline/aggregate", |b| {
+        b.iter(|| pdf_eval::headline_aggregates(black_box(&outcomes)).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

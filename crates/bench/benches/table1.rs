@@ -1,0 +1,15 @@
+//! Table 1: subjects of the evaluation. Prints the reproduced table and
+//! measures the (trivial) generation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
+    c.bench_function("table1/render", |b| {
+        b.iter(|| pdf_eval::render_table1(black_box(&pdf_eval::table1_subjects())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Tables 2-4: the token inventories. Prints the reproduced tables and
+//! measures inventory construction and scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for inv in pdf_eval::token_tables() {
+        println!("{}", pdf_eval::render_token_table(&inv));
+    }
+    c.bench_function("tables/inventories", |b| {
+        b.iter(|| pdf_eval::token_tables().len())
+    });
+    c.bench_function("tables/scan_mjs", |b| {
+        let program = b"for (i = 0; i < 3; i++) x = JSON.stringify([1].indexOf(0));";
+        b.iter(|| pdf_tokens::found_tokens("mjs", black_box(program)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Fuzzer configuration.
+
+/// Which terms of the Algorithm 1 heuristic (lines 47–51) are active.
+///
+/// The default enables everything the paper describes; individual terms
+/// can be switched off for the ablation benchmarks called out in
+/// DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeuristicConfig {
+    /// Line 48: `cov ← size(branches \ vBr)` — reward newly covered
+    /// branches.
+    pub use_new_branches: bool,
+    /// Line 49, first term: `cov ← cov − len(inp)` — penalise long
+    /// inputs (avoids degenerate depth-first search).
+    pub use_input_length: bool,
+    /// Line 49, second term: `cov ← cov + 2 · len(c)` — reward long
+    /// replacements (string comparisons lead to keywords).
+    pub use_replacement_len: bool,
+    /// Line 50: `cov ← cov − avgStackSize()` — penalise deep parser
+    /// stacks (helps closing open syntactic features).
+    pub use_stack_size: bool,
+    /// Line 50: the `numParents` term — penalise long substitution
+    /// chains to keep search depth low.
+    pub use_parent_penalty: bool,
+    /// Use the paper's *literal* formula `cov + inp.numParents` instead
+    /// of the prose's intent ("inputs with fewer parents … should be
+    /// ranked higher"), which the default implements as `− numParents`.
+    pub paper_literal_parent_sign: bool,
+    /// Section 3.2: rank inputs lower the more often their execution
+    /// path has already been taken.
+    pub use_path_dedup: bool,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        HeuristicConfig {
+            use_new_branches: true,
+            use_input_length: true,
+            use_replacement_len: true,
+            use_stack_size: true,
+            use_parent_penalty: true,
+            paper_literal_parent_sign: false,
+            use_path_dedup: true,
+        }
+    }
+}
+
+impl HeuristicConfig {
+    /// A configuration with every guidance term disabled: candidate
+    /// order degenerates to insertion order, approximating the naive
+    /// breadth-first search Section 3 argues against.
+    pub fn disabled() -> Self {
+        HeuristicConfig {
+            use_new_branches: false,
+            use_input_length: false,
+            use_replacement_len: false,
+            use_stack_size: false,
+            use_parent_penalty: false,
+            paper_literal_parent_sign: false,
+            use_path_dedup: false,
+        }
+    }
+}
+
+/// Candidate-selection discipline. Section 3 discusses why the naive
+/// searches fail: "Depth-first search is fast in generating large
+/// prefixes of inputs but may not be able to close them properly [...]
+/// Breadth-first search on the other hand explores all combinations of
+/// possible inputs on a shallow level [...] Generating a large prefix
+/// is, however, hard". The heuristic queue is the paper's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// The heuristic priority queue of Algorithm 1 (the paper's pFuzzer).
+    #[default]
+    Heuristic,
+    /// Naive depth-first: always continue from the newest candidate.
+    DepthFirst,
+    /// Naive breadth-first: always continue from the oldest candidate.
+    BreadthFirst,
+}
+
+/// How each loop iteration extends the current input (Section 3.1
+/// explains why pFuzzer runs *both* forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtensionMode {
+    /// Run the substituted input, and if it is invalid run it again with
+    /// a random character appended (the paper's algorithm).
+    #[default]
+    Both,
+    /// Only ever substitute the last character — gets stuck as soon as a
+    /// correct substitution needs a follow-up character.
+    ReplaceOnly,
+    /// Only ever append — destroys correct substitutions immediately.
+    AppendOnly,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverConfig {
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+    /// Execution budget: total number of subject runs.
+    pub max_execs: u64,
+    /// Stop early after this many valid inputs (None = run out the
+    /// budget).
+    pub max_valid_inputs: Option<usize>,
+    /// Heuristic term selection.
+    pub heuristic: HeuristicConfig,
+    /// Candidate-selection discipline (heuristic vs. the naive searches
+    /// of Section 3).
+    pub search: SearchMode,
+    /// Extension behaviour (see [`ExtensionMode`]).
+    pub extension_mode: ExtensionMode,
+    /// Inputs longer than this are not extended further (guard against
+    /// permissive subjects where everything is valid).
+    pub max_input_len: usize,
+    /// Record a step-by-step trace (used by the Figure 1 walkthrough).
+    pub trace: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            seed: 0,
+            max_execs: 50_000,
+            max_valid_inputs: None,
+            heuristic: HeuristicConfig::default(),
+            search: SearchMode::default(),
+            extension_mode: ExtensionMode::Both,
+            max_input_len: 128,
+            trace: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_paper_terms() {
+        let h = HeuristicConfig::default();
+        assert!(h.use_new_branches);
+        assert!(h.use_input_length);
+        assert!(h.use_replacement_len);
+        assert!(h.use_stack_size);
+        assert!(h.use_parent_penalty);
+        assert!(!h.paper_literal_parent_sign);
+        assert!(h.use_path_dedup);
+    }
+
+    #[test]
+    fn disabled_turns_everything_off() {
+        let h = HeuristicConfig::disabled();
+        assert!(!h.use_new_branches);
+        assert!(!h.use_path_dedup);
+    }
+
+    #[test]
+    fn default_driver_config_is_sane() {
+        let c = DriverConfig::default();
+        assert!(c.max_execs > 0);
+        assert!(c.max_input_len > 0);
+        assert_eq!(c.extension_mode, ExtensionMode::Both);
+        assert_eq!(c.search, SearchMode::Heuristic);
+        assert!(!c.trace);
+    }
+
+    #[test]
+    fn search_mode_default_is_heuristic() {
+        assert_eq!(SearchMode::default(), SearchMode::Heuristic);
+    }
+}

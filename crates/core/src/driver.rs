@@ -1,0 +1,481 @@
+//! The fuzzing driver: Algorithm 1 of the paper.
+
+use std::collections::HashSet;
+
+use pdf_runtime::{BranchSet, ExecLog, Execution, Rng, Subject};
+
+use crate::config::{DriverConfig, ExtensionMode, SearchMode};
+use crate::queue::{CandidateQueue, QueueEntry};
+
+/// Cap on the candidate queue; when exceeded, the worst half is dropped.
+const QUEUE_HIGH_WATER: usize = 8_192;
+const QUEUE_LOW_WATER: usize = 4_096;
+
+/// One step of the search, recorded when [`DriverConfig::trace`] is on.
+/// Drives the Figure 1 walkthrough example.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The input that was executed.
+    pub input: Vec<u8>,
+    /// Whether the subject accepted it.
+    pub valid: bool,
+    /// Whether the run tried to read past the end of the input.
+    pub eof: bool,
+    /// Substitution candidates derived from the run.
+    pub candidates: usize,
+    /// Human-readable description of what the driver did next.
+    pub action: String,
+}
+
+/// The outcome of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Valid inputs, in discovery order. By construction every one is
+    /// accepted by the subject and covered new branches when found.
+    pub valid_inputs: Vec<Vec<u8>>,
+    /// For each valid input, the execution count at which it was found
+    /// (parallel to `valid_inputs`; evidences the "fewer tests by
+    /// orders of magnitude" claim).
+    pub valid_found_at: Vec<u64>,
+    /// Subject executions spent.
+    pub execs: u64,
+    /// Branches covered by valid inputs (`vBr`).
+    pub valid_branches: BranchSet,
+    /// Branches covered by *any* run, valid or not (used for the
+    /// relative-coverage universe).
+    pub all_branches: BranchSet,
+    /// Executions spent until the first valid input, if any was found.
+    pub first_valid_execs: Option<u64>,
+    /// Step-by-step trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceStep>,
+}
+
+/// The pFuzzer driver.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Fuzzer {
+    subject: Subject,
+    cfg: DriverConfig,
+    rng: Rng,
+}
+
+impl Fuzzer {
+    /// Creates a driver for `subject` with the given configuration.
+    pub fn new(subject: Subject, cfg: DriverConfig) -> Self {
+        let rng = Rng::new(cfg.seed);
+        Fuzzer { subject, cfg, rng }
+    }
+
+    /// Runs the campaign to completion and reports the results.
+    pub fn run(mut self) -> FuzzReport {
+        let mut report = FuzzReport {
+            valid_inputs: Vec::new(),
+            valid_found_at: Vec::new(),
+            execs: 0,
+            valid_branches: BranchSet::new(),
+            all_branches: BranchSet::new(),
+            first_valid_execs: None,
+            trace: Vec::new(),
+        };
+        let mut queue = CandidateQueue::new(self.cfg.heuristic);
+        // Subjects are deterministic, so re-running an input known to be
+        // invalid (and without new coverage at the time) cannot turn it
+        // into a find; remembering those verdicts spends the budget on
+        // the informative extension runs instead. Algorithm 1 re-runs
+        // them; the cache only changes cost, not the search.
+        let mut known_invalid: HashSet<Vec<u8>> = HashSet::new();
+
+        // Line 4: input ← random character. (The empty string is the
+        // conceptual step before it: it is rejected with an immediate
+        // EOF access, which is what appending the first character fixes.)
+        let mut current = vec![self.rng.byte_ascii()];
+        let mut parents = 0usize;
+
+        while report.execs < self.cfg.max_execs {
+            if let Some(max) = self.cfg.max_valid_inputs {
+                if report.valid_inputs.len() >= max {
+                    break;
+                }
+            }
+            // Line 7: first run — the input as-is (usually a substitution).
+            // The verdict cache only pays off when the extension run
+            // follows; in replace-only mode skipping the first run would
+            // consume no budget at all and never terminate.
+            let use_cache = self.cfg.extension_mode != ExtensionMode::ReplaceOnly;
+            let accepted = if use_cache && known_invalid.contains(&current) {
+                false
+            } else {
+                let exec = self.execute(&mut report, &current);
+                if !exec.valid {
+                    known_invalid.insert(current.clone());
+                }
+                let accepted = self.run_check(&mut report, &mut queue, &current, &exec, parents);
+                self.trace(&mut report, &current, &exec, if accepted { "accepted" } else { "first run" });
+                accepted
+            };
+            if !accepted && self.cfg.extension_mode != ExtensionMode::ReplaceOnly {
+                // Line 9: second run — with a random extension, so that a
+                // correct substitution can grow instead of being judged
+                // incomplete.
+                if report.execs >= self.cfg.max_execs {
+                    break;
+                }
+                let mut extended = current.clone();
+                extended.push(self.rng.byte_ascii());
+                let exec2 = self.execute(&mut report, &extended);
+                let accepted2 =
+                    self.run_check(&mut report, &mut queue, &extended, &exec2, parents);
+                if !accepted2 {
+                    // Line 11: derive substitution candidates from the
+                    // extended run.
+                    self.add_inputs(&mut queue, &extended, &exec2.log, parents, &report);
+                    if exec2.log.substitution_candidates().is_empty()
+                        && current.len() <= self.cfg.max_input_len
+                    {
+                        // The random extension hit a spot where no
+                        // comparison constrains it (Figure 1, step 3:
+                        // "we append another random character") — give
+                        // the prefix another draw later.
+                        queue.push(
+                            QueueEntry {
+                                input: current.clone(),
+                                parent_branches: exec2.log.branches_up_to_rejection(),
+                                replacement_len: 1,
+                                avg_stack: exec2.log.avg_stack_size(),
+                                num_parents: parents + 1,
+                                path_hash: exec2.log.branches().path_hash(),
+                            },
+                            &report.valid_branches,
+                        );
+                    }
+                }
+                self.trace(&mut report, &extended, &exec2, "extension run");
+            }
+            if queue.len() > QUEUE_HIGH_WATER {
+                queue.shrink(QUEUE_LOW_WATER, &report.valid_branches);
+            }
+            // Line 14: next candidate, or a fresh random restart.
+            let next = match self.cfg.search {
+                SearchMode::Heuristic => queue.pop(&report.valid_branches),
+                SearchMode::DepthFirst => queue.pop_newest(),
+                SearchMode::BreadthFirst => queue.pop_oldest(),
+            };
+            match next {
+                Some(entry) => {
+                    current = entry.input;
+                    parents = entry.num_parents;
+                }
+                None => {
+                    current = vec![self.rng.byte_ascii()];
+                    parents = 0;
+                }
+            }
+        }
+        report
+    }
+
+    fn execute(&mut self, report: &mut FuzzReport, input: &[u8]) -> Execution {
+        report.execs += 1;
+        let exec = self.subject.run(input);
+        report.all_branches.union_with(&exec.log.branches());
+        exec
+    }
+
+    /// `runCheck` (Algorithm 1, lines 27–35): an input counts as a find
+    /// only when it is accepted *and* covers branches no valid input
+    /// covered before. On a find, `validInp` records it and derives new
+    /// candidates from its comparisons.
+    fn run_check(
+        &mut self,
+        report: &mut FuzzReport,
+        queue: &mut CandidateQueue,
+        input: &[u8],
+        exec: &Execution,
+        parents: usize,
+    ) -> bool {
+        queue.note_path(exec.log.branches().path_hash());
+        let branches = exec.log.branches();
+        if exec.valid && branches.difference_size(&report.valid_branches) > 0 {
+            // validInp (lines 37–45)
+            report.valid_inputs.push(input.to_vec());
+            report.valid_found_at.push(report.execs);
+            report.first_valid_execs.get_or_insert(report.execs);
+            report.valid_branches.union_with(&branches);
+            // Queue rescoring (line 40) is implicit: scores are computed
+            // against the live vBr at pop time.
+            self.add_inputs(queue, input, &exec.log, parents, report);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `addInputs` (Algorithm 1, lines 19–25): one new candidate per
+    /// substitution suggested by the comparisons at the rejection point.
+    fn add_inputs(
+        &mut self,
+        queue: &mut CandidateQueue,
+        input: &[u8],
+        log: &ExecLog,
+        parents: usize,
+        report: &FuzzReport,
+    ) {
+        if input.len() > self.cfg.max_input_len {
+            return;
+        }
+        if self.cfg.extension_mode == ExtensionMode::AppendOnly {
+            // ablation: never substitute, only grow
+            let mut grown = input.to_vec();
+            grown.push(self.rng.byte_ascii());
+            queue.push(
+                QueueEntry {
+                    input: grown,
+                    parent_branches: log.branches_up_to_rejection(),
+                    replacement_len: 1,
+                    avg_stack: log.avg_stack_size(),
+                    num_parents: parents + 1,
+                    path_hash: log.branches().path_hash(),
+                },
+                &report.valid_branches,
+            );
+            return;
+        }
+        let parent_branches = log.branches_up_to_rejection();
+        let avg_stack = log.avg_stack_size();
+        let path_hash = log.branches().path_hash();
+        for cand in log.substitution_candidates() {
+            // Replace from the rejection point on: everything after the
+            // first invalid character is garbage by definition.
+            let mut new_input = input[..cand.at_index.min(input.len())].to_vec();
+            new_input.extend_from_slice(&cand.bytes);
+            if new_input.len() > self.cfg.max_input_len {
+                continue;
+            }
+            queue.push(
+                QueueEntry {
+                    input: new_input,
+                    parent_branches: parent_branches.clone(),
+                    replacement_len: cand.replacement_len,
+                    avg_stack,
+                    num_parents: parents + 1,
+                    path_hash,
+                },
+                &report.valid_branches,
+            );
+        }
+    }
+
+    fn trace(&self, report: &mut FuzzReport, input: &[u8], exec: &Execution, action: &str) {
+        if !self.cfg.trace {
+            return;
+        }
+        report.trace.push(TraceStep {
+            input: input.to_vec(),
+            valid: exec.valid,
+            eof: exec.log.eof_access().is_some(),
+            candidates: exec.log.substitution_candidates().len(),
+            action: action.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeuristicConfig;
+
+    fn run_arith(seed: u64, execs: u64) -> FuzzReport {
+        let cfg = DriverConfig {
+            seed,
+            max_execs: execs,
+            ..DriverConfig::default()
+        };
+        Fuzzer::new(pdf_subjects::arith::subject(), cfg).run()
+    }
+
+    #[test]
+    fn finds_valid_arith_inputs() {
+        let report = run_arith(1, 3_000);
+        assert!(!report.valid_inputs.is_empty(), "no valid inputs found");
+        let subject = pdf_subjects::arith::subject();
+        for input in &report.valid_inputs {
+            assert!(subject.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = run_arith(7, 1_500);
+        let b = run_arith(7, 1_500);
+        assert_eq!(a.valid_inputs, b.valid_inputs);
+        assert_eq!(a.execs, b.execs);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let a = run_arith(1, 1_500);
+        let b = run_arith(2, 1_500);
+        // Input *sets* typically differ; at minimum the traces must not
+        // be byte-identical in discovery order.
+        assert!(a.valid_inputs != b.valid_inputs || a.execs != b.execs);
+    }
+
+    #[test]
+    fn respects_exec_budget() {
+        let report = run_arith(3, 100);
+        assert!(report.execs <= 100);
+    }
+
+    #[test]
+    fn stops_at_max_valid_inputs() {
+        let cfg = DriverConfig {
+            seed: 5,
+            max_execs: 50_000,
+            max_valid_inputs: Some(3),
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+        assert!(report.valid_inputs.len() <= 3);
+    }
+
+    #[test]
+    fn closes_dyck_inputs() {
+        let cfg = DriverConfig {
+            seed: 11,
+            max_execs: 5_000,
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::dyck::subject(), cfg).run();
+        assert!(
+            !report.valid_inputs.is_empty(),
+            "heuristic failed to close any bracket string"
+        );
+        let subject = pdf_subjects::dyck::subject();
+        for input in &report.valid_inputs {
+            assert!(subject.run(input).valid);
+        }
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        let cfg = DriverConfig {
+            seed: 1,
+            max_execs: 50,
+            trace: true,
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+        assert!(!report.trace.is_empty());
+        assert!(report.trace.iter().any(|s| !s.input.is_empty()));
+    }
+
+    #[test]
+    fn valid_branches_subset_of_all_branches() {
+        let report = run_arith(13, 1_000);
+        for b in report.valid_branches.iter() {
+            assert!(report.all_branches.contains(b));
+        }
+    }
+
+    #[test]
+    fn first_valid_execs_recorded() {
+        let report = run_arith(1, 3_000);
+        let first = report.first_valid_execs.expect("found something");
+        assert!(first <= report.execs);
+    }
+
+    #[test]
+    fn disabled_heuristic_still_runs() {
+        let cfg = DriverConfig {
+            seed: 2,
+            max_execs: 500,
+            heuristic: HeuristicConfig::disabled(),
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+        assert_eq!(report.execs, 500);
+    }
+
+    #[test]
+    fn found_at_is_parallel_and_monotone() {
+        let report = run_arith(1, 2_000);
+        assert_eq!(report.valid_inputs.len(), report.valid_found_at.len());
+        assert!(report.valid_found_at.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn naive_searches_run_and_underperform_on_dyck() {
+        // Section 3: depth-first opens brackets it cannot close;
+        // breadth-first cannot build long prefixes. Both find no more
+        // (and typically far fewer) valid inputs than the heuristic.
+        use crate::config::SearchMode;
+        let run = |search: SearchMode| {
+            let cfg = DriverConfig {
+                seed: 5,
+                max_execs: 6_000,
+                search,
+                ..DriverConfig::default()
+            };
+            Fuzzer::new(pdf_subjects::dyck::subject(), cfg).run()
+        };
+        let heuristic = run(SearchMode::Heuristic);
+        let dfs = run(SearchMode::DepthFirst);
+        let bfs = run(SearchMode::BreadthFirst);
+        assert!(!heuristic.valid_inputs.is_empty());
+        assert!(heuristic.valid_inputs.len() >= dfs.valid_inputs.len());
+        assert!(heuristic.valid_inputs.len() >= bfs.valid_inputs.len());
+    }
+
+    #[test]
+    fn replace_only_mode_terminates() {
+        // regression: the verdict cache must not starve replace-only
+        // mode of budget-consuming runs (it would loop forever)
+        let cfg = DriverConfig {
+            seed: 1,
+            max_execs: 2_000,
+            extension_mode: crate::config::ExtensionMode::ReplaceOnly,
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+        assert_eq!(report.execs, 2_000);
+    }
+
+    #[test]
+    fn append_only_mode_terminates() {
+        let cfg = DriverConfig {
+            seed: 1,
+            max_execs: 2_000,
+            extension_mode: crate::config::ExtensionMode::AppendOnly,
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+        assert_eq!(report.execs, 2_000);
+    }
+
+    #[test]
+    fn json_keywords_reachable() {
+        // the headline capability: synthesizing keywords from strcmp
+        // feedback — within a modest budget pFuzzer produces an input
+        // containing "true", "false" or "null"
+        let cfg = DriverConfig {
+            seed: 4,
+            max_execs: 20_000,
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::json::subject(), cfg).run();
+        let has_keyword = report.valid_inputs.iter().any(|i| {
+            let s = String::from_utf8_lossy(i);
+            s.contains("true") || s.contains("false") || s.contains("null")
+        });
+        assert!(
+            has_keyword,
+            "no JSON keyword in {:?}",
+            report
+                .valid_inputs
+                .iter()
+                .map(|i| String::from_utf8_lossy(i).into_owned())
+                .collect::<Vec<_>>()
+        );
+    }
+}

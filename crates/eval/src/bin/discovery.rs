@@ -1,0 +1,14 @@
+//! The "fewer tests by orders of magnitude" measurement: executions
+//! needed per multi-character token, per subject and tool.
+//! Usage: discovery [--execs N] [--seeds a,b,c] [--afl-mult N]
+
+fn main() {
+    let budget = pdf_eval::budget_from_args(30_000);
+    eprintln!(
+        "running 5 subjects x 3 tools, {} execs x {} seeds ...",
+        budget.execs,
+        budget.seeds.len()
+    );
+    let outcomes = pdf_eval::run_matrix(&budget);
+    print!("{}", pdf_eval::render_discovery(&pdf_eval::token_discovery(&outcomes)));
+}

@@ -1,0 +1,19 @@
+//! Runs the complete evaluation once and prints every table and figure.
+//! Usage: evalrunner [--execs N] [--seeds a,b,c]
+
+fn main() {
+    let budget = pdf_eval::budget_from_args(30_000);
+    println!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
+    for inv in pdf_eval::token_tables() {
+        println!("{}", pdf_eval::render_token_table(&inv));
+    }
+    eprintln!(
+        "running 5 subjects x 3 tools, {} execs x {} seeds ...",
+        budget.execs,
+        budget.seeds.len()
+    );
+    let outcomes = pdf_eval::run_matrix(&budget);
+    println!("{}", pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes)));
+    println!("{}", pdf_eval::render_fig3(&pdf_eval::fig3_tokens(&outcomes)));
+    println!("{}", pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes)));
+}

@@ -1,0 +1,27 @@
+//! Regenerates the Figure 1 walkthrough: pFuzzer assembling its first
+//! valid arithmetic expression, step by step.
+
+fn main() {
+    let (trace, first) = pdf_eval::fig1_walkthrough(1, 10_000);
+    println!("Figure 1 walkthrough (arith subject, seed 1):");
+    for (i, step) in trace.iter().enumerate() {
+        let verdict = if step.valid {
+            "valid"
+        } else if step.eof {
+            "rejected@EOF"
+        } else {
+            "rejected"
+        };
+        println!(
+            "  step {i:>3}: {:<24} {:<13} candidates={:<3} ({})",
+            format!("{:?}", String::from_utf8_lossy(&step.input)),
+            verdict,
+            step.candidates,
+            step.action
+        );
+    }
+    match first {
+        Some(input) => println!("first valid input: {:?}", String::from_utf8_lossy(&input)),
+        None => println!("no valid input found within the budget"),
+    }
+}

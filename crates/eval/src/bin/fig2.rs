@@ -1,0 +1,13 @@
+//! Regenerates Figure 2: branch coverage per subject and tool.
+//! Usage: fig2 [--execs N] [--seeds a,b,c]
+
+fn main() {
+    let budget = pdf_eval::budget_from_args(30_000);
+    eprintln!(
+        "running 5 subjects x 3 tools, {} execs x {} seeds ...",
+        budget.execs,
+        budget.seeds.len()
+    );
+    let outcomes = pdf_eval::run_matrix(&budget);
+    print!("{}", pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes)));
+}

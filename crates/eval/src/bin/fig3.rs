@@ -1,0 +1,13 @@
+//! Regenerates Figure 3: tokens generated per subject and tool, grouped
+//! by token length. Usage: fig3 [--execs N] [--seeds a,b,c]
+
+fn main() {
+    let budget = pdf_eval::budget_from_args(30_000);
+    eprintln!(
+        "running 5 subjects x 3 tools, {} execs x {} seeds ...",
+        budget.execs,
+        budget.seeds.len()
+    );
+    let outcomes = pdf_eval::run_matrix(&budget);
+    print!("{}", pdf_eval::render_fig3(&pdf_eval::fig3_tokens(&outcomes)));
+}

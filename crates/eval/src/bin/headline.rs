@@ -1,0 +1,14 @@
+//! Regenerates the Section 5.3 headline aggregates: token coverage for
+//! short (<= 3) and long (> 3) tokens across all subjects.
+//! Usage: headline [--execs N] [--seeds a,b,c]
+
+fn main() {
+    let budget = pdf_eval::budget_from_args(30_000);
+    eprintln!(
+        "running 5 subjects x 3 tools, {} execs x {} seeds ...",
+        budget.execs,
+        budget.seeds.len()
+    );
+    let outcomes = pdf_eval::run_matrix(&budget);
+    print!("{}", pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes)));
+}

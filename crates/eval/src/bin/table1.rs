@@ -1,0 +1,5 @@
+//! Regenerates Table 1: the evaluation subjects.
+
+fn main() {
+    print!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
+}

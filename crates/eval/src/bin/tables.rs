@@ -1,0 +1,8 @@
+//! Regenerates Tables 2-4 (and the ini/csv inventories): tokens per
+//! subject, by length.
+
+fn main() {
+    for inv in pdf_eval::token_tables() {
+        println!("{}", pdf_eval::render_token_table(&inv));
+    }
+}

@@ -1,0 +1,81 @@
+//! Relative branch coverage (the Figure 2 measure).
+//!
+//! The paper measures gcov branch coverage against everything compiled
+//! into the binary, including code no input can reach ("we decided to
+//! leave those artifacts in ... all tools can still be compared on each
+//! individual subject"). Our substitute keeps the comparison semantics:
+//! the universe for a subject is the union of branches reached by its
+//! reference corpus and by *every* tool run in the experiment, so the
+//! per-subject tool ordering — the thing Figure 2 is about — is
+//! preserved.
+
+use pdf_runtime::BranchSet;
+use pdf_subjects::SubjectInfo;
+
+use crate::runner::Outcome;
+
+/// Builds the coverage universe for a subject from its reference corpus
+/// plus all branches any tool touched.
+pub fn coverage_universe(info: &SubjectInfo, outcomes: &[&Outcome]) -> BranchSet {
+    let mut universe = BranchSet::new();
+    for input in (info.corpus)() {
+        let exec = info.subject.run(input);
+        universe.union_with(&exec.log.branches());
+    }
+    for o in outcomes {
+        universe.union_with(&o.all_branches);
+    }
+    universe
+}
+
+/// Branch coverage of the outcome's *valid inputs* relative to the
+/// universe, in percent.
+pub fn relative_coverage(outcome: &Outcome, universe: &BranchSet) -> f64 {
+    if universe.is_empty() {
+        return 0.0;
+    }
+    let covered = outcome
+        .valid_branches
+        .iter()
+        .filter(|b| universe.contains(b))
+        .count();
+    100.0 * covered as f64 / universe.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_tool_seeded, Tool};
+
+    #[test]
+    fn universe_includes_corpus_branches() {
+        let info = pdf_subjects::by_name("arith").unwrap();
+        let universe = coverage_universe(&info, &[]);
+        assert!(!universe.is_empty());
+    }
+
+    #[test]
+    fn coverage_is_bounded() {
+        let info = pdf_subjects::by_name("csv").unwrap();
+        let o = run_tool_seeded(Tool::Afl, &info, 1_000, 1);
+        let universe = coverage_universe(&info, &[&o]);
+        let pct = relative_coverage(&o, &universe);
+        assert!((0.0..=100.0).contains(&pct), "{pct}");
+    }
+
+    #[test]
+    fn more_budget_does_not_reduce_coverage() {
+        let info = pdf_subjects::by_name("ini").unwrap();
+        let small = run_tool_seeded(Tool::Afl, &info, 300, 1);
+        let large = run_tool_seeded(Tool::Afl, &info, 3_000, 1);
+        let universe = coverage_universe(&info, &[&small, &large]);
+        assert!(relative_coverage(&large, &universe) >= relative_coverage(&small, &universe));
+    }
+
+    #[test]
+    fn empty_universe_yields_zero() {
+        let info = pdf_subjects::by_name("arith").unwrap();
+        let o = run_tool_seeded(Tool::Klee, &info, 10, 1);
+        assert_eq!(relative_coverage(&o, &BranchSet::new()), 0.0);
+    }
+}

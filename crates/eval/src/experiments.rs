@@ -1,0 +1,301 @@
+//! The experiments of Section 5, one function per table/figure.
+
+use pdf_core::{DriverConfig, Fuzzer, TraceStep};
+use pdf_subjects::evaluation_subjects;
+use pdf_tokens::{inventory, TokenCoverage, TokenInventory};
+
+use crate::coverage::{coverage_universe, relative_coverage};
+use crate::runner::{run_tool, EvalBudget, Outcome, Tool};
+
+/// Table 1: the subjects with their access dates and original LoC.
+pub fn table1_subjects() -> Vec<(&'static str, &'static str, usize)> {
+    evaluation_subjects()
+        .iter()
+        .map(|s| (s.name, s.accessed, s.original_loc))
+        .collect()
+}
+
+/// Figure 1: the prefix-extension walkthrough on the arithmetic-
+/// expression subject. Returns the trace up to (and including) the
+/// first valid input.
+pub fn fig1_walkthrough(seed: u64, max_execs: u64) -> (Vec<TraceStep>, Option<Vec<u8>>) {
+    let cfg = DriverConfig {
+        seed,
+        max_execs,
+        max_valid_inputs: Some(1),
+        trace: true,
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+    let first = report.valid_inputs.first().cloned();
+    (report.trace, first)
+}
+
+/// Runs the full 5-subjects × 3-tools matrix once; every downstream
+/// figure reads from these outcomes.
+pub fn run_matrix(budget: &EvalBudget) -> Vec<Outcome> {
+    let mut outcomes = Vec::new();
+    for info in evaluation_subjects() {
+        for tool in Tool::ALL {
+            outcomes.push(run_tool(tool, &info, budget));
+        }
+    }
+    outcomes
+}
+
+/// One row of Figure 2: relative branch coverage per tool on a subject.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Coverage percent per tool, in [`Tool::ALL`] order (AFL, KLEE,
+    /// pFuzzer).
+    pub coverage: [f64; 3],
+}
+
+/// Figure 2: branch coverage obtained by the valid inputs of each tool.
+pub fn fig2_coverage(outcomes: &[Outcome]) -> Vec<Fig2Row> {
+    let mut rows = Vec::new();
+    for info in evaluation_subjects() {
+        let subject_outcomes: Vec<&Outcome> =
+            outcomes.iter().filter(|o| o.subject == info.name).collect();
+        if subject_outcomes.is_empty() {
+            continue;
+        }
+        let universe = coverage_universe(&info, &subject_outcomes);
+        let mut coverage = [0.0; 3];
+        for (i, tool) in Tool::ALL.iter().enumerate() {
+            if let Some(o) = subject_outcomes.iter().find(|o| o.tool == *tool) {
+                coverage[i] = relative_coverage(o, &universe);
+            }
+        }
+        rows.push(Fig2Row {
+            subject: info.name,
+            coverage,
+        });
+    }
+    rows
+}
+
+/// Tables 2–4 (and the prose inventories for ini and csv): the token
+/// inventory of every subject.
+pub fn token_tables() -> Vec<TokenInventory> {
+    ["ini", "csv", "cjson", "tinyC", "mjs"]
+        .iter()
+        .filter_map(|s| inventory(s))
+        .collect()
+}
+
+/// One cell group of Figure 3: the tokens a tool generated on a subject,
+/// bucketed by token length.
+#[derive(Debug, Clone)]
+pub struct Fig3Cell {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Tool.
+    pub tool: Tool,
+    /// `(length, found, total)` per inventory length, ascending.
+    pub by_length: Vec<(usize, usize, usize)>,
+    /// The found token names (for inspection).
+    pub found: Vec<&'static str>,
+}
+
+/// Figure 3: tokens generated per subject and tool, grouped by length.
+pub fn fig3_tokens(outcomes: &[Outcome]) -> Vec<Fig3Cell> {
+    let mut cells = Vec::new();
+    for o in outcomes {
+        let Some(mut cov) = TokenCoverage::new(o.subject) else {
+            continue;
+        };
+        for input in &o.valid_inputs {
+            cov.add_input(input);
+        }
+        let inv = cov.inventory().clone();
+        let by_length = inv
+            .lengths()
+            .into_iter()
+            .map(|l| (l, cov.found_of_length(l), inv.count_of_length(l)))
+            .collect();
+        cells.push(Fig3Cell {
+            subject: o.subject,
+            tool: o.tool,
+            by_length,
+            found: cov.found_names(),
+        });
+    }
+    cells
+}
+
+/// One row of the Section 5.3 headline: a tool's aggregate token
+/// coverage for short (≤ 3) and long (> 3) tokens across all subjects.
+#[derive(Debug, Clone)]
+pub struct HeadlineRow {
+    /// Tool.
+    pub tool: Tool,
+    /// (found, total) over tokens of length ≤ 3, summed across subjects.
+    pub short: (usize, usize),
+    /// (found, total) over tokens of length > 3.
+    pub long: (usize, usize),
+}
+
+impl HeadlineRow {
+    /// Percentage of short tokens found.
+    pub fn short_pct(&self) -> f64 {
+        percent(self.short)
+    }
+
+    /// Percentage of long tokens found.
+    pub fn long_pct(&self) -> f64 {
+        percent(self.long)
+    }
+}
+
+fn percent((found, total): (usize, usize)) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * found as f64 / total as f64
+    }
+}
+
+/// The Section 5.3 headline aggregates ("Across all subjects, for
+/// tokens of length ≤ 3, AFL finds 91.5%, KLEE 28.7%, and pFuzzer
+/// 81.9%" / "length > 3: 5%, 7.5%, 52.5%").
+pub fn headline_aggregates(outcomes: &[Outcome]) -> Vec<HeadlineRow> {
+    Tool::ALL
+        .iter()
+        .map(|&tool| {
+            let mut short = (0, 0);
+            let mut long = (0, 0);
+            for o in outcomes.iter().filter(|o| o.tool == tool) {
+                let Some(mut cov) = TokenCoverage::new(o.subject) else {
+                    continue;
+                };
+                for input in &o.valid_inputs {
+                    cov.add_input(input);
+                }
+                let s = cov.fraction_in(1, 3);
+                let l = cov.fraction_in(4, usize::MAX);
+                short.0 += s.0;
+                short.1 += s.1;
+                long.0 += l.0;
+                long.1 += l.1;
+            }
+            HeadlineRow { tool, short, long }
+        })
+        .collect()
+}
+
+/// When a token was first produced: one row per (subject, tool, token).
+#[derive(Debug, Clone)]
+pub struct DiscoveryRow {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Tool.
+    pub tool: Tool,
+    /// Token name.
+    pub token: &'static str,
+    /// Token length in the inventory.
+    pub length: usize,
+    /// Executions spent when the token first appeared in a valid input
+    /// (`None` = never found within the budget).
+    pub found_at: Option<u64>,
+}
+
+/// The "fewer tests by orders of magnitude" measurement: for every
+/// inventory token, the number of executions each tool needed before
+/// the token appeared in a valid input.
+pub fn token_discovery(outcomes: &[Outcome]) -> Vec<DiscoveryRow> {
+    let mut rows = Vec::new();
+    for o in outcomes {
+        let Some(inv) = inventory(o.subject) else {
+            continue;
+        };
+        for token in &inv.tokens {
+            let mut found_at = None;
+            for (input, execs) in o.valid_inputs.iter().zip(&o.valid_found_at) {
+                if pdf_tokens::found_tokens(o.subject, input).contains(&token.name) {
+                    found_at = Some(*execs);
+                    break;
+                }
+            }
+            rows.push(DiscoveryRow {
+                subject: o.subject,
+                tool: o.tool,
+                token: token.name,
+                length: token.length,
+                found_at,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1_subjects();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], ("ini", "2018-10-25", 293));
+        assert_eq!(rows[4], ("mjs", "2018-06-21", 10_920));
+    }
+
+    #[test]
+    fn fig1_trace_reaches_a_valid_input() {
+        let (trace, first) = fig1_walkthrough(1, 4_000);
+        assert!(!trace.is_empty());
+        let input = first.expect("walkthrough found a valid input");
+        assert!(pdf_subjects::arith::subject().run(&input).valid);
+        // the last trace entries include an accepted step
+        assert!(trace.iter().any(|s| s.valid));
+    }
+
+    #[test]
+    fn token_tables_cover_all_subjects() {
+        let tables = token_tables();
+        assert_eq!(tables.len(), 5);
+        assert_eq!(tables[2].total(), 12); // Table 2
+        assert_eq!(tables[3].total(), 15); // Table 3
+        assert_eq!(tables[4].total(), 99); // Table 4
+    }
+
+    #[test]
+    fn small_matrix_end_to_end() {
+        // a miniature end-to-end run of the whole pipeline
+        let budget = EvalBudget {
+            execs: 400,
+            seeds: vec![1],
+            afl_throughput: 1,
+        };
+        let outcomes = run_matrix(&budget);
+        assert_eq!(outcomes.len(), 15);
+        let fig2 = fig2_coverage(&outcomes);
+        assert_eq!(fig2.len(), 5);
+        for row in &fig2 {
+            for pct in row.coverage {
+                assert!((0.0..=100.0).contains(&pct));
+            }
+        }
+        let fig3 = fig3_tokens(&outcomes);
+        assert_eq!(fig3.len(), 15);
+        let headline = headline_aggregates(&outcomes);
+        assert_eq!(headline.len(), 3);
+        for row in &headline {
+            assert!(row.short.1 > 0);
+            assert!(row.long.1 > 0);
+            assert!(row.short.0 <= row.short.1);
+            assert!(row.long.0 <= row.long.1);
+        }
+        let discovery = token_discovery(&outcomes);
+        // 15 outcomes × inventory sizes: 7+4+12+15+99 per tool
+        assert_eq!(discovery.len(), 3 * (7 + 4 + 12 + 15 + 99));
+        for row in &discovery {
+            if let Some(execs) = row.found_at {
+                assert!(execs > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The evaluation harness: runs pFuzzer, the AFL baseline and the
+//! KLEE baseline on the five subjects and reproduces every table and
+//! figure of the paper's Section 5.
+//!
+//! The experiments are exposed as library functions (used by the
+//! binaries in `src/bin`, the Criterion benches in `pdf-bench` and the
+//! integration tests) so that a single implementation produces all the
+//! reported numbers.
+//!
+//! Budgets are expressed in *subject executions* rather than wall-clock
+//! hours: all three tools pay per execution, so the paper's qualitative
+//! comparison is preserved at laptop scale (see DESIGN.md for the
+//! substitution argument). Like the paper, each tool runs with several
+//! seeds and the best run is reported.
+//!
+//! # Example
+//!
+//! ```
+//! use pdf_eval::{run_tool, EvalBudget, Tool};
+//!
+//! let info = pdf_subjects::by_name("cjson").unwrap();
+//! let budget = EvalBudget { execs: 2_000, seeds: vec![1], ..EvalBudget::default() };
+//! let outcome = run_tool(Tool::PFuzzer, &info, &budget);
+//! assert!(outcome.execs <= 2_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coverage;
+mod experiments;
+mod render;
+mod runner;
+
+pub use coverage::{coverage_universe, relative_coverage};
+pub use experiments::{
+    fig1_walkthrough, fig2_coverage, fig3_tokens, headline_aggregates, run_matrix,
+    table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row, Fig3Cell,
+    HeadlineRow,
+};
+pub use render::{
+    fig2_csv, fig3_csv, headline_csv, render_discovery, render_fig2, render_fig3,
+    render_headline, render_table1, render_token_table,
+};
+pub use runner::{best_outcome, run_tool, run_tool_seeded, EvalBudget, Outcome, Tool};
+
+/// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
+/// command line,
+/// falling back to the given defaults. Used by the experiment binaries.
+pub fn budget_from_args(default_execs: u64) -> EvalBudget {
+    let mut budget = EvalBudget {
+        execs: default_execs,
+        ..EvalBudget::default()
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--execs" if i + 1 < args.len() => {
+                if let Ok(n) = args[i + 1].parse() {
+                    budget.execs = n;
+                }
+                i += 2;
+            }
+            "--afl-mult" if i + 1 < args.len() => {
+                if let Ok(n) = args[i + 1].parse() {
+                    budget.afl_throughput = n;
+                }
+                i += 2;
+            }
+            "--seeds" if i + 1 < args.len() => {
+                let seeds: Vec<u64> = args[i + 1]
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
+                if !seeds.is_empty() {
+                    budget.seeds = seeds;
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    budget
+}

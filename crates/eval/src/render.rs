@@ -1,0 +1,313 @@
+//! Plain-text rendering of the tables and figures.
+
+use pdf_tokens::TokenInventory;
+
+use crate::experiments::{DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow};
+use crate::runner::Tool;
+
+/// Renders Table 1 as aligned text.
+pub fn render_table1(rows: &[(&'static str, &'static str, usize)]) -> String {
+    let mut out = String::from("Table 1. The subjects used for the evaluation.\n");
+    out.push_str(&format!("{:<10} {:<12} {:>14}\n", "Name", "Accessed", "Lines of Code"));
+    for (name, accessed, loc) in rows {
+        out.push_str(&format!("{name:<10} {accessed:<12} {loc:>14}\n"));
+    }
+    out
+}
+
+/// Renders Figure 2 as an aligned coverage table (percent per tool).
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let mut out = String::from("Figure 2. Obtained coverage per subject and tool (percent).\n");
+    out.push_str(&format!("{:<10}", "Subject"));
+    for tool in Tool::ALL {
+        out.push_str(&format!("{:>10}", tool.name()));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<10}", row.subject));
+        for pct in row.coverage {
+            out.push_str(&format!("{pct:>10.1}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a token inventory (Tables 2–4 style: count and examples per
+/// length).
+pub fn render_token_table(inv: &TokenInventory) -> String {
+    let mut out = format!("{} tokens and their number for each length.\n", inv.subject);
+    out.push_str(&format!("{:<8} {:<4} Examples\n", "Length", "#"));
+    for length in inv.lengths() {
+        let tokens: Vec<&str> = inv
+            .tokens
+            .iter()
+            .filter(|t| t.length == length)
+            .map(|t| t.name)
+            .collect();
+        let shown = tokens.iter().take(8).copied().collect::<Vec<_>>().join(" ");
+        let ellipsis = if tokens.len() > 8 { " ..." } else { "" };
+        out.push_str(&format!("{length:<8} {:<4} {shown}{ellipsis}\n", tokens.len()));
+    }
+    out
+}
+
+/// Renders Figure 3: per subject and tool, tokens found per length.
+pub fn render_fig3(cells: &[Fig3Cell]) -> String {
+    let mut out =
+        String::from("Figure 3. Tokens generated, grouped by token length (found/total).\n");
+    let mut current_subject = "";
+    for cell in cells {
+        if cell.subject != current_subject {
+            current_subject = cell.subject;
+            out.push_str(&format!("\n{current_subject}\n"));
+            out.push_str(&format!("{:<10}", "Tool"));
+            for (l, _, _) in &cell.by_length {
+                out.push_str(&format!("{:>9}", format!("len {l}")));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<10}", cell.tool.name()));
+        for (_, found, total) in &cell.by_length {
+            out.push_str(&format!("{:>9}", format!("{found}/{total}")));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Section 5.3 headline aggregates.
+pub fn render_headline(rows: &[HeadlineRow]) -> String {
+    let mut out = String::from(
+        "Section 5.3 headline: token coverage across all subjects.\n\
+         (paper, 48h: short AFL 91.5% KLEE 28.7% pFuzzer 81.9%; long AFL 5% KLEE 7.5% pFuzzer 52.5%)\n",
+    );
+    out.push_str(&format!(
+        "{:<10}{:>22}{:>22}\n",
+        "Tool", "len <= 3 found", "len > 3 found"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10}{:>15} ({:>5.1}%){:>14} ({:>5.1}%)\n",
+            row.tool.name(),
+            format!("{}/{}", row.short.0, row.short.1),
+            row.short_pct(),
+            format!("{}/{}", row.long.0, row.long.1),
+            row.long_pct(),
+        ));
+    }
+    out
+}
+
+/// Renders Figure 2 as CSV (`subject,afl,klee,pfuzzer`).
+pub fn fig2_csv(rows: &[Fig2Row]) -> String {
+    let mut out = String::from("subject,afl,klee,pfuzzer\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{:.2},{:.2},{:.2}\n",
+            row.subject, row.coverage[0], row.coverage[1], row.coverage[2]
+        ));
+    }
+    out
+}
+
+/// Renders Figure 3 as CSV (`subject,tool,length,found,total`).
+pub fn fig3_csv(cells: &[Fig3Cell]) -> String {
+    let mut out = String::from("subject,tool,length,found,total\n");
+    for cell in cells {
+        for (length, found, total) in &cell.by_length {
+            out.push_str(&format!(
+                "{},{},{length},{found},{total}\n",
+                cell.subject,
+                cell.tool.name()
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the headline aggregates as CSV
+/// (`tool,short_found,short_total,long_found,long_total`).
+pub fn headline_csv(rows: &[HeadlineRow]) -> String {
+    let mut out = String::from("tool,short_found,short_total,long_found,long_total\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            row.tool.name(),
+            row.short.0,
+            row.short.1,
+            row.long.0,
+            row.long.1
+        ));
+    }
+    out
+}
+
+/// Renders the token-discovery measurement: executions needed per
+/// keyword token (length > 1), per subject and tool. `-` = not found.
+pub fn render_discovery(rows: &[DiscoveryRow]) -> String {
+    let mut out = String::from(
+        "Executions until each multi-character token first appears in a valid input.\n",
+    );
+    let mut current_subject = "";
+    // group rows (subject, token) → per-tool cells
+    type Cells = [Option<Option<u64>>; 3];
+    let mut tokens_seen: Vec<(&str, &str, usize, Cells)> = Vec::new();
+    for row in rows.iter().filter(|r| r.length > 1) {
+        let tool_idx = Tool::ALL.iter().position(|t| *t == row.tool).unwrap_or(0);
+        match tokens_seen
+            .iter_mut()
+            .find(|(s, t, _, _)| *s == row.subject && *t == row.token)
+        {
+            Some((_, _, _, cells)) => cells[tool_idx] = Some(row.found_at),
+            None => {
+                let mut cells = [None, None, None];
+                cells[tool_idx] = Some(row.found_at);
+                tokens_seen.push((row.subject, row.token, row.length, cells));
+            }
+        }
+    }
+    for (subject, token, _length, cells) in tokens_seen {
+        if subject != current_subject {
+            current_subject = subject;
+            out.push_str(&format!("\n{subject}\n{:<14}", "Token"));
+            for tool in Tool::ALL {
+                out.push_str(&format!("{:>12}", tool.name()));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{token:<14}"));
+        for cell in cells {
+            let text = match cell {
+                Some(Some(execs)) => execs.to_string(),
+                _ => "-".to_string(),
+            };
+            out.push_str(&format!("{text:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::token_tables;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let text = render_table1(&crate::experiments::table1_subjects());
+        assert!(text.contains("ini"));
+        assert!(text.contains("10920") || text.contains("10,920"));
+        assert_eq!(text.lines().count(), 7);
+    }
+
+    #[test]
+    fn fig2_renders_tools_and_subjects() {
+        let rows = vec![Fig2Row {
+            subject: "ini",
+            coverage: [50.0, 25.0, 75.0],
+        }];
+        let text = render_fig2(&rows);
+        assert!(text.contains("AFL"));
+        assert!(text.contains("KLEE"));
+        assert!(text.contains("pFuzzer"));
+        assert!(text.contains("75.0"));
+    }
+
+    #[test]
+    fn token_table_renders_lengths() {
+        let tables = token_tables();
+        let json = render_token_table(&tables[2]);
+        assert!(json.contains("cjson"));
+        assert!(json.contains("true"));
+        assert!(json.contains("false"));
+    }
+
+    #[test]
+    fn fig3_groups_by_subject() {
+        let cells = vec![
+            Fig3Cell {
+                subject: "cjson",
+                tool: Tool::Afl,
+                by_length: vec![(1, 5, 8), (2, 1, 1)],
+                found: vec!["{"],
+            },
+            Fig3Cell {
+                subject: "cjson",
+                tool: Tool::PFuzzer,
+                by_length: vec![(1, 8, 8), (2, 1, 1)],
+                found: vec!["{"],
+            },
+        ];
+        let text = render_fig3(&cells);
+        assert!(text.contains("cjson"));
+        assert!(text.contains("5/8"));
+        assert!(text.contains("8/8"));
+    }
+
+    #[test]
+    fn discovery_renders_tokens_and_dashes() {
+        let rows = vec![
+            DiscoveryRow {
+                subject: "cjson",
+                tool: Tool::PFuzzer,
+                token: "true",
+                length: 4,
+                found_at: Some(123),
+            },
+            DiscoveryRow {
+                subject: "cjson",
+                tool: Tool::Afl,
+                token: "true",
+                length: 4,
+                found_at: None,
+            },
+        ];
+        let text = render_discovery(&rows);
+        assert!(text.contains("true"));
+        assert!(text.contains("123"));
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn csv_exports_are_well_formed() {
+        let fig2 = vec![Fig2Row {
+            subject: "ini",
+            coverage: [50.0, 25.0, 75.0],
+        }];
+        let csv = fig2_csv(&fig2);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("subject,"));
+        assert!(csv.contains("ini,50.00,25.00,75.00"));
+
+        let fig3 = vec![Fig3Cell {
+            subject: "cjson",
+            tool: Tool::Afl,
+            by_length: vec![(1, 5, 8)],
+            found: vec![],
+        }];
+        let csv = fig3_csv(&fig3);
+        assert!(csv.contains("cjson,AFL,1,5,8"));
+
+        let headline = vec![HeadlineRow {
+            tool: Tool::Klee,
+            short: (3, 9),
+            long: (1, 4),
+        }];
+        let csv = headline_csv(&headline);
+        assert!(csv.contains("KLEE,3,9,1,4"));
+    }
+
+    #[test]
+    fn headline_renders_percentages() {
+        let rows = vec![HeadlineRow {
+            tool: Tool::PFuzzer,
+            short: (9, 10),
+            long: (5, 10),
+        }];
+        let text = render_headline(&rows);
+        assert!(text.contains("90.0%"));
+        assert!(text.contains("50.0%"));
+    }
+}

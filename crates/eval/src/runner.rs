@@ -1,0 +1,212 @@
+//! Unified tool runner: one interface over the three fuzzers.
+
+use pdf_afl::{AflConfig, AflFuzzer};
+use pdf_core::{DriverConfig, Fuzzer};
+use pdf_runtime::BranchSet;
+use pdf_subjects::SubjectInfo;
+use pdf_symbolic::{KleeConfig, KleeFuzzer};
+
+/// The three tools of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// The paper's contribution.
+    PFuzzer,
+    /// The "lexical" baseline.
+    Afl,
+    /// The "semantic" baseline.
+    Klee,
+}
+
+impl Tool {
+    /// All tools in the paper's plotting order.
+    pub const ALL: [Tool; 3] = [Tool::Afl, Tool::Klee, Tool::PFuzzer];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tool::PFuzzer => "pFuzzer",
+            Tool::Afl => "AFL",
+            Tool::Klee => "KLEE",
+        }
+    }
+}
+
+/// Per-run budget: executions and the seeds to try (best run reported,
+/// as in the paper's best-of-three).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalBudget {
+    /// Subject executions per seed (for pFuzzer and KLEE).
+    pub execs: u64,
+    /// Seeds to run; the best outcome is kept.
+    pub seeds: Vec<u64>,
+    /// Execution multiplier for AFL. The paper compares equal
+    /// *wall-clock* budgets, and pFuzzer's taint instrumentation slows
+    /// executions "by a factor of about 100" (Section 4) while AFL runs
+    /// at native speed — "generating 1,000 times more inputs than
+    /// pFuzzer" (Section 5.2). The default of 10 keeps that asymmetry at
+    /// laptop scale; set to 1 for an equal-executions comparison.
+    pub afl_throughput: u64,
+}
+
+impl Default for EvalBudget {
+    fn default() -> Self {
+        EvalBudget {
+            execs: 30_000,
+            seeds: vec![1, 2, 3],
+            afl_throughput: 10,
+        }
+    }
+}
+
+/// A tool's campaign result in tool-independent form.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Which tool ran.
+    pub tool: Tool,
+    /// Subject name.
+    pub subject: &'static str,
+    /// Valid inputs produced (each covered new code when found).
+    pub valid_inputs: Vec<Vec<u8>>,
+    /// Execution count at which each valid input was found.
+    pub valid_found_at: Vec<u64>,
+    /// Executions spent.
+    pub execs: u64,
+    /// Branches covered by valid inputs.
+    pub valid_branches: BranchSet,
+    /// Branches covered by any run.
+    pub all_branches: BranchSet,
+}
+
+/// Runs one tool on one subject with one seed.
+pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) -> Outcome {
+    match tool {
+        Tool::PFuzzer => {
+            let cfg = DriverConfig {
+                seed,
+                max_execs: execs,
+                ..DriverConfig::default()
+            };
+            let r = Fuzzer::new(info.subject, cfg).run();
+            Outcome {
+                tool,
+                subject: info.name,
+                valid_inputs: r.valid_inputs,
+                valid_found_at: r.valid_found_at,
+                execs: r.execs,
+                valid_branches: r.valid_branches,
+                all_branches: r.all_branches,
+            }
+        }
+        Tool::Afl => {
+            let cfg = AflConfig {
+                seed,
+                max_execs: execs,
+                ..AflConfig::default()
+            };
+            let r = AflFuzzer::new(info.subject, cfg).run();
+            Outcome {
+                tool,
+                subject: info.name,
+                valid_inputs: r.valid_inputs,
+                valid_found_at: r.valid_found_at,
+                execs: r.execs,
+                valid_branches: r.valid_branches,
+                all_branches: r.all_branches,
+            }
+        }
+        Tool::Klee => {
+            // KLEE is deterministic; the seed only permutes nothing, but
+            // keeping the interface uniform costs one extra run at most.
+            let cfg = KleeConfig {
+                max_execs: execs,
+                ..KleeConfig::default()
+            };
+            let r = KleeFuzzer::new(info.subject, cfg).run();
+            Outcome {
+                tool,
+                subject: info.name,
+                valid_inputs: r.valid_inputs,
+                valid_found_at: r.valid_found_at,
+                execs: r.execs,
+                valid_branches: r.valid_branches,
+                all_branches: r.all_branches,
+            }
+        }
+    }
+}
+
+/// Runs a tool over every seed in the budget and returns the best
+/// outcome (most branches covered by valid inputs, the paper's
+/// headline coverage measure; ties broken by more valid inputs).
+pub fn run_tool(tool: Tool, info: &SubjectInfo, budget: &EvalBudget) -> Outcome {
+    let seeds: &[u64] = if tool == Tool::Klee {
+        &budget.seeds[..1.min(budget.seeds.len())]
+    } else {
+        &budget.seeds
+    };
+    let execs = if tool == Tool::Afl {
+        budget.execs.saturating_mul(budget.afl_throughput.max(1))
+    } else {
+        budget.execs
+    };
+    let outcomes: Vec<Outcome> = seeds
+        .iter()
+        .map(|&s| run_tool_seeded(tool, info, execs, s))
+        .collect();
+    best_outcome(outcomes).expect("at least one seed")
+}
+
+/// Picks the best outcome of several seeded runs.
+pub fn best_outcome(outcomes: Vec<Outcome>) -> Option<Outcome> {
+    outcomes.into_iter().max_by_key(|o| {
+        (o.valid_branches.len(), o.valid_inputs.len())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget() -> EvalBudget {
+        EvalBudget {
+            execs: 800,
+            seeds: vec![1, 2],
+            afl_throughput: 2,
+        }
+    }
+
+    #[test]
+    fn all_three_tools_run_on_every_subject() {
+        for info in pdf_subjects::evaluation_subjects() {
+            for tool in Tool::ALL {
+                let o = run_tool_seeded(tool, &info, 200, 1);
+                assert_eq!(o.subject, info.name);
+                assert!(o.execs <= 200, "{} on {} overspent", tool.name(), info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn best_outcome_prefers_more_valid_coverage() {
+        let info = pdf_subjects::by_name("ini").unwrap();
+        let a = run_tool_seeded(Tool::Afl, &info, 200, 1);
+        let b = run_tool_seeded(Tool::Afl, &info, 2_000, 1);
+        let best = best_outcome(vec![a, b.clone()]).unwrap();
+        assert_eq!(best.valid_branches.len(), b.valid_branches.len());
+    }
+
+    #[test]
+    fn run_tool_reports_a_seeded_best() {
+        let info = pdf_subjects::by_name("csv").unwrap();
+        let o = run_tool(Tool::PFuzzer, &info, &budget());
+        assert_eq!(o.tool, Tool::PFuzzer);
+        assert!(!o.valid_inputs.is_empty());
+    }
+
+    #[test]
+    fn tool_names() {
+        assert_eq!(Tool::PFuzzer.name(), "pFuzzer");
+        assert_eq!(Tool::Afl.name(), "AFL");
+        assert_eq!(Tool::Klee.name(), "KLEE");
+    }
+}

@@ -1,0 +1,311 @@
+//! Grammar mining from instrumented executions.
+//!
+//! Every tracked comparison carries `(input index, stack depth, site)`.
+//! For a valid input, the depth profile over input positions recovers
+//! the parse nesting: a region whose comparisons ran strictly deeper
+//! than its surroundings corresponds to a sub-production. Regions are
+//! labelled by the static site of their first comparison, so structurally
+//! equal productions from different inputs (or different nesting levels
+//! of the *same* input) map to the same nonterminal — giving the mined
+//! grammar genuine recursion.
+
+use std::collections::BTreeMap;
+
+use pdf_runtime::{Event, Execution, Subject};
+
+/// A nonterminal of the mined grammar: the site id of the production's
+/// first comparison (`0` is reserved for the synthetic start symbol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub u64);
+
+/// The start symbol.
+pub const START: Label = Label(0);
+
+/// One symbol of a production body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sym {
+    /// A literal byte run.
+    Lit(Vec<u8>),
+    /// A reference to a nonterminal.
+    Ref(Label),
+}
+
+/// A mined context-free grammar: alternatives per nonterminal.
+#[derive(Debug, Clone, Default)]
+pub struct Grammar {
+    rules: BTreeMap<Label, Vec<Vec<Sym>>>,
+}
+
+impl Grammar {
+    /// Number of nonterminals.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the grammar has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The alternatives of a nonterminal.
+    pub fn alts(&self, label: Label) -> &[Vec<Sym>] {
+        self.rules.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of alternatives across all nonterminals.
+    pub fn alt_count(&self) -> usize {
+        self.rules.values().map(Vec::len).sum()
+    }
+
+    /// Whether any nonterminal is recursive (reachable from its own
+    /// body) — the property Section 7.4 is after.
+    pub fn has_recursion(&self) -> bool {
+        self.rules.keys().any(|&l| self.reaches(l, l, &mut Vec::new()))
+    }
+
+    fn reaches(&self, from: Label, target: Label, visiting: &mut Vec<Label>) -> bool {
+        if visiting.contains(&from) {
+            return false;
+        }
+        visiting.push(from);
+        for alt in self.alts(from) {
+            for sym in alt {
+                if let Sym::Ref(r) = sym {
+                    if *r == target || self.reaches(*r, target, visiting) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn add_alt(&mut self, label: Label, alt: Vec<Sym>) {
+        let alts = self.rules.entry(label).or_default();
+        if !alts.contains(&alt) {
+            alts.push(alt);
+        }
+    }
+
+    /// Renders the grammar in a BNF-like notation (for reports and
+    /// debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (label, alts) in &self.rules {
+            let name = if *label == START {
+                "<start>".to_string()
+            } else {
+                format!("<n{:x}>", label.0 & 0xffff)
+            };
+            for alt in alts {
+                out.push_str(&name);
+                out.push_str(" ::= ");
+                for sym in alt {
+                    match sym {
+                        Sym::Lit(bytes) => {
+                            out.push_str(&format!("{:?} ", String::from_utf8_lossy(bytes)))
+                        }
+                        Sym::Ref(r) => out.push_str(&format!("<n{:x}> ", r.0 & 0xffff)),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Per-position parse evidence extracted from one execution.
+struct Profile {
+    /// For each input index: the maximum comparison depth, and the site
+    /// of the first comparison observed at that index and depth.
+    depth: Vec<usize>,
+    site: Vec<u64>,
+}
+
+fn profile(exec: &Execution, len: usize) -> Profile {
+    let mut depth = vec![0usize; len];
+    let mut site = vec![0u64; len];
+    // Prefer the deepest *successful* comparison per index: that is the
+    // production which actually consumed the character. Failed deep
+    // lookaheads (e.g. a number parser probing whether `]` is another
+    // digit) must not drag following characters into the wrong region;
+    // they only serve as a fallback for characters nothing matched
+    // positively (e.g. free-form string content).
+    let mut success: Vec<Option<(usize, u64)>> = vec![None; len];
+    let mut failure: Vec<Option<(usize, u64)>> = vec![None; len];
+    for event in &exec.log.events {
+        if let Event::Cmp(c) = event {
+            if c.observed.is_none() || c.index >= len {
+                continue;
+            }
+            let slot = if c.outcome {
+                &mut success[c.index]
+            } else {
+                &mut failure[c.index]
+            };
+            match slot {
+                Some((d, _)) if *d >= c.depth => {}
+                _ => *slot = Some((c.depth, c.site.0)),
+            }
+        }
+    }
+    let deepest_first: Vec<Option<(usize, u64)>> = success
+        .into_iter()
+        .zip(failure)
+        .map(|(s, f)| s.or(f))
+        .collect();
+    // positions nobody compared (e.g. characters consumed through raw
+    // reads) inherit the depth of their left neighbour so they stay
+    // inside its region
+    let mut last = (1usize, 0u64);
+    for i in 0..len {
+        if let Some((d, s)) = deepest_first[i] {
+            last = (d, s);
+        }
+        depth[i] = last.0;
+        site[i] = last.1;
+    }
+    Profile { depth, site }
+}
+
+/// Recursively carves `[lo, hi)` at `level` into literal runs and
+/// deeper child regions, emitting an alternative body and registering
+/// child rules.
+fn carve(
+    grammar: &mut Grammar,
+    input: &[u8],
+    prof: &Profile,
+    lo: usize,
+    hi: usize,
+    level: usize,
+    fuel: &mut usize,
+) -> Vec<Sym> {
+    let mut body = Vec::new();
+    let mut lit = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        if *fuel == 0 {
+            break;
+        }
+        *fuel -= 1;
+        if prof.depth[i] > level {
+            // child region: extend while strictly deeper
+            let start = i;
+            let mut j = i;
+            while j < hi && prof.depth[j] > level {
+                j += 1;
+            }
+            if !lit.is_empty() {
+                body.push(Sym::Lit(std::mem::take(&mut lit)));
+            }
+            // the child's own level is the minimum depth inside it
+            let child_level = (start..j).map(|k| prof.depth[k]).min().unwrap_or(level + 1);
+            let child_label = Label(prof.site[start]);
+            let child_body = carve(grammar, input, prof, start, j, child_level, fuel);
+            grammar.add_alt(child_label, child_body);
+            body.push(Sym::Ref(child_label));
+            i = j;
+        } else {
+            lit.push(input[i]);
+            i += 1;
+        }
+    }
+    if !lit.is_empty() {
+        body.push(Sym::Lit(lit));
+    }
+    body
+}
+
+/// Mines a grammar from a corpus of valid inputs by re-running each
+/// through the instrumented subject and carving its depth profile.
+/// Empty inputs contribute an empty start alternative.
+pub fn mine_corpus(subject: Subject, corpus: &[Vec<u8>]) -> Grammar {
+    let mut grammar = Grammar::default();
+    for input in corpus {
+        let exec = subject.run(input);
+        if !exec.valid {
+            continue;
+        }
+        if input.is_empty() {
+            grammar.add_alt(START, Vec::new());
+            continue;
+        }
+        let prof = profile(&exec, input.len());
+        let root_level = prof.depth.iter().copied().min().unwrap_or(1);
+        let mut fuel = input.len() * 4 + 64;
+        let body = carve(&mut grammar, input, &prof, 0, input.len(), root_level, &mut fuel);
+        grammar.add_alt(START, body);
+    }
+    grammar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arith_grammar(corpus: &[&[u8]]) -> Grammar {
+        let owned: Vec<Vec<u8>> = corpus.iter().map(|c| c.to_vec()).collect();
+        mine_corpus(pdf_subjects::arith::subject(), &owned)
+    }
+
+    #[test]
+    fn mining_yields_rules() {
+        let g = arith_grammar(&[b"1", b"(2)", b"1+2"]);
+        assert!(!g.is_empty());
+        assert!(!g.alts(START).is_empty());
+    }
+
+    #[test]
+    fn invalid_inputs_are_skipped() {
+        let g = arith_grammar(&[b"((("]);
+        assert!(g.alts(START).is_empty());
+    }
+
+    #[test]
+    fn nested_inputs_give_recursion() {
+        // (1), ((2)) — operand-within-operand maps to the same label
+        let g = arith_grammar(&[b"1", b"(1)", b"((2))", b"(1+2)"]);
+        assert!(
+            g.has_recursion(),
+            "no recursion mined:\n{}",
+            g.render()
+        );
+    }
+
+    #[test]
+    fn duplicate_alternatives_are_merged() {
+        let g1 = arith_grammar(&[b"1"]);
+        let g2 = arith_grammar(&[b"1", b"1", b"1"]);
+        assert_eq!(g1.alt_count(), g2.alt_count());
+    }
+
+    #[test]
+    fn dyck_nesting_is_recursive() {
+        let corpus: Vec<Vec<u8>> = [&b"()"[..], b"(())", b"((()))", b"[()]"]
+            .iter()
+            .map(|c| c.to_vec())
+            .collect();
+        let g = mine_corpus(pdf_subjects::dyck::subject(), &corpus);
+        assert!(g.has_recursion(), "{}", g.render());
+    }
+
+    #[test]
+    fn render_is_nonempty_and_has_start() {
+        let g = arith_grammar(&[b"1+2"]);
+        let text = g.render();
+        assert!(text.contains("<start>"));
+        assert!(text.contains("::="));
+    }
+
+    #[test]
+    fn json_structures_mine() {
+        let corpus: Vec<Vec<u8>> = [&b"[1]"[..], b"[[2]]", b"[[[3]]]", b"{\"a\": 1}", b"true"]
+            .iter()
+            .map(|c| c.to_vec())
+            .collect();
+        let g = mine_corpus(pdf_subjects::json::subject(), &corpus);
+        assert!(g.len() > 1);
+        assert!(g.has_recursion(), "{}", g.render());
+    }
+}

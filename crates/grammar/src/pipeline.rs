@@ -1,0 +1,157 @@
+//! The explore → mine → generate pipeline of Section 7.4.
+
+use pdf_core::{DriverConfig, Fuzzer};
+use pdf_runtime::{Rng, Subject};
+
+use crate::gen::Generator;
+use crate::mine::{mine_corpus, Grammar};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Seed for the fuzzing stage and the generator.
+    pub seed: u64,
+    /// Execution budget for the pFuzzer exploration stage.
+    pub fuzz_execs: u64,
+    /// Number of inputs to generate from the mined grammar.
+    pub generate: usize,
+    /// Recursion bound for the generator.
+    pub max_depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            seed: 0,
+            fuzz_execs: 20_000,
+            generate: 200,
+            max_depth: 10,
+        }
+    }
+}
+
+/// The pipeline's outcome.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Valid inputs found by the exploration stage.
+    pub fuzzed: Vec<Vec<u8>>,
+    /// The mined grammar.
+    pub grammar: Grammar,
+    /// Inputs generated from the grammar (before validation).
+    pub generated_total: usize,
+    /// How many generated inputs the subject accepted (duplicates
+    /// included).
+    pub generated_valid_count: usize,
+    /// The *distinct* generated inputs the subject accepted.
+    pub generated_valid: Vec<Vec<u8>>,
+    /// Longest valid input from the exploration stage.
+    pub max_fuzzed_len: usize,
+    /// Longest valid generated input.
+    pub max_generated_len: usize,
+}
+
+impl PipelineReport {
+    /// Acceptance rate of generated inputs (duplicates included).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.generated_total == 0 {
+            0.0
+        } else {
+            self.generated_valid_count as f64 / self.generated_total as f64
+        }
+    }
+}
+
+/// Runs the full pipeline on a subject: pFuzzer explores, the miner
+/// recovers a grammar from the valid inputs, the generator produces new
+/// (typically longer, recursive) inputs, and each is validated against
+/// the subject.
+pub fn run_pipeline(subject: Subject, cfg: &PipelineConfig) -> PipelineReport {
+    let fuzz_cfg = DriverConfig {
+        seed: cfg.seed,
+        max_execs: cfg.fuzz_execs,
+        ..DriverConfig::default()
+    };
+    let fuzzed = Fuzzer::new(subject, fuzz_cfg).run().valid_inputs;
+    let grammar = mine_corpus(subject, &fuzzed);
+    let mut generator = Generator::new(&grammar, cfg.max_depth);
+    let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
+    let mut generated_valid = Vec::new();
+    let mut generated_valid_count = 0;
+    for _ in 0..cfg.generate {
+        let input = generator.generate(&mut rng);
+        if subject.run(&input).valid {
+            generated_valid_count += 1;
+            if !generated_valid.contains(&input) {
+                generated_valid.push(input);
+            }
+        }
+    }
+    let max_fuzzed_len = fuzzed.iter().map(Vec::len).max().unwrap_or(0);
+    let max_generated_len = generated_valid.iter().map(Vec::len).max().unwrap_or(0);
+    PipelineReport {
+        fuzzed,
+        grammar,
+        generated_total: cfg.generate,
+        generated_valid_count,
+        generated_valid,
+        max_fuzzed_len,
+        max_generated_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_on_arith_generates_valid_inputs() {
+        let report = run_pipeline(
+            pdf_subjects::arith::subject(),
+            &PipelineConfig {
+                seed: 1,
+                fuzz_execs: 4_000,
+                generate: 150,
+                max_depth: 10,
+            },
+        );
+        assert!(!report.fuzzed.is_empty());
+        assert!(!report.grammar.is_empty());
+        assert!(
+            !report.generated_valid.is_empty(),
+            "grammar:\n{}",
+            report.grammar.render()
+        );
+        assert!(report.acceptance_rate() > 0.5, "rate {}", report.acceptance_rate());
+        assert!(report.generated_valid_count >= report.generated_valid.len());
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let cfg = PipelineConfig {
+            seed: 4,
+            fuzz_execs: 2_000,
+            generate: 60,
+            max_depth: 8,
+        };
+        let a = run_pipeline(pdf_subjects::dyck::subject(), &cfg);
+        let b = run_pipeline(pdf_subjects::dyck::subject(), &cfg);
+        assert_eq!(a.fuzzed, b.fuzzed);
+        assert_eq!(a.generated_valid, b.generated_valid);
+    }
+
+    #[test]
+    fn report_rates_are_bounded() {
+        let report = run_pipeline(
+            pdf_subjects::csv::subject(),
+            &PipelineConfig {
+                seed: 2,
+                fuzz_execs: 2_000,
+                generate: 50,
+                max_depth: 6,
+            },
+        );
+        let rate = report.acceptance_rate();
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(report.generated_valid.len() <= report.generated_total);
+    }
+}

@@ -1,0 +1,144 @@
+//! Corpus utilities: coverage-preserving distillation.
+//!
+//! All three fuzzers emit corpora of valid inputs; downstream users
+//! (regression suites, the grammar miner) often want the smallest
+//! subset that still covers every branch — the `afl-cmin` operation.
+
+use crate::coverage::BranchSet;
+use crate::subject::Subject;
+
+/// Greedily selects a minimal-ish subset of `corpus` that covers the
+/// same branches as the whole corpus (classic greedy set cover: repeat
+/// picking the input adding the most uncovered branches).
+///
+/// Inputs that fail to execute as valid are dropped. Order within the
+/// result follows selection order (highest-gain first), so the result
+/// doubles as a priority-ranked regression suite.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::{cov, lit, distill, ExecCtx, ParseError, Subject};
+///
+/// fn p(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+///     cov!(ctx);
+///     if lit!(ctx, b'x') { cov!(ctx); }
+///     ctx.expect_end()
+/// }
+/// let subject = Subject::new("x?", p);
+/// let corpus = vec![b"".to_vec(), b"x".to_vec(), b"x".to_vec()];
+/// let kept = distill(subject, &corpus);
+/// // the duplicate "x" is dropped; "" stays because its failed `x`
+/// // comparison is a branch of its own
+/// assert_eq!(kept, vec![b"x".to_vec(), b"".to_vec()]);
+/// ```
+pub fn distill(subject: Subject, corpus: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    // run everything once, keep (input, branches) of valid runs
+    let mut runs: Vec<(&Vec<u8>, BranchSet)> = Vec::new();
+    let mut union = BranchSet::new();
+    for input in corpus {
+        let exec = subject.run(input);
+        if exec.valid {
+            let branches = exec.log.branches();
+            union.union_with(&branches);
+            runs.push((input, branches));
+        }
+    }
+    let mut covered = BranchSet::new();
+    let mut kept: Vec<Vec<u8>> = Vec::new();
+    while covered.len() < union.len() {
+        let best = runs
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, (input, branches))| {
+                // gain, then prefer shorter inputs, then earlier ones
+                (
+                    branches.difference_size(&covered),
+                    usize::MAX - input.len(),
+                    usize::MAX - i,
+                )
+            })
+            .map(|(i, _)| i);
+        let Some(i) = best else { break };
+        let (input, branches) = runs.swap_remove(i);
+        if branches.difference_size(&covered) == 0 {
+            break; // nothing adds coverage any more
+        }
+        covered.union_with(&branches);
+        kept.push(input.clone());
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{ExecCtx, ParseError};
+    use crate::{cov, lit};
+
+    /// Accepts "a", "b" or "ab", with distinct coverage for each arm.
+    fn subject_fn(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+        cov!(ctx);
+        if lit!(ctx, b'a') {
+            cov!(ctx);
+            if lit!(ctx, b'b') {
+                cov!(ctx);
+            }
+            return ctx.expect_end();
+        }
+        if lit!(ctx, b'b') {
+            cov!(ctx);
+            return ctx.expect_end();
+        }
+        Err(ctx.reject("expected a or b"))
+    }
+
+    fn subject() -> Subject {
+        Subject::new("ab", subject_fn)
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let corpus = vec![b"a".to_vec(), b"a".to_vec(), b"a".to_vec()];
+        assert_eq!(distill(subject(), &corpus).len(), 1);
+    }
+
+    #[test]
+    fn coverage_is_preserved() {
+        let corpus = vec![b"a".to_vec(), b"b".to_vec(), b"ab".to_vec()];
+        let kept = distill(subject(), &corpus);
+        // "ab" subsumes "a"; "b" is needed separately
+        let mut union_before = BranchSet::new();
+        for i in &corpus {
+            union_before.union_with(&subject().run(i).log.branches());
+        }
+        let mut union_after = BranchSet::new();
+        for i in &kept {
+            union_after.union_with(&subject().run(i).log.branches());
+        }
+        assert_eq!(union_before, union_after);
+        // ("ab" does not subsume "a": the failed `b` comparison of "a"
+        // is its own branch, so all three may be kept — never more)
+        assert!(kept.len() <= corpus.len());
+    }
+
+    #[test]
+    fn invalid_inputs_are_dropped() {
+        let corpus = vec![b"zzz".to_vec(), b"a".to_vec()];
+        let kept = distill(subject(), &corpus);
+        assert_eq!(kept, vec![b"a".to_vec()]);
+    }
+
+    #[test]
+    fn empty_corpus_is_empty() {
+        assert!(distill(subject(), &[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_picks_high_gain_first() {
+        let corpus = vec![b"a".to_vec(), b"ab".to_vec(), b"b".to_vec()];
+        let kept = distill(subject(), &corpus);
+        // "ab" covers the most branches, so it is selected first
+        assert_eq!(kept[0], b"ab".to_vec());
+    }
+}

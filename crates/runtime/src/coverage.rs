@@ -1,0 +1,182 @@
+//! Branch identifiers and branch sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::site::SiteId;
+
+/// A dynamic branch: a static site together with the direction taken.
+///
+/// Comparison sites produce two branches (outcome `true` / `false`);
+/// plain coverage points (`ExecCtx::cov`) produce a single branch with
+/// `outcome = true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BranchId {
+    /// The static location of the branch.
+    pub site: SiteId,
+    /// Which way the branch went.
+    pub outcome: bool,
+}
+
+impl BranchId {
+    /// Creates a branch id.
+    pub fn new(site: SiteId, outcome: bool) -> Self {
+        BranchId { site, outcome }
+    }
+}
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.site, if self.outcome { "T" } else { "F" })
+    }
+}
+
+/// A set of covered branches.
+///
+/// Used both per-execution (the branches one run covered) and globally
+/// (`vBr` in Algorithm 1 of the paper: all branches covered by valid
+/// inputs so far).
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::{BranchId, BranchSet, SiteId};
+/// let mut a = BranchSet::new();
+/// a.insert(BranchId::new(SiteId::from_raw(1), true));
+/// let mut b = BranchSet::new();
+/// b.insert(BranchId::new(SiteId::from_raw(1), true));
+/// b.insert(BranchId::new(SiteId::from_raw(2), false));
+/// assert_eq!(b.difference_size(&a), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BranchSet {
+    set: BTreeSet<BranchId>,
+}
+
+impl BranchSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a branch; returns `true` if it was not present before.
+    pub fn insert(&mut self, b: BranchId) -> bool {
+        self.set.insert(b)
+    }
+
+    /// Whether the branch is present.
+    pub fn contains(&self, b: &BranchId) -> bool {
+        self.set.contains(b)
+    }
+
+    /// Number of branches in the set.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates over the branches in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &BranchId> {
+        self.set.iter()
+    }
+
+    /// Number of branches in `self` that are not in `other`
+    /// (`size(branches \ vBr)` in Algorithm 1).
+    pub fn difference_size(&self, other: &BranchSet) -> usize {
+        self.set.iter().filter(|b| !other.contains(b)).count()
+    }
+
+    /// Adds every branch of `other` to `self`.
+    pub fn union_with(&mut self, other: &BranchSet) {
+        for b in other.iter() {
+            self.set.insert(*b);
+        }
+    }
+
+    /// A stable 64-bit hash of the set, used for path deduplication
+    /// (Section 3.2: "pFuzzer keeps track of all paths that were already
+    /// taken").
+    pub fn path_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &self.set {
+            h ^= b.site.0 ^ u64::from(b.outcome);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+impl FromIterator<BranchId> for BranchSet {
+    fn from_iter<I: IntoIterator<Item = BranchId>>(iter: I) -> Self {
+        BranchSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<BranchId> for BranchSet {
+    fn extend<I: IntoIterator<Item = BranchId>>(&mut self, iter: I) {
+        self.set.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(raw: u64, outcome: bool) -> BranchId {
+        BranchId::new(SiteId::from_raw(raw), outcome)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BranchSet::new();
+        assert!(s.insert(b(1, true)));
+        assert!(!s.insert(b(1, true)));
+        assert!(s.contains(&b(1, true)));
+        assert!(!s.contains(&b(1, false)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn difference_counts_new_branches_only() {
+        let old: BranchSet = [b(1, true), b(2, true)].into_iter().collect();
+        let run: BranchSet = [b(1, true), b(3, false), b(4, true)].into_iter().collect();
+        assert_eq!(run.difference_size(&old), 2);
+        assert_eq!(old.difference_size(&run), 1);
+    }
+
+    #[test]
+    fn union_with_grows() {
+        let mut a: BranchSet = [b(1, true)].into_iter().collect();
+        let c: BranchSet = [b(1, true), b(2, false)].into_iter().collect();
+        a.union_with(&c);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn path_hash_distinguishes_paths() {
+        let p1: BranchSet = [b(1, true), b(2, true)].into_iter().collect();
+        let p2: BranchSet = [b(1, true), b(2, false)].into_iter().collect();
+        assert_ne!(p1.path_hash(), p2.path_hash());
+    }
+
+    #[test]
+    fn path_hash_is_order_independent() {
+        let p1: BranchSet = [b(1, true), b(2, true)].into_iter().collect();
+        let p2: BranchSet = [b(2, true), b(1, true)].into_iter().collect();
+        assert_eq!(p1.path_hash(), p2.path_hash());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = BranchSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.difference_size(&s), 0);
+    }
+}

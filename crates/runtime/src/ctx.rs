@@ -1,0 +1,635 @@
+//! The tracked execution context subject parsers run against.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::coverage::BranchId;
+use crate::events::{Cmp, CmpValue, Event, ExecLog};
+use crate::site::SiteId;
+use crate::taint::TStr;
+
+/// Default execution fuel: the maximum number of tracked operations per
+/// run. Generous enough for every subject; exists so that interpreter
+/// subjects (tinyC, mjs) cannot hang the fuzzer — the paper hit exactly
+/// this with a generated `while(9);` input.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Error returned by subject parsers on rejecting an input.
+///
+/// The fuzzers only look at accept/reject (the paper's "non-zero exit
+/// code"); the message exists for debugging and example output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    msg: String,
+}
+
+impl ParseError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        ParseError { msg: msg.into() }
+    }
+
+    /// The rejection message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.msg)
+    }
+}
+
+impl Error for ParseError {}
+
+/// The instrumented execution context.
+///
+/// Subject parsers read their input exclusively through this type, which
+/// records the event streams the paper's LLVM instrumentation would emit:
+/// tainted comparisons, branch coverage, stack depth and EOF accesses.
+///
+/// Parsers written against `ExecCtx` use the tracking macros:
+///
+/// ```
+/// use pdf_runtime::{cov, kw, lit, one_of, range, ExecCtx, ParseError};
+///
+/// fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+///     cov!(ctx);
+///     if kw!(ctx, "let") {
+///         // ...parse a binding...
+///     } else if lit!(ctx, b'(') || one_of!(ctx, b"+-") || range!(ctx, b'0', b'9') {
+///         // ...parse an expression...
+///     } else {
+///         return Err(ctx.reject("unexpected start of input"));
+///     }
+///     ctx.expect_end()
+/// }
+/// # let mut ctx = ExecCtx::new(b"let");
+/// # assert!(parse(&mut ctx).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct ExecCtx {
+    input: Vec<u8>,
+    pos: usize,
+    depth: usize,
+    fuel: u64,
+    exhausted: bool,
+    log: ExecLog,
+}
+
+impl ExecCtx {
+    /// Creates a context over `input` with [`DEFAULT_FUEL`].
+    pub fn new(input: &[u8]) -> Self {
+        Self::with_fuel(input, DEFAULT_FUEL)
+    }
+
+    /// Creates a context with an explicit fuel budget.
+    pub fn with_fuel(input: &[u8], fuel: u64) -> Self {
+        ExecCtx {
+            input: input.to_vec(),
+            pos: 0,
+            depth: 0,
+            fuel,
+            exhausted: false,
+            log: ExecLog {
+                events: Vec::new(),
+                input_len: input.len(),
+            },
+        }
+    }
+
+    /// The input being parsed.
+    pub fn input(&self) -> &[u8] {
+        &self.input
+    }
+
+    /// Current cursor position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Resets the cursor (used by backtracking parsers).
+    pub fn set_pos(&mut self, pos: usize) {
+        self.pos = pos.min(self.input.len());
+    }
+
+    /// Whether the fuel budget ran out. Interpreter subjects check this in
+    /// their evaluation loops to abort runaway programs.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Consumes one unit of fuel; returns `false` once the budget is gone.
+    /// Interpreter loops call this once per evaluation step.
+    pub fn tick(&mut self) -> bool {
+        if self.fuel == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.fuel -= 1;
+        true
+    }
+
+    /// Extracts the event log after the run.
+    pub fn into_log(self) -> ExecLog {
+        self.log
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    /// Reads the byte at the cursor without consuming it. Reading past the
+    /// end of the input records an EOF access — the signal pFuzzer uses to
+    /// detect that the parser wanted more input.
+    pub fn peek(&mut self) -> Option<u8> {
+        if !self.tick() {
+            return None;
+        }
+        match self.input.get(self.pos) {
+            Some(&b) => Some(b),
+            None => {
+                self.log.events.push(Event::EofAccess(self.pos));
+                None
+            }
+        }
+    }
+
+    /// Consumes and returns the byte at the cursor.
+    pub fn next_byte(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Advances the cursor by one byte (no-op at end of input).
+    pub fn advance(&mut self) {
+        if self.pos < self.input.len() {
+            self.pos += 1;
+        }
+    }
+
+    /// Whether the cursor is at the end of the input. This performs a
+    /// tracked read, so checking for end at the accept point records the
+    /// EOF access a real parser's final `getc()` would make.
+    pub fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    // ---- tracked comparisons ---------------------------------------------
+
+    fn record_cmp(&mut self, site: SiteId, observed: Option<u8>, expected: CmpValue, outcome: bool) {
+        let depth = self.depth;
+        self.log.events.push(Event::Cmp(Cmp {
+            index: self.pos.min(self.input.len()),
+            observed,
+            expected,
+            outcome,
+            depth,
+            site,
+        }));
+        self.log
+            .events
+            .push(Event::Branch(BranchId::new(site, outcome), self.pos));
+    }
+
+    /// Records a coverage point (a basic block with no comparison).
+    pub fn cov(&mut self, site: SiteId) {
+        self.tick();
+        let pos = self.pos;
+        self.log.events.push(Event::Branch(BranchId::new(site, true), pos));
+    }
+
+    /// Compares the byte at the cursor against `expected` without
+    /// consuming it.
+    pub fn cmp_eq_at(&mut self, site: SiteId, expected: u8) -> bool {
+        let observed = self.peek();
+        let outcome = observed == Some(expected);
+        self.record_cmp(site, observed, CmpValue::Byte(expected), outcome);
+        outcome
+    }
+
+    /// Compares the byte at the cursor against `expected` and consumes it
+    /// on a match. The workhorse of recursive-descent subjects.
+    pub fn lit_at(&mut self, site: SiteId, expected: u8) -> bool {
+        let ok = self.cmp_eq_at(site, expected);
+        if ok {
+            self.advance();
+        }
+        ok
+    }
+
+    /// Compares the byte at the cursor against each byte of `set` in turn
+    /// (like a C `switch` or chained `||`), stopping at the first match.
+    /// Does not consume.
+    pub fn one_of_at(&mut self, site: SiteId, set: &[u8]) -> bool {
+        let observed = self.peek();
+        for &b in set {
+            let outcome = observed == Some(b);
+            self.record_cmp(site, observed, CmpValue::Byte(b), outcome);
+            if outcome {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consuming variant of [`one_of_at`](Self::one_of_at).
+    pub fn lit_one_of_at(&mut self, site: SiteId, set: &[u8]) -> bool {
+        let ok = self.one_of_at(site, set);
+        if ok {
+            self.advance();
+        }
+        ok
+    }
+
+    /// Range check (e.g. `isdigit`). Does not consume.
+    pub fn range_at(&mut self, site: SiteId, lo: u8, hi: u8) -> bool {
+        let observed = self.peek();
+        let outcome = observed.is_some_and(|b| b >= lo && b <= hi);
+        self.record_cmp(site, observed, CmpValue::Range(lo, hi), outcome);
+        outcome
+    }
+
+    /// Consuming variant of [`range_at`](Self::range_at).
+    pub fn lit_range_at(&mut self, site: SiteId, lo: u8, hi: u8) -> bool {
+        let ok = self.range_at(site, lo, hi);
+        if ok {
+            self.advance();
+        }
+        ok
+    }
+
+    /// Matches the literal string `kw` at the cursor, consuming it on a
+    /// full match and leaving the cursor untouched otherwise. Recorded as
+    /// a single `strcmp`-style comparison whose failed form suggests the
+    /// unmatched keyword suffix as a (multi-byte) replacement.
+    pub fn kw_at(&mut self, site: SiteId, kw: &str) -> bool {
+        let expected = kw.as_bytes();
+        let start = self.pos;
+        let mut matched = 0;
+        while matched < expected.len() {
+            match self.peek() {
+                Some(b) if b == expected[matched] => {
+                    self.advance();
+                    matched += 1;
+                }
+                _ => break,
+            }
+        }
+        let outcome = matched == expected.len();
+        let observed = self.input.get(start + matched).copied();
+        let depth = self.depth;
+        let index = (start + matched).min(self.input.len());
+        self.log.events.push(Event::Cmp(Cmp {
+            index,
+            observed,
+            expected: CmpValue::Str {
+                full: expected.to_vec(),
+                matched,
+            },
+            outcome,
+            depth,
+            site,
+        }));
+        let pos = self.pos;
+        self.log
+            .events
+            .push(Event::Branch(BranchId::new(site, outcome), pos));
+        if !outcome {
+            self.pos = start;
+        }
+        outcome
+    }
+
+    /// `strcmp`-style comparison of an already-read tainted string against
+    /// an expected string. Used by tokenizing subjects (tinyC, mjs), where
+    /// the identifier text is copied into a buffer first — the paper wraps
+    /// `strcpy`/`strcmp` so taints survive exactly this pattern.
+    pub fn strcmp_at(&mut self, site: SiteId, ts: &TStr, expected: &str) -> bool {
+        let exp = expected.as_bytes();
+        let mut matched = 0;
+        while matched < exp.len() && matched < ts.len() && ts.byte(matched) == exp[matched] {
+            matched += 1;
+        }
+        let outcome = matched == exp.len() && ts.len() == exp.len();
+        // Index of the byte where matching stopped: inside the tainted
+        // string if it diverged, right past its end if it was a proper
+        // prefix of the expected string.
+        let index = if matched < ts.len() {
+            ts.index(matched)
+        } else {
+            ts.end_index()
+        };
+        let observed = if matched < ts.len() {
+            Some(ts.byte(matched))
+        } else {
+            self.input.get(index).copied()
+        };
+        let depth = self.depth;
+        self.log.events.push(Event::Cmp(Cmp {
+            index: index.min(self.input.len()),
+            observed,
+            expected: CmpValue::Str {
+                full: exp.to_vec(),
+                matched,
+            },
+            outcome,
+            depth,
+            site,
+        }));
+        let pos = self.pos;
+        self.log
+            .events
+            .push(Event::Branch(BranchId::new(site, outcome), pos));
+        outcome
+    }
+
+    // ---- structure --------------------------------------------------------
+
+    /// Runs `f` one stack level deeper. Subjects wrap each grammar
+    /// production in a frame so comparison events carry the recursive-
+    /// descent stack depth the heuristic uses (Algorithm 1, line 50).
+    pub fn frame<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Builds a rejection error. Also spends a fuel tick so that rejection
+    /// loops terminate.
+    pub fn reject(&mut self, msg: impl Into<String>) -> ParseError {
+        self.tick();
+        ParseError::new(msg)
+    }
+
+    /// Accepts only if the whole input was consumed; performs a tracked
+    /// read so the final EOF check is observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] when unconsumed input remains.
+    pub fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.reject("trailing input"))
+        }
+    }
+}
+
+/// Records a coverage point at the invocation site.
+#[macro_export]
+macro_rules! cov {
+    ($ctx:expr) => {
+        $ctx.cov($crate::site!())
+    };
+}
+
+/// Tracked compare-and-consume of a single byte.
+#[macro_export]
+macro_rules! lit {
+    ($ctx:expr, $b:expr) => {
+        $ctx.lit_at($crate::site!(), $b)
+    };
+}
+
+/// Tracked non-consuming equality check of a single byte.
+#[macro_export]
+macro_rules! peek_is {
+    ($ctx:expr, $b:expr) => {
+        $ctx.cmp_eq_at($crate::site!(), $b)
+    };
+}
+
+/// Tracked non-consuming membership check against a byte set.
+#[macro_export]
+macro_rules! one_of {
+    ($ctx:expr, $set:expr) => {
+        $ctx.one_of_at($crate::site!(), $set)
+    };
+}
+
+/// Tracked consuming membership check against a byte set.
+#[macro_export]
+macro_rules! lit_one_of {
+    ($ctx:expr, $set:expr) => {
+        $ctx.lit_one_of_at($crate::site!(), $set)
+    };
+}
+
+/// Tracked non-consuming range check.
+#[macro_export]
+macro_rules! range {
+    ($ctx:expr, $lo:expr, $hi:expr) => {
+        $ctx.range_at($crate::site!(), $lo, $hi)
+    };
+}
+
+/// Tracked consuming range check.
+#[macro_export]
+macro_rules! lit_range {
+    ($ctx:expr, $lo:expr, $hi:expr) => {
+        $ctx.lit_range_at($crate::site!(), $lo, $hi)
+    };
+}
+
+/// Tracked keyword match (consumes on success, backtracks on failure).
+#[macro_export]
+macro_rules! kw {
+    ($ctx:expr, $kw:expr) => {
+        $ctx.kw_at($crate::site!(), $kw)
+    };
+}
+
+/// Tracked `strcmp` of a tainted string against an expected string.
+#[macro_export]
+macro_rules! strcmp {
+    ($ctx:expr, $ts:expr, $expected:expr) => {
+        $ctx.strcmp_at($crate::site!(), $ts, $expected)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::CmpValue;
+
+    #[test]
+    fn peek_past_end_records_eof() {
+        let mut ctx = ExecCtx::new(b"");
+        assert_eq!(ctx.peek(), None);
+        let log = ctx.into_log();
+        assert_eq!(log.eof_access(), Some(0));
+    }
+
+    #[test]
+    fn peek_in_bounds_records_nothing() {
+        let mut ctx = ExecCtx::new(b"a");
+        assert_eq!(ctx.peek(), Some(b'a'));
+        assert!(ctx.into_log().events.is_empty());
+    }
+
+    #[test]
+    fn lit_consumes_on_match_only() {
+        let mut ctx = ExecCtx::new(b"ab");
+        assert!(lit!(ctx, b'a'));
+        assert_eq!(ctx.pos(), 1);
+        assert!(!lit!(ctx, b'a'));
+        assert_eq!(ctx.pos(), 1);
+    }
+
+    #[test]
+    fn one_of_logs_until_match() {
+        let mut ctx = ExecCtx::new(b"c");
+        assert!(one_of!(ctx, b"abc"));
+        let log = ctx.into_log();
+        assert_eq!(log.cmp_count(), 3);
+        let outcomes: Vec<bool> = log.comparisons().map(|c| c.outcome).collect();
+        assert_eq!(outcomes, vec![false, false, true]);
+    }
+
+    #[test]
+    fn one_of_miss_logs_all() {
+        let mut ctx = ExecCtx::new(b"z");
+        assert!(!one_of!(ctx, b"abc"));
+        assert_eq!(ctx.into_log().cmp_count(), 3);
+    }
+
+    #[test]
+    fn range_outcome() {
+        let mut ctx = ExecCtx::new(b"5x");
+        assert!(lit_range!(ctx, b'0', b'9'));
+        assert!(!range!(ctx, b'0', b'9'));
+        let cands = ctx.into_log().substitution_candidates();
+        // failing at index 1: all ten digits suggested
+        assert_eq!(cands.len(), 10);
+        assert!(cands.iter().all(|c| c.at_index == 1));
+    }
+
+    #[test]
+    fn kw_full_match_consumes() {
+        let mut ctx = ExecCtx::new(b"while(1)");
+        assert!(kw!(ctx, "while"));
+        assert_eq!(ctx.pos(), 5);
+    }
+
+    #[test]
+    fn kw_partial_match_backtracks_and_suggests_suffix() {
+        let mut ctx = ExecCtx::new(b"whale");
+        assert!(!kw!(ctx, "while"));
+        assert_eq!(ctx.pos(), 0);
+        let log = ctx.into_log();
+        let cands = log.substitution_candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].at_index, 2);
+        assert_eq!(cands[0].bytes, b"ile".to_vec());
+    }
+
+    #[test]
+    fn kw_at_eof_suggests_remainder() {
+        let mut ctx = ExecCtx::new(b"wh");
+        assert!(!kw!(ctx, "while"));
+        let log = ctx.into_log();
+        assert_eq!(log.eof_access(), Some(2));
+        // the comparison at the (virtual) index 2 has no observed byte, so
+        // no substitution candidate — pFuzzer appends instead.
+        assert_eq!(log.rejection_index(), None);
+    }
+
+    #[test]
+    fn strcmp_divergence_inside() {
+        let mut ctx = ExecCtx::new(b"forx");
+        let mut ts = TStr::new();
+        for i in 0..4 {
+            ts.push(ctx.input()[i], i);
+        }
+        assert!(!strcmp!(ctx, &ts, "for"));
+        let log = ctx.into_log();
+        let c = log.comparisons().next().unwrap();
+        // ts is longer than "for": everything matched, failure is length.
+        assert_eq!(
+            c.expected,
+            CmpValue::Str {
+                full: b"for".to_vec(),
+                matched: 3
+            }
+        );
+        assert!(!c.outcome);
+    }
+
+    #[test]
+    fn strcmp_exact_match() {
+        let mut ctx = ExecCtx::new(b"for");
+        let mut ts = TStr::new();
+        for i in 0..3 {
+            ts.push(ctx.input()[i], i);
+        }
+        assert!(strcmp!(ctx, &ts, "for"));
+    }
+
+    #[test]
+    fn strcmp_prefix_suggests_suffix_past_string() {
+        // tainted string "fo" (indices 0..2) vs expected "for":
+        // replacement "r" suggested at index 2.
+        let mut ctx = ExecCtx::new(b"fo;");
+        let mut ts = TStr::new();
+        ts.push(b'f', 0);
+        ts.push(b'o', 1);
+        assert!(!strcmp!(ctx, &ts, "for"));
+        let log = ctx.into_log();
+        let cands = log.substitution_candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].at_index, 2);
+        assert_eq!(cands[0].bytes, b"r".to_vec());
+    }
+
+    #[test]
+    fn frame_tracks_depth() {
+        let mut ctx = ExecCtx::new(b"ab");
+        ctx.frame(|ctx| {
+            assert_eq!(ctx.depth(), 1);
+            ctx.frame(|ctx| {
+                assert_eq!(ctx.depth(), 2);
+                lit!(ctx, b'a');
+            });
+        });
+        assert_eq!(ctx.depth(), 0);
+        let log = ctx.into_log();
+        assert_eq!(log.comparisons().next().unwrap().depth, 2);
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_reads() {
+        let mut ctx = ExecCtx::with_fuel(b"aaaa", 2);
+        assert!(ctx.peek().is_some());
+        assert!(ctx.peek().is_some());
+        assert!(ctx.peek().is_none());
+        assert!(ctx.exhausted());
+    }
+
+    #[test]
+    fn expect_end_rejects_trailing() {
+        let mut ctx = ExecCtx::new(b"a");
+        assert!(ctx.expect_end().is_err());
+        ctx.advance();
+        // cursor now at end; a fresh check accepts
+        let mut ctx2 = ExecCtx::new(b"");
+        assert!(ctx2.expect_end().is_ok());
+    }
+
+    #[test]
+    fn cmp_at_eof_records_unsubstitutable_comparison() {
+        let mut ctx = ExecCtx::new(b"");
+        assert!(!lit!(ctx, b'x'));
+        let log = ctx.into_log();
+        assert_eq!(log.eof_access(), Some(0));
+        assert_eq!(log.rejection_index(), None);
+        assert!(log.substitution_candidates().is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! The execution event log and the queries the fuzzers run over it.
+
+use crate::coverage::{BranchId, BranchSet};
+use crate::site::SiteId;
+
+/// What a tainted input byte was compared against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CmpValue {
+    /// Comparison against a single byte (e.g. `c == '('`).
+    Byte(u8),
+    /// Comparison against an inclusive byte range (e.g. `isdigit(c)`).
+    Range(u8, u8),
+    /// A `strcmp`-style comparison of a tainted string against an expected
+    /// string; `matched` bytes agreed before the comparison failed (or the
+    /// whole string matched).
+    Str {
+        /// The full expected string.
+        full: Vec<u8>,
+        /// How many leading bytes of `full` matched the tainted string.
+        matched: usize,
+    },
+}
+
+impl CmpValue {
+    /// The replacement strings that would satisfy this comparison, as used
+    /// by pFuzzer's substitution step. Ranges are expanded exhaustively
+    /// when small, otherwise sampled at the endpoints and midpoint; string
+    /// comparisons yield the unmatched suffix (this is how pFuzzer
+    /// synthesizes whole keywords from a single failed `strcmp`).
+    pub fn satisfying_replacements(&self) -> Vec<Vec<u8>> {
+        match self {
+            CmpValue::Byte(b) => vec![vec![*b]],
+            CmpValue::Range(lo, hi) => {
+                let (lo, hi) = (*lo.min(hi), *lo.max(hi));
+                let span = usize::from(hi - lo) + 1;
+                if span <= 16 {
+                    (lo..=hi).map(|b| vec![b]).collect()
+                } else {
+                    let mid = lo + (hi - lo) / 2;
+                    vec![vec![lo], vec![mid], vec![hi]]
+                }
+            }
+            CmpValue::Str { full, matched } => {
+                if *matched >= full.len() {
+                    vec![]
+                } else {
+                    vec![full[*matched..].to_vec()]
+                }
+            }
+        }
+    }
+
+    /// Length of the replacement this comparison suggests (`len(c)` in the
+    /// heuristic of Algorithm 1, line 49).
+    pub fn replacement_len(&self) -> usize {
+        match self {
+            CmpValue::Byte(_) => 1,
+            CmpValue::Range(..) => 1,
+            CmpValue::Str { full, matched } => full.len().saturating_sub(*matched),
+        }
+    }
+}
+
+/// A recorded comparison of a tainted input byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cmp {
+    /// Input index of the compared byte. For `Str` comparisons this is the
+    /// index of the byte at which matching stopped.
+    pub index: usize,
+    /// The byte that was observed (`None` if the comparison read past the
+    /// end of the input).
+    pub observed: Option<u8>,
+    /// What it was compared against.
+    pub expected: CmpValue,
+    /// Whether the comparison succeeded.
+    pub outcome: bool,
+    /// Parser call-stack depth at the time of the comparison.
+    pub depth: usize,
+    /// Static location of the comparison.
+    pub site: SiteId,
+}
+
+/// One entry of the execution event stream, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A tracked comparison.
+    Cmp(Cmp),
+    /// A covered branch, tagged with the input cursor position at the time.
+    Branch(BranchId, usize),
+    /// An attempt to access input index `0` past the end of the input —
+    /// the EOF signal ("an attempt to access a character beyond the length
+    /// of the input string is interpreted as the program encountering EOF
+    /// before processing is complete").
+    EofAccess(usize),
+}
+
+/// The complete instrumentation record of one subject execution.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::{cov, lit, ExecCtx, ParseError, Subject};
+/// fn p(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+///     cov!(ctx);
+///     if !lit!(ctx, b'x') { return Err(ctx.reject("want x")); }
+///     ctx.expect_end()
+/// }
+/// let exec = Subject::new("x", p).run(b"y");
+/// assert_eq!(exec.log.rejection_index(), Some(0));
+/// assert!(exec.log.eof_access().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecLog {
+    /// Events in program order.
+    pub events: Vec<Event>,
+    /// Length of the input that was executed.
+    pub input_len: usize,
+}
+
+/// A substitution candidate derived from the comparisons at the rejection
+/// point: replace the input from `at_index` on with `bytes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the first replaced byte.
+    pub at_index: usize,
+    /// Replacement bytes (one byte for character comparisons, possibly many
+    /// for failed `strcmp`s).
+    pub bytes: Vec<u8>,
+    /// `len(c)` for the heuristic: the replacement length the comparison
+    /// suggested.
+    pub replacement_len: usize,
+}
+
+impl ExecLog {
+    /// All comparisons, in program order.
+    pub fn comparisons(&self) -> impl Iterator<Item = &Cmp> {
+        self.events.iter().filter_map(|e| match e {
+            Event::Cmp(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// The first past-the-end access, if any: the parser consumed the whole
+    /// input and wanted more.
+    pub fn eof_access(&self) -> Option<usize> {
+        self.events.iter().find_map(|e| match e {
+            Event::EofAccess(i) => Some(*i),
+            _ => None,
+        })
+    }
+
+    /// The index of the *first invalid character*: the largest input index
+    /// at which a comparison **failed**. Everything before it is the valid
+    /// prefix ("the mutations always occur at the last index where the
+    /// comparison failed").
+    ///
+    /// Successful comparisons do not move this point: a tokenizer that
+    /// keeps reading word characters after a keyword-table `strcmp`
+    /// failed must not mask the keyword suggestion.
+    pub fn rejection_index(&self) -> Option<usize> {
+        self.comparisons()
+            .filter(|c| c.observed.is_some() && !c.outcome)
+            .map(|c| c.index)
+            .max()
+    }
+
+    /// Substitution candidates from the failed comparisons at the
+    /// rejection point (Algorithm 1, `addInputs`): for every comparison
+    /// made against the first invalid character, a replacement that would
+    /// satisfy it.
+    pub fn substitution_candidates(&self) -> Vec<Candidate> {
+        let Some(idx) = self.rejection_index() else {
+            return Vec::new();
+        };
+        let mut out: Vec<Candidate> = Vec::new();
+        for c in self.comparisons().filter(|c| c.index == idx && !c.outcome) {
+            for bytes in c.expected.satisfying_replacements() {
+                let cand = Candidate {
+                    at_index: idx,
+                    replacement_len: c.expected.replacement_len(),
+                    bytes,
+                };
+                if !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+        }
+        out
+    }
+
+    /// All branches covered during the execution.
+    pub fn branches(&self) -> BranchSet {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Branch(b, _) => Some(*b),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Branches covered *up to the first comparison of the last compared
+    /// character* — the paper's guard against crediting error-handling
+    /// code: "we only consider the covered branches up to the last
+    /// accepted character of the input".
+    pub fn branches_up_to_rejection(&self) -> BranchSet {
+        let Some(idx) = self.rejection_index() else {
+            return self.branches();
+        };
+        let mut out = BranchSet::new();
+        for e in &self.events {
+            match e {
+                Event::Cmp(c) if c.index == idx && c.observed.is_some() => break,
+                Event::Branch(b, _) => {
+                    out.insert(*b);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Average stack depth over the last two comparisons (Algorithm 1,
+    /// line 50, `avgStackSize`). Zero when no comparison happened.
+    pub fn avg_stack_size(&self) -> f64 {
+        let depths: Vec<usize> = self.comparisons().map(|c| c.depth).collect();
+        match depths.len() {
+            0 => 0.0,
+            1 => depths[0] as f64,
+            n => (depths[n - 1] + depths[n - 2]) as f64 / 2.0,
+        }
+    }
+
+    /// Number of comparison events (used by execution-cost accounting and
+    /// tests).
+    pub fn cmp_count(&self) -> usize {
+        self.comparisons().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(index: usize, observed: Option<u8>, expected: CmpValue, outcome: bool) -> Event {
+        Event::Cmp(Cmp {
+            index,
+            observed,
+            expected,
+            outcome,
+            depth: 1,
+            site: SiteId::from_raw(9),
+        })
+    }
+
+    fn branch(raw: u64, pos: usize) -> Event {
+        Event::Branch(BranchId::new(SiteId::from_raw(raw), true), pos)
+    }
+
+    #[test]
+    fn byte_replacements() {
+        assert_eq!(CmpValue::Byte(b'(').satisfying_replacements(), vec![vec![b'(']]);
+    }
+
+    #[test]
+    fn small_range_expands_fully() {
+        let r = CmpValue::Range(b'0', b'9').satisfying_replacements();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0], vec![b'0']);
+        assert_eq!(r[9], vec![b'9']);
+    }
+
+    #[test]
+    fn large_range_samples() {
+        let r = CmpValue::Range(b'a', b'z').satisfying_replacements();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], vec![b'a']);
+        assert_eq!(r[2], vec![b'z']);
+    }
+
+    #[test]
+    fn reversed_range_is_normalised() {
+        let r = CmpValue::Range(b'9', b'0').satisfying_replacements();
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn str_replacement_is_unmatched_suffix() {
+        let v = CmpValue::Str {
+            full: b"while".to_vec(),
+            matched: 2,
+        };
+        assert_eq!(v.satisfying_replacements(), vec![b"ile".to_vec()]);
+        assert_eq!(v.replacement_len(), 3);
+    }
+
+    #[test]
+    fn fully_matched_str_has_no_replacement() {
+        let v = CmpValue::Str {
+            full: b"if".to_vec(),
+            matched: 2,
+        };
+        assert!(v.satisfying_replacements().is_empty());
+        assert_eq!(v.replacement_len(), 0);
+    }
+
+    #[test]
+    fn rejection_index_is_max_compared() {
+        let log = ExecLog {
+            events: vec![
+                cmp(0, Some(b'a'), CmpValue::Byte(b'a'), true),
+                cmp(1, Some(b'x'), CmpValue::Byte(b'b'), false),
+                cmp(1, Some(b'x'), CmpValue::Byte(b'c'), false),
+            ],
+            input_len: 2,
+        };
+        assert_eq!(log.rejection_index(), Some(1));
+        let cands = log.substitution_candidates();
+        assert_eq!(cands.len(), 2);
+        assert!(cands.iter().all(|c| c.at_index == 1));
+    }
+
+    #[test]
+    fn candidates_exclude_successful_comparisons() {
+        let log = ExecLog {
+            events: vec![
+                cmp(0, Some(b'a'), CmpValue::Byte(b'a'), true),
+                cmp(0, Some(b'a'), CmpValue::Byte(b'z'), false),
+            ],
+            input_len: 1,
+        };
+        let cands = log.substitution_candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].bytes, vec![b'z']);
+    }
+
+    #[test]
+    fn candidates_dedup() {
+        let log = ExecLog {
+            events: vec![
+                cmp(0, Some(b'a'), CmpValue::Byte(b'z'), false),
+                cmp(0, Some(b'a'), CmpValue::Byte(b'z'), false),
+            ],
+            input_len: 1,
+        };
+        assert_eq!(log.substitution_candidates().len(), 1);
+    }
+
+    #[test]
+    fn branches_up_to_rejection_stops_at_first_cmp_of_last_index() {
+        let log = ExecLog {
+            events: vec![
+                branch(1, 0),
+                cmp(0, Some(b'a'), CmpValue::Byte(b'a'), true),
+                branch(2, 1),
+                cmp(1, Some(b'x'), CmpValue::Byte(b'b'), false),
+                branch(3, 1), // error-handling branch, must not be counted
+            ],
+            input_len: 2,
+        };
+        let pre = log.branches_up_to_rejection();
+        assert_eq!(pre.len(), 2);
+        assert_eq!(log.branches().len(), 3);
+    }
+
+    #[test]
+    fn eof_access_found() {
+        let log = ExecLog {
+            events: vec![cmp(0, Some(b'('), CmpValue::Byte(b'('), true), Event::EofAccess(1)],
+            input_len: 1,
+        };
+        assert_eq!(log.eof_access(), Some(1));
+    }
+
+    #[test]
+    fn avg_stack_size_last_two() {
+        let mk = |d: usize| {
+            Event::Cmp(Cmp {
+                index: 0,
+                observed: Some(b'a'),
+                expected: CmpValue::Byte(b'a'),
+                outcome: true,
+                depth: d,
+                site: SiteId::from_raw(1),
+            })
+        };
+        let log = ExecLog {
+            events: vec![mk(2), mk(4), mk(8)],
+            input_len: 1,
+        };
+        assert!((log.avg_stack_size() - 6.0).abs() < 1e-9);
+        let one = ExecLog {
+            events: vec![mk(5)],
+            input_len: 1,
+        };
+        assert!((one.avg_stack_size() - 5.0).abs() < 1e-9);
+        let empty = ExecLog::default();
+        assert_eq!(empty.avg_stack_size(), 0.0);
+    }
+}

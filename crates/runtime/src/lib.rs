@@ -1,0 +1,66 @@
+//! Instrumentation substrate for parser-directed fuzzing.
+//!
+//! The pFuzzer paper ("Parser-Directed Fuzzing", PLDI 2019) instruments C
+//! programs with an LLVM pass that records four streams of information
+//! while the program parses an input:
+//!
+//! 1. **dynamic taints** relating every processed value to the input
+//!    character(s) it was derived from,
+//! 2. **comparisons** of tainted values (character and string comparisons),
+//! 3. the **call stack** at the time of each comparison, and
+//! 4. **branch coverage** (the sequence of basic blocks taken).
+//!
+//! This crate provides the same event streams for parsers written in Rust
+//! against the [`ExecCtx`] API. A subject parser reads its input through
+//! the context; every read, comparison and coverage point is recorded in an
+//! [`ExecLog`] which the fuzzers in `pdf-core`, `pdf-afl` and
+//! `pdf-symbolic` consume. Reading past the end of the input is recorded
+//! as an *EOF access*, the signal pFuzzer uses to decide that the current
+//! prefix is valid but incomplete.
+//!
+//! # Example
+//!
+//! A minimal instrumented parser that accepts the language `a+`:
+//!
+//! ```
+//! use pdf_runtime::{cov, lit, ExecCtx, ParseError, Subject};
+//!
+//! fn parse_as(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+//!     cov!(ctx);
+//!     if !lit!(ctx, b'a') {
+//!         return Err(ctx.reject("expected 'a'"));
+//!     }
+//!     while lit!(ctx, b'a') {}
+//!     ctx.expect_end()
+//! }
+//!
+//! let subject = Subject::new("as", parse_as);
+//! assert!(subject.run(b"aaa").valid);
+//! assert!(!subject.run(b"ab").valid);
+//! let exec = subject.run(b"b");
+//! // The failed comparison against 'a' at index 0 was recorded:
+//! let cands = exec.log.substitution_candidates();
+//! assert_eq!(cands.len(), 1);
+//! assert_eq!(cands[0].bytes, vec![b'a']);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod coverage;
+mod ctx;
+mod events;
+mod rng;
+mod site;
+mod subject;
+mod taint;
+
+pub use corpus::distill;
+pub use coverage::{BranchId, BranchSet};
+pub use ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
+pub use events::{Candidate, Cmp, CmpValue, Event, ExecLog};
+pub use rng::Rng;
+pub use site::SiteId;
+pub use subject::{Execution, Subject, SubjectFn};
+pub use taint::TStr;

@@ -1,0 +1,187 @@
+//! A small, fully deterministic random number generator.
+//!
+//! All three fuzzers take explicit seeds so every experiment is exactly
+//! reproducible; rather than depending on an external RNG crate whose
+//! stream might change across versions, the whole workspace shares this
+//! fixed xoshiro256** implementation (public-domain algorithm by Blackman
+//! and Vigna), seeded via SplitMix64.
+
+/// Deterministic xoshiro256** generator.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let byte = a.gen_range(0, 256) as u8;
+/// let _ = byte;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        let i = self.gen_range(0, items.len());
+        &items[i]
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+
+    /// A random printable-ish ASCII byte. pFuzzer appends "a random
+    /// character from the set of all ASCII characters"; like the
+    /// prototype we bias towards the printable range plus the common
+    /// whitespace controls to keep examples legible. The full byte range
+    /// is reachable via [`byte_any`](Self::byte_any).
+    pub fn byte_ascii(&mut self) -> u8 {
+        const EXTRA: [u8; 3] = [b'\t', b'\n', b'\r'];
+        if self.chance(1, 16) {
+            *self.pick(&EXTRA)
+        } else {
+            self.gen_range(0x20, 0x7f) as u8
+        }
+    }
+
+    /// A uniformly random byte from the full 0..256 range.
+    pub fn byte_any(&mut self) -> u8 {
+        (self.next_u64() & 0xff) as u8
+    }
+
+    /// Derives an independent generator (for per-run streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(5, 10);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_empty_panics() {
+        Rng::new(0).gen_range(3, 3);
+    }
+
+    #[test]
+    fn byte_ascii_is_reasonable() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let b = r.byte_ascii();
+            assert!(
+                (0x20..0x7f).contains(&b) || b == b'\t' || b == b'\n' || b == b'\r',
+                "byte {b:#x} outside expected set"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_ascii_covers_many_values() {
+        let mut r = Rng::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4000 {
+            seen.insert(r.byte_ascii());
+        }
+        assert!(seen.len() > 80, "only {} distinct bytes", seen.len());
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut r = Rng::new(9);
+        let mut f = r.fork();
+        assert_ne!(r.next_u64(), f.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(13);
+        assert!(!r.chance(0, 10));
+        assert!(r.chance(10, 10));
+    }
+}

@@ -1,0 +1,156 @@
+//! Subjects: instrumented programs under test.
+
+use std::fmt;
+
+use crate::ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
+use crate::events::ExecLog;
+
+/// The type of an instrumented parser entry point.
+pub type SubjectFn = fn(&mut ExecCtx) -> Result<(), ParseError>;
+
+/// The result of running a subject on one input: the accept/reject verdict
+/// (the paper's process exit code) plus the instrumentation log.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Whether the input was accepted as valid.
+    pub valid: bool,
+    /// Rejection message, when invalid.
+    pub error: Option<String>,
+    /// The recorded event streams.
+    pub log: ExecLog,
+}
+
+/// An instrumented program under test.
+///
+/// Wraps a parser entry point together with a display name; each call to
+/// [`run`](Subject::run) executes the parser in a fresh [`ExecCtx`], so
+/// runs are independent and deterministic.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::{lit, ExecCtx, ParseError, Subject};
+/// fn p(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+///     if !lit!(ctx, b'!') { return Err(ctx.reject("want '!'")); }
+///     ctx.expect_end()
+/// }
+/// let s = Subject::new("bang", p);
+/// assert!(s.run(b"!").valid);
+/// assert!(!s.run(b"?").valid);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Subject {
+    name: &'static str,
+    entry: SubjectFn,
+    fuel: u64,
+}
+
+impl Subject {
+    /// Creates a subject with the default fuel budget.
+    pub fn new(name: &'static str, entry: SubjectFn) -> Self {
+        Subject {
+            name,
+            entry,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Sets the per-run fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// The subject's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Runs the subject on `input`, returning verdict and log.
+    ///
+    /// A run that exhausts its fuel (a hang, in the paper's terms) counts
+    /// as invalid.
+    pub fn run(&self, input: &[u8]) -> Execution {
+        let mut ctx = ExecCtx::with_fuel(input, self.fuel);
+        let result = (self.entry)(&mut ctx);
+        let hung = ctx.exhausted();
+        let log = ctx.into_log();
+        match result {
+            Ok(()) if !hung => Execution {
+                valid: true,
+                error: None,
+                log,
+            },
+            Ok(()) => Execution {
+                valid: false,
+                error: Some("hang: fuel exhausted".to_string()),
+                log,
+            },
+            Err(e) => Execution {
+                valid: false,
+                error: Some(e.message().to_string()),
+                log,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subject")
+            .field("name", &self.name)
+            .field("fuel", &self.fuel)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit;
+
+    fn accept_a(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+        if !lit!(ctx, b'a') {
+            return Err(ctx.reject("want a"));
+        }
+        ctx.expect_end()
+    }
+
+    fn spin(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+        while ctx.tick() {}
+        Ok(())
+    }
+
+    #[test]
+    fn run_valid_and_invalid() {
+        let s = Subject::new("a", accept_a);
+        let ok = s.run(b"a");
+        assert!(ok.valid);
+        assert!(ok.error.is_none());
+        let bad = s.run(b"b");
+        assert!(!bad.valid);
+        assert_eq!(bad.error.as_deref(), Some("want a"));
+    }
+
+    #[test]
+    fn runs_are_independent() {
+        let s = Subject::new("a", accept_a);
+        let first = s.run(b"b");
+        let second = s.run(b"b");
+        assert_eq!(first.log.cmp_count(), second.log.cmp_count());
+    }
+
+    #[test]
+    fn hang_counts_as_invalid() {
+        let s = Subject::new("spin", spin).with_fuel(100);
+        let e = s.run(b"x");
+        assert!(!e.valid);
+        assert!(e.error.unwrap().contains("hang"));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = Subject::new("a", accept_a);
+        assert!(!format!("{s:?}").is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Tainted strings: byte buffers that remember the input indices their
+//! bytes came from.
+//!
+//! The paper's instrumentation associates every input character with a
+//! unique taint and propagates taints through copies (`strcpy` and
+//! friends are wrapped). Tokenizing parsers copy identifier characters
+//! into a buffer and then `strcmp` the buffer against keyword tables; the
+//! taints let pFuzzer map a failed keyword comparison back to concrete
+//! input indices. [`TStr`] is that wrapped buffer.
+
+/// A tainted string: bytes plus the input index each byte was read from.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::TStr;
+/// let mut ts = TStr::new();
+/// ts.push(b'i', 4);
+/// ts.push(b'f', 5);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.byte(1), b'f');
+/// assert_eq!(ts.index(1), 5);
+/// assert_eq!(ts.end_index(), 6);
+/// assert_eq!(ts.as_bytes(), b"if");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TStr {
+    bytes: Vec<u8>,
+    indices: Vec<usize>,
+}
+
+impl TStr {
+    /// Creates an empty tainted string.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a byte read from input index `index`.
+    pub fn push(&mut self, byte: u8, index: usize) {
+        self.bytes.push(byte);
+        self.indices.push(index);
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The byte at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn byte(&self, i: usize) -> u8 {
+        self.bytes[i]
+    }
+
+    /// The input index the byte at position `i` was read from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn index(&self, i: usize) -> usize {
+        self.indices[i]
+    }
+
+    /// The input index one past the last byte (where an appended character
+    /// would land). Zero for an empty string.
+    pub fn end_index(&self) -> usize {
+        self.indices.last().map_or(0, |&i| i + 1)
+    }
+
+    /// The raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The bytes as UTF-8, if valid (identifiers always are).
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.bytes).ok()
+    }
+
+    /// Clears the buffer, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.indices.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut ts = TStr::new();
+        assert!(ts.is_empty());
+        ts.push(b'a', 10);
+        ts.push(b'b', 11);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.byte(0), b'a');
+        assert_eq!(ts.index(1), 11);
+        assert_eq!(ts.as_bytes(), b"ab");
+        assert_eq!(ts.as_str(), Some("ab"));
+    }
+
+    #[test]
+    fn end_index_empty_is_zero() {
+        assert_eq!(TStr::new().end_index(), 0);
+    }
+
+    #[test]
+    fn end_index_past_last() {
+        let mut ts = TStr::new();
+        ts.push(b'x', 7);
+        assert_eq!(ts.end_index(), 8);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ts = TStr::new();
+        ts.push(b'x', 0);
+        ts.clear();
+        assert!(ts.is_empty());
+        assert_eq!(ts.end_index(), 0);
+    }
+
+    #[test]
+    fn non_utf8_as_str_is_none() {
+        let mut ts = TStr::new();
+        ts.push(0xff, 0);
+        assert_eq!(ts.as_str(), None);
+    }
+}

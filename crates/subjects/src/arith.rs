@@ -1,0 +1,154 @@
+//! The arithmetic-expression parser used as the running example in
+//! Figure 1 and Section 2 of the paper.
+//!
+//! Grammar (inferred from the comparisons shown in Figure 1):
+//!
+//! ```text
+//! input ::= expr
+//! expr  ::= ('+' | '-')? operand (('+' | '-') operand)*
+//! operand ::= number | '(' expr ')'
+//! number  ::= [1-9] [0-9]*
+//! ```
+//!
+//! The valid inputs of equation (1) in the paper — `1`, `11`, `+1`, `-1`,
+//! `1+1`, `1-1`, `(1)` — are all accepted, as is the worked example
+//! `(2-94)`.
+
+use pdf_runtime::{cov, lit, lit_range, one_of, range, ExecCtx, ParseError, Subject};
+
+/// The instrumented arithmetic-expression subject.
+pub fn subject() -> Subject {
+    Subject::new("arith", parse)
+}
+
+/// Valid inputs covering the grammar (equation (1) of the paper plus the
+/// Figure 1 example).
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"1", b"11", b"+1", b"-1", b"1+1", b"1-1", b"(1)", b"(2-94)", b"((3))", b"-(5+6)-7",
+    ]
+}
+
+fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    expr(ctx)?;
+    ctx.expect_end()
+}
+
+fn expr(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        // optional leading sign
+        if one_of!(ctx, b"+-") {
+            cov!(ctx);
+            ctx.advance();
+        }
+        operand(ctx)?;
+        loop {
+            if one_of!(ctx, b"+-") {
+                cov!(ctx);
+                ctx.advance();
+                operand(ctx)?;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    })
+}
+
+fn operand(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if lit!(ctx, b'(') {
+            cov!(ctx);
+            expr(ctx)?;
+            if !lit!(ctx, b')') {
+                return Err(ctx.reject("expected ')'"));
+            }
+            cov!(ctx);
+            Ok(())
+        } else if range!(ctx, b'1', b'9') {
+            cov!(ctx);
+            ctx.advance();
+            while lit_range!(ctx, b'0', b'9') {
+                cov!(ctx);
+            }
+            Ok(())
+        } else {
+            Err(ctx.reject("expected operand"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_inputs() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn accepts_worked_example() {
+        assert!(subject().run(b"(2-94)").valid);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let s = subject();
+        for input in [
+            &b"A"[..],
+            b"",
+            b"(",
+            b"(2",
+            b"(2-",
+            b"1+",
+            b"()",
+            b"0",     // numbers may not start with 0
+            b"1)",    // trailing input
+            b"++1",   // only one leading sign
+            b"1 + 1", // no whitespace in this toy grammar
+        ] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejection_of_a_reports_figure1_comparisons() {
+        // Figure 1: on input "A" the parser compares index 0 against
+        // '(' , '+', '-' and the digits.
+        let exec = subject().run(b"A");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        let mut bytes: Vec<u8> = cands.iter().map(|c| c.bytes[0]).collect();
+        bytes.sort_unstable();
+        // '(' from operand, '+','-' from the sign checks, digits 1..9
+        assert!(bytes.contains(&b'('));
+        assert!(bytes.contains(&b'+'));
+        assert!(bytes.contains(&b'-'));
+        for d in b'1'..=b'9' {
+            assert!(bytes.contains(&d), "missing digit {}", d as char);
+        }
+        assert!(!bytes.contains(&b'0'), "leading zero must not be suggested");
+    }
+
+    #[test]
+    fn valid_prefix_detects_eof() {
+        // "(" is a valid prefix: the parser wants more input.
+        let exec = subject().run(b"(");
+        assert!(!exec.valid);
+        assert!(exec.log.eof_access().is_some());
+    }
+
+    #[test]
+    fn trailing_paren_comparisons_point_at_index_1() {
+        let exec = subject().run(b"1)");
+        assert!(!exec.valid);
+        assert_eq!(exec.log.rejection_index(), Some(1));
+    }
+}

@@ -1,0 +1,175 @@
+//! The `csv` subject, modelled on JamesRamm's *csv_parser* (Table 1:
+//! 297 LoC).
+//!
+//! RFC-4180-style CSV: rows separated by `\n` (optionally `\r\n`), fields
+//! separated by commas, and quoted fields in which `""` escapes a quote.
+//! Almost every input is valid — the paper notes that for ini and csv
+//! "covering all combinations of two characters achieves perfect
+//! coverage" — the only rejections are an unterminated quoted field,
+//! text after a closing quote, and a bare quote inside an unquoted field.
+
+use pdf_runtime::{cov, lit, peek_is, ExecCtx, ParseError, Subject};
+
+/// The instrumented csv subject.
+pub fn subject() -> Subject {
+    Subject::new("csv", parse)
+}
+
+/// Valid inputs covering unquoted/quoted fields, escapes and CRLF.
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"",
+        b" ",
+        b"a",
+        b"a,b,c\n",
+        b"a,b\nc,d\n",
+        b"\"quoted\"",
+        b"\"a,b\",c\n",
+        b"\"he said \"\"hi\"\"\"\n",
+        b"x,\"y\"\r\n",
+        b",,\n",
+    ]
+}
+
+fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    while ctx.peek().is_some() {
+        record(ctx)?;
+    }
+    Ok(())
+}
+
+/// One record: fields separated by commas, terminated by newline or EOF.
+fn record(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        field(ctx)?;
+        loop {
+            if lit!(ctx, b',') {
+                cov!(ctx);
+                field(ctx)?;
+                continue;
+            }
+            if lit!(ctx, b'\r') {
+                cov!(ctx);
+                if !lit!(ctx, b'\n') {
+                    return Err(ctx.reject("CR without LF"));
+                }
+                return Ok(());
+            }
+            if lit!(ctx, b'\n') {
+                cov!(ctx);
+                return Ok(());
+            }
+            if ctx.peek().is_none() {
+                return Ok(());
+            }
+            return Err(ctx.reject("unexpected character after field"));
+        }
+    })
+}
+
+fn field(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if lit!(ctx, b'"') {
+            cov!(ctx);
+            return quoted_field(ctx);
+        }
+        // unquoted: anything except comma, newline, quote
+        loop {
+            match ctx.peek() {
+                None => return Ok(()),
+                Some(_) => {
+                    if peek_is!(ctx, b',') || peek_is!(ctx, b'\n') || peek_is!(ctx, b'\r') {
+                        return Ok(());
+                    }
+                    if peek_is!(ctx, b'"') {
+                        return Err(ctx.reject("bare quote in unquoted field"));
+                    }
+                    ctx.advance();
+                }
+            }
+        }
+    })
+}
+
+fn quoted_field(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        loop {
+            match ctx.peek() {
+                None => return Err(ctx.reject("unterminated quoted field")),
+                Some(_) => {
+                    if lit!(ctx, b'"') {
+                        // "" is an escaped quote, anything else ends the field
+                        if lit!(ctx, b'"') {
+                            cov!(ctx);
+                            continue;
+                        }
+                        cov!(ctx);
+                        return Ok(());
+                    }
+                    ctx.advance();
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_corpus() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let s = subject();
+        for input in [
+            &b"\"unterminated"[..],
+            b"\"a\"x",    // garbage after closing quote
+            b"ab\"cd",    // bare quote inside unquoted field
+            b"a\rb",      // CR without LF
+        ] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn space_seed_is_valid() {
+        assert!(subject().run(b" ").valid);
+    }
+
+    #[test]
+    fn unterminated_quote_wants_more_input() {
+        let exec = subject().run(b"\"abc");
+        assert!(!exec.valid);
+        assert!(exec.log.eof_access().is_some());
+    }
+
+    #[test]
+    fn garbage_after_quote_suggests_structural_chars() {
+        let exec = subject().run(b"\"a\"x");
+        let bytes: Vec<u8> = exec
+            .log
+            .substitution_candidates()
+            .iter()
+            .map(|c| c.bytes[0])
+            .collect();
+        assert!(bytes.contains(&b','), "candidates: {bytes:?}");
+        assert!(bytes.contains(&b'\n'));
+        assert!(bytes.contains(&b'"')); // "" escape continues the field
+    }
+
+    #[test]
+    fn empty_fields_ok() {
+        assert!(subject().run(b",\n,").valid);
+    }
+}

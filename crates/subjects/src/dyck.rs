@@ -1,0 +1,112 @@
+//! The balanced-bracket (Dyck) language of Section 3.
+//!
+//! Section 3 uses the parenthesis language to show why random choice
+//! cannot close inputs (the 1/(n+1) Catalan argument) and Section 3.2
+//! extends it to "different kinds of brackets (round, square, pointed,
+//! ...)" to motivate the heuristic. This subject accepts well-balanced,
+//! well-nested strings over four bracket pairs: `()`, `[]`, `<>`, `{}`.
+//! The empty input is rejected (at least one bracket pair is required),
+//! so the fuzzer has to both open and close something.
+
+use pdf_runtime::{cov, lit, ExecCtx, ParseError, Subject};
+
+/// The instrumented Dyck-language subject.
+pub fn subject() -> Subject {
+    Subject::new("dyck", parse)
+}
+
+/// Valid inputs covering all four bracket kinds and nesting.
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"()",
+        b"[]",
+        b"<>",
+        b"{}",
+        b"()()",
+        b"([])",
+        b"<{[()]}>",
+        b"(()())",
+        b"{}{}<>",
+    ]
+}
+
+fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    if !group(ctx)? {
+        return Err(ctx.reject("expected an opening bracket"));
+    }
+    while group(ctx)? {}
+    ctx.expect_end()
+}
+
+/// Parses one bracketed group; returns `Ok(false)` if no opening bracket
+/// is present at the cursor.
+fn group(ctx: &mut ExecCtx) -> Result<bool, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let close = if lit!(ctx, b'(') {
+            b')'
+        } else if lit!(ctx, b'[') {
+            b']'
+        } else if lit!(ctx, b'<') {
+            b'>'
+        } else if lit!(ctx, b'{') {
+            b'}'
+        } else {
+            return Ok(false);
+        };
+        cov!(ctx);
+        // zero or more nested groups
+        while group(ctx)? {}
+        if !lit!(ctx, close) {
+            return Err(ctx.reject("unbalanced bracket"));
+        }
+        cov!(ctx);
+        Ok(true)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_corpus() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        let s = subject();
+        for input in [&b""[..], b"(", b")", b"(]", b"([)]", b"(()", b"())", b"x", b"<}"] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn open_prefix_wants_more_input() {
+        let exec = subject().run(b"(()((");
+        assert!(!exec.valid);
+        assert!(exec.log.eof_access().is_some());
+    }
+
+    #[test]
+    fn mismatched_close_suggests_matching_bracket() {
+        let exec = subject().run(b"[}");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        let bytes: Vec<u8> = cands.iter().map(|c| c.bytes[0]).collect();
+        assert!(bytes.contains(&b']'), "candidates: {cands:?}");
+    }
+
+    #[test]
+    fn deep_nesting_tracks_stack_depth() {
+        let exec = subject().run(b"((((x");
+        // the comparison depth at the failure point reflects nesting
+        let max_depth = exec.log.comparisons().map(|c| c.depth).max().unwrap();
+        assert!(max_depth >= 4, "max depth {max_depth}");
+    }
+}

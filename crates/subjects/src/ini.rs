@@ -1,0 +1,256 @@
+//! The `ini` subject, modelled on benhoyt's *inih* (Table 1: 293 LoC).
+//!
+//! inih is a line-oriented parser:
+//!
+//! - leading whitespace is skipped;
+//! - empty lines are allowed;
+//! - `;`-lines are comments;
+//! - `[section]` lines open a section — the paper notes that "the section
+//!   delimiter in ini ... needs an opening bracket followed by a closing
+//!   bracket. Between those, any characters are allowed";
+//! - every other non-empty line must be `name = value` or `name : value`;
+//!   inline comments (` ;` after the value) are supported;
+//! - the first malformed line aborts parsing with an error (the non-zero
+//!   exit the paper requires of its subjects).
+
+use pdf_runtime::{cov, lit, one_of, peek_is, ExecCtx, ParseError, Subject};
+
+/// The instrumented ini subject.
+pub fn subject() -> Subject {
+    Subject::new("ini", parse)
+}
+
+/// Valid inputs covering sections, pairs, comments and blank lines.
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"",
+        b"\n",
+        b" ",
+        b"; a comment\n",
+        b"[section]\n",
+        b"[a b c]\n",
+        b"key=value\n",
+        b"key = value\n",
+        b"key:value\n",
+        b"[s]\nname=val ; trailing comment\n",
+        b"[one]\na=1\nb=2\n\n[two]\nc=3",
+    ]
+}
+
+const WS: &[u8] = b" \t";
+
+fn skip_inline_ws(ctx: &mut ExecCtx) {
+    while one_of!(ctx, WS) {
+        ctx.advance();
+    }
+}
+
+/// Consumes the rest of the line including the newline. Returns when EOF
+/// or the newline was consumed.
+fn skip_to_eol(ctx: &mut ExecCtx) {
+    loop {
+        match ctx.peek() {
+            None => return,
+            Some(_) => {
+                if lit!(ctx, b'\n') {
+                    return;
+                }
+                ctx.advance();
+            }
+        }
+    }
+}
+
+fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    while ctx.peek().is_some() {
+        line(ctx)?;
+    }
+    Ok(())
+}
+
+fn line(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        skip_inline_ws(ctx);
+        if lit!(ctx, b'\n') {
+            cov!(ctx); // blank line
+            return Ok(());
+        }
+        if ctx.peek().is_none() {
+            cov!(ctx); // blank final line
+            return Ok(());
+        }
+        if peek_is!(ctx, b';') {
+            cov!(ctx);
+            skip_to_eol(ctx);
+            return Ok(());
+        }
+        if lit!(ctx, b'[') {
+            cov!(ctx);
+            return section(ctx);
+        }
+        pair(ctx)
+    })
+}
+
+/// `[section]` — any characters up to the closing bracket, then end of
+/// line.
+fn section(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        loop {
+            if ctx.peek().is_none() {
+                return Err(ctx.reject("unterminated section header"));
+            }
+            if lit!(ctx, b']') {
+                cov!(ctx);
+                break;
+            }
+            if peek_is!(ctx, b'\n') {
+                return Err(ctx.reject("newline inside section header"));
+            }
+            ctx.advance();
+        }
+        skip_inline_ws(ctx);
+        match ctx.peek() {
+            None => Ok(()),
+            Some(_) => {
+                if lit!(ctx, b'\n') {
+                    cov!(ctx);
+                    Ok(())
+                } else if peek_is!(ctx, b';') {
+                    cov!(ctx);
+                    skip_to_eol(ctx);
+                    Ok(())
+                } else {
+                    Err(ctx.reject("garbage after section header"))
+                }
+            }
+        }
+    })
+}
+
+/// `name = value` or `name : value`; the name may not be empty.
+fn pair(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let mut name_len = 0usize;
+        loop {
+            match ctx.peek() {
+                None => return Err(ctx.reject("line without '=' or ':'")),
+                Some(_) => {
+                    if peek_is!(ctx, b'=') || peek_is!(ctx, b':') {
+                        cov!(ctx);
+                        ctx.advance();
+                        break;
+                    }
+                    if peek_is!(ctx, b'\n') {
+                        return Err(ctx.reject("line without '=' or ':'"));
+                    }
+                    name_len += 1;
+                    ctx.advance();
+                }
+            }
+        }
+        if name_len == 0 {
+            return Err(ctx.reject("empty property name"));
+        }
+        cov!(ctx);
+        // value: everything up to newline or inline comment
+        loop {
+            match ctx.peek() {
+                None => return Ok(()),
+                Some(_) => {
+                    if lit!(ctx, b'\n') {
+                        cov!(ctx);
+                        return Ok(());
+                    }
+                    if peek_is!(ctx, b';') {
+                        cov!(ctx);
+                        skip_to_eol(ctx);
+                        return Ok(());
+                    }
+                    ctx.advance();
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_corpus() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(
+                s.run(input).valid,
+                "{:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let s = subject();
+        for input in [
+            &b"[unterminated\n"[..],
+            b"[unterminated",
+            b"no equals sign\n",
+            b"justname",
+            b"=value\n", // empty name
+            b"[s] garbage\n",
+        ] {
+            assert!(
+                !s.run(input).valid,
+                "{:?}",
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+
+    #[test]
+    fn space_seed_is_valid() {
+        // the paper seeds AFL with a single space accepted by all subjects
+        assert!(subject().run(b" ").valid);
+    }
+
+    #[test]
+    fn section_allows_arbitrary_content() {
+        assert!(subject().run(b"[a=b;c d]\n").valid);
+    }
+
+    #[test]
+    fn missing_bracket_suggests_close() {
+        let exec = subject().run(b"[sec\n");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        assert!(
+            cands.iter().any(|c| c.bytes == vec![b']']),
+            "candidates: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn name_line_suggests_separator() {
+        let exec = subject().run(b"name\n");
+        assert!(!exec.valid);
+        let bytes: Vec<u8> = exec
+            .log
+            .substitution_candidates()
+            .iter()
+            .map(|c| c.bytes[0])
+            .collect();
+        assert!(bytes.contains(&b'='));
+        assert!(bytes.contains(&b':'));
+    }
+
+    #[test]
+    fn inline_comment_after_value() {
+        assert!(subject().run(b"k=v ; note\n").valid);
+    }
+}

@@ -1,0 +1,408 @@
+//! The `cjson` subject, modelled on DaveGamble's *cJSON* (Table 1:
+//! 2,483 LoC).
+//!
+//! A complete JSON value parser: objects, arrays, strings with escapes
+//! (including `\uXXXX` UTF-16 literals with surrogate pairs), numbers
+//! with fraction/exponent, and the keywords `true`, `false` and `null`
+//! matched `strncmp`-style, which is what lets pFuzzer synthesize them
+//! from a single rejected character.
+//!
+//! **Faithful taint gap:** cJSON's UTF-16 → UTF-8 conversion consumes the
+//! hex digits through an *implicit* information flow, which the paper's
+//! prototype cannot taint ("we never reach the parts of the code
+//! comparing the input with the UTF16 encoding"). We reproduce that gap:
+//! inside `\u` escapes the hex digits are compared with *untracked* raw
+//! reads (only coverage is recorded, no comparison events), so pFuzzer
+//! sees no candidates there while AFL/KLEE can still cover the code.
+
+use pdf_runtime::{cov, kw, lit, one_of, peek_is, range, ExecCtx, ParseError, Subject};
+
+/// The instrumented cJSON subject.
+pub fn subject() -> Subject {
+    Subject::new("cjson", parse)
+}
+
+/// Valid inputs covering every value kind, escapes and nesting.
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"1",
+        b"-2.5e3",
+        b"0.125",
+        b"true",
+        b"false",
+        b"null",
+        b"\"\"",
+        b"\"hello\\n\"",
+        b"\"\\u0041\"",
+        b"\"\\ud83d\\ude00\"",
+        b"[]",
+        b"[1, 2, 3]",
+        b"{}",
+        b"{\"a\": 1}",
+        b"{\"a\": [true, null], \"b\": {\"c\": \"d\"}}",
+    ]
+}
+
+const WS: &[u8] = b" \t\n\r";
+
+fn skip_ws(ctx: &mut ExecCtx) {
+    while one_of!(ctx, WS) {
+        ctx.advance();
+    }
+}
+
+fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    skip_ws(ctx);
+    value(ctx)?;
+    skip_ws(ctx);
+    ctx.expect_end()
+}
+
+fn value(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if peek_is!(ctx, b'{') {
+            return object(ctx);
+        }
+        if peek_is!(ctx, b'[') {
+            return array(ctx);
+        }
+        if peek_is!(ctx, b'"') {
+            return string(ctx);
+        }
+        if kw!(ctx, "true") {
+            cov!(ctx);
+            return Ok(());
+        }
+        if kw!(ctx, "false") {
+            cov!(ctx);
+            return Ok(());
+        }
+        if kw!(ctx, "null") {
+            cov!(ctx);
+            return Ok(());
+        }
+        if peek_is!(ctx, b'-') || range!(ctx, b'0', b'9') {
+            return number(ctx);
+        }
+        Err(ctx.reject("expected a JSON value"))
+    })
+}
+
+fn object(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if !lit!(ctx, b'{') {
+            return Err(ctx.reject("expected '{'"));
+        }
+        skip_ws(ctx);
+        if lit!(ctx, b'}') {
+            cov!(ctx); // empty object
+            return Ok(());
+        }
+        loop {
+            skip_ws(ctx);
+            if !peek_is!(ctx, b'"') {
+                return Err(ctx.reject("expected object key"));
+            }
+            string(ctx)?;
+            skip_ws(ctx);
+            if !lit!(ctx, b':') {
+                return Err(ctx.reject("expected ':'"));
+            }
+            cov!(ctx);
+            skip_ws(ctx);
+            value(ctx)?;
+            skip_ws(ctx);
+            if lit!(ctx, b',') {
+                cov!(ctx);
+                continue;
+            }
+            if lit!(ctx, b'}') {
+                cov!(ctx);
+                return Ok(());
+            }
+            return Err(ctx.reject("expected ',' or '}'"));
+        }
+    })
+}
+
+fn array(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if !lit!(ctx, b'[') {
+            return Err(ctx.reject("expected '['"));
+        }
+        skip_ws(ctx);
+        if lit!(ctx, b']') {
+            cov!(ctx); // empty array
+            return Ok(());
+        }
+        loop {
+            skip_ws(ctx);
+            value(ctx)?;
+            skip_ws(ctx);
+            if lit!(ctx, b',') {
+                cov!(ctx);
+                continue;
+            }
+            if lit!(ctx, b']') {
+                cov!(ctx);
+                return Ok(());
+            }
+            return Err(ctx.reject("expected ',' or ']'"));
+        }
+    })
+}
+
+fn string(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if !lit!(ctx, b'"') {
+            return Err(ctx.reject("expected '\"'"));
+        }
+        loop {
+            match ctx.peek() {
+                None => return Err(ctx.reject("unterminated string")),
+                Some(_) => {
+                    if lit!(ctx, b'"') {
+                        cov!(ctx);
+                        return Ok(());
+                    }
+                    if lit!(ctx, b'\\') {
+                        cov!(ctx);
+                        escape(ctx)?;
+                        continue;
+                    }
+                    // control characters are invalid inside strings
+                    if ctx.peek().is_some_and(|b| b < 0x20) {
+                        return Err(ctx.reject("control character in string"));
+                    }
+                    ctx.advance();
+                }
+            }
+        }
+    })
+}
+
+fn escape(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if one_of!(ctx, b"\"\\/bfnrt") {
+            cov!(ctx);
+            ctx.advance();
+            return Ok(());
+        }
+        if lit!(ctx, b'u') {
+            cov!(ctx);
+            return utf16_literal(ctx);
+        }
+        Err(ctx.reject("invalid escape"))
+    })
+}
+
+/// `\uXXXX`, with surrogate-pair handling as in cJSON.
+///
+/// The hex digits are consumed through **untracked** reads — reproducing
+/// the implicit-information-flow taint gap of the paper (Section 5.2,
+/// json: "we never reach the parts of the code comparing the input with
+/// the UTF16 encoding").
+fn utf16_literal(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let first = hex4_untracked(ctx)?;
+        if (0xD800..0xDC00).contains(&first) {
+            cov!(ctx); // high surrogate: a low surrogate must follow
+            if !lit!(ctx, b'\\') {
+                return Err(ctx.reject("expected low surrogate"));
+            }
+            if !lit!(ctx, b'u') {
+                return Err(ctx.reject("expected low surrogate"));
+            }
+            let second = hex4_untracked(ctx)?;
+            if !(0xDC00..0xE000).contains(&second) {
+                return Err(ctx.reject("invalid low surrogate"));
+            }
+            cov!(ctx);
+        } else if (0xDC00..0xE000).contains(&first) {
+            return Err(ctx.reject("unpaired low surrogate"));
+        } else {
+            cov!(ctx); // BMP code point, converted directly
+        }
+        Ok(())
+    })
+}
+
+/// Reads four hex digits with raw (untainted) comparisons.
+fn hex4_untracked(ctx: &mut ExecCtx) -> Result<u16, ParseError> {
+    let mut v: u16 = 0;
+    for _ in 0..4 {
+        let Some(b) = ctx.peek() else {
+            return Err(ctx.reject("unterminated \\u escape"));
+        };
+        // plain Rust comparisons: no Cmp events, deliberately
+        let d = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            b'A'..=b'F' => b - b'A' + 10,
+            _ => return Err(ctx.reject("invalid hex digit in \\u escape")),
+        };
+        cov!(ctx);
+        v = (v << 4) | u16::from(d);
+        ctx.advance();
+    }
+    Ok(v)
+}
+
+fn number(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if lit!(ctx, b'-') {
+            cov!(ctx);
+        }
+        // integer part: 0 alone or [1-9][0-9]*
+        if lit!(ctx, b'0') {
+            cov!(ctx);
+        } else if range!(ctx, b'1', b'9') {
+            cov!(ctx);
+            ctx.advance();
+            while digit(ctx) {}
+        } else {
+            return Err(ctx.reject("expected digit"));
+        }
+        if lit!(ctx, b'.') {
+            cov!(ctx);
+            if !digit(ctx) {
+                return Err(ctx.reject("expected fraction digit"));
+            }
+            while digit(ctx) {}
+        }
+        if one_of!(ctx, b"eE") {
+            cov!(ctx);
+            ctx.advance();
+            if one_of!(ctx, b"+-") {
+                cov!(ctx);
+                ctx.advance();
+            }
+            if !digit(ctx) {
+                return Err(ctx.reject("expected exponent digit"));
+            }
+            while digit(ctx) {}
+        }
+        Ok(())
+    })
+}
+
+fn digit(ctx: &mut ExecCtx) -> bool {
+    if range!(ctx, b'0', b'9') {
+        ctx.advance();
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_corpus() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let s = subject();
+        for input in [
+            &b""[..],
+            b" ",
+            b"{",
+            b"[1,",
+            b"tru",
+            b"truex",
+            b"nul",
+            b"{\"a\"}",
+            b"{\"a\":}",
+            b"01",
+            b"1.",
+            b"1e",
+            b"\"\\x\"",
+            b"\"\\u12\"",
+            b"\"\\ud800\"",       // unpaired high surrogate
+            b"\"\\udc00\"",       // unpaired low surrogate
+            b"\"\\ud800\\u0041\"", // high surrogate + non-surrogate
+            b"[1] 2",
+        ] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn keyword_rejection_suggests_suffix() {
+        // "t" at top level: kw!("true") matched 1 byte then hit EOF —
+        // appending continues; "tX" diverges inside the keyword.
+        let exec = subject().run(b"tX");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        assert!(
+            cands.iter().any(|c| c.bytes == b"rue".to_vec()),
+            "candidates: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn utf16_hex_digits_produce_no_comparisons() {
+        // The taint gap: a failing hex digit inside \u yields no
+        // substitution candidates at its index.
+        let exec = subject().run(b"\"\\uZ\"");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        // Candidates may exist from earlier indices (e.g. the escape
+        // dispatch at the backslash), but none at the failing hex digit.
+        let z_index = 3;
+        assert!(
+            cands.iter().all(|c| c.at_index != z_index),
+            "unexpected candidates at the hex digit: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn object_colon_suggested() {
+        let exec = subject().run(b"{\"k\"x");
+        let bytes: Vec<Vec<u8>> = exec
+            .log
+            .substitution_candidates()
+            .into_iter()
+            .map(|c| c.bytes)
+            .collect();
+        assert!(bytes.contains(&vec![b':']), "{bytes:?}");
+    }
+
+    #[test]
+    fn nested_values() {
+        assert!(subject().run(b"[[[[{\"a\":[null]}]]]]").valid);
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        assert!(subject().run(b" { \"a\" : [ 1 , 2 ] } ").valid);
+    }
+
+    #[test]
+    fn number_grammar_edge_cases() {
+        let s = subject();
+        assert!(s.run(b"0").valid);
+        assert!(s.run(b"-0").valid);
+        assert!(s.run(b"0.5").valid);
+        assert!(s.run(b"1e+10").valid);
+        assert!(s.run(b"1E-2").valid);
+        assert!(!s.run(b"-").valid);
+        assert!(!s.run(b"+1").valid);
+        assert!(!s.run(b"1e+").valid);
+    }
+}

@@ -1,0 +1,168 @@
+//! Instrumented subjects for the pFuzzer reproduction.
+//!
+//! The paper evaluates on five C parsers with increasing input complexity
+//! (Table 1): inih, csvparser, cJSON, tinyC and mjs. This crate
+//! re-implements each subject's *input language and parser structure* —
+//! recursive descent, single-character lookahead, `strcmp`-style keyword
+//! matching, and (for tinyC and mjs) an interleaved tokenizer that breaks
+//! direct taint flow exactly as Section 7.2 of the paper describes — on
+//! top of the [`pdf_runtime`] instrumentation substrate.
+//!
+//! Two additional subjects implement the paper's running examples: the
+//! arithmetic-expression parser of Figure 1 / Section 2 ([`arith`]) and
+//! the balanced-parenthesis (Dyck) language of Section 3 ([`dyck`]).
+//!
+//! Every subject module exports:
+//! - `subject()` — the instrumented [`pdf_runtime::Subject`],
+//! - `reference_corpus()` — hand-written valid inputs covering the
+//!   language's features (used for the coverage universe and for tests).
+//!
+//! # Example
+//!
+//! ```
+//! let json = pdf_subjects::json::subject();
+//! assert!(json.run(b"{\"a\": [1, true, null]}").valid);
+//! assert!(!json.run(b"{").valid);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod csv;
+pub mod dyck;
+pub mod ini;
+pub mod json;
+pub mod mjs;
+pub mod tabular;
+pub mod tinyc;
+
+use pdf_runtime::Subject;
+
+/// Static description of a subject, mirroring Table 1 of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct SubjectInfo {
+    /// Subject name as used in the paper.
+    pub name: &'static str,
+    /// The date the paper's authors accessed the original source.
+    pub accessed: &'static str,
+    /// Lines of code of the original C implementation (Table 1).
+    pub original_loc: usize,
+    /// The instrumented re-implementation.
+    pub subject: Subject,
+    /// Reference corpus of valid inputs.
+    pub corpus: fn() -> Vec<&'static [u8]>,
+}
+
+/// The five evaluation subjects of Table 1, in the paper's order.
+pub fn evaluation_subjects() -> Vec<SubjectInfo> {
+    vec![
+        SubjectInfo {
+            name: "ini",
+            accessed: "2018-10-25",
+            original_loc: 293,
+            subject: ini::subject(),
+            corpus: ini::reference_corpus,
+        },
+        SubjectInfo {
+            name: "csv",
+            accessed: "2018-10-25",
+            original_loc: 297,
+            subject: csv::subject(),
+            corpus: csv::reference_corpus,
+        },
+        SubjectInfo {
+            name: "cjson",
+            accessed: "2018-10-25",
+            original_loc: 2483,
+            subject: json::subject(),
+            corpus: json::reference_corpus,
+        },
+        SubjectInfo {
+            name: "tinyC",
+            accessed: "2018-10-25",
+            original_loc: 191,
+            subject: tinyc::subject(),
+            corpus: tinyc::reference_corpus,
+        },
+        SubjectInfo {
+            name: "mjs",
+            accessed: "2018-06-21",
+            original_loc: 10_920,
+            subject: mjs::subject(),
+            corpus: mjs::reference_corpus,
+        },
+    ]
+}
+
+/// All subjects including the running examples (`arith`, `dyck`).
+pub fn all_subjects() -> Vec<SubjectInfo> {
+    let mut v = evaluation_subjects();
+    v.push(SubjectInfo {
+        name: "arith",
+        accessed: "-",
+        original_loc: 0,
+        subject: arith::subject(),
+        corpus: arith::reference_corpus,
+    });
+    v.push(SubjectInfo {
+        name: "dyck",
+        accessed: "-",
+        original_loc: 0,
+        subject: dyck::subject(),
+        corpus: dyck::reference_corpus,
+    });
+    v.push(SubjectInfo {
+        name: "tabular",
+        accessed: "-",
+        original_loc: 0,
+        subject: tabular::subject(),
+        corpus: tabular::reference_corpus,
+    });
+    v
+}
+
+/// Looks a subject up by its paper name.
+pub fn by_name(name: &str) -> Option<SubjectInfo> {
+    all_subjects().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_evaluation_subjects_in_paper_order() {
+        let names: Vec<&str> = evaluation_subjects().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["ini", "csv", "cjson", "tinyC", "mjs"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("mjs").is_some());
+        assert!(by_name("arith").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_reference_corpus_is_accepted() {
+        for info in all_subjects() {
+            for input in (info.corpus)() {
+                let exec = info.subject.run(input);
+                assert!(
+                    exec.valid,
+                    "{}: corpus input {:?} rejected: {:?}",
+                    info.name,
+                    String::from_utf8_lossy(input),
+                    exec.error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_locs_match_paper() {
+        let locs: Vec<usize> = evaluation_subjects().iter().map(|s| s.original_loc).collect();
+        assert_eq!(locs, vec![293, 297, 2483, 191, 10_920]);
+    }
+}

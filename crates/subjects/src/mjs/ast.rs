@@ -1,0 +1,135 @@
+//! mjs abstract syntax tree.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Ushr,
+    Eq,
+    StrictEq,
+    NotEq,
+    StrictNotEq,
+    Lt,
+    Gt,
+    LtEq,
+    GtEq,
+    And,
+    Or,
+    In,
+    Instanceof,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    Neg,
+    Plus,
+    Not,
+    BitNot,
+    Typeof,
+    Void,
+    Delete,
+}
+
+/// Assignment operators (`=` and the compound forms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AssignOp {
+    Assign,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Ushr,
+}
+
+use pdf_runtime::TStr;
+
+/// Expressions.
+#[derive(Debug, Clone)]
+pub(crate) enum Expr {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Undefined,
+    This,
+    /// Identifier, kept tainted so global builtin lookup can `strcmp` it.
+    Ident(TStr),
+    Array(Vec<Expr>),
+    Object(Vec<(String, Expr)>),
+    Function(Vec<String>, Vec<Stmt>),
+    Unary(UnOp, Box<Expr>),
+    /// Pre- or post-increment/decrement; `inc` selects ++ vs --.
+    Update {
+        target: Box<Expr>,
+        inc: bool,
+        prefix: bool,
+    },
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    Call(Box<Expr>, Vec<Expr>),
+    New(Box<Expr>, Vec<Expr>),
+    /// `obj.name` — the member name stays tainted so runtime property
+    /// lookup can `strcmp` it against builtin method tables.
+    Member(Box<Expr>, TStr),
+    /// `obj[expr]`
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone)]
+pub(crate) enum Stmt {
+    Expr(Expr),
+    /// `var`/`let`/`const` declaration list.
+    Decl(Vec<(String, Option<Expr>)>),
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    While(Expr, Box<Stmt>),
+    DoWhile(Box<Stmt>, Expr),
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    ForIn {
+        var: String,
+        object: Expr,
+        body: Box<Stmt>,
+    },
+    Block(Vec<Stmt>),
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    Throw(Expr),
+    Try {
+        body: Vec<Stmt>,
+        catch: Option<(String, Vec<Stmt>)>,
+        finally: Option<Vec<Stmt>>,
+    },
+    Switch {
+        scrutinee: Expr,
+        cases: Vec<(Expr, Vec<Stmt>)>,
+        default: Option<Vec<Stmt>>,
+    },
+    With(Expr, Box<Stmt>),
+    FunctionDecl(String, Vec<String>, Vec<Stmt>),
+    Debugger,
+    Empty,
+}

@@ -1,0 +1,1257 @@
+//! The mjs tree-walking interpreter.
+//!
+//! Runs the parsed program under the execution fuel budget. As in the
+//! paper's setup, semantic checking is disabled: type errors, unknown
+//! variables and uncaught exceptions all complete "successfully" (they
+//! evaluate to `undefined`); only fuel exhaustion (a hang) rejects the
+//! input.
+//!
+//! The interesting instrumentation happens in property and global
+//! lookup: member names are tainted strings, and resolving them against
+//! the builtin tables (`JSON.stringify`, `"".indexOf`, `Math.floor`, …)
+//! performs tracked `strcmp`s — the runtime comparisons that let pFuzzer
+//! synthesize those names character by character.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use pdf_runtime::{cov, strcmp, ExecCtx, ParseError, TStr};
+
+use super::ast::{AssignOp, BinOp, Expr, Stmt, UnOp};
+
+/// Runtime values.
+#[derive(Debug, Clone)]
+pub(crate) enum Value {
+    Undefined,
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Rc<RefCell<Vec<Value>>>),
+    Object(Rc<RefCell<BTreeMap<String, Value>>>),
+    Func(Rc<FuncDef>),
+    /// A builtin namespace object (`JSON`, `Math`, ...).
+    Namespace(&'static str),
+    /// A builtin function, optionally bound to a receiver.
+    Builtin(&'static str, Option<Box<Value>>),
+}
+
+#[derive(Debug)]
+pub(crate) struct FuncDef {
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// Non-local control flow (and the hang signal).
+enum Interrupt {
+    Break,
+    Continue,
+    Return(Value),
+    Throw(Value),
+    Hang(ParseError),
+}
+
+type R<T> = Result<T, Interrupt>;
+
+struct Env {
+    globals: BTreeMap<String, Value>,
+    locals: Vec<BTreeMap<String, Value>>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env {
+            globals: BTreeMap::new(),
+            locals: Vec::new(),
+        }
+    }
+
+    fn get_plain(&self, name: &str) -> Option<Value> {
+        for frame in self.locals.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.globals.get(name).cloned()
+    }
+
+    fn set(&mut self, name: &str, v: Value) {
+        for frame in self.locals.iter_mut().rev() {
+            if let Some(slot) = frame.get_mut(name) {
+                *slot = v;
+                return;
+            }
+        }
+        self.globals.insert(name.to_string(), v);
+    }
+
+    fn declare(&mut self, name: &str, v: Value) {
+        match self.locals.last_mut() {
+            Some(frame) => {
+                frame.insert(name.to_string(), v);
+            }
+            None => {
+                self.globals.insert(name.to_string(), v);
+            }
+        }
+    }
+}
+
+/// Builtin global names, `strcmp`-ed on every unresolved identifier.
+const GLOBALS: [&str; 7] = ["JSON", "Math", "Object", "String", "Array", "NaN", "Infinity"];
+/// `JSON` namespace methods.
+const JSON_METHODS: [&str; 2] = ["stringify", "parse"];
+/// `Math` namespace methods.
+const MATH_METHODS: [&str; 7] = ["abs", "floor", "ceil", "pow", "min", "max", "sqrt"];
+/// String instance properties.
+const STRING_PROPS: [&str; 5] = ["length", "indexOf", "slice", "split", "charAt"];
+/// Array instance properties.
+const ARRAY_PROPS: [&str; 5] = ["length", "indexOf", "slice", "push", "join"];
+/// `Object` namespace methods.
+const OBJECT_METHODS: [&str; 1] = ["keys"];
+
+/// Executes the program. Returns an error only on a hang (fuel
+/// exhaustion); everything else — including uncaught exceptions — is a
+/// successful run, since semantic checking is disabled.
+pub(crate) fn execute(ctx: &mut ExecCtx, program: &[Stmt]) -> Result<(), ParseError> {
+    let mut env = Env::new();
+    hoist_functions(program, &mut env);
+    for stmt in program {
+        match exec(ctx, stmt, &mut env) {
+            Ok(_) | Err(Interrupt::Break) | Err(Interrupt::Continue) => {}
+            Err(Interrupt::Return(_)) | Err(Interrupt::Throw(_)) => return Ok(()),
+            Err(Interrupt::Hang(e)) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn hoist_functions(stmts: &[Stmt], env: &mut Env) {
+    for s in stmts {
+        if let Stmt::FunctionDecl(name, params, body) = s {
+            env.declare(
+                name,
+                Value::Func(Rc::new(FuncDef {
+                    params: params.clone(),
+                    body: body.clone(),
+                })),
+            );
+        }
+    }
+}
+
+fn tick(ctx: &mut ExecCtx) -> R<()> {
+    if ctx.tick() {
+        Ok(())
+    } else {
+        Err(Interrupt::Hang(ParseError::new("hang: execution fuel exhausted")))
+    }
+}
+
+fn exec(ctx: &mut ExecCtx, stmt: &Stmt, env: &mut Env) -> R<Value> {
+    tick(ctx)?;
+    match stmt {
+        Stmt::Expr(e) => eval(ctx, e, env),
+        Stmt::Decl(decls) => {
+            for (name, init) in decls {
+                let v = match init {
+                    Some(e) => eval(ctx, e, env)?,
+                    None => Value::Undefined,
+                };
+                env.declare(name, v);
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::If(cond, then, els) => {
+            if truthy(&eval(ctx, cond, env)?) {
+                exec(ctx, then, env)
+            } else if let Some(e) = els {
+                exec(ctx, e, env)
+            } else {
+                Ok(Value::Undefined)
+            }
+        }
+        Stmt::While(cond, body) => {
+            while truthy(&eval(ctx, cond, env)?) {
+                match exec(ctx, body, env) {
+                    Ok(_) | Err(Interrupt::Continue) => {}
+                    Err(Interrupt::Break) => break,
+                    Err(other) => return Err(other),
+                }
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::DoWhile(body, cond) => {
+            loop {
+                match exec(ctx, body, env) {
+                    Ok(_) | Err(Interrupt::Continue) => {}
+                    Err(Interrupt::Break) => break,
+                    Err(other) => return Err(other),
+                }
+                if !truthy(&eval(ctx, cond, env)?) {
+                    break;
+                }
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(init) = init {
+                exec(ctx, init, env)?;
+            }
+            loop {
+                if let Some(c) = cond {
+                    if !truthy(&eval(ctx, c, env)?) {
+                        break;
+                    }
+                }
+                match exec(ctx, body, env) {
+                    Ok(_) | Err(Interrupt::Continue) => {}
+                    Err(Interrupt::Break) => break,
+                    Err(other) => return Err(other),
+                }
+                if let Some(s) = step {
+                    eval(ctx, s, env)?;
+                }
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::ForIn { var, object, body } => {
+            let obj = eval(ctx, object, env)?;
+            let keys: Vec<String> = match &obj {
+                Value::Object(map) => map.borrow().keys().cloned().collect(),
+                Value::Array(items) => (0..items.borrow().len()).map(|i| i.to_string()).collect(),
+                Value::Str(s) => (0..s.len()).map(|i| i.to_string()).collect(),
+                _ => Vec::new(),
+            };
+            for key in keys {
+                tick(ctx)?;
+                env.set(var, Value::Str(key));
+                match exec(ctx, body, env) {
+                    Ok(_) | Err(Interrupt::Continue) => {}
+                    Err(Interrupt::Break) => break,
+                    Err(other) => return Err(other),
+                }
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::Block(stmts) => {
+            hoist_functions(stmts, env);
+            for s in stmts {
+                exec(ctx, s, env)?;
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::Return(e) => {
+            let v = match e {
+                Some(e) => eval(ctx, e, env)?,
+                None => Value::Undefined,
+            };
+            Err(Interrupt::Return(v))
+        }
+        Stmt::Break => Err(Interrupt::Break),
+        Stmt::Continue => Err(Interrupt::Continue),
+        Stmt::Throw(e) => {
+            let v = eval(ctx, e, env)?;
+            Err(Interrupt::Throw(v))
+        }
+        Stmt::Try { body, catch, finally } => {
+            let mut result = (|| -> R<Value> {
+                hoist_functions(body, env);
+                for s in body {
+                    exec(ctx, s, env)?;
+                }
+                Ok(Value::Undefined)
+            })();
+            if let Err(Interrupt::Throw(exn)) = result {
+                cov!(ctx);
+                result = match catch {
+                    Some((binding, handler)) => {
+                        env.declare(binding, exn);
+                        (|| -> R<Value> {
+                            for s in handler {
+                                exec(ctx, s, env)?;
+                            }
+                            Ok(Value::Undefined)
+                        })()
+                    }
+                    None => Ok(Value::Undefined),
+                };
+            }
+            if let Some(fin) = finally {
+                cov!(ctx);
+                for s in fin {
+                    exec(ctx, s, env)?;
+                }
+            }
+            result
+        }
+        Stmt::Switch { scrutinee, cases, default } => {
+            let v = eval(ctx, scrutinee, env)?;
+            let mut matched = false;
+            let run = |ctx: &mut ExecCtx, body: &[Stmt], env: &mut Env| -> R<bool> {
+                for s in body {
+                    match exec(ctx, s, env) {
+                        Ok(_) => {}
+                        Err(Interrupt::Break) => return Ok(true),
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok(false)
+            };
+            for (case_val, body) in cases {
+                if !matched {
+                    let cv = eval(ctx, case_val, env)?;
+                    matched = strict_eq(&v, &cv);
+                }
+                if matched {
+                    cov!(ctx);
+                    if run(ctx, body, env)? {
+                        return Ok(Value::Undefined);
+                    }
+                }
+            }
+            if let Some(body) = default {
+                cov!(ctx);
+                run(ctx, body, env)?;
+            }
+            Ok(Value::Undefined)
+        }
+        Stmt::With(obj, body) => {
+            // scope injection is out of scope; evaluate and run
+            eval(ctx, obj, env)?;
+            exec(ctx, body, env)
+        }
+        Stmt::FunctionDecl(..) => Ok(Value::Undefined), // hoisted
+        Stmt::Debugger => Ok(Value::Undefined),
+        Stmt::Empty => Ok(Value::Undefined),
+    }
+}
+
+fn eval(ctx: &mut ExecCtx, expr: &Expr, env: &mut Env) -> R<Value> {
+    tick(ctx)?;
+    match expr {
+        Expr::Num(n) => Ok(Value::Num(*n)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Null => Ok(Value::Null),
+        Expr::Undefined => Ok(Value::Undefined),
+        Expr::This => Ok(Value::Undefined), // no receiver semantics
+        Expr::Ident(name) => Ok(lookup_ident(ctx, name, env)),
+        Expr::Array(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for e in items {
+                out.push(eval(ctx, e, env)?);
+            }
+            Ok(Value::Array(Rc::new(RefCell::new(out))))
+        }
+        Expr::Object(props) => {
+            let mut map = BTreeMap::new();
+            for (k, e) in props {
+                let v = eval(ctx, e, env)?;
+                map.insert(k.clone(), v);
+            }
+            Ok(Value::Object(Rc::new(RefCell::new(map))))
+        }
+        Expr::Function(params, body) => Ok(Value::Func(Rc::new(FuncDef {
+            params: params.clone(),
+            body: body.clone(),
+        }))),
+        Expr::Unary(op, inner) => {
+            if *op == UnOp::Delete {
+                return eval_delete(ctx, inner, env);
+            }
+            let v = eval(ctx, inner, env)?;
+            Ok(match op {
+                UnOp::Neg => Value::Num(-to_number(&v)),
+                UnOp::Plus => Value::Num(to_number(&v)),
+                UnOp::Not => Value::Bool(!truthy(&v)),
+                UnOp::BitNot => Value::Num(!(to_i32(&v)) as f64),
+                UnOp::Typeof => Value::Str(type_of(&v).to_string()),
+                UnOp::Void => Value::Undefined,
+                UnOp::Delete => unreachable!(),
+            })
+        }
+        Expr::Update { target, inc, prefix } => {
+            let old = to_number(&eval(ctx, target, env)?);
+            let new = if *inc { old + 1.0 } else { old - 1.0 };
+            assign_to(ctx, target, Value::Num(new), env)?;
+            Ok(Value::Num(if *prefix { new } else { old }))
+        }
+        Expr::Binary(op, lhs, rhs) => eval_binary(ctx, *op, lhs, rhs, env),
+        Expr::Ternary(c, t, e) => {
+            if truthy(&eval(ctx, c, env)?) {
+                eval(ctx, t, env)
+            } else {
+                eval(ctx, e, env)
+            }
+        }
+        Expr::Assign(op, target, rhs) => {
+            let value = if *op == AssignOp::Assign {
+                eval(ctx, rhs, env)?
+            } else {
+                let old = eval(ctx, target, env)?;
+                let new = eval(ctx, rhs, env)?;
+                compound(*op, &old, &new)
+            };
+            assign_to(ctx, target, value.clone(), env)?;
+            Ok(value)
+        }
+        Expr::Call(callee, args) => eval_call(ctx, callee, args, env),
+        Expr::New(callee, args) => {
+            // `new F(...)`: call F with a fresh object-ish receiver;
+            // builtins construct their natural value
+            let f = eval(ctx, callee, env)?;
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval(ctx, a, env)?);
+            }
+            match f {
+                Value::Namespace(ns) => Ok(construct_namespace(ns, argv)),
+                Value::Func(def) => call_function(ctx, &def, argv, env),
+                _ => Ok(Value::Undefined),
+            }
+        }
+        Expr::Member(obj, name) => {
+            let o = eval(ctx, obj, env)?;
+            Ok(member_lookup(ctx, &o, name))
+        }
+        Expr::Index(obj, idx) => {
+            let o = eval(ctx, obj, env)?;
+            let i = eval(ctx, idx, env)?;
+            Ok(index_lookup(&o, &i))
+        }
+    }
+}
+
+/// Resolves an identifier: scopes first, then the builtin global table
+/// via tracked `strcmp` — the paper's taint-preserving path into names
+/// like `JSON`.
+fn lookup_ident(ctx: &mut ExecCtx, name: &TStr, env: &mut Env) -> Value {
+    let text = name.as_str().unwrap_or_default();
+    if let Some(v) = env.get_plain(text) {
+        return v;
+    }
+    for g in GLOBALS {
+        if strcmp!(ctx, name, g) {
+            cov!(ctx);
+            return match g {
+                "NaN" => Value::Num(f64::NAN),
+                "Infinity" => Value::Num(f64::INFINITY),
+                other => Value::Namespace(match other {
+                    "JSON" => "JSON",
+                    "Math" => "Math",
+                    "Object" => "Object",
+                    "String" => "String",
+                    _ => "Array",
+                }),
+            };
+        }
+    }
+    Value::Undefined
+}
+
+/// Property lookup with tracked `strcmp` against the builtin tables.
+fn member_lookup(ctx: &mut ExecCtx, obj: &Value, name: &TStr) -> Value {
+    match obj {
+        Value::Namespace("JSON") => {
+            for m in JSON_METHODS {
+                if strcmp!(ctx, name, m) {
+                    cov!(ctx);
+                    return Value::Builtin(m, None);
+                }
+            }
+            Value::Undefined
+        }
+        Value::Namespace("Math") => {
+            for m in MATH_METHODS {
+                if strcmp!(ctx, name, m) {
+                    cov!(ctx);
+                    return Value::Builtin(m, None);
+                }
+            }
+            Value::Undefined
+        }
+        Value::Namespace("Object") => {
+            for m in OBJECT_METHODS {
+                if strcmp!(ctx, name, m) {
+                    cov!(ctx);
+                    return Value::Builtin(m, None);
+                }
+            }
+            Value::Undefined
+        }
+        Value::Str(s) => {
+            for m in STRING_PROPS {
+                if strcmp!(ctx, name, m) {
+                    cov!(ctx);
+                    if m == "length" {
+                        return Value::Num(s.len() as f64);
+                    }
+                    return Value::Builtin(m, Some(Box::new(obj.clone())));
+                }
+            }
+            Value::Undefined
+        }
+        Value::Array(items) => {
+            for m in ARRAY_PROPS {
+                if strcmp!(ctx, name, m) {
+                    cov!(ctx);
+                    if m == "length" {
+                        return Value::Num(items.borrow().len() as f64);
+                    }
+                    return Value::Builtin(m, Some(Box::new(obj.clone())));
+                }
+            }
+            Value::Undefined
+        }
+        Value::Object(map) => map
+            .borrow()
+            .get(name.as_str().unwrap_or_default())
+            .cloned()
+            .unwrap_or(Value::Undefined),
+        _ => Value::Undefined,
+    }
+}
+
+fn index_lookup(obj: &Value, idx: &Value) -> Value {
+    match obj {
+        Value::Array(items) => {
+            let i = to_number(idx);
+            if i >= 0.0 && (i as usize) < items.borrow().len() {
+                items.borrow()[i as usize].clone()
+            } else {
+                Value::Undefined
+            }
+        }
+        Value::Object(map) => map
+            .borrow()
+            .get(&to_display_string(idx))
+            .cloned()
+            .unwrap_or(Value::Undefined),
+        Value::Str(s) => {
+            let i = to_number(idx);
+            if i >= 0.0 && (i as usize) < s.len() {
+                Value::Str(s[i as usize..=i as usize].to_string())
+            } else {
+                Value::Undefined
+            }
+        }
+        _ => Value::Undefined,
+    }
+}
+
+fn eval_delete(ctx: &mut ExecCtx, target: &Expr, env: &mut Env) -> R<Value> {
+    match target {
+        Expr::Member(obj, name) => {
+            let o = eval(ctx, obj, env)?;
+            if let Value::Object(map) = o {
+                map.borrow_mut().remove(name.as_str().unwrap_or_default());
+            }
+            Ok(Value::Bool(true))
+        }
+        Expr::Index(obj, idx) => {
+            let o = eval(ctx, obj, env)?;
+            let i = eval(ctx, idx, env)?;
+            if let Value::Object(map) = o {
+                map.borrow_mut().remove(&to_display_string(&i));
+            }
+            Ok(Value::Bool(true))
+        }
+        other => {
+            eval(ctx, other, env)?;
+            Ok(Value::Bool(true))
+        }
+    }
+}
+
+fn assign_to(ctx: &mut ExecCtx, target: &Expr, value: Value, env: &mut Env) -> R<()> {
+    match target {
+        Expr::Ident(name) => {
+            env.set(name.as_str().unwrap_or_default(), value);
+            Ok(())
+        }
+        Expr::Member(obj, name) => {
+            let o = eval(ctx, obj, env)?;
+            if let Value::Object(map) = o {
+                map.borrow_mut()
+                    .insert(name.as_str().unwrap_or_default().to_string(), value);
+            }
+            Ok(())
+        }
+        Expr::Index(obj, idx) => {
+            let o = eval(ctx, obj, env)?;
+            let i = eval(ctx, idx, env)?;
+            match o {
+                Value::Object(map) => {
+                    map.borrow_mut().insert(to_display_string(&i), value);
+                }
+                Value::Array(items) => {
+                    let n = to_number(&i);
+                    if n >= 0.0 {
+                        let n = n as usize;
+                        let mut items = items.borrow_mut();
+                        if n < items.len() {
+                            items[n] = value;
+                        } else if n < items.len() + 1024 {
+                            items.resize(n + 1, Value::Undefined);
+                            items[n] = value;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            Ok(())
+        }
+        _ => Ok(()), // unassignable: semantic checking disabled
+    }
+}
+
+fn eval_binary(ctx: &mut ExecCtx, op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env) -> R<Value> {
+    // short-circuit forms first
+    match op {
+        BinOp::And => {
+            let l = eval(ctx, lhs, env)?;
+            if !truthy(&l) {
+                return Ok(l);
+            }
+            return eval(ctx, rhs, env);
+        }
+        BinOp::Or => {
+            let l = eval(ctx, lhs, env)?;
+            if truthy(&l) {
+                return Ok(l);
+            }
+            return eval(ctx, rhs, env);
+        }
+        _ => {}
+    }
+    let l = eval(ctx, lhs, env)?;
+    let r = eval(ctx, rhs, env)?;
+    Ok(binary_values(op, &l, &r))
+}
+
+fn binary_values(op: BinOp, l: &Value, r: &Value) -> Value {
+    match op {
+        BinOp::Add => match (l, r) {
+            (Value::Str(a), b) => Value::Str(format!("{a}{}", to_display_string(b))),
+            (a, Value::Str(b)) => Value::Str(format!("{}{b}", to_display_string(a))),
+            (a, b) => Value::Num(to_number(a) + to_number(b)),
+        },
+        BinOp::Sub => Value::Num(to_number(l) - to_number(r)),
+        BinOp::Mul => Value::Num(to_number(l) * to_number(r)),
+        BinOp::Div => Value::Num(to_number(l) / to_number(r)),
+        BinOp::Rem => Value::Num(to_number(l) % to_number(r)),
+        BinOp::Pow => Value::Num(to_number(l).powf(to_number(r))),
+        BinOp::BitAnd => Value::Num((to_i32(l) & to_i32(r)) as f64),
+        BinOp::BitOr => Value::Num((to_i32(l) | to_i32(r)) as f64),
+        BinOp::BitXor => Value::Num((to_i32(l) ^ to_i32(r)) as f64),
+        BinOp::Shl => Value::Num((to_i32(l) << (to_u32(r) & 31)) as f64),
+        BinOp::Shr => Value::Num((to_i32(l) >> (to_u32(r) & 31)) as f64),
+        BinOp::Ushr => Value::Num((to_u32(l) >> (to_u32(r) & 31)) as f64),
+        BinOp::Eq => Value::Bool(loose_eq(l, r)),
+        BinOp::NotEq => Value::Bool(!loose_eq(l, r)),
+        BinOp::StrictEq => Value::Bool(strict_eq(l, r)),
+        BinOp::StrictNotEq => Value::Bool(!strict_eq(l, r)),
+        BinOp::Lt => compare(l, r, |o| o == std::cmp::Ordering::Less),
+        BinOp::Gt => compare(l, r, |o| o == std::cmp::Ordering::Greater),
+        BinOp::LtEq => compare(l, r, |o| o != std::cmp::Ordering::Greater),
+        BinOp::GtEq => compare(l, r, |o| o != std::cmp::Ordering::Less),
+        BinOp::In => match r {
+            Value::Object(map) => Value::Bool(map.borrow().contains_key(&to_display_string(l))),
+            Value::Array(items) => {
+                let i = to_number(l);
+                Value::Bool(i >= 0.0 && (i as usize) < items.borrow().len())
+            }
+            _ => Value::Bool(false),
+        },
+        BinOp::Instanceof => Value::Bool(matches!(
+            (l, r),
+            (Value::Object(_), Value::Namespace("Object"))
+                | (Value::Array(_), Value::Namespace("Array"))
+                | (Value::Array(_), Value::Namespace("Object"))
+        )),
+        BinOp::And | BinOp::Or => unreachable!("short-circuit handled by caller"),
+    }
+}
+
+fn compound(op: AssignOp, old: &Value, new: &Value) -> Value {
+    let bin = match op {
+        AssignOp::Assign => unreachable!("plain assignment handled by caller"),
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+        AssignOp::Div => BinOp::Div,
+        AssignOp::Rem => BinOp::Rem,
+        AssignOp::BitAnd => BinOp::BitAnd,
+        AssignOp::BitOr => BinOp::BitOr,
+        AssignOp::BitXor => BinOp::BitXor,
+        AssignOp::Shl => BinOp::Shl,
+        AssignOp::Shr => BinOp::Shr,
+        AssignOp::Ushr => BinOp::Ushr,
+    };
+    binary_values(bin, old, new)
+}
+
+fn eval_call(ctx: &mut ExecCtx, callee: &Expr, args: &[Expr], env: &mut Env) -> R<Value> {
+    let f = eval(ctx, callee, env)?;
+    let mut argv = Vec::with_capacity(args.len());
+    for a in args {
+        argv.push(eval(ctx, a, env)?);
+    }
+    match f {
+        Value::Func(def) => call_function(ctx, &def, argv, env),
+        Value::Builtin(name, receiver) => Ok(call_builtin(ctx, name, receiver.as_deref(), &argv)),
+        // `Array(...)`, `Object()`, `String(x)` work without `new` in JS
+        Value::Namespace(ns) => Ok(construct_namespace(ns, argv)),
+        _ => Ok(Value::Undefined), // calling a non-function: no semantic check
+    }
+}
+
+/// Calling or `new`-ing a builtin namespace constructs its natural value.
+fn construct_namespace(ns: &str, argv: Vec<Value>) -> Value {
+    match ns {
+        "Object" => Value::Object(Rc::new(RefCell::new(BTreeMap::new()))),
+        "Array" => Value::Array(Rc::new(RefCell::new(argv))),
+        "String" => Value::Str(argv.first().map(to_display_string).unwrap_or_default()),
+        _ => Value::Undefined,
+    }
+}
+
+fn call_function(ctx: &mut ExecCtx, def: &FuncDef, argv: Vec<Value>, env: &mut Env) -> R<Value> {
+    tick(ctx)?;
+    let mut frame = BTreeMap::new();
+    for (i, p) in def.params.iter().enumerate() {
+        frame.insert(p.clone(), argv.get(i).cloned().unwrap_or(Value::Undefined));
+    }
+    env.locals.push(frame);
+    hoist_functions(&def.body, env);
+    let mut result = Value::Undefined;
+    for s in &def.body {
+        match exec(ctx, s, env) {
+            Ok(_) => {}
+            Err(Interrupt::Return(v)) => {
+                result = v;
+                break;
+            }
+            Err(other) => {
+                env.locals.pop();
+                return Err(other);
+            }
+        }
+    }
+    env.locals.pop();
+    Ok(result)
+}
+
+fn call_builtin(ctx: &mut ExecCtx, name: &str, receiver: Option<&Value>, argv: &[Value]) -> Value {
+    cov!(ctx);
+    let arg = |i: usize| argv.get(i).cloned().unwrap_or(Value::Undefined);
+    match (name, receiver) {
+        ("stringify", _) => Value::Str(json_stringify(&arg(0))),
+        ("parse", _) => Value::Undefined, // parsing JSON strings at runtime is out of scope
+        ("abs", _) => Value::Num(to_number(&arg(0)).abs()),
+        ("floor", _) => Value::Num(to_number(&arg(0)).floor()),
+        ("ceil", _) => Value::Num(to_number(&arg(0)).ceil()),
+        ("sqrt", _) => Value::Num(to_number(&arg(0)).sqrt()),
+        ("pow", _) => Value::Num(to_number(&arg(0)).powf(to_number(&arg(1)))),
+        ("min", _) => Value::Num(to_number(&arg(0)).min(to_number(&arg(1)))),
+        ("max", _) => Value::Num(to_number(&arg(0)).max(to_number(&arg(1)))),
+        ("keys", _) => match arg(0) {
+            Value::Object(map) => Value::Array(Rc::new(RefCell::new(
+                map.borrow().keys().map(|k| Value::Str(k.clone())).collect(),
+            ))),
+            _ => Value::Array(Rc::new(RefCell::new(Vec::new()))),
+        },
+        ("indexOf", Some(Value::Str(s))) => {
+            let needle = to_display_string(&arg(0));
+            Value::Num(s.find(&needle).map_or(-1.0, |i| i as f64))
+        }
+        ("indexOf", Some(Value::Array(items))) => {
+            let needle = arg(0);
+            let found = items.borrow().iter().position(|v| strict_eq(v, &needle));
+            Value::Num(found.map_or(-1.0, |i| i as f64))
+        }
+        ("slice", Some(Value::Str(s))) => {
+            let start = clamp_index(to_number(&arg(0)), s.len());
+            let end = if argv.len() > 1 {
+                clamp_index(to_number(&arg(1)), s.len())
+            } else {
+                s.len()
+            };
+            Value::Str(s.get(start..end.max(start)).unwrap_or("").to_string())
+        }
+        ("slice", Some(Value::Array(items))) => {
+            let len = items.borrow().len();
+            let start = clamp_index(to_number(&arg(0)), len);
+            let end = if argv.len() > 1 {
+                clamp_index(to_number(&arg(1)), len)
+            } else {
+                len
+            };
+            Value::Array(Rc::new(RefCell::new(
+                items.borrow()[start..end.max(start)].to_vec(),
+            )))
+        }
+        ("split", Some(Value::Str(s))) => {
+            let sep = to_display_string(&arg(0));
+            let parts: Vec<Value> = if sep.is_empty() {
+                s.chars().map(|c| Value::Str(c.to_string())).collect()
+            } else {
+                s.split(&sep).map(|p| Value::Str(p.to_string())).collect()
+            };
+            Value::Array(Rc::new(RefCell::new(parts)))
+        }
+        ("charAt", Some(Value::Str(s))) => {
+            let i = to_number(&arg(0));
+            if i >= 0.0 && (i as usize) < s.len() {
+                Value::Str(s[i as usize..=i as usize].to_string())
+            } else {
+                Value::Str(String::new())
+            }
+        }
+        ("push", Some(Value::Array(items))) => {
+            for v in argv {
+                items.borrow_mut().push(v.clone());
+            }
+            Value::Num(items.borrow().len() as f64)
+        }
+        ("join", Some(Value::Array(items))) => {
+            let sep = if argv.is_empty() {
+                ",".to_string()
+            } else {
+                to_display_string(&arg(0))
+            };
+            let joined: Vec<String> = items.borrow().iter().map(to_display_string).collect();
+            Value::Str(joined.join(&sep))
+        }
+        _ => Value::Undefined,
+    }
+}
+
+fn clamp_index(i: f64, len: usize) -> usize {
+    if i.is_nan() {
+        return 0;
+    }
+    if i < 0.0 {
+        len.saturating_sub((-i) as usize)
+    } else {
+        (i as usize).min(len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// coercions
+// ---------------------------------------------------------------------------
+
+pub(crate) fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Undefined | Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Num(n) => *n != 0.0 && !n.is_nan(),
+        Value::Str(s) => !s.is_empty(),
+        _ => true,
+    }
+}
+
+fn to_number(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => *n,
+        Value::Bool(true) => 1.0,
+        Value::Bool(false) | Value::Null => 0.0,
+        Value::Str(s) => s.trim().parse().unwrap_or(f64::NAN),
+        _ => f64::NAN,
+    }
+}
+
+fn to_i32(v: &Value) -> i32 {
+    let n = to_number(v);
+    if n.is_nan() || n.is_infinite() {
+        0
+    } else {
+        n as i64 as i32
+    }
+}
+
+fn to_u32(v: &Value) -> u32 {
+    to_i32(v) as u32
+}
+
+fn to_display_string(v: &Value) -> String {
+    match v {
+        Value::Undefined => "undefined".to_string(),
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => format_num(*n),
+        Value::Str(s) => s.clone(),
+        Value::Array(items) => items
+            .borrow()
+            .iter()
+            .map(to_display_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        Value::Object(_) => "[object Object]".to_string(),
+        Value::Func(_) | Value::Builtin(..) => "[function]".to_string(),
+        Value::Namespace(n) => format!("[object {n}]"),
+    }
+}
+
+fn format_num(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn type_of(v: &Value) -> &'static str {
+    match v {
+        Value::Undefined => "undefined",
+        Value::Null => "object",
+        Value::Bool(_) => "boolean",
+        Value::Num(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) | Value::Object(_) | Value::Namespace(_) => "object",
+        Value::Func(_) | Value::Builtin(..) => "function",
+    }
+}
+
+pub(crate) fn strict_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Undefined, Value::Undefined) | (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Num(x), Value::Num(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Array(x), Value::Array(y)) => Rc::ptr_eq(x, y),
+        (Value::Object(x), Value::Object(y)) => Rc::ptr_eq(x, y),
+        (Value::Namespace(x), Value::Namespace(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn loose_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Undefined | Value::Null, Value::Undefined | Value::Null) => true,
+        (Value::Num(_), Value::Str(_)) | (Value::Str(_), Value::Num(_)) => {
+            to_number(a) == to_number(b)
+        }
+        (Value::Bool(_), _) => loose_eq(&Value::Num(to_number(a)), b),
+        (_, Value::Bool(_)) => loose_eq(a, &Value::Num(to_number(b))),
+        _ => strict_eq(a, b),
+    }
+}
+
+fn compare(l: &Value, r: &Value, pred: impl Fn(std::cmp::Ordering) -> bool) -> Value {
+    if let (Value::Str(a), Value::Str(b)) = (l, r) {
+        return Value::Bool(pred(a.cmp(b)));
+    }
+    let (a, b) = (to_number(l), to_number(r));
+    match a.partial_cmp(&b) {
+        Some(o) => Value::Bool(pred(o)),
+        None => Value::Bool(false), // NaN comparisons are false
+    }
+}
+
+fn json_stringify(v: &Value) -> String {
+    match v {
+        Value::Undefined => "null".to_string(),
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => {
+            if n.is_finite() {
+                format_num(*n)
+            } else {
+                "null".to_string()
+            }
+        }
+        Value::Str(s) => format!("{s:?}"),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.borrow().iter().map(json_stringify).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Value::Object(map) => {
+            let inner: Vec<String> = map
+                .borrow()
+                .iter()
+                .map(|(k, v)| format!("{k:?}:{}", json_stringify(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        Value::Func(_) | Value::Builtin(..) | Value::Namespace(_) => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_program;
+    use super::*;
+
+    /// Runs a program and returns the final value of global `x`.
+    fn run_x(src: &[u8]) -> Value {
+        let mut ctx = ExecCtx::new(src);
+        let program = parse_program(&mut ctx).expect("parse");
+        let mut env = Env::new();
+        hoist_functions(&program, &mut env);
+        for stmt in &program {
+            match exec(&mut ctx, stmt, &mut env) {
+                Ok(_) => {}
+                Err(Interrupt::Hang(e)) => panic!("hang: {e}"),
+                Err(_) => break,
+            }
+        }
+        env.get_plain("x").unwrap_or(Value::Undefined)
+    }
+
+    fn num(v: &Value) -> f64 {
+        match v {
+            Value::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn strv(v: &Value) -> String {
+        match v {
+            Value::Str(s) => s.clone(),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(num(&run_x(b"x = 1 + 2 * 3;")), 7.0);
+        assert_eq!(num(&run_x(b"x = 2 ** 10;")), 1024.0);
+        assert_eq!(num(&run_x(b"x = 7 % 4;")), 3.0);
+        assert_eq!(num(&run_x(b"x = -5;")), -5.0);
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(strv(&run_x(b"x = 'a' + 1;")), "a1");
+        assert_eq!(strv(&run_x(b"x = 1 + 'b';")), "1b");
+    }
+
+    #[test]
+    fn bitwise_and_shifts() {
+        assert_eq!(num(&run_x(b"x = 6 & 3;")), 2.0);
+        assert_eq!(num(&run_x(b"x = 6 | 3;")), 7.0);
+        assert_eq!(num(&run_x(b"x = 6 ^ 3;")), 5.0);
+        assert_eq!(num(&run_x(b"x = 1 << 4;")), 16.0);
+        assert_eq!(num(&run_x(b"x = -8 >> 1;")), -4.0);
+        assert_eq!(num(&run_x(b"x = -1 >>> 28;")), 15.0);
+    }
+
+    #[test]
+    fn equality() {
+        assert!(truthy(&run_x(b"x = 1 == '1';")));
+        assert!(!truthy(&run_x(b"x = 1 === '1';")));
+        assert!(truthy(&run_x(b"x = null == undefined;")));
+        assert!(!truthy(&run_x(b"x = null === undefined;")));
+        assert!(truthy(&run_x(b"x = 1 !== 2;")));
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(num(&run_x(b"x = 0; for (i = 0; i < 5; i++) x += i;")), 10.0);
+        assert_eq!(num(&run_x(b"x = 0; while (x < 7) x++;")), 7.0);
+        assert_eq!(num(&run_x(b"x = 0; do x++; while (x < 3);")), 3.0);
+        assert_eq!(
+            num(&run_x(b"x = 0; for (i = 0; i < 10; i++) { if (i == 3) break; x = i; }")),
+            2.0
+        );
+        assert_eq!(
+            num(&run_x(
+                b"x = 0; for (i = 0; i < 5; i++) { if (i % 2) continue; x += i; }"
+            )),
+            6.0
+        );
+    }
+
+    #[test]
+    fn functions_and_return() {
+        assert_eq!(num(&run_x(b"function f(a, b) { return a * b; } x = f(6, 7);")), 42.0);
+        assert_eq!(num(&run_x(b"x = (function (n) { return n + 1; })(9);")), 10.0);
+        // recursion
+        assert_eq!(
+            num(&run_x(
+                b"function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } x = fib(10);"
+            )),
+            55.0
+        );
+    }
+
+    #[test]
+    fn objects_and_arrays() {
+        assert_eq!(num(&run_x(b"o = {a: 1, b: 2}; x = o.a + o.b;")), 3.0);
+        assert_eq!(num(&run_x(b"a = [1, 2, 3]; x = a[0] + a[2];")), 4.0);
+        assert_eq!(num(&run_x(b"a = [1]; a.push(5); x = a.length;")), 2.0);
+        assert_eq!(num(&run_x(b"o = {}; o.k = 9; x = o.k;")), 9.0);
+        assert_eq!(num(&run_x(b"o = {a:1}; delete o.a; x = o.a === undefined ? 1 : 0;")), 1.0);
+    }
+
+    #[test]
+    fn for_in_iterates_keys() {
+        assert_eq!(strv(&run_x(b"x = ''; for (k in {a:1, b:2}) x += k;")), "ab");
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(strv(&run_x(b"x = JSON.stringify([1, true, null]);")), "[1,true,null]");
+        assert_eq!(num(&run_x(b"x = Math.abs(-4);")), 4.0);
+        assert_eq!(num(&run_x(b"x = Math.pow(2, 8);")), 256.0);
+        assert_eq!(num(&run_x(b"x = 'hello'.indexOf('ll');")), 2.0);
+        assert_eq!(num(&run_x(b"x = 'hello'.length;")), 5.0);
+        assert_eq!(strv(&run_x(b"x = 'a,b,c'.split(',')[1];")), "b");
+        assert_eq!(strv(&run_x(b"x = 'abc'.slice(1, 2);")), "b");
+        assert_eq!(num(&run_x(b"x = [4, 5, 6].indexOf(6);")), 2.0);
+        assert_eq!(strv(&run_x(b"x = [1, 2].join('-');")), "1-2");
+        assert_eq!(num(&run_x(b"x = Object.keys({p: 1, q: 2}).length;")), 2.0);
+    }
+
+    #[test]
+    fn typeof_and_void() {
+        assert_eq!(strv(&run_x(b"x = typeof 1;")), "number");
+        assert_eq!(strv(&run_x(b"x = typeof 'a';")), "string");
+        assert_eq!(strv(&run_x(b"x = typeof undefined;")), "undefined");
+        assert_eq!(strv(&run_x(b"x = typeof {};")), "object");
+        assert_eq!(strv(&run_x(b"x = typeof function () {};")), "function");
+        assert!(matches!(run_x(b"x = void 1;"), Value::Undefined));
+    }
+
+    #[test]
+    fn exceptions() {
+        assert_eq!(num(&run_x(b"try { throw 42; } catch (e) { x = e; }")), 42.0);
+        assert_eq!(
+            num(&run_x(b"x = 0; try { throw 1; } catch (e) { x = 1; } finally { x += 10; }")),
+            11.0
+        );
+        // uncaught throw: execution stops but run is still "valid"
+        assert_eq!(num(&run_x(b"x = 1; throw 'boom'; x = 2;")), 1.0);
+    }
+
+    #[test]
+    fn switch_semantics() {
+        assert_eq!(
+            num(&run_x(b"x = 0; switch (2) { case 1: x = 1; break; case 2: x = 2; break; }")),
+            2.0
+        );
+        // fallthrough
+        assert_eq!(
+            num(&run_x(b"x = 0; switch (1) { case 1: x += 1; case 2: x += 2; }")),
+            3.0
+        );
+        assert_eq!(
+            num(&run_x(b"x = 0; switch (9) { case 1: x = 1; default: x = 7; }")),
+            7.0
+        );
+    }
+
+    #[test]
+    fn update_expressions() {
+        assert_eq!(num(&run_x(b"a = 1; x = a++; x = x * 10 + a;")), 12.0);
+        assert_eq!(num(&run_x(b"a = 1; x = ++a; x = x * 10 + a;")), 22.0);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert_eq!(num(&run_x(b"x = 8; x >>>= 2;")), 2.0);
+        assert_eq!(num(&run_x(b"x = 3; x <<= 2;")), 12.0);
+        assert_eq!(num(&run_x(b"x = 5; x &= 3;")), 1.0);
+        assert_eq!(strv(&run_x(b"x = 'a'; x += 'b';")), "ab");
+    }
+
+    #[test]
+    fn nan_and_infinity_globals() {
+        assert!(matches!(run_x(b"x = NaN;"), Value::Num(n) if n.is_nan()));
+        assert!(matches!(run_x(b"x = Infinity;"), Value::Num(n) if n.is_infinite()));
+    }
+
+    #[test]
+    fn for_of_iterates_like_for_in() {
+        assert_eq!(strv(&run_x(b"x = ''; for (k of {a:1, b:2}) x += k;")), "ab");
+    }
+
+    #[test]
+    fn with_statement_executes_body() {
+        assert_eq!(num(&run_x(b"o = {}; with (o) { x = 5; }")), 5.0);
+    }
+
+    #[test]
+    fn new_constructs_builtin_values() {
+        assert_eq!(num(&run_x(b"x = (new Array(1, 2, 3)).length;")), 3.0);
+        assert_eq!(num(&run_x(b"x = Array(4, 5).length;")), 2.0); // callable without new
+        assert!(matches!(run_x(b"x = new Object();"), Value::Object(_)));
+        assert_eq!(strv(&run_x(b"x = new String(42);")), "42");
+    }
+
+    #[test]
+    fn ternary_and_logical_values() {
+        assert_eq!(num(&run_x(b"x = 0 ? 1 : 2;")), 2.0);
+        assert_eq!(num(&run_x(b"x = 3 || 4;")), 3.0);
+        assert_eq!(num(&run_x(b"x = 0 || 4;")), 4.0);
+        assert_eq!(num(&run_x(b"x = 3 && 4;")), 4.0);
+        assert_eq!(num(&run_x(b"x = 0 && 4;")), 0.0);
+    }
+
+    #[test]
+    fn string_comparisons_are_lexicographic() {
+        assert!(truthy(&run_x(b"x = 'abc' < 'abd';")));
+        assert!(!truthy(&run_x(b"x = 'b' < 'a';")));
+    }
+
+    #[test]
+    fn division_by_zero_is_infinite_not_error() {
+        assert!(matches!(run_x(b"x = 1 / 0;"), Value::Num(n) if n.is_infinite()));
+        assert!(matches!(run_x(b"x = 0 / 0;"), Value::Num(n) if n.is_nan()));
+    }
+
+    #[test]
+    fn array_index_assignment_grows() {
+        assert_eq!(num(&run_x(b"a = [1]; a[3] = 9; x = a.length;")), 4.0);
+        assert!(matches!(run_x(b"a = [1]; a[3] = 9; x = a[2];"), Value::Undefined));
+    }
+
+    #[test]
+    fn json_stringify_nested() {
+        assert_eq!(
+            strv(&run_x(b"x = JSON.stringify({a: [1, {b: 'c'}], d: false});")),
+            "{\"a\":[1,{\"b\":\"c\"}],\"d\":false}"
+        );
+    }
+
+    #[test]
+    fn calling_non_function_is_undefined_not_error() {
+        // semantic checking disabled: no TypeError
+        assert!(matches!(run_x(b"x = (1)(2);"), Value::Undefined));
+        assert!(matches!(run_x(b"x = missing();"), Value::Undefined));
+    }
+
+    #[test]
+    fn switch_on_strings() {
+        assert_eq!(
+            num(&run_x(b"x = 0; switch ('b') { case 'a': x = 1; break; case 'b': x = 2; break; }")),
+            2.0
+        );
+    }
+
+    #[test]
+    fn function_arguments_default_to_undefined() {
+        assert_eq!(strv(&run_x(b"function f(a, b) { return typeof b; } x = f(1);")), "undefined");
+    }
+
+    #[test]
+    fn in_and_instanceof_operators() {
+        assert!(truthy(&run_x(b"x = 'a' in {a: 1};")));
+        assert!(!truthy(&run_x(b"x = 'z' in {a: 1};")));
+        assert!(truthy(&run_x(b"x = 0 in [7];")));
+        assert!(!truthy(&run_x(b"x = 1 in [7];")));
+    }
+
+    #[test]
+    fn instanceof_builtin_ctors() {
+        assert!(truthy(&run_x(b"x = [] instanceof Array;")));
+        assert!(truthy(&run_x(b"x = {} instanceof Object;")));
+        assert!(!truthy(&run_x(b"x = 1 instanceof Object;")));
+    }
+}

@@ -1,0 +1,655 @@
+//! The mjs tokenizer.
+//!
+//! Interleaved with the parser as in the original engine: the parser
+//! pulls one token at a time. Identifier words are read into a tainted
+//! buffer and `strcmp`-ed against the keyword table, so a failed keyword
+//! comparison tells pFuzzer exactly which suffix would complete the
+//! keyword. Operator characters are matched with tracked single-byte
+//! comparisons (maximal munch).
+
+use pdf_runtime::{cov, lit, one_of, peek_is, range, strcmp, ExecCtx, ParseError, TStr};
+
+/// mjs token kinds. Parser-level comparisons on these carry no taint —
+/// the tokenization break of Section 7.2.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    // punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Tilde,
+    // operators, grouped by family; each with its compound-assign form
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Bang,
+    Lt,
+    Gt,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    EqEq,
+    EqEqEq,
+    NotEq,
+    NotEqEq,
+    LtEq,
+    GtEq,
+    Shl,
+    ShlEq,
+    Shr,
+    ShrEq,
+    Ushr,
+    UshrEq,
+    AndAnd,
+    OrOr,
+    Inc,
+    Dec,
+    StarStar,
+    // keywords
+    If,
+    In,
+    Do,
+    Of,
+    For,
+    Try,
+    Let,
+    Var,
+    New,
+    True,
+    Null,
+    Void,
+    With,
+    Else,
+    Case,
+    This,
+    False,
+    Throw,
+    While,
+    Break,
+    Catch,
+    Const,
+    Return,
+    Delete,
+    Typeof,
+    Switch,
+    Default,
+    Finally,
+    Continue,
+    Function,
+    Debugger,
+    Instanceof,
+    Undefined,
+    // literal-ish
+    Ident(TStr),
+    Num(f64),
+    Str(String),
+    Eof,
+}
+
+/// The keyword table, `strcmp`-ed in order for every identifier word
+/// (as the original does with its token table).
+const KEYWORDS: [(&str, Tok); 33] = [
+    ("if", Tok::If),
+    ("in", Tok::In),
+    ("do", Tok::Do),
+    ("of", Tok::Of),
+    ("for", Tok::For),
+    ("try", Tok::Try),
+    ("let", Tok::Let),
+    ("var", Tok::Var),
+    ("new", Tok::New),
+    ("true", Tok::True),
+    ("null", Tok::Null),
+    ("void", Tok::Void),
+    ("with", Tok::With),
+    ("else", Tok::Else),
+    ("case", Tok::Case),
+    ("this", Tok::This),
+    ("false", Tok::False),
+    ("throw", Tok::Throw),
+    ("while", Tok::While),
+    ("break", Tok::Break),
+    ("catch", Tok::Catch),
+    ("const", Tok::Const),
+    ("return", Tok::Return),
+    ("delete", Tok::Delete),
+    ("typeof", Tok::Typeof),
+    ("switch", Tok::Switch),
+    ("default", Tok::Default),
+    ("finally", Tok::Finally),
+    ("continue", Tok::Continue),
+    ("function", Tok::Function),
+    ("debugger", Tok::Debugger),
+    ("instanceof", Tok::Instanceof),
+    ("undefined", Tok::Undefined),
+];
+
+pub(crate) struct Lexer {
+    pub(crate) tok: Tok,
+}
+
+impl Lexer {
+    pub(crate) fn new(ctx: &mut ExecCtx) -> Result<Self, ParseError> {
+        let mut lx = Lexer { tok: Tok::Eof };
+        lx.advance(ctx)?;
+        Ok(lx)
+    }
+
+    /// Whether the current token equals `t` (token kinds only — `Ident`,
+    /// `Num` and `Str` payloads are never compared this way).
+    pub(crate) fn is(&self, t: &Tok) -> bool {
+        self.tok == *t
+    }
+
+    /// Consumes the current token if it equals `t`.
+    pub(crate) fn eat(&mut self, ctx: &mut ExecCtx, t: &Tok) -> Result<bool, ParseError> {
+        if self.is(t) {
+            self.advance(ctx)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Consumes the current token, which must equal `t`.
+    pub(crate) fn expect(&mut self, ctx: &mut ExecCtx, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(ctx, t)? {
+            Ok(())
+        } else {
+            Err(ctx.reject(format!("expected {what}")))
+        }
+    }
+
+    /// Advances to the next token.
+    pub(crate) fn advance(&mut self, ctx: &mut ExecCtx) -> Result<(), ParseError> {
+        self.tok = ctx.frame(next_token)?;
+        Ok(())
+    }
+}
+
+fn next_token(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+    cov!(ctx);
+    skip_trivia(ctx)?;
+    if ctx.peek().is_none() {
+        return Ok(Tok::Eof);
+    }
+    if range!(ctx, b'0', b'9') {
+        return number(ctx);
+    }
+    if word_start(ctx) {
+        return word(ctx);
+    }
+    if peek_is!(ctx, b'"') {
+        ctx.advance();
+        return string(ctx, b'"');
+    }
+    if peek_is!(ctx, b'\'') {
+        ctx.advance();
+        return string(ctx, b'\'');
+    }
+    operator(ctx)
+}
+
+/// Skips whitespace and comments (`//` to end of line, `/* */`).
+fn skip_trivia(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    loop {
+        if one_of!(ctx, b" \t\n\r") {
+            ctx.advance();
+            continue;
+        }
+        // a '/' could start a comment; look ahead without consuming
+        if peek_is!(ctx, b'/') {
+            let start = ctx.pos();
+            ctx.advance();
+            if peek_is!(ctx, b'/') {
+                cov!(ctx);
+                ctx.advance();
+                while ctx.peek().is_some() {
+                    if lit!(ctx, b'\n') {
+                        break;
+                    }
+                    ctx.advance();
+                }
+                continue;
+            }
+            if peek_is!(ctx, b'*') {
+                cov!(ctx);
+                ctx.advance();
+                loop {
+                    if ctx.peek().is_none() {
+                        return Err(ctx.reject("unterminated block comment"));
+                    }
+                    if lit!(ctx, b'*') {
+                        if lit!(ctx, b'/') {
+                            break;
+                        }
+                        continue;
+                    }
+                    ctx.advance();
+                }
+                continue;
+            }
+            // not a comment: restore and let the operator path handle '/'
+            ctx.set_pos(start);
+            return Ok(());
+        }
+        return Ok(());
+    }
+}
+
+fn word_start(ctx: &mut ExecCtx) -> bool {
+    range!(ctx, b'a', b'z') || range!(ctx, b'A', b'Z') || peek_is!(ctx, b'_') || peek_is!(ctx, b'$')
+}
+
+fn word_continue(ctx: &mut ExecCtx) -> bool {
+    range!(ctx, b'a', b'z')
+        || range!(ctx, b'A', b'Z')
+        || range!(ctx, b'0', b'9')
+        || peek_is!(ctx, b'_')
+        || peek_is!(ctx, b'$')
+}
+
+/// Reads an identifier word and `strcmp`s it against the keyword table.
+fn word(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+    cov!(ctx);
+    let mut w = TStr::new();
+    while let Some(b) = ctx.peek() {
+        if !word_continue(ctx) {
+            break;
+        }
+        w.push(b, ctx.pos());
+        ctx.advance();
+    }
+    for (kw, tok) in KEYWORDS {
+        if strcmp!(ctx, &w, kw) {
+            cov!(ctx);
+            return Ok(tok);
+        }
+    }
+    cov!(ctx);
+    Ok(Tok::Ident(w))
+}
+
+fn number(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+    cov!(ctx);
+    let mut text = String::new();
+    while let Some(b) = ctx.peek() {
+        if range!(ctx, b'0', b'9') {
+            text.push(b as char);
+            ctx.advance();
+        } else {
+            break;
+        }
+    }
+    if lit!(ctx, b'.') {
+        cov!(ctx);
+        text.push('.');
+        let mut any = false;
+        while let Some(b) = ctx.peek() {
+            if range!(ctx, b'0', b'9') {
+                text.push(b as char);
+                ctx.advance();
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            return Err(ctx.reject("expected digits after decimal point"));
+        }
+    }
+    if one_of!(ctx, b"eE") {
+        cov!(ctx);
+        ctx.advance();
+        text.push('e');
+        if one_of!(ctx, b"+-") {
+            let b = ctx.peek().unwrap_or(b'+');
+            text.push(b as char);
+            ctx.advance();
+        }
+        let mut any = false;
+        while let Some(b) = ctx.peek() {
+            if range!(ctx, b'0', b'9') {
+                text.push(b as char);
+                ctx.advance();
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            return Err(ctx.reject("expected exponent digits"));
+        }
+    }
+    let value: f64 = text.parse().unwrap_or(f64::NAN);
+    Ok(Tok::Num(value))
+}
+
+fn string(ctx: &mut ExecCtx, quote: u8) -> Result<Tok, ParseError> {
+    cov!(ctx);
+    let mut s = String::new();
+    loop {
+        match ctx.peek() {
+            None => return Err(ctx.reject("unterminated string")),
+            Some(b) => {
+                if lit!(ctx, quote) {
+                    cov!(ctx);
+                    return Ok(Tok::Str(s));
+                }
+                if lit!(ctx, b'\\') {
+                    cov!(ctx);
+                    let Some(esc) = ctx.peek() else {
+                        return Err(ctx.reject("unterminated escape"));
+                    };
+                    if one_of!(ctx, b"nrt\\\"'0") {
+                        s.push(match esc {
+                            b'n' => '\n',
+                            b'r' => '\r',
+                            b't' => '\t',
+                            b'0' => '\0',
+                            other => other as char,
+                        });
+                        ctx.advance();
+                        continue;
+                    }
+                    return Err(ctx.reject("invalid escape"));
+                }
+                if b == b'\n' {
+                    return Err(ctx.reject("newline in string"));
+                }
+                s.push(b as char);
+                ctx.advance();
+            }
+        }
+    }
+}
+
+/// Maximal-munch operator matching with tracked comparisons, mirroring
+/// the original's `switch` ladders.
+fn operator(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+    cov!(ctx);
+    // simple single-character punctuation first
+    let singles = [
+        (b'{', Tok::LBrace),
+        (b'}', Tok::RBrace),
+        (b'(', Tok::LParen),
+        (b')', Tok::RParen),
+        (b'[', Tok::LBracket),
+        (b']', Tok::RBracket),
+        (b';', Tok::Semi),
+        (b',', Tok::Comma),
+        (b':', Tok::Colon),
+        (b'?', Tok::Question),
+        (b'.', Tok::Dot),
+        (b'~', Tok::Tilde),
+    ];
+    for (b, tok) in singles {
+        if peek_is!(ctx, b) {
+            cov!(ctx);
+            ctx.advance();
+            return Ok(tok);
+        }
+    }
+    if lit!(ctx, b'+') {
+        cov!(ctx);
+        if lit!(ctx, b'+') {
+            return Ok(Tok::Inc);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::PlusEq);
+        }
+        return Ok(Tok::Plus);
+    }
+    if lit!(ctx, b'-') {
+        cov!(ctx);
+        if lit!(ctx, b'-') {
+            return Ok(Tok::Dec);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::MinusEq);
+        }
+        return Ok(Tok::Minus);
+    }
+    if lit!(ctx, b'*') {
+        cov!(ctx);
+        if lit!(ctx, b'*') {
+            return Ok(Tok::StarStar);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::StarEq);
+        }
+        return Ok(Tok::Star);
+    }
+    if lit!(ctx, b'/') {
+        cov!(ctx);
+        if lit!(ctx, b'=') {
+            return Ok(Tok::SlashEq);
+        }
+        return Ok(Tok::Slash);
+    }
+    if lit!(ctx, b'%') {
+        cov!(ctx);
+        if lit!(ctx, b'=') {
+            return Ok(Tok::PercentEq);
+        }
+        return Ok(Tok::Percent);
+    }
+    if lit!(ctx, b'&') {
+        cov!(ctx);
+        if lit!(ctx, b'&') {
+            return Ok(Tok::AndAnd);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::AmpEq);
+        }
+        return Ok(Tok::Amp);
+    }
+    if lit!(ctx, b'|') {
+        cov!(ctx);
+        if lit!(ctx, b'|') {
+            return Ok(Tok::OrOr);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::PipeEq);
+        }
+        return Ok(Tok::Pipe);
+    }
+    if lit!(ctx, b'^') {
+        cov!(ctx);
+        if lit!(ctx, b'=') {
+            return Ok(Tok::CaretEq);
+        }
+        return Ok(Tok::Caret);
+    }
+    if lit!(ctx, b'!') {
+        cov!(ctx);
+        if lit!(ctx, b'=') {
+            if lit!(ctx, b'=') {
+                return Ok(Tok::NotEqEq);
+            }
+            return Ok(Tok::NotEq);
+        }
+        return Ok(Tok::Bang);
+    }
+    if lit!(ctx, b'=') {
+        cov!(ctx);
+        if lit!(ctx, b'=') {
+            if lit!(ctx, b'=') {
+                return Ok(Tok::EqEqEq);
+            }
+            return Ok(Tok::EqEq);
+        }
+        return Ok(Tok::Assign);
+    }
+    if lit!(ctx, b'<') {
+        cov!(ctx);
+        if lit!(ctx, b'<') {
+            if lit!(ctx, b'=') {
+                return Ok(Tok::ShlEq);
+            }
+            return Ok(Tok::Shl);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::LtEq);
+        }
+        return Ok(Tok::Lt);
+    }
+    if lit!(ctx, b'>') {
+        cov!(ctx);
+        if lit!(ctx, b'>') {
+            if lit!(ctx, b'>') {
+                if lit!(ctx, b'=') {
+                    return Ok(Tok::UshrEq);
+                }
+                return Ok(Tok::Ushr);
+            }
+            if lit!(ctx, b'=') {
+                return Ok(Tok::ShrEq);
+            }
+            return Ok(Tok::Shr);
+        }
+        if lit!(ctx, b'=') {
+            return Ok(Tok::GtEq);
+        }
+        return Ok(Tok::Gt);
+    }
+    Err(ctx.reject("unexpected character"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_all(input: &[u8]) -> Result<Vec<Tok>, ParseError> {
+        let mut ctx = ExecCtx::new(input);
+        let mut lx = Lexer::new(&mut ctx)?;
+        let mut out = Vec::new();
+        while lx.tok != Tok::Eof {
+            out.push(lx.tok.clone());
+            lx.advance(&mut ctx)?;
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        let toks = lex_all(b"if foo instanceof undefined bar9").unwrap();
+        assert_eq!(toks.len(), 5);
+        assert_eq!(toks[0], Tok::If);
+        assert!(matches!(&toks[1], Tok::Ident(w) if w.as_bytes() == b"foo"));
+        assert_eq!(toks[2], Tok::Instanceof);
+        assert_eq!(toks[3], Tok::Undefined);
+        assert!(matches!(&toks[4], Tok::Ident(w) if w.as_bytes() == b"bar9"));
+    }
+
+    #[test]
+    fn all_compound_operators() {
+        let cases: Vec<(&[u8], Tok)> = vec![
+            (b"+=", Tok::PlusEq),
+            (b"-=", Tok::MinusEq),
+            (b"*=", Tok::StarEq),
+            (b"/=", Tok::SlashEq),
+            (b"%=", Tok::PercentEq),
+            (b"&=", Tok::AmpEq),
+            (b"|=", Tok::PipeEq),
+            (b"^=", Tok::CaretEq),
+            (b"==", Tok::EqEq),
+            (b"===", Tok::EqEqEq),
+            (b"!=", Tok::NotEq),
+            (b"!==", Tok::NotEqEq),
+            (b"<=", Tok::LtEq),
+            (b">=", Tok::GtEq),
+            (b"<<", Tok::Shl),
+            (b"<<=", Tok::ShlEq),
+            (b">>", Tok::Shr),
+            (b">>=", Tok::ShrEq),
+            (b">>>", Tok::Ushr),
+            (b">>>=", Tok::UshrEq),
+            (b"&&", Tok::AndAnd),
+            (b"||", Tok::OrOr),
+            (b"++", Tok::Inc),
+            (b"--", Tok::Dec),
+            (b"**", Tok::StarStar),
+        ];
+        for (src, expected) in cases {
+            let toks = lex_all(src).unwrap();
+            assert_eq!(toks, vec![expected], "{:?}", String::from_utf8_lossy(src));
+        }
+    }
+
+    #[test]
+    fn maximal_munch_sequences() {
+        assert_eq!(lex_all(b"a+++b").unwrap().len(), 4); // a ++ + b
+        let toks = lex_all(b"x>>>=y").unwrap();
+        assert!(toks.contains(&Tok::UshrEq));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = lex_all(b"1 2.5 3e2 4.5e-1").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0], Tok::Num(1.0));
+        assert_eq!(toks[1], Tok::Num(2.5));
+        assert_eq!(toks[2], Tok::Num(300.0));
+        assert_eq!(toks[3], Tok::Num(0.45));
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(lex_all(b"1.").is_err());
+        assert!(lex_all(b"1e").is_err());
+        assert!(lex_all(b"1e+").is_err());
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        let toks = lex_all(b"\"ab\" 'cd' \"e\\nf\"").unwrap();
+        assert_eq!(toks[0], Tok::Str("ab".into()));
+        assert_eq!(toks[1], Tok::Str("cd".into()));
+        assert_eq!(toks[2], Tok::Str("e\nf".into()));
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex_all(b"\"abc").is_err());
+        assert!(lex_all(b"'a\nb'").is_err());
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let toks = lex_all(b"1 // comment\n 2 /* mid */ 3").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert!(lex_all(b"/* unterminated").is_err());
+    }
+
+    #[test]
+    fn slash_not_comment_is_division() {
+        let toks = lex_all(b"a / b").unwrap();
+        assert_eq!(toks[1], Tok::Slash);
+    }
+
+    #[test]
+    fn unexpected_character_rejected() {
+        assert!(lex_all(b"@").is_err());
+        assert!(lex_all(b"#").is_err());
+    }
+}

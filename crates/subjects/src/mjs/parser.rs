@@ -1,0 +1,824 @@
+//! The mjs recursive-descent parser.
+//!
+//! A classic C-style precedence ladder over the interleaved tokenizer.
+//! All comparisons here are on token *kinds* — no taint, exactly the
+//! tokenization break of Section 7.2; pFuzzer's progress through this
+//! layer comes from branch coverage plus the tokenizer's comparisons.
+
+use pdf_runtime::{cov, ExecCtx, ParseError};
+
+use super::ast::{AssignOp, BinOp, Expr, Stmt, UnOp};
+use super::lexer::{Lexer, Tok};
+
+/// Parses a whole program (a statement list up to EOF).
+pub(crate) fn parse_program(ctx: &mut ExecCtx) -> Result<Vec<Stmt>, ParseError> {
+    let mut lx = Lexer::new(ctx)?;
+    let mut stmts = Vec::new();
+    if lx.is(&Tok::Eof) {
+        return Err(ctx.reject("empty program"));
+    }
+    while !lx.is(&Tok::Eof) {
+        stmts.push(statement(ctx, &mut lx)?);
+    }
+    Ok(stmts)
+}
+
+fn statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        match &lx.tok {
+            Tok::Semi => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Stmt::Empty)
+            }
+            Tok::LBrace => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let body = stmt_list_until_rbrace(ctx, lx)?;
+                Ok(Stmt::Block(body))
+            }
+            Tok::Var | Tok::Let | Tok::Const => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let decls = declarator_list(ctx, lx)?;
+                lx.expect(ctx, &Tok::Semi, "';' after declaration")?;
+                Ok(Stmt::Decl(decls))
+            }
+            Tok::If => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                lx.expect(ctx, &Tok::LParen, "'(' after if")?;
+                let cond = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after condition")?;
+                let then = Box::new(statement(ctx, lx)?);
+                let els = if lx.eat(ctx, &Tok::Else)? {
+                    cov!(ctx);
+                    Some(Box::new(statement(ctx, lx)?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::While => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                lx.expect(ctx, &Tok::LParen, "'(' after while")?;
+                let cond = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after condition")?;
+                let body = Box::new(statement(ctx, lx)?);
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::Do => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let body = Box::new(statement(ctx, lx)?);
+                lx.expect(ctx, &Tok::While, "'while' after do-body")?;
+                lx.expect(ctx, &Tok::LParen, "'(' after while")?;
+                let cond = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after condition")?;
+                lx.expect(ctx, &Tok::Semi, "';' after do-while")?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Tok::For => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                for_statement(ctx, lx)
+            }
+            Tok::Return => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                if lx.eat(ctx, &Tok::Semi)? {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = expression(ctx, lx)?;
+                    lx.expect(ctx, &Tok::Semi, "';' after return value")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::Break => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                lx.expect(ctx, &Tok::Semi, "';' after break")?;
+                Ok(Stmt::Break)
+            }
+            Tok::Continue => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                lx.expect(ctx, &Tok::Semi, "';' after continue")?;
+                Ok(Stmt::Continue)
+            }
+            Tok::Throw => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let e = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::Semi, "';' after throw value")?;
+                Ok(Stmt::Throw(e))
+            }
+            Tok::Try => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                try_statement(ctx, lx)
+            }
+            Tok::Switch => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                switch_statement(ctx, lx)
+            }
+            Tok::With => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                lx.expect(ctx, &Tok::LParen, "'(' after with")?;
+                let obj = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after with object")?;
+                let body = Box::new(statement(ctx, lx)?);
+                Ok(Stmt::With(obj, body))
+            }
+            Tok::Function => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let Tok::Ident(name) = lx.tok.clone() else {
+                    return Err(ctx.reject("expected function name"));
+                };
+                let name = name.as_str().unwrap_or_default().to_string();
+                lx.advance(ctx)?;
+                let (params, body) = function_rest(ctx, lx)?;
+                Ok(Stmt::FunctionDecl(name, params, body))
+            }
+            Tok::Debugger => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                lx.expect(ctx, &Tok::Semi, "';' after debugger")?;
+                Ok(Stmt::Debugger)
+            }
+            _ => {
+                cov!(ctx);
+                let e = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::Semi, "';' after expression")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    })
+}
+
+fn stmt_list_until_rbrace(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Stmt>, ParseError> {
+    let mut body = Vec::new();
+    loop {
+        if lx.eat(ctx, &Tok::RBrace)? {
+            return Ok(body);
+        }
+        if lx.is(&Tok::Eof) {
+            return Err(ctx.reject("unterminated block"));
+        }
+        body.push(statement(ctx, lx)?);
+    }
+}
+
+fn declarator_list(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<(String, Option<Expr>)>, ParseError> {
+    let mut decls = Vec::new();
+    loop {
+        let Tok::Ident(name) = lx.tok.clone() else {
+            return Err(ctx.reject("expected variable name"));
+        };
+        let name = name.as_str().unwrap_or_default().to_string();
+        lx.advance(ctx)?;
+        let init = if lx.eat(ctx, &Tok::Assign)? {
+            Some(assignment(ctx, lx)?)
+        } else {
+            None
+        };
+        decls.push((name, init));
+        if !lx.eat(ctx, &Tok::Comma)? {
+            return Ok(decls);
+        }
+    }
+}
+
+fn for_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        lx.expect(ctx, &Tok::LParen, "'(' after for")?;
+        // for (var x in e) body  /  for (var x = ..; ..; ..) body
+        if lx.is(&Tok::Var) || lx.is(&Tok::Let) || lx.is(&Tok::Const) {
+            cov!(ctx);
+            lx.advance(ctx)?;
+            let Tok::Ident(name) = lx.tok.clone() else {
+                return Err(ctx.reject("expected variable name"));
+            };
+            let name = name.as_str().unwrap_or_default().to_string();
+            lx.advance(ctx)?;
+            if lx.eat(ctx, &Tok::In)? || lx.eat(ctx, &Tok::Of)? {
+                cov!(ctx);
+                let object = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after for-in")?;
+                let body = Box::new(statement(ctx, lx)?);
+                return Ok(Stmt::ForIn { var: name, object, body });
+            }
+            let init = if lx.eat(ctx, &Tok::Assign)? {
+                Some(assignment(ctx, lx)?)
+            } else {
+                None
+            };
+            lx.expect(ctx, &Tok::Semi, "';' in for header")?;
+            let decl = Stmt::Decl(vec![(name, init)]);
+            return classic_for_rest(ctx, lx, Some(Box::new(decl)));
+        }
+        if lx.eat(ctx, &Tok::Semi)? {
+            cov!(ctx);
+            return classic_for_rest(ctx, lx, None);
+        }
+        let first = expression(ctx, lx)?;
+        // `for (k of seq)`: `of` is not an operator, so the expression
+        // parse stops right before it.
+        if lx.is(&Tok::Of) {
+            if let Expr::Ident(name) = first {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let object = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after for-of")?;
+                let body = Box::new(statement(ctx, lx)?);
+                return Ok(Stmt::ForIn {
+                    var: name.as_str().unwrap_or_default().to_string(),
+                    object,
+                    body,
+                });
+            }
+            return Err(ctx.reject("invalid for-of target"));
+        }
+        // `for (k in obj)` parses `k in obj` as a relational expression;
+        // recognise it here (the original threads a no-in flag instead).
+        if lx.is(&Tok::RParen) {
+            if let Expr::Binary(BinOp::In, lhs, rhs) = first {
+                if let Expr::Ident(name) = *lhs {
+                    cov!(ctx);
+                    lx.expect(ctx, &Tok::RParen, "')' after for-in")?;
+                    let body = Box::new(statement(ctx, lx)?);
+                    return Ok(Stmt::ForIn {
+                        var: name.as_str().unwrap_or_default().to_string(),
+                        object: *rhs,
+                        body,
+                    });
+                }
+                return Err(ctx.reject("invalid for-in target"));
+            }
+        }
+        lx.expect(ctx, &Tok::Semi, "';' in for header")?;
+        classic_for_rest(ctx, lx, Some(Box::new(Stmt::Expr(first))))
+    })
+}
+
+fn classic_for_rest(
+    ctx: &mut ExecCtx,
+    lx: &mut Lexer,
+    init: Option<Box<Stmt>>,
+) -> Result<Stmt, ParseError> {
+    let cond = if lx.is(&Tok::Semi) {
+        None
+    } else {
+        Some(expression(ctx, lx)?)
+    };
+    lx.expect(ctx, &Tok::Semi, "second ';' in for header")?;
+    let step = if lx.is(&Tok::RParen) {
+        None
+    } else {
+        Some(expression(ctx, lx)?)
+    };
+    lx.expect(ctx, &Tok::RParen, "')' after for header")?;
+    let body = Box::new(statement(ctx, lx)?);
+    Ok(Stmt::For { init, cond, step, body })
+}
+
+fn try_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        lx.expect(ctx, &Tok::LBrace, "'{' after try")?;
+        let body = stmt_list_until_rbrace(ctx, lx)?;
+        let catch = if lx.eat(ctx, &Tok::Catch)? {
+            cov!(ctx);
+            lx.expect(ctx, &Tok::LParen, "'(' after catch")?;
+            let Tok::Ident(name) = lx.tok.clone() else {
+                return Err(ctx.reject("expected catch binding"));
+            };
+            let name = name.as_str().unwrap_or_default().to_string();
+            lx.advance(ctx)?;
+            lx.expect(ctx, &Tok::RParen, "')' after catch binding")?;
+            lx.expect(ctx, &Tok::LBrace, "'{' after catch")?;
+            Some((name, stmt_list_until_rbrace(ctx, lx)?))
+        } else {
+            None
+        };
+        let finally = if lx.eat(ctx, &Tok::Finally)? {
+            cov!(ctx);
+            lx.expect(ctx, &Tok::LBrace, "'{' after finally")?;
+            Some(stmt_list_until_rbrace(ctx, lx)?)
+        } else {
+            None
+        };
+        if catch.is_none() && finally.is_none() {
+            return Err(ctx.reject("try without catch or finally"));
+        }
+        Ok(Stmt::Try { body, catch, finally })
+    })
+}
+
+fn switch_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        lx.expect(ctx, &Tok::LParen, "'(' after switch")?;
+        let scrutinee = expression(ctx, lx)?;
+        lx.expect(ctx, &Tok::RParen, "')' after switch value")?;
+        lx.expect(ctx, &Tok::LBrace, "'{' after switch")?;
+        let mut cases = Vec::new();
+        let mut default = None;
+        loop {
+            if lx.eat(ctx, &Tok::RBrace)? {
+                return Ok(Stmt::Switch { scrutinee, cases, default });
+            }
+            if lx.eat(ctx, &Tok::Case)? {
+                cov!(ctx);
+                let value = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::Colon, "':' after case value")?;
+                let body = case_body(ctx, lx)?;
+                cases.push((value, body));
+                continue;
+            }
+            if lx.eat(ctx, &Tok::Default)? {
+                cov!(ctx);
+                if default.is_some() {
+                    return Err(ctx.reject("duplicate default"));
+                }
+                lx.expect(ctx, &Tok::Colon, "':' after default")?;
+                default = Some(case_body(ctx, lx)?);
+                continue;
+            }
+            return Err(ctx.reject("expected case, default or '}'"));
+        }
+    })
+}
+
+fn case_body(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Stmt>, ParseError> {
+    let mut body = Vec::new();
+    while !lx.is(&Tok::Case) && !lx.is(&Tok::Default) && !lx.is(&Tok::RBrace) {
+        if lx.is(&Tok::Eof) {
+            return Err(ctx.reject("unterminated switch"));
+        }
+        body.push(statement(ctx, lx)?);
+    }
+    Ok(body)
+}
+
+fn function_rest(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<(Vec<String>, Vec<Stmt>), ParseError> {
+    lx.expect(ctx, &Tok::LParen, "'(' after function name")?;
+    let mut params = Vec::new();
+    if !lx.eat(ctx, &Tok::RParen)? {
+        loop {
+            let Tok::Ident(p) = lx.tok.clone() else {
+                return Err(ctx.reject("expected parameter name"));
+            };
+            params.push(p.as_str().unwrap_or_default().to_string());
+            lx.advance(ctx)?;
+            if lx.eat(ctx, &Tok::Comma)? {
+                continue;
+            }
+            lx.expect(ctx, &Tok::RParen, "')' after parameters")?;
+            break;
+        }
+    }
+    lx.expect(ctx, &Tok::LBrace, "'{' before function body")?;
+    let body = stmt_list_until_rbrace(ctx, lx)?;
+    Ok((params, body))
+}
+
+// ---------------------------------------------------------------------------
+// expressions: the precedence ladder
+// ---------------------------------------------------------------------------
+
+pub(crate) fn expression(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    assignment(ctx, lx)
+}
+
+fn assignment(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let lhs = ternary(ctx, lx)?;
+        let op = match &lx.tok {
+            Tok::Assign => AssignOp::Assign,
+            Tok::PlusEq => AssignOp::Add,
+            Tok::MinusEq => AssignOp::Sub,
+            Tok::StarEq => AssignOp::Mul,
+            Tok::SlashEq => AssignOp::Div,
+            Tok::PercentEq => AssignOp::Rem,
+            Tok::AmpEq => AssignOp::BitAnd,
+            Tok::PipeEq => AssignOp::BitOr,
+            Tok::CaretEq => AssignOp::BitXor,
+            Tok::ShlEq => AssignOp::Shl,
+            Tok::ShrEq => AssignOp::Shr,
+            Tok::UshrEq => AssignOp::Ushr,
+            _ => return Ok(lhs),
+        };
+        if !matches!(lhs, Expr::Ident(_) | Expr::Member(..) | Expr::Index(..)) {
+            return Err(ctx.reject("invalid assignment target"));
+        }
+        cov!(ctx);
+        lx.advance(ctx)?;
+        let rhs = assignment(ctx, lx)?;
+        Ok(Expr::Assign(op, Box::new(lhs), Box::new(rhs)))
+    })
+}
+
+fn ternary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let cond = binary(ctx, lx, 0)?;
+    if lx.eat(ctx, &Tok::Question)? {
+        cov!(ctx);
+        let then = assignment(ctx, lx)?;
+        lx.expect(ctx, &Tok::Colon, "':' in conditional")?;
+        let els = assignment(ctx, lx)?;
+        return Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els)));
+    }
+    Ok(cond)
+}
+
+/// Binary-operator precedence, lowest first.
+fn bin_op_of(tok: &Tok) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        Tok::OrOr => (BinOp::Or, 0),
+        Tok::AndAnd => (BinOp::And, 1),
+        Tok::Pipe => (BinOp::BitOr, 2),
+        Tok::Caret => (BinOp::BitXor, 3),
+        Tok::Amp => (BinOp::BitAnd, 4),
+        Tok::EqEq => (BinOp::Eq, 5),
+        Tok::NotEq => (BinOp::NotEq, 5),
+        Tok::EqEqEq => (BinOp::StrictEq, 5),
+        Tok::NotEqEq => (BinOp::StrictNotEq, 5),
+        Tok::Lt => (BinOp::Lt, 6),
+        Tok::Gt => (BinOp::Gt, 6),
+        Tok::LtEq => (BinOp::LtEq, 6),
+        Tok::GtEq => (BinOp::GtEq, 6),
+        Tok::In => (BinOp::In, 6),
+        Tok::Instanceof => (BinOp::Instanceof, 6),
+        Tok::Shl => (BinOp::Shl, 7),
+        Tok::Shr => (BinOp::Shr, 7),
+        Tok::Ushr => (BinOp::Ushr, 7),
+        Tok::Plus => (BinOp::Add, 8),
+        Tok::Minus => (BinOp::Sub, 8),
+        Tok::Star => (BinOp::Mul, 9),
+        Tok::Slash => (BinOp::Div, 9),
+        Tok::Percent => (BinOp::Rem, 9),
+        Tok::StarStar => (BinOp::Pow, 10),
+        _ => return None,
+    })
+}
+
+fn binary(ctx: &mut ExecCtx, lx: &mut Lexer, min_prec: u8) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let mut lhs = unary(ctx, lx)?;
+        while let Some((op, prec)) = bin_op_of(&lx.tok) {
+            if prec < min_prec {
+                break;
+            }
+            cov!(ctx);
+            lx.advance(ctx)?;
+            // `**` is right-associative, everything else left
+            let next_min = if op == BinOp::Pow { prec } else { prec + 1 };
+            let rhs = binary(ctx, lx, next_min)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    })
+}
+
+fn unary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let op = match &lx.tok {
+            Tok::Bang => Some(UnOp::Not),
+            Tok::Tilde => Some(UnOp::BitNot),
+            Tok::Plus => Some(UnOp::Plus),
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Typeof => Some(UnOp::Typeof),
+            Tok::Void => Some(UnOp::Void),
+            Tok::Delete => Some(UnOp::Delete),
+            _ => None,
+        };
+        if let Some(op) = op {
+            cov!(ctx);
+            lx.advance(ctx)?;
+            let inner = unary(ctx, lx)?;
+            return Ok(Expr::Unary(op, Box::new(inner)));
+        }
+        if lx.is(&Tok::Inc) || lx.is(&Tok::Dec) {
+            cov!(ctx);
+            let inc = lx.is(&Tok::Inc);
+            lx.advance(ctx)?;
+            let target = unary(ctx, lx)?;
+            if !matches!(target, Expr::Ident(_) | Expr::Member(..) | Expr::Index(..)) {
+                return Err(ctx.reject("invalid update target"));
+            }
+            return Ok(Expr::Update {
+                target: Box::new(target),
+                inc,
+                prefix: true,
+            });
+        }
+        postfix(ctx, lx)
+    })
+}
+
+fn postfix(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let e = call_member(ctx, lx)?;
+    if lx.is(&Tok::Inc) || lx.is(&Tok::Dec) {
+        let inc = lx.is(&Tok::Inc);
+        if !matches!(e, Expr::Ident(_) | Expr::Member(..) | Expr::Index(..)) {
+            return Err(ctx.reject("invalid update target"));
+        }
+        cov!(ctx);
+        lx.advance(ctx)?;
+        return Ok(Expr::Update {
+            target: Box::new(e),
+            inc,
+            prefix: false,
+        });
+    }
+    Ok(e)
+}
+
+fn call_member(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let mut e = primary(ctx, lx)?;
+        loop {
+            if lx.eat(ctx, &Tok::Dot)? {
+                cov!(ctx);
+                let Tok::Ident(name) = lx.tok.clone() else {
+                    return Err(ctx.reject("expected member name after '.'"));
+                };
+                lx.advance(ctx)?;
+                e = Expr::Member(Box::new(e), name);
+                continue;
+            }
+            if lx.eat(ctx, &Tok::LBracket)? {
+                cov!(ctx);
+                let idx = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RBracket, "']' after index")?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+                continue;
+            }
+            if lx.eat(ctx, &Tok::LParen)? {
+                cov!(ctx);
+                let args = argument_list(ctx, lx)?;
+                e = Expr::Call(Box::new(e), args);
+                continue;
+            }
+            return Ok(e);
+        }
+    })
+}
+
+fn argument_list(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Expr>, ParseError> {
+    let mut args = Vec::new();
+    if lx.eat(ctx, &Tok::RParen)? {
+        return Ok(args);
+    }
+    loop {
+        args.push(assignment(ctx, lx)?);
+        if lx.eat(ctx, &Tok::Comma)? {
+            continue;
+        }
+        lx.expect(ctx, &Tok::RParen, "')' after arguments")?;
+        return Ok(args);
+    }
+}
+
+fn primary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        match lx.tok.clone() {
+            Tok::Num(n) => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Num(n))
+            }
+            Tok::Str(s) => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Str(s))
+            }
+            Tok::True => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Bool(false))
+            }
+            Tok::Null => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Null)
+            }
+            Tok::Undefined => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Undefined)
+            }
+            Tok::This => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::This)
+            }
+            Tok::Ident(name) => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                Ok(Expr::Ident(name))
+            }
+            Tok::LParen => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let e = expression(ctx, lx)?;
+                lx.expect(ctx, &Tok::RParen, "')' after expression")?;
+                Ok(e)
+            }
+            Tok::LBracket => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let mut items = Vec::new();
+                if !lx.eat(ctx, &Tok::RBracket)? {
+                    loop {
+                        items.push(assignment(ctx, lx)?);
+                        if lx.eat(ctx, &Tok::Comma)? {
+                            continue;
+                        }
+                        lx.expect(ctx, &Tok::RBracket, "']' after array items")?;
+                        break;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Tok::LBrace => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                object_literal(ctx, lx)
+            }
+            Tok::Function => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                // optional name (ignored: expression position)
+                if let Tok::Ident(_) = lx.tok {
+                    lx.advance(ctx)?;
+                }
+                let (params, body) = function_rest(ctx, lx)?;
+                Ok(Expr::Function(params, body))
+            }
+            Tok::New => {
+                cov!(ctx);
+                lx.advance(ctx)?;
+                let callee = call_member(ctx, lx)?;
+                // `new F(args)` parses the call inside call_member
+                if let Expr::Call(f, args) = callee {
+                    Ok(Expr::New(f, args))
+                } else {
+                    Ok(Expr::New(Box::new(callee), Vec::new()))
+                }
+            }
+            _ => Err(ctx.reject("expected an expression")),
+        }
+    })
+}
+
+fn object_literal(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    let mut props = Vec::new();
+    if lx.eat(ctx, &Tok::RBrace)? {
+        return Ok(Expr::Object(props));
+    }
+    loop {
+        let key = match lx.tok.clone() {
+            Tok::Ident(w) => w.as_str().unwrap_or_default().to_string(),
+            Tok::Str(s) => s,
+            Tok::Num(n) => format!("{n}"),
+            _ => return Err(ctx.reject("expected property key")),
+        };
+        lx.advance(ctx)?;
+        lx.expect(ctx, &Tok::Colon, "':' after property key")?;
+        let value = assignment(ctx, lx)?;
+        props.push((key, value));
+        if lx.eat(ctx, &Tok::Comma)? {
+            continue;
+        }
+        lx.expect(ctx, &Tok::RBrace, "'}' after object literal")?;
+        return Ok(Expr::Object(props));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(input: &[u8]) -> Result<Vec<Stmt>, ParseError> {
+        let mut ctx = ExecCtx::new(input);
+        parse_program(&mut ctx)
+    }
+
+    #[test]
+    fn statements_parse() {
+        for src in [
+            &b"x = 1;"[..],
+            b"var a = 1, b = 2;",
+            b"if (a) b = 1; else b = 2;",
+            b"while (a) b = 1;",
+            b"do b = 1; while (a);",
+            b"for (i = 0; i < 3; i++) x = i;",
+            b"for (var i = 0; i < 3; i++) x = i;",
+            b"for (k in o) x = k;",
+            b"for (var k in o) x = k;",
+            b"for (;;) break;",
+            b"try { x = 1; } catch (e) { y = 2; }",
+            b"try { x = 1; } finally { y = 2; }",
+            b"switch (x) { case 1: a = 1; break; default: a = 2; }",
+            b"function f(a, b) { return a; }",
+            b"with (o) x = 1;",
+            b"throw x;",
+            b"debugger;",
+        ] {
+            assert!(parse(src).is_ok(), "{:?}", String::from_utf8_lossy(src));
+        }
+    }
+
+    #[test]
+    fn expressions_parse() {
+        for src in [
+            &b"x = a ? b : c;"[..],
+            b"x = a || b && c;",
+            b"x = a | b ^ c & d;",
+            b"x = a == b !== c;",
+            b"x = a << 2 >>> 3;",
+            b"x = -a + +b - ~c;",
+            b"x = !a;",
+            b"x = typeof a;",
+            b"x = void 0;",
+            b"x = delete a.b;",
+            b"x = a.b.c[0](1, 2);",
+            b"x = [1, [2], {a: 3}];",
+            b"x = {a: 1, 'b': 2, 3: 4};",
+            b"x = function (y) { return y; };",
+            b"x = new F(1);",
+            b"x = new F;",
+            b"x = a ** b ** c;",
+            b"x = ++a + b--;",
+            b"x = a in o;",
+            b"x = a instanceof F;",
+        ] {
+            assert!(parse(src).is_ok(), "{:?}", String::from_utf8_lossy(src));
+        }
+    }
+
+    #[test]
+    fn precedence_shape() {
+        // a + b * c parses as a + (b * c)
+        let stmts = parse(b"x = a + b * c;").unwrap();
+        let Stmt::Expr(Expr::Assign(_, _, rhs)) = &stmts[0] else {
+            panic!("expected assignment");
+        };
+        let Expr::Binary(BinOp::Add, _, r) = rhs.as_ref() else {
+            panic!("expected add at top");
+        };
+        assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn pow_right_assoc() {
+        let stmts = parse(b"x = a ** b ** c;").unwrap();
+        let Stmt::Expr(Expr::Assign(_, _, rhs)) = &stmts[0] else {
+            panic!();
+        };
+        let Expr::Binary(BinOp::Pow, _, r) = rhs.as_ref() else {
+            panic!("expected pow at top");
+        };
+        assert!(matches!(r.as_ref(), Expr::Binary(BinOp::Pow, _, _)));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        for src in [
+            &b"x ="[..],
+            b"x = ;",
+            b"if (x)",
+            b"1 = 2;",
+            b"x = 1 ++;",
+            b"for (1 in o) x;",
+            b"switch (x) { y = 1; }",
+            b"function () { };", // statement-position function needs a name
+            b"x = {a};",
+        ] {
+            assert!(parse(src).is_err(), "{:?}", String::from_utf8_lossy(src));
+        }
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(parse(b"").is_err());
+        assert!(parse(b"  ").is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! A table-driven LL(1) parser — the Section 7.1 challenge case.
+//!
+//! > "The coverage metric will not work on table-driven parsers out of
+//! > the box as such a parser defines its state based on the table it
+//! > reads rather the code it is currently executing. [...] the coverage
+//! > metric still works as a general guidance — instead of code
+//! > coverage, one could implement coverage of table elements."
+//!
+//! This subject implements exactly that: an LL(1) parser for a JSON-like
+//! expression language driven by a parse table. The tiny interpreter
+//! loop would give useless code coverage (every input walks the same
+//! loop), so each *table cell* `(nonterminal, lookahead-class)` reports
+//! itself as a coverage point through a synthetic [`SiteId`], and each
+//! terminal match is a tracked comparison — making pFuzzer's guidance
+//! work unchanged, as the paper predicts.
+//!
+//! Grammar:
+//!
+//! ```text
+//! value ::= list | pair | NUMBER | 'true' | 'false'
+//! list  ::= '[' inner ']'
+//! inner ::= value tail | ε
+//! tail  ::= ',' value tail | ε
+//! pair  ::= '<' value ':' value '>'
+//! ```
+
+use pdf_runtime::{cov, kw, lit, peek_is, range, ExecCtx, ParseError, SiteId, Subject};
+
+/// The instrumented table-driven subject.
+pub fn subject() -> Subject {
+    Subject::new("tabular", parse)
+}
+
+/// Valid inputs covering every production.
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b"1",
+        b"42",
+        b"true",
+        b"false",
+        b"[]",
+        b"[1]",
+        b"[1,2,3]",
+        b"[[true],[]]",
+        b"<1:2>",
+        b"<[1]:<true:false>>",
+    ]
+}
+
+/// Nonterminals of the grammar (rows of the parse table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Nt {
+    Value,
+    List,
+    Inner,
+    Tail,
+    Pair,
+}
+
+/// Grammar symbols pushed on the parser stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symbol {
+    N(Nt),
+    /// A terminal byte.
+    T(u8),
+    /// The NUMBER terminal (one or more digits).
+    Number,
+    /// The `true` keyword terminal.
+    True,
+    /// The `false` keyword terminal.
+    False,
+}
+
+/// Lookahead classes (columns of the parse table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum La {
+    Digit,
+    TrueKw,
+    FalseKw,
+    LBracket,
+    RBracket,
+    LAngle,
+    RAngle,
+    Comma,
+    Colon,
+    Eof,
+    Other,
+}
+
+fn classify(ctx: &mut ExecCtx) -> La {
+    // classification itself is tracked: these are the (non-consuming)
+    // comparisons the table-driven parser makes against the lookahead
+    if range!(ctx, b'0', b'9') {
+        return La::Digit;
+    }
+    if peek_is!(ctx, b'[') {
+        return La::LBracket;
+    }
+    if peek_is!(ctx, b']') {
+        return La::RBracket;
+    }
+    if peek_is!(ctx, b'<') {
+        return La::LAngle;
+    }
+    if peek_is!(ctx, b'>') {
+        return La::RAngle;
+    }
+    if peek_is!(ctx, b',') {
+        return La::Comma;
+    }
+    if peek_is!(ctx, b':') {
+        return La::Colon;
+    }
+    if ctx.peek().is_none() {
+        return La::Eof;
+    }
+    if peek_is!(ctx, b't') {
+        // first-letter probe; the keyword itself is matched (and
+        // tracked) when the table selects the production
+        return La::TrueKw;
+    }
+    if peek_is!(ctx, b'f') {
+        return La::FalseKw;
+    }
+    La::Other
+}
+
+/// The LL(1) parse table: `(nonterminal, lookahead) → production`.
+/// Returns the symbols to push (reversed below), or `None` for a table
+/// error. Every *consulted cell* registers a synthetic coverage site —
+/// "coverage of table elements".
+fn table(ctx: &mut ExecCtx, nt: Nt, la: La) -> Option<&'static [Symbol]> {
+    const VALUE_NUM: &[Symbol] = &[Symbol::Number];
+    const VALUE_TRUE: &[Symbol] = &[Symbol::True];
+    const VALUE_FALSE: &[Symbol] = &[Symbol::False];
+    const VALUE_LIST: &[Symbol] = &[Symbol::N(Nt::List)];
+    const VALUE_PAIR: &[Symbol] = &[Symbol::N(Nt::Pair)];
+    const LIST: &[Symbol] = &[Symbol::T(b'['), Symbol::N(Nt::Inner), Symbol::T(b']')];
+    const INNER_VALUE: &[Symbol] = &[Symbol::N(Nt::Value), Symbol::N(Nt::Tail)];
+    const INNER_EMPTY: &[Symbol] = &[];
+    const TAIL_COMMA: &[Symbol] = &[Symbol::T(b','), Symbol::N(Nt::Value), Symbol::N(Nt::Tail)];
+    const TAIL_EMPTY: &[Symbol] = &[];
+    const PAIR: &[Symbol] = &[
+        Symbol::T(b'<'),
+        Symbol::N(Nt::Value),
+        Symbol::T(b':'),
+        Symbol::N(Nt::Value),
+        Symbol::T(b'>'),
+    ];
+
+    let cell = |nt: Nt, la: La| -> u64 {
+        // stable synthetic id per table cell
+        0x7AB1_0000 + (nt as u64) * 16 + la as u64
+    };
+    let production: Option<&'static [Symbol]> = match (nt, la) {
+        (Nt::Value, La::Digit) => Some(VALUE_NUM),
+        (Nt::Value, La::TrueKw) => Some(VALUE_TRUE),
+        (Nt::Value, La::FalseKw) => Some(VALUE_FALSE),
+        (Nt::Value, La::LBracket) => Some(VALUE_LIST),
+        (Nt::Value, La::LAngle) => Some(VALUE_PAIR),
+        (Nt::List, La::LBracket) => Some(LIST),
+        (Nt::Pair, La::LAngle) => Some(PAIR),
+        (Nt::Inner, La::RBracket) => Some(INNER_EMPTY),
+        (Nt::Inner, _) => Some(INNER_VALUE),
+        (Nt::Tail, La::Comma) => Some(TAIL_COMMA),
+        (Nt::Tail, La::RBracket) => Some(TAIL_EMPTY),
+        _ => None,
+    };
+    if production.is_some() {
+        // table-element coverage: the consulted cell is the "branch"
+        ctx.cov(SiteId::from_raw(cell(nt, la)));
+    }
+    production
+}
+
+fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    let mut stack: Vec<Symbol> = vec![Symbol::N(Nt::Value)];
+    while let Some(top) = stack.pop() {
+        if !ctx.tick() {
+            return Err(ctx.reject("hang: table loop out of fuel"));
+        }
+        match top {
+            Symbol::N(nt) => {
+                let la = ctx.frame(classify);
+                let Some(production) = table(ctx, nt, la) else {
+                    return Err(ctx.reject("table error"));
+                };
+                for sym in production.iter().rev() {
+                    stack.push(*sym);
+                }
+            }
+            Symbol::T(expected) => {
+                if !lit!(ctx, expected) {
+                    return Err(ctx.reject("unexpected terminal"));
+                }
+            }
+            Symbol::Number => {
+                if !range!(ctx, b'0', b'9') {
+                    return Err(ctx.reject("expected a number"));
+                }
+                ctx.advance();
+                while range!(ctx, b'0', b'9') {
+                    ctx.advance();
+                }
+            }
+            Symbol::True => {
+                if !kw!(ctx, "true") {
+                    return Err(ctx.reject("expected 'true'"));
+                }
+            }
+            Symbol::False => {
+                if !kw!(ctx, "false") {
+                    return Err(ctx.reject("expected 'false'"));
+                }
+            }
+        }
+    }
+    ctx.expect_end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_runtime::Event;
+
+    #[test]
+    fn accepts_corpus() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let s = subject();
+        for input in [
+            &b""[..],
+            b"[",
+            b"[1",
+            b"[1,]",
+            b"<1>",
+            b"<1:2",
+            b"tru",
+            b"x",
+            b"1]",
+            b"[,1]",
+        ] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn table_cells_are_coverage_points() {
+        // different productions consult different cells
+        let flat = subject().run(b"1");
+        let nested = subject().run(b"[1,2]");
+        let flat_branches = flat.log.branches();
+        let nested_branches = nested.log.branches();
+        assert!(nested_branches.len() > flat_branches.len());
+        // at least one synthetic table site appears
+        let has_table_site = nested.log.events.iter().any(|e| {
+            matches!(e, Event::Branch(b, _) if b.site.0 & 0xFFFF_0000 == 0x7AB1_0000)
+        });
+        assert!(has_table_site);
+    }
+
+    #[test]
+    fn keyword_rejection_suggests_suffix() {
+        let exec = subject().run(b"tX");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        assert!(
+            cands.iter().any(|c| c.bytes == b"rue".to_vec()),
+            "candidates: {cands:?}"
+        );
+    }
+
+}

@@ -1,0 +1,543 @@
+//! The `tinyC` subject, modelled on Marc Feeley's *Tiny-C* (Table 1:
+//! 191 LoC).
+//!
+//! Grammar of the original:
+//!
+//! ```text
+//! program    ::= statement
+//! statement  ::= "if" paren_expr statement ["else" statement]
+//!              | "while" paren_expr statement
+//!              | "do" statement "while" paren_expr ";"
+//!              | "{" statement* "}"
+//!              | expr ";"
+//!              | ";"
+//! paren_expr ::= "(" expr ")"
+//! expr       ::= test | id "=" expr
+//! test       ::= sum ["<" sum]
+//! sum        ::= term (("+"|"-") term)*
+//! term       ::= id | int | paren_expr
+//! ```
+//!
+//! Identifiers are single lowercase letters (26 variables); integers are
+//! digit sequences. Like the original, the tokenizer is interleaved with
+//! the parser and recognises keywords by reading a whole word into a
+//! buffer and `strcmp`-ing it against the keyword table — the taint-
+//! preserving path pFuzzer exploits. Parser-level comparisons are on
+//! token *kinds*, which (faithfully to Section 7.2) carry no taint.
+//!
+//! After a successful parse the program is executed by a tree-walking
+//! interpreter under the execution fuel budget, so a generated
+//! `while(9);` hangs the run and counts as invalid — the situation the
+//! paper had to patch by hand.
+
+use pdf_runtime::{
+    cov, one_of, peek_is, range, strcmp, ExecCtx, ParseError, Subject, TStr,
+};
+
+/// The instrumented tinyC subject.
+pub fn subject() -> Subject {
+    Subject::new("tinyC", run)
+}
+
+/// Valid inputs covering all statements, operators and the interpreter.
+pub fn reference_corpus() -> Vec<&'static [u8]> {
+    vec![
+        b";",
+        b"1;",
+        b"a=1;",
+        b"a=b=3;",
+        b"{a=1;b=2;}",
+        b"if(1)a=2;",
+        b"if(a<2)a=3;else a=4;",
+        b"while(a<10)a=a+1;",
+        b"do a=a+1; while(a<5);",
+        b"{i=1;while(i<20)i=i+i;}",
+        b"if(1<2){a=1;}else{a=2;}",
+        b"a=(1+2)-3;",
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// tokens
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Do,
+    Else,
+    If,
+    While,
+    Lbra,
+    Rbra,
+    Lpar,
+    Rpar,
+    Plus,
+    Minus,
+    Less,
+    Semi,
+    Equal,
+    Id(u8),
+    Int(i64),
+    Eof,
+}
+
+struct Lexer {
+    tok: Tok,
+}
+
+const KEYWORDS: [(&str, Tok); 4] = [
+    ("do", Tok::Do),
+    ("else", Tok::Else),
+    ("if", Tok::If),
+    ("while", Tok::While),
+];
+
+impl Lexer {
+    fn new(ctx: &mut ExecCtx) -> Result<Self, ParseError> {
+        let mut lx = Lexer { tok: Tok::Eof };
+        lx.next_token(ctx)?;
+        Ok(lx)
+    }
+
+    /// Reads the next token, recording tracked character comparisons
+    /// (direct taint flow) and a tracked `strcmp` per keyword-table entry
+    /// (taint preserved through the copy, as the paper's wrapped
+    /// `strcpy`/`strcmp` do).
+    fn next_token(&mut self, ctx: &mut ExecCtx) -> Result<(), ParseError> {
+        ctx.frame(|ctx| {
+            cov!(ctx);
+            while one_of!(ctx, b" \t\n\r") {
+                ctx.advance();
+            }
+            if ctx.peek().is_none() {
+                self.tok = Tok::Eof;
+                return Ok(());
+            }
+            // integers
+            if range!(ctx, b'0', b'9') {
+                cov!(ctx);
+                let mut v: i64 = 0;
+                while let Some(b) = ctx.peek() {
+                    if range!(ctx, b'0', b'9') {
+                        v = v.saturating_mul(10).saturating_add(i64::from(b - b'0'));
+                        ctx.advance();
+                    } else {
+                        break;
+                    }
+                }
+                self.tok = Tok::Int(v);
+                return Ok(());
+            }
+            // words: keywords or single-letter identifiers
+            if range!(ctx, b'a', b'z') {
+                cov!(ctx);
+                let mut word = TStr::new();
+                while let Some(b) = ctx.peek() {
+                    if range!(ctx, b'a', b'z') {
+                        word.push(b, ctx.pos());
+                        ctx.advance();
+                    } else {
+                        break;
+                    }
+                }
+                for (kw, tok) in KEYWORDS {
+                    if strcmp!(ctx, &word, kw) {
+                        cov!(ctx);
+                        self.tok = tok;
+                        return Ok(());
+                    }
+                }
+                if word.len() == 1 {
+                    cov!(ctx);
+                    self.tok = Tok::Id(word.byte(0) - b'a');
+                    return Ok(());
+                }
+                return Err(ctx.reject("unknown identifier"));
+            }
+            // single-character symbols
+            let sym = [
+                (b'{', Tok::Lbra),
+                (b'}', Tok::Rbra),
+                (b'(', Tok::Lpar),
+                (b')', Tok::Rpar),
+                (b'+', Tok::Plus),
+                (b'-', Tok::Minus),
+                (b'<', Tok::Less),
+                (b';', Tok::Semi),
+                (b'=', Tok::Equal),
+            ];
+            for (b, tok) in sym {
+                if peek_is!(ctx, b) {
+                    cov!(ctx);
+                    ctx.advance();
+                    self.tok = tok;
+                    return Ok(());
+                }
+            }
+            Err(ctx.reject("unexpected character"))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    While(Expr, Box<Stmt>),
+    DoWhile(Box<Stmt>, Expr),
+    Block(Vec<Stmt>),
+    Expr(Expr),
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Assign(u8, Box<Expr>),
+    Less(Box<Expr>, Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Var(u8),
+    Lit(i64),
+}
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+fn run(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    cov!(ctx);
+    let mut lx = Lexer::new(ctx)?;
+    let prog = statement(ctx, &mut lx)?;
+    if lx.tok != Tok::Eof {
+        return Err(ctx.reject("trailing input after program"));
+    }
+    cov!(ctx);
+    // `ctx.expect_end` already happened implicitly: the lexer consumed to
+    // EOF. Now execute the program (the paper's subjects "also execute").
+    let mut vars = [0i64; 26];
+    exec_stmt(ctx, &prog, &mut vars)?;
+    Ok(())
+}
+
+fn statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        match lx.tok {
+            Tok::If => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                let cond = paren_expr(ctx, lx)?;
+                let then = Box::new(statement(ctx, lx)?);
+                if lx.tok == Tok::Else {
+                    cov!(ctx);
+                    lx.next_token(ctx)?;
+                    let els = Box::new(statement(ctx, lx)?);
+                    Ok(Stmt::If(cond, then, Some(els)))
+                } else {
+                    Ok(Stmt::If(cond, then, None))
+                }
+            }
+            Tok::While => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                let cond = paren_expr(ctx, lx)?;
+                let body = Box::new(statement(ctx, lx)?);
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::Do => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                let body = Box::new(statement(ctx, lx)?);
+                if lx.tok != Tok::While {
+                    return Err(ctx.reject("expected 'while' after do-body"));
+                }
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                let cond = paren_expr(ctx, lx)?;
+                if lx.tok != Tok::Semi {
+                    return Err(ctx.reject("expected ';' after do-while"));
+                }
+                lx.next_token(ctx)?;
+                Ok(Stmt::DoWhile(body, cond))
+            }
+            Tok::Lbra => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                let mut stmts = Vec::new();
+                while lx.tok != Tok::Rbra {
+                    if lx.tok == Tok::Eof {
+                        return Err(ctx.reject("unterminated block"));
+                    }
+                    stmts.push(statement(ctx, lx)?);
+                }
+                lx.next_token(ctx)?;
+                Ok(Stmt::Block(stmts))
+            }
+            Tok::Semi => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                cov!(ctx);
+                let e = expr(ctx, lx)?;
+                if lx.tok != Tok::Semi {
+                    return Err(ctx.reject("expected ';' after expression"));
+                }
+                lx.next_token(ctx)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    })
+}
+
+fn paren_expr(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        if lx.tok != Tok::Lpar {
+            return Err(ctx.reject("expected '('"));
+        }
+        lx.next_token(ctx)?;
+        let e = expr(ctx, lx)?;
+        if lx.tok != Tok::Rpar {
+            return Err(ctx.reject("expected ')'"));
+        }
+        lx.next_token(ctx)?;
+        Ok(e)
+    })
+}
+
+fn expr(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        // like the original: parse a test, then turn `var = ...` into an
+        // assignment if an '=' follows
+        let t = test(ctx, lx)?;
+        if let Expr::Var(v) = t {
+            if lx.tok == Tok::Equal {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                let rhs = expr(ctx, lx)?;
+                return Ok(Expr::Assign(v, Box::new(rhs)));
+            }
+        }
+        Ok(t)
+    })
+}
+
+fn test(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let lhs = sum(ctx, lx)?;
+        if lx.tok == Tok::Less {
+            cov!(ctx);
+            lx.next_token(ctx)?;
+            let rhs = sum(ctx, lx)?;
+            Ok(Expr::Less(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    })
+}
+
+fn sum(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        let mut acc = term(ctx, lx)?;
+        loop {
+            match lx.tok {
+                Tok::Plus => {
+                    cov!(ctx);
+                    lx.next_token(ctx)?;
+                    let rhs = term(ctx, lx)?;
+                    acc = Expr::Add(Box::new(acc), Box::new(rhs));
+                }
+                Tok::Minus => {
+                    cov!(ctx);
+                    lx.next_token(ctx)?;
+                    let rhs = term(ctx, lx)?;
+                    acc = Expr::Sub(Box::new(acc), Box::new(rhs));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    })
+}
+
+fn term(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+    ctx.frame(|ctx| {
+        cov!(ctx);
+        match lx.tok {
+            Tok::Id(v) => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                Ok(Expr::Var(v))
+            }
+            Tok::Int(n) => {
+                cov!(ctx);
+                lx.next_token(ctx)?;
+                Ok(Expr::Lit(n))
+            }
+            Tok::Lpar => paren_expr(ctx, lx),
+            _ => Err(ctx.reject("expected a term")),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// interpreter
+// ---------------------------------------------------------------------------
+
+fn exec_stmt(ctx: &mut ExecCtx, s: &Stmt, vars: &mut [i64; 26]) -> Result<(), ParseError> {
+    if !ctx.tick() {
+        return Err(ctx.reject("hang: execution fuel exhausted"));
+    }
+    match s {
+        Stmt::If(c, t, e) => {
+            if eval(ctx, c, vars)? != 0 {
+                exec_stmt(ctx, t, vars)
+            } else if let Some(e) = e {
+                exec_stmt(ctx, e, vars)
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::While(c, body) => {
+            while eval(ctx, c, vars)? != 0 {
+                exec_stmt(ctx, body, vars)?;
+            }
+            Ok(())
+        }
+        Stmt::DoWhile(body, c) => {
+            loop {
+                exec_stmt(ctx, body, vars)?;
+                if eval(ctx, c, vars)? == 0 {
+                    break;
+                }
+            }
+            Ok(())
+        }
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                exec_stmt(ctx, s, vars)?;
+            }
+            Ok(())
+        }
+        Stmt::Expr(e) => {
+            eval(ctx, e, vars)?;
+            Ok(())
+        }
+        Stmt::Empty => Ok(()),
+    }
+}
+
+fn eval(ctx: &mut ExecCtx, e: &Expr, vars: &mut [i64; 26]) -> Result<i64, ParseError> {
+    if !ctx.tick() {
+        return Err(ctx.reject("hang: execution fuel exhausted"));
+    }
+    Ok(match e {
+        Expr::Assign(v, rhs) => {
+            let val = eval(ctx, rhs, vars)?;
+            vars[usize::from(*v)] = val;
+            val
+        }
+        Expr::Less(a, b) => i64::from(eval(ctx, a, vars)? < eval(ctx, b, vars)?),
+        Expr::Add(a, b) => eval(ctx, a, vars)?.wrapping_add(eval(ctx, b, vars)?),
+        Expr::Sub(a, b) => eval(ctx, a, vars)?.wrapping_sub(eval(ctx, b, vars)?),
+        Expr::Var(v) => vars[usize::from(*v)],
+        Expr::Lit(n) => *n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_corpus() {
+        let s = subject();
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let s = subject();
+        for input in [
+            &b""[..],
+            b"a=1",       // missing ';'
+            b"foo=1;",    // multi-letter identifier that is no keyword
+            b"if a=1;",   // missing parens
+            b"while()a;", // empty condition
+            b"do a=1;",   // missing while
+            b"{a=1;",     // unterminated block
+            b"a=1;;b=2;", // trailing input after program (two statements)
+            b"A=1;",      // uppercase identifier
+        ] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn space_seed_is_invalid_but_harmless() {
+        // a single space is whitespace then EOF: no statement
+        // (the original tinyC also errors on an empty program; AFL still
+        // uses the seed for mutation)
+        assert!(!subject().run(b" ").valid);
+    }
+
+    #[test]
+    fn semicolon_is_shortest_valid_input() {
+        assert!(subject().run(b";").valid);
+    }
+
+    #[test]
+    fn keyword_prefix_suggests_suffix() {
+        // "wh(" — the word "wh" strcmp'd against "while" suggests "ile"
+        let exec = subject().run(b"wh(1);");
+        assert!(!exec.valid);
+        let cands = exec.log.substitution_candidates();
+        assert!(
+            cands.iter().any(|c| c.bytes == b"ile".to_vec()),
+            "candidates: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn infinite_loop_is_a_hang() {
+        let exec = subject().run(b"while(9);");
+        assert!(!exec.valid);
+        assert!(exec.error.unwrap().contains("hang"));
+    }
+
+    #[test]
+    fn terminating_loop_is_valid() {
+        assert!(subject().run(b"while(0);").valid);
+        assert!(subject().run(b"{i=0;while(i<3)i=i+1;}").valid);
+    }
+
+    #[test]
+    fn do_while_executes_at_least_once() {
+        assert!(subject().run(b"do i=i+1; while(i<1);").valid);
+    }
+
+    #[test]
+    fn nested_statements() {
+        assert!(subject()
+            .run(b"{if(a<1){while(b<2)b=b+1;}else{do c=c-1; while(0);}}")
+            .valid);
+    }
+
+    #[test]
+    fn stack_depth_grows_with_expression_nesting() {
+        let shallow = subject().run(b"a=1;");
+        let deep = subject().run(b"a=((((1))));");
+        let d1 = shallow.log.comparisons().map(|c| c.depth).max().unwrap();
+        let d2 = deep.log.comparisons().map(|c| c.depth).max().unwrap();
+        assert!(d2 > d1, "shallow {d1}, deep {d2}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over the subject parsers: acceptance must match
+//! the intended language, and generated members of each language must
+//! be accepted.
+
+use proptest::prelude::*;
+
+use pdf_subjects::{csv, dyck, ini, json, mjs, tinyc};
+
+/// Renders a random JSON value as text; by construction the subject
+/// must accept it.
+fn json_value(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        Just("true".to_string()),
+        Just("false".to_string()),
+        Just("null".to_string()),
+        (0u32..1000).prop_map(|n| n.to_string()),
+        "[a-z]{0,6}".prop_map(|s| format!("{s:?}")),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4)
+                .prop_map(|items| format!("[{}]", items.join(","))),
+            proptest::collection::vec(("[a-z]{1,4}", inner), 0..4).prop_map(|props| {
+                let body: Vec<String> = props
+                    .into_iter()
+                    .map(|(k, v)| format!("{k:?}: {v}"))
+                    .collect();
+                format!("{{{}}}", body.join(", "))
+            }),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn json_subject_accepts_generated_json(value in json_value(3)) {
+        let exec = json::subject().run(value.as_bytes());
+        prop_assert!(exec.valid, "{value}: {:?}", exec.error);
+    }
+
+    #[test]
+    fn json_trailing_garbage_rejected(value in json_value(2), garbage in "[a-z!@]{1,3}") {
+        // a value followed by a non-whitespace tail must be rejected
+        let text = format!("{value} {garbage}");
+        prop_assert!(!json::subject().run(text.as_bytes()).valid, "{text}");
+    }
+
+    #[test]
+    fn dyck_accepts_balanced(depth in 1usize..8, width in 1usize..4) {
+        let mut s = String::new();
+        for _ in 0..width {
+            let mut part = String::from("()");
+            for d in 0..depth {
+                let (open, close) = [('(', ')'), ('[', ']'), ('<', '>'), ('{', '}')][d % 4];
+                part = format!("{open}{part}{close}");
+            }
+            s.push_str(&part);
+        }
+        prop_assert!(dyck::subject().run(s.as_bytes()).valid, "{s}");
+    }
+
+    #[test]
+    fn dyck_rejects_any_prefix(depth in 1usize..8) {
+        // every proper prefix of a balanced string is invalid
+        let mut s = String::from("()");
+        for d in 0..depth {
+            let (open, close) = [('(', ')'), ('[', ']'), ('<', '>'), ('{', '}')][d % 4];
+            s = format!("{open}{s}{close}");
+        }
+        for cut in 1..s.len() {
+            let prefix = &s[..cut];
+            prop_assert!(!dyck::subject().run(prefix.as_bytes()).valid, "{prefix}");
+        }
+    }
+
+    #[test]
+    fn ini_accepts_generated_files(
+        sections in proptest::collection::vec(("[a-z]{1,6}", proptest::collection::vec(("[a-z]{1,5}", "[a-z0-9 ]{0,8}"), 0..3)), 0..3)
+    ) {
+        let mut text = String::new();
+        for (name, pairs) in &sections {
+            text.push_str(&format!("[{name}]\n"));
+            for (k, v) in pairs {
+                text.push_str(&format!("{k}={v}\n"));
+            }
+        }
+        let exec = ini::subject().run(text.as_bytes());
+        prop_assert!(exec.valid, "{text}: {:?}", exec.error);
+    }
+
+    #[test]
+    fn csv_accepts_generated_tables(
+        rows in proptest::collection::vec(proptest::collection::vec("[a-z0-9 ]{0,6}", 1..4), 1..4)
+    ) {
+        let text: String = rows
+            .iter()
+            .map(|r| r.join(","))
+            .collect::<Vec<_>>()
+            .join("\n");
+        prop_assert!(csv::subject().run(text.as_bytes()).valid, "{text}");
+    }
+
+    #[test]
+    fn csv_quoted_fields_roundtrip(content in "[a-z,\n]{0,10}") {
+        // any content is expressible inside a quoted field (quotes doubled)
+        let quoted = format!("\"{}\"", content.replace('"', "\"\""));
+        prop_assert!(csv::subject().run(quoted.as_bytes()).valid, "{quoted}");
+    }
+
+    #[test]
+    fn tinyc_accepts_generated_statements(
+        assigns in proptest::collection::vec(("[a-z]", 0u32..100), 1..5)
+    ) {
+        let mut text = String::from("{");
+        for (var, value) in &assigns {
+            text.push_str(&format!("{var}={value};"));
+        }
+        text.push('}');
+        let exec = tinyc::subject().run(text.as_bytes());
+        prop_assert!(exec.valid, "{text}: {:?}", exec.error);
+    }
+
+    #[test]
+    fn tinyc_rejects_missing_semicolons(var in "[a-z]", value in 0u32..100) {
+        let text = format!("{var}={value}");
+        prop_assert!(!tinyc::subject().run(text.as_bytes()).valid);
+    }
+
+    #[test]
+    fn mjs_accepts_generated_expression_statements(
+        terms in proptest::collection::vec((0u32..100, prop_oneof![Just("+"), Just("-"), Just("*"), Just("&&")]), 1..5),
+        last in 0u32..100
+    ) {
+        let mut text = String::from("x = ");
+        for (n, op) in &terms {
+            text.push_str(&format!("{n} {op} "));
+        }
+        text.push_str(&format!("{last};"));
+        let exec = mjs::subject().run(text.as_bytes());
+        prop_assert!(exec.valid, "{text}: {:?}", exec.error);
+    }
+
+    #[test]
+    fn mjs_string_literals_roundtrip(content in "[a-zA-Z0-9 ]{0,12}") {
+        let text = format!("x = \"{content}\";");
+        prop_assert!(mjs::subject().run(text.as_bytes()).valid, "{text}");
+    }
+
+    #[test]
+    fn subjects_never_accept_and_reject_based_on_fuel_nondeterminism(
+        input in proptest::collection::vec(any::<u8>(), 0..40)
+    ) {
+        // verdicts are pure functions of the input
+        for info in pdf_subjects::all_subjects() {
+            let a = info.subject.run(&input).valid;
+            let b = info.subject.run(&input).valid;
+            prop_assert_eq!(a, b, "{} flaky", info.name);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Path conditions: the symbolic reading of an execution's comparison
+//! log.
+
+use pdf_runtime::{CmpValue, Event, ExecLog};
+
+/// One conjunct of a path condition, as a constraint over input bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// The byte at `index` equals (`eq = true`) or differs from `value`.
+    Byte {
+        /// Input index.
+        index: usize,
+        /// Compared value.
+        value: u8,
+        /// Polarity.
+        eq: bool,
+    },
+    /// The byte at `index` lies inside (`inside = true`) or outside the
+    /// inclusive range.
+    Range {
+        /// Input index.
+        index: usize,
+        /// Range start.
+        lo: u8,
+        /// Range end.
+        hi: u8,
+        /// Polarity.
+        inside: bool,
+    },
+    /// The bytes starting at `start` match (`ok = true`) or fail to
+    /// match the string `full` (a `strcmp`).
+    Str {
+        /// Index of the first compared byte.
+        start: usize,
+        /// The expected string.
+        full: Vec<u8>,
+        /// Bytes that agreed before divergence.
+        matched: usize,
+        /// Polarity.
+        ok: bool,
+    },
+    /// The input ended at `index` (`hit = true`: the parser read past
+    /// the end there) or extends beyond it.
+    Eof {
+        /// The index of the past-the-end read.
+        index: usize,
+        /// Polarity.
+        hit: bool,
+    },
+}
+
+/// Extracts the path condition from an execution log, in program order.
+pub fn path_condition(log: &ExecLog) -> Vec<Cond> {
+    let mut conds = Vec::new();
+    // A run logs one EOF access per past-the-end read, all at the same
+    // index (the input length); a single conjunct carries all the
+    // information, and keeping duplicates would make extending the input
+    // (negating a later copy under an earlier one) spuriously infeasible.
+    let mut eof_seen = false;
+    for event in &log.events {
+        match event {
+            Event::Cmp(c) => match &c.expected {
+                CmpValue::Byte(b) => {
+                    if c.observed.is_some() {
+                        conds.push(Cond::Byte {
+                            index: c.index,
+                            value: *b,
+                            eq: c.outcome,
+                        });
+                    }
+                }
+                CmpValue::Range(lo, hi) => {
+                    if c.observed.is_some() {
+                        conds.push(Cond::Range {
+                            index: c.index,
+                            lo: *lo,
+                            hi: *hi,
+                            inside: c.outcome,
+                        });
+                    }
+                }
+                CmpValue::Str { full, matched } => {
+                    let start = c.index.saturating_sub(*matched);
+                    conds.push(Cond::Str {
+                        start,
+                        full: full.clone(),
+                        matched: *matched,
+                        ok: c.outcome,
+                    });
+                }
+            },
+            Event::EofAccess(i) => {
+                if !eof_seen {
+                    eof_seen = true;
+                    conds.push(Cond::Eof {
+                        index: *i,
+                        hit: true,
+                    });
+                }
+            }
+            Event::Branch(..) => {}
+        }
+    }
+    conds
+}
+
+/// Negates one conjunct, if a useful negation exists.
+pub fn negate(cond: &Cond) -> Option<Cond> {
+    match cond {
+        Cond::Byte { index, value, eq } => Some(Cond::Byte {
+            index: *index,
+            value: *value,
+            eq: !eq,
+        }),
+        Cond::Range { index, lo, hi, inside } => Some(Cond::Range {
+            index: *index,
+            lo: *lo,
+            hi: *hi,
+            inside: !inside,
+        }),
+        Cond::Str {
+            start,
+            full,
+            matched,
+            ok,
+        } => Some(Cond::Str {
+            start: *start,
+            full: full.clone(),
+            // Negating a *successful* strcmp means forcing a divergence;
+            // resetting `matched` to 0 encodes "diverge at the first
+            // byte" for the solver. Negating a failure keeps `matched`
+            // so the solver asserts the full string.
+            matched: if *ok { 0 } else { *matched },
+            ok: !ok,
+        }),
+        Cond::Eof { index, hit } => Some(Cond::Eof {
+            index: *index,
+            hit: !hit,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdf_runtime::{Cmp, SiteId};
+
+    fn cmp_event(index: usize, observed: Option<u8>, expected: CmpValue, outcome: bool) -> Event {
+        Event::Cmp(Cmp {
+            index,
+            observed,
+            expected,
+            outcome,
+            depth: 0,
+            site: SiteId::from_raw(1),
+        })
+    }
+
+    #[test]
+    fn byte_comparisons_become_conditions() {
+        let log = ExecLog {
+            events: vec![
+                cmp_event(0, Some(b'a'), CmpValue::Byte(b'a'), true),
+                cmp_event(1, Some(b'x'), CmpValue::Byte(b'b'), false),
+            ],
+            input_len: 2,
+        };
+        let conds = path_condition(&log);
+        assert_eq!(
+            conds,
+            vec![
+                Cond::Byte { index: 0, value: b'a', eq: true },
+                Cond::Byte { index: 1, value: b'b', eq: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn eof_comparisons_are_skipped_but_eof_access_kept() {
+        let log = ExecLog {
+            events: vec![
+                Event::EofAccess(0),
+                cmp_event(0, None, CmpValue::Byte(b'a'), false),
+            ],
+            input_len: 0,
+        };
+        let conds = path_condition(&log);
+        assert_eq!(conds, vec![Cond::Eof { index: 0, hit: true }]);
+    }
+
+    #[test]
+    fn strcmp_keeps_start_offset() {
+        // "wh" matched 2 bytes of "while", failing at index 5 (start 3)
+        let log = ExecLog {
+            events: vec![cmp_event(
+                5,
+                Some(b'x'),
+                CmpValue::Str {
+                    full: b"while".to_vec(),
+                    matched: 2,
+                },
+                false,
+            )],
+            input_len: 6,
+        };
+        let conds = path_condition(&log);
+        assert_eq!(
+            conds,
+            vec![Cond::Str {
+                start: 3,
+                full: b"while".to_vec(),
+                matched: 2,
+                ok: false
+            }]
+        );
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let c = Cond::Byte {
+            index: 0,
+            value: b'a',
+            eq: true,
+        };
+        assert_eq!(
+            negate(&c),
+            Some(Cond::Byte {
+                index: 0,
+                value: b'a',
+                eq: false
+            })
+        );
+        let e = Cond::Eof { index: 3, hit: true };
+        assert_eq!(negate(&e), Some(Cond::Eof { index: 3, hit: false }));
+    }
+}

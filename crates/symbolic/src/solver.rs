@@ -1,0 +1,352 @@
+//! A complete solver for byte-domain path conditions.
+//!
+//! At the parser level every KLEE query is a conjunction of per-byte
+//! (dis)equalities, range tests and `strcmp` prefixes, plus a length
+//! constraint from EOF accesses. Each byte gets a 256-bit domain; the
+//! conjunction is solved by intersection. The solver is sound and
+//! complete for this constraint language.
+
+use crate::path::Cond;
+
+/// A set of feasible values for one input byte (256-bit mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain([u64; 4]);
+
+impl Default for Domain {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl Domain {
+    /// All 256 byte values.
+    pub fn full() -> Self {
+        Domain([u64::MAX; 4])
+    }
+
+    /// The empty domain.
+    pub fn empty() -> Self {
+        Domain([0; 4])
+    }
+
+    /// Whether no value remains.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `b` is in the domain.
+    pub fn contains(&self, b: u8) -> bool {
+        self.0[usize::from(b) / 64] & (1u64 << (usize::from(b) % 64)) != 0
+    }
+
+    /// Restricts to exactly `b` (intersection with the singleton).
+    pub fn require(&mut self, b: u8) {
+        let mut only = Domain::empty();
+        only.0[usize::from(b) / 64] |= 1u64 << (usize::from(b) % 64);
+        for i in 0..4 {
+            self.0[i] &= only.0[i];
+        }
+    }
+
+    /// Removes `b`.
+    pub fn exclude(&mut self, b: u8) {
+        self.0[usize::from(b) / 64] &= !(1u64 << (usize::from(b) % 64));
+    }
+
+    /// Intersects with the inclusive range.
+    pub fn intersect_range(&mut self, lo: u8, hi: u8) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        for v in 0..=255u8 {
+            if v < lo || v > hi {
+                self.exclude(v);
+            }
+        }
+    }
+
+    /// Removes the inclusive range.
+    pub fn subtract_range(&mut self, lo: u8, hi: u8) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        for v in lo..=hi {
+            self.exclude(v);
+        }
+    }
+
+    /// Picks a deterministic witness: `preferred` when feasible, else
+    /// the smallest printable value, else the smallest value.
+    pub fn pick(&self, preferred: u8) -> Option<u8> {
+        if self.contains(preferred) {
+            return Some(preferred);
+        }
+        (0x20..0x7fu8)
+            .find(|&b| self.contains(b))
+            .or_else(|| (0..=255u8).find(|&b| self.contains(b)))
+    }
+}
+
+/// Solves a conjunction of conditions; returns a satisfying input, or
+/// `None` when the conjunction is infeasible.
+pub fn solve(conds: &[Cond], filler: u8) -> Option<Vec<u8>> {
+    let mut domains: Vec<Domain> = Vec::new();
+    let mut exact_len: Option<usize> = None;
+    let mut min_len: usize = 0;
+
+    let ensure = |domains: &mut Vec<Domain>, index: usize| {
+        if domains.len() <= index {
+            domains.resize(index + 1, Domain::full());
+        }
+    };
+
+    for cond in conds {
+        match cond {
+            Cond::Byte { index, value, eq } => {
+                ensure(&mut domains, *index);
+                min_len = min_len.max(index + 1);
+                if *eq {
+                    domains[*index].require(*value);
+                } else {
+                    domains[*index].exclude(*value);
+                }
+            }
+            Cond::Range { index, lo, hi, inside } => {
+                ensure(&mut domains, *index);
+                min_len = min_len.max(index + 1);
+                if *inside {
+                    domains[*index].intersect_range(*lo, *hi);
+                } else {
+                    domains[*index].subtract_range(*lo, *hi);
+                }
+            }
+            Cond::Str {
+                start,
+                full,
+                matched,
+                ok,
+            } => {
+                if *ok {
+                    // the whole string is present at `start`
+                    for (k, &b) in full.iter().enumerate() {
+                        ensure(&mut domains, start + k);
+                        domains[start + k].require(b);
+                    }
+                    min_len = min_len.max(start + full.len());
+                } else {
+                    // the matched prefix is present; when matching
+                    // diverged inside the string, the byte right after
+                    // the prefix differs. (When `matched == full.len()`
+                    // the failure came from the tainted string being
+                    // longer — keep just the prefix facts; the next
+                    // concolic run re-collects the rest.)
+                    let div = (*matched).min(full.len());
+                    for (k, &b) in full[..div].iter().enumerate() {
+                        ensure(&mut domains, start + k);
+                        domains[start + k].require(b);
+                    }
+                    min_len = min_len.max(start + div);
+                    if div < full.len() {
+                        ensure(&mut domains, start + div);
+                        domains[start + div].exclude(full[div]);
+                        min_len = min_len.max(start + div + 1);
+                    }
+                }
+            }
+            Cond::Eof { index, hit } => {
+                if *hit {
+                    match exact_len {
+                        Some(l) if l != *index => return None,
+                        _ => exact_len = Some(*index),
+                    }
+                } else {
+                    min_len = min_len.max(index + 1);
+                }
+            }
+        }
+    }
+
+    let len = match exact_len {
+        Some(l) => {
+            if l < min_len {
+                return None;
+            }
+            l
+        }
+        None => min_len,
+    };
+    // constraints beyond the final length are contradictory
+    if domains.len() > len && domains[len..].iter().any(|d| *d != Domain::full()) {
+        return None;
+    }
+
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let d = domains.get(i).copied().unwrap_or_else(Domain::full);
+        if d.is_empty() {
+            return None;
+        }
+        out.push(d.pick(filler)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_full_and_exclude() {
+        let mut d = Domain::full();
+        assert!(d.contains(0));
+        assert!(d.contains(255));
+        d.exclude(b'a');
+        assert!(!d.contains(b'a'));
+        assert!(d.contains(b'b'));
+    }
+
+    #[test]
+    fn domain_require() {
+        let mut d = Domain::full();
+        d.require(b'x');
+        assert!(d.contains(b'x'));
+        assert!(!d.contains(b'y'));
+        d.require(b'y');
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn domain_ranges() {
+        let mut d = Domain::full();
+        d.intersect_range(b'0', b'9');
+        assert!(d.contains(b'5'));
+        assert!(!d.contains(b'a'));
+        d.subtract_range(b'0', b'4');
+        assert!(!d.contains(b'3'));
+        assert!(d.contains(b'7'));
+    }
+
+    #[test]
+    fn domain_pick_prefers_filler_then_printable() {
+        let mut d = Domain::full();
+        assert_eq!(d.pick(b' '), Some(b' '));
+        d.exclude(b' ');
+        assert_eq!(d.pick(b' '), Some(b'!'));
+        let mut only_nul = Domain::empty();
+        only_nul.0[0] = 1;
+        assert_eq!(only_nul.pick(b' '), Some(0));
+        assert_eq!(Domain::empty().pick(b' '), None);
+    }
+
+    #[test]
+    fn solve_simple_equality() {
+        let conds = vec![Cond::Byte {
+            index: 0,
+            value: b'(',
+            eq: true,
+        }];
+        assert_eq!(solve(&conds, b' '), Some(b"(".to_vec()));
+    }
+
+    #[test]
+    fn solve_fills_gaps_with_filler() {
+        let conds = vec![Cond::Byte {
+            index: 2,
+            value: b'x',
+            eq: true,
+        }];
+        assert_eq!(solve(&conds, b'.'), Some(b"..x".to_vec()));
+    }
+
+    #[test]
+    fn solve_detects_conflicts() {
+        let conds = vec![
+            Cond::Byte { index: 0, value: b'a', eq: true },
+            Cond::Byte { index: 0, value: b'a', eq: false },
+        ];
+        assert_eq!(solve(&conds, b' '), None);
+    }
+
+    #[test]
+    fn solve_range_and_disequality() {
+        let conds = vec![
+            Cond::Range { index: 0, lo: b'0', hi: b'9', inside: true },
+            Cond::Byte { index: 0, value: b'0', eq: false },
+        ];
+        let out = solve(&conds, b' ').unwrap();
+        assert!(out[0].is_ascii_digit() && out[0] != b'0');
+    }
+
+    #[test]
+    fn solve_str_ok_inserts_keyword() {
+        let conds = vec![Cond::Str {
+            start: 1,
+            full: b"while".to_vec(),
+            matched: 2,
+            ok: true,
+        }];
+        assert_eq!(solve(&conds, b'.'), Some(b".while".to_vec()));
+    }
+
+    #[test]
+    fn solve_str_fail_diverges_after_prefix() {
+        let conds = vec![Cond::Str {
+            start: 0,
+            full: b"for".to_vec(),
+            matched: 2,
+            ok: false,
+        }];
+        let out = solve(&conds, b' ').unwrap();
+        assert_eq!(&out[..2], b"fo");
+        assert_ne!(out[2], b'r');
+    }
+
+    #[test]
+    fn solve_negated_success_diverges_at_start() {
+        // negate() encodes a forced divergence as matched = 0
+        let conds = vec![Cond::Str {
+            start: 0,
+            full: b"if".to_vec(),
+            matched: 0,
+            ok: false,
+        }];
+        let out = solve(&conds, b' ').unwrap();
+        assert_ne!(out[0], b'i');
+    }
+
+    #[test]
+    fn solve_overlong_match_keeps_prefix_only() {
+        // a real failed strcmp where the tainted string was longer than
+        // the expected one: the prefix holds, nothing else is asserted
+        let conds = vec![Cond::Str {
+            start: 0,
+            full: b"for".to_vec(),
+            matched: 3,
+            ok: false,
+        }];
+        assert_eq!(solve(&conds, b' '), Some(b"for".to_vec()));
+    }
+
+    #[test]
+    fn eof_exact_length() {
+        let conds = vec![
+            Cond::Byte { index: 0, value: b'(', eq: true },
+            Cond::Eof { index: 1, hit: true },
+        ];
+        assert_eq!(solve(&conds, b' '), Some(b"(".to_vec()));
+    }
+
+    #[test]
+    fn negated_eof_extends_input() {
+        let conds = vec![
+            Cond::Byte { index: 0, value: b'(', eq: true },
+            Cond::Eof { index: 1, hit: false },
+        ];
+        assert_eq!(solve(&conds, b' '), Some(b"( ".to_vec()));
+    }
+
+    #[test]
+    fn conflicting_lengths_are_infeasible() {
+        let conds = vec![
+            Cond::Eof { index: 1, hit: true },
+            Cond::Byte { index: 3, value: b'x', eq: true },
+        ];
+        assert_eq!(solve(&conds, b' '), None);
+    }
+}

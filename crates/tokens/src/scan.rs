@@ -1,0 +1,521 @@
+//! Per-subject scanners mapping a valid input to the inventory tokens it
+//! contains.
+//!
+//! These are deliberately *untracked* re-lexers (they run outside the
+//! instrumented subjects): the evaluation counts tokens in the corpus a
+//! tool produced, exactly as the paper post-processes tool outputs.
+
+/// Returns the inventory token names present in `input` for `subject`.
+/// Unknown subjects yield an empty list; malformed inputs are scanned
+/// best-effort (the measurement only ever runs on valid inputs).
+pub fn found_tokens(subject: &str, input: &[u8]) -> Vec<&'static str> {
+    match subject {
+        "ini" => scan_ini(input),
+        "csv" => scan_csv(input),
+        "cjson" | "json" => scan_json(input),
+        "tinyC" | "tinyc" => scan_tinyc(input),
+        "mjs" => scan_mjs(input),
+        _ => Vec::new(),
+    }
+}
+
+fn push(out: &mut Vec<&'static str>, name: &'static str) {
+    if !out.contains(&name) {
+        out.push(name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ini
+// ---------------------------------------------------------------------------
+
+fn scan_ini(input: &[u8]) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    for line in input.split(|&b| b == b'\n') {
+        let trimmed: Vec<u8> = line
+            .iter()
+            .copied()
+            .skip_while(|b| *b == b' ' || *b == b'\t')
+            .collect();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed[0] == b';' {
+            push(&mut out, ";");
+            continue;
+        }
+        if trimmed[0] == b'[' {
+            push(&mut out, "[");
+            if trimmed.contains(&b']') {
+                push(&mut out, "]");
+            }
+            continue;
+        }
+        if let Some(sep) = trimmed.iter().position(|&b| b == b'=' || b == b':') {
+            push(&mut out, if trimmed[sep] == b'=' { "=" } else { ":" });
+            if sep > 0 {
+                push(&mut out, "name");
+            }
+            let value = &trimmed[sep + 1..];
+            let value_end = value
+                .iter()
+                .position(|&b| b == b';')
+                .unwrap_or(value.len());
+            if value[..value_end].iter().any(|b| !b.is_ascii_whitespace()) {
+                push(&mut out, "value");
+            }
+            if value_end < value.len() {
+                push(&mut out, ";");
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// csv
+// ---------------------------------------------------------------------------
+
+fn scan_csv(input: &[u8]) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut field_len = 0usize;
+    while i < input.len() {
+        match input[i] {
+            b',' => {
+                push(&mut out, ",");
+                field_len = 0;
+                i += 1;
+            }
+            b'\n' => {
+                push(&mut out, "newline");
+                field_len = 0;
+                i += 1;
+            }
+            b'\r' => {
+                i += 1;
+            }
+            b'"' => {
+                push(&mut out, "quoted");
+                i += 1;
+                while i < input.len() {
+                    if input[i] == b'"' {
+                        if input.get(i + 1) == Some(&b'"') {
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                field_len = 0;
+            }
+            _ => {
+                field_len += 1;
+                if field_len == 1 {
+                    push(&mut out, "field");
+                }
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// json
+// ---------------------------------------------------------------------------
+
+fn scan_json(input: &[u8]) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        match input[i] {
+            b'{' => push(&mut out, "{"),
+            b'}' => push(&mut out, "}"),
+            b'[' => push(&mut out, "["),
+            b']' => push(&mut out, "]"),
+            b':' => push(&mut out, ":"),
+            b',' => push(&mut out, ","),
+            b'-' => push(&mut out, "-"),
+            b'0'..=b'9' => {
+                push(&mut out, "number");
+                while i + 1 < input.len()
+                    && (input[i + 1].is_ascii_digit()
+                        || matches!(input[i + 1], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                push(&mut out, "string");
+                i += 1;
+                while i < input.len() && input[i] != b'"' {
+                    if input[i] == b'\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b't' if input[i..].starts_with(b"true") => {
+                push(&mut out, "true");
+                i += 3;
+            }
+            b'f' if input[i..].starts_with(b"false") => {
+                push(&mut out, "false");
+                i += 4;
+            }
+            b'n' if input[i..].starts_with(b"null") => {
+                push(&mut out, "null");
+                i += 3;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// tinyC
+// ---------------------------------------------------------------------------
+
+fn scan_tinyc(input: &[u8]) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        match b {
+            b'<' => push(&mut out, "<"),
+            b'+' => push(&mut out, "+"),
+            b'-' => push(&mut out, "-"),
+            b';' => push(&mut out, ";"),
+            b'=' => push(&mut out, "="),
+            b'{' => push(&mut out, "{"),
+            b'}' => push(&mut out, "}"),
+            b'(' => push(&mut out, "("),
+            b')' => push(&mut out, ")"),
+            b'0'..=b'9' => {
+                push(&mut out, "number");
+                while i + 1 < input.len() && input[i + 1].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            b'a'..=b'z' => {
+                let start = i;
+                while i + 1 < input.len() && input[i + 1].is_ascii_lowercase() {
+                    i += 1;
+                }
+                match &input[start..=i] {
+                    b"if" => push(&mut out, "if"),
+                    b"do" => push(&mut out, "do"),
+                    b"else" => push(&mut out, "else"),
+                    b"while" => push(&mut out, "while"),
+                    word if word.len() == 1 => push(&mut out, "identifier"),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// mjs
+// ---------------------------------------------------------------------------
+
+/// Keywords and builtin names that are inventory tokens; all other words
+/// count as the `identifier` class.
+const MJS_WORDS: [&str; 40] = [
+    "if", "in", "do", "of", "for", "try", "let", "var", "new", "NaN", "abs", "pow", "true",
+    "null", "void", "with", "else", "case", "this", "Math", "JSON", "false", "throw", "while",
+    "break", "catch", "const", "floor", "slice", "split", "return", "delete", "typeof",
+    "Object", "switch", "String", "length", "default", "finally", "indexOf",
+];
+const MJS_LONG_WORDS: [&str; 6] = [
+    "continue",
+    "function",
+    "debugger",
+    "undefined",
+    "stringify",
+    "instanceof",
+];
+
+/// mjs multi-character operators, longest first (maximal munch).
+const MJS_OPS: [&str; 25] = [
+    ">>>=", "===", "!==", "<<=", ">>=", ">>>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "==", "!=", "<=", ">=", "<<", ">>", "&&", "||", "++", "--", "**",
+];
+
+fn scan_mjs(input: &[u8]) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b == b'$';
+    'outer: while i < input.len() {
+        let b = input[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if b == b'/' && input.get(i + 1) == Some(&b'/') {
+            while i < input.len() && input[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if b == b'/' && input.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < input.len() && !(input[i] == b'*' && input[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(input.len());
+            continue;
+        }
+        // strings
+        if b == b'"' || b == b'\'' {
+            push(&mut out, if b == b'"' { "string" } else { "sq-string" });
+            i += 1;
+            while i < input.len() && input[i] != b {
+                if input[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // numbers
+        if b.is_ascii_digit() {
+            push(&mut out, "number");
+            while i < input.len()
+                && (input[i].is_ascii_digit() || matches!(input[i], b'.' | b'e' | b'E'))
+            {
+                i += 1;
+            }
+            continue;
+        }
+        // words
+        if b.is_ascii_alphabetic() || b == b'_' || b == b'$' {
+            let start = i;
+            while i < input.len() && is_word(input[i]) {
+                i += 1;
+            }
+            let word = std::str::from_utf8(&input[start..i]).unwrap_or("");
+            if let Some(&name) = MJS_WORDS.iter().find(|&&w| w == word) {
+                push(&mut out, name);
+            } else if let Some(&name) = MJS_LONG_WORDS.iter().find(|&&w| w == word) {
+                push(&mut out, name);
+            } else {
+                push(&mut out, "identifier");
+            }
+            continue;
+        }
+        // multi-char operators, longest first
+        for op in MJS_OPS {
+            if input[i..].starts_with(op.as_bytes()) {
+                push(&mut out, op);
+                i += op.len();
+                continue 'outer;
+            }
+        }
+        // single characters
+        let single: Option<&'static str> = match b {
+            b'{' => Some("{"),
+            b'}' => Some("}"),
+            b'(' => Some("("),
+            b')' => Some(")"),
+            b'[' => Some("["),
+            b']' => Some("]"),
+            b'+' => Some("+"),
+            b'-' => Some("-"),
+            b'*' => Some("*"),
+            b'/' => Some("/"),
+            b'%' => Some("%"),
+            b'&' => Some("&"),
+            b'|' => Some("|"),
+            b'^' => Some("^"),
+            b'~' => Some("~"),
+            b'!' => Some("!"),
+            b'?' => Some("?"),
+            b':' => Some(":"),
+            b';' => Some(";"),
+            b',' => Some(","),
+            b'<' => Some("<"),
+            b'>' => Some(">"),
+            b'=' => Some("="),
+            b'.' => Some("."),
+            _ => None,
+        };
+        if let Some(name) = single {
+            push(&mut out, name);
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ini_tokens() {
+        let found = found_tokens("ini", b"[sec]\nkey=val ; note\nalt:2\n");
+        for t in ["[", "]", "=", ":", ";", "name", "value"] {
+            assert!(found.contains(&t), "missing {t}: {found:?}");
+        }
+    }
+
+    #[test]
+    fn ini_empty_value_not_counted() {
+        let found = found_tokens("ini", b"key=\n");
+        assert!(found.contains(&"name"));
+        assert!(!found.contains(&"value"));
+    }
+
+    #[test]
+    fn csv_tokens() {
+        let found = found_tokens("csv", b"a,\"q\"\nb");
+        for t in [",", "field", "newline", "quoted"] {
+            assert!(found.contains(&t), "missing {t}: {found:?}");
+        }
+    }
+
+    #[test]
+    fn json_tokens_full() {
+        let found = found_tokens("cjson", b"{\"k\": [1, -2, true, false, null]}");
+        for t in ["{", "}", "[", "]", ":", ",", "-", "number", "string", "true", "false", "null"] {
+            assert!(found.contains(&t), "missing {t}: {found:?}");
+        }
+        assert_eq!(found.len(), 12);
+    }
+
+    #[test]
+    fn json_bare_minus_and_number_distinct() {
+        assert_eq!(found_tokens("cjson", b"5"), vec!["number"]);
+        let with_minus = found_tokens("cjson", b"-5");
+        assert!(with_minus.contains(&"-"));
+        assert!(with_minus.contains(&"number"));
+    }
+
+    #[test]
+    fn tinyc_tokens() {
+        let found = found_tokens("tinyC", b"if(a<2)a=3;else while(0)do;while(0);");
+        for t in ["if", "else", "while", "do", "(", ")", "<", ";", "=", "identifier", "number"] {
+            assert!(found.contains(&t), "missing {t}: {found:?}");
+        }
+    }
+
+    #[test]
+    fn tinyc_keyword_not_identifier() {
+        let found = found_tokens("tinyC", b"while(0);");
+        assert!(found.contains(&"while"));
+        assert!(!found.contains(&"identifier"));
+    }
+
+    #[test]
+    fn mjs_keywords_and_builtins() {
+        let found = found_tokens(
+            "mjs",
+            b"x = JSON.stringify([1].indexOf(0)); while (false) { typeof undefined; }",
+        );
+        for t in ["JSON", "stringify", "indexOf", "while", "false", "typeof", "undefined",
+                  "identifier", "number", "=", ".", ";", "(", ")", "[", "]", "{", "}"] {
+            assert!(found.contains(&t), "missing {t}: {found:?}");
+        }
+    }
+
+    #[test]
+    fn mjs_maximal_munch() {
+        let found = found_tokens("mjs", b"a >>>= b === c ** d;");
+        assert!(found.contains(&">>>="));
+        assert!(found.contains(&"==="));
+        assert!(found.contains(&"**"));
+        // the components must NOT be counted
+        assert!(!found.contains(&">"));
+        assert!(!found.contains(&"=="));
+        assert!(!found.contains(&"*"));
+    }
+
+    #[test]
+    fn mjs_string_kinds() {
+        let found = found_tokens("mjs", b"a = \"x\"; b = 'y';");
+        assert!(found.contains(&"string"));
+        assert!(found.contains(&"sq-string"));
+    }
+
+    #[test]
+    fn mjs_comments_skipped() {
+        let found = found_tokens("mjs", b"// while\n/* for */ x;");
+        assert!(!found.contains(&"while"));
+        assert!(!found.contains(&"for"));
+        assert!(found.contains(&"identifier"));
+    }
+
+    #[test]
+    fn every_mjs_inventory_token_is_producible() {
+        // a composite program that exercises every token in Table 4
+        let program = br#"
+            var a = 1, b = 2.5; let c = 'q'; const d = "s";
+            if (a in {}) { } else { }
+            do { break; } while (false);
+            for (k of []) { continue; }
+            for (var k2 in {}) { }
+            try { throw 1; } catch (e) { } finally { }
+            switch (a) { case 1: break; default: ; }
+            function f() { return this; }
+            x = new Object(); y = typeof a; delete x.p;
+            z = a instanceof Object; w = void 0; u = undefined;
+            tv = true; nv = null;
+            n = NaN; m = Math.abs(-1); p = Math.pow(2, 3); fl = Math.floor(1.5);
+            s = JSON.stringify([]); t = "abc".indexOf("b"); sl = "ab".slice(1);
+            sp = "a,b".split(","); ln = "abc".length; st = String;
+            q = a ? b : c; r = a + b - c * d / e % f ** g;
+            bits = a & b | c ^ ~d; l = !a && b || c;
+            cmp = a < b; cmp2 = a > b; cmp3 = a <= b; cmp4 = a >= b;
+            eqs = a == b; eqs2 = a != b; eqs3 = a === b; eqs4 = a !== b;
+            sh = a << b; sh2 = a >> b; sh3 = a >>> b;
+            a += 1; a -= 1; a *= 2; a /= 2; a %= 2; a &= 1; a |= 1; a ^= 1;
+            a <<= 1; a >>= 1; a >>>= 1; a++; a--;
+            arr = [1]; obj = {k: 1}; dot = obj.k; idx = arr[0];
+            with (obj) { debugger; }
+        "#;
+        // sanity: the subject itself accepts this program
+        let exec = pdf_subjects::mjs::subject().run(program);
+        assert!(exec.valid, "composite program rejected: {:?}", exec.error);
+        let found = found_tokens("mjs", program);
+        let inv = crate::mjs_inventory();
+        let missing: Vec<&str> = inv
+            .tokens
+            .iter()
+            .map(|t| t.name)
+            .filter(|n| !found.contains(n))
+            .collect();
+        assert!(missing.is_empty(), "unproducible tokens: {missing:?}");
+    }
+
+    #[test]
+    fn every_tinyc_inventory_token_is_producible() {
+        let program = b"{a=1;if(a<2)a=a+3-1;else;do;while(0);while(0){;}(a);}";
+        let exec = pdf_subjects::tinyc::subject().run(program);
+        assert!(exec.valid, "composite program rejected: {:?}", exec.error);
+        let found = found_tokens("tinyC", program);
+        let inv = crate::tinyc_inventory();
+        let missing: Vec<&str> = inv
+            .tokens
+            .iter()
+            .map(|t| t.name)
+            .filter(|n| !found.contains(n))
+            .collect();
+        assert!(missing.is_empty(), "unproducible tokens: {missing:?}");
+    }
+
+    #[test]
+    fn unknown_subject_scans_empty() {
+        assert!(found_tokens("nope", b"anything").is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! The Section 7.4 pipeline end to end: pFuzzer explores the subject,
+//! a grammar is mined from its valid inputs using the comparison/stack
+//! instrumentation, and the mined grammar generates longer, recursive
+//! inputs — "longer and more complex sequences that contain recursive
+//! structures".
+//!
+//! Run with:
+//! `cargo run --release --example grammar_pipeline -- [subject] [fuzz_execs]`
+//! (default: cjson 30000)
+
+use parser_directed_fuzzing::grammar::pipeline::{run_pipeline, PipelineConfig};
+use parser_directed_fuzzing::subjects;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let subject_name = args.get(1).map(String::as_str).unwrap_or("cjson").to_string();
+    let fuzz_execs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30_000);
+
+    let Some(info) = subjects::by_name(&subject_name) else {
+        eprintln!("unknown subject {subject_name}");
+        std::process::exit(1);
+    };
+
+    let report = run_pipeline(
+        info.subject,
+        &PipelineConfig {
+            seed: 1,
+            fuzz_execs,
+            generate: 500,
+            max_depth: 12,
+        },
+    );
+
+    println!(
+        "explore: {} valid inputs (longest {} bytes)",
+        report.fuzzed.len(),
+        report.max_fuzzed_len
+    );
+    println!(
+        "mine:    {} nonterminals, {} alternatives, recursive: {}",
+        report.grammar.len(),
+        report.grammar.alt_count(),
+        report.grammar.has_recursion()
+    );
+    println!("{}", report.grammar.render());
+    println!(
+        "generate: {}/{} accepted ({:.0}%), {} distinct, longest {} bytes",
+        report.generated_valid_count,
+        report.generated_total,
+        100.0 * report.acceptance_rate(),
+        report.generated_valid.len(),
+        report.max_generated_len
+    );
+    let mut longest: Vec<&Vec<u8>> = report.generated_valid.iter().collect();
+    longest.sort_by_key(|i| std::cmp::Reverse(i.len()));
+    println!("longest generated inputs:");
+    for input in longest.into_iter().take(5) {
+        println!("  {}", String::from_utf8_lossy(input));
+    }
+}

@@ -1,0 +1,70 @@
+//! Section 2's efficiency claim: "building a valid input of size n
+//! takes in worst case 2n guesses (assuming the parser only checks for
+//! valid substitutions for the rejected character)".
+//!
+//! The bound is per *constructed character* under ideal conditions; the
+//! driver also pays for exploration, so we assert a generous constant
+//! multiple — orders of magnitude below random search (26^5 for one
+//! keyword) but in the spirit of the claim.
+
+use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
+use parser_directed_fuzzing::subjects;
+
+fn first_valid(subject: &str, seed: u64) -> (u64, usize) {
+    let info = subjects::by_name(subject).unwrap();
+    let cfg = DriverConfig {
+        seed,
+        max_execs: 20_000,
+        max_valid_inputs: Some(1),
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(info.subject, cfg).run();
+    let input = report
+        .valid_inputs
+        .first()
+        .unwrap_or_else(|| panic!("{subject}: no valid input within 20k execs"));
+    (report.first_valid_execs.unwrap(), input.len().max(1))
+}
+
+#[test]
+fn arith_first_valid_is_cheap() {
+    for seed in 1..=5 {
+        let (execs, n) = first_valid("arith", seed);
+        assert!(
+            execs <= 200 * n as u64,
+            "seed {seed}: {execs} execs for an input of length {n}"
+        );
+    }
+}
+
+#[test]
+fn dyck_first_valid_is_cheap() {
+    for seed in 1..=5 {
+        let (execs, n) = first_valid("dyck", seed);
+        assert!(
+            execs <= 500 * n as u64,
+            "seed {seed}: {execs} execs for an input of length {n}"
+        );
+    }
+}
+
+#[test]
+fn json_keyword_is_far_cheaper_than_random_chance() {
+    // generating "true" by random letters alone is 1 : 26^4 ≈ 457k;
+    // pFuzzer needs a tiny fraction of that
+    let info = subjects::by_name("cjson").unwrap();
+    let cfg = DriverConfig {
+        seed: 2,
+        max_execs: 25_000,
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(info.subject, cfg).run();
+    let keyword_at = report.valid_inputs.iter().position(|i| {
+        let s = String::from_utf8_lossy(i);
+        s.contains("true") || s.contains("false") || s.contains("null")
+    });
+    assert!(
+        keyword_at.is_some(),
+        "no keyword within 25k execs (random chance would need ~457k)"
+    );
+}

@@ -1,0 +1,83 @@
+//! Cross-crate checks of the downstream tooling: corpus distillation
+//! over fuzzer output, and the §7.4 mine-and-generate pipeline on a
+//! real subject.
+
+use parser_directed_fuzzing::grammar::pipeline::{run_pipeline, PipelineConfig};
+use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
+use parser_directed_fuzzing::runtime::{distill, BranchSet};
+use parser_directed_fuzzing::subjects;
+
+#[test]
+fn distilled_fuzzer_corpus_preserves_coverage() {
+    let info = subjects::by_name("cjson").unwrap();
+    let report = Fuzzer::new(
+        info.subject,
+        DriverConfig {
+            seed: 1,
+            max_execs: 10_000,
+            ..DriverConfig::default()
+        },
+    )
+    .run();
+    assert!(report.valid_inputs.len() >= 3);
+    let kept = distill(info.subject, &report.valid_inputs);
+    assert!(!kept.is_empty());
+    assert!(kept.len() <= report.valid_inputs.len());
+    let union = |corpus: &[Vec<u8>]| {
+        let mut set = BranchSet::new();
+        for input in corpus {
+            set.union_with(&info.subject.run(input).log.branches());
+        }
+        set
+    };
+    assert_eq!(union(&report.valid_inputs), union(&kept));
+}
+
+#[test]
+fn pipeline_mines_recursive_json_and_generates_deeper_inputs() {
+    let info = subjects::by_name("cjson").unwrap();
+    let report = run_pipeline(
+        info.subject,
+        &PipelineConfig {
+            seed: 1,
+            fuzz_execs: 20_000,
+            generate: 300,
+            max_depth: 12,
+        },
+    );
+    assert!(!report.fuzzed.is_empty());
+    assert!(!report.generated_valid.is_empty());
+    // every generated-valid input really is valid
+    for input in &report.generated_valid {
+        assert!(info.subject.run(input).valid);
+    }
+    // acceptance is non-trivial
+    assert!(
+        report.acceptance_rate() > 0.3,
+        "acceptance {:.2}",
+        report.acceptance_rate()
+    );
+}
+
+#[test]
+fn pipeline_on_dyck_closes_nested_brackets() {
+    let info = subjects::by_name("dyck").unwrap();
+    let report = run_pipeline(
+        info.subject,
+        &PipelineConfig {
+            seed: 2,
+            fuzz_execs: 8_000,
+            generate: 300,
+            max_depth: 14,
+        },
+    );
+    assert!(!report.generated_valid.is_empty());
+    // grammar-based generation produces deeper nesting than the fuzzer
+    // found on its own (the whole point of Section 7.4)
+    assert!(
+        report.max_generated_len >= report.max_fuzzed_len,
+        "generated max {} < fuzzed max {}",
+        report.max_generated_len,
+        report.max_fuzzed_len
+    );
+}

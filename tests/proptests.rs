@@ -1,0 +1,145 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use parser_directed_fuzzing::runtime::ExecCtx;
+use parser_directed_fuzzing::subjects;
+use parser_directed_fuzzing::tokens::found_tokens;
+
+proptest! {
+    /// No subject panics or diverges on arbitrary bytes, and the
+    /// verdict is deterministic.
+    #[test]
+    fn subjects_total_and_deterministic(input in proptest::collection::vec(any::<u8>(), 0..64)) {
+        for info in subjects::all_subjects() {
+            let a = info.subject.run(&input);
+            let b = info.subject.run(&input);
+            prop_assert_eq!(a.valid, b.valid, "{} verdict flaky", info.name);
+            prop_assert_eq!(a.log.events.len(), b.log.events.len(), "{} log flaky", info.name);
+        }
+    }
+
+    /// The event log's structural invariants hold on arbitrary inputs:
+    /// comparisons never point past the input, and the rejection index
+    /// (when present) is a real position.
+    #[test]
+    fn log_indices_in_bounds(input in proptest::collection::vec(any::<u8>(), 0..48)) {
+        for info in subjects::all_subjects() {
+            let exec = info.subject.run(&input);
+            for cmp in exec.log.comparisons() {
+                prop_assert!(cmp.index <= input.len(), "{}: index {} beyond len {}", info.name, cmp.index, input.len());
+            }
+            if let Some(r) = exec.log.rejection_index() {
+                prop_assert!(r < input.len().max(1));
+            }
+        }
+    }
+
+    /// Substitution candidates point at the rejection index and are
+    /// non-empty replacements.
+    #[test]
+    fn candidates_well_formed(input in proptest::collection::vec(any::<u8>(), 0..48)) {
+        for info in subjects::all_subjects() {
+            let exec = info.subject.run(&input);
+            let r = exec.log.rejection_index();
+            for cand in exec.log.substitution_candidates() {
+                prop_assert_eq!(Some(cand.at_index), r);
+                prop_assert!(!cand.bytes.is_empty());
+            }
+        }
+    }
+
+    /// Token scanners are total (no panic) on arbitrary bytes and only
+    /// report inventory names.
+    #[test]
+    fn scanners_total_and_inventory_bound(input in proptest::collection::vec(any::<u8>(), 0..64)) {
+        use parser_directed_fuzzing::tokens::inventory;
+        for subject in ["ini", "csv", "cjson", "tinyC", "mjs"] {
+            let inv = inventory(subject).unwrap();
+            for name in found_tokens(subject, &input) {
+                prop_assert!(
+                    inv.tokens.iter().any(|t| t.name == name),
+                    "{subject}: scanner reported non-inventory token {name}"
+                );
+            }
+        }
+    }
+
+    /// Valid inputs of the csv subject stay valid under concatenation
+    /// with a newline (rows compose).
+    #[test]
+    fn csv_rows_compose(a in "[a-z0-9 ]{0,8}", b in "[a-z0-9 ]{0,8}") {
+        let subject = subjects::csv::subject();
+        let combined = format!("{a}\n{b}");
+        prop_assert!(subject.run(combined.as_bytes()).valid);
+    }
+
+    /// Dyck subject accepts exactly balanced strings: wrapping a valid
+    /// input in any bracket pair keeps it valid.
+    #[test]
+    fn dyck_wrapping_preserves_validity(depth in 1usize..6) {
+        let subject = subjects::dyck::subject();
+        let mut input = String::from("()");
+        for i in 0..depth {
+            let (open, close) = [('(', ')'), ('[', ']'), ('<', '>'), ('{', '}')][i % 4];
+            input = format!("{open}{input}{close}");
+        }
+        prop_assert!(subject.run(input.as_bytes()).valid);
+    }
+
+    /// The arith grammar accepts every rendered random expression tree.
+    #[test]
+    fn arith_accepts_generated_expressions(seed in 0u64..500) {
+        use parser_directed_fuzzing::runtime::Rng;
+        fn gen(rng: &mut Rng, depth: usize, out: &mut String) {
+            if depth == 0 || rng.chance(1, 2) {
+                let n = rng.gen_range(1, 100);
+                out.push_str(&n.to_string());
+            } else if rng.chance(1, 3) {
+                out.push('(');
+                gen(rng, depth - 1, out);
+                out.push(')');
+            } else {
+                gen(rng, depth - 1, out);
+                out.push(if rng.chance(1, 2) { '+' } else { '-' });
+                gen(rng, depth - 1, out);
+            }
+        }
+        let mut rng = Rng::new(seed);
+        let mut text = String::new();
+        gen(&mut rng, 4, &mut text);
+        let subject = subjects::arith::subject();
+        prop_assert!(subject.run(text.as_bytes()).valid, "{text}");
+    }
+
+    /// ExecCtx cursor ops never go out of bounds.
+    #[test]
+    fn ctx_cursor_safe(input in proptest::collection::vec(any::<u8>(), 0..32), jumps in proptest::collection::vec(any::<usize>(), 0..8)) {
+        let mut ctx = ExecCtx::new(&input);
+        for j in jumps {
+            ctx.set_pos(j);
+            prop_assert!(ctx.pos() <= input.len());
+            let _ = ctx.peek();
+            ctx.advance();
+            prop_assert!(ctx.pos() <= input.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round-trip: every input produced by a short pFuzzer run is
+    /// accepted on re-execution (valid-by-construction, fuzzed over
+    /// seeds).
+    #[test]
+    fn pfuzzer_outputs_revalidate(seed in 0u64..20) {
+        use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
+        let info = subjects::by_name("arith").unwrap();
+        let cfg = DriverConfig { seed, max_execs: 600, ..DriverConfig::default() };
+        let report = Fuzzer::new(info.subject, cfg).run();
+        for input in &report.valid_inputs {
+            prop_assert!(info.subject.run(input).valid);
+        }
+    }
+}

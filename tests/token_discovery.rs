@@ -1,0 +1,152 @@
+//! The central evaluation claim, end-to-end at small scale: only
+//! parser-directed fuzzing reliably discovers long keywords; the AFL
+//! baseline covers short tokens but misses keywords at equal budgets;
+//! the KLEE baseline solves keywords on json but drowns on mjs.
+
+use parser_directed_fuzzing::afl::{AflConfig, AflFuzzer};
+use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
+use parser_directed_fuzzing::subjects;
+use parser_directed_fuzzing::symbolic::{KleeConfig, KleeFuzzer};
+use parser_directed_fuzzing::tokens::TokenCoverage;
+
+const EXECS: u64 = 25_000;
+
+fn coverage_of(subject: &str, inputs: &[Vec<u8>]) -> TokenCoverage {
+    let mut cov = TokenCoverage::new(subject).unwrap();
+    for input in inputs {
+        cov.add_input(input);
+    }
+    cov
+}
+
+#[test]
+fn pfuzzer_finds_all_json_keywords() {
+    // Figure 3 / Table 2: "pFuzzer, by contrast, is able to cover all
+    // tokens"
+    let report = Fuzzer::new(
+        subjects::json::subject(),
+        DriverConfig {
+            seed: 2,
+            max_execs: EXECS,
+            ..DriverConfig::default()
+        },
+    )
+    .run();
+    let cov = coverage_of("cjson", &report.valid_inputs);
+    for kw in ["true", "false", "null"] {
+        assert!(cov.found(kw), "pFuzzer missed {kw}: {:?}", cov.found_names());
+    }
+}
+
+#[test]
+fn afl_misses_json_keywords_at_equal_budget() {
+    // Table 2 discussion: "AFL misses all json keywords"
+    let report = AflFuzzer::new(
+        subjects::json::subject(),
+        AflConfig {
+            seed: 2,
+            max_execs: EXECS,
+            ..AflConfig::default()
+        },
+    )
+    .run();
+    let cov = coverage_of("cjson", &report.valid_inputs);
+    let found: usize = ["true", "false", "null"]
+        .iter()
+        .filter(|kw| cov.found(kw))
+        .count();
+    assert!(
+        found < 3,
+        "AFL unexpectedly found every keyword at this budget: {:?}",
+        cov.found_names()
+    );
+}
+
+#[test]
+fn klee_finds_json_keywords() {
+    // "KLEE, however, is still able to cover most of the tokens"
+    let report = KleeFuzzer::new(
+        subjects::json::subject(),
+        KleeConfig {
+            max_execs: EXECS,
+            ..KleeConfig::default()
+        },
+    )
+    .run();
+    let cov = coverage_of("cjson", &report.valid_inputs);
+    let found: usize = ["true", "false", "null"]
+        .iter()
+        .filter(|kw| cov.found(kw))
+        .count();
+    assert!(found >= 2, "KLEE found too few keywords: {:?}", cov.found_names());
+}
+
+#[test]
+fn pfuzzer_reaches_tinyc_keywords() {
+    // Section 5.3: pFuzzer covers keyword tokens on tinyC (the paper's
+    // best run reaches 86% of all tokens)
+    let report = Fuzzer::new(
+        subjects::tinyc::subject(),
+        DriverConfig {
+            seed: 3,
+            max_execs: 40_000,
+            ..DriverConfig::default()
+        },
+    )
+    .run();
+    let cov = coverage_of("tinyC", &report.valid_inputs);
+    let keywords_found: usize = ["if", "do", "else", "while"]
+        .iter()
+        .filter(|kw| cov.found(kw))
+        .count();
+    assert!(
+        keywords_found >= 1,
+        "pFuzzer found no tinyC keyword: {:?}",
+        cov.found_names()
+    );
+}
+
+#[test]
+fn klee_explodes_on_mjs() {
+    // Figure 2/3: "KLEE, suffering from the path explosion problem,
+    // finds almost no valid inputs for mjs"
+    let report = KleeFuzzer::new(
+        subjects::mjs::subject(),
+        KleeConfig {
+            max_execs: 10_000,
+            max_states: 2_000,
+            ..KleeConfig::default()
+        },
+    )
+    .run();
+    assert!(report.exploded, "mjs did not overflow the state bound");
+    let cov = coverage_of("mjs", &report.valid_inputs);
+    let (long_found, _) = cov.fraction_in(6, usize::MAX);
+    assert_eq!(
+        long_found, 0,
+        "KLEE unexpectedly found long mjs keywords: {:?}",
+        cov.found_names()
+    );
+}
+
+#[test]
+fn afl_beats_nobody_on_long_tokens_but_wins_short_ones() {
+    // the headline shape on json: AFL strong on short tokens
+    let report = AflFuzzer::new(
+        subjects::json::subject(),
+        AflConfig {
+            seed: 1,
+            max_execs: EXECS,
+            ..AflConfig::default()
+        },
+    )
+    .run();
+    let cov = coverage_of("cjson", &report.valid_inputs);
+    let (short_found, short_total) = cov.fraction_in(1, 3);
+    assert!(
+        short_found * 2 >= short_total,
+        "AFL found too few short tokens: {}/{}",
+        short_found,
+        short_total
+    );
+}

@@ -1,0 +1,61 @@
+//! Cross-crate invariant: every input pFuzzer reports is accepted by
+//! the subject that produced it ("All of our inputs are syntactically
+//! valid by construction").
+
+use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
+use parser_directed_fuzzing::subjects;
+
+fn run(subject_name: &str, seed: u64, execs: u64) -> Vec<Vec<u8>> {
+    let info = subjects::by_name(subject_name).unwrap();
+    let cfg = DriverConfig {
+        seed,
+        max_execs: execs,
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(info.subject, cfg).run();
+    for input in &report.valid_inputs {
+        let exec = info.subject.run(input);
+        assert!(
+            exec.valid,
+            "{subject_name}: reported input {:?} rejected: {:?}",
+            String::from_utf8_lossy(input),
+            exec.error
+        );
+    }
+    report.valid_inputs
+}
+
+#[test]
+fn arith_outputs_are_valid() {
+    assert!(!run("arith", 1, 3_000).is_empty());
+}
+
+#[test]
+fn dyck_outputs_are_valid() {
+    assert!(!run("dyck", 1, 5_000).is_empty());
+}
+
+#[test]
+fn ini_outputs_are_valid() {
+    assert!(!run("ini", 1, 3_000).is_empty());
+}
+
+#[test]
+fn csv_outputs_are_valid() {
+    assert!(!run("csv", 1, 3_000).is_empty());
+}
+
+#[test]
+fn json_outputs_are_valid() {
+    assert!(!run("cjson", 1, 8_000).is_empty());
+}
+
+#[test]
+fn tinyc_outputs_are_valid() {
+    assert!(!run("tinyC", 1, 12_000).is_empty());
+}
+
+#[test]
+fn mjs_outputs_are_valid() {
+    assert!(!run("mjs", 1, 12_000).is_empty());
+}
