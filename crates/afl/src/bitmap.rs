@@ -1,6 +1,6 @@
 //! AFL's edge-coverage bitmap with hit-count bucketing.
 
-use pdf_runtime::{Event, ExecLog};
+use pdf_runtime::{BranchId, Event, ExecLog};
 
 /// Bitmap size (AFL uses 64 KiB).
 pub const MAP_SIZE: usize = 1 << 16;
@@ -58,20 +58,26 @@ impl CoverageBitmap {
     /// Records an execution's edge profile; returns `true` if any new
     /// (edge, bucket) bit appeared.
     pub fn record(&mut self, log: &ExecLog) -> bool {
-        let mut counts: Vec<(usize, u32)> = Vec::new();
+        self.record_branches(log.events.iter().filter_map(|e| match e {
+            Event::Branch(b, _) => Some(*b),
+            _ => None,
+        }))
+    }
+
+    /// Records an edge profile from a branch sequence (as produced by
+    /// the streaming [`CoverageOnly`](pdf_runtime::CoverageOnly) sink);
+    /// returns `true` if any new (edge, bucket) bit appeared.
+    pub fn record_branches(&mut self, seq: impl IntoIterator<Item = BranchId>) -> bool {
         let mut local = std::collections::HashMap::new();
         let mut prev: u64 = 0;
-        for event in &log.events {
-            if let Event::Branch(b, _) = event {
-                let cur = b.site.0 ^ u64::from(b.outcome);
-                let edge = ((cur ^ (prev >> 1)) % MAP_SIZE as u64) as usize;
-                *local.entry(edge).or_insert(0u32) += 1;
-                prev = cur;
-            }
+        for b in seq {
+            let cur = b.site.0 ^ u64::from(b.outcome);
+            let edge = ((cur ^ (prev >> 1)) % MAP_SIZE as u64) as usize;
+            *local.entry(edge).or_insert(0u32) += 1;
+            prev = cur;
         }
-        counts.extend(local);
         let mut interesting = false;
-        for (edge, count) in counts {
+        for (edge, count) in local {
             let b = bucket(count);
             if self.virgin[edge] & b != b {
                 self.virgin[edge] |= b;
@@ -153,6 +159,30 @@ mod tests {
         assert_eq!(bucket(127), 64);
         assert_eq!(bucket(128), 128);
         assert_eq!(bucket(100_000), 128);
+    }
+
+    #[test]
+    fn record_and_record_branches_agree() {
+        let log = log_of(&[(1, true), (2, false), (1, true), (7, true)]);
+        let seq: Vec<BranchId> = log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Branch(b, _) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        let mut by_log = CoverageBitmap::new();
+        let mut by_seq = CoverageBitmap::new();
+        assert_eq!(
+            by_log.record(&log),
+            by_seq.record_branches(seq.iter().copied())
+        );
+        assert_eq!(by_log.covered_bytes(), by_seq.covered_bytes());
+        assert_eq!(
+            by_log.record(&log),
+            by_seq.record_branches(seq.iter().copied())
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod mutate;
 pub use bitmap::CoverageBitmap;
 pub use mutate::{havoc, splice, MutationOp};
 
-use pdf_runtime::{BranchSet, Execution, Rng, Subject};
+use pdf_runtime::{BranchSet, CovExecution, PhaseClock, Rng, RunStats, Subject};
 
 /// AFL driver configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +100,8 @@ pub struct AflReport {
     /// Total count of valid executions (including ones that added no
     /// coverage) — AFL generates "1,000 times more inputs than pFuzzer".
     pub valid_execs: u64,
+    /// Observability counters and timings for the campaign.
+    pub stats: RunStats,
 }
 
 /// The AFL-style fuzzer.
@@ -127,7 +129,9 @@ impl AflFuzzer {
             all_branches: BranchSet::new(),
             paths: 0,
             valid_execs: 0,
+            stats: RunStats::default(),
         };
+        let mut clock = PhaseClock::new();
         let mut bitmap = CoverageBitmap::new();
         let mut queue: Vec<Vec<u8>> = Vec::new();
 
@@ -136,8 +140,8 @@ impl AflFuzzer {
             if report.execs >= self.cfg.max_execs {
                 break;
             }
-            let exec = self.execute(&mut report, &seed);
-            if bitmap.record(&exec.log) {
+            let exec = self.execute(&mut report, &seed, &mut clock, "seeds");
+            if bitmap.record_branches(exec.cov.branch_seq.iter().copied()) {
                 queue.push(seed);
                 report.paths += 1;
             } else if queue.is_empty() {
@@ -157,7 +161,14 @@ impl AflFuzzer {
                     if report.execs >= self.cfg.max_execs {
                         break;
                     }
-                    self.try_case(case, &mut report, &mut bitmap, &mut queue);
+                    self.try_case(
+                        case,
+                        &mut report,
+                        &mut bitmap,
+                        &mut queue,
+                        &mut clock,
+                        "deterministic",
+                    );
                 }
                 continue;
             }
@@ -175,7 +186,14 @@ impl AflFuzzer {
                     &self.cfg.dictionary,
                     &mut self.rng,
                 );
-                self.try_case(case, &mut report, &mut bitmap, &mut queue);
+                self.try_case(
+                    case,
+                    &mut report,
+                    &mut bitmap,
+                    &mut queue,
+                    &mut clock,
+                    "havoc",
+                );
             }
             if queue.len() >= 2 && report.execs < self.cfg.max_execs {
                 let other = queue[self.rng.gen_range(0, queue.len())].clone();
@@ -187,36 +205,59 @@ impl AflFuzzer {
                     &self.cfg.dictionary,
                     &mut self.rng,
                 );
-                self.try_case(case, &mut report, &mut bitmap, &mut queue);
+                self.try_case(
+                    case,
+                    &mut report,
+                    &mut bitmap,
+                    &mut queue,
+                    &mut clock,
+                    "havoc",
+                );
             }
         }
+        report.stats.executions = report.execs;
+        report.stats.valid_inputs = report.valid_inputs.len() as u64;
+        report.stats.queue_depth = queue.len();
+        let (wall, phases) = clock.finish();
+        report.stats.wall_secs = wall;
+        report.stats.phases = phases;
         report
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn try_case(
         &mut self,
         mut case: Vec<u8>,
         report: &mut AflReport,
         bitmap: &mut CoverageBitmap,
         queue: &mut Vec<Vec<u8>>,
+        clock: &mut PhaseClock,
+        phase: &'static str,
     ) {
         case.truncate(self.cfg.max_input_len);
-        let exec = self.execute(report, &case);
-        if bitmap.record(&exec.log) {
+        let exec = self.execute(report, &case, clock, phase);
+        if bitmap.record_branches(exec.cov.branch_seq.iter().copied()) {
             queue.push(case);
             report.paths += 1;
         }
     }
 
-    fn execute(&mut self, report: &mut AflReport, input: &[u8]) -> Execution {
+    fn execute(
+        &mut self,
+        report: &mut AflReport,
+        input: &[u8],
+        clock: &mut PhaseClock,
+        phase: &'static str,
+    ) -> CovExecution {
         report.execs += 1;
-        let exec = self.subject.run(input);
-        report.all_branches.union_with(&exec.log.branches());
+        let subject = &self.subject;
+        let exec = clock.time(phase, || subject.run_coverage(input));
+        report.stats.events += exec.cov.events;
+        report.all_branches.union_with(&exec.cov.branches);
         if exec.valid {
             report.valid_execs += 1;
-            let branches = exec.log.branches();
-            if branches.difference_size(&report.valid_branches) > 0 {
-                report.valid_branches.union_with(&branches);
+            if exec.cov.branches.difference_size(&report.valid_branches) > 0 {
+                report.valid_branches.union_with(&exec.cov.branches);
                 report.valid_inputs.push(input.to_vec());
                 report.valid_found_at.push(report.execs);
             }
@@ -273,7 +314,9 @@ mod tests {
             .collect();
         let joined = corpus.join("\n");
         assert!(
-            joined.contains('[') || joined.contains('{') || joined.chars().any(|c| c.is_ascii_digit()),
+            joined.contains('[')
+                || joined.contains('{')
+                || joined.chars().any(|c| c.is_ascii_digit()),
             "no shallow JSON structure found: {corpus:?}"
         );
     }
@@ -288,5 +331,18 @@ mod tests {
     fn paths_grow_with_coverage() {
         let report = run(pdf_subjects::json::subject(), 9, 5_000);
         assert!(report.paths >= 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let report = run(pdf_subjects::json::subject(), 11, 2_000);
+        assert_eq!(report.stats.executions, report.execs);
+        assert!(report.stats.events > 0);
+        assert!(report.stats.wall_secs > 0.0);
+        assert!(report
+            .stats
+            .phases
+            .iter()
+            .any(|(name, _)| *name == "havoc" || *name == "deterministic"));
     }
 }

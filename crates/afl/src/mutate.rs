@@ -185,7 +185,7 @@ pub fn splice(a: &[u8], b: &[u8], rng: &mut Rng) -> Vec<u8> {
 pub fn deterministic_cases(base: &[u8]) -> Vec<Vec<u8>> {
     let mut cases = Vec::new();
     let limit = base.len().min(64); // effector-style bound
-    // walking bit flips
+                                    // walking bit flips
     for i in 0..limit {
         for bit in 0..8 {
             let mut c = base.to_vec();
@@ -229,7 +229,10 @@ mod tests {
     fn havoc_is_deterministic_per_seed() {
         let mut r1 = Rng::new(5);
         let mut r2 = Rng::new(5);
-        assert_eq!(havoc(b"hello", 6, 64, &[], &mut r1), havoc(b"hello", 6, 64, &[], &mut r2));
+        assert_eq!(
+            havoc(b"hello", 6, 64, &[], &mut r1),
+            havoc(b"hello", 6, 64, &[], &mut r2)
+        );
     }
 
     #[test]
@@ -273,7 +276,9 @@ mod tests {
     fn deterministic_cases_cover_all_positions() {
         let cases = deterministic_cases(b"ab");
         // every case differs from the base
-        assert!(cases.iter().all(|c| c != b"ab" || c.len() != 2 || c != &b"ab".to_vec()));
+        assert!(cases
+            .iter()
+            .all(|c| c != b"ab" || c.len() != 2 || c != &b"ab".to_vec()));
         // bit flips alone: 2 bytes * 8 bits
         assert!(cases.len() >= 16);
         // a single bit flip of 'a' (0x61) to 'c' (0x63) must be present

@@ -15,7 +15,10 @@ fn keywords(inputs: &[Vec<u8>]) -> usize {
     for input in inputs {
         cov.add_input(input);
     }
-    ["true", "false", "null"].iter().filter(|k| cov.found(k)).count()
+    ["true", "false", "null"]
+        .iter()
+        .filter(|k| cov.found(k))
+        .count()
 }
 
 fn afl_run(execs: u64, dictionary: Vec<Vec<u8>>) -> usize {

@@ -22,7 +22,10 @@ fn first_valid(subject: &str, seed: u64) -> Option<(u64, usize)> {
 
 fn bench(c: &mut Criterion) {
     println!("Guesses (executions) until the first valid input:");
-    println!("{:<10}{:>8}{:>12}{:>12}{:>12}", "subject", "seed", "execs", "len n", "execs/n");
+    println!(
+        "{:<10}{:>8}{:>12}{:>12}{:>12}",
+        "subject", "seed", "execs", "len n", "execs/n"
+    );
     for subject in ["arith", "dyck"] {
         for seed in 1..=5u64 {
             if let Some((execs, len)) = first_valid(subject, seed) {

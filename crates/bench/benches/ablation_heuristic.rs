@@ -14,32 +14,50 @@ fn variants() -> Vec<(&'static str, HeuristicConfig, ExtensionMode)> {
         ("full", full, ExtensionMode::Both),
         (
             "no_new_branches",
-            HeuristicConfig { use_new_branches: false, ..full },
+            HeuristicConfig {
+                use_new_branches: false,
+                ..full
+            },
             ExtensionMode::Both,
         ),
         (
             "no_input_length",
-            HeuristicConfig { use_input_length: false, ..full },
+            HeuristicConfig {
+                use_input_length: false,
+                ..full
+            },
             ExtensionMode::Both,
         ),
         (
             "no_replacement_len",
-            HeuristicConfig { use_replacement_len: false, ..full },
+            HeuristicConfig {
+                use_replacement_len: false,
+                ..full
+            },
             ExtensionMode::Both,
         ),
         (
             "no_stack_size",
-            HeuristicConfig { use_stack_size: false, ..full },
+            HeuristicConfig {
+                use_stack_size: false,
+                ..full
+            },
             ExtensionMode::Both,
         ),
         (
             "no_path_dedup",
-            HeuristicConfig { use_path_dedup: false, ..full },
+            HeuristicConfig {
+                use_path_dedup: false,
+                ..full
+            },
             ExtensionMode::Both,
         ),
         (
             "paper_literal_parent_sign",
-            HeuristicConfig { paper_literal_parent_sign: true, ..full },
+            HeuristicConfig {
+                paper_literal_parent_sign: true,
+                ..full
+            },
             ExtensionMode::Both,
         ),
         ("disabled", HeuristicConfig::disabled(), ExtensionMode::Both),

@@ -9,7 +9,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let outcomes = pdf_eval::run_matrix(&bench_budget());
-    println!("{}", pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes)));
+    println!(
+        "{}",
+        pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes))
+    );
 
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pdf_bench::bench_execs;
-use pdf_grammar::pipeline::{run_pipeline, PipelineConfig};
 use pdf_grammar::mine_corpus;
+use pdf_grammar::pipeline::{run_pipeline, PipelineConfig};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

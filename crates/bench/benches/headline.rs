@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let outcomes = pdf_eval::run_matrix(&bench_budget());
-    println!("{}", pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes)));
+    println!(
+        "{}",
+        pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes))
+    );
 
     c.bench_function("headline/aggregate", |b| {
         b.iter(|| pdf_eval::headline_aggregates(black_box(&outcomes)).len())

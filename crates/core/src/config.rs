@@ -94,6 +94,22 @@ pub enum ExtensionMode {
     AppendOnly,
 }
 
+/// Which event sink the driver runs subjects with. Both modes produce
+/// byte-identical reports (the streaming sink is defined by equivalence
+/// to the full-log reductions); they differ only in per-execution cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinkMode {
+    /// Record the full event log and reduce it to a failure summary
+    /// after each run. Useful when the log itself is wanted (tracing,
+    /// debugging, grammar mining on the side).
+    FullLog,
+    /// Stream events through the
+    /// [`LastFailure`](pdf_runtime::LastFailure) sink: no event vector,
+    /// no per-comparison allocation (the default).
+    #[default]
+    LastFailure,
+}
+
 /// Driver configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriverConfig {
@@ -116,6 +132,8 @@ pub struct DriverConfig {
     pub max_input_len: usize,
     /// Record a step-by-step trace (used by the Figure 1 walkthrough).
     pub trace: bool,
+    /// Which event sink executions run with (see [`SinkMode`]).
+    pub sink: SinkMode,
 }
 
 impl Default for DriverConfig {
@@ -129,6 +147,7 @@ impl Default for DriverConfig {
             extension_mode: ExtensionMode::Both,
             max_input_len: 128,
             trace: false,
+            sink: SinkMode::default(),
         }
     }
 }
@@ -164,6 +183,7 @@ mod tests {
         assert_eq!(c.extension_mode, ExtensionMode::Both);
         assert_eq!(c.search, SearchMode::Heuristic);
         assert!(!c.trace);
+        assert_eq!(c.sink, SinkMode::LastFailure);
     }
 
     #[test]

@@ -2,9 +2,11 @@
 
 use std::collections::HashSet;
 
-use pdf_runtime::{BranchSet, ExecLog, Execution, Rng, Subject};
+use pdf_runtime::{
+    BranchSet, FailureExecution, FailureSummary, PhaseClock, Rng, RunStats, Subject,
+};
 
-use crate::config::{DriverConfig, ExtensionMode, SearchMode};
+use crate::config::{DriverConfig, ExtensionMode, SearchMode, SinkMode};
 use crate::queue::{CandidateQueue, QueueEntry};
 
 /// Cap on the candidate queue; when exceeded, the worst half is dropped.
@@ -48,6 +50,9 @@ pub struct FuzzReport {
     pub first_valid_execs: Option<u64>,
     /// Step-by-step trace (empty unless tracing was enabled).
     pub trace: Vec<TraceStep>,
+    /// Observability counters and timings for the campaign. Wall-clock
+    /// fields vary between runs; everything else is deterministic.
+    pub stats: RunStats,
 }
 
 /// The pFuzzer driver.
@@ -77,7 +82,9 @@ impl Fuzzer {
             all_branches: BranchSet::new(),
             first_valid_execs: None,
             trace: Vec::new(),
+            stats: RunStats::default(),
         };
+        let mut clock = PhaseClock::new();
         let mut queue = CandidateQueue::new(self.cfg.heuristic);
         // Subjects are deterministic, so re-running an input known to be
         // invalid (and without new coverage at the time) cannot turn it
@@ -106,12 +113,17 @@ impl Fuzzer {
             let accepted = if use_cache && known_invalid.contains(&current) {
                 false
             } else {
-                let exec = self.execute(&mut report, &current);
+                let exec = clock.time("execute", || self.execute(&mut report, &current));
                 if !exec.valid {
                     known_invalid.insert(current.clone());
                 }
                 let accepted = self.run_check(&mut report, &mut queue, &current, &exec, parents);
-                self.trace(&mut report, &current, &exec, if accepted { "accepted" } else { "first run" });
+                self.trace(
+                    &mut report,
+                    &current,
+                    &exec,
+                    if accepted { "accepted" } else { "first run" },
+                );
                 accepted
             };
             if !accepted && self.cfg.extension_mode != ExtensionMode::ReplaceOnly {
@@ -123,14 +135,13 @@ impl Fuzzer {
                 }
                 let mut extended = current.clone();
                 extended.push(self.rng.byte_ascii());
-                let exec2 = self.execute(&mut report, &extended);
-                let accepted2 =
-                    self.run_check(&mut report, &mut queue, &extended, &exec2, parents);
+                let exec2 = clock.time("execute", || self.execute(&mut report, &extended));
+                let accepted2 = self.run_check(&mut report, &mut queue, &extended, &exec2, parents);
                 if !accepted2 {
                     // Line 11: derive substitution candidates from the
                     // extended run.
-                    self.add_inputs(&mut queue, &extended, &exec2.log, parents, &report);
-                    if exec2.log.substitution_candidates().is_empty()
+                    self.add_inputs(&mut queue, &extended, &exec2.failure, parents, &report);
+                    if exec2.failure.candidates.is_empty()
                         && current.len() <= self.cfg.max_input_len
                     {
                         // The random extension hit a spot where no
@@ -140,11 +151,11 @@ impl Fuzzer {
                         queue.push(
                             QueueEntry {
                                 input: current.clone(),
-                                parent_branches: exec2.log.branches_up_to_rejection(),
+                                parent_branches: exec2.failure.branches_up_to_rejection.clone(),
                                 replacement_len: 1,
-                                avg_stack: exec2.log.avg_stack_size(),
+                                avg_stack: exec2.failure.avg_stack_size,
                                 num_parents: parents + 1,
-                                path_hash: exec2.log.branches().path_hash(),
+                                path_hash: exec2.failure.path_hash,
                             },
                             &report.valid_branches,
                         );
@@ -152,15 +163,17 @@ impl Fuzzer {
                 }
                 self.trace(&mut report, &extended, &exec2, "extension run");
             }
-            if queue.len() > QUEUE_HIGH_WATER {
-                queue.shrink(QUEUE_LOW_WATER, &report.valid_branches);
-            }
             // Line 14: next candidate, or a fresh random restart.
-            let next = match self.cfg.search {
-                SearchMode::Heuristic => queue.pop(&report.valid_branches),
-                SearchMode::DepthFirst => queue.pop_newest(),
-                SearchMode::BreadthFirst => queue.pop_oldest(),
-            };
+            let next = clock.time("schedule", || {
+                if queue.len() > QUEUE_HIGH_WATER {
+                    queue.shrink(QUEUE_LOW_WATER, &report.valid_branches);
+                }
+                match self.cfg.search {
+                    SearchMode::Heuristic => queue.pop(&report.valid_branches),
+                    SearchMode::DepthFirst => queue.pop_newest(),
+                    SearchMode::BreadthFirst => queue.pop_oldest(),
+                }
+            });
             match next {
                 Some(entry) => {
                     current = entry.input;
@@ -172,13 +185,30 @@ impl Fuzzer {
                 }
             }
         }
+        report.stats.executions = report.execs;
+        report.stats.valid_inputs = report.valid_inputs.len() as u64;
+        report.stats.queue_depth = queue.len();
+        let (wall, phases) = clock.finish();
+        report.stats.wall_secs = wall;
+        report.stats.phases = phases;
         report
     }
 
-    fn execute(&mut self, report: &mut FuzzReport, input: &[u8]) -> Execution {
+    fn execute(&mut self, report: &mut FuzzReport, input: &[u8]) -> FailureExecution {
         report.execs += 1;
-        let exec = self.subject.run(input);
-        report.all_branches.union_with(&exec.log.branches());
+        let exec = match self.cfg.sink {
+            SinkMode::LastFailure => self.subject.run_last_failure(input),
+            SinkMode::FullLog => {
+                let e = self.subject.run(input);
+                FailureExecution {
+                    valid: e.valid,
+                    error: e.error,
+                    failure: e.log.failure_summary(),
+                }
+            }
+        };
+        report.stats.events += exec.failure.events;
+        report.all_branches.union_with(&exec.failure.branches);
         exec
     }
 
@@ -191,20 +221,20 @@ impl Fuzzer {
         report: &mut FuzzReport,
         queue: &mut CandidateQueue,
         input: &[u8],
-        exec: &Execution,
+        exec: &FailureExecution,
         parents: usize,
     ) -> bool {
-        queue.note_path(exec.log.branches().path_hash());
-        let branches = exec.log.branches();
-        if exec.valid && branches.difference_size(&report.valid_branches) > 0 {
+        let summary = &exec.failure;
+        queue.note_path(summary.path_hash);
+        if exec.valid && summary.branches.difference_size(&report.valid_branches) > 0 {
             // validInp (lines 37–45)
             report.valid_inputs.push(input.to_vec());
             report.valid_found_at.push(report.execs);
             report.first_valid_execs.get_or_insert(report.execs);
-            report.valid_branches.union_with(&branches);
+            report.valid_branches.union_with(&summary.branches);
             // Queue rescoring (line 40) is implicit: scores are computed
             // against the live vBr at pop time.
-            self.add_inputs(queue, input, &exec.log, parents, report);
+            self.add_inputs(queue, input, summary, parents, report);
             true
         } else {
             false
@@ -217,7 +247,7 @@ impl Fuzzer {
         &mut self,
         queue: &mut CandidateQueue,
         input: &[u8],
-        log: &ExecLog,
+        summary: &FailureSummary,
         parents: usize,
         report: &FuzzReport,
     ) {
@@ -231,20 +261,17 @@ impl Fuzzer {
             queue.push(
                 QueueEntry {
                     input: grown,
-                    parent_branches: log.branches_up_to_rejection(),
+                    parent_branches: summary.branches_up_to_rejection.clone(),
                     replacement_len: 1,
-                    avg_stack: log.avg_stack_size(),
+                    avg_stack: summary.avg_stack_size,
                     num_parents: parents + 1,
-                    path_hash: log.branches().path_hash(),
+                    path_hash: summary.path_hash,
                 },
                 &report.valid_branches,
             );
             return;
         }
-        let parent_branches = log.branches_up_to_rejection();
-        let avg_stack = log.avg_stack_size();
-        let path_hash = log.branches().path_hash();
-        for cand in log.substitution_candidates() {
+        for cand in &summary.candidates {
             // Replace from the rejection point on: everything after the
             // first invalid character is garbage by definition.
             let mut new_input = input[..cand.at_index.min(input.len())].to_vec();
@@ -255,26 +282,26 @@ impl Fuzzer {
             queue.push(
                 QueueEntry {
                     input: new_input,
-                    parent_branches: parent_branches.clone(),
+                    parent_branches: summary.branches_up_to_rejection.clone(),
                     replacement_len: cand.replacement_len,
-                    avg_stack,
+                    avg_stack: summary.avg_stack_size,
                     num_parents: parents + 1,
-                    path_hash,
+                    path_hash: summary.path_hash,
                 },
                 &report.valid_branches,
             );
         }
     }
 
-    fn trace(&self, report: &mut FuzzReport, input: &[u8], exec: &Execution, action: &str) {
+    fn trace(&self, report: &mut FuzzReport, input: &[u8], exec: &FailureExecution, action: &str) {
         if !self.cfg.trace {
             return;
         }
         report.trace.push(TraceStep {
             input: input.to_vec(),
             valid: exec.valid,
-            eof: exec.log.eof_access().is_some(),
-            candidates: exec.log.substitution_candidates().len(),
+            eof: exec.failure.eof_access.is_some(),
+            candidates: exec.failure.candidates.len(),
             action: action.to_string(),
         });
     }
@@ -300,7 +327,11 @@ mod tests {
         assert!(!report.valid_inputs.is_empty(), "no valid inputs found");
         let subject = pdf_subjects::arith::subject();
         for input in &report.valid_inputs {
-            assert!(subject.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+            assert!(
+                subject.run(input).valid,
+                "{:?}",
+                String::from_utf8_lossy(input)
+            );
         }
     }
 
@@ -451,6 +482,61 @@ mod tests {
         };
         let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
         assert_eq!(report.execs, 2_000);
+    }
+
+    #[test]
+    fn sink_modes_produce_identical_campaigns() {
+        // the streaming LastFailure sink is defined by equivalence to the
+        // full-log reductions; the whole campaign must not notice the
+        // difference
+        for subject in [
+            pdf_subjects::arith::subject(),
+            pdf_subjects::json::subject(),
+        ] {
+            let run = |sink: SinkMode| {
+                let cfg = DriverConfig {
+                    seed: 9,
+                    max_execs: 2_000,
+                    sink,
+                    trace: true,
+                    ..DriverConfig::default()
+                };
+                Fuzzer::new(subject, cfg).run()
+            };
+            let fast = run(SinkMode::LastFailure);
+            let full = run(SinkMode::FullLog);
+            assert_eq!(fast.valid_inputs, full.valid_inputs);
+            assert_eq!(fast.valid_found_at, full.valid_found_at);
+            assert_eq!(fast.execs, full.execs);
+            assert_eq!(fast.valid_branches, full.valid_branches);
+            assert_eq!(fast.all_branches, full.all_branches);
+            assert_eq!(fast.stats.events, full.stats.events);
+            assert_eq!(fast.trace.len(), full.trace.len());
+            for (a, b) in fast.trace.iter().zip(&full.trace) {
+                assert_eq!(a.input, b.input);
+                assert_eq!(a.valid, b.valid);
+                assert_eq!(a.eof, b.eof);
+                assert_eq!(a.candidates, b.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let report = run_arith(1, 1_000);
+        assert_eq!(report.stats.executions, report.execs);
+        assert_eq!(
+            report.stats.valid_inputs as usize,
+            report.valid_inputs.len()
+        );
+        assert!(report.stats.events > 0);
+        assert!(report.stats.wall_secs > 0.0);
+        assert!(report.stats.execs_per_sec() > 0.0);
+        assert!(report
+            .stats
+            .phases
+            .iter()
+            .any(|(name, _)| *name == "execute"));
     }
 
     #[test]

@@ -21,12 +21,7 @@ use pdf_runtime::BranchSet;
 /// with fewer parents should rank higher; the default configuration
 /// follows the prose (subtract), and
 /// [`HeuristicConfig::paper_literal_parent_sign`] restores the listing.
-pub fn score(
-    entry: &QueueEntry,
-    v_br: &BranchSet,
-    path_seen: usize,
-    cfg: &HeuristicConfig,
-) -> f64 {
+pub fn score(entry: &QueueEntry, v_br: &BranchSet, path_seen: usize, cfg: &HeuristicConfig) -> f64 {
     let mut cov = 0.0;
     if cfg.use_new_branches {
         cov += entry.parent_branches.difference_size(v_br) as f64;
@@ -62,7 +57,13 @@ mod tests {
     use super::*;
     use pdf_runtime::{BranchId, SiteId};
 
-    fn entry(input: &[u8], branches: &[u64], repl: usize, stack: f64, parents: usize) -> QueueEntry {
+    fn entry(
+        input: &[u8],
+        branches: &[u64],
+        repl: usize,
+        stack: f64,
+        parents: usize,
+    ) -> QueueEntry {
         QueueEntry {
             input: input.to_vec(),
             parent_branches: branches
@@ -88,7 +89,9 @@ mod tests {
     #[test]
     fn already_covered_branches_do_not_count() {
         let cfg = HeuristicConfig::default();
-        let v_br: BranchSet = [BranchId::new(SiteId::from_raw(1), true)].into_iter().collect();
+        let v_br: BranchSet = [BranchId::new(SiteId::from_raw(1), true)]
+            .into_iter()
+            .collect();
         let e = entry(b"ab", &[1], 1, 0.0, 0);
         let f = entry(b"ab", &[], 1, 0.0, 0);
         assert_eq!(score(&e, &v_br, 0, &cfg), score(&f, &v_br, 0, &cfg));

@@ -34,7 +34,7 @@ mod driver;
 mod heuristic;
 mod queue;
 
-pub use config::{DriverConfig, ExtensionMode, HeuristicConfig, SearchMode};
+pub use config::{DriverConfig, ExtensionMode, HeuristicConfig, SearchMode, SinkMode};
 pub use driver::{FuzzReport, Fuzzer, TraceStep};
 pub use heuristic::score;
 pub use queue::{CandidateQueue, QueueEntry};

@@ -289,7 +289,9 @@ mod tests {
         let v_br = BranchSet::new();
         // `rich`'s parent covered branch 1, so it outranks `plain`
         let mut rich = entry(b"aa", 1);
-        rich.parent_branches = [BranchId::new(SiteId::from_raw(1), true)].into_iter().collect();
+        rich.parent_branches = [BranchId::new(SiteId::from_raw(1), true)]
+            .into_iter()
+            .collect();
         let mut plain = entry(b"bb", 1);
         plain.replacement_len = 1;
         plain.path_hash = 3000;
@@ -297,7 +299,9 @@ mod tests {
         q.push(rich, &v_br);
         // once branch 1 belongs to vBr, `rich` loses its bonus and the
         // FIFO order puts `plain` first
-        let v_br_after: BranchSet = [BranchId::new(SiteId::from_raw(1), true)].into_iter().collect();
+        let v_br_after: BranchSet = [BranchId::new(SiteId::from_raw(1), true)]
+            .into_iter()
+            .collect();
         assert_eq!(q.pop(&v_br_after).unwrap().input, b"bb".to_vec());
     }
 

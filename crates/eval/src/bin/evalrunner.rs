@@ -1,19 +1,50 @@
 //! Runs the complete evaluation once and prints every table and figure.
-//! Usage: evalrunner [--execs N] [--seeds a,b,c]
+//! Usage: evalrunner [--execs N] [--seeds a,b,c] [--afl-mult N]
+//!                   [--jobs N] [--stats-out PATH]
+//!
+//! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
+//! worker threads; results are identical to `--jobs 1`. `--stats-out`
+//! writes one JSON line of run statistics per cell.
 
 fn main() {
     let budget = pdf_eval::budget_from_args(30_000);
+    let jobs = pdf_eval::jobs_from_args();
+    let stats_out = pdf_eval::stats_out_from_args();
     println!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
     for inv in pdf_eval::token_tables() {
         println!("{}", pdf_eval::render_token_table(&inv));
     }
+    let cells = pdf_eval::matrix_cells(&budget);
     eprintln!(
-        "running 5 subjects x 3 tools, {} execs x {} seeds ...",
+        "running 5 subjects x 3 tools, {} execs x {} seeds ({} cells, {} jobs) ...",
         budget.execs,
-        budget.seeds.len()
+        budget.seeds.len(),
+        cells.len(),
+        jobs,
     );
-    let outcomes = pdf_eval::run_matrix(&budget);
-    println!("{}", pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes)));
-    println!("{}", pdf_eval::render_fig3(&pdf_eval::fig3_tokens(&outcomes)));
-    println!("{}", pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes)));
+    let per_cell = pdf_eval::run_cells(&cells, jobs);
+    if let Some(path) = &stats_out {
+        let mut lines = String::new();
+        for o in &per_cell {
+            lines.push_str(&pdf_eval::stats_json_line(o));
+            lines.push('\n');
+        }
+        match std::fs::write(path, lines) {
+            Ok(()) => eprintln!("wrote {} stats lines to {}", per_cell.len(), path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    let outcomes = pdf_eval::collapse_matrix(per_cell);
+    println!(
+        "{}",
+        pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes))
+    );
+    println!(
+        "{}",
+        pdf_eval::render_fig3(&pdf_eval::fig3_tokens(&outcomes))
+    );
+    println!(
+        "{}",
+        pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes))
+    );
 }

@@ -9,5 +9,8 @@ fn main() {
         budget.seeds.len()
     );
     let outcomes = pdf_eval::run_matrix(&budget);
-    print!("{}", pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes)));
+    print!(
+        "{}",
+        pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes))
+    );
 }

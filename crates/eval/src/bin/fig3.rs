@@ -9,5 +9,8 @@ fn main() {
         budget.seeds.len()
     );
     let outcomes = pdf_eval::run_matrix(&budget);
-    print!("{}", pdf_eval::render_fig3(&pdf_eval::fig3_tokens(&outcomes)));
+    print!(
+        "{}",
+        pdf_eval::render_fig3(&pdf_eval::fig3_tokens(&outcomes))
+    );
 }

@@ -10,5 +10,8 @@ fn main() {
         budget.seeds.len()
     );
     let outcomes = pdf_eval::run_matrix(&budget);
-    print!("{}", pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes)));
+    print!(
+        "{}",
+        pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes))
+    );
 }

@@ -5,7 +5,7 @@ use pdf_subjects::evaluation_subjects;
 use pdf_tokens::{inventory, TokenCoverage, TokenInventory};
 
 use crate::coverage::{coverage_universe, relative_coverage};
-use crate::runner::{run_tool, EvalBudget, Outcome, Tool};
+use crate::runner::{collapse_matrix, matrix_cells, run_cells, EvalBudget, Outcome, Tool};
 
 /// Table 1: the subjects with their access dates and original LoC.
 pub fn table1_subjects() -> Vec<(&'static str, &'static str, usize)> {
@@ -32,15 +32,18 @@ pub fn fig1_walkthrough(seed: u64, max_execs: u64) -> (Vec<TraceStep>, Option<Ve
 }
 
 /// Runs the full 5-subjects × 3-tools matrix once; every downstream
-/// figure reads from these outcomes.
+/// figure reads from these outcomes. Serial — equivalent to
+/// [`run_matrix_jobs`] with one job.
 pub fn run_matrix(budget: &EvalBudget) -> Vec<Outcome> {
-    let mut outcomes = Vec::new();
-    for info in evaluation_subjects() {
-        for tool in Tool::ALL {
-            outcomes.push(run_tool(tool, &info, budget));
-        }
-    }
-    outcomes
+    run_matrix_jobs(budget, 1)
+}
+
+/// Runs the matrix with its (subject, tool, seed) cells fanned out over
+/// `jobs` worker threads. Every cell is an independent seeded campaign,
+/// so the collapsed result is identical to the serial matrix for any
+/// `jobs` value (only the wall-clock stats differ).
+pub fn run_matrix_jobs(budget: &EvalBudget, jobs: usize) -> Vec<Outcome> {
+    collapse_matrix(run_cells(&matrix_cells(budget), jobs))
 }
 
 /// One row of Figure 2: relative branch coverage per tool on a subject.

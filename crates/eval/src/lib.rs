@@ -34,15 +34,17 @@ mod runner;
 
 pub use coverage::{coverage_universe, relative_coverage};
 pub use experiments::{
-    fig1_walkthrough, fig2_coverage, fig3_tokens, headline_aggregates, run_matrix,
-    table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row, Fig3Cell,
-    HeadlineRow,
+    fig1_walkthrough, fig2_coverage, fig3_tokens, headline_aggregates, run_matrix, run_matrix_jobs,
+    table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow,
 };
 pub use render::{
-    fig2_csv, fig3_csv, headline_csv, render_discovery, render_fig2, render_fig3,
-    render_headline, render_table1, render_token_table,
+    fig2_csv, fig3_csv, headline_csv, render_discovery, render_fig2, render_fig3, render_headline,
+    render_table1, render_token_table,
 };
-pub use runner::{best_outcome, run_tool, run_tool_seeded, EvalBudget, Outcome, Tool};
+pub use runner::{
+    best_outcome, collapse_matrix, matrix_cells, run_cells, run_tool, run_tool_seeded, EvalBudget,
+    MatrixCell, Outcome, Tool,
+};
 
 /// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
 /// command line,
@@ -82,4 +84,43 @@ pub fn budget_from_args(default_execs: u64) -> EvalBudget {
         }
     }
     budget
+}
+
+/// Parses `--jobs N` from the command line: worker threads for the
+/// matrix fan-out. Defaults to 1 (serial). Zero is clamped to 1.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--jobs" {
+            if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+    }
+    1
+}
+
+/// Parses `--stats-out PATH` from the command line: where to write the
+/// per-cell [`pdf_runtime::RunStats`] JSON lines.
+pub fn stats_out_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--stats-out" {
+            return args.get(i + 1).map(std::path::PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Renders one per-cell outcome as a JSON line: context keys (tool,
+/// subject, seed) followed by the campaign's [`pdf_runtime::RunStats`]
+/// fields.
+pub fn stats_json_line(o: &Outcome) -> String {
+    format!(
+        "{{\"tool\":\"{}\",\"subject\":\"{}\",\"seed\":{},{}}}",
+        o.tool.name(),
+        o.subject,
+        o.seed,
+        o.stats.json_fields()
+    )
 }

@@ -8,7 +8,10 @@ use crate::runner::Tool;
 /// Renders Table 1 as aligned text.
 pub fn render_table1(rows: &[(&'static str, &'static str, usize)]) -> String {
     let mut out = String::from("Table 1. The subjects used for the evaluation.\n");
-    out.push_str(&format!("{:<10} {:<12} {:>14}\n", "Name", "Accessed", "Lines of Code"));
+    out.push_str(&format!(
+        "{:<10} {:<12} {:>14}\n",
+        "Name", "Accessed", "Lines of Code"
+    ));
     for (name, accessed, loc) in rows {
         out.push_str(&format!("{name:<10} {accessed:<12} {loc:>14}\n"));
     }
@@ -47,7 +50,10 @@ pub fn render_token_table(inv: &TokenInventory) -> String {
             .collect();
         let shown = tokens.iter().take(8).copied().collect::<Vec<_>>().join(" ");
         let ellipsis = if tokens.len() > 8 { " ..." } else { "" };
-        out.push_str(&format!("{length:<8} {:<4} {shown}{ellipsis}\n", tokens.len()));
+        out.push_str(&format!(
+            "{length:<8} {:<4} {shown}{ellipsis}\n",
+            tokens.len()
+        ));
     }
     out
 }

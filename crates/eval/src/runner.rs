@@ -1,8 +1,11 @@
 //! Unified tool runner: one interface over the three fuzzers.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use pdf_afl::{AflConfig, AflFuzzer};
 use pdf_core::{DriverConfig, Fuzzer};
-use pdf_runtime::BranchSet;
+use pdf_runtime::{BranchSet, RunStats};
 use pdf_subjects::SubjectInfo;
 use pdf_symbolic::{KleeConfig, KleeFuzzer};
 
@@ -65,6 +68,8 @@ pub struct Outcome {
     pub tool: Tool,
     /// Subject name.
     pub subject: &'static str,
+    /// Seed the campaign ran with.
+    pub seed: u64,
     /// Valid inputs produced (each covered new code when found).
     pub valid_inputs: Vec<Vec<u8>>,
     /// Execution count at which each valid input was found.
@@ -75,6 +80,10 @@ pub struct Outcome {
     pub valid_branches: BranchSet,
     /// Branches covered by any run.
     pub all_branches: BranchSet,
+    /// Observability counters and timings of the campaign. Wall-clock
+    /// fields vary between runs; determinism comparisons must ignore
+    /// them.
+    pub stats: RunStats,
 }
 
 /// Runs one tool on one subject with one seed.
@@ -90,11 +99,13 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
             Outcome {
                 tool,
                 subject: info.name,
+                seed,
                 valid_inputs: r.valid_inputs,
                 valid_found_at: r.valid_found_at,
                 execs: r.execs,
                 valid_branches: r.valid_branches,
                 all_branches: r.all_branches,
+                stats: r.stats,
             }
         }
         Tool::Afl => {
@@ -107,11 +118,13 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
             Outcome {
                 tool,
                 subject: info.name,
+                seed,
                 valid_inputs: r.valid_inputs,
                 valid_found_at: r.valid_found_at,
                 execs: r.execs,
                 valid_branches: r.valid_branches,
                 all_branches: r.all_branches,
+                stats: r.stats,
             }
         }
         Tool::Klee => {
@@ -125,13 +138,35 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
             Outcome {
                 tool,
                 subject: info.name,
+                seed,
                 valid_inputs: r.valid_inputs,
                 valid_found_at: r.valid_found_at,
                 execs: r.execs,
                 valid_branches: r.valid_branches,
                 all_branches: r.all_branches,
+                stats: r.stats,
             }
         }
+    }
+}
+
+/// The seeds a tool runs under a budget. KLEE's concolic exploration is
+/// deterministic, so it runs the first seed only.
+fn tool_seeds(tool: Tool, budget: &EvalBudget) -> &[u64] {
+    if tool == Tool::Klee {
+        &budget.seeds[..1.min(budget.seeds.len())]
+    } else {
+        &budget.seeds
+    }
+}
+
+/// The execution budget a tool gets: AFL's is multiplied by the
+/// throughput factor (it runs uninstrumented in the paper's setup).
+fn tool_execs(tool: Tool, budget: &EvalBudget) -> u64 {
+    if tool == Tool::Afl {
+        budget.execs.saturating_mul(budget.afl_throughput.max(1))
+    } else {
+        budget.execs
     }
 }
 
@@ -139,28 +174,115 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
 /// outcome (most branches covered by valid inputs, the paper's
 /// headline coverage measure; ties broken by more valid inputs).
 pub fn run_tool(tool: Tool, info: &SubjectInfo, budget: &EvalBudget) -> Outcome {
-    let seeds: &[u64] = if tool == Tool::Klee {
-        &budget.seeds[..1.min(budget.seeds.len())]
-    } else {
-        &budget.seeds
-    };
-    let execs = if tool == Tool::Afl {
-        budget.execs.saturating_mul(budget.afl_throughput.max(1))
-    } else {
-        budget.execs
-    };
-    let outcomes: Vec<Outcome> = seeds
+    let execs = tool_execs(tool, budget);
+    let outcomes: Vec<Outcome> = tool_seeds(tool, budget)
         .iter()
         .map(|&s| run_tool_seeded(tool, info, execs, s))
         .collect();
     best_outcome(outcomes).expect("at least one seed")
 }
 
+/// One independent (subject, tool, seed) unit of the evaluation matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixCell {
+    /// Subject to run.
+    pub info: SubjectInfo,
+    /// Tool to run.
+    pub tool: Tool,
+    /// Execution budget for this cell (AFL's throughput multiplier
+    /// already applied).
+    pub execs: u64,
+    /// Campaign seed.
+    pub seed: u64,
+}
+
+/// Expands a budget into the full deterministic cell list: subjects in
+/// Table-1 order, tools in [`Tool::ALL`] order, seeds in budget order.
+/// Cells for one (subject, tool) pair are contiguous, which is what
+/// [`collapse_matrix`] relies on. Each cell is self-contained — its own
+/// seeded RNG, no shared state — so the cells can run in any order (or
+/// in parallel via [`run_cells`]) and still reproduce the serial matrix
+/// exactly.
+pub fn matrix_cells(budget: &EvalBudget) -> Vec<MatrixCell> {
+    let mut cells = Vec::new();
+    for info in pdf_subjects::evaluation_subjects() {
+        for tool in Tool::ALL {
+            let execs = tool_execs(tool, budget);
+            for &seed in tool_seeds(tool, budget) {
+                cells.push(MatrixCell {
+                    info,
+                    tool,
+                    execs,
+                    seed,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Runs every cell, fanning the work out over `jobs` threads (clamped
+/// to at least 1 and at most the cell count). Workers claim cells from
+/// a shared atomic counter and deposit results into per-cell slots, so
+/// the returned vector is in input order no matter how the scheduler
+/// interleaves — the output is identical for every `jobs` value, modulo
+/// the wall-clock fields inside [`Outcome::stats`].
+pub fn run_cells(cells: &[MatrixCell], jobs: usize) -> Vec<Outcome> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, cells.len());
+    if jobs == 1 {
+        return cells
+            .iter()
+            .map(|c| run_tool_seeded(c.tool, &c.info, c.execs, c.seed))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Outcome>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let outcome = run_tool_seeded(cell.tool, &cell.info, cell.execs, cell.seed);
+                *slots[i].lock().expect("slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("cell ran"))
+        .collect()
+}
+
+/// Collapses per-cell outcomes (in [`matrix_cells`] order) to one best
+/// outcome per (subject, tool) group, preserving [`best_outcome`]'s
+/// tie-breaking: within a group the outcomes are in seed order, exactly
+/// as the serial [`run_tool`] sees them.
+pub fn collapse_matrix(outcomes: Vec<Outcome>) -> Vec<Outcome> {
+    let mut collapsed = Vec::new();
+    let mut group: Vec<Outcome> = Vec::new();
+    for o in outcomes {
+        if let Some(first) = group.first() {
+            if first.subject != o.subject || first.tool != o.tool {
+                let done = std::mem::take(&mut group);
+                collapsed.push(best_outcome(done).expect("group is non-empty"));
+            }
+        }
+        group.push(o);
+    }
+    if !group.is_empty() {
+        collapsed.push(best_outcome(group).expect("group is non-empty"));
+    }
+    collapsed
+}
+
 /// Picks the best outcome of several seeded runs.
 pub fn best_outcome(outcomes: Vec<Outcome>) -> Option<Outcome> {
-    outcomes.into_iter().max_by_key(|o| {
-        (o.valid_branches.len(), o.valid_inputs.len())
-    })
+    outcomes
+        .into_iter()
+        .max_by_key(|o| (o.valid_branches.len(), o.valid_inputs.len()))
 }
 
 #[cfg(test)]
@@ -208,5 +330,107 @@ mod tests {
         assert_eq!(Tool::PFuzzer.name(), "pFuzzer");
         assert_eq!(Tool::Afl.name(), "AFL");
         assert_eq!(Tool::Klee.name(), "KLEE");
+    }
+
+    /// Deterministic fields only — stats carry wall-clock times that
+    /// legitimately differ between runs.
+    fn assert_outcomes_identical(a: &[Outcome], b: &[Outcome]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.tool, y.tool);
+            assert_eq!(x.subject, y.subject);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.valid_inputs, y.valid_inputs);
+            assert_eq!(x.valid_found_at, y.valid_found_at);
+            assert_eq!(x.execs, y.execs);
+            assert_eq!(x.valid_branches, y.valid_branches);
+            assert_eq!(x.all_branches, y.all_branches);
+            assert_eq!(x.stats.executions, y.stats.executions);
+            assert_eq!(x.stats.events, y.stats.events);
+            assert_eq!(x.stats.valid_inputs, y.stats.valid_inputs);
+            assert_eq!(x.stats.queue_depth, y.stats.queue_depth);
+        }
+    }
+
+    #[test]
+    fn matrix_cells_cover_the_full_matrix_in_order() {
+        let cells = matrix_cells(&budget());
+        // 5 subjects × (AFL 2 seeds + KLEE 1 seed + pFuzzer 2 seeds)
+        assert_eq!(cells.len(), 5 * (2 + 1 + 2));
+        let b = budget();
+        for c in &cells {
+            if c.tool == Tool::Afl {
+                assert_eq!(c.execs, b.execs * b.afl_throughput);
+            } else {
+                assert_eq!(c.execs, b.execs);
+            }
+        }
+        let klee: Vec<_> = cells.iter().filter(|c| c.tool == Tool::Klee).collect();
+        assert_eq!(klee.len(), 5);
+        assert!(klee.iter().all(|c| c.seed == b.seeds[0]));
+        // cells of one (subject, tool) pair are contiguous
+        let mut seen = Vec::new();
+        for c in &cells {
+            let key = (c.info.name, c.tool);
+            if seen.last() != Some(&key) {
+                assert!(!seen.contains(&key), "group {key:?} split");
+                seen.push(key);
+            }
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn parallel_cells_match_serial_cells() {
+        let budget = EvalBudget {
+            execs: 300,
+            seeds: vec![1, 2],
+            afl_throughput: 2,
+        };
+        let cells = matrix_cells(&budget);
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, 4);
+        assert_outcomes_identical(&serial, &parallel);
+        let collapsed = collapse_matrix(parallel);
+        assert_eq!(collapsed.len(), 15);
+    }
+
+    #[test]
+    fn collapse_matches_run_tool() {
+        let budget = EvalBudget {
+            execs: 300,
+            seeds: vec![1, 2],
+            afl_throughput: 2,
+        };
+        let info = pdf_subjects::by_name("csv").unwrap();
+        let cells: Vec<MatrixCell> = matrix_cells(&budget)
+            .into_iter()
+            .filter(|c| c.info.name == "csv")
+            .collect();
+        let collapsed = collapse_matrix(run_cells(&cells, 2));
+        assert_eq!(collapsed.len(), 3);
+        for (got, tool) in collapsed.iter().zip(Tool::ALL) {
+            let want = run_tool(tool, &info, &budget);
+            assert_outcomes_identical(std::slice::from_ref(got), std::slice::from_ref(&want));
+        }
+    }
+
+    #[test]
+    fn run_cells_handles_empty_and_oversized_jobs() {
+        assert!(run_cells(&[], 8).is_empty());
+        let budget = EvalBudget {
+            execs: 100,
+            seeds: vec![1],
+            afl_throughput: 1,
+        };
+        let cells: Vec<MatrixCell> = matrix_cells(&budget)
+            .into_iter()
+            .filter(|c| c.info.name == "ini" && c.tool == Tool::Afl)
+            .collect();
+        assert_eq!(cells.len(), 1);
+        // more jobs than cells is clamped, not an error
+        let out = run_cells(&cells, 64);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seed, 1);
     }
 }

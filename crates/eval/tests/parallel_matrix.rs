@@ -1,0 +1,44 @@
+//! Property test for the parallel matrix fan-out: for any small budget
+//! and any worker count, `run_cells` must return exactly what the
+//! serial run returns (wall-clock stats excluded).
+
+use proptest::prelude::*;
+
+use pdf_eval::{matrix_cells, run_cells, EvalBudget};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn jobs_never_change_the_outcome(
+        seed_a in 1u64..50,
+        seed_b in 50u64..100,
+        execs in 150u64..350,
+        jobs in 2usize..6,
+    ) {
+        let budget = EvalBudget {
+            execs,
+            seeds: vec![seed_a, seed_b],
+            afl_throughput: 1,
+        };
+        let cells = matrix_cells(&budget);
+        let serial = run_cells(&cells, 1);
+        let parallel = run_cells(&cells, jobs);
+        prop_assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(s.tool, p.tool);
+            prop_assert_eq!(&s.subject, &p.subject);
+            prop_assert_eq!(s.seed, p.seed);
+            prop_assert_eq!(&s.valid_inputs, &p.valid_inputs);
+            prop_assert_eq!(&s.valid_found_at, &p.valid_found_at);
+            prop_assert_eq!(s.execs, p.execs);
+            prop_assert_eq!(&s.valid_branches, &p.valid_branches);
+            prop_assert_eq!(&s.all_branches, &p.all_branches);
+            // deterministic stats counters agree; wall time does not
+            prop_assert_eq!(s.stats.executions, p.stats.executions);
+            prop_assert_eq!(s.stats.events, p.stats.events);
+            prop_assert_eq!(s.stats.valid_inputs, p.stats.valid_inputs);
+            prop_assert_eq!(s.stats.queue_depth, p.stats.queue_depth);
+        }
+    }
+}

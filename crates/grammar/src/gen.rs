@@ -50,17 +50,13 @@ impl<'g> Generator<'g> {
     /// Index of the alternative with the fewest nonterminal references
     /// per label (the termination choice).
     fn index_cheapest(&mut self) {
-        let labels: Vec<Label> = std::iter::once(START)
-            .chain(self.all_labels())
-            .collect();
+        let labels: Vec<Label> = std::iter::once(START).chain(self.all_labels()).collect();
         for label in labels {
             let alts = self.grammar.alts(label);
             let best = alts
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, alt)| {
-                    alt.iter().filter(|s| matches!(s, Sym::Ref(_))).count()
-                })
+                .min_by_key(|(_, alt)| alt.iter().filter(|s| matches!(s, Sym::Ref(_))).count())
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             self.cheapest.insert(label, best);

@@ -60,7 +60,9 @@ impl Grammar {
     /// Whether any nonterminal is recursive (reachable from its own
     /// body) — the property Section 7.4 is after.
     pub fn has_recursion(&self) -> bool {
-        self.rules.keys().any(|&l| self.reaches(l, l, &mut Vec::new()))
+        self.rules
+            .keys()
+            .any(|&l| self.reaches(l, l, &mut Vec::new()))
     }
 
     fn reaches(&self, from: Label, target: Label, visiting: &mut Vec<Label>) -> bool {
@@ -234,7 +236,15 @@ pub fn mine_corpus(subject: Subject, corpus: &[Vec<u8>]) -> Grammar {
         let prof = profile(&exec, input.len());
         let root_level = prof.depth.iter().copied().min().unwrap_or(1);
         let mut fuel = input.len() * 4 + 64;
-        let body = carve(&mut grammar, input, &prof, 0, input.len(), root_level, &mut fuel);
+        let body = carve(
+            &mut grammar,
+            input,
+            &prof,
+            0,
+            input.len(),
+            root_level,
+            &mut fuel,
+        );
         grammar.add_alt(START, body);
     }
     grammar
@@ -266,11 +276,7 @@ mod tests {
     fn nested_inputs_give_recursion() {
         // (1), ((2)) — operand-within-operand maps to the same label
         let g = arith_grammar(&[b"1", b"(1)", b"((2))", b"(1+2)"]);
-        assert!(
-            g.has_recursion(),
-            "no recursion mined:\n{}",
-            g.render()
-        );
+        assert!(g.has_recursion(), "no recursion mined:\n{}", g.render());
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! The explore → mine → generate pipeline of Section 7.4.
+//!
+//! Grammar mining profiles the *comparison* events of each valid
+//! input's execution, so this pipeline runs subjects with the default
+//! [`FullLog`](pdf_runtime::FullLog) sink — the streaming sinks
+//! (`CoverageOnly`, `LastFailure`) deliberately discard the per-index
+//! comparison detail mining needs.
 
 use pdf_core::{DriverConfig, Fuzzer};
 use pdf_runtime::{Rng, Subject};
@@ -121,7 +127,11 @@ mod tests {
             "grammar:\n{}",
             report.grammar.render()
         );
-        assert!(report.acceptance_rate() > 0.5, "rate {}", report.acceptance_rate());
+        assert!(
+            report.acceptance_rate() > 0.5,
+            "rate {}",
+            report.acceptance_rate()
+        );
         assert!(report.generated_valid_count >= report.generated_valid.len());
     }
 

@@ -1,6 +1,5 @@
 //! Branch identifiers and branch sets.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::site::SiteId;
@@ -50,7 +49,13 @@ impl fmt::Display for BranchId {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BranchSet {
-    set: BTreeSet<BranchId>,
+    /// Sorted, deduplicated. Branch sets are small (tens of branches per
+    /// subject), so a flat sorted vector beats a tree set: one
+    /// allocation, cache-friendly binary search, and `collect` from a
+    /// long branch sequence is a sort + dedup instead of per-node
+    /// insertions. Building these per execution is the hot path of the
+    /// streaming sinks.
+    set: Vec<BranchId>,
 }
 
 impl BranchSet {
@@ -59,14 +64,64 @@ impl BranchSet {
         Self::default()
     }
 
+    /// Builds the set of distinct branches in an execution-order
+    /// sequence. Faster than `collect()` when the sequence is much
+    /// longer than its distinct-branch count (the per-execution case):
+    /// it never materialises the full sequence, only the small set.
+    pub fn from_seq(seq: &[BranchId]) -> Self {
+        // Linear-probe scratch table on the stack (4 KiB: the bool niche
+        // keeps Option<BranchId> at 16 bytes). Site ids are FNV hashes,
+        // so the low bits probe well. Typical runs cover a few dozen
+        // distinct branches; a dense run falls back to sorting.
+        const SLOTS: usize = 256;
+        if seq.len() <= 32 {
+            // sort + dedup beats zeroing the probe table for short runs
+            return seq.iter().copied().collect();
+        }
+        let mut table: [Option<BranchId>; SLOTS] = [None; SLOTS];
+        let mut count = 0usize;
+        let mut last: Option<BranchId> = None;
+        for &b in seq {
+            // runs of the same branch are common in parse loops
+            if last == Some(b) {
+                continue;
+            }
+            last = Some(b);
+            let mut i = ((b.site.0 ^ u64::from(b.outcome)) as usize) & (SLOTS - 1);
+            loop {
+                match table[i] {
+                    Some(x) if x == b => break,
+                    Some(_) => i = (i + 1) & (SLOTS - 1),
+                    None => {
+                        if count >= SLOTS / 2 {
+                            return seq.iter().copied().collect();
+                        }
+                        table[i] = Some(b);
+                        count += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut set: Vec<BranchId> = table.iter().flatten().copied().collect();
+        set.sort_unstable();
+        BranchSet { set }
+    }
+
     /// Inserts a branch; returns `true` if it was not present before.
     pub fn insert(&mut self, b: BranchId) -> bool {
-        self.set.insert(b)
+        match self.set.binary_search(&b) {
+            Ok(_) => false,
+            Err(i) => {
+                self.set.insert(i, b);
+                true
+            }
+        }
     }
 
     /// Whether the branch is present.
     pub fn contains(&self, b: &BranchId) -> bool {
-        self.set.contains(b)
+        self.set.binary_search(b).is_ok()
     }
 
     /// Number of branches in the set.
@@ -79,22 +134,57 @@ impl BranchSet {
         self.set.is_empty()
     }
 
-    /// Iterates over the branches in deterministic order.
+    /// Iterates over the branches in deterministic (sorted) order.
     pub fn iter(&self) -> impl Iterator<Item = &BranchId> {
         self.set.iter()
     }
 
     /// Number of branches in `self` that are not in `other`
-    /// (`size(branches \ vBr)` in Algorithm 1).
+    /// (`size(branches \ vBr)` in Algorithm 1). A merge walk over the
+    /// two sorted sets.
     pub fn difference_size(&self, other: &BranchSet) -> usize {
-        self.set.iter().filter(|b| !other.contains(b)).count()
+        let mut count = 0;
+        let mut o = other.set.iter().peekable();
+        for b in &self.set {
+            while o.next_if(|&x| x < b).is_some() {}
+            if o.peek() != Some(&b) {
+                count += 1;
+            }
+        }
+        count
     }
 
     /// Adds every branch of `other` to `self`.
     pub fn union_with(&mut self, other: &BranchSet) {
-        for b in other.iter() {
-            self.set.insert(*b);
+        if other.set.is_empty() {
+            return;
         }
+        if self.set.is_empty() {
+            self.set = other.set.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.set.len() + other.set.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.set.len() && j < other.set.len() {
+            match self.set[i].cmp(&other.set[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.set[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.set[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.set[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.set[i..]);
+        merged.extend_from_slice(&other.set[j..]);
+        self.set = merged;
     }
 
     /// A stable 64-bit hash of the set, used for path deduplication
@@ -112,15 +202,18 @@ impl BranchSet {
 
 impl FromIterator<BranchId> for BranchSet {
     fn from_iter<I: IntoIterator<Item = BranchId>>(iter: I) -> Self {
-        BranchSet {
-            set: iter.into_iter().collect(),
-        }
+        let mut set: Vec<BranchId> = iter.into_iter().collect();
+        set.sort_unstable();
+        set.dedup();
+        BranchSet { set }
     }
 }
 
 impl Extend<BranchId> for BranchSet {
     fn extend<I: IntoIterator<Item = BranchId>>(&mut self, iter: I) {
         self.set.extend(iter);
+        self.set.sort_unstable();
+        self.set.dedup();
     }
 }
 
@@ -178,5 +271,44 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
         assert_eq!(s.difference_size(&s), 0);
+    }
+
+    #[test]
+    fn from_seq_matches_collect() {
+        // repeated runs, duplicates out of order, and enough distinct
+        // branches to force probing past the first slot
+        let mut seq = Vec::new();
+        for i in 0..400u64 {
+            seq.push(b(i % 37, i % 3 == 0));
+            seq.push(b(i % 37, i % 3 == 0));
+            seq.push(b((i * 7) % 11, true));
+        }
+        let fast = BranchSet::from_seq(&seq);
+        let reference: BranchSet = seq.iter().copied().collect();
+        assert_eq!(fast, reference);
+        assert_eq!(BranchSet::from_seq(&[]), BranchSet::new());
+    }
+
+    #[test]
+    fn from_seq_dense_fallback_matches_collect() {
+        // more than SLOTS/2 distinct branches triggers the sort fallback
+        let seq: Vec<BranchId> = (0..300u64).map(|i| b(i, i % 2 == 0)).collect();
+        let fast = BranchSet::from_seq(&seq);
+        let reference: BranchSet = seq.iter().copied().collect();
+        assert_eq!(fast, reference);
+        assert_eq!(fast.len(), 300);
+    }
+
+    #[test]
+    fn difference_size_merge_walk_cases() {
+        let empty = BranchSet::new();
+        let a: BranchSet = [b(1, true), b(5, false), b(9, true)].into_iter().collect();
+        let c: BranchSet = [b(5, false)].into_iter().collect();
+        assert_eq!(a.difference_size(&empty), 3);
+        assert_eq!(empty.difference_size(&a), 0);
+        assert_eq!(a.difference_size(&c), 2);
+        assert_eq!(c.difference_size(&a), 0);
+        let disjoint: BranchSet = [b(2, true), b(100, false)].into_iter().collect();
+        assert_eq!(a.difference_size(&disjoint), 3);
     }
 }

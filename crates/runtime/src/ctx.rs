@@ -4,7 +4,8 @@ use std::error::Error;
 use std::fmt;
 
 use crate::coverage::BranchId;
-use crate::events::{Cmp, CmpValue, Event, ExecLog};
+use crate::events::{CmpMeta, ExecLog, LazyCmpValue};
+use crate::sink::{EventSink, FullLog};
 use crate::site::SiteId;
 use crate::taint::TStr;
 
@@ -68,35 +69,58 @@ impl Error for ParseError {}
 /// # let mut ctx = ExecCtx::new(b"let");
 /// # assert!(parse(&mut ctx).is_ok());
 /// ```
+///
+/// The context is generic over the [`EventSink`] that consumes the
+/// event stream; the default sink is [`FullLog`], which records
+/// everything into an [`ExecLog`]. Subject code is written once over a
+/// generic sink (`fn parse<S: EventSink>(ctx: &mut ExecCtx<S>)`) and
+/// monomorphises per consumer: coverage-guided fuzzers run with
+/// [`CoverageOnly`](crate::CoverageOnly), the substitution driver with
+/// [`LastFailure`](crate::LastFailure).
 #[derive(Debug)]
-pub struct ExecCtx {
+pub struct ExecCtx<S: EventSink = FullLog> {
     input: Vec<u8>,
     pos: usize,
     depth: usize,
     fuel: u64,
     exhausted: bool,
-    log: ExecLog,
+    sink: S,
 }
 
-impl ExecCtx {
-    /// Creates a context over `input` with [`DEFAULT_FUEL`].
+impl ExecCtx<FullLog> {
+    /// Creates a full-log context over `input` with [`DEFAULT_FUEL`].
     pub fn new(input: &[u8]) -> Self {
         Self::with_fuel(input, DEFAULT_FUEL)
     }
 
-    /// Creates a context with an explicit fuel budget.
+    /// Creates a full-log context with an explicit fuel budget.
     pub fn with_fuel(input: &[u8], fuel: u64) -> Self {
+        Self::with_sink(input, fuel, FullLog::default())
+    }
+
+    /// Extracts the event log after the run.
+    pub fn into_log(self) -> ExecLog {
+        self.finish()
+    }
+}
+
+impl<S: EventSink> ExecCtx<S> {
+    /// Creates a context that streams events into `sink`.
+    pub fn with_sink(input: &[u8], fuel: u64, mut sink: S) -> Self {
+        sink.begin(input.len());
         ExecCtx {
             input: input.to_vec(),
             pos: 0,
             depth: 0,
             fuel,
             exhausted: false,
-            log: ExecLog {
-                events: Vec::new(),
-                input_len: input.len(),
-            },
+            sink,
         }
+    }
+
+    /// Consumes the context, yielding the sink's summary of the run.
+    pub fn finish(self) -> S::Summary {
+        self.sink.finish()
     }
 
     /// The input being parsed.
@@ -131,11 +155,6 @@ impl ExecCtx {
         true
     }
 
-    /// Extracts the event log after the run.
-    pub fn into_log(self) -> ExecLog {
-        self.log
-    }
-
     // ---- reads -----------------------------------------------------------
 
     /// Reads the byte at the cursor without consuming it. Reading past the
@@ -148,7 +167,7 @@ impl ExecCtx {
         match self.input.get(self.pos) {
             Some(&b) => Some(b),
             None => {
-                self.log.events.push(Event::EofAccess(self.pos));
+                self.sink.on_eof(self.pos);
                 None
             }
         }
@@ -177,26 +196,30 @@ impl ExecCtx {
 
     // ---- tracked comparisons ---------------------------------------------
 
-    fn record_cmp(&mut self, site: SiteId, observed: Option<u8>, expected: CmpValue, outcome: bool) {
-        let depth = self.depth;
-        self.log.events.push(Event::Cmp(Cmp {
-            index: self.pos.min(self.input.len()),
-            observed,
+    fn record_cmp(
+        &mut self,
+        site: SiteId,
+        observed: Option<u8>,
+        expected: LazyCmpValue<'_>,
+        outcome: bool,
+    ) {
+        self.sink.on_cmp(
+            CmpMeta {
+                index: self.pos.min(self.input.len()),
+                observed,
+                outcome,
+                depth: self.depth,
+                site,
+            },
             expected,
-            outcome,
-            depth,
-            site,
-        }));
-        self.log
-            .events
-            .push(Event::Branch(BranchId::new(site, outcome), self.pos));
+        );
+        self.sink.on_branch(BranchId::new(site, outcome), self.pos);
     }
 
     /// Records a coverage point (a basic block with no comparison).
     pub fn cov(&mut self, site: SiteId) {
         self.tick();
-        let pos = self.pos;
-        self.log.events.push(Event::Branch(BranchId::new(site, true), pos));
+        self.sink.on_branch(BranchId::new(site, true), self.pos);
     }
 
     /// Compares the byte at the cursor against `expected` without
@@ -204,7 +227,7 @@ impl ExecCtx {
     pub fn cmp_eq_at(&mut self, site: SiteId, expected: u8) -> bool {
         let observed = self.peek();
         let outcome = observed == Some(expected);
-        self.record_cmp(site, observed, CmpValue::Byte(expected), outcome);
+        self.record_cmp(site, observed, LazyCmpValue::Byte(expected), outcome);
         outcome
     }
 
@@ -225,7 +248,7 @@ impl ExecCtx {
         let observed = self.peek();
         for &b in set {
             let outcome = observed == Some(b);
-            self.record_cmp(site, observed, CmpValue::Byte(b), outcome);
+            self.record_cmp(site, observed, LazyCmpValue::Byte(b), outcome);
             if outcome {
                 return true;
             }
@@ -246,7 +269,7 @@ impl ExecCtx {
     pub fn range_at(&mut self, site: SiteId, lo: u8, hi: u8) -> bool {
         let observed = self.peek();
         let outcome = observed.is_some_and(|b| b >= lo && b <= hi);
-        self.record_cmp(site, observed, CmpValue::Range(lo, hi), outcome);
+        self.record_cmp(site, observed, LazyCmpValue::Range(lo, hi), outcome);
         outcome
     }
 
@@ -278,23 +301,21 @@ impl ExecCtx {
         }
         let outcome = matched == expected.len();
         let observed = self.input.get(start + matched).copied();
-        let depth = self.depth;
         let index = (start + matched).min(self.input.len());
-        self.log.events.push(Event::Cmp(Cmp {
-            index,
-            observed,
-            expected: CmpValue::Str {
-                full: expected.to_vec(),
+        self.sink.on_cmp(
+            CmpMeta {
+                index,
+                observed,
+                outcome,
+                depth: self.depth,
+                site,
+            },
+            LazyCmpValue::Str {
+                full: expected,
                 matched,
             },
-            outcome,
-            depth,
-            site,
-        }));
-        let pos = self.pos;
-        self.log
-            .events
-            .push(Event::Branch(BranchId::new(site, outcome), pos));
+        );
+        self.sink.on_branch(BranchId::new(site, outcome), self.pos);
         if !outcome {
             self.pos = start;
         }
@@ -325,22 +346,17 @@ impl ExecCtx {
         } else {
             self.input.get(index).copied()
         };
-        let depth = self.depth;
-        self.log.events.push(Event::Cmp(Cmp {
-            index: index.min(self.input.len()),
-            observed,
-            expected: CmpValue::Str {
-                full: exp.to_vec(),
-                matched,
+        self.sink.on_cmp(
+            CmpMeta {
+                index: index.min(self.input.len()),
+                observed,
+                outcome,
+                depth: self.depth,
+                site,
             },
-            outcome,
-            depth,
-            site,
-        }));
-        let pos = self.pos;
-        self.log
-            .events
-            .push(Event::Branch(BranchId::new(site, outcome), pos));
+            LazyCmpValue::Str { full: exp, matched },
+        );
+        self.sink.on_branch(BranchId::new(site, outcome), self.pos);
         outcome
     }
 

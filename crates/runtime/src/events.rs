@@ -27,27 +27,31 @@ impl CmpValue {
     /// when small, otherwise sampled at the endpoints and midpoint; string
     /// comparisons yield the unmatched suffix (this is how pFuzzer
     /// synthesizes whole keywords from a single failed `strcmp`).
+    ///
+    /// Allocating callers only; the hot paths visit the replacements
+    /// in place via [`CmpValue::for_each_replacement`].
     pub fn satisfying_replacements(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        self.for_each_replacement(|bytes| out.push(bytes.to_vec()));
+        out
+    }
+
+    /// A borrowing view of this value (see [`LazyCmpValue`]).
+    pub fn as_lazy(&self) -> LazyCmpValue<'_> {
         match self {
-            CmpValue::Byte(b) => vec![vec![*b]],
-            CmpValue::Range(lo, hi) => {
-                let (lo, hi) = (*lo.min(hi), *lo.max(hi));
-                let span = usize::from(hi - lo) + 1;
-                if span <= 16 {
-                    (lo..=hi).map(|b| vec![b]).collect()
-                } else {
-                    let mid = lo + (hi - lo) / 2;
-                    vec![vec![lo], vec![mid], vec![hi]]
-                }
-            }
-            CmpValue::Str { full, matched } => {
-                if *matched >= full.len() {
-                    vec![]
-                } else {
-                    vec![full[*matched..].to_vec()]
-                }
-            }
+            CmpValue::Byte(b) => LazyCmpValue::Byte(*b),
+            CmpValue::Range(lo, hi) => LazyCmpValue::Range(*lo, *hi),
+            CmpValue::Str { full, matched } => LazyCmpValue::Str {
+                full,
+                matched: *matched,
+            },
         }
+    }
+
+    /// Visits each satisfying replacement without allocating: same
+    /// values, same order as [`CmpValue::satisfying_replacements`].
+    pub fn for_each_replacement(&self, f: impl FnMut(&[u8])) {
+        self.as_lazy().for_each_replacement(f);
     }
 
     /// Length of the replacement this comparison suggests (`len(c)` in the
@@ -59,6 +63,95 @@ impl CmpValue {
             CmpValue::Str { full, matched } => full.len().saturating_sub(*matched),
         }
     }
+}
+
+/// A borrowing, allocation-free view of what a tainted byte was compared
+/// against. This is what streams through [`EventSink::on_cmp`]
+/// (crate::EventSink): sinks that need to retain the value call
+/// [`materialise`](LazyCmpValue::materialise); sinks that only need the
+/// satisfying replacements visit them in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LazyCmpValue<'a> {
+    /// Comparison against a single byte.
+    Byte(u8),
+    /// Comparison against an inclusive byte range.
+    Range(u8, u8),
+    /// A `strcmp`-style comparison; `full` borrows the expected string.
+    Str {
+        /// The full expected string.
+        full: &'a [u8],
+        /// How many leading bytes of `full` matched.
+        matched: usize,
+    },
+}
+
+impl LazyCmpValue<'_> {
+    /// Copies this view into an owned [`CmpValue`].
+    pub fn materialise(&self) -> CmpValue {
+        match *self {
+            LazyCmpValue::Byte(b) => CmpValue::Byte(b),
+            LazyCmpValue::Range(lo, hi) => CmpValue::Range(lo, hi),
+            LazyCmpValue::Str { full, matched } => CmpValue::Str {
+                full: full.to_vec(),
+                matched,
+            },
+        }
+    }
+
+    /// Visits each replacement that would satisfy this comparison, in
+    /// the same order [`CmpValue::satisfying_replacements`] returns
+    /// them, without building any intermediate vectors.
+    pub fn for_each_replacement(&self, mut f: impl FnMut(&[u8])) {
+        match *self {
+            LazyCmpValue::Byte(b) => f(&[b]),
+            LazyCmpValue::Range(lo, hi) => {
+                let (lo, hi) = (lo.min(hi), lo.max(hi));
+                let span = usize::from(hi - lo) + 1;
+                if span <= 16 {
+                    for b in lo..=hi {
+                        f(&[b]);
+                    }
+                } else {
+                    let mid = lo + (hi - lo) / 2;
+                    f(&[lo]);
+                    f(&[mid]);
+                    f(&[hi]);
+                }
+            }
+            LazyCmpValue::Str { full, matched } => {
+                if matched < full.len() {
+                    f(&full[matched..]);
+                }
+            }
+        }
+    }
+
+    /// Length of the replacement this comparison suggests (mirrors
+    /// [`CmpValue::replacement_len`]).
+    pub fn replacement_len(&self) -> usize {
+        match *self {
+            LazyCmpValue::Byte(_) => 1,
+            LazyCmpValue::Range(..) => 1,
+            LazyCmpValue::Str { full, matched } => full.len().saturating_sub(matched),
+        }
+    }
+}
+
+/// The position-and-outcome half of a comparison event: everything
+/// except the expected value, which streams separately as a
+/// [`LazyCmpValue`] so sinks can skip materialising it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpMeta {
+    /// Input index of the compared byte.
+    pub index: usize,
+    /// The observed byte (`None` past the end of the input).
+    pub observed: Option<u8>,
+    /// Whether the comparison succeeded.
+    pub outcome: bool,
+    /// Parser call-stack depth at the time of the comparison.
+    pub depth: usize,
+    /// Static location of the comparison.
+    pub site: SiteId,
 }
 
 /// A recorded comparison of a tainted input byte.
@@ -174,16 +267,19 @@ impl ExecLog {
         };
         let mut out: Vec<Candidate> = Vec::new();
         for c in self.comparisons().filter(|c| c.index == idx && !c.outcome) {
-            for bytes in c.expected.satisfying_replacements() {
-                let cand = Candidate {
-                    at_index: idx,
-                    replacement_len: c.expected.replacement_len(),
-                    bytes,
-                };
-                if !out.contains(&cand) {
-                    out.push(cand);
+            let replacement_len = c.expected.replacement_len();
+            c.expected.for_each_replacement(|bytes| {
+                let duplicate = out.iter().any(|o| {
+                    o.at_index == idx && o.replacement_len == replacement_len && o.bytes == bytes
+                });
+                if !duplicate {
+                    out.push(Candidate {
+                        at_index: idx,
+                        replacement_len,
+                        bytes: bytes.to_vec(),
+                    });
                 }
-            }
+            });
         }
         out
     }
@@ -259,7 +355,10 @@ mod tests {
 
     #[test]
     fn byte_replacements() {
-        assert_eq!(CmpValue::Byte(b'(').satisfying_replacements(), vec![vec![b'(']]);
+        assert_eq!(
+            CmpValue::Byte(b'(').satisfying_replacements(),
+            vec![vec![b'(']]
+        );
     }
 
     #[test]
@@ -366,7 +465,10 @@ mod tests {
     #[test]
     fn eof_access_found() {
         let log = ExecLog {
-            events: vec![cmp(0, Some(b'('), CmpValue::Byte(b'('), true), Event::EofAccess(1)],
+            events: vec![
+                cmp(0, Some(b'('), CmpValue::Byte(b'('), true),
+                Event::EofAccess(1),
+            ],
             input_len: 1,
         };
         assert_eq!(log.eof_access(), Some(1));

@@ -52,15 +52,22 @@ mod coverage;
 mod ctx;
 mod events;
 mod rng;
+mod sink;
 mod site;
+mod stats;
 mod subject;
 mod taint;
 
 pub use corpus::distill;
 pub use coverage::{BranchId, BranchSet};
 pub use ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
-pub use events::{Candidate, Cmp, CmpValue, Event, ExecLog};
+pub use events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue};
 pub use rng::Rng;
+pub use sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
 pub use site::SiteId;
-pub use subject::{Execution, Subject, SubjectFn};
+pub use stats::{PhaseClock, RunStats};
+pub use subject::{
+    CovExecution, CoverageSubjectFn, Execution, FailureExecution, LastFailureSubjectFn, Subject,
+    SubjectFn,
+};
 pub use taint::TStr;

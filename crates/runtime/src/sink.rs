@@ -1,0 +1,408 @@
+//! Streaming event sinks: where instrumentation events go during a run.
+//!
+//! The paper's instrumentation costs ~100× per execution (Section 4);
+//! materialising a full [`ExecLog`] for consumers that only need branch
+//! coverage wastes most of that budget. [`ExecCtx`](crate::ExecCtx) is
+//! therefore generic over an [`EventSink`] that consumes the event
+//! stream *as it happens*:
+//!
+//! - [`FullLog`] — records everything into an [`ExecLog`] (the default;
+//!   used by the substitution engine in full-log mode, the KLEE-style
+//!   baseline's path conditions and grammar mining),
+//! - [`CoverageOnly`] — branch sequence + EOF flag, zero per-comparison
+//!   allocation (the AFL baseline consumes nothing else),
+//! - [`LastFailure`] — rejection index, substitution candidates and
+//!   coverage without an event vector (the fast driver mode).
+//!
+//! `CoverageOnly` and `LastFailure` summaries are *defined* by
+//! equivalence: they must equal what the corresponding [`ExecLog`]
+//! queries compute ([`ExecLog::coverage_summary`] /
+//! [`ExecLog::failure_summary`] are the reference implementations, and
+//! the property tests in `tests/` hold the streaming versions to them).
+
+use crate::coverage::{BranchId, BranchSet};
+use crate::events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue};
+
+/// Consumes instrumentation events during a subject execution.
+///
+/// Methods are called in program order: `begin` once, then any mix of
+/// `on_cmp`/`on_branch`/`on_eof`, then `finish` once. Implementations
+/// decide how much of the stream to retain; `on_cmp` receives the
+/// expected value lazily ([`LazyCmpValue`]) so sinks that ignore it pay
+/// no allocation.
+pub trait EventSink {
+    /// What the sink reduces the event stream to.
+    type Summary;
+
+    /// Called once before the run with the input length.
+    fn begin(&mut self, input_len: usize);
+
+    /// A tracked comparison (always followed by its branch event).
+    fn on_cmp(&mut self, meta: CmpMeta, expected: LazyCmpValue<'_>);
+
+    /// A covered branch, tagged with the input cursor position.
+    fn on_branch(&mut self, branch: BranchId, pos: usize);
+
+    /// An attempted read past the end of the input.
+    fn on_eof(&mut self, index: usize);
+
+    /// Consumes the sink after the run.
+    fn finish(self) -> Self::Summary;
+}
+
+// ---- FullLog ---------------------------------------------------------------
+
+/// The everything-recorded sink: today's [`ExecLog`], event by event.
+#[derive(Debug, Default)]
+pub struct FullLog {
+    log: ExecLog,
+}
+
+impl EventSink for FullLog {
+    type Summary = ExecLog;
+
+    fn begin(&mut self, input_len: usize) {
+        self.log.input_len = input_len;
+    }
+
+    fn on_cmp(&mut self, meta: CmpMeta, expected: LazyCmpValue<'_>) {
+        self.log.events.push(Event::Cmp(Cmp {
+            index: meta.index,
+            observed: meta.observed,
+            expected: expected.materialise(),
+            outcome: meta.outcome,
+            depth: meta.depth,
+            site: meta.site,
+        }));
+    }
+
+    fn on_branch(&mut self, branch: BranchId, pos: usize) {
+        self.log.events.push(Event::Branch(branch, pos));
+    }
+
+    fn on_eof(&mut self, index: usize) {
+        self.log.events.push(Event::EofAccess(index));
+    }
+
+    fn finish(self) -> ExecLog {
+        self.log
+    }
+}
+
+// ---- CoverageOnly ----------------------------------------------------------
+
+/// What a coverage-guided consumer needs from one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CovSummary {
+    /// Distinct branches covered.
+    pub branches: BranchSet,
+    /// Covered branches in program order (duplicates included) — the
+    /// AFL baseline derives its edge profile from consecutive pairs.
+    pub branch_seq: Vec<BranchId>,
+    /// First past-the-end access, if any.
+    pub eof_access: Option<usize>,
+    /// Instrumentation events the run emitted.
+    pub events: u64,
+}
+
+/// The coverage-only sink: branch sequence plus EOF flag. Comparison
+/// events are counted but never materialised, so `strcmp`-style
+/// comparisons allocate nothing.
+#[derive(Debug, Default)]
+pub struct CoverageOnly {
+    seq: Vec<BranchId>,
+    eof: Option<usize>,
+    events: u64,
+}
+
+impl EventSink for CoverageOnly {
+    type Summary = CovSummary;
+
+    fn begin(&mut self, _input_len: usize) {}
+
+    fn on_cmp(&mut self, _meta: CmpMeta, _expected: LazyCmpValue<'_>) {
+        self.events += 1;
+    }
+
+    fn on_branch(&mut self, branch: BranchId, _pos: usize) {
+        self.events += 1;
+        self.seq.push(branch);
+    }
+
+    fn on_eof(&mut self, index: usize) {
+        self.events += 1;
+        if self.eof.is_none() {
+            self.eof = Some(index);
+        }
+    }
+
+    fn finish(self) -> CovSummary {
+        let branches = BranchSet::from_seq(&self.seq);
+        CovSummary {
+            branches,
+            branch_seq: self.seq,
+            eof_access: self.eof,
+            events: self.events,
+        }
+    }
+}
+
+// ---- LastFailure -----------------------------------------------------------
+
+/// What the substitution driver needs from one execution: exactly the
+/// [`ExecLog`] queries it used to run, precomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureSummary {
+    /// Distinct branches covered (any outcome).
+    pub branches: BranchSet,
+    /// Branches covered up to the first comparison of the last compared
+    /// character (see [`ExecLog::branches_up_to_rejection`]).
+    pub branches_up_to_rejection: BranchSet,
+    /// `branches.path_hash()`, precomputed for path deduplication.
+    pub path_hash: u64,
+    /// Index of the first invalid character
+    /// (see [`ExecLog::rejection_index`]).
+    pub rejection_index: Option<usize>,
+    /// Substitution candidates at the rejection point
+    /// (see [`ExecLog::substitution_candidates`]).
+    pub candidates: Vec<Candidate>,
+    /// Average stack depth over the last two comparisons.
+    pub avg_stack_size: f64,
+    /// First past-the-end access, if any.
+    pub eof_access: Option<usize>,
+    /// Instrumentation events the run emitted.
+    pub events: u64,
+}
+
+const WATERMARK_UNSET: u32 = u32::MAX;
+
+/// The fast driver sink: maintains the rejection index and branch
+/// coverage *while the run streams*, discarding each comparison
+/// immediately. No event vector is kept; the per-event state is a
+/// branch-order list (16 bytes per branch), a per-input-index watermark
+/// used to reproduce [`ExecLog::branches_up_to_rejection`] exactly, and
+/// the expected values of the failed comparisons at the current
+/// rejection index (cleared whenever the index advances). Candidate
+/// expansion — the expensive part, up to 16 allocations per range
+/// comparison — happens once in [`finish`](EventSink::finish), exactly
+/// like the batch [`ExecLog::substitution_candidates`].
+#[derive(Debug, Default)]
+pub struct LastFailure {
+    seq: Vec<BranchId>,
+    /// `watermarks[i]` = number of branch events seen before the first
+    /// observed comparison at input index `i` (UNSET until then).
+    watermarks: Vec<u32>,
+    rejection: Option<usize>,
+    /// Expected values of the failed observed comparisons at
+    /// `rejection`, in program order.
+    failed: Vec<CmpValue>,
+    /// Depths of the previous-to-last and last comparison.
+    last_depths: [usize; 2],
+    cmp_seen: u64,
+    eof: Option<usize>,
+    events: u64,
+}
+
+impl EventSink for LastFailure {
+    type Summary = FailureSummary;
+
+    fn begin(&mut self, input_len: usize) {
+        self.watermarks = vec![WATERMARK_UNSET; input_len + 1];
+    }
+
+    fn on_cmp(&mut self, meta: CmpMeta, expected: LazyCmpValue<'_>) {
+        self.events += 1;
+        if self.cmp_seen == 0 {
+            self.last_depths = [meta.depth, meta.depth];
+        } else {
+            self.last_depths[0] = self.last_depths[1];
+            self.last_depths[1] = meta.depth;
+        }
+        self.cmp_seen += 1;
+        if meta.observed.is_none() {
+            return;
+        }
+        let w = &mut self.watermarks[meta.index];
+        if *w == WATERMARK_UNSET {
+            *w = self.seq.len() as u32;
+        }
+        if meta.outcome {
+            return;
+        }
+        match self.rejection {
+            Some(r) if meta.index < r => {}
+            Some(r) if meta.index == r => self.failed.push(expected.materialise()),
+            _ => {
+                self.rejection = Some(meta.index);
+                self.failed.clear();
+                self.failed.push(expected.materialise());
+            }
+        }
+    }
+
+    fn on_branch(&mut self, branch: BranchId, _pos: usize) {
+        self.events += 1;
+        self.seq.push(branch);
+    }
+
+    fn on_eof(&mut self, index: usize) {
+        self.events += 1;
+        if self.eof.is_none() {
+            self.eof = Some(index);
+        }
+    }
+
+    fn finish(self) -> FailureSummary {
+        let branches = BranchSet::from_seq(&self.seq);
+        let branches_up_to_rejection = match self.rejection {
+            None => branches.clone(),
+            Some(r) => {
+                let w = self.watermarks[r];
+                debug_assert_ne!(w, WATERMARK_UNSET, "rejection implies a watermark");
+                BranchSet::from_seq(&self.seq[..w as usize])
+            }
+        };
+        let avg_stack_size = match self.cmp_seen {
+            0 => 0.0,
+            1 => self.last_depths[1] as f64,
+            _ => (self.last_depths[0] + self.last_depths[1]) as f64 / 2.0,
+        };
+        let mut candidates: Vec<Candidate> = Vec::new();
+        if let Some(idx) = self.rejection {
+            for expected in &self.failed {
+                let replacement_len = expected.replacement_len();
+                expected.for_each_replacement(|bytes| {
+                    let duplicate = candidates.iter().any(|o| {
+                        o.at_index == idx
+                            && o.replacement_len == replacement_len
+                            && o.bytes == bytes
+                    });
+                    if !duplicate {
+                        candidates.push(Candidate {
+                            at_index: idx,
+                            replacement_len,
+                            bytes: bytes.to_vec(),
+                        });
+                    }
+                });
+            }
+        }
+        FailureSummary {
+            path_hash: branches.path_hash(),
+            branches,
+            branches_up_to_rejection,
+            rejection_index: self.rejection,
+            candidates,
+            avg_stack_size,
+            eof_access: self.eof,
+            events: self.events,
+        }
+    }
+}
+
+// ---- ExecLog reference conversions ----------------------------------------
+
+impl ExecLog {
+    /// Reduces a full log to the [`CoverageOnly`] summary — the
+    /// reference implementation the streaming sink must agree with, and
+    /// the fallback for subjects without a native coverage entry point.
+    pub fn coverage_summary(&self) -> CovSummary {
+        let branch_seq: Vec<BranchId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Branch(b, _) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        CovSummary {
+            branches: branch_seq.iter().copied().collect(),
+            branch_seq,
+            eof_access: self.eof_access(),
+            events: self.events.len() as u64,
+        }
+    }
+
+    /// Reduces a full log to the [`LastFailure`] summary — the
+    /// reference implementation the streaming sink must agree with, and
+    /// the fallback for subjects without a native last-failure entry
+    /// point.
+    pub fn failure_summary(&self) -> FailureSummary {
+        let branches = self.branches();
+        FailureSummary {
+            path_hash: branches.path_hash(),
+            branches_up_to_rejection: self.branches_up_to_rejection(),
+            branches,
+            rejection_index: self.rejection_index(),
+            candidates: self.substitution_candidates(),
+            avg_stack_size: self.avg_stack_size(),
+            eof_access: self.eof_access(),
+            events: self.events.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::ExecCtx;
+    use crate::{kw, lit, one_of, range};
+
+    fn drive<S: EventSink>(ctx: &mut ExecCtx<S>) {
+        one_of!(ctx, b"([{");
+        range!(ctx, b'0', b'9');
+        if !kw!(ctx, "while") {
+            lit!(ctx, b'w');
+        }
+        lit!(ctx, b'(');
+        while ctx.next_byte().is_some() {}
+        ctx.at_end();
+    }
+
+    fn summaries(input: &[u8]) -> (ExecLog, CovSummary, FailureSummary) {
+        let mut full = ExecCtx::new(input);
+        drive(&mut full);
+        let log = full.into_log();
+
+        let mut cov = ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, CoverageOnly::default());
+        drive(&mut cov);
+        let cov = cov.finish();
+
+        let mut last = ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, LastFailure::default());
+        drive(&mut last);
+        let last = last.finish();
+
+        (log, cov, last)
+    }
+
+    #[test]
+    fn coverage_sink_matches_full_log_reduction() {
+        for input in [&b""[..], b"(", b"w7", b"while(", b"zzz", b"{0while"] {
+            let (log, cov, _) = summaries(input);
+            assert_eq!(cov, log.coverage_summary(), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn last_failure_sink_matches_full_log_reduction() {
+        for input in [
+            &b""[..],
+            b"(",
+            b"w7",
+            b"while(",
+            b"zzz",
+            b"{0while",
+            b"whale",
+        ] {
+            let (log, _, last) = summaries(input);
+            assert_eq!(last, log.failure_summary(), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn coverage_sink_counts_every_event() {
+        let (log, cov, last) = summaries(b"w123");
+        assert_eq!(cov.events, log.events.len() as u64);
+        assert_eq!(last.events, log.events.len() as u64);
+    }
+}

@@ -4,9 +4,16 @@ use std::fmt;
 
 use crate::ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
 use crate::events::ExecLog;
+use crate::sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
 
-/// The type of an instrumented parser entry point.
+/// The type of an instrumented parser entry point (full-log sink).
 pub type SubjectFn = fn(&mut ExecCtx) -> Result<(), ParseError>;
+
+/// A parser entry point monomorphised for the coverage-only sink.
+pub type CoverageSubjectFn = fn(&mut ExecCtx<CoverageOnly>) -> Result<(), ParseError>;
+
+/// A parser entry point monomorphised for the last-failure sink.
+pub type LastFailureSubjectFn = fn(&mut ExecCtx<LastFailure>) -> Result<(), ParseError>;
 
 /// The result of running a subject on one input: the accept/reject verdict
 /// (the paper's process exit code) plus the instrumentation log.
@@ -20,11 +27,41 @@ pub struct Execution {
     pub log: ExecLog,
 }
 
+/// The result of a coverage-only run.
+#[derive(Debug, Clone)]
+pub struct CovExecution {
+    /// Whether the input was accepted as valid.
+    pub valid: bool,
+    /// Rejection message, when invalid.
+    pub error: Option<String>,
+    /// The coverage summary of the run.
+    pub cov: CovSummary,
+}
+
+/// The result of a last-failure run.
+#[derive(Debug, Clone)]
+pub struct FailureExecution {
+    /// Whether the input was accepted as valid.
+    pub valid: bool,
+    /// Rejection message, when invalid.
+    pub error: Option<String>,
+    /// The failure summary of the run.
+    pub failure: FailureSummary,
+}
+
 /// An instrumented program under test.
 ///
 /// Wraps a parser entry point together with a display name; each call to
 /// [`run`](Subject::run) executes the parser in a fresh [`ExecCtx`], so
 /// runs are independent and deterministic.
+///
+/// Subjects registered through [`instrument_subject!`](crate::instrument_subject)
+/// additionally carry entry points monomorphised for the streaming
+/// [`CoverageOnly`] and [`LastFailure`] sinks, making
+/// [`run_coverage`](Subject::run_coverage) and
+/// [`run_last_failure`](Subject::run_last_failure) allocation-lean. For
+/// subjects built with plain [`Subject::new`], both fall back to a
+/// full-log run reduced after the fact — same summaries, full-log cost.
 ///
 /// # Example
 ///
@@ -42,7 +79,17 @@ pub struct Execution {
 pub struct Subject {
     name: &'static str,
     entry: SubjectFn,
+    coverage_entry: Option<CoverageSubjectFn>,
+    last_failure_entry: Option<LastFailureSubjectFn>,
     fuel: u64,
+}
+
+fn verdict(result: Result<(), ParseError>, hung: bool) -> (bool, Option<String>) {
+    match result {
+        Ok(()) if !hung => (true, None),
+        Ok(()) => (false, Some("hang: fuel exhausted".to_string())),
+        Err(e) => (false, Some(e.message().to_string())),
+    }
 }
 
 impl Subject {
@@ -51,6 +98,8 @@ impl Subject {
         Subject {
             name,
             entry,
+            coverage_entry: None,
+            last_failure_entry: None,
             fuel: DEFAULT_FUEL,
         }
     }
@@ -61,9 +110,41 @@ impl Subject {
         self
     }
 
+    /// Registers a coverage-only entry point (the same parser
+    /// monomorphised over [`CoverageOnly`]).
+    pub fn with_coverage_entry(mut self, entry: CoverageSubjectFn) -> Self {
+        self.coverage_entry = Some(entry);
+        self
+    }
+
+    /// Registers a last-failure entry point (the same parser
+    /// monomorphised over [`LastFailure`]).
+    pub fn with_last_failure_entry(mut self, entry: LastFailureSubjectFn) -> Self {
+        self.last_failure_entry = Some(entry);
+        self
+    }
+
     /// The subject's display name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// Whether native (streaming-sink) entry points are registered.
+    pub fn has_native_sinks(&self) -> bool {
+        self.coverage_entry.is_some() && self.last_failure_entry.is_some()
+    }
+
+    fn exec<S: EventSink>(
+        &self,
+        input: &[u8],
+        entry: fn(&mut ExecCtx<S>) -> Result<(), ParseError>,
+        sink: S,
+    ) -> (bool, Option<String>, S::Summary) {
+        let mut ctx = ExecCtx::with_sink(input, self.fuel, sink);
+        let result = entry(&mut ctx);
+        let hung = ctx.exhausted();
+        let (valid, error) = verdict(result, hung);
+        (valid, error, ctx.finish())
     }
 
     /// Runs the subject on `input`, returning verdict and log.
@@ -71,26 +152,49 @@ impl Subject {
     /// A run that exhausts its fuel (a hang, in the paper's terms) counts
     /// as invalid.
     pub fn run(&self, input: &[u8]) -> Execution {
-        let mut ctx = ExecCtx::with_fuel(input, self.fuel);
-        let result = (self.entry)(&mut ctx);
-        let hung = ctx.exhausted();
-        let log = ctx.into_log();
-        match result {
-            Ok(()) if !hung => Execution {
-                valid: true,
-                error: None,
-                log,
-            },
-            Ok(()) => Execution {
-                valid: false,
-                error: Some("hang: fuel exhausted".to_string()),
-                log,
-            },
-            Err(e) => Execution {
-                valid: false,
-                error: Some(e.message().to_string()),
-                log,
-            },
+        let (valid, error, log) = self.exec(input, self.entry, FullLog::default());
+        Execution { valid, error, log }
+    }
+
+    /// Runs the subject with the [`CoverageOnly`] sink: verdict, branch
+    /// coverage and EOF flag, nothing else.
+    pub fn run_coverage(&self, input: &[u8]) -> CovExecution {
+        match self.coverage_entry {
+            Some(entry) => {
+                let (valid, error, cov) = self.exec(input, entry, CoverageOnly::default());
+                CovExecution { valid, error, cov }
+            }
+            None => {
+                let exec = self.run(input);
+                CovExecution {
+                    valid: exec.valid,
+                    error: exec.error,
+                    cov: exec.log.coverage_summary(),
+                }
+            }
+        }
+    }
+
+    /// Runs the subject with the [`LastFailure`] sink: verdict plus the
+    /// precomputed substitution-driver summary.
+    pub fn run_last_failure(&self, input: &[u8]) -> FailureExecution {
+        match self.last_failure_entry {
+            Some(entry) => {
+                let (valid, error, failure) = self.exec(input, entry, LastFailure::default());
+                FailureExecution {
+                    valid,
+                    error,
+                    failure,
+                }
+            }
+            None => {
+                let exec = self.run(input);
+                FailureExecution {
+                    valid: exec.valid,
+                    error: exec.error,
+                    failure: exec.log.failure_summary(),
+                }
+            }
         }
     }
 }
@@ -100,8 +204,34 @@ impl fmt::Debug for Subject {
         f.debug_struct("Subject")
             .field("name", &self.name)
             .field("fuel", &self.fuel)
+            .field("native_sinks", &self.has_native_sinks())
             .finish()
     }
+}
+
+/// Builds a [`Subject`] from a sink-generic parser entry point,
+/// registering all three monomorphisations (full log, coverage only,
+/// last failure):
+///
+/// ```
+/// use pdf_runtime::{instrument_subject, lit, EventSink, ExecCtx, ParseError};
+///
+/// fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+///     if !lit!(ctx, b'!') { return Err(ctx.reject("want '!'")); }
+///     ctx.expect_end()
+/// }
+///
+/// let subject = instrument_subject!("bang", parse);
+/// assert!(subject.has_native_sinks());
+/// assert!(subject.run_coverage(b"!").valid);
+/// ```
+#[macro_export]
+macro_rules! instrument_subject {
+    ($name:expr, $entry:ident) => {
+        $crate::Subject::new($name, $entry::<$crate::FullLog>)
+            .with_coverage_entry($entry::<$crate::CoverageOnly>)
+            .with_last_failure_entry($entry::<$crate::LastFailure>)
+    };
 }
 
 #[cfg(test)]
@@ -109,7 +239,7 @@ mod tests {
     use super::*;
     use crate::lit;
 
-    fn accept_a(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    fn accept_a<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
         if !lit!(ctx, b'a') {
             return Err(ctx.reject("want a"));
         }
@@ -152,5 +282,40 @@ mod tests {
     fn debug_is_nonempty() {
         let s = Subject::new("a", accept_a);
         assert!(!format!("{s:?}").is_empty());
+    }
+
+    #[test]
+    fn instrumented_subject_has_native_sinks() {
+        let s = instrument_subject!("a", accept_a);
+        assert!(s.has_native_sinks());
+        assert!(!Subject::new("a", accept_a).has_native_sinks());
+    }
+
+    #[test]
+    fn native_and_emulated_summaries_agree() {
+        let native = instrument_subject!("a", accept_a);
+        let emulated = Subject::new("a", accept_a);
+        for input in [&b""[..], b"a", b"b", b"ab"] {
+            let n = native.run_coverage(input);
+            let e = emulated.run_coverage(input);
+            assert_eq!(n.valid, e.valid);
+            assert_eq!(n.cov, e.cov, "coverage mismatch on {input:?}");
+            let n = native.run_last_failure(input);
+            let e = emulated.run_last_failure(input);
+            assert_eq!(n.valid, e.valid);
+            assert_eq!(n.failure, e.failure, "failure mismatch on {input:?}");
+        }
+    }
+
+    #[test]
+    fn hang_verdict_matches_across_sinks() {
+        fn spin_generic<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+            while ctx.tick() {}
+            Ok(())
+        }
+        let s = instrument_subject!("spin", spin_generic).with_fuel(50);
+        assert!(!s.run(b"x").valid);
+        assert!(!s.run_coverage(b"x").valid);
+        assert!(!s.run_last_failure(b"x").valid);
     }
 }

@@ -14,28 +14,37 @@
 //! `1+1`, `1-1`, `(1)` — are all accepted, as is the worked example
 //! `(2-94)`.
 
-use pdf_runtime::{cov, lit, lit_range, one_of, range, ExecCtx, ParseError, Subject};
+use pdf_runtime::{cov, lit, lit_range, one_of, range, EventSink, ExecCtx, ParseError, Subject};
 
 /// The instrumented arithmetic-expression subject.
 pub fn subject() -> Subject {
-    Subject::new("arith", parse)
+    pdf_runtime::instrument_subject!("arith", parse)
 }
 
 /// Valid inputs covering the grammar (equation (1) of the paper plus the
 /// Figure 1 example).
 pub fn reference_corpus() -> Vec<&'static [u8]> {
     vec![
-        b"1", b"11", b"+1", b"-1", b"1+1", b"1-1", b"(1)", b"(2-94)", b"((3))", b"-(5+6)-7",
+        b"1",
+        b"11",
+        b"+1",
+        b"-1",
+        b"1+1",
+        b"1-1",
+        b"(1)",
+        b"(2-94)",
+        b"((3))",
+        b"-(5+6)-7",
     ]
 }
 
-fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     expr(ctx)?;
     ctx.expect_end()
 }
 
-fn expr(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn expr<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         // optional leading sign
@@ -57,7 +66,7 @@ fn expr(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn operand(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn operand<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if lit!(ctx, b'(') {

@@ -8,11 +8,11 @@
 //! coverage" — the only rejections are an unterminated quoted field,
 //! text after a closing quote, and a bare quote inside an unquoted field.
 
-use pdf_runtime::{cov, lit, peek_is, ExecCtx, ParseError, Subject};
+use pdf_runtime::{cov, lit, peek_is, EventSink, ExecCtx, ParseError, Subject};
 
 /// The instrumented csv subject.
 pub fn subject() -> Subject {
-    Subject::new("csv", parse)
+    pdf_runtime::instrument_subject!("csv", parse)
 }
 
 /// Valid inputs covering unquoted/quoted fields, escapes and CRLF.
@@ -31,7 +31,7 @@ pub fn reference_corpus() -> Vec<&'static [u8]> {
     ]
 }
 
-fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     while ctx.peek().is_some() {
         record(ctx)?;
@@ -40,7 +40,7 @@ fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
 }
 
 /// One record: fields separated by commas, terminated by newline or EOF.
-fn record(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn record<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         field(ctx)?;
@@ -69,7 +69,7 @@ fn record(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn field(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn field<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if lit!(ctx, b'"') {
@@ -94,7 +94,7 @@ fn field(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn quoted_field(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn quoted_field<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         loop {
@@ -134,9 +134,9 @@ mod tests {
         let s = subject();
         for input in [
             &b"\"unterminated"[..],
-            b"\"a\"x",    // garbage after closing quote
-            b"ab\"cd",    // bare quote inside unquoted field
-            b"a\rb",      // CR without LF
+            b"\"a\"x", // garbage after closing quote
+            b"ab\"cd", // bare quote inside unquoted field
+            b"a\rb",   // CR without LF
         ] {
             assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
         }

@@ -8,11 +8,11 @@
 //! The empty input is rejected (at least one bracket pair is required),
 //! so the fuzzer has to both open and close something.
 
-use pdf_runtime::{cov, lit, ExecCtx, ParseError, Subject};
+use pdf_runtime::{cov, lit, EventSink, ExecCtx, ParseError, Subject};
 
 /// The instrumented Dyck-language subject.
 pub fn subject() -> Subject {
-    Subject::new("dyck", parse)
+    pdf_runtime::instrument_subject!("dyck", parse)
 }
 
 /// Valid inputs covering all four bracket kinds and nesting.
@@ -30,7 +30,7 @@ pub fn reference_corpus() -> Vec<&'static [u8]> {
     ]
 }
 
-fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     if !group(ctx)? {
         return Err(ctx.reject("expected an opening bracket"));
@@ -41,7 +41,7 @@ fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
 
 /// Parses one bracketed group; returns `Ok(false)` if no opening bracket
 /// is present at the cursor.
-fn group(ctx: &mut ExecCtx) -> Result<bool, ParseError> {
+fn group<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<bool, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let close = if lit!(ctx, b'(') {
@@ -81,7 +81,17 @@ mod tests {
     #[test]
     fn rejects_unbalanced() {
         let s = subject();
-        for input in [&b""[..], b"(", b")", b"(]", b"([)]", b"(()", b"())", b"x", b"<}"] {
+        for input in [
+            &b""[..],
+            b"(",
+            b")",
+            b"(]",
+            b"([)]",
+            b"(()",
+            b"())",
+            b"x",
+            b"<}",
+        ] {
             assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
         }
     }

@@ -13,11 +13,11 @@
 //! - the first malformed line aborts parsing with an error (the non-zero
 //!   exit the paper requires of its subjects).
 
-use pdf_runtime::{cov, lit, one_of, peek_is, ExecCtx, ParseError, Subject};
+use pdf_runtime::{cov, lit, one_of, peek_is, EventSink, ExecCtx, ParseError, Subject};
 
 /// The instrumented ini subject.
 pub fn subject() -> Subject {
-    Subject::new("ini", parse)
+    pdf_runtime::instrument_subject!("ini", parse)
 }
 
 /// Valid inputs covering sections, pairs, comments and blank lines.
@@ -39,7 +39,7 @@ pub fn reference_corpus() -> Vec<&'static [u8]> {
 
 const WS: &[u8] = b" \t";
 
-fn skip_inline_ws(ctx: &mut ExecCtx) {
+fn skip_inline_ws<S: EventSink>(ctx: &mut ExecCtx<S>) {
     while one_of!(ctx, WS) {
         ctx.advance();
     }
@@ -47,7 +47,7 @@ fn skip_inline_ws(ctx: &mut ExecCtx) {
 
 /// Consumes the rest of the line including the newline. Returns when EOF
 /// or the newline was consumed.
-fn skip_to_eol(ctx: &mut ExecCtx) {
+fn skip_to_eol<S: EventSink>(ctx: &mut ExecCtx<S>) {
     loop {
         match ctx.peek() {
             None => return,
@@ -61,7 +61,7 @@ fn skip_to_eol(ctx: &mut ExecCtx) {
     }
 }
 
-fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     while ctx.peek().is_some() {
         line(ctx)?;
@@ -69,7 +69,7 @@ fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     Ok(())
 }
 
-fn line(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn line<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         skip_inline_ws(ctx);
@@ -96,7 +96,7 @@ fn line(ctx: &mut ExecCtx) -> Result<(), ParseError> {
 
 /// `[section]` — any characters up to the closing bracket, then end of
 /// line.
-fn section(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn section<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         loop {
@@ -132,7 +132,7 @@ fn section(ctx: &mut ExecCtx) -> Result<(), ParseError> {
 }
 
 /// `name = value` or `name : value`; the name may not be empty.
-fn pair(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn pair<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let mut name_len = 0usize;
@@ -186,11 +186,7 @@ mod tests {
     fn accepts_corpus() {
         let s = subject();
         for input in reference_corpus() {
-            assert!(
-                s.run(input).valid,
-                "{:?}",
-                String::from_utf8_lossy(input)
-            );
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
         }
     }
 
@@ -205,11 +201,7 @@ mod tests {
             b"=value\n", // empty name
             b"[s] garbage\n",
         ] {
-            assert!(
-                !s.run(input).valid,
-                "{:?}",
-                String::from_utf8_lossy(input)
-            );
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
         }
     }
 

@@ -15,11 +15,11 @@
 //! reads (only coverage is recorded, no comparison events), so pFuzzer
 //! sees no candidates there while AFL/KLEE can still cover the code.
 
-use pdf_runtime::{cov, kw, lit, one_of, peek_is, range, ExecCtx, ParseError, Subject};
+use pdf_runtime::{cov, kw, lit, one_of, peek_is, range, EventSink, ExecCtx, ParseError, Subject};
 
 /// The instrumented cJSON subject.
 pub fn subject() -> Subject {
-    Subject::new("cjson", parse)
+    pdf_runtime::instrument_subject!("cjson", parse)
 }
 
 /// Valid inputs covering every value kind, escapes and nesting.
@@ -45,13 +45,13 @@ pub fn reference_corpus() -> Vec<&'static [u8]> {
 
 const WS: &[u8] = b" \t\n\r";
 
-fn skip_ws(ctx: &mut ExecCtx) {
+fn skip_ws<S: EventSink>(ctx: &mut ExecCtx<S>) {
     while one_of!(ctx, WS) {
         ctx.advance();
     }
 }
 
-fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     skip_ws(ctx);
     value(ctx)?;
@@ -59,7 +59,7 @@ fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     ctx.expect_end()
 }
 
-fn value(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn value<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if peek_is!(ctx, b'{') {
@@ -90,7 +90,7 @@ fn value(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn object(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn object<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if !lit!(ctx, b'{') {
@@ -128,7 +128,7 @@ fn object(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn array(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn array<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if !lit!(ctx, b'[') {
@@ -156,7 +156,7 @@ fn array(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn string(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn string<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if !lit!(ctx, b'"') {
@@ -186,7 +186,7 @@ fn string(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn escape(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn escape<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if one_of!(ctx, b"\"\\/bfnrt") {
@@ -208,7 +208,7 @@ fn escape(ctx: &mut ExecCtx) -> Result<(), ParseError> {
 /// the implicit-information-flow taint gap of the paper (Section 5.2,
 /// json: "we never reach the parts of the code comparing the input with
 /// the UTF16 encoding").
-fn utf16_literal(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn utf16_literal<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let first = hex4_untracked(ctx)?;
@@ -235,7 +235,7 @@ fn utf16_literal(ctx: &mut ExecCtx) -> Result<(), ParseError> {
 }
 
 /// Reads four hex digits with raw (untainted) comparisons.
-fn hex4_untracked(ctx: &mut ExecCtx) -> Result<u16, ParseError> {
+fn hex4_untracked<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<u16, ParseError> {
     let mut v: u16 = 0;
     for _ in 0..4 {
         let Some(b) = ctx.peek() else {
@@ -255,7 +255,7 @@ fn hex4_untracked(ctx: &mut ExecCtx) -> Result<u16, ParseError> {
     Ok(v)
 }
 
-fn number(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn number<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if lit!(ctx, b'-') {
@@ -294,7 +294,7 @@ fn number(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     })
 }
 
-fn digit(ctx: &mut ExecCtx) -> bool {
+fn digit<S: EventSink>(ctx: &mut ExecCtx<S>) -> bool {
     if range!(ctx, b'0', b'9') {
         ctx.advance();
         true
@@ -333,8 +333,8 @@ mod tests {
             b"1e",
             b"\"\\x\"",
             b"\"\\u12\"",
-            b"\"\\ud800\"",       // unpaired high surrogate
-            b"\"\\udc00\"",       // unpaired low surrogate
+            b"\"\\ud800\"",        // unpaired high surrogate
+            b"\"\\udc00\"",        // unpaired low surrogate
             b"\"\\ud800\\u0041\"", // high surrogate + non-surrogate
             b"[1] 2",
         ] {

@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn table1_locs_match_paper() {
-        let locs: Vec<usize> = evaluation_subjects().iter().map(|s| s.original_loc).collect();
+        let locs: Vec<usize> = evaluation_subjects()
+            .iter()
+            .map(|s| s.original_loc)
+            .collect();
         assert_eq!(locs, vec![293, 297, 2483, 191, 10_920]);
     }
 }

@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use pdf_runtime::{cov, strcmp, ExecCtx, ParseError, TStr};
+use pdf_runtime::{cov, strcmp, EventSink, ExecCtx, ParseError, TStr};
 
 use super::ast::{AssignOp, BinOp, Expr, Stmt, UnOp};
 
@@ -99,7 +99,9 @@ impl Env {
 }
 
 /// Builtin global names, `strcmp`-ed on every unresolved identifier.
-const GLOBALS: [&str; 7] = ["JSON", "Math", "Object", "String", "Array", "NaN", "Infinity"];
+const GLOBALS: [&str; 7] = [
+    "JSON", "Math", "Object", "String", "Array", "NaN", "Infinity",
+];
 /// `JSON` namespace methods.
 const JSON_METHODS: [&str; 2] = ["stringify", "parse"];
 /// `Math` namespace methods.
@@ -114,7 +116,10 @@ const OBJECT_METHODS: [&str; 1] = ["keys"];
 /// Executes the program. Returns an error only on a hang (fuel
 /// exhaustion); everything else — including uncaught exceptions — is a
 /// successful run, since semantic checking is disabled.
-pub(crate) fn execute(ctx: &mut ExecCtx, program: &[Stmt]) -> Result<(), ParseError> {
+pub(crate) fn execute<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    program: &[Stmt],
+) -> Result<(), ParseError> {
     let mut env = Env::new();
     hoist_functions(program, &mut env);
     for stmt in program {
@@ -141,15 +146,17 @@ fn hoist_functions(stmts: &[Stmt], env: &mut Env) {
     }
 }
 
-fn tick(ctx: &mut ExecCtx) -> R<()> {
+fn tick<S: EventSink>(ctx: &mut ExecCtx<S>) -> R<()> {
     if ctx.tick() {
         Ok(())
     } else {
-        Err(Interrupt::Hang(ParseError::new("hang: execution fuel exhausted")))
+        Err(Interrupt::Hang(ParseError::new(
+            "hang: execution fuel exhausted",
+        )))
     }
 }
 
-fn exec(ctx: &mut ExecCtx, stmt: &Stmt, env: &mut Env) -> R<Value> {
+fn exec<S: EventSink>(ctx: &mut ExecCtx<S>, stmt: &Stmt, env: &mut Env) -> R<Value> {
     tick(ctx)?;
     match stmt {
         Stmt::Expr(e) => eval(ctx, e, env),
@@ -195,7 +202,12 @@ fn exec(ctx: &mut ExecCtx, stmt: &Stmt, env: &mut Env) -> R<Value> {
             }
             Ok(Value::Undefined)
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             if let Some(init) = init {
                 exec(ctx, init, env)?;
             }
@@ -255,7 +267,11 @@ fn exec(ctx: &mut ExecCtx, stmt: &Stmt, env: &mut Env) -> R<Value> {
             let v = eval(ctx, e, env)?;
             Err(Interrupt::Throw(v))
         }
-        Stmt::Try { body, catch, finally } => {
+        Stmt::Try {
+            body,
+            catch,
+            finally,
+        } => {
             let mut result = (|| -> R<Value> {
                 hoist_functions(body, env);
                 for s in body {
@@ -286,10 +302,14 @@ fn exec(ctx: &mut ExecCtx, stmt: &Stmt, env: &mut Env) -> R<Value> {
             }
             result
         }
-        Stmt::Switch { scrutinee, cases, default } => {
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+        } => {
             let v = eval(ctx, scrutinee, env)?;
             let mut matched = false;
-            let run = |ctx: &mut ExecCtx, body: &[Stmt], env: &mut Env| -> R<bool> {
+            let run = |ctx: &mut ExecCtx<S>, body: &[Stmt], env: &mut Env| -> R<bool> {
                 for s in body {
                     match exec(ctx, s, env) {
                         Ok(_) => {}
@@ -328,7 +348,7 @@ fn exec(ctx: &mut ExecCtx, stmt: &Stmt, env: &mut Env) -> R<Value> {
     }
 }
 
-fn eval(ctx: &mut ExecCtx, expr: &Expr, env: &mut Env) -> R<Value> {
+fn eval<S: EventSink>(ctx: &mut ExecCtx<S>, expr: &Expr, env: &mut Env) -> R<Value> {
     tick(ctx)?;
     match expr {
         Expr::Num(n) => Ok(Value::Num(*n)),
@@ -372,7 +392,11 @@ fn eval(ctx: &mut ExecCtx, expr: &Expr, env: &mut Env) -> R<Value> {
                 UnOp::Delete => unreachable!(),
             })
         }
-        Expr::Update { target, inc, prefix } => {
+        Expr::Update {
+            target,
+            inc,
+            prefix,
+        } => {
             let old = to_number(&eval(ctx, target, env)?);
             let new = if *inc { old + 1.0 } else { old - 1.0 };
             assign_to(ctx, target, Value::Num(new), env)?;
@@ -427,7 +451,7 @@ fn eval(ctx: &mut ExecCtx, expr: &Expr, env: &mut Env) -> R<Value> {
 /// Resolves an identifier: scopes first, then the builtin global table
 /// via tracked `strcmp` — the paper's taint-preserving path into names
 /// like `JSON`.
-fn lookup_ident(ctx: &mut ExecCtx, name: &TStr, env: &mut Env) -> Value {
+fn lookup_ident<S: EventSink>(ctx: &mut ExecCtx<S>, name: &TStr, env: &mut Env) -> Value {
     let text = name.as_str().unwrap_or_default();
     if let Some(v) = env.get_plain(text) {
         return v;
@@ -452,7 +476,7 @@ fn lookup_ident(ctx: &mut ExecCtx, name: &TStr, env: &mut Env) -> Value {
 }
 
 /// Property lookup with tracked `strcmp` against the builtin tables.
-fn member_lookup(ctx: &mut ExecCtx, obj: &Value, name: &TStr) -> Value {
+fn member_lookup<S: EventSink>(ctx: &mut ExecCtx<S>, obj: &Value, name: &TStr) -> Value {
     match obj {
         Value::Namespace("JSON") => {
             for m in JSON_METHODS {
@@ -541,7 +565,7 @@ fn index_lookup(obj: &Value, idx: &Value) -> Value {
     }
 }
 
-fn eval_delete(ctx: &mut ExecCtx, target: &Expr, env: &mut Env) -> R<Value> {
+fn eval_delete<S: EventSink>(ctx: &mut ExecCtx<S>, target: &Expr, env: &mut Env) -> R<Value> {
     match target {
         Expr::Member(obj, name) => {
             let o = eval(ctx, obj, env)?;
@@ -565,7 +589,12 @@ fn eval_delete(ctx: &mut ExecCtx, target: &Expr, env: &mut Env) -> R<Value> {
     }
 }
 
-fn assign_to(ctx: &mut ExecCtx, target: &Expr, value: Value, env: &mut Env) -> R<()> {
+fn assign_to<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    target: &Expr,
+    value: Value,
+    env: &mut Env,
+) -> R<()> {
     match target {
         Expr::Ident(name) => {
             env.set(name.as_str().unwrap_or_default(), value);
@@ -607,7 +636,13 @@ fn assign_to(ctx: &mut ExecCtx, target: &Expr, value: Value, env: &mut Env) -> R
     }
 }
 
-fn eval_binary(ctx: &mut ExecCtx, op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut Env) -> R<Value> {
+fn eval_binary<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    env: &mut Env,
+) -> R<Value> {
     // short-circuit forms first
     match op {
         BinOp::And => {
@@ -693,7 +728,12 @@ fn compound(op: AssignOp, old: &Value, new: &Value) -> Value {
     binary_values(bin, old, new)
 }
 
-fn eval_call(ctx: &mut ExecCtx, callee: &Expr, args: &[Expr], env: &mut Env) -> R<Value> {
+fn eval_call<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    callee: &Expr,
+    args: &[Expr],
+    env: &mut Env,
+) -> R<Value> {
     let f = eval(ctx, callee, env)?;
     let mut argv = Vec::with_capacity(args.len());
     for a in args {
@@ -718,7 +758,12 @@ fn construct_namespace(ns: &str, argv: Vec<Value>) -> Value {
     }
 }
 
-fn call_function(ctx: &mut ExecCtx, def: &FuncDef, argv: Vec<Value>, env: &mut Env) -> R<Value> {
+fn call_function<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    def: &FuncDef,
+    argv: Vec<Value>,
+    env: &mut Env,
+) -> R<Value> {
     tick(ctx)?;
     let mut frame = BTreeMap::new();
     for (i, p) in def.params.iter().enumerate() {
@@ -744,7 +789,12 @@ fn call_function(ctx: &mut ExecCtx, def: &FuncDef, argv: Vec<Value>, env: &mut E
     Ok(result)
 }
 
-fn call_builtin(ctx: &mut ExecCtx, name: &str, receiver: Option<&Value>, argv: &[Value]) -> Value {
+fn call_builtin<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    name: &str,
+    receiver: Option<&Value>,
+    argv: &[Value],
+) -> Value {
     cov!(ctx);
     let arg = |i: usize| argv.get(i).cloned().unwrap_or(Value::Undefined);
     match (name, receiver) {
@@ -1057,7 +1107,9 @@ mod tests {
         assert_eq!(num(&run_x(b"x = 0; while (x < 7) x++;")), 7.0);
         assert_eq!(num(&run_x(b"x = 0; do x++; while (x < 3);")), 3.0);
         assert_eq!(
-            num(&run_x(b"x = 0; for (i = 0; i < 10; i++) { if (i == 3) break; x = i; }")),
+            num(&run_x(
+                b"x = 0; for (i = 0; i < 10; i++) { if (i == 3) break; x = i; }"
+            )),
             2.0
         );
         assert_eq!(
@@ -1070,8 +1122,14 @@ mod tests {
 
     #[test]
     fn functions_and_return() {
-        assert_eq!(num(&run_x(b"function f(a, b) { return a * b; } x = f(6, 7);")), 42.0);
-        assert_eq!(num(&run_x(b"x = (function (n) { return n + 1; })(9);")), 10.0);
+        assert_eq!(
+            num(&run_x(b"function f(a, b) { return a * b; } x = f(6, 7);")),
+            42.0
+        );
+        assert_eq!(
+            num(&run_x(b"x = (function (n) { return n + 1; })(9);")),
+            10.0
+        );
         // recursion
         assert_eq!(
             num(&run_x(
@@ -1087,7 +1145,12 @@ mod tests {
         assert_eq!(num(&run_x(b"a = [1, 2, 3]; x = a[0] + a[2];")), 4.0);
         assert_eq!(num(&run_x(b"a = [1]; a.push(5); x = a.length;")), 2.0);
         assert_eq!(num(&run_x(b"o = {}; o.k = 9; x = o.k;")), 9.0);
-        assert_eq!(num(&run_x(b"o = {a:1}; delete o.a; x = o.a === undefined ? 1 : 0;")), 1.0);
+        assert_eq!(
+            num(&run_x(
+                b"o = {a:1}; delete o.a; x = o.a === undefined ? 1 : 0;"
+            )),
+            1.0
+        );
     }
 
     #[test]
@@ -1097,7 +1160,10 @@ mod tests {
 
     #[test]
     fn builtins() {
-        assert_eq!(strv(&run_x(b"x = JSON.stringify([1, true, null]);")), "[1,true,null]");
+        assert_eq!(
+            strv(&run_x(b"x = JSON.stringify([1, true, null]);")),
+            "[1,true,null]"
+        );
         assert_eq!(num(&run_x(b"x = Math.abs(-4);")), 4.0);
         assert_eq!(num(&run_x(b"x = Math.pow(2, 8);")), 256.0);
         assert_eq!(num(&run_x(b"x = 'hello'.indexOf('ll');")), 2.0);
@@ -1123,7 +1189,9 @@ mod tests {
     fn exceptions() {
         assert_eq!(num(&run_x(b"try { throw 42; } catch (e) { x = e; }")), 42.0);
         assert_eq!(
-            num(&run_x(b"x = 0; try { throw 1; } catch (e) { x = 1; } finally { x += 10; }")),
+            num(&run_x(
+                b"x = 0; try { throw 1; } catch (e) { x = 1; } finally { x += 10; }"
+            )),
             11.0
         );
         // uncaught throw: execution stops but run is still "valid"
@@ -1133,16 +1201,22 @@ mod tests {
     #[test]
     fn switch_semantics() {
         assert_eq!(
-            num(&run_x(b"x = 0; switch (2) { case 1: x = 1; break; case 2: x = 2; break; }")),
+            num(&run_x(
+                b"x = 0; switch (2) { case 1: x = 1; break; case 2: x = 2; break; }"
+            )),
             2.0
         );
         // fallthrough
         assert_eq!(
-            num(&run_x(b"x = 0; switch (1) { case 1: x += 1; case 2: x += 2; }")),
+            num(&run_x(
+                b"x = 0; switch (1) { case 1: x += 1; case 2: x += 2; }"
+            )),
             3.0
         );
         assert_eq!(
-            num(&run_x(b"x = 0; switch (9) { case 1: x = 1; default: x = 7; }")),
+            num(&run_x(
+                b"x = 0; switch (9) { case 1: x = 1; default: x = 7; }"
+            )),
             7.0
         );
     }
@@ -1209,7 +1283,10 @@ mod tests {
     #[test]
     fn array_index_assignment_grows() {
         assert_eq!(num(&run_x(b"a = [1]; a[3] = 9; x = a.length;")), 4.0);
-        assert!(matches!(run_x(b"a = [1]; a[3] = 9; x = a[2];"), Value::Undefined));
+        assert!(matches!(
+            run_x(b"a = [1]; a[3] = 9; x = a[2];"),
+            Value::Undefined
+        ));
     }
 
     #[test]
@@ -1230,14 +1307,19 @@ mod tests {
     #[test]
     fn switch_on_strings() {
         assert_eq!(
-            num(&run_x(b"x = 0; switch ('b') { case 'a': x = 1; break; case 'b': x = 2; break; }")),
+            num(&run_x(
+                b"x = 0; switch ('b') { case 'a': x = 1; break; case 'b': x = 2; break; }"
+            )),
             2.0
         );
     }
 
     #[test]
     fn function_arguments_default_to_undefined() {
-        assert_eq!(strv(&run_x(b"function f(a, b) { return typeof b; } x = f(1);")), "undefined");
+        assert_eq!(
+            strv(&run_x(b"function f(a, b) { return typeof b; } x = f(1);")),
+            "undefined"
+        );
     }
 
     #[test]

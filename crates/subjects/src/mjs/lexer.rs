@@ -7,7 +7,7 @@
 //! keyword. Operator characters are matched with tracked single-byte
 //! comparisons (maximal munch).
 
-use pdf_runtime::{cov, lit, one_of, peek_is, range, strcmp, ExecCtx, ParseError, TStr};
+use pdf_runtime::{cov, lit, one_of, peek_is, range, strcmp, EventSink, ExecCtx, ParseError, TStr};
 
 /// mjs token kinds. Parser-level comparisons on these carry no taint —
 /// the tokenization break of Section 7.2.
@@ -148,7 +148,7 @@ pub(crate) struct Lexer {
 }
 
 impl Lexer {
-    pub(crate) fn new(ctx: &mut ExecCtx) -> Result<Self, ParseError> {
+    pub(crate) fn new<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Self, ParseError> {
         let mut lx = Lexer { tok: Tok::Eof };
         lx.advance(ctx)?;
         Ok(lx)
@@ -161,7 +161,11 @@ impl Lexer {
     }
 
     /// Consumes the current token if it equals `t`.
-    pub(crate) fn eat(&mut self, ctx: &mut ExecCtx, t: &Tok) -> Result<bool, ParseError> {
+    pub(crate) fn eat<S: EventSink>(
+        &mut self,
+        ctx: &mut ExecCtx<S>,
+        t: &Tok,
+    ) -> Result<bool, ParseError> {
         if self.is(t) {
             self.advance(ctx)?;
             Ok(true)
@@ -171,7 +175,12 @@ impl Lexer {
     }
 
     /// Consumes the current token, which must equal `t`.
-    pub(crate) fn expect(&mut self, ctx: &mut ExecCtx, t: &Tok, what: &str) -> Result<(), ParseError> {
+    pub(crate) fn expect<S: EventSink>(
+        &mut self,
+        ctx: &mut ExecCtx<S>,
+        t: &Tok,
+        what: &str,
+    ) -> Result<(), ParseError> {
         if self.eat(ctx, t)? {
             Ok(())
         } else {
@@ -180,13 +189,13 @@ impl Lexer {
     }
 
     /// Advances to the next token.
-    pub(crate) fn advance(&mut self, ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    pub(crate) fn advance<S: EventSink>(&mut self, ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
         self.tok = ctx.frame(next_token)?;
         Ok(())
     }
 }
 
-fn next_token(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+fn next_token<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Tok, ParseError> {
     cov!(ctx);
     skip_trivia(ctx)?;
     if ctx.peek().is_none() {
@@ -210,7 +219,7 @@ fn next_token(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
 }
 
 /// Skips whitespace and comments (`//` to end of line, `/* */`).
-fn skip_trivia(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn skip_trivia<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     loop {
         if one_of!(ctx, b" \t\n\r") {
             ctx.advance();
@@ -256,11 +265,11 @@ fn skip_trivia(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     }
 }
 
-fn word_start(ctx: &mut ExecCtx) -> bool {
+fn word_start<S: EventSink>(ctx: &mut ExecCtx<S>) -> bool {
     range!(ctx, b'a', b'z') || range!(ctx, b'A', b'Z') || peek_is!(ctx, b'_') || peek_is!(ctx, b'$')
 }
 
-fn word_continue(ctx: &mut ExecCtx) -> bool {
+fn word_continue<S: EventSink>(ctx: &mut ExecCtx<S>) -> bool {
     range!(ctx, b'a', b'z')
         || range!(ctx, b'A', b'Z')
         || range!(ctx, b'0', b'9')
@@ -269,7 +278,7 @@ fn word_continue(ctx: &mut ExecCtx) -> bool {
 }
 
 /// Reads an identifier word and `strcmp`s it against the keyword table.
-fn word(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+fn word<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Tok, ParseError> {
     cov!(ctx);
     let mut w = TStr::new();
     while let Some(b) = ctx.peek() {
@@ -289,7 +298,7 @@ fn word(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
     Ok(Tok::Ident(w))
 }
 
-fn number(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+fn number<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Tok, ParseError> {
     cov!(ctx);
     let mut text = String::new();
     while let Some(b) = ctx.peek() {
@@ -344,7 +353,7 @@ fn number(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
     Ok(Tok::Num(value))
 }
 
-fn string(ctx: &mut ExecCtx, quote: u8) -> Result<Tok, ParseError> {
+fn string<S: EventSink>(ctx: &mut ExecCtx<S>, quote: u8) -> Result<Tok, ParseError> {
     cov!(ctx);
     let mut s = String::new();
     loop {
@@ -385,7 +394,7 @@ fn string(ctx: &mut ExecCtx, quote: u8) -> Result<Tok, ParseError> {
 
 /// Maximal-munch operator matching with tracked comparisons, mirroring
 /// the original's `switch` ladders.
-fn operator(ctx: &mut ExecCtx) -> Result<Tok, ParseError> {
+fn operator<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Tok, ParseError> {
     cov!(ctx);
     // simple single-character punctuation first
     let singles = [

@@ -31,11 +31,11 @@ mod interp;
 mod lexer;
 mod parser;
 
-use pdf_runtime::{cov, ExecCtx, ParseError, Subject};
+use pdf_runtime::{cov, EventSink, ExecCtx, ParseError, Subject};
 
 /// The instrumented mjs subject.
 pub fn subject() -> Subject {
-    Subject::new("mjs", run)
+    pdf_runtime::instrument_subject!("mjs", run)
 }
 
 /// Valid inputs covering statements, operators, literals and builtins.
@@ -76,7 +76,7 @@ pub fn reference_corpus() -> Vec<&'static [u8]> {
     ]
 }
 
-fn run(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn run<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     let program = parser::parse_program(ctx)?;
     cov!(ctx);
@@ -116,7 +116,7 @@ mod tests {
             b"x = 1 +;",
             b"{",
             b"switch (x) {",
-            b"try { }",       // try needs catch or finally
+            b"try { }", // try needs catch or finally
             b"x = 'unterminated",
             b"@",
             b"x = 1", // no ASI in this subject: semicolon required
@@ -144,7 +144,10 @@ mod tests {
             .find(|c| matches!(&c.expected, pdf_runtime::CmpValue::Str { full, .. } if full == b"typeof"))
             .expect("typeof strcmp recorded");
         assert!(!cmp.outcome);
-        assert_eq!(cmp.expected.satisfying_replacements(), vec![b"eof".to_vec()]);
+        assert_eq!(
+            cmp.expected.satisfying_replacements(),
+            vec![b"eof".to_vec()]
+        );
     }
 
     #[test]

@@ -5,13 +5,13 @@
 //! tokenization break of Section 7.2; pFuzzer's progress through this
 //! layer comes from branch coverage plus the tokenizer's comparisons.
 
-use pdf_runtime::{cov, ExecCtx, ParseError};
+use pdf_runtime::{cov, EventSink, ExecCtx, ParseError};
 
 use super::ast::{AssignOp, BinOp, Expr, Stmt, UnOp};
 use super::lexer::{Lexer, Tok};
 
 /// Parses a whole program (a statement list up to EOF).
-pub(crate) fn parse_program(ctx: &mut ExecCtx) -> Result<Vec<Stmt>, ParseError> {
+pub(crate) fn parse_program<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Vec<Stmt>, ParseError> {
     let mut lx = Lexer::new(ctx)?;
     let mut stmts = Vec::new();
     if lx.is(&Tok::Eof) {
@@ -23,7 +23,7 @@ pub(crate) fn parse_program(ctx: &mut ExecCtx) -> Result<Vec<Stmt>, ParseError> 
     Ok(stmts)
 }
 
-fn statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+fn statement<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Stmt, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         match &lx.tok {
@@ -161,7 +161,10 @@ fn statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
     })
 }
 
-fn stmt_list_until_rbrace(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Stmt>, ParseError> {
+fn stmt_list_until_rbrace<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+) -> Result<Vec<Stmt>, ParseError> {
     let mut body = Vec::new();
     loop {
         if lx.eat(ctx, &Tok::RBrace)? {
@@ -174,7 +177,10 @@ fn stmt_list_until_rbrace(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Stmt>
     }
 }
 
-fn declarator_list(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<(String, Option<Expr>)>, ParseError> {
+fn declarator_list<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+) -> Result<Vec<(String, Option<Expr>)>, ParseError> {
     let mut decls = Vec::new();
     loop {
         let Tok::Ident(name) = lx.tok.clone() else {
@@ -194,7 +200,7 @@ fn declarator_list(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<(String, Opt
     }
 }
 
-fn for_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+fn for_statement<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Stmt, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         lx.expect(ctx, &Tok::LParen, "'(' after for")?;
@@ -212,7 +218,11 @@ fn for_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> 
                 let object = expression(ctx, lx)?;
                 lx.expect(ctx, &Tok::RParen, "')' after for-in")?;
                 let body = Box::new(statement(ctx, lx)?);
-                return Ok(Stmt::ForIn { var: name, object, body });
+                return Ok(Stmt::ForIn {
+                    var: name,
+                    object,
+                    body,
+                });
             }
             let init = if lx.eat(ctx, &Tok::Assign)? {
                 Some(assignment(ctx, lx)?)
@@ -267,8 +277,8 @@ fn for_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> 
     })
 }
 
-fn classic_for_rest(
-    ctx: &mut ExecCtx,
+fn classic_for_rest<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
     lx: &mut Lexer,
     init: Option<Box<Stmt>>,
 ) -> Result<Stmt, ParseError> {
@@ -285,10 +295,15 @@ fn classic_for_rest(
     };
     lx.expect(ctx, &Tok::RParen, "')' after for header")?;
     let body = Box::new(statement(ctx, lx)?);
-    Ok(Stmt::For { init, cond, step, body })
+    Ok(Stmt::For {
+        init,
+        cond,
+        step,
+        body,
+    })
 }
 
-fn try_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+fn try_statement<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Stmt, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         lx.expect(ctx, &Tok::LBrace, "'{' after try")?;
@@ -317,11 +332,18 @@ fn try_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> 
         if catch.is_none() && finally.is_none() {
             return Err(ctx.reject("try without catch or finally"));
         }
-        Ok(Stmt::Try { body, catch, finally })
+        Ok(Stmt::Try {
+            body,
+            catch,
+            finally,
+        })
     })
 }
 
-fn switch_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+fn switch_statement<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+) -> Result<Stmt, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         lx.expect(ctx, &Tok::LParen, "'(' after switch")?;
@@ -332,7 +354,11 @@ fn switch_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseErro
         let mut default = None;
         loop {
             if lx.eat(ctx, &Tok::RBrace)? {
-                return Ok(Stmt::Switch { scrutinee, cases, default });
+                return Ok(Stmt::Switch {
+                    scrutinee,
+                    cases,
+                    default,
+                });
             }
             if lx.eat(ctx, &Tok::Case)? {
                 cov!(ctx);
@@ -356,7 +382,7 @@ fn switch_statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseErro
     })
 }
 
-fn case_body(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Stmt>, ParseError> {
+fn case_body<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Vec<Stmt>, ParseError> {
     let mut body = Vec::new();
     while !lx.is(&Tok::Case) && !lx.is(&Tok::Default) && !lx.is(&Tok::RBrace) {
         if lx.is(&Tok::Eof) {
@@ -367,7 +393,10 @@ fn case_body(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Stmt>, ParseError>
     Ok(body)
 }
 
-fn function_rest(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<(Vec<String>, Vec<Stmt>), ParseError> {
+fn function_rest<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+) -> Result<(Vec<String>, Vec<Stmt>), ParseError> {
     lx.expect(ctx, &Tok::LParen, "'(' after function name")?;
     let mut params = Vec::new();
     if !lx.eat(ctx, &Tok::RParen)? {
@@ -393,11 +422,14 @@ fn function_rest(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<(Vec<String>, Vec<
 // expressions: the precedence ladder
 // ---------------------------------------------------------------------------
 
-pub(crate) fn expression(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+pub(crate) fn expression<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+) -> Result<Expr, ParseError> {
     assignment(ctx, lx)
 }
 
-fn assignment(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn assignment<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let lhs = ternary(ctx, lx)?;
@@ -426,7 +458,7 @@ fn assignment(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn ternary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn ternary<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     let cond = binary(ctx, lx, 0)?;
     if lx.eat(ctx, &Tok::Question)? {
         cov!(ctx);
@@ -469,7 +501,11 @@ fn bin_op_of(tok: &Tok) -> Option<(BinOp, u8)> {
     })
 }
 
-fn binary(ctx: &mut ExecCtx, lx: &mut Lexer, min_prec: u8) -> Result<Expr, ParseError> {
+fn binary<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+    min_prec: u8,
+) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let mut lhs = unary(ctx, lx)?;
@@ -488,7 +524,7 @@ fn binary(ctx: &mut ExecCtx, lx: &mut Lexer, min_prec: u8) -> Result<Expr, Parse
     })
 }
 
-fn unary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn unary<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let op = match &lx.tok {
@@ -525,7 +561,7 @@ fn unary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn postfix(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn postfix<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     let e = call_member(ctx, lx)?;
     if lx.is(&Tok::Inc) || lx.is(&Tok::Dec) {
         let inc = lx.is(&Tok::Inc);
@@ -543,7 +579,7 @@ fn postfix(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     Ok(e)
 }
 
-fn call_member(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn call_member<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let mut e = primary(ctx, lx)?;
@@ -575,7 +611,10 @@ fn call_member(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn argument_list(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Expr>, ParseError> {
+fn argument_list<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    lx: &mut Lexer,
+) -> Result<Vec<Expr>, ParseError> {
     let mut args = Vec::new();
     if lx.eat(ctx, &Tok::RParen)? {
         return Ok(args);
@@ -590,7 +629,7 @@ fn argument_list(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Vec<Expr>, ParseEr
     }
 }
 
-fn primary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn primary<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         match lx.tok.clone() {
@@ -688,7 +727,7 @@ fn primary(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn object_literal(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn object_literal<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     let mut props = Vec::new();
     if lx.eat(ctx, &Tok::RBrace)? {
         return Ok(Expr::Object(props));

@@ -24,11 +24,11 @@
 //! pair  ::= '<' value ':' value '>'
 //! ```
 
-use pdf_runtime::{cov, kw, lit, peek_is, range, ExecCtx, ParseError, SiteId, Subject};
+use pdf_runtime::{cov, kw, lit, peek_is, range, EventSink, ExecCtx, ParseError, SiteId, Subject};
 
 /// The instrumented table-driven subject.
 pub fn subject() -> Subject {
-    Subject::new("tabular", parse)
+    pdf_runtime::instrument_subject!("tabular", parse)
 }
 
 /// Valid inputs covering every production.
@@ -87,7 +87,7 @@ enum La {
     Other,
 }
 
-fn classify(ctx: &mut ExecCtx) -> La {
+fn classify<S: EventSink>(ctx: &mut ExecCtx<S>) -> La {
     // classification itself is tracked: these are the (non-consuming)
     // comparisons the table-driven parser makes against the lookahead
     if range!(ctx, b'0', b'9') {
@@ -129,7 +129,7 @@ fn classify(ctx: &mut ExecCtx) -> La {
 /// Returns the symbols to push (reversed below), or `None` for a table
 /// error. Every *consulted cell* registers a synthetic coverage site —
 /// "coverage of table elements".
-fn table(ctx: &mut ExecCtx, nt: Nt, la: La) -> Option<&'static [Symbol]> {
+fn table<S: EventSink>(ctx: &mut ExecCtx<S>, nt: Nt, la: La) -> Option<&'static [Symbol]> {
     const VALUE_NUM: &[Symbol] = &[Symbol::Number];
     const VALUE_TRUE: &[Symbol] = &[Symbol::True];
     const VALUE_FALSE: &[Symbol] = &[Symbol::False];
@@ -173,7 +173,7 @@ fn table(ctx: &mut ExecCtx, nt: Nt, la: La) -> Option<&'static [Symbol]> {
     production
 }
 
-fn parse(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn parse<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     let mut stack: Vec<Symbol> = vec![Symbol::N(Nt::Value)];
     while let Some(top) = stack.pop() {
@@ -260,9 +260,11 @@ mod tests {
         let nested_branches = nested.log.branches();
         assert!(nested_branches.len() > flat_branches.len());
         // at least one synthetic table site appears
-        let has_table_site = nested.log.events.iter().any(|e| {
-            matches!(e, Event::Branch(b, _) if b.site.0 & 0xFFFF_0000 == 0x7AB1_0000)
-        });
+        let has_table_site = nested
+            .log
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Branch(b, _) if b.site.0 & 0xFFFF_0000 == 0x7AB1_0000));
         assert!(has_table_site);
     }
 
@@ -276,5 +278,4 @@ mod tests {
             "candidates: {cands:?}"
         );
     }
-
 }

@@ -31,12 +31,12 @@
 //! paper had to patch by hand.
 
 use pdf_runtime::{
-    cov, one_of, peek_is, range, strcmp, ExecCtx, ParseError, Subject, TStr,
+    cov, one_of, peek_is, range, strcmp, EventSink, ExecCtx, ParseError, Subject, TStr,
 };
 
 /// The instrumented tinyC subject.
 pub fn subject() -> Subject {
-    Subject::new("tinyC", run)
+    pdf_runtime::instrument_subject!("tinyC", run)
 }
 
 /// Valid inputs covering all statements, operators and the interpreter.
@@ -93,7 +93,7 @@ const KEYWORDS: [(&str, Tok); 4] = [
 ];
 
 impl Lexer {
-    fn new(ctx: &mut ExecCtx) -> Result<Self, ParseError> {
+    fn new<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<Self, ParseError> {
         let mut lx = Lexer { tok: Tok::Eof };
         lx.next_token(ctx)?;
         Ok(lx)
@@ -103,7 +103,7 @@ impl Lexer {
     /// (direct taint flow) and a tracked `strcmp` per keyword-table entry
     /// (taint preserved through the copy, as the paper's wrapped
     /// `strcpy`/`strcmp` do).
-    fn next_token(&mut self, ctx: &mut ExecCtx) -> Result<(), ParseError> {
+    fn next_token<S: EventSink>(&mut self, ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
         ctx.frame(|ctx| {
             cov!(ctx);
             while one_of!(ctx, b" \t\n\r") {
@@ -207,7 +207,7 @@ enum Expr {
 // parser
 // ---------------------------------------------------------------------------
 
-fn run(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+fn run<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     cov!(ctx);
     let mut lx = Lexer::new(ctx)?;
     let prog = statement(ctx, &mut lx)?;
@@ -222,7 +222,7 @@ fn run(ctx: &mut ExecCtx) -> Result<(), ParseError> {
     Ok(())
 }
 
-fn statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
+fn statement<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Stmt, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         match lx.tok {
@@ -294,7 +294,7 @@ fn statement(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Stmt, ParseError> {
     })
 }
 
-fn paren_expr(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn paren_expr<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         if lx.tok != Tok::Lpar {
@@ -310,7 +310,7 @@ fn paren_expr(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn expr(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn expr<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         // like the original: parse a test, then turn `var = ...` into an
@@ -328,7 +328,7 @@ fn expr(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn test(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn test<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let lhs = sum(ctx, lx)?;
@@ -343,7 +343,7 @@ fn test(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn sum(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn sum<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         let mut acc = term(ctx, lx)?;
@@ -367,7 +367,7 @@ fn sum(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
     })
 }
 
-fn term(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
+fn term<S: EventSink>(ctx: &mut ExecCtx<S>, lx: &mut Lexer) -> Result<Expr, ParseError> {
     ctx.frame(|ctx| {
         cov!(ctx);
         match lx.tok {
@@ -391,7 +391,11 @@ fn term(ctx: &mut ExecCtx, lx: &mut Lexer) -> Result<Expr, ParseError> {
 // interpreter
 // ---------------------------------------------------------------------------
 
-fn exec_stmt(ctx: &mut ExecCtx, s: &Stmt, vars: &mut [i64; 26]) -> Result<(), ParseError> {
+fn exec_stmt<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    s: &Stmt,
+    vars: &mut [i64; 26],
+) -> Result<(), ParseError> {
     if !ctx.tick() {
         return Err(ctx.reject("hang: execution fuel exhausted"));
     }
@@ -434,7 +438,11 @@ fn exec_stmt(ctx: &mut ExecCtx, s: &Stmt, vars: &mut [i64; 26]) -> Result<(), Pa
     }
 }
 
-fn eval(ctx: &mut ExecCtx, e: &Expr, vars: &mut [i64; 26]) -> Result<i64, ParseError> {
+fn eval<S: EventSink>(
+    ctx: &mut ExecCtx<S>,
+    e: &Expr,
+    vars: &mut [i64; 26],
+) -> Result<i64, ParseError> {
     if !ctx.tick() {
         return Err(ctx.reject("hang: execution fuel exhausted"));
     }
@@ -527,9 +535,11 @@ mod tests {
 
     #[test]
     fn nested_statements() {
-        assert!(subject()
-            .run(b"{if(a<1){while(b<2)b=b+1;}else{do c=c-1; while(0);}}")
-            .valid);
+        assert!(
+            subject()
+                .run(b"{if(a<1){while(b<2)b=b+1;}else{do c=c-1; while(0);}}")
+                .valid
+        );
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Property tests for the streaming sinks: on any input and any
+//! subject, the `CoverageOnly` and `LastFailure` sinks must report
+//! exactly what a reduction of the `FullLog` event vector reports —
+//! same branch set, same EOF access, same rejection index, same
+//! substitution candidates.
+
+use proptest::prelude::*;
+
+/// Checks every subject against the full-log reference reductions.
+fn assert_sinks_agree(input: &[u8]) {
+    for info in pdf_subjects::all_subjects() {
+        let full = info.subject.run(input);
+        let cov = info.subject.run_coverage(input);
+        let fail = info.subject.run_last_failure(input);
+
+        assert_eq!(cov.valid, full.valid, "{}: verdicts differ", info.name);
+        assert_eq!(fail.valid, full.valid, "{}: verdicts differ", info.name);
+        assert_eq!(cov.error, full.error, "{}: errors differ", info.name);
+        assert_eq!(fail.error, full.error, "{}: errors differ", info.name);
+
+        let cov_ref = full.log.coverage_summary();
+        let fail_ref = full.log.failure_summary();
+        assert_eq!(cov.cov, cov_ref, "{}: coverage summary differs", info.name);
+        assert_eq!(
+            fail.failure, fail_ref,
+            "{}: failure summary differs",
+            info.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sinks_agree_on_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..32)) {
+        assert_sinks_agree(&input);
+    }
+
+    #[test]
+    fn sinks_agree_on_printable_prefixes(input in "[ -~]{0,24}") {
+        // printable inputs parse deeper, exercising the candidate and
+        // rejection-index paths rather than bailing at byte 0
+        assert_sinks_agree(input.as_bytes());
+    }
+
+    #[test]
+    fn sinks_agree_on_near_valid_inputs(
+        prefix in prop_oneof![
+            Just("[a]\nk=v".to_string()),
+            Just("a,b\nc".to_string()),
+            Just("{\"k\": [1,".to_string()),
+            Just("{i=1; while".to_string()),
+            Just("x = \"str".to_string()),
+            Just("((([{<".to_string()),
+        ],
+        tail in "[ -~]{0,6}",
+    ) {
+        // rejection typically lands deep inside the input here
+        let input = format!("{prefix}{tail}");
+        assert_sinks_agree(input.as_bytes());
+    }
+}

@@ -39,7 +39,7 @@ pub mod solver;
 
 use std::collections::{HashSet, VecDeque};
 
-use pdf_runtime::{BranchSet, Rng, Subject};
+use pdf_runtime::{BranchSet, PhaseClock, Rng, RunStats, Subject};
 
 use path::{negate, path_condition, Cond};
 use solver::solve;
@@ -110,6 +110,8 @@ pub struct KleeReport {
     pub states_generated: usize,
     /// Whether the frontier hit the state bound (path explosion).
     pub exploded: bool,
+    /// Observability counters and timings for the campaign.
+    pub stats: RunStats,
 }
 
 /// One frontier state: a concrete input awaiting concolic execution.
@@ -167,7 +169,9 @@ impl KleeFuzzer {
             all_branches: BranchSet::new(),
             states_generated: 0,
             exploded: false,
+            stats: RunStats::default(),
         };
+        let mut clock = PhaseClock::new();
         let mut frontier: VecDeque<State> = VecDeque::new();
         let mut seen: HashSet<Vec<u8>> = HashSet::new();
         let mut rng = match self.cfg.search {
@@ -183,7 +187,11 @@ impl KleeFuzzer {
                 break;
             }
             report.execs += 1;
-            let exec = self.subject.run(&state.input);
+            // the concolic loop negates conjuncts of the full path
+            // condition, so this tool genuinely needs the FullLog sink
+            let subject = &self.subject;
+            let exec = clock.time("execute", || subject.run(&state.input));
+            report.stats.events += exec.log.events.len() as u64;
             let branches = exec.log.branches();
             report.all_branches.union_with(&branches);
             if exec.valid && branches.difference_size(&report.valid_branches) > 0 {
@@ -191,32 +199,40 @@ impl KleeFuzzer {
                 report.valid_inputs.push(state.input.clone());
                 report.valid_found_at.push(report.execs);
             }
-            // collect the path condition and fork every suffix
-            let conds: Vec<Cond> = path_condition(&exec.log);
-            let depth = conds.len().min(self.cfg.max_depth);
-            for j in 0..depth {
-                let Some(neg) = negate(&conds[j]) else {
-                    continue;
-                };
-                let mut prefix: Vec<Cond> = conds[..j].to_vec();
-                prefix.push(neg);
-                let Some(new_input) = solve(&prefix, self.cfg.filler) else {
-                    continue; // infeasible
-                };
-                if new_input.len() > self.cfg.max_input_len {
-                    continue; // beyond the symbolic input size
+            clock.time("solve", || {
+                // collect the path condition and fork every suffix
+                let conds: Vec<Cond> = path_condition(&exec.log);
+                let depth = conds.len().min(self.cfg.max_depth);
+                for j in 0..depth {
+                    let Some(neg) = negate(&conds[j]) else {
+                        continue;
+                    };
+                    let mut prefix: Vec<Cond> = conds[..j].to_vec();
+                    prefix.push(neg);
+                    let Some(new_input) = solve(&prefix, self.cfg.filler) else {
+                        continue; // infeasible
+                    };
+                    if new_input.len() > self.cfg.max_input_len {
+                        continue; // beyond the symbolic input size
+                    }
+                    if !seen.insert(new_input.clone()) {
+                        continue;
+                    }
+                    report.states_generated += 1;
+                    if frontier.len() >= self.cfg.max_states {
+                        report.exploded = true;
+                        continue; // dropped: the explosion wall
+                    }
+                    frontier.push_back(State { input: new_input });
                 }
-                if !seen.insert(new_input.clone()) {
-                    continue;
-                }
-                report.states_generated += 1;
-                if frontier.len() >= self.cfg.max_states {
-                    report.exploded = true;
-                    continue; // dropped: the explosion wall
-                }
-                frontier.push_back(State { input: new_input });
-            }
+            });
         }
+        report.stats.executions = report.execs;
+        report.stats.valid_inputs = report.valid_inputs.len() as u64;
+        report.stats.queue_depth = frontier.len();
+        let (wall, phases) = clock.finish();
+        report.stats.wall_secs = wall;
+        report.stats.phases = phases;
         report
     }
 }
@@ -239,7 +255,11 @@ mod tests {
         assert!(!report.valid_inputs.is_empty());
         let subject = pdf_subjects::arith::subject();
         for input in &report.valid_inputs {
-            assert!(subject.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+            assert!(
+                subject.run(input).valid,
+                "{:?}",
+                String::from_utf8_lossy(input)
+            );
         }
     }
 
@@ -292,7 +312,10 @@ mod tests {
         // should be at least as long as BFS's under the same budget
         let bfs = KleeFuzzer::new(
             pdf_subjects::dyck::subject(),
-            KleeConfig { max_execs: 1_500, ..KleeConfig::default() },
+            KleeConfig {
+                max_execs: 1_500,
+                ..KleeConfig::default()
+            },
         )
         .run();
         let dfs = KleeFuzzer::new(
@@ -306,7 +329,12 @@ mod tests {
         )
         .run();
         let max_len = |r: &KleeReport| r.valid_inputs.iter().map(Vec::len).max().unwrap_or(0);
-        assert!(max_len(&dfs) >= max_len(&bfs), "dfs {} < bfs {}", max_len(&dfs), max_len(&bfs));
+        assert!(
+            max_len(&dfs) >= max_len(&bfs),
+            "dfs {} < bfs {}",
+            max_len(&dfs),
+            max_len(&bfs)
+        );
     }
 
     #[test]

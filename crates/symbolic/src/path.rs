@@ -112,7 +112,12 @@ pub fn negate(cond: &Cond) -> Option<Cond> {
             value: *value,
             eq: !eq,
         }),
-        Cond::Range { index, lo, hi, inside } => Some(Cond::Range {
+        Cond::Range {
+            index,
+            lo,
+            hi,
+            inside,
+        } => Some(Cond::Range {
             index: *index,
             lo: *lo,
             hi: *hi,
@@ -169,8 +174,16 @@ mod tests {
         assert_eq!(
             conds,
             vec![
-                Cond::Byte { index: 0, value: b'a', eq: true },
-                Cond::Byte { index: 1, value: b'b', eq: false },
+                Cond::Byte {
+                    index: 0,
+                    value: b'a',
+                    eq: true
+                },
+                Cond::Byte {
+                    index: 1,
+                    value: b'b',
+                    eq: false
+                },
             ]
         );
     }
@@ -185,7 +198,13 @@ mod tests {
             input_len: 0,
         };
         let conds = path_condition(&log);
-        assert_eq!(conds, vec![Cond::Eof { index: 0, hit: true }]);
+        assert_eq!(
+            conds,
+            vec![Cond::Eof {
+                index: 0,
+                hit: true
+            }]
+        );
     }
 
     #[test]
@@ -230,7 +249,16 @@ mod tests {
                 eq: false
             })
         );
-        let e = Cond::Eof { index: 3, hit: true };
-        assert_eq!(negate(&e), Some(Cond::Eof { index: 3, hit: false }));
+        let e = Cond::Eof {
+            index: 3,
+            hit: true,
+        };
+        assert_eq!(
+            negate(&e),
+            Some(Cond::Eof {
+                index: 3,
+                hit: false
+            })
+        );
     }
 }

@@ -107,7 +107,12 @@ pub fn solve(conds: &[Cond], filler: u8) -> Option<Vec<u8>> {
                     domains[*index].exclude(*value);
                 }
             }
-            Cond::Range { index, lo, hi, inside } => {
+            Cond::Range {
+                index,
+                lo,
+                hi,
+                inside,
+            } => {
                 ensure(&mut domains, *index);
                 min_len = min_len.max(index + 1);
                 if *inside {
@@ -257,8 +262,16 @@ mod tests {
     #[test]
     fn solve_detects_conflicts() {
         let conds = vec![
-            Cond::Byte { index: 0, value: b'a', eq: true },
-            Cond::Byte { index: 0, value: b'a', eq: false },
+            Cond::Byte {
+                index: 0,
+                value: b'a',
+                eq: true,
+            },
+            Cond::Byte {
+                index: 0,
+                value: b'a',
+                eq: false,
+            },
         ];
         assert_eq!(solve(&conds, b' '), None);
     }
@@ -266,8 +279,17 @@ mod tests {
     #[test]
     fn solve_range_and_disequality() {
         let conds = vec![
-            Cond::Range { index: 0, lo: b'0', hi: b'9', inside: true },
-            Cond::Byte { index: 0, value: b'0', eq: false },
+            Cond::Range {
+                index: 0,
+                lo: b'0',
+                hi: b'9',
+                inside: true,
+            },
+            Cond::Byte {
+                index: 0,
+                value: b'0',
+                eq: false,
+            },
         ];
         let out = solve(&conds, b' ').unwrap();
         assert!(out[0].is_ascii_digit() && out[0] != b'0');
@@ -326,8 +348,15 @@ mod tests {
     #[test]
     fn eof_exact_length() {
         let conds = vec![
-            Cond::Byte { index: 0, value: b'(', eq: true },
-            Cond::Eof { index: 1, hit: true },
+            Cond::Byte {
+                index: 0,
+                value: b'(',
+                eq: true,
+            },
+            Cond::Eof {
+                index: 1,
+                hit: true,
+            },
         ];
         assert_eq!(solve(&conds, b' '), Some(b"(".to_vec()));
     }
@@ -335,8 +364,15 @@ mod tests {
     #[test]
     fn negated_eof_extends_input() {
         let conds = vec![
-            Cond::Byte { index: 0, value: b'(', eq: true },
-            Cond::Eof { index: 1, hit: false },
+            Cond::Byte {
+                index: 0,
+                value: b'(',
+                eq: true,
+            },
+            Cond::Eof {
+                index: 1,
+                hit: false,
+            },
         ];
         assert_eq!(solve(&conds, b' '), Some(b"( ".to_vec()));
     }
@@ -344,8 +380,15 @@ mod tests {
     #[test]
     fn conflicting_lengths_are_infeasible() {
         let conds = vec![
-            Cond::Eof { index: 1, hit: true },
-            Cond::Byte { index: 3, value: b'x', eq: true },
+            Cond::Eof {
+                index: 1,
+                hit: true,
+            },
+            Cond::Byte {
+                index: 3,
+                value: b'x',
+                eq: true,
+            },
         ];
         assert_eq!(solve(&conds, b' '), None);
     }

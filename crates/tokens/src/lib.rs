@@ -185,8 +185,8 @@ pub fn mjs_inventory() -> TokenInventory {
     let mut tokens = Vec::new();
     // length 1: 24 punctuation/operator characters + 3 classes
     for p in [
-        "{", "}", "(", ")", "[", "]", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "?",
-        ":", ";", ",", "<", ">", "=", ".",
+        "{", "}", "(", ")", "[", "]", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "?", ":",
+        ";", ",", "<", ">", "=", ".",
     ] {
         tokens.push(tok(p, 1));
     }
@@ -195,8 +195,8 @@ pub fn mjs_inventory() -> TokenInventory {
     tokens.push(tok("sq-string", 1));
     // length 2: 19 operators + 4 keywords + the double-quoted string class
     for p in [
-        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=", "<<", ">>",
-        "&&", "||", "++", "--", "**",
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "==", "!=", "<=", ">=", "<<", ">>", "&&",
+        "||", "++", "--", "**",
     ] {
         tokens.push(tok(p, 2));
     }
@@ -212,15 +212,21 @@ pub fn mjs_inventory() -> TokenInventory {
         tokens.push(tok(k, 3));
     }
     // length 4
-    for k in [">>>=", "true", "null", "void", "with", "else", "case", "this", "Math", "JSON"] {
+    for k in [
+        ">>>=", "true", "null", "void", "with", "else", "case", "this", "Math", "JSON",
+    ] {
         tokens.push(tok(k, 4));
     }
     // length 5
-    for k in ["false", "throw", "while", "break", "catch", "const", "floor", "slice", "split"] {
+    for k in [
+        "false", "throw", "while", "break", "catch", "const", "floor", "slice", "split",
+    ] {
         tokens.push(tok(k, 5));
     }
     // length 6
-    for k in ["return", "delete", "typeof", "Object", "switch", "String", "length"] {
+    for k in [
+        "return", "delete", "typeof", "Object", "switch", "String", "length",
+    ] {
         tokens.push(tok(k, 6));
     }
     // length 7
@@ -303,10 +309,7 @@ impl TokenCoverage {
     /// paper's headline aggregates use (1, 3) and (4, usize::MAX).
     pub fn fraction_in(&self, min: usize, max: usize) -> (usize, usize) {
         let total = self.inventory.tokens_in(min, max);
-        let found = total
-            .iter()
-            .filter(|t| self.found.contains(t.name))
-            .count();
+        let found = total.iter().filter(|t| self.found.contains(t.name)).count();
         (found, total.len())
     }
 

@@ -57,10 +57,7 @@ fn scan_ini(input: &[u8]) -> Vec<&'static str> {
                 push(&mut out, "name");
             }
             let value = &trimmed[sep + 1..];
-            let value_end = value
-                .iter()
-                .position(|&b| b == b';')
-                .unwrap_or(value.len());
+            let value_end = value.iter().position(|&b| b == b';').unwrap_or(value.len());
             if value[..value_end].iter().any(|b| !b.is_ascii_whitespace()) {
                 push(&mut out, "value");
             }
@@ -230,10 +227,10 @@ fn scan_tinyc(input: &[u8]) -> Vec<&'static str> {
 /// Keywords and builtin names that are inventory tokens; all other words
 /// count as the `identifier` class.
 const MJS_WORDS: [&str; 40] = [
-    "if", "in", "do", "of", "for", "try", "let", "var", "new", "NaN", "abs", "pow", "true",
-    "null", "void", "with", "else", "case", "this", "Math", "JSON", "false", "throw", "while",
-    "break", "catch", "const", "floor", "slice", "split", "return", "delete", "typeof",
-    "Object", "switch", "String", "length", "default", "finally", "indexOf",
+    "if", "in", "do", "of", "for", "try", "let", "var", "new", "NaN", "abs", "pow", "true", "null",
+    "void", "with", "else", "case", "this", "Math", "JSON", "false", "throw", "while", "break",
+    "catch", "const", "floor", "slice", "split", "return", "delete", "typeof", "Object", "switch",
+    "String", "length", "default", "finally", "indexOf",
 ];
 const MJS_LONG_WORDS: [&str; 6] = [
     "continue",
@@ -388,7 +385,9 @@ mod tests {
     #[test]
     fn json_tokens_full() {
         let found = found_tokens("cjson", b"{\"k\": [1, -2, true, false, null]}");
-        for t in ["{", "}", "[", "]", ":", ",", "-", "number", "string", "true", "false", "null"] {
+        for t in [
+            "{", "}", "[", "]", ":", ",", "-", "number", "string", "true", "false", "null",
+        ] {
             assert!(found.contains(&t), "missing {t}: {found:?}");
         }
         assert_eq!(found.len(), 12);
@@ -405,7 +404,19 @@ mod tests {
     #[test]
     fn tinyc_tokens() {
         let found = found_tokens("tinyC", b"if(a<2)a=3;else while(0)do;while(0);");
-        for t in ["if", "else", "while", "do", "(", ")", "<", ";", "=", "identifier", "number"] {
+        for t in [
+            "if",
+            "else",
+            "while",
+            "do",
+            "(",
+            ")",
+            "<",
+            ";",
+            "=",
+            "identifier",
+            "number",
+        ] {
             assert!(found.contains(&t), "missing {t}: {found:?}");
         }
     }
@@ -423,8 +434,26 @@ mod tests {
             "mjs",
             b"x = JSON.stringify([1].indexOf(0)); while (false) { typeof undefined; }",
         );
-        for t in ["JSON", "stringify", "indexOf", "while", "false", "typeof", "undefined",
-                  "identifier", "number", "=", ".", ";", "(", ")", "[", "]", "{", "}"] {
+        for t in [
+            "JSON",
+            "stringify",
+            "indexOf",
+            "while",
+            "false",
+            "typeof",
+            "undefined",
+            "identifier",
+            "number",
+            "=",
+            ".",
+            ";",
+            "(",
+            ")",
+            "[",
+            "]",
+            "{",
+            "}",
+        ] {
             assert!(found.contains(&t), "missing {t}: {found:?}");
         }
     }

@@ -6,15 +6,17 @@
 //! `cargo run --release --example baseline_shootout -- [subject] [execs]`
 //! where subject is one of ini, csv, cjson, tinyC, mjs (default cjson).
 
-use parser_directed_fuzzing::eval::{
-    coverage_universe, relative_coverage, run_tool_seeded, Tool,
-};
+use parser_directed_fuzzing::eval::{coverage_universe, relative_coverage, run_tool_seeded, Tool};
 use parser_directed_fuzzing::subjects;
 use parser_directed_fuzzing::tokens::TokenCoverage;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let subject_name = args.get(1).map(String::as_str).unwrap_or("cjson").to_string();
+    let subject_name = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("cjson")
+        .to_string();
     let execs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
 
     let Some(info) = subjects::by_name(&subject_name) else {

@@ -13,7 +13,11 @@ use parser_directed_fuzzing::subjects;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let subject_name = args.get(1).map(String::as_str).unwrap_or("cjson").to_string();
+    let subject_name = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("cjson")
+        .to_string();
     let fuzz_execs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30_000);
 
     let Some(info) = subjects::by_name(&subject_name) else {

@@ -29,7 +29,13 @@ fn matrix_is_deterministic() {
     let b = run_matrix(&small_budget());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.subject, y.subject);
-        assert_eq!(x.valid_inputs, y.valid_inputs, "{} on {}", x.tool.name(), x.subject);
+        assert_eq!(
+            x.valid_inputs,
+            y.valid_inputs,
+            "{} on {}",
+            x.tool.name(),
+            x.subject
+        );
         assert_eq!(x.execs, y.execs);
     }
 }

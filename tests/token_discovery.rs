@@ -34,7 +34,11 @@ fn pfuzzer_finds_all_json_keywords() {
     .run();
     let cov = coverage_of("cjson", &report.valid_inputs);
     for kw in ["true", "false", "null"] {
-        assert!(cov.found(kw), "pFuzzer missed {kw}: {:?}", cov.found_names());
+        assert!(
+            cov.found(kw),
+            "pFuzzer missed {kw}: {:?}",
+            cov.found_names()
+        );
     }
 }
 
@@ -78,7 +82,11 @@ fn klee_finds_json_keywords() {
         .iter()
         .filter(|kw| cov.found(kw))
         .count();
-    assert!(found >= 2, "KLEE found too few keywords: {:?}", cov.found_names());
+    assert!(
+        found >= 2,
+        "KLEE found too few keywords: {:?}",
+        cov.found_names()
+    );
 }
 
 #[test]
@@ -123,7 +131,8 @@ fn klee_explodes_on_mjs() {
     let cov = coverage_of("mjs", &report.valid_inputs);
     let (long_found, _) = cov.fraction_in(6, usize::MAX);
     assert_eq!(
-        long_found, 0,
+        long_found,
+        0,
         "KLEE unexpectedly found long mjs keywords: {:?}",
         cov.found_names()
     );

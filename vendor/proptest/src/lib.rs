@@ -1,0 +1,606 @@
+//! A vendored, dependency-free shim of the [proptest](https://docs.rs/proptest)
+//! API, covering exactly the subset this workspace uses.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors this shim under the `proptest` name. It keeps the
+//! property-test sources byte-compatible with the real crate:
+//!
+//! - `proptest! { #[test] fn f(x in strategy) { ... } }`
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! - `prop_oneof!`, `Just`, `any::<T>()`, integer ranges, tuples,
+//!   `proptest::collection::vec`, simple `"[a-z0-9]{0,8}"` regex string
+//!   strategies, `.prop_map`, `.prop_recursive`, `.boxed()`
+//!
+//! Differences from the real crate: generation is driven by a fixed
+//! deterministic RNG seeded from the test name (every run explores the
+//! same cases), and failing cases are reported but **not shrunk**.
+
+#![forbid(unsafe_code)]
+
+/// The deterministic generator handed to strategies.
+///
+/// SplitMix64: tiny, seedable, and good enough for test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+pub mod strategy {
+    //! Strategy combinators.
+
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Unlike the real crate there is no value tree /
+    /// shrinking; a strategy simply produces values from an RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy. The result is cheaply cloneable.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                generate: Rc::new(move |rng| self.generate(rng)),
+            }
+        }
+
+        /// Recursive strategies: `levels` rounds of `recurse` applied on
+        /// top of `self`, each level choosing between bottoming out and
+        /// recursing one deeper.
+        fn prop_recursive<R, F>(
+            self,
+            levels: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut strat = base.clone();
+            for _ in 0..levels {
+                let deeper = recurse(strat).boxed();
+                strat = union(vec![base.clone(), deeper]);
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        pub(crate) generate: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                generate: Rc::clone(&self.generate),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generate)(rng)
+        }
+    }
+
+    /// Uniform choice between type-erased arms (`prop_oneof!`).
+    pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy {
+            generate: Rc::new(move |rng| {
+                let i = rng.below(arms.len());
+                (arms[i].generate)(rng)
+            }),
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128 - lo as u128 + 1) as u64;
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($($s:ident.$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+
+    /// One repeated element of a compiled regex-lite pattern.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        choices: Vec<u8>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Compiles the tiny regex subset the workspace tests use: literal
+    /// characters, `\n`/`\t`/`\\` escapes and `[...]` classes with
+    /// ranges, each optionally repeated by `{n}`, `{m,n}`, `*`, `+`, `?`.
+    fn compile_pattern(pattern: &str) -> Vec<Atom> {
+        let bytes = pattern.as_bytes();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            let choices = match bytes[i] {
+                b'[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b']' {
+                        let c = if bytes[i] == b'\\' {
+                            i += 1;
+                            escape(bytes[i])
+                        } else {
+                            bytes[i]
+                        };
+                        if i + 2 < bytes.len() && bytes[i + 1] == b'-' && bytes[i + 2] != b']' {
+                            let hi = bytes[i + 2];
+                            set.extend(c..=hi);
+                            i += 3;
+                        } else {
+                            set.push(c);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < bytes.len(), "unterminated class in pattern {pattern:?}");
+                    i += 1; // ']'
+                    set
+                }
+                b'\\' => {
+                    i += 1;
+                    let c = escape(bytes[i]);
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    assert!(
+                        !matches!(c, b'(' | b')' | b'|' | b'.'),
+                        "unsupported regex feature {:?} in pattern {pattern:?}",
+                        c as char
+                    );
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < bytes.len() && bytes[i] == b'{' {
+                let close = pattern[i..].find('}').expect("unterminated repetition") + i;
+                let body = &pattern[i + 1..close];
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                    None => {
+                        let n: usize = body.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else if i < bytes.len() && bytes[i] == b'*' {
+                i += 1;
+                (0, 8)
+            } else if i < bytes.len() && bytes[i] == b'+' {
+                i += 1;
+                (1, 8)
+            } else if i < bytes.len() && bytes[i] == b'?' {
+                i += 1;
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    fn escape(c: u8) -> u8 {
+        match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            other => other,
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = Vec::new();
+            for atom in compile_pattern(self) {
+                let count = atom.min + rng.below(atom.max - atom.min + 1);
+                for _ in 0..count {
+                    out.push(atom.choices[rng.below(atom.choices.len())]);
+                }
+            }
+            String::from_utf8(out).expect("patterns are ASCII")
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// An unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Size bounds for generated collections (half-open like `Range`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.below(self.size.max - self.size.min);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-driving runner behind the `proptest!` macro.
+
+    use super::TestRng;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Drives one property over its configured number of cases.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Creates a runner.
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `body` once per case with a name-seeded deterministic RNG.
+        /// A panicking case is reported (case number and seed) and
+        /// re-raised; there is no shrinking.
+        pub fn run_named(&mut self, name: &str, mut body: impl FnMut(&mut TestRng)) {
+            let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+            });
+            let mut rng = TestRng::new(seed);
+            for case in 0..self.config.cases {
+                let case_rng = rng.clone();
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: property {name} failed at case {case}/{} \
+                         (rng state {:#x}); no shrinking available",
+                        self.config.cases, case_rng.state
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run_named(stringify!($name), |__rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a property (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-z]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..100 {
+            let v = Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_strategies(x in 0u8..10, s in "[ab]{1,2}") {
+            prop_assert!(x < 10);
+            prop_assert!(!s.is_empty() && s.len() <= 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_vec(items in crate::collection::vec(prop_oneof![Just(1u32), Just(2u32)], 0..5)) {
+            prop_assert!(items.iter().all(|&i| i == 1 || i == 2));
+            prop_assert!(items.len() < 5);
+        }
+    }
+}
