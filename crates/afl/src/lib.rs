@@ -37,7 +37,7 @@ mod mutate;
 pub use bitmap::CoverageBitmap;
 pub use mutate::{havoc, splice, MutationOp};
 
-use pdf_runtime::{BranchSet, CovExecution, PhaseClock, Rng, RunStats, Subject};
+use pdf_runtime::{BranchSet, CovExecution, Digest, PhaseClock, Rng, RunStats, Subject};
 
 /// AFL driver configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +75,30 @@ impl Default for AflConfig {
             max_input_len: 256,
             dictionary: Vec::new(),
         }
+    }
+}
+
+impl AflConfig {
+    /// 64-bit digest of the campaign-shaping fields. The RNG seed and
+    /// the execution budget are excluded: a record/replay journal cell
+    /// stores those separately, and the hash identifies the
+    /// *configuration* a recording ran under so drift is detected.
+    pub fn config_hash(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str("afl-config-v1");
+        d.write_u64(self.seeds.len() as u64);
+        for s in &self.seeds {
+            d.write_bytes(s);
+        }
+        d.write_u64(u64::from(self.havoc_stack));
+        d.write_u64(u64::from(self.havoc_cases));
+        d.write_u8(u8::from(self.deterministic));
+        d.write_u64(self.max_input_len as u64);
+        d.write_u64(self.dictionary.len() as u64);
+        for t in &self.dictionary {
+            d.write_bytes(t);
+        }
+        d.finish()
     }
 }
 
@@ -218,6 +242,11 @@ impl AflFuzzer {
         report.stats.executions = report.execs;
         report.stats.valid_inputs = report.valid_inputs.len() as u64;
         report.stats.queue_depth = queue.len();
+        // AFL's mutation engine draws from the RNG far too often to
+        // journal every byte; a draw count plus rolling stream digest is
+        // enough to verify a replay consumed the identical stream.
+        report.stats.decisions = self.rng.draw_count();
+        report.stats.decision_digest = self.rng.stream_digest();
         let (wall, phases) = clock.finish();
         report.stats.wall_secs = wall;
         report.stats.phases = phases;
@@ -319,6 +348,42 @@ mod tests {
                 || joined.chars().any(|c| c.is_ascii_digit()),
             "no shallow JSON structure found: {corpus:?}"
         );
+    }
+
+    #[test]
+    fn decision_stream_is_reproducible() {
+        let a = run(pdf_subjects::csv::subject(), 9, 1_500);
+        let b = run(pdf_subjects::csv::subject(), 9, 1_500);
+        assert!(a.stats.decisions > 0);
+        assert_eq!(a.stats.decisions, b.stats.decisions);
+        assert_eq!(a.stats.decision_digest, b.stats.decision_digest);
+        let c = run(pdf_subjects::csv::subject(), 10, 1_500);
+        assert_ne!(
+            (a.stats.decisions, a.stats.decision_digest),
+            (c.stats.decisions, c.stats.decision_digest),
+            "different seeds should draw different streams"
+        );
+    }
+
+    #[test]
+    fn config_hash_ignores_seed_and_budget() {
+        let base = AflConfig::default();
+        let reseeded = AflConfig {
+            seed: 99,
+            max_execs: 1,
+            ..base.clone()
+        };
+        assert_eq!(base.config_hash(), reseeded.config_hash());
+        let reshaped = AflConfig {
+            havoc_stack: base.havoc_stack + 1,
+            ..base.clone()
+        };
+        assert_ne!(base.config_hash(), reshaped.config_hash());
+        let with_dict = AflConfig {
+            dictionary: vec![b"while".to_vec()],
+            ..base.clone()
+        };
+        assert_ne!(base.config_hash(), with_dict.config_hash());
     }
 
     #[test]

@@ -152,6 +152,55 @@ impl Default for DriverConfig {
     }
 }
 
+impl DriverConfig {
+    /// FNV-1a hash over every configuration field that shapes the
+    /// search, *excluding* `seed` and `max_execs` — those identify the
+    /// campaign (and are recorded separately in journals); this hash
+    /// identifies the configuration a campaign ran under, so a replay
+    /// against a drifted configuration is detected instead of silently
+    /// producing a digest mismatch with no explanation.
+    pub fn config_hash(&self) -> u64 {
+        let mut d = pdf_runtime::Digest::new();
+        d.write_str("driver-config-v1");
+        match self.max_valid_inputs {
+            Some(n) => {
+                d.write_u8(1);
+                d.write_u64(n as u64);
+            }
+            None => d.write_u8(0),
+        }
+        let h = &self.heuristic;
+        for flag in [
+            h.use_new_branches,
+            h.use_input_length,
+            h.use_replacement_len,
+            h.use_stack_size,
+            h.use_parent_penalty,
+            h.paper_literal_parent_sign,
+            h.use_path_dedup,
+        ] {
+            d.write_u8(flag as u8);
+        }
+        d.write_u8(match self.search {
+            SearchMode::Heuristic => 0,
+            SearchMode::DepthFirst => 1,
+            SearchMode::BreadthFirst => 2,
+        });
+        d.write_u8(match self.extension_mode {
+            ExtensionMode::Both => 0,
+            ExtensionMode::ReplaceOnly => 1,
+            ExtensionMode::AppendOnly => 2,
+        });
+        d.write_u64(self.max_input_len as u64);
+        d.write_u8(self.trace as u8);
+        d.write_u8(match self.sink {
+            SinkMode::FullLog => 0,
+            SinkMode::LastFailure => 1,
+        });
+        d.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +238,50 @@ mod tests {
     #[test]
     fn search_mode_default_is_heuristic() {
         assert_eq!(SearchMode::default(), SearchMode::Heuristic);
+    }
+
+    #[test]
+    fn config_hash_ignores_seed_and_budget() {
+        let a = DriverConfig::default();
+        let b = DriverConfig {
+            seed: 99,
+            max_execs: 123,
+            ..DriverConfig::default()
+        };
+        assert_eq!(a.config_hash(), b.config_hash());
+    }
+
+    #[test]
+    fn config_hash_sees_search_shaping_fields() {
+        let base = DriverConfig::default().config_hash();
+        let variants = [
+            DriverConfig {
+                max_valid_inputs: Some(5),
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                heuristic: HeuristicConfig::disabled(),
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                search: SearchMode::DepthFirst,
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                extension_mode: ExtensionMode::AppendOnly,
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                max_input_len: 64,
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                sink: SinkMode::FullLog,
+                ..DriverConfig::default()
+            },
+        ];
+        for v in variants {
+            assert_ne!(v.config_hash(), base, "{v:?} hashed same as default");
+        }
     }
 }

@@ -3,7 +3,8 @@
 use std::collections::HashSet;
 
 use pdf_runtime::{
-    BranchSet, FailureExecution, FailureSummary, PhaseClock, Rng, RunStats, Subject,
+    digest_bytes, BranchSet, Digest, FailureExecution, FailureSummary, PhaseClock, Rng, RunStats,
+    Subject,
 };
 
 use crate::config::{DriverConfig, ExtensionMode, SearchMode, SinkMode};
@@ -53,6 +54,64 @@ pub struct FuzzReport {
     /// Observability counters and timings for the campaign. Wall-clock
     /// fields vary between runs; everything else is deterministic.
     pub stats: RunStats,
+    /// Every random byte the campaign drew, in draw order — the
+    /// campaign's complete decision stream. Replaying these bytes
+    /// through [`Fuzzer::replaying`] re-executes the campaign exactly,
+    /// without an RNG.
+    pub decisions: Vec<u8>,
+}
+
+impl FuzzReport {
+    /// FNV-1a digest over every deterministic field of the report:
+    /// valid inputs (order and bytes), discovery indices, execution
+    /// count, branch sets, the decision stream and the deterministic
+    /// stats counters. Wall-clock fields and the trace are excluded.
+    /// Byte-identical campaigns (same digest) are the contract replay
+    /// verification checks.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_u64(self.valid_inputs.len() as u64);
+        for input in &self.valid_inputs {
+            d.write_bytes(input);
+        }
+        d.write_u64(self.valid_found_at.len() as u64);
+        for &at in &self.valid_found_at {
+            d.write_u64(at);
+        }
+        d.write_u64(self.execs);
+        match self.first_valid_execs {
+            Some(n) => {
+                d.write_u8(1);
+                d.write_u64(n);
+            }
+            None => d.write_u8(0),
+        }
+        for set in [&self.valid_branches, &self.all_branches] {
+            d.write_u64(set.len() as u64);
+            for b in set.iter() {
+                d.write_u64(b.site.0);
+                d.write_u8(b.outcome as u8);
+            }
+        }
+        d.write_bytes(&self.decisions);
+        d.write_u64(self.stats.executions);
+        d.write_u64(self.stats.events);
+        d.write_u64(self.stats.valid_inputs);
+        d.write_u64(self.stats.queue_depth as u64);
+        d.write_u64(self.stats.decisions);
+        d.write_u64(self.stats.decision_digest);
+        d.finish()
+    }
+}
+
+/// Where the driver's random bytes come from: a live RNG (recording) or
+/// a previously recorded decision stream (replay).
+#[derive(Debug)]
+enum ByteSource {
+    /// Draw fresh bytes from the seeded generator.
+    Fresh(Rng),
+    /// Feed back a recorded stream, byte for byte.
+    Replay { stream: Vec<u8>, pos: usize },
 }
 
 /// The pFuzzer driver.
@@ -62,14 +121,63 @@ pub struct FuzzReport {
 pub struct Fuzzer {
     subject: Subject,
     cfg: DriverConfig,
-    rng: Rng,
+    source: ByteSource,
+    decisions: Vec<u8>,
 }
 
 impl Fuzzer {
     /// Creates a driver for `subject` with the given configuration.
     pub fn new(subject: Subject, cfg: DriverConfig) -> Self {
-        let rng = Rng::new(cfg.seed);
-        Fuzzer { subject, cfg, rng }
+        let source = ByteSource::Fresh(Rng::new(cfg.seed));
+        Fuzzer {
+            subject,
+            cfg,
+            source,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Creates a driver that replays a recorded decision stream instead
+    /// of drawing from the RNG. With the same subject and configuration
+    /// as the recording run, [`run`](Self::run) produces a report with
+    /// an identical [`digest`](FuzzReport::digest).
+    pub fn replaying(subject: Subject, cfg: DriverConfig, decisions: Vec<u8>) -> Self {
+        Fuzzer {
+            subject,
+            cfg,
+            source: ByteSource::Replay {
+                stream: decisions,
+                pos: 0,
+            },
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The next decision byte: drawn from the RNG (and recorded) in
+    /// fresh mode, read back from the recorded stream in replay mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics in replay mode when the recorded stream runs out — the
+    /// campaign asked for more randomness than the recording drew, which
+    /// means the subject or configuration drifted since the recording.
+    fn next_byte(&mut self) -> u8 {
+        let b = match &mut self.source {
+            ByteSource::Fresh(rng) => rng.byte_ascii(),
+            ByteSource::Replay { stream, pos } => {
+                assert!(
+                    *pos < stream.len(),
+                    "replay decision stream exhausted after {} bytes: \
+                     subject or configuration drifted since the recording",
+                    stream.len()
+                );
+                let b = stream[*pos];
+                *pos += 1;
+                b
+            }
+        };
+        self.decisions.push(b);
+        b
     }
 
     /// Runs the campaign to completion and reports the results.
@@ -83,6 +191,7 @@ impl Fuzzer {
             first_valid_execs: None,
             trace: Vec::new(),
             stats: RunStats::default(),
+            decisions: Vec::new(),
         };
         let mut clock = PhaseClock::new();
         let mut queue = CandidateQueue::new(self.cfg.heuristic);
@@ -96,7 +205,7 @@ impl Fuzzer {
         // Line 4: input ← random character. (The empty string is the
         // conceptual step before it: it is rejected with an immediate
         // EOF access, which is what appending the first character fixes.)
-        let mut current = vec![self.rng.byte_ascii()];
+        let mut current = vec![self.next_byte()];
         let mut parents = 0usize;
 
         while report.execs < self.cfg.max_execs {
@@ -134,7 +243,7 @@ impl Fuzzer {
                     break;
                 }
                 let mut extended = current.clone();
-                extended.push(self.rng.byte_ascii());
+                extended.push(self.next_byte());
                 let exec2 = clock.time("execute", || self.execute(&mut report, &extended));
                 let accepted2 = self.run_check(&mut report, &mut queue, &extended, &exec2, parents);
                 if !accepted2 {
@@ -180,7 +289,7 @@ impl Fuzzer {
                     parents = entry.num_parents;
                 }
                 None => {
-                    current = vec![self.rng.byte_ascii()];
+                    current = vec![self.next_byte()];
                     parents = 0;
                 }
             }
@@ -188,6 +297,9 @@ impl Fuzzer {
         report.stats.executions = report.execs;
         report.stats.valid_inputs = report.valid_inputs.len() as u64;
         report.stats.queue_depth = queue.len();
+        report.decisions = std::mem::take(&mut self.decisions);
+        report.stats.decisions = report.decisions.len() as u64;
+        report.stats.decision_digest = digest_bytes(&report.decisions);
         let (wall, phases) = clock.finish();
         report.stats.wall_secs = wall;
         report.stats.phases = phases;
@@ -257,7 +369,7 @@ impl Fuzzer {
         if self.cfg.extension_mode == ExtensionMode::AppendOnly {
             // ablation: never substitute, only grow
             let mut grown = input.to_vec();
-            grown.push(self.rng.byte_ascii());
+            grown.push(self.next_byte());
             queue.push(
                 QueueEntry {
                     input: grown,
@@ -537,6 +649,54 @@ mod tests {
             .phases
             .iter()
             .any(|(name, _)| *name == "execute"));
+    }
+
+    #[test]
+    fn replay_reproduces_digest_and_outputs() {
+        for (subject, seed) in [
+            (pdf_subjects::arith::subject(), 7u64),
+            (pdf_subjects::dyck::subject(), 11),
+        ] {
+            let cfg = DriverConfig {
+                seed,
+                max_execs: 2_000,
+                ..DriverConfig::default()
+            };
+            let recorded = Fuzzer::new(subject, cfg.clone()).run();
+            assert_eq!(
+                recorded.stats.decisions,
+                recorded.decisions.len() as u64,
+                "stats mirror the decision stream"
+            );
+            let replayed = Fuzzer::replaying(subject, cfg, recorded.decisions.clone()).run();
+            assert_eq!(recorded.valid_inputs, replayed.valid_inputs);
+            assert_eq!(recorded.execs, replayed.execs);
+            assert_eq!(recorded.decisions, replayed.decisions);
+            assert_eq!(recorded.digest(), replayed.digest());
+        }
+    }
+
+    #[test]
+    fn digest_separates_different_campaigns() {
+        let a = run_arith(1, 1_500);
+        let b = run_arith(2, 1_500);
+        assert_ne!(a.digest(), b.digest());
+        // and is stable for identical campaigns
+        assert_eq!(a.digest(), run_arith(1, 1_500).digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay decision stream exhausted")]
+    fn replay_panics_on_short_stream() {
+        let cfg = DriverConfig {
+            seed: 3,
+            max_execs: 500,
+            ..DriverConfig::default()
+        };
+        let recorded = Fuzzer::new(pdf_subjects::arith::subject(), cfg.clone()).run();
+        let mut truncated = recorded.decisions;
+        truncated.truncate(truncated.len() / 2);
+        Fuzzer::replaying(pdf_subjects::arith::subject(), cfg, truncated).run();
     }
 
     #[test]

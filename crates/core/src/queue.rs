@@ -37,7 +37,7 @@ struct HeapItem {
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.seq == other.seq
+        self.score == other.score && self.entry.input == other.entry.input && self.seq == other.seq
     }
 }
 impl Eq for HeapItem {}
@@ -48,10 +48,14 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // max-heap on score; FIFO (lower seq first) on ties, which keeps
-        // pops deterministic
+        // Max-heap on score. Ties break on the candidate *content*
+        // (lexicographically smaller input first) so the pop order is a
+        // pure function of the queued set — permuting the insertion
+        // order of equal-score entries cannot change it. Only truly
+        // identical inputs fall back to FIFO on the insertion index.
         self.score
             .total_cmp(&other.score)
+            .then_with(|| other.entry.input.cmp(&self.entry.input))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -267,7 +271,7 @@ mod tests {
     }
 
     #[test]
-    fn ties_pop_fifo() {
+    fn ties_pop_in_content_order() {
         let v_br = BranchSet::new();
         let mut q = CandidateQueue::new(HeuristicConfig::default());
         q.push(entry(b"x", 1), &v_br);
@@ -275,6 +279,59 @@ mod tests {
         same.path_hash = 2000; // distinct path, same score terms
         q.push(same, &v_br);
         assert_eq!(q.pop(&v_br).unwrap().input, b"x".to_vec());
+    }
+
+    #[test]
+    fn tie_break_is_insertion_order_invariant() {
+        // Equal-score candidates must pop in the same order no matter
+        // how their insertion was permuted: the order is a function of
+        // the queued *set*, not of arrival history.
+        let v_br = BranchSet::new();
+        // equal lengths keep the length-penalty term, and so the score,
+        // identical across all four
+        let inputs: [&[u8]; 4] = [b"dddd", b"aaaa", b"cccc", b"bbbb"];
+        let drain = |perm: &[usize]| -> Vec<Vec<u8>> {
+            let mut q = CandidateQueue::new(HeuristicConfig::default());
+            for &i in perm {
+                let mut e = entry(inputs[i], 1);
+                e.path_hash = 4000 + i as u64; // distinct paths, same score
+                e.input = inputs[i].to_vec();
+                q.push(e, &v_br);
+            }
+            let mut out = Vec::new();
+            while let Some(e) = q.pop(&v_br) {
+                out.push(e.input);
+            }
+            out
+        };
+        let reference = drain(&[0, 1, 2, 3]);
+        for perm in [
+            [1, 0, 3, 2],
+            [3, 2, 1, 0],
+            [2, 3, 0, 1],
+            [1, 3, 0, 2],
+            [3, 0, 2, 1],
+        ] {
+            assert_eq!(drain(&perm), reference, "permutation {perm:?} diverged");
+        }
+        // and the order itself is the content order
+        let sorted: Vec<Vec<u8>> = {
+            let mut v: Vec<Vec<u8>> = inputs.iter().map(|i| i.to_vec()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(reference, sorted);
+    }
+
+    #[test]
+    fn identical_entries_pop_fifo() {
+        let v_br = BranchSet::new();
+        let mut q = CandidateQueue::new(HeuristicConfig::default());
+        q.push(entry(b"same", 1), &v_br);
+        q.push(entry(b"same", 1), &v_br);
+        assert_eq!(q.pop(&v_br).unwrap().input, b"same".to_vec());
+        assert_eq!(q.pop(&v_br).unwrap().input, b"same".to_vec());
+        assert!(q.pop(&v_br).is_none());
     }
 
     #[test]
@@ -298,11 +355,11 @@ mod tests {
         q.push(plain, &v_br);
         q.push(rich, &v_br);
         // once branch 1 belongs to vBr, `rich` loses its bonus and the
-        // FIFO order puts `plain` first
+        // content tie-break puts lexicographically-smaller "aa" first
         let v_br_after: BranchSet = [BranchId::new(SiteId::from_raw(1), true)]
             .into_iter()
             .collect();
-        assert_eq!(q.pop(&v_br_after).unwrap().input, b"bb".to_vec());
+        assert_eq!(q.pop(&v_br_after).unwrap().input, b"aa".to_vec());
     }
 
     #[test]

@@ -1,15 +1,25 @@
 //! Runs the complete evaluation once and prints every table and figure.
 //! Usage: evalrunner [--execs N] [--seeds a,b,c] [--afl-mult N]
 //!                   [--jobs N] [--stats-out PATH]
+//!                   [--record PATH] [--replay PATH]
 //!
 //! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
 //! worker threads; results are identical to `--jobs 1`. `--stats-out`
-//! writes one JSON line of run statistics per cell.
+//! writes one JSON line of run statistics per cell. `--record PATH`
+//! writes a `pdf-journal v1` file recording every cell's decision
+//! stream and outcome digest; `--replay PATH` re-executes a recorded
+//! journal instead of running a fresh matrix, exits non-zero on any
+//! digest mismatch, and prints nothing else.
 
 fn main() {
+    if let Some(path) = pdf_eval::replay_path_from_args() {
+        let jobs = pdf_eval::jobs_from_args();
+        std::process::exit(replay(&path, jobs));
+    }
     let budget = pdf_eval::budget_from_args(30_000);
     let jobs = pdf_eval::jobs_from_args();
     let stats_out = pdf_eval::stats_out_from_args();
+    let record_out = pdf_eval::record_path_from_args();
     println!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
     for inv in pdf_eval::token_tables() {
         println!("{}", pdf_eval::render_token_table(&inv));
@@ -23,6 +33,17 @@ fn main() {
         jobs,
     );
     let per_cell = pdf_eval::run_cells(&cells, jobs);
+    if let Some(path) = &record_out {
+        let journal = pdf_eval::journal_of(&cells, &per_cell);
+        match std::fs::write(path, journal.encode()) {
+            Ok(()) => eprintln!(
+                "recorded {} cells to {}",
+                journal.cells.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
     if let Some(path) = &stats_out {
         let mut lines = String::new();
         for o in &per_cell {
@@ -47,4 +68,42 @@ fn main() {
         "{}",
         pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes))
     );
+}
+
+fn replay(path: &std::path::Path, jobs: usize) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let journal = match pdf_runtime::Journal::decode(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot decode {}: {e}", path.display());
+            return 2;
+        }
+    };
+    eprintln!(
+        "replaying {} recorded cells from {} ({} jobs) ...",
+        journal.cells.len(),
+        path.display(),
+        jobs,
+    );
+    let report = pdf_eval::replay_journal(&journal, jobs);
+    if report.is_clean() {
+        eprintln!("replay clean: {} cells byte-identical", report.cells);
+        0
+    } else {
+        for d in &report.diffs {
+            eprintln!("{}", d.describe());
+        }
+        eprintln!(
+            "replay FAILED: {}/{} cells diverged",
+            report.diffs.len(),
+            report.cells
+        );
+        1
+    }
 }

@@ -1,0 +1,86 @@
+//! End-to-end determinism check: records an evaluation matrix, round-
+//! trips the journal through its text encoding, then re-executes every
+//! cell and diffs the digests — pFuzzer cells are additionally replayed
+//! from the recorded decision stream with no RNG at all.
+//!
+//! Usage: replaycheck [--execs N] [--seeds a,b,c] [--afl-mult N]
+//!                    [--jobs N] [--record PATH] [--replay PATH]
+//!
+//! With `--replay PATH` an existing journal is checked instead of
+//! recording a fresh one. With `--record PATH` the recorded journal is
+//! also written out. Exits 0 when every cell replays byte-identically,
+//! 1 on any divergence, 2 on I/O or decode errors.
+
+fn main() {
+    let jobs = pdf_eval::jobs_from_args();
+    let journal = match pdf_eval::replay_path_from_args() {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            };
+            match pdf_runtime::Journal::decode(&text) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot decode {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => {
+            let budget = pdf_eval::budget_from_args(2_000);
+            let cells = pdf_eval::matrix_cells(&budget);
+            eprintln!(
+                "recording {} cells ({} execs x {} seeds, {} jobs) ...",
+                cells.len(),
+                budget.execs,
+                budget.seeds.len(),
+                jobs,
+            );
+            let (_, journal) = pdf_eval::record_cells(&cells, jobs);
+            if let Some(path) = pdf_eval::record_path_from_args() {
+                match std::fs::write(&path, journal.encode()) {
+                    Ok(()) => eprintln!("journal written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            // the text encoding must carry the recording losslessly
+            match pdf_runtime::Journal::decode(&journal.encode()) {
+                Ok(decoded) if decoded == journal => decoded,
+                Ok(_) => {
+                    eprintln!("journal text round-trip altered the recording");
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("journal text round-trip failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    eprintln!(
+        "replaying {} cells ({} jobs) ...",
+        journal.cells.len(),
+        jobs
+    );
+    let report = pdf_eval::replay_journal(&journal, jobs);
+    if report.is_clean() {
+        eprintln!("replay clean: {} cells byte-identical", report.cells);
+        std::process::exit(0);
+    }
+    for d in &report.diffs {
+        eprintln!("{}", d.describe());
+    }
+    eprintln!(
+        "replay FAILED: {}/{} cells diverged",
+        report.diffs.len(),
+        report.cells
+    );
+    std::process::exit(1);
+}

@@ -30,6 +30,7 @@
 mod coverage;
 mod experiments;
 mod render;
+mod replay;
 mod runner;
 
 pub use coverage::{coverage_universe, relative_coverage};
@@ -41,9 +42,12 @@ pub use render::{
     fig2_csv, fig3_csv, headline_csv, render_discovery, render_fig2, render_fig3, render_headline,
     render_table1, render_token_table,
 };
+pub use replay::{
+    cell_config_hash, journal_of, record_cells, replay_journal, CellDiff, ReplayReport,
+};
 pub use runner::{
-    best_outcome, collapse_matrix, matrix_cells, run_cells, run_tool, run_tool_seeded, EvalBudget,
-    MatrixCell, Outcome, Tool,
+    best_outcome, collapse_matrix, matrix_cells, outcome_digest, run_cells, run_tool,
+    run_tool_seeded, EvalBudget, MatrixCell, Outcome, Tool,
 };
 
 /// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
@@ -103,9 +107,26 @@ pub fn jobs_from_args() -> usize {
 /// Parses `--stats-out PATH` from the command line: where to write the
 /// per-cell [`pdf_runtime::RunStats`] JSON lines.
 pub fn stats_out_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--stats-out")
+}
+
+/// Parses `--record PATH` from the command line: where to write the
+/// record/replay [`pdf_runtime::Journal`] of the matrix run.
+pub fn record_path_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--record")
+}
+
+/// Parses `--replay PATH` from the command line: a previously recorded
+/// [`pdf_runtime::Journal`] to re-execute and diff instead of running a
+/// fresh matrix.
+pub fn replay_path_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--replay")
+}
+
+fn path_arg(flag: &str) -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     for i in 1..args.len() {
-        if args[i] == "--stats-out" {
+        if args[i] == flag {
             return args.get(i + 1).map(std::path::PathBuf::from);
         }
     }

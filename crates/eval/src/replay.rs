@@ -1,0 +1,311 @@
+//! Record/replay bridge between the evaluation matrix and the
+//! [`Journal`] format of `pdf-runtime`.
+//!
+//! Recording runs matrix cells as usual and writes one [`CellRecord`]
+//! per cell: identity (tool, subject, seed, budget), the tool's
+//! configuration hash, the decision stream (explicit bytes for pFuzzer,
+//! draw count + stream digest for the baselines) and a digest over the
+//! deterministic outcome fields.
+//!
+//! Replaying re-executes every recorded cell and diffs the digests. For
+//! pFuzzer cells the recorded byte stream is additionally fed back
+//! through [`Fuzzer::replaying`], proving the journal alone — no RNG —
+//! reproduces the campaign byte for byte.
+
+use pdf_core::{DriverConfig, Fuzzer};
+use pdf_runtime::{CellRecord, Journal};
+
+use crate::runner::{outcome_digest, pfuzzer_outcome, run_cells, MatrixCell, Outcome, Tool};
+
+/// The configuration hash a matrix cell runs under. [`run_tool_seeded`]
+/// (crate::run_tool_seeded) builds each tool's config from its default
+/// with only seed and budget overridden, and those two are stored in
+/// the journal cell itself — so the hash is a function of the tool
+/// alone.
+pub fn cell_config_hash(tool: Tool) -> u64 {
+    match tool {
+        Tool::PFuzzer => DriverConfig::default().config_hash(),
+        Tool::Afl => pdf_afl::AflConfig::default().config_hash(),
+        Tool::Klee => pdf_symbolic::KleeConfig::default().config_hash(),
+    }
+}
+
+/// Builds the journal for a list of cells and their outcomes (parallel
+/// slices, as produced by [`matrix_cells`](crate::matrix_cells) and
+/// [`run_cells`]). The cell's `execs` is the *budget*, needed to re-run
+/// the campaign; the outcome's spent executions are covered by the
+/// outcome digest.
+pub fn journal_of(cells: &[MatrixCell], outcomes: &[Outcome]) -> Journal {
+    assert_eq!(
+        cells.len(),
+        outcomes.len(),
+        "cells and outcomes must pair up"
+    );
+    let records = cells
+        .iter()
+        .zip(outcomes)
+        .map(|(c, o)| CellRecord {
+            tool: o.tool.name().to_string(),
+            subject: o.subject.to_string(),
+            seed: o.seed,
+            execs: c.execs,
+            config_hash: cell_config_hash(o.tool),
+            decision_count: o.stats.decisions,
+            decision_digest: o.stats.decision_digest,
+            decisions: o.decisions.clone(),
+            outcome_digest: outcome_digest(o),
+        })
+        .collect();
+    Journal { cells: records }
+}
+
+/// Runs every cell and returns the outcomes together with the journal
+/// recording them.
+pub fn record_cells(cells: &[MatrixCell], jobs: usize) -> (Vec<Outcome>, Journal) {
+    let outcomes = run_cells(cells, jobs);
+    let journal = journal_of(cells, &outcomes);
+    (outcomes, journal)
+}
+
+/// One replayed cell that failed to reproduce its recording.
+#[derive(Debug, Clone)]
+pub struct CellDiff {
+    /// Recorded tool name.
+    pub tool: String,
+    /// Recorded subject name.
+    pub subject: String,
+    /// Recorded seed.
+    pub seed: u64,
+    /// Human-readable descriptions of every field that diverged.
+    pub mismatches: Vec<String>,
+}
+
+impl CellDiff {
+    /// One line per mismatch, prefixed with the cell identity.
+    pub fn describe(&self) -> String {
+        self.mismatches
+            .iter()
+            .map(|m| format!("{}/{} seed {}: {}", self.tool, self.subject, self.seed, m))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The result of replaying a journal.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Number of recorded cells examined.
+    pub cells: usize,
+    /// Cells whose replay diverged from the recording (empty on a
+    /// faithful replay).
+    pub diffs: Vec<CellDiff>,
+}
+
+impl ReplayReport {
+    /// True when every cell replayed byte-identically.
+    pub fn is_clean(&self) -> bool {
+        self.diffs.is_empty()
+    }
+}
+
+fn diff(rec: &CellRecord, mismatches: Vec<String>) -> CellDiff {
+    CellDiff {
+        tool: rec.tool.clone(),
+        subject: rec.subject.clone(),
+        seed: rec.seed,
+        mismatches,
+    }
+}
+
+/// Re-executes every cell of a recorded journal and diffs the result
+/// against the recording. Configuration drift (unknown tool or subject,
+/// changed config hash) is reported without re-running the cell —
+/// replaying a pFuzzer decision stream against a drifted driver would
+/// consume it wrongly rather than fail cleanly.
+pub fn replay_journal(journal: &Journal, jobs: usize) -> ReplayReport {
+    let mut diffs = Vec::new();
+    let mut runnable: Vec<(&CellRecord, MatrixCell)> = Vec::new();
+    for rec in &journal.cells {
+        let Some(tool) = Tool::from_name(&rec.tool) else {
+            diffs.push(diff(rec, vec![format!("unknown tool {:?}", rec.tool)]));
+            continue;
+        };
+        let Some(info) = pdf_subjects::by_name(&rec.subject) else {
+            diffs.push(diff(
+                rec,
+                vec![format!("unknown subject {:?}", rec.subject)],
+            ));
+            continue;
+        };
+        let want = cell_config_hash(tool);
+        if want != rec.config_hash {
+            diffs.push(diff(
+                rec,
+                vec![format!(
+                    "config hash drifted: recorded {:016x}, current {:016x}",
+                    rec.config_hash, want
+                )],
+            ));
+            continue;
+        }
+        runnable.push((
+            rec,
+            MatrixCell {
+                info,
+                tool,
+                execs: rec.execs,
+                seed: rec.seed,
+            },
+        ));
+    }
+
+    let cells: Vec<MatrixCell> = runnable.iter().map(|(_, c)| *c).collect();
+    let outcomes = run_cells(&cells, jobs);
+    for ((rec, cell), o) in runnable.iter().zip(&outcomes) {
+        let mut mismatches = Vec::new();
+        if o.stats.decisions != rec.decision_count {
+            mismatches.push(format!(
+                "decision count: recorded {}, replayed {}",
+                rec.decision_count, o.stats.decisions
+            ));
+        }
+        if o.stats.decision_digest != rec.decision_digest {
+            mismatches.push(format!(
+                "decision digest: recorded {:016x}, replayed {:016x}",
+                rec.decision_digest, o.stats.decision_digest
+            ));
+        }
+        if o.decisions != rec.decisions {
+            mismatches.push(format!(
+                "decision stream: recorded {} bytes, replayed {} bytes (or contents differ)",
+                rec.decisions.len(),
+                o.decisions.len()
+            ));
+        }
+        let fresh = outcome_digest(o);
+        if fresh != rec.outcome_digest {
+            mismatches.push(format!(
+                "outcome digest: recorded {:016x}, replayed {:016x}",
+                rec.outcome_digest, fresh
+            ));
+        }
+        // The strongest check: drive the pFuzzer campaign *from the
+        // journal's byte stream* instead of an RNG. Only attempted when
+        // the stream itself already matched — feeding a diverged stream
+        // into the driver would panic on exhaustion instead of diffing.
+        if cell.tool == Tool::PFuzzer && o.decisions == rec.decisions {
+            let cfg = DriverConfig {
+                seed: rec.seed,
+                max_execs: rec.execs,
+                ..DriverConfig::default()
+            };
+            let r = Fuzzer::replaying(cell.info.subject, cfg, rec.decisions.clone()).run();
+            let replayed = pfuzzer_outcome(cell.info.name, rec.seed, r);
+            let stream_digest = outcome_digest(&replayed);
+            if stream_digest != rec.outcome_digest {
+                mismatches.push(format!(
+                    "stream replay digest: recorded {:016x}, replayed {:016x}",
+                    rec.outcome_digest, stream_digest
+                ));
+            }
+        }
+        if !mismatches.is_empty() {
+            diffs.push(diff(rec, mismatches));
+        }
+    }
+    ReplayReport {
+        cells: journal.cells.len(),
+        diffs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{matrix_cells, EvalBudget};
+
+    fn small_budget() -> EvalBudget {
+        EvalBudget {
+            execs: 300,
+            seeds: vec![1],
+            afl_throughput: 1,
+        }
+    }
+
+    fn small_cells() -> Vec<MatrixCell> {
+        matrix_cells(&small_budget())
+            .into_iter()
+            .filter(|c| c.info.name == "csv" || c.info.name == "ini")
+            .collect()
+    }
+
+    #[test]
+    fn record_then_replay_is_clean() {
+        let cells = small_cells();
+        let (_, journal) = record_cells(&cells, 2);
+        assert_eq!(journal.cells.len(), cells.len());
+        let report = replay_journal(&journal, 2);
+        assert_eq!(report.cells, cells.len());
+        assert!(
+            report.is_clean(),
+            "{}",
+            report
+                .diffs
+                .iter()
+                .map(CellDiff::describe)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn journal_round_trips_through_text() {
+        let cells = small_cells();
+        let (_, journal) = record_cells(&cells, 1);
+        let decoded = Journal::decode(&journal.encode()).expect("decodes");
+        assert_eq!(journal, decoded);
+        assert!(replay_journal(&decoded, 1).is_clean());
+    }
+
+    #[test]
+    fn tampered_outcome_digest_is_detected() {
+        let cells: Vec<MatrixCell> = small_cells().into_iter().take(3).collect();
+        let (_, mut journal) = record_cells(&cells, 1);
+        journal.cells[0].outcome_digest ^= 1;
+        let report = replay_journal(&journal, 1);
+        assert_eq!(report.diffs.len(), 1);
+        assert!(report.diffs[0].mismatches[0].contains("outcome digest"));
+    }
+
+    #[test]
+    fn config_drift_is_reported_not_replayed() {
+        let cells: Vec<MatrixCell> = small_cells().into_iter().take(1).collect();
+        let (_, mut journal) = record_cells(&cells, 1);
+        journal.cells[0].config_hash ^= 0xdead;
+        let report = replay_journal(&journal, 1);
+        assert_eq!(report.diffs.len(), 1);
+        assert!(report.diffs[0].mismatches[0].contains("config hash drifted"));
+    }
+
+    #[test]
+    fn unknown_tool_and_subject_are_reported() {
+        let cells: Vec<MatrixCell> = small_cells().into_iter().take(1).collect();
+        let (_, journal) = record_cells(&cells, 1);
+        let mut bad_tool = journal.clone();
+        bad_tool.cells[0].tool = "nonesuch".to_string();
+        let r = replay_journal(&bad_tool, 1);
+        assert!(r.diffs[0].mismatches[0].contains("unknown tool"));
+        let mut bad_subject = journal;
+        bad_subject.cells[0].subject = "nonesuch".to_string();
+        let r = replay_journal(&bad_subject, 1);
+        assert!(r.diffs[0].mismatches[0].contains("unknown subject"));
+    }
+
+    #[test]
+    fn cell_config_hashes_are_distinct_per_tool() {
+        let hashes: Vec<u64> = Tool::ALL.into_iter().map(cell_config_hash).collect();
+        assert_ne!(hashes[0], hashes[1]);
+        assert_ne!(hashes[1], hashes[2]);
+        assert_ne!(hashes[0], hashes[2]);
+    }
+}

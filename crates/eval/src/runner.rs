@@ -4,8 +4,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pdf_afl::{AflConfig, AflFuzzer};
-use pdf_core::{DriverConfig, Fuzzer};
-use pdf_runtime::{BranchSet, RunStats};
+use pdf_core::{DriverConfig, FuzzReport, Fuzzer};
+use pdf_runtime::{BranchSet, Digest, RunStats};
 use pdf_subjects::SubjectInfo;
 use pdf_symbolic::{KleeConfig, KleeFuzzer};
 
@@ -31,6 +31,11 @@ impl Tool {
             Tool::Afl => "AFL",
             Tool::Klee => "KLEE",
         }
+    }
+
+    /// The inverse of [`Tool::name`], used when decoding journals.
+    pub fn from_name(name: &str) -> Option<Tool> {
+        Tool::ALL.into_iter().find(|t| t.name() == name)
     }
 }
 
@@ -80,10 +85,68 @@ pub struct Outcome {
     pub valid_branches: BranchSet,
     /// Branches covered by any run.
     pub all_branches: BranchSet,
+    /// The campaign's byte-level decision stream, when the tool records
+    /// one: pFuzzer journals every random byte it draws; the baselines
+    /// leave this empty and account for their RNG usage through
+    /// `stats.decisions`/`stats.decision_digest` instead.
+    pub decisions: Vec<u8>,
     /// Observability counters and timings of the campaign. Wall-clock
     /// fields vary between runs; determinism comparisons must ignore
     /// them.
     pub stats: RunStats,
+}
+
+/// 64-bit FNV-1a digest over every deterministic field of an outcome —
+/// the `out=` value of a journal cell. Wall-clock statistics are
+/// excluded, so two runs of the same cell digest identically no matter
+/// how the scheduler treated them.
+pub fn outcome_digest(o: &Outcome) -> u64 {
+    let mut d = Digest::new();
+    d.write_str(o.tool.name());
+    d.write_str(o.subject);
+    d.write_u64(o.seed);
+    d.write_u64(o.valid_inputs.len() as u64);
+    for input in &o.valid_inputs {
+        d.write_bytes(input);
+    }
+    d.write_u64(o.valid_found_at.len() as u64);
+    for &at in &o.valid_found_at {
+        d.write_u64(at);
+    }
+    d.write_u64(o.execs);
+    for set in [&o.valid_branches, &o.all_branches] {
+        d.write_u64(set.len() as u64);
+        for b in set.iter() {
+            d.write_u64(b.site.0);
+            d.write_u8(b.outcome as u8);
+        }
+    }
+    d.write_bytes(&o.decisions);
+    d.write_u64(o.stats.executions);
+    d.write_u64(o.stats.events);
+    d.write_u64(o.stats.valid_inputs);
+    d.write_u64(o.stats.queue_depth as u64);
+    d.write_u64(o.stats.decisions);
+    d.write_u64(o.stats.decision_digest);
+    d.finish()
+}
+
+/// Converts a pFuzzer [`FuzzReport`] into the tool-independent
+/// [`Outcome`] form. Shared by the fresh-run path and the journal
+/// replay path so both digest identically.
+pub(crate) fn pfuzzer_outcome(subject: &'static str, seed: u64, r: FuzzReport) -> Outcome {
+    Outcome {
+        tool: Tool::PFuzzer,
+        subject,
+        seed,
+        valid_inputs: r.valid_inputs,
+        valid_found_at: r.valid_found_at,
+        execs: r.execs,
+        valid_branches: r.valid_branches,
+        all_branches: r.all_branches,
+        decisions: r.decisions,
+        stats: r.stats,
+    }
 }
 
 /// Runs one tool on one subject with one seed.
@@ -96,17 +159,7 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
                 ..DriverConfig::default()
             };
             let r = Fuzzer::new(info.subject, cfg).run();
-            Outcome {
-                tool,
-                subject: info.name,
-                seed,
-                valid_inputs: r.valid_inputs,
-                valid_found_at: r.valid_found_at,
-                execs: r.execs,
-                valid_branches: r.valid_branches,
-                all_branches: r.all_branches,
-                stats: r.stats,
-            }
+            pfuzzer_outcome(info.name, seed, r)
         }
         Tool::Afl => {
             let cfg = AflConfig {
@@ -124,6 +177,7 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
                 execs: r.execs,
                 valid_branches: r.valid_branches,
                 all_branches: r.all_branches,
+                decisions: Vec::new(),
                 stats: r.stats,
             }
         }
@@ -144,6 +198,7 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
                 execs: r.execs,
                 valid_branches: r.valid_branches,
                 all_branches: r.all_branches,
+                decisions: Vec::new(),
                 stats: r.stats,
             }
         }
@@ -330,6 +385,36 @@ mod tests {
         assert_eq!(Tool::PFuzzer.name(), "pFuzzer");
         assert_eq!(Tool::Afl.name(), "AFL");
         assert_eq!(Tool::Klee.name(), "KLEE");
+        for tool in Tool::ALL {
+            assert_eq!(Tool::from_name(tool.name()), Some(tool));
+        }
+        assert_eq!(Tool::from_name("afl"), None);
+    }
+
+    #[test]
+    fn only_pfuzzer_records_an_explicit_decision_stream() {
+        let info = pdf_subjects::by_name("csv").unwrap();
+        let p = run_tool_seeded(Tool::PFuzzer, &info, 300, 1);
+        assert!(!p.decisions.is_empty());
+        assert_eq!(p.stats.decisions, p.decisions.len() as u64);
+        let a = run_tool_seeded(Tool::Afl, &info, 300, 1);
+        assert!(a.decisions.is_empty());
+        assert!(a.stats.decisions > 0, "AFL still counts its RNG draws");
+        let k = run_tool_seeded(Tool::Klee, &info, 300, 1);
+        assert!(k.decisions.is_empty());
+        assert_eq!(k.stats.decisions, 0, "BFS KLEE draws nothing");
+    }
+
+    #[test]
+    fn outcome_digest_is_stable_and_discriminating() {
+        let info = pdf_subjects::by_name("ini").unwrap();
+        let a = run_tool_seeded(Tool::PFuzzer, &info, 300, 1);
+        let b = run_tool_seeded(Tool::PFuzzer, &info, 300, 1);
+        assert_eq!(outcome_digest(&a), outcome_digest(&b));
+        let c = run_tool_seeded(Tool::PFuzzer, &info, 300, 2);
+        assert_ne!(outcome_digest(&a), outcome_digest(&c));
+        let d = run_tool_seeded(Tool::Afl, &info, 300, 1);
+        assert_ne!(outcome_digest(&a), outcome_digest(&d));
     }
 
     /// Deterministic fields only — stats carry wall-clock times that
@@ -345,10 +430,14 @@ mod tests {
             assert_eq!(x.execs, y.execs);
             assert_eq!(x.valid_branches, y.valid_branches);
             assert_eq!(x.all_branches, y.all_branches);
+            assert_eq!(x.decisions, y.decisions);
             assert_eq!(x.stats.executions, y.stats.executions);
             assert_eq!(x.stats.events, y.stats.events);
             assert_eq!(x.stats.valid_inputs, y.stats.valid_inputs);
             assert_eq!(x.stats.queue_depth, y.stats.queue_depth);
+            assert_eq!(x.stats.decisions, y.stats.decisions);
+            assert_eq!(x.stats.decision_digest, y.stats.decision_digest);
+            assert_eq!(outcome_digest(x), outcome_digest(y));
         }
     }
 

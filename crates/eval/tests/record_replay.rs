@@ -1,0 +1,76 @@
+//! Property tests for the record/replay pipeline: arbitrary
+//! (subject, tool, seed, budget) cells record a journal that replays to
+//! byte-identical digests, surviving the text encoding in between.
+
+use proptest::prelude::*;
+
+use pdf_eval::{record_cells, replay_journal, MatrixCell, Tool};
+use pdf_runtime::Journal;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One arbitrary cell: record, round-trip the journal through its
+    /// text form, replay, and require a clean diff.
+    #[test]
+    fn any_cell_records_then_replays_identically(
+        subject_idx in 0usize..5,
+        tool_idx in 0usize..3,
+        seed in 1u64..10_000,
+        execs in 50u64..400,
+    ) {
+        let info = pdf_subjects::evaluation_subjects()[subject_idx];
+        let tool = Tool::ALL[tool_idx];
+        let cell = MatrixCell { info, tool, execs, seed };
+        let (outcomes, journal) = record_cells(&[cell], 1);
+        prop_assert_eq!(outcomes.len(), 1);
+        prop_assert_eq!(journal.cells.len(), 1);
+        let decoded = Journal::decode(&journal.encode()).expect("journal decodes");
+        prop_assert_eq!(&decoded, &journal);
+        let report = replay_journal(&decoded, 1);
+        prop_assert!(
+            report.is_clean(),
+            "cell {:?}/{}/{} diverged:\n{}",
+            tool,
+            info.name,
+            seed,
+            report
+                .diffs
+                .iter()
+                .map(|d| d.describe())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Several cells in one journal replay together, in parallel.
+    #[test]
+    fn multi_cell_journals_replay_in_parallel(
+        seed in 1u64..10_000,
+        execs in 50u64..250,
+    ) {
+        let infos = pdf_subjects::evaluation_subjects();
+        let cells: Vec<MatrixCell> = Tool::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, tool)| MatrixCell {
+                info: infos[i % infos.len()],
+                tool,
+                execs,
+                seed: seed + i as u64,
+            })
+            .collect();
+        let (_, journal) = record_cells(&cells, 2);
+        let report = replay_journal(&journal, 3);
+        prop_assert!(
+            report.is_clean(),
+            "{}",
+            report
+                .diffs
+                .iter()
+                .map(|d| d.describe())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -51,6 +51,7 @@ mod corpus;
 mod coverage;
 mod ctx;
 mod events;
+mod journal;
 mod rng;
 mod sink;
 mod site;
@@ -62,6 +63,7 @@ pub use corpus::distill;
 pub use coverage::{BranchId, BranchSet};
 pub use ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
 pub use events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue};
+pub use journal::{digest_bytes, CellRecord, Digest, Journal, JournalError};
 pub use rng::Rng;
 pub use sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
 pub use site::SiteId;

@@ -21,6 +21,8 @@
 #[derive(Debug, Clone)]
 pub struct Rng {
     s: [u64; 4],
+    draws: u64,
+    digest: u64,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -42,6 +44,8 @@ impl Rng {
                 splitmix64(&mut sm),
                 splitmix64(&mut sm),
             ],
+            draws: 0,
+            digest: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
     }
 
@@ -55,7 +59,24 @@ impl Rng {
         self.s[0] ^= self.s[3];
         self.s[2] ^= t;
         self.s[3] = self.s[3].rotate_left(45);
+        self.draws += 1;
+        for b in result.to_le_bytes() {
+            self.digest = (self.digest ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
         result
+    }
+
+    /// How many raw 64-bit values this generator has produced. Recorded
+    /// into replay journals so a re-run can assert it consumed exactly
+    /// the same amount of randomness.
+    pub fn draw_count(&self) -> u64 {
+        self.draws
+    }
+
+    /// Rolling FNV-1a digest over every value this generator has
+    /// produced — a compact fingerprint of the whole random stream.
+    pub fn stream_digest(&self) -> u64 {
+        self.digest
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -180,5 +201,30 @@ mod tests {
         let mut r = Rng::new(13);
         assert!(!r.chance(0, 10));
         assert!(r.chance(10, 10));
+    }
+
+    #[test]
+    fn draw_count_and_digest_track_the_stream() {
+        let mut a = Rng::new(21);
+        let mut b = Rng::new(21);
+        assert_eq!(a.draw_count(), 0);
+        assert_eq!(a.stream_digest(), b.stream_digest());
+        for _ in 0..50 {
+            a.next_u64();
+            b.next_u64();
+        }
+        assert_eq!(a.draw_count(), 50);
+        assert_eq!(a.stream_digest(), b.stream_digest());
+        a.next_u64();
+        assert_ne!(a.stream_digest(), b.stream_digest());
+        assert_eq!(a.draw_count(), b.draw_count() + 1);
+    }
+
+    #[test]
+    fn byte_ascii_draws_exactly_two() {
+        let mut r = Rng::new(33);
+        let before = r.draw_count();
+        r.byte_ascii();
+        assert_eq!(r.draw_count(), before + 2);
     }
 }

@@ -19,6 +19,12 @@ pub struct RunStats {
     pub valid_inputs: u64,
     /// Depth of the work queue when the run ended.
     pub queue_depth: usize,
+    /// Random decisions drawn over the run (replay-relevant randomness:
+    /// decision bytes for the driver, raw RNG draws for the baselines).
+    pub decisions: u64,
+    /// FNV-1a digest of the decision stream ([`crate::digest_bytes`] of
+    /// the decision bytes, or [`crate::Rng::stream_digest`]).
+    pub decision_digest: u64,
     /// Total wall time of the run, in seconds.
     pub wall_secs: f64,
     /// Per-phase wall time, in seconds, in first-seen order.
@@ -44,12 +50,15 @@ impl RunStats {
         let _ = write!(
             s,
             "\"executions\":{},\"execs_per_sec\":{:.1},\"events\":{},\
-             \"valid_inputs\":{},\"queue_depth\":{},\"wall_secs\":{:.6},\"phases\":{{",
+             \"valid_inputs\":{},\"queue_depth\":{},\"decisions\":{},\
+             \"decision_digest\":\"{:016x}\",\"wall_secs\":{:.6},\"phases\":{{",
             self.executions,
             self.execs_per_sec(),
             self.events,
             self.valid_inputs,
             self.queue_depth,
+            self.decisions,
+            self.decision_digest,
             self.wall_secs,
         );
         for (i, (name, secs)) in self.phases.iter().enumerate() {
@@ -133,6 +142,8 @@ mod tests {
             events: 100,
             valid_inputs: 2,
             queue_depth: 3,
+            decisions: 17,
+            decision_digest: 0xabcd,
             wall_secs: 0.5,
             phases: vec![("execute", 0.4), ("schedule", 0.1)],
         };
@@ -140,6 +151,8 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"executions\":10"));
         assert!(json.contains("\"execs_per_sec\":20.0"));
+        assert!(json.contains("\"decisions\":17"));
+        assert!(json.contains("\"decision_digest\":\"000000000000abcd\""));
         assert!(json.contains("\"phases\":{\"execute\":0.400000,\"schedule\":0.100000}"));
     }
 

@@ -1,0 +1,64 @@
+//! Property tests for the journal text codec: arbitrary decision
+//! streams and field values survive encode → decode exactly.
+
+use proptest::prelude::*;
+
+use pdf_runtime::{digest_bytes, CellRecord, Journal};
+
+proptest! {
+    /// A single record with an arbitrary byte-level decision stream and
+    /// arbitrary numeric fields round-trips exactly.
+    #[test]
+    fn single_record_round_trips(
+        decisions in proptest::collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+        execs in any::<u64>(),
+        config_hash in any::<u64>(),
+        outcome_digest in any::<u64>(),
+    ) {
+        let rec = CellRecord {
+            tool: "pFuzzer".to_string(),
+            subject: "csv".to_string(),
+            seed,
+            execs,
+            config_hash,
+            decision_count: decisions.len() as u64,
+            decision_digest: digest_bytes(&decisions),
+            decisions: decisions.clone(),
+            outcome_digest,
+        };
+        let journal = Journal { cells: vec![rec] };
+        let decoded = Journal::decode(&journal.encode()).expect("decodes");
+        prop_assert_eq!(decoded, journal);
+    }
+
+    /// Journals with several cells, including empty decision streams,
+    /// round-trip with cell order preserved.
+    #[test]
+    fn multi_cell_journals_round_trip(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..8,
+        ),
+        base_seed in any::<u64>(),
+    ) {
+        let cells: Vec<CellRecord> = streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CellRecord {
+                tool: if i % 2 == 0 { "pFuzzer" } else { "AFL" }.to_string(),
+                subject: format!("subject{i}"),
+                seed: base_seed.wrapping_add(i as u64),
+                execs: 1000 + i as u64,
+                config_hash: digest_bytes(&[i as u8]),
+                decision_count: s.len() as u64,
+                decision_digest: digest_bytes(s),
+                decisions: s.clone(),
+                outcome_digest: digest_bytes(s).rotate_left(17),
+            })
+            .collect();
+        let journal = Journal { cells };
+        let decoded = Journal::decode(&journal.encode()).expect("decodes");
+        prop_assert_eq!(decoded, journal);
+    }
+}

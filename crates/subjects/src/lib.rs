@@ -30,10 +30,12 @@
 
 pub mod arith;
 pub mod csv;
+pub mod diff;
 pub mod dyck;
 pub mod ini;
 pub mod json;
 pub mod mjs;
+pub mod oracle;
 pub mod tabular;
 pub mod tinyc;
 
@@ -118,6 +120,13 @@ pub fn all_subjects() -> Vec<SubjectInfo> {
         original_loc: 0,
         subject: tabular::subject(),
         corpus: tabular::reference_corpus,
+    });
+    v.push(SubjectInfo {
+        name: "mjs-lexer",
+        accessed: "2018-06-21",
+        original_loc: 0,
+        subject: mjs::lexer_subject(),
+        corpus: mjs::reference_corpus,
     });
     v
 }

@@ -38,6 +38,15 @@ pub fn subject() -> Subject {
     pdf_runtime::instrument_subject!("mjs", run)
 }
 
+/// The instrumented mjs *lexer* as a standalone subject: an input is
+/// valid when it tokenizes end to end, with no parsing on top. This is
+/// the counterpart the `mjs-lexer` oracle is differentially checked
+/// against — token-level validity is oracle-checkable, while full-mjs
+/// validity would require a second parser implementation.
+pub fn lexer_subject() -> Subject {
+    pdf_runtime::instrument_subject!("mjs-lexer", run_lexer)
+}
+
 /// Valid inputs covering statements, operators, literals and builtins.
 pub fn reference_corpus() -> Vec<&'static [u8]> {
     vec![
@@ -81,6 +90,16 @@ fn run<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
     let program = parser::parse_program(ctx)?;
     cov!(ctx);
     interp::execute(ctx, &program)
+}
+
+fn run_lexer<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+    cov!(ctx);
+    let mut lx = lexer::Lexer::new(ctx)?;
+    while lx.tok != lexer::Tok::Eof {
+        lx.advance(ctx)?;
+    }
+    cov!(ctx);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -128,6 +147,25 @@ mod tests {
     #[test]
     fn empty_statement_is_valid() {
         assert!(subject().run(b";").valid);
+    }
+
+    #[test]
+    fn lexer_subject_accepts_token_soup() {
+        let s = lexer_subject();
+        // not a valid program, but every piece tokenizes
+        assert!(s.run(b"if ) 1.5 'str' >>>= foo").valid);
+        assert!(s.run(b"").valid);
+        for input in reference_corpus() {
+            assert!(s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn lexer_subject_rejects_lex_errors() {
+        let s = lexer_subject();
+        for input in [&b"@"[..], b"1.", b"1e+", b"'open", b"/* open", b"\"a\nb\""] {
+            assert!(!s.run(input).valid, "{:?}", String::from_utf8_lossy(input));
+        }
     }
 
     #[test]

@@ -1,0 +1,654 @@
+//! Independent reference recognizers ("oracles") for the subjects.
+//!
+//! Every oracle answers one question — *does the subject's language
+//! contain this input?* — but is written in a deliberately different
+//! style from the instrumented parser it checks: table-driven DFAs and
+//! iterative stack machines instead of recursive descent, line splitting
+//! instead of streaming. Sharing no code (and no bugs) with the
+//! parsers is the point: an accept/reject disagreement between parser
+//! and oracle found by the differential harness in [`crate::diff`] is
+//! evidence that one of the two mis-implements the language.
+//!
+//! Oracles are *recognizers only*: they never see instrumentation,
+//! taints or coverage, and they must stay cheap enough to run over
+//! tens of thousands of generated inputs.
+
+/// A reference recognizer for one subject language.
+pub trait Oracle {
+    /// Name of the subject this oracle checks (matches the instrumented
+    /// subject's name).
+    fn name(&self) -> &'static str;
+    /// Whether `input` is a sentence of the language.
+    fn accepts(&self, input: &[u8]) -> bool;
+}
+
+/// Looks up the oracle for a subject by name. Covered subjects: `csv`,
+/// `ini`, `cjson`, `arith`, `dyck` and `mjs-lexer`.
+pub fn oracle_for(name: &str) -> Option<Box<dyn Oracle>> {
+    match name {
+        "csv" => Some(Box::new(CsvOracle)),
+        "ini" => Some(Box::new(IniOracle)),
+        "cjson" => Some(Box::new(JsonOracle)),
+        "arith" => Some(Box::new(ArithOracle)),
+        "dyck" => Some(Box::new(DyckOracle)),
+        "mjs-lexer" => Some(Box::new(MjsLexOracle)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// csv — a five-state DFA (the parser is recursive descent)
+// ---------------------------------------------------------------------
+
+/// RFC-4180-style CSV recognizer as a single-pass DFA.
+pub struct CsvOracle;
+
+#[derive(Clone, Copy, PartialEq)]
+enum CsvState {
+    /// At the start of a field (or of the whole input / a record).
+    FieldStart,
+    /// Inside an unquoted field.
+    Unquoted,
+    /// Inside a quoted field.
+    Quoted,
+    /// Just saw a `"` inside a quoted field: either an escape (`""`) or
+    /// the field's closing quote.
+    QuoteSeen,
+    /// Just saw a bare CR: only LF may follow.
+    AfterCr,
+}
+
+impl Oracle for CsvOracle {
+    fn name(&self) -> &'static str {
+        "csv"
+    }
+
+    fn accepts(&self, input: &[u8]) -> bool {
+        use CsvState::*;
+        let mut st = FieldStart;
+        for &b in input {
+            st = match (st, b) {
+                (FieldStart, b'"') => Quoted,
+                (FieldStart, b',' | b'\n') => FieldStart,
+                (FieldStart, b'\r') => AfterCr,
+                (FieldStart, _) => Unquoted,
+                (Unquoted, b'"') => return false, // bare quote in field
+                (Unquoted, b',' | b'\n') => FieldStart,
+                (Unquoted, b'\r') => AfterCr,
+                (Unquoted, _) => Unquoted,
+                (Quoted, b'"') => QuoteSeen,
+                (Quoted, _) => Quoted,
+                (QuoteSeen, b'"') => Quoted, // "" escape
+                (QuoteSeen, b',' | b'\n') => FieldStart,
+                (QuoteSeen, b'\r') => AfterCr,
+                (QuoteSeen, _) => return false, // text after closing quote
+                (AfterCr, b'\n') => FieldStart,
+                (AfterCr, _) => return false, // CR without LF
+            };
+        }
+        matches!(st, FieldStart | Unquoted | QuoteSeen)
+    }
+}
+
+// ---------------------------------------------------------------------
+// ini — whole-line splitting (the parser is a streaming scanner)
+// ---------------------------------------------------------------------
+
+/// inih-style INI recognizer: split into lines, classify each line.
+pub struct IniOracle;
+
+fn ini_line_ok(line: &[u8]) -> bool {
+    let trimmed = {
+        let mut l = line;
+        while let [b' ' | b'\t', rest @ ..] = l {
+            l = rest;
+        }
+        l
+    };
+    match trimmed.first() {
+        None => true,       // blank line
+        Some(b';') => true, // comment line
+        Some(b'[') => {
+            // `[anything]` then only trailing whitespace or a comment
+            let Some(close) = trimmed.iter().position(|&b| b == b']') else {
+                return false; // no closing bracket on this line
+            };
+            let mut rest = &trimmed[close + 1..];
+            while let [b' ' | b'\t', r @ ..] = rest {
+                rest = r;
+            }
+            rest.is_empty() || rest[0] == b';'
+        }
+        Some(_) => {
+            // `name = value` / `name : value`; the name must be nonempty
+            match trimmed.iter().position(|&b| b == b'=' || b == b':') {
+                Some(sep) => sep > 0,
+                None => false,
+            }
+        }
+    }
+}
+
+impl Oracle for IniOracle {
+    fn name(&self) -> &'static str {
+        "ini"
+    }
+
+    fn accepts(&self, input: &[u8]) -> bool {
+        input.split(|&b| b == b'\n').all(ini_line_ok)
+    }
+}
+
+// ---------------------------------------------------------------------
+// cjson — iterative stack machine (the parser is recursive descent)
+// ---------------------------------------------------------------------
+
+/// Full-JSON recognizer as an explicit-stack value validator.
+pub struct JsonOracle;
+
+fn json_skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn json_scan_hex4(b: &[u8], i: usize) -> Option<(u16, usize)> {
+    if i + 4 > b.len() {
+        return None;
+    }
+    let mut v: u16 = 0;
+    for &h in &b[i..i + 4] {
+        let d = match h {
+            b'0'..=b'9' => h - b'0',
+            b'a'..=b'f' => h - b'a' + 10,
+            b'A'..=b'F' => h - b'A' + 10,
+            _ => return None,
+        };
+        v = (v << 4) | u16::from(d);
+    }
+    Some((v, i + 4))
+}
+
+/// Scans a string starting at `i` (which must hold `"`); returns the
+/// index just past the closing quote.
+fn json_scan_string(b: &[u8], mut i: usize) -> Option<usize> {
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    loop {
+        match b.get(i)? {
+            b'"' => return Some(i + 1),
+            b'\\' => {
+                i += 1;
+                match b.get(i)? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => i += 1,
+                    b'u' => {
+                        let (v, j) = json_scan_hex4(b, i + 1)?;
+                        i = j;
+                        if (0xD800..0xDC00).contains(&v) {
+                            // high surrogate: a `\uDC00..\uDFFF` must follow
+                            if b.get(i) != Some(&b'\\') || b.get(i + 1) != Some(&b'u') {
+                                return None;
+                            }
+                            let (w, k) = json_scan_hex4(b, i + 2)?;
+                            if !(0xDC00..0xE000).contains(&w) {
+                                return None;
+                            }
+                            i = k;
+                        } else if (0xDC00..0xE000).contains(&v) {
+                            return None; // unpaired low surrogate
+                        }
+                    }
+                    _ => return None,
+                }
+            }
+            c if *c < 0x20 => return None, // raw control character
+            _ => i += 1,
+        }
+    }
+}
+
+fn json_scan_number(b: &[u8], mut i: usize) -> Option<usize> {
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i)? {
+        b'0' => i += 1,
+        b'1'..=b'9' => {
+            i += 1;
+            while b.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+        }
+        _ => return None,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let frac = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == frac {
+            return None;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let exp = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == exp {
+            return None;
+        }
+    }
+    Some(i)
+}
+
+/// Scans an object key plus `:` and returns the index where the member's
+/// value starts.
+fn json_scan_member_head(b: &[u8], i: usize) -> Option<usize> {
+    let i = json_scan_string(b, i)?;
+    let i = json_skip_ws(b, i);
+    if b.get(i) != Some(&b':') {
+        return None;
+    }
+    Some(json_skip_ws(b, i + 1))
+}
+
+fn json_valid(b: &[u8]) -> bool {
+    #[derive(Clone, Copy)]
+    enum Frame {
+        Arr,
+        Obj,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut i = json_skip_ws(b, 0);
+    'value: loop {
+        // one value starts at i
+        let Some(&c) = b.get(i) else { return false };
+        match c {
+            b'{' => {
+                i = json_skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    i += 1; // empty object is a complete value
+                } else {
+                    let Some(j) = json_scan_member_head(b, i) else {
+                        return false;
+                    };
+                    i = j;
+                    stack.push(Frame::Obj);
+                    continue 'value;
+                }
+            }
+            b'[' => {
+                i = json_skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    i += 1; // empty array is a complete value
+                } else {
+                    stack.push(Frame::Arr);
+                    continue 'value;
+                }
+            }
+            b'"' => match json_scan_string(b, i) {
+                Some(j) => i = j,
+                None => return false,
+            },
+            b't' => {
+                if !b[i..].starts_with(b"true") {
+                    return false;
+                }
+                i += 4;
+            }
+            b'f' => {
+                if !b[i..].starts_with(b"false") {
+                    return false;
+                }
+                i += 5;
+            }
+            b'n' => {
+                if !b[i..].starts_with(b"null") {
+                    return false;
+                }
+                i += 4;
+            }
+            _ => match json_scan_number(b, i) {
+                Some(j) => i = j,
+                None => return false,
+            },
+        }
+        // a value just completed: unwind containers / continue lists
+        loop {
+            i = json_skip_ws(b, i);
+            match stack.last() {
+                None => return i == b.len(),
+                Some(Frame::Arr) => match b.get(i) {
+                    Some(b',') => {
+                        i = json_skip_ws(b, i + 1);
+                        continue 'value;
+                    }
+                    Some(b']') => {
+                        stack.pop();
+                        i += 1;
+                    }
+                    _ => return false,
+                },
+                Some(Frame::Obj) => match b.get(i) {
+                    Some(b',') => {
+                        let Some(j) = json_scan_member_head(b, json_skip_ws(b, i + 1)) else {
+                            return false;
+                        };
+                        i = j;
+                        continue 'value;
+                    }
+                    Some(b'}') => {
+                        stack.pop();
+                        i += 1;
+                    }
+                    _ => return false,
+                },
+            }
+        }
+    }
+}
+
+impl Oracle for JsonOracle {
+    fn name(&self) -> &'static str {
+        "cjson"
+    }
+
+    fn accepts(&self, input: &[u8]) -> bool {
+        json_valid(input)
+    }
+}
+
+// ---------------------------------------------------------------------
+// arith — flat state machine with a depth counter (parser is recursive)
+// ---------------------------------------------------------------------
+
+/// Recognizer for the Figure 1 arithmetic grammar, with parenthesis
+/// nesting tracked as a counter instead of recursion.
+pub struct ArithOracle;
+
+impl Oracle for ArithOracle {
+    fn name(&self) -> &'static str {
+        "arith"
+    }
+
+    fn accepts(&self, input: &[u8]) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum St {
+            /// Start of an expression: a sign or an operand may come.
+            ExprStart,
+            /// After a sign or infix operator: an operand must come.
+            NeedOperand,
+            /// After a complete operand: operator, `)` or end.
+            AfterOperand,
+        }
+        let mut st = St::ExprStart;
+        let mut depth = 0usize;
+        let mut i = 0;
+        while i < input.len() {
+            let b = input[i];
+            match st {
+                St::ExprStart | St::NeedOperand => match b {
+                    b'+' | b'-' if st == St::ExprStart => st = St::NeedOperand,
+                    b'(' => {
+                        depth += 1;
+                        st = St::ExprStart;
+                    }
+                    b'1'..=b'9' => {
+                        while i + 1 < input.len() && input[i + 1].is_ascii_digit() {
+                            i += 1;
+                        }
+                        st = St::AfterOperand;
+                    }
+                    _ => return false,
+                },
+                St::AfterOperand => match b {
+                    b'+' | b'-' => st = St::NeedOperand,
+                    b')' => {
+                        if depth == 0 {
+                            return false;
+                        }
+                        depth -= 1;
+                    }
+                    _ => return false,
+                },
+            }
+            i += 1;
+        }
+        st == St::AfterOperand && depth == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// dyck — closer stack (parser is recursive descent)
+// ---------------------------------------------------------------------
+
+/// Balanced-bracket recognizer over `()[]<>{}` via an explicit stack of
+/// expected closers.
+pub struct DyckOracle;
+
+impl Oracle for DyckOracle {
+    fn name(&self) -> &'static str {
+        "dyck"
+    }
+
+    fn accepts(&self, input: &[u8]) -> bool {
+        if input.is_empty() {
+            return false; // at least one pair is required
+        }
+        let mut closers: Vec<u8> = Vec::new();
+        for &b in input {
+            match b {
+                b'(' => closers.push(b')'),
+                b'[' => closers.push(b']'),
+                b'<' => closers.push(b'>'),
+                b'{' => closers.push(b'}'),
+                _ => {
+                    if closers.pop() != Some(b) {
+                        return false;
+                    }
+                }
+            }
+        }
+        closers.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// mjs lexer — index-based munching recognizer (the lexer streams
+// through ExecCtx with tainted comparisons)
+// ---------------------------------------------------------------------
+
+/// Recognizer for the mjs token stream: accepts inputs that tokenize
+/// end to end. Keywords need no special handling — a keyword and an
+/// identifier are both one word token.
+pub struct MjsLexOracle;
+
+const MJS_OPERATOR_CHARS: &[u8] = b"{}()[];,:?.~+-*/%&|^!=<>";
+
+fn mjs_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'$'
+}
+
+/// Consumes one number token; `i` starts on a digit.
+fn mjs_scan_number(b: &[u8], mut i: usize) -> Option<usize> {
+    while b.get(i).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let frac = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == frac {
+            return None; // digits required after the decimal point
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let exp = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == exp {
+            return None; // exponent digits required
+        }
+    }
+    Some(i)
+}
+
+/// Consumes one string token; `i` starts just past the opening quote.
+fn mjs_scan_string(b: &[u8], mut i: usize, quote: u8) -> Option<usize> {
+    loop {
+        let c = *b.get(i)?;
+        if c == quote {
+            return Some(i + 1);
+        }
+        match c {
+            b'\\' => {
+                i += 1;
+                match b.get(i)? {
+                    b'n' | b'r' | b't' | b'\\' | b'"' | b'\'' | b'0' => i += 1,
+                    _ => return None,
+                }
+            }
+            b'\n' => return None,
+            _ => i += 1,
+        }
+    }
+}
+
+impl Oracle for MjsLexOracle {
+    fn name(&self) -> &'static str {
+        "mjs-lexer"
+    }
+
+    fn accepts(&self, input: &[u8]) -> bool {
+        let b = input;
+        let mut i = 0;
+        loop {
+            // trivia: whitespace and comments
+            match b.get(i) {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => {
+                    i += 1;
+                    continue;
+                }
+                Some(b'/') if b.get(i + 1) == Some(&b'/') => {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                Some(b'/') if b.get(i + 1) == Some(&b'*') => {
+                    let Some(end) = b[i + 2..].windows(2).position(|w| w == b"*/") else {
+                        return false; // unterminated block comment
+                    };
+                    i += 2 + end + 2;
+                    continue;
+                }
+                None => return true,
+                Some(_) => {}
+            }
+            let c = b[i];
+            if c.is_ascii_digit() {
+                match mjs_scan_number(b, i) {
+                    Some(j) => i = j,
+                    None => return false,
+                }
+            } else if mjs_word_byte(c) {
+                while b.get(i).copied().is_some_and(mjs_word_byte) {
+                    i += 1;
+                }
+            } else if c == b'"' || c == b'\'' {
+                match mjs_scan_string(b, i + 1, c) {
+                    Some(j) => i = j,
+                    None => return false,
+                }
+            } else if MJS_OPERATOR_CHARS.contains(&c) {
+                // every compound operator's proper prefixes and suffixes
+                // are themselves tokens, so munch length cannot change
+                // whether the input tokenizes
+                i += 1;
+            } else {
+                return false; // '@', '#', '`', '\\', bytes >= 0x80, ...
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_and_only_known_names() {
+        for name in ["csv", "ini", "cjson", "arith", "dyck", "mjs-lexer"] {
+            let o = oracle_for(name).unwrap_or_else(|| panic!("no oracle for {name}"));
+            assert_eq!(o.name(), name);
+        }
+        assert!(oracle_for("tinyC").is_none());
+        assert!(oracle_for("mjs").is_none());
+    }
+
+    #[test]
+    fn csv_smoke() {
+        let o = CsvOracle;
+        assert!(o.accepts(b""));
+        assert!(o.accepts(b"a,b\n\"c\"\"d\"\r\n"));
+        assert!(!o.accepts(b"\"open"));
+        assert!(!o.accepts(b"a\rb"));
+    }
+
+    #[test]
+    fn ini_smoke() {
+        let o = IniOracle;
+        assert!(o.accepts(b"[s]\nk=v ; c\n"));
+        assert!(!o.accepts(b"=v\n"));
+        assert!(!o.accepts(b"[open\n"));
+    }
+
+    #[test]
+    fn json_smoke() {
+        let o = JsonOracle;
+        assert!(o.accepts(b"{\"a\": [1, -2.5e3, \"\\ud83d\\ude00\"]}"));
+        assert!(!o.accepts(b"{\"a\":}"));
+        assert!(!o.accepts(b"01"));
+    }
+
+    #[test]
+    fn arith_smoke() {
+        let o = ArithOracle;
+        assert!(o.accepts(b"-(5+6)-7"));
+        assert!(!o.accepts(b"1+"));
+        assert!(!o.accepts(b"0"));
+    }
+
+    #[test]
+    fn dyck_smoke() {
+        let o = DyckOracle;
+        assert!(o.accepts(b"<{[()]}>"));
+        assert!(!o.accepts(b""));
+        assert!(!o.accepts(b"([)]"));
+    }
+
+    #[test]
+    fn mjs_lexer_smoke() {
+        let o = MjsLexOracle;
+        assert!(o.accepts(b"x >>>= 'a\\n' /* c */ 1.5e-2;"));
+        assert!(!o.accepts(b"1."));
+        assert!(!o.accepts(b"@"));
+    }
+}

@@ -1,0 +1,396 @@
+//! Table-driven conformance suite: for every subject that has an
+//! independent oracle, a hand-written table of accepted and rejected
+//! inputs is asserted against **both** the instrumented parser and the
+//! oracle. A table entry that either implementation disputes is a
+//! conformance bug in one of them — the table is the tie-breaker, since
+//! it encodes the intended language directly.
+
+use pdf_subjects::oracle::oracle_for;
+
+struct ConformanceTable {
+    subject: &'static str,
+    accept: &'static [&'static [u8]],
+    reject: &'static [&'static [u8]],
+}
+
+fn tables() -> Vec<ConformanceTable> {
+    vec![
+        ConformanceTable {
+            subject: "csv",
+            accept: &[
+                b"",
+                b"a",
+                b"a,b",
+                b"a,b,c",
+                b"a\n",
+                b"a\nb",
+                b"a,b\nc,d",
+                b"\"q\"",
+                b"\"a,b\"",
+                b"\"a\nb\"",
+                b"\"\"",
+                b"\"a\"\"b\"",
+                b",",
+                b",\n",
+                b"a,",
+                b",a",
+                b"a b c",
+                b"1,2\n3,4\n",
+                b"\"a\",b",
+                b"a,\"b\"",
+                b"\r\n",
+                b"a\r\n",
+                b"a\r\nb",
+                b"  ",
+                b"a,,b",
+                b"\"\",\"\"",
+                b"x\ny\nz",
+            ],
+            reject: &[
+                b"\"",
+                b"\"a",
+                b"a\"",
+                b"a\"b",
+                b"\"a\"b",
+                b"\"a\" ",
+                b"\r",
+                b"a\r",
+                b"\ra",
+                b"a,b\r",
+                b"\"a\n",
+                b"\"\"\"",
+                b"ab\"cd",
+                b",\"",
+                b"\"a\"x",
+                b"a\rb",
+                b"\"a\"\"",
+                b"x,\"y",
+                b"\rx\n",
+                b"a\"\n",
+                b"\"abc",
+                b"one,two\"",
+                b"q\"q,\"x\"",
+                b"\r\r",
+                b"\"unterminated,field",
+            ],
+        },
+        ConformanceTable {
+            subject: "ini",
+            accept: &[
+                b"",
+                b"\n",
+                b"; comment",
+                b"  ; indented comment",
+                b"[s]",
+                b"[section]",
+                b"[]",
+                b"[ s ]",
+                b"[a.b]",
+                b"[s]  ",
+                b"[s] ; trailing",
+                b"a=b",
+                b"a = b",
+                b"key=value",
+                b"k:v",
+                b"k : v",
+                b"a=b\nc=d",
+                b"[s]\na=b",
+                b"[s]\na=b\n[t]\nc=d",
+                b"  a=b",
+                b"a=",
+                b"a=b=c",
+                b"a==b",
+                b"name = value ; inline",
+                b"\n\n\n",
+                b"x:y\n; c\n[z]",
+                b"a=b ; c",
+            ],
+            reject: &[
+                b"[",
+                b"[s",
+                b"[s]x",
+                b"[s] a=b",
+                b"[s]]",
+                b"=v",
+                b"=",
+                b":v",
+                b"novalue",
+                b"justtext",
+                b"x;y",
+                b"[s]\nnovalue",
+                b"a=b\n[",
+                b" = ",
+                b"\t=x",
+                b"hello world",
+                b"[unclosed\na=b",
+                b"a\n=b",
+                b"ok=1\nbad",
+                b"[s][t]",
+                b"[a] [b]",
+                b"= ; comment",
+                b"word\n",
+                b"a b\nc=d",
+                b"[s]extra ; c",
+            ],
+        },
+        ConformanceTable {
+            subject: "cjson",
+            accept: &[
+                b"1",
+                b"0",
+                b"-1",
+                b"1.5",
+                b"1e2",
+                b"1E+2",
+                b"0.5e-3",
+                b"-0",
+                b"123",
+                b"true",
+                b"false",
+                b"null",
+                b"\"\"",
+                b"\"a\"",
+                b"\"\\n\"",
+                b"\"\\u0041\"",
+                b"\"\\ud83d\\ude00\"",
+                b"[]",
+                b"[1]",
+                b"[1,2,3]",
+                b"[[]]",
+                b"[true,false,null]",
+                b"{}",
+                b"{\"a\":1}",
+                b"{\"a\":{\"b\":[]}}",
+                b" 1 ",
+                b"[ 1 , 2 ]",
+                b"{\"a\":\"b\",\"c\":2}",
+            ],
+            reject: &[
+                b"",
+                b"[",
+                b"]",
+                b"{",
+                b"}",
+                b"01",
+                b"1.",
+                b".5",
+                b"1e",
+                b"+1",
+                b"-",
+                b"tru",
+                b"True",
+                b"nul",
+                b"\"",
+                b"\"\\x\"",
+                b"\"\n\"",
+                b"\"\\ud83d\"",
+                b"[1,]",
+                b"[,1]",
+                b"{\"a\"}",
+                b"{\"a\":}",
+                b"{a:1}",
+                b"{\"a\":1,}",
+                b"1 2",
+                b"[1 2]",
+                b"{\"a\" 1}",
+            ],
+        },
+        ConformanceTable {
+            subject: "arith",
+            accept: &[
+                b"1",
+                b"9",
+                b"10",
+                b"123",
+                b"100",
+                b"1+2",
+                b"1-2",
+                b"-1",
+                b"+1",
+                b"+9",
+                b"-12",
+                b"1+2-3",
+                b"1-2-3-4",
+                b"12+34",
+                b"(1)",
+                b"(1+2)",
+                b"((1))",
+                b"(((9)))",
+                b"1+(2)",
+                b"(1)+2",
+                b"-(1)",
+                b"(-1)",
+                b"((1+2)-3)",
+                b"1+(2-(3))",
+                b"(10)+(20)",
+            ],
+            reject: &[
+                b"", b"0", b"01", b"0+1", b"2+0", b"a", b"1+", b"+", b"-", b"1++2", b"1+-2",
+                b"--1", b"(", b")", b"()", b"(1", b"1)", b"1 + 2", b"1.5", b"(+)", b"1*2", b"(1))",
+                b"((1)", b"1+()", b"12a",
+            ],
+        },
+        ConformanceTable {
+            subject: "dyck",
+            accept: &[
+                b"()",
+                b"[]",
+                b"{}",
+                b"<>",
+                b"()()",
+                b"([])",
+                b"{[()]}",
+                b"<()>",
+                b"(())",
+                b"[[]]",
+                b"{}{}",
+                b"<><>",
+                b"<<>>",
+                b"([]{})",
+                b"{<>}",
+                b"((()))",
+                b"[(){}<>]",
+                b"()[]{}<>",
+                b"(<>)",
+                b"[{}]",
+                b"<[]>",
+                b"({[<>]})",
+                b"()()()",
+                b"[()]",
+                b"{()}",
+            ],
+            reject: &[
+                b"", b"(", b")", b"[", b"]", b"{", b"}", b"<", b">", b"(]", b"([)]", b"(()",
+                b"())", b"a", b"()a", b"a()", b"( )", b"<(", b")(", b"][", b"{)", b"(>", b"[}",
+                b"()<", b"(((",
+            ],
+        },
+        ConformanceTable {
+            subject: "mjs-lexer",
+            accept: &[
+                b"",
+                b" ",
+                b"x",
+                b"if",
+                b"else",
+                b"1",
+                b"0",
+                b"3.14",
+                b"1e5",
+                b"0x10",
+                b".5",
+                b"1.2.3",
+                b"'s'",
+                b"\"s\"",
+                b"'a\\'b'",
+                b";",
+                b"{}",
+                b"()",
+                b"+",
+                b"== != <= >=",
+                b">>>=",
+                b"a b",
+                b"x=1;",
+                b"// line comment",
+                b"/* block */",
+                b"foo123",
+                b"_bar",
+                b"$",
+                b"if ) 1.5 'str' >>>= foo",
+            ],
+            reject: &[
+                b"@",
+                b"#",
+                b"\\",
+                b"`",
+                b"\x80",
+                b"\xff",
+                b"a@",
+                b"@a",
+                b"x # y",
+                b"1.",
+                b"9.",
+                b"12.",
+                b"1e",
+                b"1e+",
+                b"1e-",
+                b"'",
+                b"\"",
+                b"'abc",
+                b"\"abc",
+                b"'a\nb'",
+                b"\"a\nb\"",
+                b"/* never closed",
+                b"/*",
+                b"/* a",
+                b"foo @ bar",
+            ],
+        },
+    ]
+}
+
+#[test]
+fn tables_meet_the_size_floor() {
+    for t in tables() {
+        assert!(
+            t.accept.len() >= 25,
+            "{}: only {} accept cases",
+            t.subject,
+            t.accept.len()
+        );
+        assert!(
+            t.reject.len() >= 25,
+            "{}: only {} reject cases",
+            t.subject,
+            t.reject.len()
+        );
+    }
+}
+
+#[test]
+fn parser_conforms_to_the_tables() {
+    for t in tables() {
+        let info = pdf_subjects::by_name(t.subject).expect("subject registered");
+        for &input in t.accept {
+            let exec = info.subject.run(input);
+            assert!(
+                exec.valid,
+                "{} parser rejected {:?}: {:?}",
+                t.subject,
+                String::from_utf8_lossy(input),
+                exec.error
+            );
+        }
+        for &input in t.reject {
+            assert!(
+                !info.subject.run(input).valid,
+                "{} parser accepted {:?}",
+                t.subject,
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_conforms_to_the_tables() {
+    for t in tables() {
+        let oracle = oracle_for(t.subject).expect("oracle registered");
+        for &input in t.accept {
+            assert!(
+                oracle.accepts(input),
+                "{} oracle rejected {:?}",
+                t.subject,
+                String::from_utf8_lossy(input)
+            );
+        }
+        for &input in t.reject {
+            assert!(
+                !oracle.accepts(input),
+                "{} oracle accepted {:?}",
+                t.subject,
+                String::from_utf8_lossy(input)
+            );
+        }
+    }
+}

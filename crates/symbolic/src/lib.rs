@@ -39,7 +39,7 @@ pub mod solver;
 
 use std::collections::{HashSet, VecDeque};
 
-use pdf_runtime::{BranchSet, PhaseClock, Rng, RunStats, Subject};
+use pdf_runtime::{BranchSet, Digest, PhaseClock, Rng, RunStats, Subject};
 
 use path::{negate, path_condition, Cond};
 use solver::solve;
@@ -89,6 +89,32 @@ impl Default for KleeConfig {
             search: SearchStrategy::Bfs,
             max_input_len: 256,
         }
+    }
+}
+
+impl KleeConfig {
+    /// 64-bit digest of the exploration-shaping fields. The execution
+    /// budget is excluded — a record/replay journal cell stores it
+    /// separately; the hash identifies the *configuration* a recording
+    /// ran under so drift is detected. The `RandomState` seed *is*
+    /// included: unlike the other tools it lives inside the strategy,
+    /// not in a per-cell seed field.
+    pub fn config_hash(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str("klee-config-v1");
+        d.write_u64(self.max_states as u64);
+        d.write_u64(self.max_depth as u64);
+        d.write_u8(self.filler);
+        match self.search {
+            SearchStrategy::Bfs => d.write_u8(0),
+            SearchStrategy::Dfs => d.write_u8(1),
+            SearchStrategy::RandomState(seed) => {
+                d.write_u8(2);
+                d.write_u64(seed);
+            }
+        }
+        d.write_u64(self.max_input_len as u64);
+        d.finish()
     }
 }
 
@@ -230,6 +256,12 @@ impl KleeFuzzer {
         report.stats.executions = report.execs;
         report.stats.valid_inputs = report.valid_inputs.len() as u64;
         report.stats.queue_depth = frontier.len();
+        // BFS/DFS draw nothing (decisions stay 0); random-state search
+        // journals its RNG usage as a draw count plus stream digest.
+        if let Some(rng) = &rng {
+            report.stats.decisions = rng.draw_count();
+            report.stats.decision_digest = rng.stream_digest();
+        }
         let (wall, phases) = clock.finish();
         report.stats.wall_secs = wall;
         report.stats.phases = phases;
@@ -293,6 +325,47 @@ mod tests {
     fn respects_exec_budget() {
         let report = run(pdf_subjects::json::subject(), 300);
         assert!(report.execs <= 300);
+    }
+
+    #[test]
+    fn bfs_draws_no_decisions_random_state_does() {
+        let bfs = run(pdf_subjects::csv::subject(), 500);
+        assert_eq!(bfs.stats.decisions, 0);
+        assert_eq!(bfs.stats.decision_digest, 0);
+        let cfg = KleeConfig {
+            max_execs: 500,
+            search: SearchStrategy::RandomState(3),
+            ..KleeConfig::default()
+        };
+        let rand = KleeFuzzer::new(pdf_subjects::csv::subject(), cfg.clone()).run();
+        assert!(rand.stats.decisions > 0);
+        let again = KleeFuzzer::new(pdf_subjects::csv::subject(), cfg).run();
+        assert_eq!(rand.stats.decisions, again.stats.decisions);
+        assert_eq!(rand.stats.decision_digest, again.stats.decision_digest);
+    }
+
+    #[test]
+    fn config_hash_ignores_budget_but_sees_strategy() {
+        let base = KleeConfig::default();
+        let rebudgeted = KleeConfig {
+            max_execs: 1,
+            ..base.clone()
+        };
+        assert_eq!(base.config_hash(), rebudgeted.config_hash());
+        let dfs = KleeConfig {
+            search: SearchStrategy::Dfs,
+            ..base.clone()
+        };
+        assert_ne!(base.config_hash(), dfs.config_hash());
+        let r1 = KleeConfig {
+            search: SearchStrategy::RandomState(1),
+            ..base.clone()
+        };
+        let r2 = KleeConfig {
+            search: SearchStrategy::RandomState(2),
+            ..base.clone()
+        };
+        assert_ne!(r1.config_hash(), r2.config_hash());
     }
 
     #[test]
