@@ -282,6 +282,12 @@ impl AflFuzzer {
         let subject = &self.subject;
         let exec = clock.time(phase, || subject.run_coverage(input));
         report.stats.events += exec.cov.events;
+        if exec.verdict.is_hang() {
+            report.stats.hangs += 1;
+        }
+        if exec.verdict.is_crash() {
+            report.stats.crashes += 1;
+        }
         report.all_branches.union_with(&exec.cov.branches);
         if exec.valid {
             report.valid_execs += 1;
@@ -409,5 +415,20 @@ mod tests {
             .phases
             .iter()
             .any(|(name, _)| *name == "havoc" || *name == "deterministic"));
+    }
+
+    #[test]
+    fn chaos_hangs_and_crashes_are_counted() {
+        use pdf_subjects::chaos::{self, ChaosConfig};
+        let cfg = ChaosConfig {
+            panic_per_mille: 500,
+            hang_per_mille: 500,
+            ..ChaosConfig::silent(11)
+        };
+        let subject = chaos::wrap(pdf_subjects::ini::subject(), cfg);
+        let report = run(subject, 1, 300);
+        assert!(report.stats.crashes > 0, "some executions crash");
+        assert!(report.stats.hangs > 0, "some executions hang");
+        assert_eq!(report.stats.hangs + report.stats.crashes, report.execs);
     }
 }

@@ -1,0 +1,105 @@
+//! Campaign budgets: pause points for long-running campaigns.
+//!
+//! The paper runs each fuzzer for 48 hours per subject; at that scale a
+//! campaign must be pausable (to checkpoint) and bounded in wall time,
+//! not just in executions. A [`CampaignBudget`] expresses *when to come
+//! up for air*: [`Fuzzer::run_until`](crate::Fuzzer::run_until) drives
+//! the search until either the campaign finishes (its configured
+//! `max_execs` or `max_valid_inputs` is reached) or the budget's pause
+//! point hits — at which point the campaign can be checkpointed,
+//! inspected, or simply continued with another `run_until` call.
+//!
+//! Pausing never changes the search: the pause checks sit at the top of
+//! the driver loop, on the same iteration boundary as the termination
+//! checks, so a paused-and-resumed campaign traverses byte-identical
+//! iterations to an uninterrupted one.
+
+use std::time::Duration;
+
+/// How often (in driver-loop iterations) the wall-clock deadline is
+/// polled. Reading the clock costs a syscall on some platforms; exec
+/// budget checks are a plain counter compare and happen every iteration.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 64;
+
+/// When [`Fuzzer::run_until`](crate::Fuzzer::run_until) should pause.
+///
+/// Both limits are optional; the default ([`unbounded`]
+/// (CampaignBudget::unbounded)) never pauses and runs the campaign to
+/// completion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignBudget {
+    /// Pause once the campaign's *total* execution count (across all
+    /// `run_until` calls) reaches this. `None` = no execution pause.
+    pub max_execs: Option<u64>,
+    /// Pause once this much wall time has elapsed since the current
+    /// `run_until` call was entered. Checked every
+    /// [`DEADLINE_CHECK_INTERVAL`] iterations, off the hot path.
+    /// `None` = no deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl CampaignBudget {
+    /// A budget that never pauses: the campaign runs to completion.
+    pub fn unbounded() -> Self {
+        CampaignBudget::default()
+    }
+
+    /// Pause when total executions reach `n`.
+    pub fn execs(n: u64) -> Self {
+        CampaignBudget {
+            max_execs: Some(n),
+            deadline: None,
+        }
+    }
+
+    /// Pause after `d` of wall time in this `run_until` call.
+    pub fn wall(d: Duration) -> Self {
+        CampaignBudget {
+            max_execs: None,
+            deadline: Some(d),
+        }
+    }
+}
+
+/// Why [`Fuzzer::run_until`](crate::Fuzzer::run_until) returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The campaign is complete: the configured `max_execs` budget is
+    /// spent or `max_valid_inputs` was reached. Further `run_until`
+    /// calls return immediately.
+    Finished,
+    /// The budget's execution pause point was reached; the campaign can
+    /// be checkpointed and/or continued.
+    PausedExecs,
+    /// The budget's wall-clock deadline elapsed.
+    PausedDeadline,
+}
+
+impl StopReason {
+    /// Whether the campaign is complete (as opposed to merely paused).
+    pub fn is_finished(&self) -> bool {
+        matches!(self, StopReason::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_the_right_limit() {
+        assert_eq!(CampaignBudget::unbounded(), CampaignBudget::default());
+        assert_eq!(CampaignBudget::execs(10).max_execs, Some(10));
+        assert_eq!(CampaignBudget::execs(10).deadline, None);
+        let w = CampaignBudget::wall(Duration::from_millis(5));
+        assert_eq!(w.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(w.max_execs, None);
+    }
+
+    #[test]
+    fn stop_reason_finished_flag() {
+        assert!(StopReason::Finished.is_finished());
+        assert!(!StopReason::PausedExecs.is_finished());
+        assert!(!StopReason::PausedDeadline.is_finished());
+    }
+}

@@ -1,14 +1,20 @@
 //! The fuzzing driver: Algorithm 1 of the paper.
 
 use std::collections::HashSet;
+use std::path::Path;
+use std::time::Instant;
 
 use pdf_runtime::{
     digest_bytes, BranchSet, Digest, FailureExecution, FailureSummary, PhaseClock, Rng, RunStats,
     Subject,
 };
 
-use crate::config::{DriverConfig, ExtensionMode, SearchMode, SinkMode};
-use crate::queue::{CandidateQueue, QueueEntry};
+use crate::budget::{CampaignBudget, StopReason, DEADLINE_CHECK_INTERVAL};
+use crate::checkpoint::{
+    branch_pairs_of, branch_set_of, Checkpoint, CheckpointError, QueueItemSnapshot, QueueSnapshot,
+};
+use crate::config::{DriverConfig, ExtensionMode, HeuristicConfig, SearchMode, SinkMode};
+use crate::queue::{CandidateQueue, QueueEntry, QueueState};
 
 /// Cap on the candidate queue; when exceeded, the worst half is dropped.
 const QUEUE_HIGH_WATER: usize = 8_192;
@@ -97,6 +103,12 @@ impl FuzzReport {
         d.write_u64(self.stats.executions);
         d.write_u64(self.stats.events);
         d.write_u64(self.stats.valid_inputs);
+        // Hangs and crashes are deterministic per campaign (fuel is part
+        // of the subject, panics are caught in-process), so they belong
+        // in the digest. `retries` stays out: it is a supervisor-level
+        // counter a replayed or resumed campaign legitimately lacks.
+        d.write_u64(self.stats.hangs);
+        d.write_u64(self.stats.crashes);
         d.write_u64(self.stats.queue_depth as u64);
         d.write_u64(self.stats.decisions);
         d.write_u64(self.stats.decision_digest);
@@ -114,26 +126,78 @@ enum ByteSource {
     Replay { stream: Vec<u8>, pos: usize },
 }
 
+/// The live search state of a campaign, separated from the driver's
+/// immutable configuration so [`Fuzzer::run_until`] can pause between
+/// iterations and [`Fuzzer::checkpoint`] can serialize everything the
+/// next iteration depends on.
+#[derive(Debug)]
+struct CampaignState {
+    report: FuzzReport,
+    queue: CandidateQueue,
+    known_invalid: HashSet<Vec<u8>>,
+    current: Vec<u8>,
+    parents: usize,
+    /// Whether the initial input (Algorithm 1, line 4) was drawn yet.
+    /// Priming lazily — on the first `run_until` call rather than at
+    /// construction — keeps construction free of RNG draws, so a
+    /// checkpoint taken before any run is trivially resumable.
+    primed: bool,
+}
+
+impl CampaignState {
+    fn new(heuristic: HeuristicConfig) -> Self {
+        CampaignState {
+            report: FuzzReport {
+                valid_inputs: Vec::new(),
+                valid_found_at: Vec::new(),
+                execs: 0,
+                valid_branches: BranchSet::new(),
+                all_branches: BranchSet::new(),
+                first_valid_execs: None,
+                trace: Vec::new(),
+                stats: RunStats::default(),
+                decisions: Vec::new(),
+            },
+            queue: CandidateQueue::new(heuristic),
+            known_invalid: HashSet::new(),
+            current: Vec::new(),
+            parents: 0,
+            primed: false,
+        }
+    }
+}
+
 /// The pFuzzer driver.
 ///
-/// See the [crate docs](crate) for an end-to-end example.
+/// See the [crate docs](crate) for an end-to-end example. Campaigns can
+/// run to completion in one call ([`run`](Self::run)) or incrementally
+/// under a [`CampaignBudget`] ([`run_until`](Self::run_until)), pausing
+/// for inspection and [checkpointing](Self::checkpoint_to) in between.
 #[derive(Debug)]
 pub struct Fuzzer {
     subject: Subject,
     cfg: DriverConfig,
     source: ByteSource,
     decisions: Vec<u8>,
+    state: CampaignState,
+    /// Started on the first `run_until` call and kept across pauses;
+    /// `Option` so `run_until` can take it out while driving and
+    /// `into_report` can consume it with `finish()`.
+    clock: Option<PhaseClock>,
 }
 
 impl Fuzzer {
     /// Creates a driver for `subject` with the given configuration.
     pub fn new(subject: Subject, cfg: DriverConfig) -> Self {
         let source = ByteSource::Fresh(Rng::new(cfg.seed));
+        let state = CampaignState::new(cfg.heuristic);
         Fuzzer {
             subject,
             cfg,
             source,
             decisions: Vec::new(),
+            state,
+            clock: None,
         }
     }
 
@@ -142,6 +206,7 @@ impl Fuzzer {
     /// as the recording run, [`run`](Self::run) produces a report with
     /// an identical [`digest`](FuzzReport::digest).
     pub fn replaying(subject: Subject, cfg: DriverConfig, decisions: Vec<u8>) -> Self {
+        let state = CampaignState::new(cfg.heuristic);
         Fuzzer {
             subject,
             cfg,
@@ -150,6 +215,8 @@ impl Fuzzer {
                 pos: 0,
             },
             decisions: Vec::new(),
+            state,
+            clock: None,
         }
     }
 
@@ -182,54 +249,85 @@ impl Fuzzer {
 
     /// Runs the campaign to completion and reports the results.
     pub fn run(mut self) -> FuzzReport {
-        let mut report = FuzzReport {
-            valid_inputs: Vec::new(),
-            valid_found_at: Vec::new(),
-            execs: 0,
-            valid_branches: BranchSet::new(),
-            all_branches: BranchSet::new(),
-            first_valid_execs: None,
-            trace: Vec::new(),
-            stats: RunStats::default(),
-            decisions: Vec::new(),
-        };
-        let mut clock = PhaseClock::new();
-        let mut queue = CandidateQueue::new(self.cfg.heuristic);
-        // Subjects are deterministic, so re-running an input known to be
-        // invalid (and without new coverage at the time) cannot turn it
-        // into a find; remembering those verdicts spends the budget on
-        // the informative extension runs instead. Algorithm 1 re-runs
-        // them; the cache only changes cost, not the search.
-        let mut known_invalid: HashSet<Vec<u8>> = HashSet::new();
+        self.run_until(&CampaignBudget::unbounded());
+        self.into_report()
+    }
 
-        // Line 4: input ← random character. (The empty string is the
-        // conceptual step before it: it is rejected with an immediate
-        // EOF access, which is what appending the first character fixes.)
-        let mut current = vec![self.next_byte()];
-        let mut parents = 0usize;
+    /// Drives the campaign until it finishes or the budget's pause point
+    /// hits, whichever comes first. Pausing is invisible to the search:
+    /// the pause checks share the iteration boundary with the
+    /// termination checks, so any sequence of `run_until` calls
+    /// traverses byte-identical iterations to a single uninterrupted
+    /// [`run`](Self::run) and [`into_report`](Self::into_report) yields
+    /// a report with the same [`digest`](FuzzReport::digest).
+    pub fn run_until(&mut self, budget: &CampaignBudget) -> StopReason {
+        let mut clock = self.clock.take().unwrap_or_default();
+        let mut st = std::mem::replace(&mut self.state, CampaignState::new(self.cfg.heuristic));
+        let stop = self.drive(&mut st, &mut clock, budget);
+        self.state = st;
+        self.clock = Some(clock);
+        stop
+    }
 
-        while report.execs < self.cfg.max_execs {
+    fn drive(
+        &mut self,
+        st: &mut CampaignState,
+        clock: &mut PhaseClock,
+        budget: &CampaignBudget,
+    ) -> StopReason {
+        if !st.primed {
+            // Line 4: input ← random character. (The empty string is the
+            // conceptual step before it: it is rejected with an immediate
+            // EOF access, which is what appending the first character
+            // fixes.)
+            st.current = vec![self.next_byte()];
+            st.parents = 0;
+            st.primed = true;
+        }
+        let deadline = budget.deadline.map(|d| Instant::now() + d);
+        let mut iters: u64 = 0;
+        loop {
+            if st.report.execs >= self.cfg.max_execs {
+                return StopReason::Finished;
+            }
             if let Some(max) = self.cfg.max_valid_inputs {
-                if report.valid_inputs.len() >= max {
-                    break;
+                if st.report.valid_inputs.len() >= max {
+                    return StopReason::Finished;
                 }
             }
+            if let Some(pause) = budget.max_execs {
+                if st.report.execs >= pause {
+                    return StopReason::PausedExecs;
+                }
+            }
+            if let Some(dl) = deadline {
+                if iters.is_multiple_of(DEADLINE_CHECK_INTERVAL) && Instant::now() >= dl {
+                    return StopReason::PausedDeadline;
+                }
+            }
+            iters += 1;
             // Line 7: first run — the input as-is (usually a substitution).
             // The verdict cache only pays off when the extension run
             // follows; in replace-only mode skipping the first run would
             // consume no budget at all and never terminate.
             let use_cache = self.cfg.extension_mode != ExtensionMode::ReplaceOnly;
-            let accepted = if use_cache && known_invalid.contains(&current) {
+            let accepted = if use_cache && st.known_invalid.contains(&st.current) {
                 false
             } else {
-                let exec = clock.time("execute", || self.execute(&mut report, &current));
+                let exec = clock.time("execute", || self.execute(&mut st.report, &st.current));
                 if !exec.valid {
-                    known_invalid.insert(current.clone());
+                    st.known_invalid.insert(st.current.clone());
                 }
-                let accepted = self.run_check(&mut report, &mut queue, &current, &exec, parents);
+                let accepted = self.run_check(
+                    &mut st.report,
+                    &mut st.queue,
+                    &st.current,
+                    &exec,
+                    st.parents,
+                );
                 self.trace(
-                    &mut report,
-                    &current,
+                    &mut st.report,
+                    &st.current,
                     &exec,
                     if accepted { "accepted" } else { "first run" },
                 );
@@ -239,71 +337,297 @@ impl Fuzzer {
                 // Line 9: second run — with a random extension, so that a
                 // correct substitution can grow instead of being judged
                 // incomplete.
-                if report.execs >= self.cfg.max_execs {
-                    break;
+                if st.report.execs >= self.cfg.max_execs {
+                    return StopReason::Finished;
                 }
-                let mut extended = current.clone();
+                let mut extended = st.current.clone();
                 extended.push(self.next_byte());
-                let exec2 = clock.time("execute", || self.execute(&mut report, &extended));
-                let accepted2 = self.run_check(&mut report, &mut queue, &extended, &exec2, parents);
+                let exec2 = clock.time("execute", || self.execute(&mut st.report, &extended));
+                let accepted2 =
+                    self.run_check(&mut st.report, &mut st.queue, &extended, &exec2, st.parents);
                 if !accepted2 {
                     // Line 11: derive substitution candidates from the
                     // extended run.
-                    self.add_inputs(&mut queue, &extended, &exec2.failure, parents, &report);
+                    self.add_inputs(
+                        &mut st.queue,
+                        &extended,
+                        &exec2.failure,
+                        st.parents,
+                        &st.report,
+                    );
                     if exec2.failure.candidates.is_empty()
-                        && current.len() <= self.cfg.max_input_len
+                        && st.current.len() <= self.cfg.max_input_len
                     {
                         // The random extension hit a spot where no
                         // comparison constrains it (Figure 1, step 3:
                         // "we append another random character") — give
                         // the prefix another draw later.
-                        queue.push(
+                        st.queue.push(
                             QueueEntry {
-                                input: current.clone(),
+                                input: st.current.clone(),
                                 parent_branches: exec2.failure.branches_up_to_rejection.clone(),
                                 replacement_len: 1,
                                 avg_stack: exec2.failure.avg_stack_size,
-                                num_parents: parents + 1,
+                                num_parents: st.parents + 1,
                                 path_hash: exec2.failure.path_hash,
                             },
-                            &report.valid_branches,
+                            &st.report.valid_branches,
                         );
                     }
                 }
-                self.trace(&mut report, &extended, &exec2, "extension run");
+                self.trace(&mut st.report, &extended, &exec2, "extension run");
             }
             // Line 14: next candidate, or a fresh random restart.
+            let st_queue = &mut st.queue;
+            let st_report = &st.report;
+            let search = self.cfg.search;
             let next = clock.time("schedule", || {
-                if queue.len() > QUEUE_HIGH_WATER {
-                    queue.shrink(QUEUE_LOW_WATER, &report.valid_branches);
+                if st_queue.len() > QUEUE_HIGH_WATER {
+                    st_queue.shrink(QUEUE_LOW_WATER, &st_report.valid_branches);
                 }
-                match self.cfg.search {
-                    SearchMode::Heuristic => queue.pop(&report.valid_branches),
-                    SearchMode::DepthFirst => queue.pop_newest(),
-                    SearchMode::BreadthFirst => queue.pop_oldest(),
+                match search {
+                    SearchMode::Heuristic => st_queue.pop(&st_report.valid_branches),
+                    SearchMode::DepthFirst => st_queue.pop_newest(),
+                    SearchMode::BreadthFirst => st_queue.pop_oldest(),
                 }
             });
             match next {
                 Some(entry) => {
-                    current = entry.input;
-                    parents = entry.num_parents;
+                    st.current = entry.input;
+                    st.parents = entry.num_parents;
                 }
                 None => {
-                    current = vec![self.next_byte()];
-                    parents = 0;
+                    st.current = vec![self.next_byte()];
+                    st.parents = 0;
                 }
             }
         }
+    }
+
+    /// Finalizes the campaign into its report: derived stats counters,
+    /// the decision stream and the wall-clock phases. Consumes the
+    /// driver; call after [`run_until`](Self::run_until) returns
+    /// [`StopReason::Finished`] (calling earlier simply reports the
+    /// campaign as paused mid-flight).
+    pub fn into_report(mut self) -> FuzzReport {
+        let mut report = self.state.report;
         report.stats.executions = report.execs;
         report.stats.valid_inputs = report.valid_inputs.len() as u64;
-        report.stats.queue_depth = queue.len();
+        report.stats.queue_depth = self.state.queue.len();
         report.decisions = std::mem::take(&mut self.decisions);
         report.stats.decisions = report.decisions.len() as u64;
         report.stats.decision_digest = digest_bytes(&report.decisions);
-        let (wall, phases) = clock.finish();
-        report.stats.wall_secs = wall;
-        report.stats.phases = phases;
+        if let Some(clock) = self.clock {
+            let (wall, phases) = clock.finish();
+            report.stats.wall_secs = wall;
+            report.stats.phases = phases;
+        }
         report
+    }
+
+    /// Serializes the campaign's complete search state.
+    ///
+    /// [`resume_from_checkpoint`](Self::resume_from_checkpoint) with the
+    /// same subject and configuration continues the campaign
+    /// byte-identically: running the resumed driver to completion yields
+    /// the same [`FuzzReport::digest`] as an uninterrupted run. The trace
+    /// (a debugging aid, excluded from digests) is not checkpointed; a
+    /// resumed campaign's trace covers only the post-resume iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`replaying`](Self::replaying) driver: resume
+    /// reconstructs the RNG from its draw count, which a replay run does
+    /// not have. Checkpoint the recording run instead.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let draws = match &self.source {
+            ByteSource::Fresh(rng) => rng.draw_count(),
+            ByteSource::Replay { .. } => panic!(
+                "checkpointing a replaying campaign is not supported: \
+                 resume reconstructs the RNG from its draw count, which \
+                 a replay run does not have"
+            ),
+        };
+        let st = &self.state;
+        let qs = st.queue.snapshot_state();
+        let mut known_invalid: Vec<Vec<u8>> = st.known_invalid.iter().cloned().collect();
+        known_invalid.sort();
+        Checkpoint {
+            subject: self.subject.name().to_string(),
+            config_hash: self.cfg.config_hash(),
+            seed: self.cfg.seed,
+            draws,
+            primed: st.primed,
+            execs: st.report.execs,
+            events: st.report.stats.events,
+            hangs: st.report.stats.hangs,
+            crashes: st.report.stats.crashes,
+            first_valid_execs: st.report.first_valid_execs,
+            decisions: self.decisions.clone(),
+            current: st.current.clone(),
+            parents: st.parents as u64,
+            valid: st
+                .report
+                .valid_inputs
+                .iter()
+                .cloned()
+                .zip(st.report.valid_found_at.iter().copied())
+                .collect(),
+            valid_branches: branch_pairs_of(&st.report.valid_branches),
+            all_branches: branch_pairs_of(&st.report.all_branches),
+            known_invalid,
+            queue: QueueSnapshot {
+                seq: qs.seq,
+                last_vbr_len: qs.last_vbr_len as u64,
+                pops_since_rebuild: qs.pops_since_rebuild as u64,
+                path_counts: qs.path_counts.iter().map(|&(h, n)| (h, n as u64)).collect(),
+                items: qs
+                    .items
+                    .into_iter()
+                    .map(|(score, seq, e)| QueueItemSnapshot {
+                        score_bits: score.to_bits(),
+                        seq,
+                        input: e.input,
+                        parent_branches: branch_pairs_of(&e.parent_branches),
+                        replacement_len: e.replacement_len as u64,
+                        avg_stack_bits: e.avg_stack.to_bits(),
+                        num_parents: e.num_parents as u64,
+                        path_hash: e.path_hash,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Writes [`checkpoint`](Self::checkpoint) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn checkpoint_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.checkpoint().encode())
+    }
+
+    /// Reconstructs a paused campaign from a checkpoint. The subject and
+    /// configuration must match the checkpointing run; drift is detected
+    /// via the subject name, [`DriverConfig::config_hash`] and the seed.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Drift`] when the subject, configuration or
+    /// seed does not match the checkpoint.
+    pub fn resume_from_checkpoint(
+        subject: Subject,
+        cfg: DriverConfig,
+        ck: &Checkpoint,
+    ) -> Result<Fuzzer, CheckpointError> {
+        if subject.name() != ck.subject {
+            return Err(CheckpointError::Drift(format!(
+                "checkpoint is for subject {:?}, resuming with {:?}",
+                ck.subject,
+                subject.name()
+            )));
+        }
+        if cfg.config_hash() != ck.config_hash {
+            return Err(CheckpointError::Drift(format!(
+                "configuration hash {:016x} does not match checkpoint {:016x}",
+                cfg.config_hash(),
+                ck.config_hash
+            )));
+        }
+        if cfg.seed != ck.seed {
+            return Err(CheckpointError::Drift(format!(
+                "seed {} does not match checkpoint seed {}",
+                cfg.seed, ck.seed
+            )));
+        }
+        let mut rng = Rng::new(cfg.seed);
+        rng.skip(ck.draws);
+        let (valid_inputs, valid_found_at): (Vec<Vec<u8>>, Vec<u64>) =
+            ck.valid.iter().cloned().unzip();
+        let stats = RunStats {
+            events: ck.events,
+            hangs: ck.hangs,
+            crashes: ck.crashes,
+            ..RunStats::default()
+        };
+        let report = FuzzReport {
+            valid_inputs,
+            valid_found_at,
+            execs: ck.execs,
+            valid_branches: branch_set_of(&ck.valid_branches),
+            all_branches: branch_set_of(&ck.all_branches),
+            first_valid_execs: ck.first_valid_execs,
+            trace: Vec::new(),
+            stats,
+            decisions: Vec::new(),
+        };
+        let queue = CandidateQueue::restore_state(
+            cfg.heuristic,
+            QueueState {
+                items: ck
+                    .queue
+                    .items
+                    .iter()
+                    .map(|i| {
+                        (
+                            f64::from_bits(i.score_bits),
+                            i.seq,
+                            QueueEntry {
+                                input: i.input.clone(),
+                                parent_branches: branch_set_of(&i.parent_branches),
+                                replacement_len: i.replacement_len as usize,
+                                avg_stack: f64::from_bits(i.avg_stack_bits),
+                                num_parents: i.num_parents as usize,
+                                path_hash: i.path_hash,
+                            },
+                        )
+                    })
+                    .collect(),
+                path_counts: ck
+                    .queue
+                    .path_counts
+                    .iter()
+                    .map(|&(h, n)| (h, n as usize))
+                    .collect(),
+                seq: ck.queue.seq,
+                last_vbr_len: ck.queue.last_vbr_len as usize,
+                pops_since_rebuild: ck.queue.pops_since_rebuild as usize,
+            },
+        );
+        let state = CampaignState {
+            report,
+            queue,
+            known_invalid: ck.known_invalid.iter().cloned().collect(),
+            current: ck.current.clone(),
+            parents: ck.parents as usize,
+            primed: ck.primed,
+        };
+        Ok(Fuzzer {
+            subject,
+            cfg,
+            source: ByteSource::Fresh(rng),
+            decisions: ck.decisions.clone(),
+            state,
+            clock: None,
+        })
+    }
+
+    /// Reads a checkpoint file and
+    /// [resumes](Self::resume_from_checkpoint) from it.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the file cannot be read, plus every
+    /// decode and drift error of the underlying steps.
+    pub fn resume_from(
+        subject: Subject,
+        cfg: DriverConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<Fuzzer, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let ck = Checkpoint::decode(&text)?;
+        Self::resume_from_checkpoint(subject, cfg, &ck)
     }
 
     fn execute(&mut self, report: &mut FuzzReport, input: &[u8]) -> FailureExecution {
@@ -316,9 +640,16 @@ impl Fuzzer {
                     valid: e.valid,
                     error: e.error,
                     failure: e.log.failure_summary(),
+                    verdict: e.verdict,
                 }
             }
         };
+        if exec.verdict.is_hang() {
+            report.stats.hangs += 1;
+        }
+        if exec.verdict.is_crash() {
+            report.stats.crashes += 1;
+        }
         report.stats.events += exec.failure.events;
         report.all_branches.union_with(&exec.failure.branches);
         exec
@@ -697,6 +1028,178 @@ mod tests {
         let mut truncated = recorded.decisions;
         truncated.truncate(truncated.len() / 2);
         Fuzzer::replaying(pdf_subjects::arith::subject(), cfg, truncated).run();
+    }
+
+    #[test]
+    fn run_until_pauses_without_changing_the_campaign() {
+        let cfg = DriverConfig {
+            seed: 7,
+            max_execs: 1_500,
+            ..DriverConfig::default()
+        };
+        let uninterrupted = Fuzzer::new(pdf_subjects::arith::subject(), cfg.clone()).run();
+
+        let mut paused = Fuzzer::new(pdf_subjects::arith::subject(), cfg);
+        assert_eq!(
+            paused.run_until(&CampaignBudget::execs(300)),
+            StopReason::PausedExecs
+        );
+        assert_eq!(
+            paused.run_until(&CampaignBudget::execs(900)),
+            StopReason::PausedExecs
+        );
+        assert_eq!(
+            paused.run_until(&CampaignBudget::unbounded()),
+            StopReason::Finished
+        );
+        let stitched = paused.into_report();
+        assert_eq!(stitched.valid_inputs, uninterrupted.valid_inputs);
+        assert_eq!(stitched.decisions, uninterrupted.decisions);
+        assert_eq!(stitched.digest(), uninterrupted.digest());
+    }
+
+    #[test]
+    fn run_until_finished_is_idempotent() {
+        let cfg = DriverConfig {
+            seed: 2,
+            max_execs: 200,
+            ..DriverConfig::default()
+        };
+        let mut f = Fuzzer::new(pdf_subjects::arith::subject(), cfg);
+        assert_eq!(
+            f.run_until(&CampaignBudget::unbounded()),
+            StopReason::Finished
+        );
+        assert_eq!(
+            f.run_until(&CampaignBudget::unbounded()),
+            StopReason::Finished
+        );
+        assert_eq!(f.into_report().execs, 200);
+    }
+
+    #[test]
+    fn wall_deadline_pauses_eventually() {
+        let cfg = DriverConfig {
+            seed: 3,
+            max_execs: u64::MAX / 2,
+            ..DriverConfig::default()
+        };
+        let mut f = Fuzzer::new(pdf_subjects::arith::subject(), cfg);
+        let stop = f.run_until(&CampaignBudget::wall(std::time::Duration::ZERO));
+        assert_eq!(stop, StopReason::PausedDeadline);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_digest() {
+        for pause_at in [0u64, 137, 800] {
+            let cfg = DriverConfig {
+                seed: 11,
+                max_execs: 1_600,
+                ..DriverConfig::default()
+            };
+            let uninterrupted = Fuzzer::new(pdf_subjects::dyck::subject(), cfg.clone()).run();
+
+            let mut first = Fuzzer::new(pdf_subjects::dyck::subject(), cfg.clone());
+            let stop = first.run_until(&CampaignBudget::execs(pause_at));
+            assert_eq!(stop, StopReason::PausedExecs);
+            let ck = first.checkpoint();
+            drop(first); // the "killed" campaign
+
+            // round-trip through text, as a file-based resume would
+            let decoded = Checkpoint::decode(&ck.encode()).expect("decodes");
+            assert_eq!(ck, decoded);
+            let mut resumed =
+                Fuzzer::resume_from_checkpoint(pdf_subjects::dyck::subject(), cfg, &decoded)
+                    .expect("resumes");
+            assert_eq!(
+                resumed.run_until(&CampaignBudget::unbounded()),
+                StopReason::Finished
+            );
+            let report = resumed.into_report();
+            assert_eq!(
+                report.digest(),
+                uninterrupted.digest(),
+                "pause at {pause_at} diverged"
+            );
+            assert_eq!(report.valid_inputs, uninterrupted.valid_inputs);
+            assert_eq!(report.decisions, uninterrupted.decisions);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_drifted_subject_config_and_seed() {
+        let cfg = DriverConfig {
+            seed: 5,
+            max_execs: 400,
+            ..DriverConfig::default()
+        };
+        let mut f = Fuzzer::new(pdf_subjects::arith::subject(), cfg.clone());
+        let _ = f.run_until(&CampaignBudget::execs(100));
+        let ck = f.checkpoint();
+
+        let wrong_subject =
+            Fuzzer::resume_from_checkpoint(pdf_subjects::dyck::subject(), cfg.clone(), &ck);
+        assert!(matches!(wrong_subject, Err(CheckpointError::Drift(_))));
+
+        let wrong_cfg = DriverConfig {
+            max_input_len: 7,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            Fuzzer::resume_from_checkpoint(pdf_subjects::arith::subject(), wrong_cfg, &ck),
+            Err(CheckpointError::Drift(_))
+        ));
+
+        let wrong_seed = DriverConfig { seed: 6, ..cfg };
+        assert!(matches!(
+            Fuzzer::resume_from_checkpoint(pdf_subjects::arith::subject(), wrong_seed, &ck),
+            Err(CheckpointError::Drift(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpointing a replaying campaign")]
+    fn checkpointing_a_replay_run_panics() {
+        let cfg = DriverConfig {
+            seed: 3,
+            max_execs: 200,
+            ..DriverConfig::default()
+        };
+        let recorded = Fuzzer::new(pdf_subjects::arith::subject(), cfg.clone()).run();
+        let f = Fuzzer::replaying(pdf_subjects::arith::subject(), cfg, recorded.decisions);
+        let _ = f.checkpoint();
+    }
+
+    #[test]
+    fn crashing_subject_is_survived_and_counted() {
+        use pdf_runtime::{cov, lit, ExecCtx, ParseError};
+        fn crashy(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+            cov!(ctx);
+            if lit!(ctx, b'!') {
+                panic!("deliberate subject crash");
+            }
+            if !lit!(ctx, b'a') {
+                return Err(ctx.reject("expected 'a'"));
+            }
+            ctx.expect_end()
+        }
+        let subject = Subject::new("crashy", crashy);
+        let cfg = DriverConfig {
+            seed: 1,
+            max_execs: 2_000,
+            sink: SinkMode::FullLog,
+            ..DriverConfig::default()
+        };
+        let a = Fuzzer::new(subject, cfg.clone()).run();
+        assert!(
+            a.stats.crashes > 0,
+            "the '!' branch never fired in 2000 execs"
+        );
+        assert_eq!(a.stats.executions, 2_000, "crashes must not end the run");
+        // crash accounting is deterministic and digest-relevant
+        let b = Fuzzer::new(subject, cfg).run();
+        assert_eq!(a.stats.crashes, b.stats.crashes);
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

@@ -29,11 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
+mod checkpoint;
 mod config;
 mod driver;
 mod heuristic;
 mod queue;
 
+pub use budget::{CampaignBudget, StopReason, DEADLINE_CHECK_INTERVAL};
+pub use checkpoint::{Checkpoint, CheckpointError, QueueItemSnapshot, QueueSnapshot};
 pub use config::{DriverConfig, ExtensionMode, HeuristicConfig, SearchMode, SinkMode};
 pub use driver::{FuzzReport, Fuzzer, TraceStep};
 pub use heuristic::score;

@@ -65,6 +65,25 @@ impl Ord for HeapItem {
 /// immediately.
 const REBUILD_INTERVAL: usize = 256;
 
+/// A plain-data image of the queue's complete state, used by campaign
+/// checkpointing. Items carry their *cached* scores: scores are only
+/// recomputed at rebuild points, so a restored queue must reproduce the
+/// stale values bit-exactly or pop order could differ between a resumed
+/// and an uninterrupted campaign.
+#[derive(Debug, Clone)]
+pub(crate) struct QueueState {
+    /// `(cached score, insertion seq, entry)`, sorted by seq.
+    pub items: Vec<(f64, u64, QueueEntry)>,
+    /// Path-seen counters, sorted by path hash.
+    pub path_counts: Vec<(u64, usize)>,
+    /// Next insertion sequence number.
+    pub seq: u64,
+    /// `vBr` size at the last rescoring.
+    pub last_vbr_len: usize,
+    /// Pops since the last rescoring.
+    pub pops_since_rebuild: usize,
+}
+
 /// Max-priority queue over [`QueueEntry`], scored by
 /// [`score`](crate::score).
 ///
@@ -241,6 +260,47 @@ impl CandidateQueue {
         }
         self.heap = kept;
     }
+
+    /// Captures the queue's complete state for a checkpoint. The heap is
+    /// flattened in insertion order; because [`HeapItem`]'s ordering is a
+    /// pure function of the queued set, re-pushing the items in any order
+    /// reproduces the exact pop sequence.
+    pub(crate) fn snapshot_state(&self) -> QueueState {
+        let mut items: Vec<(f64, u64, QueueEntry)> = self
+            .heap
+            .iter()
+            .map(|i| (i.score, i.seq, i.entry.clone()))
+            .collect();
+        items.sort_by_key(|&(_, seq, _)| seq);
+        let mut path_counts: Vec<(u64, usize)> =
+            self.path_counts.iter().map(|(&k, &v)| (k, v)).collect();
+        path_counts.sort_unstable();
+        QueueState {
+            items,
+            path_counts,
+            seq: self.seq,
+            last_vbr_len: self.last_vbr_len,
+            pops_since_rebuild: self.pops_since_rebuild,
+        }
+    }
+
+    /// Rebuilds a queue from a snapshot, preserving cached scores and
+    /// rebuild counters verbatim (no rescoring — see
+    /// [`snapshot_state`](Self::snapshot_state)).
+    pub(crate) fn restore_state(cfg: HeuristicConfig, state: QueueState) -> Self {
+        let mut heap = BinaryHeap::with_capacity(state.items.len());
+        for (score, seq, entry) in state.items {
+            heap.push(HeapItem { score, seq, entry });
+        }
+        CandidateQueue {
+            heap,
+            path_counts: state.path_counts.into_iter().collect(),
+            cfg,
+            seq: state.seq,
+            last_vbr_len: state.last_vbr_len,
+            pops_since_rebuild: state.pops_since_rebuild,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +465,57 @@ mod tests {
         assert_eq!(q.pop(&v_br).unwrap().input, b"mid".to_vec());
         assert!(q.pop_newest().is_none());
         assert!(q.pop_oldest().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_pop_order() {
+        let v_br = BranchSet::new();
+        let mut q = CandidateQueue::new(HeuristicConfig::default());
+        for i in 0..20usize {
+            let mut e = entry(format!("in{i:02}").as_bytes(), (i % 5) + 1);
+            e.path_hash = 5000 + (i % 3) as u64;
+            q.push(e, &v_br);
+        }
+        // disturb the counters so the snapshot captures mid-campaign state
+        let _ = q.pop(&v_br);
+        let _ = q.pop(&v_br);
+        q.note_path(5001);
+
+        let restored =
+            CandidateQueue::restore_state(HeuristicConfig::default(), q.snapshot_state());
+        assert_eq!(restored.len(), q.len());
+        let drain = |mut q: CandidateQueue| -> Vec<Vec<u8>> {
+            let mut out = Vec::new();
+            while let Some(e) = q.pop(&v_br) {
+                out.push(e.input);
+            }
+            out
+        };
+        assert_eq!(drain(restored), drain(q));
+    }
+
+    #[test]
+    fn snapshot_preserves_cached_scores_and_counters() {
+        let v_br = BranchSet::new();
+        let mut q = CandidateQueue::new(HeuristicConfig::default());
+        q.push(entry(b"aa", 3), &v_br);
+        let _ = q.pop(&v_br);
+        q.push(entry(b"bb", 2), &v_br);
+        let state = q.snapshot_state();
+        assert_eq!(state.seq, 2);
+        assert_eq!(state.pops_since_rebuild, 1);
+        assert_eq!(state.items.len(), 1);
+        let restored = CandidateQueue::restore_state(HeuristicConfig::default(), state.clone());
+        let state2 = restored.snapshot_state();
+        assert_eq!(state.seq, state2.seq);
+        assert_eq!(state.pops_since_rebuild, state2.pops_since_rebuild);
+        assert_eq!(state.last_vbr_len, state2.last_vbr_len);
+        assert_eq!(state.path_counts, state2.path_counts);
+        for (a, b) in state.items.iter().zip(&state2.items) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "cached score drifted");
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2.input, b.2.input);
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Kill-and-resume determinism, end to end through the filesystem: a
+//! campaign paused mid-flight, checkpointed to a file with
+//! [`Fuzzer::checkpoint_to`], and resumed with [`Fuzzer::resume_from`]
+//! must finish with exactly the report an uninterrupted campaign
+//! produces — same digest, same valid inputs, same decision stream.
+
+use pdf_core::{CampaignBudget, DriverConfig, Fuzzer, StopReason};
+
+fn config(seed: u64, max_execs: u64) -> DriverConfig {
+    DriverConfig {
+        seed,
+        max_execs,
+        ..DriverConfig::default()
+    }
+}
+
+/// A scratch file that cleans up after itself even on panic.
+struct ScratchFile(std::path::PathBuf);
+
+impl ScratchFile {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pdf-checkpoint-test-{}-{name}", std::process::id()));
+        ScratchFile(p)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_uninterrupted_report() {
+    for (subject, name) in [
+        (pdf_subjects::arith::subject(), "arith"),
+        (pdf_subjects::json::subject(), "json"),
+    ] {
+        let cfg = config(5, 1_500);
+        let straight = Fuzzer::new(subject, cfg.clone()).run();
+
+        for pause_at in [1u64, 400, 1_499] {
+            let file = ScratchFile::new(&format!("{name}-{pause_at}"));
+            let mut victim = Fuzzer::new(subject, cfg.clone());
+            let stop = victim.run_until(&CampaignBudget::execs(pause_at));
+            // an iteration can spend two executions, so a pause point
+            // near the campaign's own budget may finish it instead
+            assert!(
+                stop == StopReason::PausedExecs || stop == StopReason::Finished,
+                "{name} at {pause_at}: {stop:?}"
+            );
+            victim.checkpoint_to(&file.0).expect("checkpoint written");
+            drop(victim); // the "kill": nothing survives but the file
+
+            let mut resumed =
+                Fuzzer::resume_from(subject, cfg.clone(), &file.0).expect("resume succeeds");
+            assert!(resumed
+                .run_until(&CampaignBudget::unbounded())
+                .is_finished());
+            let report = resumed.into_report();
+            assert_eq!(
+                report.digest(),
+                straight.digest(),
+                "{name} paused at {pause_at}: digest drifted"
+            );
+            assert_eq!(report.valid_inputs, straight.valid_inputs);
+            assert_eq!(report.decisions, straight.decisions);
+            assert_eq!(report.stats.hangs, straight.stats.hangs);
+            assert_eq!(report.stats.crashes, straight.stats.crashes);
+        }
+    }
+}
+
+#[test]
+fn double_pause_then_resume_still_matches() {
+    let subject = pdf_subjects::dyck::subject();
+    let cfg = config(9, 1_000);
+    let straight = Fuzzer::new(subject, cfg.clone()).run();
+
+    // first leg: pause, checkpoint, kill
+    let file_a = ScratchFile::new("leg-a");
+    let mut f = Fuzzer::new(subject, cfg.clone());
+    f.run_until(&CampaignBudget::execs(250));
+    f.checkpoint_to(&file_a.0).unwrap();
+    drop(f);
+
+    // second leg: resume, pause again, checkpoint again, kill again
+    let file_b = ScratchFile::new("leg-b");
+    let mut f = Fuzzer::resume_from(subject, cfg.clone(), &file_a.0).unwrap();
+    f.run_until(&CampaignBudget::execs(600));
+    f.checkpoint_to(&file_b.0).unwrap();
+    drop(f);
+
+    // third leg: resume and finish
+    let mut f = Fuzzer::resume_from(subject, cfg, &file_b.0).unwrap();
+    assert!(f.run_until(&CampaignBudget::unbounded()).is_finished());
+    let report = f.into_report();
+    assert_eq!(report.digest(), straight.digest());
+    assert_eq!(report.valid_inputs, straight.valid_inputs);
+}
+
+#[test]
+fn resume_from_missing_file_is_an_io_error() {
+    let subject = pdf_subjects::arith::subject();
+    let err = Fuzzer::resume_from(subject, config(1, 100), "/nonexistent/checkpoint")
+        .expect_err("must fail");
+    assert!(
+        err.to_string().contains("checkpoint"),
+        "unhelpful error: {err}"
+    );
+}

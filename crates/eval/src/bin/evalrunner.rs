@@ -2,6 +2,7 @@
 //! Usage: evalrunner [--execs N] [--seeds a,b,c] [--afl-mult N]
 //!                   [--jobs N] [--stats-out PATH]
 //!                   [--record PATH] [--replay PATH]
+//!                   [--max-retries N] [--chaos SEED]
 //!
 //! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
 //! worker threads; results are identical to `--jobs 1`. `--stats-out`
@@ -9,7 +10,10 @@
 //! writes a `pdf-journal v1` file recording every cell's decision
 //! stream and outcome digest; `--replay PATH` re-executes a recorded
 //! journal instead of running a fresh matrix, exits non-zero on any
-//! digest mismatch, and prints nothing else.
+//! digest mismatch, and prints nothing else. `--max-retries N` sets the
+//! cell supervisor's retry budget for crashed or fuel-hung cells;
+//! `--chaos SEED` runs the matrix on chaos-wrapped subjects (injected
+//! panics, fuel burns, flaky rejections) to exercise the supervisor.
 
 fn main() {
     if let Some(path) = pdf_eval::replay_path_from_args() {
@@ -18,21 +22,35 @@ fn main() {
     }
     let budget = pdf_eval::budget_from_args(30_000);
     let jobs = pdf_eval::jobs_from_args();
+    let sup = pdf_eval::supervisor_from_args();
+    let chaos_seed = pdf_eval::chaos_seed_from_args();
     let stats_out = pdf_eval::stats_out_from_args();
     let record_out = pdf_eval::record_path_from_args();
     println!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
     for inv in pdf_eval::token_tables() {
         println!("{}", pdf_eval::render_token_table(&inv));
     }
-    let cells = pdf_eval::matrix_cells(&budget);
+    let cells = match chaos_seed {
+        Some(seed) => {
+            let cfg = pdf_subjects::chaos::ChaosConfig::stormy(seed);
+            eprintln!("chaos mode: subjects wrapped with {cfg:?}");
+            pdf_eval::matrix_cells_for(
+                &pdf_subjects::chaos::chaos_evaluation_subjects(cfg),
+                &budget,
+            )
+        }
+        None => pdf_eval::matrix_cells(&budget),
+    };
     eprintln!(
-        "running 5 subjects x 3 tools, {} execs x {} seeds ({} cells, {} jobs) ...",
+        "running 5 subjects x 3 tools, {} execs x {} seeds ({} cells, {} jobs, {} retries) ...",
         budget.execs,
         budget.seeds.len(),
         cells.len(),
         jobs,
+        sup.max_retries,
     );
-    let per_cell = pdf_eval::run_cells(&cells, jobs);
+    let per_cell = pdf_eval::run_cells_supervised(&cells, jobs, &sup);
+    eprintln!("{}", pdf_eval::supervision_summary(&per_cell));
     if let Some(path) = &record_out {
         let journal = pdf_eval::journal_of(&cells, &per_cell);
         match std::fs::write(path, journal.encode()) {
@@ -44,18 +62,23 @@ fn main() {
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }
+    let completed = pdf_eval::completed_outcomes(per_cell);
     if let Some(path) = &stats_out {
         let mut lines = String::new();
-        for o in &per_cell {
+        for o in &completed {
             lines.push_str(&pdf_eval::stats_json_line(o));
             lines.push('\n');
         }
         match std::fs::write(path, lines) {
-            Ok(()) => eprintln!("wrote {} stats lines to {}", per_cell.len(), path.display()),
+            Ok(()) => eprintln!(
+                "wrote {} stats lines to {}",
+                completed.len(),
+                path.display()
+            ),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }
-    let outcomes = pdf_eval::collapse_matrix(per_cell);
+    let outcomes = pdf_eval::collapse_matrix(completed);
     println!(
         "{}",
         pdf_eval::render_fig2(&pdf_eval::fig2_coverage(&outcomes))

@@ -5,14 +5,85 @@
 //!
 //! Usage: replaycheck [--execs N] [--seeds a,b,c] [--afl-mult N]
 //!                    [--jobs N] [--record PATH] [--replay PATH]
+//!                    [--resume-at N]
 //!
 //! With `--replay PATH` an existing journal is checked instead of
 //! recording a fresh one. With `--record PATH` the recorded journal is
-//! also written out. Exits 0 when every cell replays byte-identically,
-//! 1 on any divergence, 2 on I/O or decode errors.
+//! also written out. With `--resume-at N` an additional checkpoint
+//! self-test runs first: every pFuzzer cell is paused after N
+//! executions, checkpointed through the text codec, resumed, and its
+//! final digest compared against the uninterrupted campaign. Exits 0
+//! when every cell replays byte-identically, 1 on any divergence, 2 on
+//! I/O or decode errors.
+
+use pdf_core::{CampaignBudget, Checkpoint, DriverConfig, Fuzzer};
+
+/// Kill-and-resume determinism check over the matrix's pFuzzer cells.
+/// Returns the number of cells whose resumed campaign diverged from the
+/// uninterrupted one.
+fn resume_selftest(pause_at: u64, budget: &pdf_eval::EvalBudget) -> usize {
+    let cells: Vec<pdf_eval::MatrixCell> = pdf_eval::matrix_cells(budget)
+        .into_iter()
+        .filter(|c| c.tool == pdf_eval::Tool::PFuzzer)
+        .collect();
+    eprintln!(
+        "resume self-test: {} pFuzzer cells paused at {} execs ...",
+        cells.len(),
+        pause_at,
+    );
+    let mut diverged = 0;
+    for cell in cells {
+        let cfg = DriverConfig {
+            seed: cell.seed,
+            max_execs: cell.execs,
+            ..DriverConfig::default()
+        };
+        let straight = Fuzzer::new(cell.info.subject, cfg.clone()).run();
+        let mut paused = Fuzzer::new(cell.info.subject, cfg.clone());
+        paused.run_until(&CampaignBudget::execs(pause_at));
+        let text = paused.checkpoint().encode();
+        let resumed = Checkpoint::decode(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|ck| {
+                Fuzzer::resume_from_checkpoint(cell.info.subject, cfg, &ck)
+                    .map_err(|e| e.to_string())
+            });
+        let mut resumed = match resumed {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("  {}/{}: checkpoint failed: {e}", cell.info.name, cell.seed);
+                diverged += 1;
+                continue;
+            }
+        };
+        resumed.run_until(&CampaignBudget::unbounded());
+        let report = resumed.into_report();
+        if report.digest() != straight.digest() || report.valid_inputs != straight.valid_inputs {
+            eprintln!(
+                "  {}/{}: resumed digest {:016x} != uninterrupted {:016x}",
+                cell.info.name,
+                cell.seed,
+                report.digest(),
+                straight.digest()
+            );
+            diverged += 1;
+        }
+    }
+    if diverged == 0 {
+        eprintln!("resume self-test clean");
+    }
+    diverged
+}
 
 fn main() {
     let jobs = pdf_eval::jobs_from_args();
+    if let Some(pause_at) = pdf_eval::resume_at_from_args() {
+        let budget = pdf_eval::budget_from_args(2_000);
+        if resume_selftest(pause_at, &budget) > 0 {
+            eprintln!("resume self-test FAILED");
+            std::process::exit(1);
+        }
+    }
     let journal = match pdf_eval::replay_path_from_args() {
         Some(path) => {
             let text = match std::fs::read_to_string(&path) {

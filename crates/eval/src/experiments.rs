@@ -5,7 +5,9 @@ use pdf_subjects::evaluation_subjects;
 use pdf_tokens::{inventory, TokenCoverage, TokenInventory};
 
 use crate::coverage::{coverage_universe, relative_coverage};
-use crate::runner::{collapse_matrix, matrix_cells, run_cells, EvalBudget, Outcome, Tool};
+use crate::runner::{
+    collapse_matrix, completed_outcomes, matrix_cells, run_cells, EvalBudget, Outcome, Tool,
+};
 
 /// Table 1: the subjects with their access dates and original LoC.
 pub fn table1_subjects() -> Vec<(&'static str, &'static str, usize)> {
@@ -43,7 +45,7 @@ pub fn run_matrix(budget: &EvalBudget) -> Vec<Outcome> {
 /// so the collapsed result is identical to the serial matrix for any
 /// `jobs` value (only the wall-clock stats differ).
 pub fn run_matrix_jobs(budget: &EvalBudget, jobs: usize) -> Vec<Outcome> {
-    collapse_matrix(run_cells(&matrix_cells(budget), jobs))
+    collapse_matrix(completed_outcomes(run_cells(&matrix_cells(budget), jobs)))
 }
 
 /// One row of Figure 2: relative branch coverage per tool on a subject.

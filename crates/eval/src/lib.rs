@@ -46,8 +46,10 @@ pub use replay::{
     cell_config_hash, journal_of, record_cells, replay_journal, CellDiff, ReplayReport,
 };
 pub use runner::{
-    best_outcome, collapse_matrix, matrix_cells, outcome_digest, run_cells, run_tool,
-    run_tool_seeded, EvalBudget, MatrixCell, Outcome, Tool,
+    attempt_seed, best_outcome, collapse_matrix, completed_outcomes, matrix_cells,
+    matrix_cells_for, outcome_digest, run_cell_supervised, run_cells, run_cells_supervised,
+    run_tool, run_tool_seeded, supervision_summary, CellOutcome, EvalBudget, MatrixCell, Outcome,
+    PoisonedCell, SupervisorConfig, Tool,
 };
 
 /// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
@@ -121,6 +123,49 @@ pub fn record_path_from_args() -> Option<std::path::PathBuf> {
 /// fresh matrix.
 pub fn replay_path_from_args() -> Option<std::path::PathBuf> {
     path_arg("--replay")
+}
+
+/// Parses `--max-retries N` from the command line: the supervisor's
+/// retry budget for crashed or fuel-hung cells. Defaults to
+/// [`SupervisorConfig::default`].
+pub fn supervisor_from_args() -> SupervisorConfig {
+    let mut sup = SupervisorConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--max-retries" {
+            if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                sup.max_retries = n;
+            }
+        }
+    }
+    sup
+}
+
+/// Parses `--chaos SEED` from the command line: when present, the
+/// matrix runs on chaos-wrapped subjects (deterministic injected
+/// panics, fuel burns and flaky rejections seeded by `SEED`) instead of
+/// the plain evaluation subjects — the supervision stress mode.
+pub fn chaos_seed_from_args() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--chaos" {
+            return args.get(i + 1).and_then(|s| s.parse().ok());
+        }
+    }
+    None
+}
+
+/// Parses `--resume-at N` from the command line: when present,
+/// `replaycheck` first runs a kill-and-resume self-test pausing every
+/// pFuzzer cell after N executions.
+pub fn resume_at_from_args() -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--resume-at" {
+            return args.get(i + 1).and_then(|s| s.parse().ok());
+        }
+    }
+    None
 }
 
 fn path_arg(flag: &str) -> Option<std::path::PathBuf> {

@@ -15,7 +15,7 @@
 use pdf_core::{DriverConfig, Fuzzer};
 use pdf_runtime::{CellRecord, Journal};
 
-use crate::runner::{outcome_digest, pfuzzer_outcome, run_cells, MatrixCell, Outcome, Tool};
+use crate::runner::{outcome_digest, pfuzzer_outcome, run_cells, CellOutcome, MatrixCell, Tool};
 
 /// The configuration hash a matrix cell runs under. [`run_tool_seeded`]
 /// (crate::run_tool_seeded) builds each tool's config from its default
@@ -30,12 +30,15 @@ pub fn cell_config_hash(tool: Tool) -> u64 {
     }
 }
 
-/// Builds the journal for a list of cells and their outcomes (parallel
-/// slices, as produced by [`matrix_cells`](crate::matrix_cells) and
-/// [`run_cells`]). The cell's `execs` is the *budget*, needed to re-run
-/// the campaign; the outcome's spent executions are covered by the
-/// outcome digest.
-pub fn journal_of(cells: &[MatrixCell], outcomes: &[Outcome]) -> Journal {
+/// Builds the journal for a list of cells and their supervised outcomes
+/// (parallel slices, as produced by [`matrix_cells`](crate::matrix_cells)
+/// and [`run_cells`]). The cell's `execs` is the *budget*, needed to
+/// re-run the campaign; the outcome's spent executions are covered by
+/// the outcome digest. Poisoned cells have no reproducible outcome to
+/// record and are skipped; a cell completed after retries is recorded
+/// under the seed it *actually ran with*, so replaying the journal
+/// re-runs that attempt directly.
+pub fn journal_of(cells: &[MatrixCell], outcomes: &[CellOutcome]) -> Journal {
     assert_eq!(
         cells.len(),
         outcomes.len(),
@@ -44,6 +47,7 @@ pub fn journal_of(cells: &[MatrixCell], outcomes: &[Outcome]) -> Journal {
     let records = cells
         .iter()
         .zip(outcomes)
+        .filter_map(|(c, co)| co.outcome().map(|o| (c, o)))
         .map(|(c, o)| CellRecord {
             tool: o.tool.name().to_string(),
             subject: o.subject.to_string(),
@@ -59,9 +63,9 @@ pub fn journal_of(cells: &[MatrixCell], outcomes: &[Outcome]) -> Journal {
     Journal { cells: records }
 }
 
-/// Runs every cell and returns the outcomes together with the journal
-/// recording them.
-pub fn record_cells(cells: &[MatrixCell], jobs: usize) -> (Vec<Outcome>, Journal) {
+/// Runs every cell under the supervisor and returns the cell outcomes
+/// together with the journal recording the completed ones.
+pub fn record_cells(cells: &[MatrixCell], jobs: usize) -> (Vec<CellOutcome>, Journal) {
     let outcomes = run_cells(cells, jobs);
     let journal = journal_of(cells, &outcomes);
     (outcomes, journal)
@@ -161,7 +165,22 @@ pub fn replay_journal(journal: &Journal, jobs: usize) -> ReplayReport {
 
     let cells: Vec<MatrixCell> = runnable.iter().map(|(_, c)| *c).collect();
     let outcomes = run_cells(&cells, jobs);
-    for ((rec, cell), o) in runnable.iter().zip(&outcomes) {
+    for ((rec, cell), co) in runnable.iter().zip(&outcomes) {
+        let o = match co {
+            CellOutcome::Completed(o) => o,
+            CellOutcome::Poisoned(p) => {
+                // The recording completed this cell; a replay that can't
+                // even finish it is the starkest possible divergence.
+                diffs.push(diff(
+                    rec,
+                    vec![format!(
+                        "cell poisoned during replay after {} attempts: {}",
+                        p.attempts, p.reason
+                    )],
+                ));
+                continue;
+            }
+        };
         let mut mismatches = Vec::new();
         if o.stats.decisions != rec.decision_count {
             mismatches.push(format!(

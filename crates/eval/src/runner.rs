@@ -1,11 +1,19 @@
-//! Unified tool runner: one interface over the three fuzzers.
+//! Unified tool runner: one interface over the three fuzzers, plus the
+//! fault-tolerant cell supervisor.
+//!
+//! [`run_cells`] is a *supervisor*, not a plain fan-out: each cell runs
+//! under panic isolation, a crashed or fuel-hung cell is retried with a
+//! deterministically perturbed seed, and a cell that stays broken is
+//! recorded as a [`CellOutcome::Poisoned`] row instead of aborting the
+//! whole matrix. One chaos-wrapped subject cannot take down a 48-hour
+//! evaluation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pdf_afl::{AflConfig, AflFuzzer};
 use pdf_core::{DriverConfig, FuzzReport, Fuzzer};
-use pdf_runtime::{BranchSet, Digest, RunStats};
+use pdf_runtime::{catch_silent, BranchSet, Digest, RunStats};
 use pdf_subjects::SubjectInfo;
 use pdf_symbolic::{KleeConfig, KleeFuzzer};
 
@@ -125,6 +133,11 @@ pub fn outcome_digest(o: &Outcome) -> u64 {
     d.write_u64(o.stats.executions);
     d.write_u64(o.stats.events);
     d.write_u64(o.stats.valid_inputs);
+    // deterministic per campaign, like the driver's report digest;
+    // `retries` is supervisor metadata and stays out — a replayed cell
+    // legitimately retries zero times
+    d.write_u64(o.stats.hangs);
+    d.write_u64(o.stats.crashes);
     d.write_u64(o.stats.queue_depth as u64);
     d.write_u64(o.stats.decisions);
     d.write_u64(o.stats.decision_digest);
@@ -259,13 +272,21 @@ pub struct MatrixCell {
 /// in parallel via [`run_cells`]) and still reproduce the serial matrix
 /// exactly.
 pub fn matrix_cells(budget: &EvalBudget) -> Vec<MatrixCell> {
+    matrix_cells_for(&pdf_subjects::evaluation_subjects(), budget)
+}
+
+/// [`matrix_cells`] over an explicit subject list — the chaos-
+/// supervision matrix passes
+/// [`chaos_evaluation_subjects`](pdf_subjects::chaos::chaos_evaluation_subjects)
+/// here; everything downstream is subject-agnostic.
+pub fn matrix_cells_for(subjects: &[SubjectInfo], budget: &EvalBudget) -> Vec<MatrixCell> {
     let mut cells = Vec::new();
-    for info in pdf_subjects::evaluation_subjects() {
+    for info in subjects {
         for tool in Tool::ALL {
             let execs = tool_execs(tool, budget);
             for &seed in tool_seeds(tool, budget) {
                 cells.push(MatrixCell {
-                    info,
+                    info: *info,
                     tool,
                     execs,
                     seed,
@@ -276,31 +297,160 @@ pub fn matrix_cells(budget: &EvalBudget) -> Vec<MatrixCell> {
     cells
 }
 
-/// Runs every cell, fanning the work out over `jobs` threads (clamped
-/// to at least 1 and at most the cell count). Workers claim cells from
-/// a shared atomic counter and deposit results into per-cell slots, so
-/// the returned vector is in input order no matter how the scheduler
-/// interleaves — the output is identical for every `jobs` value, modulo
-/// the wall-clock fields inside [`Outcome::stats`].
-pub fn run_cells(cells: &[MatrixCell], jobs: usize) -> Vec<Outcome> {
+/// Retry policy of the cell supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// How many times a crashed or fuel-hung cell is re-attempted with a
+    /// perturbed seed before it is recorded as poisoned. Zero disables
+    /// retries (a faulty first attempt poisons the cell immediately).
+    pub max_retries: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig { max_retries: 2 }
+    }
+}
+
+/// A cell the supervisor gave up on: every attempt crashed the harness
+/// or hung (all executions exhausted their fuel).
+#[derive(Debug, Clone)]
+pub struct PoisonedCell {
+    /// Tool of the abandoned cell.
+    pub tool: Tool,
+    /// Subject name of the abandoned cell.
+    pub subject: &'static str,
+    /// The cell's *original* seed (attempts perturb it deterministically).
+    pub seed: u64,
+    /// Attempts made (1 + retries).
+    pub attempts: u64,
+    /// Why the final attempt was rejected.
+    pub reason: String,
+}
+
+/// What the supervisor produced for one matrix cell.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell completed (possibly after retries —
+    /// `outcome.stats.retries` says how many).
+    Completed(Outcome),
+    /// Every attempt failed; the matrix row survives as a marker.
+    Poisoned(PoisonedCell),
+}
+
+impl CellOutcome {
+    /// The completed outcome, if any.
+    pub fn outcome(&self) -> Option<&Outcome> {
+        match self {
+            CellOutcome::Completed(o) => Some(o),
+            CellOutcome::Poisoned(_) => None,
+        }
+    }
+
+    /// Consumes into the completed outcome, if any.
+    pub fn into_outcome(self) -> Option<Outcome> {
+        match self {
+            CellOutcome::Completed(o) => Some(o),
+            CellOutcome::Poisoned(_) => None,
+        }
+    }
+
+    /// Whether the supervisor abandoned this cell.
+    pub fn is_poisoned(&self) -> bool {
+        matches!(self, CellOutcome::Poisoned(_))
+    }
+}
+
+/// Drops the poisoned rows, keeping completed outcomes in cell order —
+/// the bridge from the supervised matrix to the figure pipeline.
+pub fn completed_outcomes(outcomes: Vec<CellOutcome>) -> Vec<Outcome> {
+    outcomes
+        .into_iter()
+        .filter_map(CellOutcome::into_outcome)
+        .collect()
+}
+
+/// The seed attempt `k` of a cell runs with. Attempt 0 is the cell's
+/// own seed; retries mix in a golden-ratio step so each attempt is a
+/// fresh but *deterministic* campaign — a retried matrix is still
+/// reproducible run-to-run.
+pub fn attempt_seed(seed: u64, attempt: u64) -> u64 {
+    seed ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// A campaign that executed but made no observable progress because
+/// every single execution exhausted its fuel. Treated like a crash by
+/// the supervisor: retried, then poisoned.
+fn cell_hung(o: &Outcome) -> bool {
+    o.stats.executions > 0 && o.stats.hangs == o.stats.executions
+}
+
+/// Runs one cell under the supervisor: panic-isolated, retried with
+/// perturbed seeds, poisoned after `1 + max_retries` failed attempts.
+/// A completed outcome carries its attempt count in `stats.retries`.
+pub fn run_cell_supervised(cell: &MatrixCell, sup: &SupervisorConfig) -> CellOutcome {
+    let mut reason = String::new();
+    for attempt in 0..=sup.max_retries {
+        let seed = attempt_seed(cell.seed, attempt);
+        match catch_silent(|| run_tool_seeded(cell.tool, &cell.info, cell.execs, seed)) {
+            Ok(mut outcome) if !cell_hung(&outcome) => {
+                outcome.stats.retries = attempt;
+                return CellOutcome::Completed(outcome);
+            }
+            Ok(outcome) => {
+                reason = format!(
+                    "hung: all {} executions exhausted their fuel (attempt seed {seed})",
+                    outcome.stats.executions
+                );
+            }
+            Err(panic_msg) => {
+                reason = format!("harness panic: {panic_msg} (attempt seed {seed})");
+            }
+        }
+    }
+    CellOutcome::Poisoned(PoisonedCell {
+        tool: cell.tool,
+        subject: cell.info.name,
+        seed: cell.seed,
+        attempts: sup.max_retries + 1,
+        reason,
+    })
+}
+
+/// Runs every cell under the default [`SupervisorConfig`], fanning the
+/// work out over `jobs` threads (clamped to at least 1 and at most the
+/// cell count). Workers claim cells from a shared atomic counter and
+/// deposit results into per-cell slots, so the returned vector is in
+/// input order no matter how the scheduler interleaves — the output is
+/// identical for every `jobs` value, modulo the wall-clock fields
+/// inside [`Outcome::stats`]. Cells never abort the matrix: a
+/// persistently crashing or hanging cell becomes a
+/// [`CellOutcome::Poisoned`] row.
+pub fn run_cells(cells: &[MatrixCell], jobs: usize) -> Vec<CellOutcome> {
+    run_cells_supervised(cells, jobs, &SupervisorConfig::default())
+}
+
+/// [`run_cells`] with an explicit retry policy.
+pub fn run_cells_supervised(
+    cells: &[MatrixCell],
+    jobs: usize,
+    sup: &SupervisorConfig,
+) -> Vec<CellOutcome> {
     if cells.is_empty() {
         return Vec::new();
     }
     let jobs = jobs.clamp(1, cells.len());
     if jobs == 1 {
-        return cells
-            .iter()
-            .map(|c| run_tool_seeded(c.tool, &c.info, c.execs, c.seed))
-            .collect();
+        return cells.iter().map(|c| run_cell_supervised(c, sup)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Outcome>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<CellOutcome>>> = cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
-                let outcome = run_tool_seeded(cell.tool, &cell.info, cell.execs, cell.seed);
+                let outcome = run_cell_supervised(cell, sup);
                 *slots[i].lock().expect("slot poisoned") = Some(outcome);
             });
         }
@@ -309,6 +459,47 @@ pub fn run_cells(cells: &[MatrixCell], jobs: usize) -> Vec<Outcome> {
         .into_iter()
         .map(|s| s.into_inner().expect("slot poisoned").expect("cell ran"))
         .collect()
+}
+
+/// One-paragraph supervision summary for the matrix footer: totals of
+/// hangs, crashes and retries across completed cells, plus one line per
+/// poisoned cell.
+pub fn supervision_summary(outcomes: &[CellOutcome]) -> String {
+    use std::fmt::Write as _;
+    let mut hangs = 0u64;
+    let mut crashes = 0u64;
+    let mut retries = 0u64;
+    let mut poisoned = Vec::new();
+    for co in outcomes {
+        match co {
+            CellOutcome::Completed(o) => {
+                hangs += o.stats.hangs;
+                crashes += o.stats.crashes;
+                retries += o.stats.retries;
+            }
+            CellOutcome::Poisoned(p) => poisoned.push(p),
+        }
+    }
+    let mut s = format!(
+        "supervision: {} cells, {} poisoned; {} hung execs, {} crashed execs, {} cell retries",
+        outcomes.len(),
+        poisoned.len(),
+        hangs,
+        crashes,
+        retries,
+    );
+    for p in poisoned {
+        let _ = write!(
+            s,
+            "\n  POISONED {}/{} seed {}: {} attempts, {}",
+            p.tool.name(),
+            p.subject,
+            p.seed,
+            p.attempts,
+            p.reason
+        );
+    }
+    s
 }
 
 /// Collapses per-cell outcomes (in [`matrix_cells`] order) to one best
@@ -479,6 +670,10 @@ mod tests {
         let cells = matrix_cells(&budget);
         let serial = run_cells(&cells, 1);
         let parallel = run_cells(&cells, 4);
+        assert!(serial.iter().all(|c| !c.is_poisoned()));
+        assert!(parallel.iter().all(|c| !c.is_poisoned()));
+        let serial = completed_outcomes(serial);
+        let parallel = completed_outcomes(parallel);
         assert_outcomes_identical(&serial, &parallel);
         let collapsed = collapse_matrix(parallel);
         assert_eq!(collapsed.len(), 15);
@@ -496,7 +691,7 @@ mod tests {
             .into_iter()
             .filter(|c| c.info.name == "csv")
             .collect();
-        let collapsed = collapse_matrix(run_cells(&cells, 2));
+        let collapsed = collapse_matrix(completed_outcomes(run_cells(&cells, 2)));
         assert_eq!(collapsed.len(), 3);
         for (got, tool) in collapsed.iter().zip(Tool::ALL) {
             let want = run_tool(tool, &info, &budget);
@@ -520,6 +715,65 @@ mod tests {
         // more jobs than cells is clamped, not an error
         let out = run_cells(&cells, 64);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].seed, 1);
+        assert_eq!(out[0].outcome().expect("completed").seed, 1);
+    }
+
+    #[test]
+    fn attempt_zero_runs_the_original_seed() {
+        assert_eq!(attempt_seed(42, 0), 42);
+        assert_ne!(attempt_seed(42, 1), 42);
+        assert_ne!(attempt_seed(42, 1), attempt_seed(42, 2));
+    }
+
+    #[test]
+    fn healthy_cell_completes_with_zero_retries() {
+        let cell = MatrixCell {
+            info: pdf_subjects::by_name("ini").unwrap(),
+            tool: Tool::PFuzzer,
+            execs: 200,
+            seed: 1,
+        };
+        let co = run_cell_supervised(&cell, &SupervisorConfig::default());
+        let o = co.outcome().expect("healthy cell completes");
+        assert_eq!(o.stats.retries, 0);
+        assert_eq!(o.seed, 1);
+        // and digests identically to an unsupervised run
+        let plain = run_tool_seeded(Tool::PFuzzer, &cell.info, 200, 1);
+        assert_eq!(outcome_digest(o), outcome_digest(&plain));
+    }
+
+    #[test]
+    fn always_hanging_cell_is_poisoned_not_aborted() {
+        use pdf_subjects::chaos::{self, ChaosConfig};
+        // every execution burns its fuel, on every retry: the chaos
+        // schedule depends on the chaos seed, not the campaign seed
+        let cfg = ChaosConfig {
+            hang_per_mille: 1000,
+            ..ChaosConfig::silent(7)
+        };
+        let base = pdf_subjects::by_name("dyck").unwrap();
+        let info = SubjectInfo {
+            subject: chaos::wrap(base.subject, cfg),
+            ..base
+        };
+        let cell = MatrixCell {
+            info,
+            tool: Tool::PFuzzer,
+            execs: 50,
+            seed: 3,
+        };
+        let sup = SupervisorConfig { max_retries: 1 };
+        let co = run_cell_supervised(&cell, &sup);
+        match co {
+            CellOutcome::Poisoned(p) => {
+                assert_eq!(p.attempts, 2);
+                assert_eq!(p.seed, 3);
+                assert!(p.reason.contains("hung"), "reason: {}", p.reason);
+            }
+            CellOutcome::Completed(_) => panic!("all-hang cell must poison"),
+        }
+        let summary = supervision_summary(&[run_cell_supervised(&cell, &sup)]);
+        assert!(summary.contains("1 poisoned"), "{summary}");
+        assert!(summary.contains("POISONED"), "{summary}");
     }
 }

@@ -1,0 +1,62 @@
+//! The chaos-supervision contract: a full evaluation matrix over
+//! fault-injecting subjects must run to completion in-process — every
+//! cell either completes (with its injected hangs and crashes counted)
+//! or is recorded as poisoned. Nothing may abort the harness.
+
+use pdf_eval::{
+    matrix_cells_for, outcome_digest, run_cells_supervised, supervision_summary, CellOutcome,
+    EvalBudget, SupervisorConfig,
+};
+use pdf_subjects::chaos::{chaos_evaluation_subjects, ChaosConfig};
+
+#[test]
+fn chaos_matrix_completes_without_aborting() {
+    let cfg = ChaosConfig::stormy(42);
+    let subjects = chaos_evaluation_subjects(cfg);
+    assert_eq!(subjects.len(), 5);
+    let budget = EvalBudget {
+        execs: 300,
+        seeds: vec![1],
+        afl_throughput: 1,
+    };
+    let cells = matrix_cells_for(&subjects, &budget);
+    assert_eq!(cells.len(), 15);
+    let sup = SupervisorConfig { max_retries: 1 };
+
+    let outcomes = run_cells_supervised(&cells, 3, &sup);
+    assert_eq!(outcomes.len(), cells.len(), "every cell produced a row");
+
+    let completed: Vec<_> = outcomes.iter().filter_map(CellOutcome::outcome).collect();
+    assert!(
+        !completed.is_empty(),
+        "stormy chaos must not poison the whole matrix"
+    );
+    let crashes: u64 = completed.iter().map(|o| o.stats.crashes).sum();
+    let hangs: u64 = completed.iter().map(|o| o.stats.hangs).sum();
+    assert!(crashes > 0, "injected panics were observed and counted");
+    assert!(hangs > 0, "injected fuel burns were observed and counted");
+
+    let summary = supervision_summary(&outcomes);
+    assert!(summary.contains("15 cells"), "{summary}");
+
+    // The supervised chaos matrix is still deterministic: running it
+    // again (serially) reproduces the same outcome classes and, for
+    // completed cells, identical digests.
+    let again = run_cells_supervised(&cells, 1, &sup);
+    assert_eq!(again.len(), outcomes.len());
+    for (a, b) in outcomes.iter().zip(&again) {
+        match (a, b) {
+            (CellOutcome::Completed(x), CellOutcome::Completed(y)) => {
+                assert_eq!(outcome_digest(x), outcome_digest(y));
+                assert_eq!(x.stats.hangs, y.stats.hangs);
+                assert_eq!(x.stats.crashes, y.stats.crashes);
+                assert_eq!(x.stats.retries, y.stats.retries);
+            }
+            (CellOutcome::Poisoned(x), CellOutcome::Poisoned(y)) => {
+                assert_eq!(x.attempts, y.attempts);
+                assert_eq!(x.reason, y.reason);
+            }
+            _ => panic!("supervision outcome class diverged between runs"),
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use pdf_eval::{matrix_cells, run_cells, EvalBudget};
+use pdf_eval::{completed_outcomes, matrix_cells, run_cells, EvalBudget};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
@@ -25,6 +25,9 @@ proptest! {
         let serial = run_cells(&cells, 1);
         let parallel = run_cells(&cells, jobs);
         prop_assert_eq!(serial.len(), parallel.len());
+        prop_assert!(serial.iter().all(|c| !c.is_poisoned()));
+        let serial = completed_outcomes(serial);
+        let parallel = completed_outcomes(parallel);
         for (s, p) in serial.iter().zip(&parallel) {
             prop_assert_eq!(s.tool, p.tool);
             prop_assert_eq!(&s.subject, &p.subject);

@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::coverage::BranchId;
 use crate::events::{CmpMeta, ExecLog, LazyCmpValue};
+use crate::journal::Digest;
 use crate::sink::{EventSink, FullLog};
 use crate::site::SiteId;
 use crate::taint::TStr;
@@ -14,6 +15,10 @@ use crate::taint::TStr;
 /// subjects (tinyC, mjs) cannot hang the fuzzer — the paper hit exactly
 /// this with a generated `while(9);` input.
 pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// How many trailing sites the context remembers for crash deduplication
+/// (see [`ExecCtx::crash_dedup_key`]).
+pub const SITE_TAIL_LEN: usize = 8;
 
 /// Error returned by subject parsers on rejecting an input.
 ///
@@ -84,6 +89,13 @@ pub struct ExecCtx<S: EventSink = FullLog> {
     depth: usize,
     fuel: u64,
     exhausted: bool,
+    /// Ring buffer of the last [`SITE_TAIL_LEN`] sites that recorded a
+    /// branch, in chronological order modulo `site_count` — the crash
+    /// fingerprint a real fuzzer would take from the top of the stack
+    /// trace.
+    site_tail: [SiteId; SITE_TAIL_LEN],
+    /// Total branches recorded (monotone; indexes the ring).
+    site_count: u64,
     sink: S,
 }
 
@@ -114,6 +126,8 @@ impl<S: EventSink> ExecCtx<S> {
             depth: 0,
             fuel,
             exhausted: false,
+            site_tail: [SiteId::from_raw(0); SITE_TAIL_LEN],
+            site_count: 0,
             sink,
         }
     }
@@ -196,6 +210,31 @@ impl<S: EventSink> ExecCtx<S> {
 
     // ---- tracked comparisons ---------------------------------------------
 
+    /// The single chokepoint every branch event flows through: updates
+    /// the crash-fingerprint site tail, then forwards to the sink.
+    fn note_branch(&mut self, id: BranchId, pos: usize) {
+        self.site_tail[(self.site_count % SITE_TAIL_LEN as u64) as usize] = id.site;
+        self.site_count += 1;
+        self.sink.on_branch(id, pos);
+    }
+
+    /// Stable fingerprint of where the execution was when it died: an
+    /// FNV-1a digest over the last [`SITE_TAIL_LEN`] recorded sites, in
+    /// chronological order. Two crashes at the same parser location with
+    /// the same approach path share a key regardless of the input bytes
+    /// that led there; crashes at distinct sites get distinct keys.
+    pub fn crash_dedup_key(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str("crash-dedup-v1");
+        let n = self.site_count.min(SITE_TAIL_LEN as u64);
+        d.write_u64(n);
+        for i in 0..n {
+            let idx = ((self.site_count - n + i) % SITE_TAIL_LEN as u64) as usize;
+            d.write_u64(self.site_tail[idx].0);
+        }
+        d.finish()
+    }
+
     fn record_cmp(
         &mut self,
         site: SiteId,
@@ -213,13 +252,13 @@ impl<S: EventSink> ExecCtx<S> {
             },
             expected,
         );
-        self.sink.on_branch(BranchId::new(site, outcome), self.pos);
+        self.note_branch(BranchId::new(site, outcome), self.pos);
     }
 
     /// Records a coverage point (a basic block with no comparison).
     pub fn cov(&mut self, site: SiteId) {
         self.tick();
-        self.sink.on_branch(BranchId::new(site, true), self.pos);
+        self.note_branch(BranchId::new(site, true), self.pos);
     }
 
     /// Compares the byte at the cursor against `expected` without
@@ -315,7 +354,7 @@ impl<S: EventSink> ExecCtx<S> {
                 matched,
             },
         );
-        self.sink.on_branch(BranchId::new(site, outcome), self.pos);
+        self.note_branch(BranchId::new(site, outcome), self.pos);
         if !outcome {
             self.pos = start;
         }
@@ -356,7 +395,7 @@ impl<S: EventSink> ExecCtx<S> {
             },
             LazyCmpValue::Str { full: exp, matched },
         );
-        self.sink.on_branch(BranchId::new(site, outcome), self.pos);
+        self.note_branch(BranchId::new(site, outcome), self.pos);
         outcome
     }
 
@@ -637,6 +676,53 @@ mod tests {
         // cursor now at end; a fresh check accepts
         let mut ctx2 = ExecCtx::new(b"");
         assert!(ctx2.expect_end().is_ok());
+    }
+
+    #[test]
+    fn crash_dedup_key_depends_on_sites_not_input_bytes() {
+        // the same comparison path over different inputs fingerprints
+        // identically: the key is a function of *where* execution went,
+        // not of what bytes drove it there
+        fn walk(ctx: &mut ExecCtx) {
+            crate::lit!(ctx, b'a');
+            crate::lit!(ctx, b'b');
+        }
+        let mut a = ExecCtx::new(b"ab");
+        walk(&mut a);
+        let mut b = ExecCtx::new(b"zz");
+        walk(&mut b);
+        assert_eq!(a.crash_dedup_key(), b.crash_dedup_key());
+    }
+
+    #[test]
+    fn crash_dedup_key_separates_distinct_site_paths() {
+        let mut a = ExecCtx::new(b"a");
+        crate::lit!(a, b'a');
+        let mut b = ExecCtx::new(b"a");
+        crate::lit!(b, b'a');
+        crate::cov!(b);
+        assert_ne!(a.crash_dedup_key(), b.crash_dedup_key());
+        // and the empty tail has a stable key of its own
+        assert_eq!(
+            ExecCtx::new(b"").crash_dedup_key(),
+            ExecCtx::new(b"xyz").crash_dedup_key()
+        );
+    }
+
+    #[test]
+    fn crash_dedup_key_windows_to_the_tail() {
+        // histories that differ only before the last SITE_TAIL_LEN
+        // branches fingerprint identically
+        fn spin_cov(ctx: &mut ExecCtx, times: usize) {
+            for _ in 0..times {
+                crate::cov!(ctx); // one site, hit repeatedly
+            }
+        }
+        let mut a = ExecCtx::new(b"");
+        spin_cov(&mut a, SITE_TAIL_LEN + 1);
+        let mut b = ExecCtx::new(b"");
+        spin_cov(&mut b, SITE_TAIL_LEN + 17);
+        assert_eq!(a.crash_dedup_key(), b.crash_dedup_key());
     }
 
     #[test]

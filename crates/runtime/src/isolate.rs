@@ -1,0 +1,129 @@
+//! Panic isolation: run a closure, converting an unwind into an error.
+//!
+//! The paper's subjects are external C programs whose crashes are
+//! process exits the fuzzer observes from outside; here subjects run in
+//! the fuzzer's own process, so a panicking parser would otherwise tear
+//! down the whole campaign. [`catch_silent`] is the single chokepoint
+//! that turns an unwind into a [`String`] payload — used by
+//! [`Subject`](crate::Subject) around every entry-point call and by the
+//! evaluation supervisor around whole campaign cells.
+//!
+//! The default panic hook prints a backtrace to stderr for every panic,
+//! which would flood the output of a chaos campaign injecting thousands
+//! of expected crashes. The first `catch_silent` call chains a hook that
+//! stays silent while (and only while) a `catch_silent` frame is active
+//! on the current thread; panics outside it print as usual.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+thread_local! {
+    /// Depth of active [`catch_silent`] frames on this thread.
+    static SUPPRESS_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+static INSTALL: Once = Once::new();
+
+fn install_quiet_hook() {
+    INSTALL.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_DEPTH.with(Cell::get) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f`, catching any panic and returning its message as `Err`.
+///
+/// The panic hook is suppressed for the duration of the call (on this
+/// thread only), so expected subject crashes do not spam stderr. Nesting
+/// is supported: the supervisor wraps whole campaigns which in turn wrap
+/// individual subject executions.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: every caller hands in
+/// state (an [`ExecCtx`](crate::ExecCtx), a campaign report) that it
+/// either discards on `Err` or reads only through fields whose invariants
+/// hold at every event boundary, so observing the post-panic state is
+/// sound.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::catch_silent;
+/// let ok: Result<u32, String> = catch_silent(|| 41 + 1);
+/// assert_eq!(ok, Ok(42));
+/// let err = catch_silent(|| -> u32 { panic!("boom {}", 7) });
+/// assert_eq!(err, Err("boom 7".to_string()));
+/// ```
+pub fn catch_silent<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    install_quiet_hook();
+    struct DepthGuard;
+    impl Drop for DepthGuard {
+        fn drop(&mut self) {
+            SUPPRESS_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    SUPPRESS_DEPTH.with(|d| d.set(d.get() + 1));
+    let _guard = DepthGuard;
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(panic_message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_return_value() {
+        assert_eq!(catch_silent(|| "x".to_string()), Ok("x".to_string()));
+    }
+
+    #[test]
+    fn captures_str_and_string_payloads() {
+        assert_eq!(
+            catch_silent(|| -> () { panic!("static message") }),
+            Err("static message".to_string())
+        );
+        let n = 3;
+        assert_eq!(
+            catch_silent(|| -> () { panic!("formatted {n}") }),
+            Err("formatted 3".to_string())
+        );
+    }
+
+    #[test]
+    fn nested_catches_restore_suppression() {
+        let outer = catch_silent(|| {
+            let inner = catch_silent(|| -> () { panic!("inner") });
+            assert_eq!(inner, Err("inner".to_string()));
+            // still inside the outer frame: depth must be back to 1
+            SUPPRESS_DEPTH.with(Cell::get)
+        });
+        assert_eq!(outer, Ok(1));
+        assert_eq!(SUPPRESS_DEPTH.with(Cell::get), 0);
+    }
+
+    #[test]
+    fn state_mutated_before_panic_is_observable() {
+        let mut count = 0u32;
+        let r = catch_silent(|| {
+            count += 1;
+            panic!("after increment");
+        });
+        assert!(r.is_err());
+        assert_eq!(count, 1);
+    }
+}

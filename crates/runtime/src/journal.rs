@@ -160,7 +160,10 @@ impl fmt::Display for JournalError {
 
 const HEADER: &str = "pdf-journal v1";
 
-fn hex_encode(bytes: &[u8]) -> String {
+/// Lowercase hex of a byte string, two digits per byte. The byte-string
+/// encoding shared by the journal codec and the campaign checkpoint
+/// codec in `pdf-core`.
+pub fn hex_encode(bytes: &[u8]) -> String {
     let mut s = String::with_capacity(bytes.len() * 2);
     for b in bytes {
         use std::fmt::Write as _;
@@ -169,7 +172,8 @@ fn hex_encode(bytes: &[u8]) -> String {
     s
 }
 
-fn hex_decode(s: &str) -> Option<Vec<u8>> {
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if !s.len().is_multiple_of(2) {
         return None;
     }

@@ -51,6 +51,7 @@ mod corpus;
 mod coverage;
 mod ctx;
 mod events;
+mod isolate;
 mod journal;
 mod rng;
 mod sink;
@@ -61,15 +62,18 @@ mod taint;
 
 pub use corpus::distill;
 pub use coverage::{BranchId, BranchSet};
-pub use ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
+pub use ctx::{ExecCtx, ParseError, DEFAULT_FUEL, SITE_TAIL_LEN};
 pub use events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue};
-pub use journal::{digest_bytes, CellRecord, Digest, Journal, JournalError};
+pub use isolate::catch_silent;
+pub use journal::{
+    digest_bytes, hex_decode, hex_encode, CellRecord, Digest, Journal, JournalError,
+};
 pub use rng::Rng;
 pub use sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
 pub use site::SiteId;
 pub use stats::{PhaseClock, RunStats};
 pub use subject::{
     CovExecution, CoverageSubjectFn, Execution, FailureExecution, LastFailureSubjectFn, Subject,
-    SubjectFn,
+    SubjectFn, Verdict,
 };
 pub use taint::TStr;

@@ -128,6 +128,17 @@ impl Rng {
     pub fn fork(&mut self) -> Rng {
         Rng::new(self.next_u64())
     }
+
+    /// Discards `n` draws, fast-forwarding the generator — the draw
+    /// count and rolling digest advance exactly as if the values had
+    /// been consumed. Used by campaign resume: a checkpoint records the
+    /// draw count, and a fresh generator skipped to it continues the
+    /// stream byte-identically.
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_u64();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +229,19 @@ mod tests {
         a.next_u64();
         assert_ne!(a.stream_digest(), b.stream_digest());
         assert_eq!(a.draw_count(), b.draw_count() + 1);
+    }
+
+    #[test]
+    fn skip_fast_forwards_the_stream() {
+        let mut consumed = Rng::new(17);
+        for _ in 0..37 {
+            consumed.next_u64();
+        }
+        let mut skipped = Rng::new(17);
+        skipped.skip(37);
+        assert_eq!(skipped.draw_count(), 37);
+        assert_eq!(skipped.stream_digest(), consumed.stream_digest());
+        assert_eq!(skipped.next_u64(), consumed.next_u64());
     }
 
     #[test]

@@ -17,6 +17,18 @@ pub struct RunStats {
     pub events: u64,
     /// Valid inputs found.
     pub valid_inputs: u64,
+    /// Executions that exhausted their fuel budget
+    /// ([`Verdict::Hang`](crate::Verdict::Hang)).
+    pub hangs: u64,
+    /// Executions that panicked and were caught
+    /// ([`Verdict::Crash`](crate::Verdict::Crash)).
+    pub crashes: u64,
+    /// Supervisor-level retries this outcome took before completing
+    /// (zero for a first-attempt success). Set by the evaluation
+    /// supervisor, not by the campaign itself, and excluded from all
+    /// campaign digests: a replayed cell runs the recorded attempt
+    /// directly and legitimately retries zero times.
+    pub retries: u64,
     /// Depth of the work queue when the run ended.
     pub queue_depth: usize,
     /// Random decisions drawn over the run (replay-relevant randomness:
@@ -50,12 +62,16 @@ impl RunStats {
         let _ = write!(
             s,
             "\"executions\":{},\"execs_per_sec\":{:.1},\"events\":{},\
-             \"valid_inputs\":{},\"queue_depth\":{},\"decisions\":{},\
+             \"valid_inputs\":{},\"hangs\":{},\"crashes\":{},\"retries\":{},\
+             \"queue_depth\":{},\"decisions\":{},\
              \"decision_digest\":\"{:016x}\",\"wall_secs\":{:.6},\"phases\":{{",
             self.executions,
             self.execs_per_sec(),
             self.events,
             self.valid_inputs,
+            self.hangs,
+            self.crashes,
+            self.retries,
             self.queue_depth,
             self.decisions,
             self.decision_digest,
@@ -141,6 +157,9 @@ mod tests {
             executions: 10,
             events: 100,
             valid_inputs: 2,
+            hangs: 4,
+            crashes: 5,
+            retries: 1,
             queue_depth: 3,
             decisions: 17,
             decision_digest: 0xabcd,
@@ -151,6 +170,9 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"executions\":10"));
         assert!(json.contains("\"execs_per_sec\":20.0"));
+        assert!(json.contains("\"hangs\":4"));
+        assert!(json.contains("\"crashes\":5"));
+        assert!(json.contains("\"retries\":1"));
         assert!(json.contains("\"decisions\":17"));
         assert!(json.contains("\"decision_digest\":\"000000000000abcd\""));
         assert!(json.contains("\"phases\":{\"execute\":0.400000,\"schedule\":0.100000}"));

@@ -4,6 +4,7 @@ use std::fmt;
 
 use crate::ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
 use crate::events::ExecLog;
+use crate::isolate::catch_silent;
 use crate::sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
 
 /// The type of an instrumented parser entry point (full-log sink).
@@ -15,14 +16,77 @@ pub type CoverageSubjectFn = fn(&mut ExecCtx<CoverageOnly>) -> Result<(), ParseE
 /// A parser entry point monomorphised for the last-failure sink.
 pub type LastFailureSubjectFn = fn(&mut ExecCtx<LastFailure>) -> Result<(), ParseError>;
 
-/// The result of running a subject on one input: the accept/reject verdict
-/// (the paper's process exit code) plus the instrumentation log.
+/// How one subject execution ended — the paper's process exit status,
+/// refined into a four-point lattice. Accept and reject are the normal
+/// parser outcomes; a hang is a run that exhausted its fuel budget (the
+/// in-process analogue of a timeout kill); a crash is a panic that
+/// unwound out of the subject and was caught at the
+/// [`Subject`] chokepoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The input was accepted as valid.
+    Accept,
+    /// The parser rejected the input.
+    Reject {
+        /// The parser's rejection message.
+        msg: String,
+    },
+    /// The run exhausted its fuel budget before finishing. Takes
+    /// precedence over accept/reject: whatever the parser returned after
+    /// running out of fuel is an artifact of the starved reads, not a
+    /// judgement about the input.
+    Hang,
+    /// The subject panicked; the panic was caught and the campaign
+    /// continues.
+    Crash {
+        /// The panic message.
+        panic_msg: String,
+        /// Stable crash fingerprint: FNV-1a over the tail of recorded
+        /// sites (see [`ExecCtx::crash_dedup_key`]). Two crashes with
+        /// equal keys died at the same place via the same approach.
+        dedup_key: u64,
+    },
+}
+
+impl Verdict {
+    /// Whether the input was accepted.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, Verdict::Accept)
+    }
+
+    /// Whether the run exhausted its fuel.
+    pub fn is_hang(&self) -> bool {
+        matches!(self, Verdict::Hang)
+    }
+
+    /// Whether the subject panicked.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Verdict::Crash { .. })
+    }
+
+    /// The failure message for non-accepting verdicts, `None` on accept.
+    /// Hangs and crashes carry stable prefixes (`"hang: "` / `"crash: "`)
+    /// so downstream triage can classify from the message alone.
+    pub fn error(&self) -> Option<String> {
+        match self {
+            Verdict::Accept => None,
+            Verdict::Reject { msg } => Some(msg.clone()),
+            Verdict::Hang => Some("hang: fuel exhausted".to_string()),
+            Verdict::Crash { panic_msg, .. } => Some(format!("crash: {panic_msg}")),
+        }
+    }
+}
+
+/// The result of running a subject on one input: the verdict (the
+/// paper's process exit code) plus the instrumentation log.
 #[derive(Debug, Clone)]
 pub struct Execution {
     /// Whether the input was accepted as valid.
     pub valid: bool,
     /// Rejection message, when invalid.
     pub error: Option<String>,
+    /// How the run ended (accept / reject / hang / crash).
+    pub verdict: Verdict,
     /// The recorded event streams.
     pub log: ExecLog,
 }
@@ -34,6 +98,8 @@ pub struct CovExecution {
     pub valid: bool,
     /// Rejection message, when invalid.
     pub error: Option<String>,
+    /// How the run ended (accept / reject / hang / crash).
+    pub verdict: Verdict,
     /// The coverage summary of the run.
     pub cov: CovSummary,
 }
@@ -45,6 +111,8 @@ pub struct FailureExecution {
     pub valid: bool,
     /// Rejection message, when invalid.
     pub error: Option<String>,
+    /// How the run ended (accept / reject / hang / crash).
+    pub verdict: Verdict,
     /// The failure summary of the run.
     pub failure: FailureSummary,
 }
@@ -84,11 +152,21 @@ pub struct Subject {
     fuel: u64,
 }
 
-fn verdict(result: Result<(), ParseError>, hung: bool) -> (bool, Option<String>) {
+fn classify(
+    result: Result<Result<(), ParseError>, String>,
+    ctx_hung: bool,
+    dedup_key: u64,
+) -> Verdict {
     match result {
-        Ok(()) if !hung => (true, None),
-        Ok(()) => (false, Some("hang: fuel exhausted".to_string())),
-        Err(e) => (false, Some(e.message().to_string())),
+        Err(panic_msg) => Verdict::Crash {
+            panic_msg,
+            dedup_key,
+        },
+        Ok(_) if ctx_hung => Verdict::Hang,
+        Ok(Ok(())) => Verdict::Accept,
+        Ok(Err(e)) => Verdict::Reject {
+            msg: e.message().to_string(),
+        },
     }
 }
 
@@ -134,26 +212,56 @@ impl Subject {
         self.coverage_entry.is_some() && self.last_failure_entry.is_some()
     }
 
+    /// The full-log entry point. Exposed so wrapper subjects (e.g. the
+    /// chaos layer in `pdf-subjects`) can delegate to the inner parser.
+    pub fn entry(&self) -> SubjectFn {
+        self.entry
+    }
+
+    /// The coverage-only entry point, when registered.
+    pub fn coverage_entry(&self) -> Option<CoverageSubjectFn> {
+        self.coverage_entry
+    }
+
+    /// The last-failure entry point, when registered.
+    pub fn last_failure_entry(&self) -> Option<LastFailureSubjectFn> {
+        self.last_failure_entry
+    }
+
+    /// The per-run fuel budget.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// The single execution chokepoint: every run of every sink flavour
+    /// goes through here, so panic isolation (the subject runs under
+    /// [`catch_silent`]) and the hang/crash classification are uniform
+    /// across [`run`](Self::run), [`run_coverage`](Self::run_coverage)
+    /// and [`run_last_failure`](Self::run_last_failure).
     fn exec<S: EventSink>(
         &self,
         input: &[u8],
         entry: fn(&mut ExecCtx<S>) -> Result<(), ParseError>,
         sink: S,
-    ) -> (bool, Option<String>, S::Summary) {
+    ) -> (Verdict, S::Summary) {
         let mut ctx = ExecCtx::with_sink(input, self.fuel, sink);
-        let result = entry(&mut ctx);
-        let hung = ctx.exhausted();
-        let (valid, error) = verdict(result, hung);
-        (valid, error, ctx.finish())
+        let result = catch_silent(|| entry(&mut ctx));
+        let verdict = classify(result, ctx.exhausted(), ctx.crash_dedup_key());
+        (verdict, ctx.finish())
     }
 
     /// Runs the subject on `input`, returning verdict and log.
     ///
     /// A run that exhausts its fuel (a hang, in the paper's terms) counts
-    /// as invalid.
+    /// as invalid, as does one that panics (the panic is caught here).
     pub fn run(&self, input: &[u8]) -> Execution {
-        let (valid, error, log) = self.exec(input, self.entry, FullLog::default());
-        Execution { valid, error, log }
+        let (verdict, log) = self.exec(input, self.entry, FullLog::default());
+        Execution {
+            valid: verdict.is_accept(),
+            error: verdict.error(),
+            verdict,
+            log,
+        }
     }
 
     /// Runs the subject with the [`CoverageOnly`] sink: verdict, branch
@@ -161,14 +269,20 @@ impl Subject {
     pub fn run_coverage(&self, input: &[u8]) -> CovExecution {
         match self.coverage_entry {
             Some(entry) => {
-                let (valid, error, cov) = self.exec(input, entry, CoverageOnly::default());
-                CovExecution { valid, error, cov }
+                let (verdict, cov) = self.exec(input, entry, CoverageOnly::default());
+                CovExecution {
+                    valid: verdict.is_accept(),
+                    error: verdict.error(),
+                    verdict,
+                    cov,
+                }
             }
             None => {
                 let exec = self.run(input);
                 CovExecution {
                     valid: exec.valid,
                     error: exec.error,
+                    verdict: exec.verdict,
                     cov: exec.log.coverage_summary(),
                 }
             }
@@ -180,10 +294,11 @@ impl Subject {
     pub fn run_last_failure(&self, input: &[u8]) -> FailureExecution {
         match self.last_failure_entry {
             Some(entry) => {
-                let (valid, error, failure) = self.exec(input, entry, LastFailure::default());
+                let (verdict, failure) = self.exec(input, entry, LastFailure::default());
                 FailureExecution {
-                    valid,
-                    error,
+                    valid: verdict.is_accept(),
+                    error: verdict.error(),
+                    verdict,
                     failure,
                 }
             }
@@ -192,6 +307,7 @@ impl Subject {
                 FailureExecution {
                     valid: exec.valid,
                     error: exec.error,
+                    verdict: exec.verdict,
                     failure: exec.log.failure_summary(),
                 }
             }
@@ -237,7 +353,7 @@ macro_rules! instrument_subject {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lit;
+    use crate::{cov, lit};
 
     fn accept_a<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
         if !lit!(ctx, b'a') {
@@ -317,5 +433,106 @@ mod tests {
         assert!(!s.run(b"x").valid);
         assert!(!s.run_coverage(b"x").valid);
         assert!(!s.run_last_failure(b"x").valid);
+    }
+
+    #[test]
+    fn hang_message_is_uniform_across_sinks() {
+        // satellite: run_coverage / run_last_failure must report fuel
+        // exhaustion exactly like run — including when the parser
+        // technically "rejected" after its reads were starved
+        fn starved<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+            while ctx.tick() {}
+            Err(ctx.reject("spurious reject after starvation"))
+        }
+        let s = instrument_subject!("starved", starved).with_fuel(25);
+        let full = s.run(b"x");
+        let cov = s.run_coverage(b"x");
+        let lf = s.run_last_failure(b"x");
+        for (error, verdict) in [
+            (&full.error, &full.verdict),
+            (&cov.error, &cov.verdict),
+            (&lf.error, &lf.verdict),
+        ] {
+            assert_eq!(error.as_deref(), Some("hang: fuel exhausted"));
+            assert_eq!(*verdict, Verdict::Hang);
+        }
+    }
+
+    #[test]
+    fn panicking_subject_yields_crash_verdict() {
+        fn boom<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+            if lit!(ctx, b'a') {
+                panic!("subject exploded");
+            }
+            ctx.expect_end()
+        }
+        let s = instrument_subject!("boom", boom);
+        let e = s.run(b"a");
+        assert!(!e.valid);
+        let Verdict::Crash {
+            ref panic_msg,
+            dedup_key,
+        } = e.verdict
+        else {
+            panic!("expected crash, got {:?}", e.verdict);
+        };
+        assert_eq!(panic_msg, "subject exploded");
+        assert_eq!(e.error.as_deref(), Some("crash: subject exploded"));
+        // the same crash via every sink carries the same dedup key
+        let cov = s.run_coverage(b"a");
+        let lf = s.run_last_failure(b"a");
+        for v in [&cov.verdict, &lf.verdict] {
+            let Verdict::Crash { dedup_key: k, .. } = v else {
+                panic!("expected crash, got {v:?}");
+            };
+            assert_eq!(*k, dedup_key);
+        }
+        // the non-panicking path still works after a caught crash
+        assert!(!s.run(b"b").valid);
+        assert!(!s.run(b"b").verdict.is_crash());
+    }
+
+    #[test]
+    fn distinct_panic_sites_have_distinct_dedup_keys() {
+        fn two_ways<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+            if lit!(ctx, b'1') {
+                cov!(ctx);
+                panic!("path one");
+            }
+            if lit!(ctx, b'2') {
+                cov!(ctx);
+                panic!("path two");
+            }
+            ctx.expect_end()
+        }
+        let s = instrument_subject!("two-ways", two_ways);
+        let key = |input: &[u8]| match s.run(input).verdict {
+            Verdict::Crash { dedup_key, .. } => dedup_key,
+            v => panic!("expected crash, got {v:?}"),
+        };
+        assert_ne!(key(b"1"), key(b"2"));
+        // same site, same approach: stable key
+        assert_eq!(key(b"1"), key(b"1"));
+    }
+
+    #[test]
+    fn verdict_error_messages() {
+        assert_eq!(Verdict::Accept.error(), None);
+        assert!(Verdict::Accept.is_accept());
+        assert_eq!(
+            Verdict::Reject {
+                msg: "nope".to_string()
+            }
+            .error()
+            .as_deref(),
+            Some("nope")
+        );
+        assert!(Verdict::Hang.is_hang());
+        let crash = Verdict::Crash {
+            panic_msg: "kaboom".to_string(),
+            dedup_key: 7,
+        };
+        assert!(crash.is_crash());
+        assert_eq!(crash.error().as_deref(), Some("crash: kaboom"));
     }
 }

@@ -1,0 +1,100 @@
+//! Property test for crash deduplication: the dedup key is a digest
+//! over the *site tail* of the execution, so input bytes that steer the
+//! parser through the same sites must produce the same key, while
+//! crashes at distinct sites must produce distinct keys.
+
+use proptest::prelude::*;
+
+use pdf_runtime::{cov, instrument_subject, lit, lit_range, SITE_TAIL_LEN};
+use pdf_runtime::{EventSink, ExecCtx, ParseError, Subject, Verdict};
+
+/// Consumes any digit prefix through one loop site, then panics at one
+/// of two distinct sites depending on the terminator.
+fn digits_then_boom<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
+    while lit_range!(ctx, b'0', b'9') {}
+    if lit!(ctx, b'!') {
+        cov!(ctx);
+        panic!("bang");
+    }
+    if lit!(ctx, b'?') {
+        cov!(ctx);
+        panic!("quizzical");
+    }
+    ctx.expect_end()
+}
+
+fn subject() -> Subject {
+    instrument_subject!("digits-then-boom", digits_then_boom)
+}
+
+fn crash_key(s: &Subject, input: &[u8]) -> u64 {
+    match s.run(input).verdict {
+        Verdict::Crash { dedup_key, .. } => dedup_key,
+        v => panic!("expected a crash on {input:?}, got {v:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same site tail, arbitrary input bytes: the key only sees *where*
+    /// the parser went, not which digits drove it there.
+    #[test]
+    fn key_ignores_input_bytes_that_keep_the_site_tail(
+        digits_a in proptest::collection::vec(b'0'..=b'9', 4),
+        digits_b in proptest::collection::vec(b'0'..=b'9', 4),
+    ) {
+        let s = subject();
+        let mut a = digits_a.clone();
+        a.push(b'!');
+        let mut b = digits_b.clone();
+        b.push(b'!');
+        prop_assert_eq!(crash_key(&s, &a), crash_key(&s, &b));
+    }
+
+    /// Once the prefix loop has filled the whole tail window, even the
+    /// *length* of the prefix stops mattering: the last
+    /// [`SITE_TAIL_LEN`] sites are saturated by the loop site.
+    #[test]
+    fn key_windows_to_the_site_tail(
+        len_a in SITE_TAIL_LEN..4 * SITE_TAIL_LEN,
+        len_b in SITE_TAIL_LEN..4 * SITE_TAIL_LEN,
+    ) {
+        let s = subject();
+        let mut a = vec![b'7'; len_a];
+        a.push(b'!');
+        let mut b = vec![b'3'; len_b];
+        b.push(b'!');
+        prop_assert_eq!(crash_key(&s, &a), crash_key(&s, &b));
+    }
+
+    /// Distinct panic sites always get distinct keys, whatever the
+    /// shared prefix was.
+    #[test]
+    fn distinct_sites_get_distinct_keys(
+        digits in proptest::collection::vec(b'0'..=b'9', 0..12),
+    ) {
+        let s = subject();
+        let mut bang = digits.clone();
+        bang.push(b'!');
+        let mut quiz = digits.clone();
+        quiz.push(b'?');
+        prop_assert_ne!(crash_key(&s, &bang), crash_key(&s, &quiz));
+    }
+}
+
+#[test]
+fn key_is_stable_across_runs_and_sinks() {
+    let s = subject();
+    let input = b"123!";
+    let full = crash_key(&s, input);
+    assert_eq!(full, crash_key(&s, input));
+    let Verdict::Crash { dedup_key: cov, .. } = s.run_coverage(input).verdict else {
+        panic!("expected crash");
+    };
+    let Verdict::Crash { dedup_key: lf, .. } = s.run_last_failure(input).verdict else {
+        panic!("expected crash");
+    };
+    assert_eq!(full, cov);
+    assert_eq!(full, lf);
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod arith;
+pub mod chaos;
 pub mod csv;
 pub mod diff;
 pub mod dyck;

@@ -218,6 +218,12 @@ impl KleeFuzzer {
             let subject = &self.subject;
             let exec = clock.time("execute", || subject.run(&state.input));
             report.stats.events += exec.log.events.len() as u64;
+            if exec.verdict.is_hang() {
+                report.stats.hangs += 1;
+            }
+            if exec.verdict.is_crash() {
+                report.stats.crashes += 1;
+            }
             let branches = exec.log.branches();
             report.all_branches.union_with(&branches);
             if exec.valid && branches.difference_size(&report.valid_branches) > 0 {
@@ -325,6 +331,27 @@ mod tests {
     fn respects_exec_budget() {
         let report = run(pdf_subjects::json::subject(), 300);
         assert!(report.execs <= 300);
+    }
+
+    #[test]
+    fn chaos_hangs_and_crashes_are_counted() {
+        // KLEE's concolic frontier dries up after a handful of broken
+        // executions, so use pure-rate configs to pin each counter.
+        use pdf_subjects::chaos::{self, ChaosConfig};
+        let all_panic = ChaosConfig {
+            panic_per_mille: 1000,
+            ..ChaosConfig::silent(13)
+        };
+        let r = run(chaos::wrap(pdf_subjects::csv::subject(), all_panic), 100);
+        assert!(r.execs > 0);
+        assert_eq!(r.stats.crashes, r.execs, "every execution crashes");
+        let all_hang = ChaosConfig {
+            hang_per_mille: 1000,
+            ..ChaosConfig::silent(13)
+        };
+        let r = run(chaos::wrap(pdf_subjects::csv::subject(), all_hang), 100);
+        assert!(r.execs > 0);
+        assert_eq!(r.stats.hangs, r.execs, "every execution hangs");
     }
 
     #[test]
