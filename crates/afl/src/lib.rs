@@ -145,6 +145,7 @@ impl AflFuzzer {
 
     /// Runs the campaign to completion.
     pub fn run(mut self) -> AflReport {
+        let _span = pdf_obs::span("afl.campaign");
         let mut report = AflReport {
             valid_inputs: Vec::new(),
             valid_found_at: Vec::new(),
@@ -177,6 +178,11 @@ impl AflFuzzer {
         let mut det_done = 0usize; // deterministic stages run for queue[..det_done]
         let mut cursor = 0usize;
         while report.execs < self.cfg.max_execs && !queue.is_empty() {
+            pdf_obs::record(|m| {
+                let depth = queue.len() as u64;
+                m.queue_depth.observe(depth);
+                m.queue_depth_now.set(depth);
+            });
             // deterministic stages for entries that have not had them
             if self.cfg.deterministic && det_done < queue.len() {
                 let base = queue[det_done].clone();
@@ -291,7 +297,12 @@ impl AflFuzzer {
         report.all_branches.union_with(&exec.cov.branches);
         if exec.valid {
             report.valid_execs += 1;
-            if exec.cov.branches.difference_size(&report.valid_branches) > 0 {
+            let new_branches = exec.cov.branches.difference_size(&report.valid_branches);
+            if new_branches > 0 {
+                pdf_obs::record(|m| {
+                    m.valid_inputs.inc();
+                    m.new_branches.add(new_branches as u64);
+                });
                 report.valid_branches.union_with(&exec.cov.branches);
                 report.valid_inputs.push(input.to_vec());
                 report.valid_found_at.push(report.execs);

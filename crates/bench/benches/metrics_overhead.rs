@@ -1,0 +1,110 @@
+//! Per-execution overhead of the `pdf-obs` instrumentation on the same
+//! json workload as `sink_overhead`.
+//!
+//! Every `Subject::exec` records two counter increments and two
+//! histogram observations — but only when a registry is installed on
+//! the current thread; otherwise the thread-local lookup short-circuits
+//! and not even the clock is read. This bench quantifies both sides:
+//! `uninstrumented` (no registry, the default for library users),
+//! `instrumented` (registry installed, what `--metrics-out` and
+//! `--progress` enable) and `instrumented_spans` (registry plus a span
+//! per batch, the driver-loop pattern). The observability layer
+//! targets <3% overhead when enabled (see EXPERIMENTS.md for measured
+//! numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use pdf_runtime::{Rng, Subject};
+
+/// Same campaign-like workload mix as `sink_overhead`: short garbage,
+/// growing near-valid prefixes, a few valid inputs.
+fn workload() -> Vec<Vec<u8>> {
+    let mut inputs: Vec<Vec<u8>> = vec![
+        b"{}".to_vec(),
+        b"[1,2,3]".to_vec(),
+        b"{\"key\": [true, false, null]}".to_vec(),
+        b"{\"a\": {\"b\": {\"c\": [1, 2, {\"d\": \"deep\"}]}}}".to_vec(),
+        b"[\"string\", 123, {\"nested\": []}, tru".to_vec(),
+        b"{\"unterminated\": \"str".to_vec(),
+    ];
+    let mut rng = Rng::new(7);
+    let alphabet = b"{}[]\",:0123456789truefalsenull ";
+    for len in 1..=24 {
+        let mut input = Vec::with_capacity(len);
+        for _ in 0..len {
+            input.push(alphabet[rng.gen_range(0, alphabet.len())]);
+        }
+        inputs.push(input);
+    }
+    inputs
+}
+
+fn run_mix(subject: &Subject, inputs: &[Vec<u8>]) -> usize {
+    let mut valid = 0;
+    for input in inputs {
+        valid += usize::from(subject.run_last_failure(input).valid);
+    }
+    valid
+}
+
+/// A heavier, realistic workload: mjs scripts of the kind a campaign
+/// plateaus on. Each exec runs the full tokenizer + parser + interpreter
+/// pipeline, so the fixed per-exec instrumentation cost is amortised.
+fn mjs_workload() -> Vec<Vec<u8>> {
+    vec![
+        b"let x = 1; while (x < 100) { x = x + 7; } print(x);".to_vec(),
+        b"function f(a, b) { return a * b + 3; } let y = f(6, 7); if (y > 40) { print(y); }"
+            .to_vec(),
+        b"let s = 0; for (let i = 0; i < 50; i++) { s = s + i; }".to_vec(),
+        b"let a = [1, 2, 3]; let o = {k: \"v\"}; print(o.k);".to_vec(),
+        b"function g(n) { if (n <= 1) { return 1; } return n * g(n - 1); } print(g(7));".to_vec(),
+        b"let broken = { unclosed: [1, 2".to_vec(),
+    ]
+}
+
+fn bench_workload(c: &mut Criterion, group_name: &str, subject: &Subject, inputs: &[Vec<u8>]) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(30);
+
+    group.bench_function("uninstrumented", |b| {
+        assert!(!pdf_obs::enabled());
+        b.iter(|| run_mix(black_box(subject), black_box(inputs)))
+    });
+
+    group.bench_function("instrumented", |b| {
+        let registry = Arc::new(pdf_obs::MetricsRegistry::new());
+        let _scope = pdf_obs::install(Arc::clone(&registry));
+        b.iter(|| run_mix(black_box(subject), black_box(inputs)))
+    });
+
+    group.bench_function("instrumented_spans", |b| {
+        let registry = Arc::new(pdf_obs::MetricsRegistry::new());
+        let _scope = pdf_obs::install(Arc::clone(&registry));
+        b.iter(|| {
+            let _span = pdf_obs::span("bench.batch");
+            run_mix(black_box(subject), black_box(inputs))
+        })
+    });
+
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    bench_workload(
+        c,
+        "metrics_overhead",
+        &pdf_subjects::json::subject(),
+        &workload(),
+    );
+    bench_workload(
+        c,
+        "metrics_overhead_mjs",
+        &pdf_subjects::mjs::subject(),
+        &mjs_workload(),
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,9 +23,27 @@ pub const DEADLINE_CHECK_INTERVAL: u64 = 64;
 
 /// When [`Fuzzer::run_until`](crate::Fuzzer::run_until) should pause.
 ///
-/// Both limits are optional; the default ([`unbounded`]
-/// (CampaignBudget::unbounded)) never pauses and runs the campaign to
-/// completion.
+/// Both limits are optional; the default
+/// ([`unbounded`](CampaignBudget::unbounded)) never pauses and runs the
+/// campaign to completion.
+///
+/// # Example
+///
+/// Pause a campaign every 500 executions (to checkpoint, inspect, or
+/// just breathe) until it finishes:
+///
+/// ```
+/// use pdf_core::{CampaignBudget, DriverConfig, Fuzzer};
+///
+/// let cfg = DriverConfig { seed: 1, max_execs: 2_000, ..DriverConfig::default() };
+/// let mut fuzzer = Fuzzer::new(pdf_subjects::csv::subject(), cfg);
+/// let mut pauses = 0;
+/// while !fuzzer.run_until(&CampaignBudget::execs(fuzzer.execs() + 500)).is_finished() {
+///     pauses += 1; // a checkpoint could be taken here
+/// }
+/// assert!(pauses >= 3);
+/// assert_eq!(fuzzer.into_report().execs, 2_000);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignBudget {
     /// Pause once the campaign's *total* execution count (across all

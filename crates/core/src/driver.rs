@@ -173,6 +173,21 @@ impl CampaignState {
 /// run to completion in one call ([`run`](Self::run)) or incrementally
 /// under a [`CampaignBudget`] ([`run_until`](Self::run_until)), pausing
 /// for inspection and [checkpointing](Self::checkpoint_to) in between.
+///
+/// Every random byte the driver draws flows through one chokepoint and
+/// is journaled, so a campaign re-driven from its recorded decision
+/// stream ([`replaying`](Self::replaying)) — with no RNG at all —
+/// reproduces the original report byte for byte:
+///
+/// ```
+/// use pdf_core::{DriverConfig, Fuzzer};
+///
+/// let cfg = DriverConfig { seed: 3, max_execs: 800, ..DriverConfig::default() };
+/// let subject = pdf_subjects::csv::subject();
+/// let recorded = Fuzzer::new(subject, cfg.clone()).run();
+/// let replayed = Fuzzer::replaying(subject, cfg, recorded.decisions.clone()).run();
+/// assert_eq!(recorded.digest(), replayed.digest());
+/// ```
 #[derive(Debug)]
 pub struct Fuzzer {
     subject: Subject,
@@ -245,6 +260,14 @@ impl Fuzzer {
         };
         self.decisions.push(b);
         b
+    }
+
+    /// Total subject executions the campaign has spent so far, across
+    /// all [`run_until`](Self::run_until) calls. Useful for expressing
+    /// relative pause points ("another 500 execs from here") with
+    /// [`CampaignBudget::execs`].
+    pub fn execs(&self) -> u64 {
+        self.state.report.execs
     }
 
     /// Runs the campaign to completion and reports the results.
@@ -342,6 +365,7 @@ impl Fuzzer {
                 }
                 let mut extended = st.current.clone();
                 extended.push(self.next_byte());
+                pdf_obs::record(|m| m.appends.inc());
                 let exec2 = clock.time("execute", || self.execute(&mut st.report, &extended));
                 let accepted2 =
                     self.run_check(&mut st.report, &mut st.queue, &extended, &exec2, st.parents);
@@ -362,6 +386,7 @@ impl Fuzzer {
                         // comparison constrains it (Figure 1, step 3:
                         // "we append another random character") — give
                         // the prefix another draw later.
+                        pdf_obs::record(|m| m.eof_extensions.inc());
                         st.queue.push(
                             QueueEntry {
                                 input: st.current.clone(),
@@ -382,6 +407,7 @@ impl Fuzzer {
             let st_report = &st.report;
             let search = self.cfg.search;
             let next = clock.time("schedule", || {
+                let _span = pdf_obs::span("driver.pick");
                 if st_queue.len() > QUEUE_HIGH_WATER {
                     st_queue.shrink(QUEUE_LOW_WATER, &st_report.valid_branches);
                 }
@@ -391,6 +417,11 @@ impl Fuzzer {
                     SearchMode::BreadthFirst => st_queue.pop_oldest(),
                 }
             });
+            pdf_obs::record(|m| {
+                let depth = st.queue.len() as u64;
+                m.queue_depth.observe(depth);
+                m.queue_depth_now.set(depth);
+            });
             match next {
                 Some(entry) => {
                     st.current = entry.input;
@@ -399,6 +430,7 @@ impl Fuzzer {
                 None => {
                     st.current = vec![self.next_byte()];
                     st.parents = 0;
+                    pdf_obs::record(|m| m.restarts.inc());
                 }
             }
         }
@@ -631,6 +663,7 @@ impl Fuzzer {
     }
 
     fn execute(&mut self, report: &mut FuzzReport, input: &[u8]) -> FailureExecution {
+        let _span = pdf_obs::span("driver.exec");
         report.execs += 1;
         let exec = match self.cfg.sink {
             SinkMode::LastFailure => self.subject.run_last_failure(input),
@@ -667,9 +700,15 @@ impl Fuzzer {
         exec: &FailureExecution,
         parents: usize,
     ) -> bool {
+        let _span = pdf_obs::span("driver.classify");
         let summary = &exec.failure;
         queue.note_path(summary.path_hash);
-        if exec.valid && summary.branches.difference_size(&report.valid_branches) > 0 {
+        let new_branches = summary.branches.difference_size(&report.valid_branches);
+        if exec.valid && new_branches > 0 {
+            pdf_obs::record(|m| {
+                m.valid_inputs.inc();
+                m.new_branches.add(new_branches as u64);
+            });
             // validInp (lines 37–45)
             report.valid_inputs.push(input.to_vec());
             report.valid_found_at.push(report.execs);
@@ -694,6 +733,7 @@ impl Fuzzer {
         parents: usize,
         report: &FuzzReport,
     ) {
+        let _span = pdf_obs::span("driver.enqueue");
         if input.len() > self.cfg.max_input_len {
             return;
         }
@@ -701,6 +741,7 @@ impl Fuzzer {
             // ablation: never substitute, only grow
             let mut grown = input.to_vec();
             grown.push(self.next_byte());
+            pdf_obs::record(|m| m.appends.inc());
             queue.push(
                 QueueEntry {
                     input: grown,
@@ -714,6 +755,7 @@ impl Fuzzer {
             );
             return;
         }
+        let mut pushed: u64 = 0;
         for cand in &summary.candidates {
             // Replace from the rejection point on: everything after the
             // first invalid character is garbage by definition.
@@ -722,6 +764,7 @@ impl Fuzzer {
             if new_input.len() > self.cfg.max_input_len {
                 continue;
             }
+            pushed += 1;
             queue.push(
                 QueueEntry {
                     input: new_input,
@@ -733,6 +776,9 @@ impl Fuzzer {
                 },
                 &report.valid_branches,
             );
+        }
+        if pushed > 0 {
+            pdf_obs::record(|m| m.substitutions.add(pushed));
         }
     }
 
@@ -1200,6 +1246,33 @@ mod tests {
         let b = Fuzzer::new(subject, cfg).run();
         assert_eq!(a.stats.crashes, b.stats.crashes);
         assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_campaign() {
+        // the pdf-obs determinism contract: a campaign with a registry
+        // installed makes byte-identical decisions and the registry's
+        // exec counters agree with the report
+        let plain = run_arith(7, 1_500);
+        let reg = std::sync::Arc::new(pdf_obs::MetricsRegistry::new());
+        let _scope = pdf_obs::install(std::sync::Arc::clone(&reg));
+        let observed = run_arith(7, 1_500);
+        assert_eq!(plain.digest(), observed.digest());
+        assert_eq!(plain.decisions, observed.decisions);
+        assert_eq!(reg.execs.get(), observed.execs);
+        assert_eq!(reg.valid_inputs.get(), observed.valid_inputs.len() as u64);
+        assert!(reg.snapshot().check_identities().is_ok());
+        for name in [
+            "driver.pick",
+            "driver.exec",
+            "driver.classify",
+            "driver.enqueue",
+        ] {
+            assert!(
+                reg.span_stat(name).is_some_and(|s| s.count > 0),
+                "span {name} was never recorded"
+            );
+        }
     }
 
     #[test]

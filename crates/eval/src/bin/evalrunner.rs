@@ -3,6 +3,7 @@
 //!                   [--jobs N] [--stats-out PATH]
 //!                   [--record PATH] [--replay PATH]
 //!                   [--max-retries N] [--chaos SEED]
+//!                   [--metrics-out PATH] [--progress]
 //!
 //! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
 //! worker threads; results are identical to `--jobs 1`. `--stats-out`
@@ -14,11 +15,29 @@
 //! cell supervisor's retry budget for crashed or fuel-hung cells;
 //! `--chaos SEED` runs the matrix on chaos-wrapped subjects (injected
 //! panics, fuel burns, flaky rejections) to exercise the supervisor.
+//!
+//! `--metrics-out PATH` writes the final campaign-wide metrics snapshot
+//! (`pdf-metrics v1` text codec); `--progress` prints a live one-line
+//! stderr ticker (execs/s, valid inputs, queue depth, poisoned cells)
+//! about once per second. Both are observe-only: they read relaxed
+//! atomic counters and never touch the fuzzers' random-byte chokepoint,
+//! so enabling them cannot change any campaign result or replay digest.
+
+use std::sync::Arc;
 
 fn main() {
+    let registry = Arc::new(pdf_obs::MetricsRegistry::new());
+    let _metrics = pdf_obs::install(Arc::clone(&registry));
+    let ticker = pdf_eval::progress_from_args()
+        .then(|| pdf_eval::ProgressTicker::start(Arc::clone(&registry)));
+    let metrics_out = pdf_eval::metrics_out_from_args();
+
     if let Some(path) = pdf_eval::replay_path_from_args() {
         let jobs = pdf_eval::jobs_from_args();
-        std::process::exit(replay(&path, jobs));
+        let code = replay(&path, jobs);
+        drop(ticker);
+        write_metrics(metrics_out.as_deref(), &registry);
+        std::process::exit(code);
     }
     let budget = pdf_eval::budget_from_args(30_000);
     let jobs = pdf_eval::jobs_from_args();
@@ -50,7 +69,8 @@ fn main() {
         sup.max_retries,
     );
     let per_cell = pdf_eval::run_cells_supervised(&cells, jobs, &sup);
-    eprintln!("{}", pdf_eval::supervision_summary(&per_cell));
+    drop(ticker);
+    println!("{}", pdf_eval::render_supervision(&per_cell));
     if let Some(path) = &record_out {
         let journal = pdf_eval::journal_of(&cells, &per_cell);
         match std::fs::write(path, journal.encode()) {
@@ -91,6 +111,13 @@ fn main() {
         "{}",
         pdf_eval::render_headline(&pdf_eval::headline_aggregates(&outcomes))
     );
+    write_metrics(metrics_out.as_deref(), &registry);
+}
+
+fn write_metrics(path: Option<&std::path::Path>, registry: &pdf_obs::MetricsRegistry) {
+    if let Some(path) = path {
+        pdf_eval::write_metrics_snapshot(path, registry);
+    }
 }
 
 fn replay(path: &std::path::Path, jobs: usize) -> i32 {

@@ -5,7 +5,7 @@
 //!
 //! Usage: replaycheck [--execs N] [--seeds a,b,c] [--afl-mult N]
 //!                    [--jobs N] [--record PATH] [--replay PATH]
-//!                    [--resume-at N]
+//!                    [--resume-at N] [--metrics-out PATH] [--progress]
 //!
 //! With `--replay PATH` an existing journal is checked instead of
 //! recording a fresh one. With `--record PATH` the recorded journal is
@@ -14,7 +14,9 @@
 //! executions, checkpointed through the text codec, resumed, and its
 //! final digest compared against the uninterrupted campaign. Exits 0
 //! when every cell replays byte-identically, 1 on any divergence, 2 on
-//! I/O or decode errors.
+//! I/O or decode errors. `--metrics-out PATH` writes the final
+//! `pdf-metrics v1` snapshot; `--progress` prints a live stderr ticker.
+//! Both are observe-only and cannot change any digest.
 
 use pdf_core::{CampaignBudget, Checkpoint, DriverConfig, Fuzzer};
 
@@ -76,12 +78,25 @@ fn resume_selftest(pause_at: u64, budget: &pdf_eval::EvalBudget) -> usize {
 }
 
 fn main() {
+    let registry = std::sync::Arc::new(pdf_obs::MetricsRegistry::new());
+    let _metrics = pdf_obs::install(std::sync::Arc::clone(&registry));
+    let ticker = pdf_eval::progress_from_args()
+        .then(|| pdf_eval::ProgressTicker::start(std::sync::Arc::clone(&registry)));
+    let code = run();
+    drop(ticker);
+    if let Some(path) = pdf_eval::metrics_out_from_args() {
+        pdf_eval::write_metrics_snapshot(&path, &registry);
+    }
+    std::process::exit(code);
+}
+
+fn run() -> i32 {
     let jobs = pdf_eval::jobs_from_args();
     if let Some(pause_at) = pdf_eval::resume_at_from_args() {
         let budget = pdf_eval::budget_from_args(2_000);
         if resume_selftest(pause_at, &budget) > 0 {
             eprintln!("resume self-test FAILED");
-            std::process::exit(1);
+            return 1;
         }
     }
     let journal = match pdf_eval::replay_path_from_args() {
@@ -90,14 +105,14 @@ fn main() {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("cannot read {}: {e}", path.display());
-                    std::process::exit(2);
+                    return 2;
                 }
             };
             match pdf_runtime::Journal::decode(&text) {
                 Ok(j) => j,
                 Err(e) => {
                     eprintln!("cannot decode {}: {e}", path.display());
-                    std::process::exit(2);
+                    return 2;
                 }
             }
         }
@@ -117,7 +132,7 @@ fn main() {
                     Ok(()) => eprintln!("journal written to {}", path.display()),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());
-                        std::process::exit(2);
+                        return 2;
                     }
                 }
             }
@@ -126,11 +141,11 @@ fn main() {
                 Ok(decoded) if decoded == journal => decoded,
                 Ok(_) => {
                     eprintln!("journal text round-trip altered the recording");
-                    std::process::exit(2);
+                    return 2;
                 }
                 Err(e) => {
                     eprintln!("journal text round-trip failed: {e}");
-                    std::process::exit(2);
+                    return 2;
                 }
             }
         }
@@ -143,7 +158,7 @@ fn main() {
     let report = pdf_eval::replay_journal(&journal, jobs);
     if report.is_clean() {
         eprintln!("replay clean: {} cells byte-identical", report.cells);
-        std::process::exit(0);
+        return 0;
     }
     for d in &report.diffs {
         eprintln!("{}", d.describe());
@@ -153,5 +168,5 @@ fn main() {
         report.diffs.len(),
         report.cells
     );
-    std::process::exit(1);
+    1
 }

@@ -29,6 +29,7 @@
 
 mod coverage;
 mod experiments;
+mod progress;
 mod render;
 mod replay;
 mod runner;
@@ -38,9 +39,10 @@ pub use experiments::{
     fig1_walkthrough, fig2_coverage, fig3_tokens, headline_aggregates, run_matrix, run_matrix_jobs,
     table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow,
 };
+pub use progress::ProgressTicker;
 pub use render::{
     fig2_csv, fig3_csv, headline_csv, render_discovery, render_fig2, render_fig3, render_headline,
-    render_table1, render_token_table,
+    render_supervision, render_table1, render_token_table,
 };
 pub use replay::{
     cell_config_hash, journal_of, record_cells, replay_journal, CellDiff, ReplayReport,
@@ -155,6 +157,21 @@ pub fn chaos_seed_from_args() -> Option<u64> {
     None
 }
 
+/// Parses `--metrics-out PATH` from the command line: where to write
+/// the final [`pdf_obs::MetricsSnapshot`] in its `pdf-metrics v1` text
+/// encoding after the run completes.
+pub fn metrics_out_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--metrics-out")
+}
+
+/// Parses the `--progress` flag from the command line: when present,
+/// the binaries print a live one-line stderr ticker (execs/s, valid
+/// inputs, queue depth, poisoned cells) roughly once per second while
+/// the matrix runs.
+pub fn progress_from_args() -> bool {
+    std::env::args().skip(1).any(|a| a == "--progress")
+}
+
 /// Parses `--resume-at N` from the command line: when present,
 /// `replaycheck` first runs a kill-and-resume self-test pausing every
 /// pFuzzer cell after N executions.
@@ -166,6 +183,26 @@ pub fn resume_at_from_args() -> Option<u64> {
         }
     }
     None
+}
+
+/// Writes `registry`'s snapshot to `path` in the `pdf-metrics v1` text
+/// encoding, first checking the counter identities that hold by
+/// construction (verdict counts sum to executions, histogram counts
+/// match). Identity violations and I/O failures are reported on stderr
+/// but never abort the run — metrics are observe-only all the way out.
+pub fn write_metrics_snapshot(path: &std::path::Path, registry: &pdf_obs::MetricsRegistry) {
+    let snapshot = registry.snapshot();
+    if let Err(e) = snapshot.check_identities() {
+        eprintln!("metrics identity violation: {e}");
+    }
+    match std::fs::write(path, snapshot.encode()) {
+        Ok(()) => eprintln!(
+            "wrote metrics snapshot ({} execs) to {}",
+            registry.execs.get(),
+            path.display()
+        ),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
 }
 
 fn path_arg(flag: &str) -> Option<std::path::PathBuf> {

@@ -1,0 +1,94 @@
+//! Live campaign progress: a background thread that samples the
+//! installed [`pdf_obs::MetricsRegistry`] about once per second and
+//! prints a one-line ticker to stderr.
+//!
+//! The ticker only *reads* relaxed atomic counters — it never touches
+//! the fuzzer's random-byte chokepoint or any campaign state, so
+//! enabling `--progress` cannot perturb a recorded run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Background stderr ticker over a shared metrics registry.
+///
+/// Construct with [`ProgressTicker::start`]; the reporting thread stops
+/// and is joined when the ticker is dropped (printing one final line so
+/// short runs still produce output).
+pub struct ProgressTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressTicker {
+    /// Spawns the ticker thread sampling `registry` roughly once per
+    /// second until the returned handle is dropped.
+    pub fn start(registry: Arc<pdf_obs::MetricsRegistry>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut last_execs = 0u64;
+            let mut last_tick = started;
+            loop {
+                let stopping = stop2.load(Ordering::Relaxed);
+                let now = Instant::now();
+                let execs = registry.execs.get();
+                let dt = now.duration_since(last_tick).as_secs_f64();
+                let rate = if dt > 0.0 {
+                    (execs.saturating_sub(last_execs)) as f64 / dt
+                } else {
+                    0.0
+                };
+                eprintln!(
+                    "[progress +{:>4}s] execs {execs} ({rate:.0}/s) | valid {} | new branches {} | queue {} | cells {} done / {} poisoned / {} retried",
+                    started.elapsed().as_secs(),
+                    registry.valid_inputs.get(),
+                    registry.new_branches.get(),
+                    registry.queue_depth_now.get(),
+                    registry.cells_completed.get(),
+                    registry.cells_poisoned.get(),
+                    registry.cell_retries.get(),
+                );
+                if stopping {
+                    break;
+                }
+                last_execs = execs;
+                last_tick = now;
+                // Sleep in short slices so drop() never waits a full second.
+                for _ in 0..10 {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        });
+        ProgressTicker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticker_starts_and_stops_cleanly() {
+        let reg = Arc::new(pdf_obs::MetricsRegistry::default());
+        reg.execs.add(42);
+        let ticker = ProgressTicker::start(Arc::clone(&reg));
+        drop(ticker); // must join without hanging
+    }
+}

@@ -3,7 +3,7 @@
 use pdf_tokens::TokenInventory;
 
 use crate::experiments::{DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow};
-use crate::runner::Tool;
+use crate::runner::{CellOutcome, Tool};
 
 /// Renders Table 1 as aligned text.
 pub fn render_table1(rows: &[(&'static str, &'static str, usize)]) -> String {
@@ -102,6 +102,67 @@ pub fn render_headline(rows: &[HeadlineRow]) -> String {
             row.long_pct(),
         ));
     }
+    out
+}
+
+/// Renders the per-cell supervision table: hung and crashed executions
+/// the supervisor absorbed, cell retry attempts, and whether the cell
+/// completed or was poisoned. Only cells with something to report (a
+/// nonzero counter or a poisoned verdict) get a row; a totals line
+/// always closes the table, so the counters previously visible only in
+/// the `--stats-out` JSON also appear in the human-readable output.
+pub fn render_supervision(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::from("Supervision. Faults absorbed per matrix cell.\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>6} {:>7} {:>8} {:>8}  Status\n",
+        "Subject", "Tool", "Seed", "Hangs", "Crashes", "Retries"
+    ));
+    let (mut hangs, mut crashes, mut retries, mut poisoned) = (0u64, 0u64, 0u64, 0u64);
+    for co in outcomes {
+        match co {
+            CellOutcome::Completed(o) => {
+                hangs += o.stats.hangs;
+                crashes += o.stats.crashes;
+                retries += o.stats.retries;
+                if o.stats.hangs + o.stats.crashes + o.stats.retries > 0 {
+                    out.push_str(&format!(
+                        "{:<10} {:<10} {:>6} {:>7} {:>8} {:>8}  completed\n",
+                        o.subject,
+                        o.tool.name(),
+                        o.seed,
+                        o.stats.hangs,
+                        o.stats.crashes,
+                        o.stats.retries,
+                    ));
+                }
+            }
+            CellOutcome::Poisoned(p) => {
+                poisoned += 1;
+                retries += p.attempts.saturating_sub(1);
+                out.push_str(&format!(
+                    "{:<10} {:<10} {:>6} {:>7} {:>8} {:>8}  POISONED ({})\n",
+                    p.subject,
+                    p.tool.name(),
+                    p.seed,
+                    "-",
+                    "-",
+                    p.attempts.saturating_sub(1),
+                    p.reason,
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>6} {:>7} {:>8} {:>8}  {} cells, {} poisoned\n",
+        "total",
+        "",
+        "",
+        hangs,
+        crashes,
+        retries,
+        outcomes.len(),
+        poisoned,
+    ));
     out
 }
 
@@ -303,6 +364,58 @@ mod tests {
         }];
         let csv = headline_csv(&headline);
         assert!(csv.contains("KLEE,3,9,1,4"));
+    }
+
+    #[test]
+    fn supervision_table_shows_faults_and_poisoned_cells() {
+        use crate::runner::{Outcome, PoisonedCell};
+        let stats = pdf_runtime::RunStats {
+            hangs: 3,
+            crashes: 1,
+            retries: 2,
+            ..Default::default()
+        };
+        let completed = CellOutcome::Completed(Outcome {
+            tool: Tool::PFuzzer,
+            subject: "csv",
+            seed: 7,
+            valid_inputs: vec![],
+            valid_found_at: vec![],
+            execs: 100,
+            valid_branches: Default::default(),
+            all_branches: Default::default(),
+            decisions: vec![],
+            stats,
+        });
+        let quiet = CellOutcome::Completed(Outcome {
+            tool: Tool::Afl,
+            subject: "ini",
+            seed: 1,
+            valid_inputs: vec![],
+            valid_found_at: vec![],
+            execs: 100,
+            valid_branches: Default::default(),
+            all_branches: Default::default(),
+            decisions: vec![],
+            stats: pdf_runtime::RunStats::default(),
+        });
+        let poisoned = CellOutcome::Poisoned(PoisonedCell {
+            tool: Tool::Klee,
+            subject: "mjs",
+            seed: 2,
+            attempts: 4,
+            reason: "crash storm".to_string(),
+        });
+        let text = render_supervision(&[completed, quiet, poisoned]);
+        // fault counters are visible in the human-readable table
+        assert!(text.contains("Hangs"), "{text}");
+        assert!(text.contains("csv"), "{text}");
+        assert!(text.contains("POISONED (crash storm)"), "{text}");
+        // the quiet cell contributes no row, only the totals
+        assert!(!text.contains("ini"), "{text}");
+        let totals = text.lines().last().unwrap();
+        assert!(totals.contains('3'), "{totals}");
+        assert!(totals.contains("3 cells, 1 poisoned"), "{totals}");
     }
 
     #[test]

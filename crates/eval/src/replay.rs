@@ -17,8 +17,9 @@ use pdf_runtime::{CellRecord, Journal};
 
 use crate::runner::{outcome_digest, pfuzzer_outcome, run_cells, CellOutcome, MatrixCell, Tool};
 
-/// The configuration hash a matrix cell runs under. [`run_tool_seeded`]
-/// (crate::run_tool_seeded) builds each tool's config from its default
+/// The configuration hash a matrix cell runs under.
+/// [`run_tool_seeded`](crate::run_tool_seeded) builds each tool's
+/// config from its default
 /// with only seed and budget overridden, and those two are stored in
 /// the journal cell itself — so the hash is a function of the tool
 /// alone.

@@ -389,12 +389,17 @@ fn cell_hung(o: &Outcome) -> bool {
 /// perturbed seeds, poisoned after `1 + max_retries` failed attempts.
 /// A completed outcome carries its attempt count in `stats.retries`.
 pub fn run_cell_supervised(cell: &MatrixCell, sup: &SupervisorConfig) -> CellOutcome {
+    let _span = pdf_obs::span("eval.cell");
     let mut reason = String::new();
     for attempt in 0..=sup.max_retries {
+        if attempt > 0 {
+            pdf_obs::record(|m| m.cell_retries.inc());
+        }
         let seed = attempt_seed(cell.seed, attempt);
         match catch_silent(|| run_tool_seeded(cell.tool, &cell.info, cell.execs, seed)) {
             Ok(mut outcome) if !cell_hung(&outcome) => {
                 outcome.stats.retries = attempt;
+                pdf_obs::record(|m| m.cells_completed.inc());
                 return CellOutcome::Completed(outcome);
             }
             Ok(outcome) => {
@@ -408,6 +413,7 @@ pub fn run_cell_supervised(cell: &MatrixCell, sup: &SupervisorConfig) -> CellOut
             }
         }
     }
+    pdf_obs::record(|m| m.cells_poisoned.inc());
     CellOutcome::Poisoned(PoisonedCell {
         tool: cell.tool,
         subject: cell.info.name,
@@ -445,13 +451,22 @@ pub fn run_cells_supervised(
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<CellOutcome>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    // The metrics registry install is per-thread; hand the caller's
+    // registry (if any) to every worker so the whole matrix aggregates
+    // into one place.
+    let registry = pdf_obs::current();
     std::thread::scope(|scope| {
         for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                let outcome = run_cell_supervised(cell, sup);
-                *slots[i].lock().expect("slot poisoned") = Some(outcome);
+            let registry = registry.clone();
+            let (next, slots) = (&next, &slots);
+            scope.spawn(move || {
+                let _metrics = registry.map(pdf_obs::install);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let outcome = run_cell_supervised(cell, sup);
+                    *slots[i].lock().expect("slot poisoned") = Some(outcome);
+                }
             });
         }
     });

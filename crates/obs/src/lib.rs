@@ -1,0 +1,71 @@
+//! `pdf-obs` — zero-dependency metrics and tracing for the pFuzzer
+//! reproduction.
+//!
+//! The crate provides three layers:
+//!
+//! - **Primitives** ([`Counter`], [`Gauge`], [`Histogram`]): lock-free
+//!   relaxed atomics. Histograms use log2 buckets (65 fixed slots
+//!   covering all of `u64`), the standard shape for latency and size
+//!   distributions.
+//! - **Registry** ([`MetricsRegistry`]): a fixed-schema struct holding
+//!   every metric the stack records — verdict counters bumped at the
+//!   `Subject::exec` chokepoint, driver search counters, eval-matrix
+//!   supervision counters, latency/length/queue-depth histograms, and a
+//!   span table aggregating per-phase wall time.
+//! - **Scope API** ([`install`], [`record`], [`span`]): a thread-local
+//!   registry stack. Instrumented code calls `record(|m| ...)`, which is
+//!   a no-op when no registry is installed — so the entire stack runs
+//!   un-instrumented by default and binaries opt in per run.
+//!
+//! Snapshots ([`MetricsSnapshot`]) freeze the registry into plain data
+//! and serialize via the `pdf-metrics v1` line codec, the same style as
+//! `pdf-journal` and `pdf-checkpoint`.
+//!
+//! # Determinism contract
+//!
+//! Metrics are *observe-only*: nothing in this crate produces a value
+//! that flows back into search decisions, and no instrumentation site
+//! touches the driver's `ByteSource` chokepoint. Timing is read with
+//! [`std::time::Instant`] purely for aggregation. Consequently a
+//! campaign run with metrics installed makes byte-for-byte the same
+//! decisions — and produces the same report digest — as one without,
+//! which `crates/eval/tests/metrics_observability.rs` asserts.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pdf_obs::{MetricsRegistry, MetricsSnapshot};
+//!
+//! let reg = Arc::new(MetricsRegistry::new());
+//! let _scope = pdf_obs::install(Arc::clone(&reg));
+//!
+//! // ... instrumented code does this at its chokepoints ...
+//! pdf_obs::record(|m| {
+//!     m.execs.inc();
+//!     m.rejects.inc();
+//!     m.exec_latency_ns.observe(1_200);
+//!     m.input_len.observe(5);
+//! });
+//! {
+//!     let _span = pdf_obs::span("driver.exec");
+//! }
+//!
+//! let text = reg.snapshot().encode();
+//! let snap = MetricsSnapshot::decode(&text).unwrap();
+//! assert_eq!(snap.counter("execs"), Some(1));
+//! assert!(snap.check_identities().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+mod scope;
+mod snapshot;
+
+pub use metric::{bucket_lo, bucket_of, Counter, Gauge, Histogram, HIST_BUCKETS};
+pub use registry::{MetricsRegistry, SpanStat};
+pub use scope::{current, enabled, install, record, span, MetricsScope, SpanGuard};
+pub use snapshot::{HistSnapshot, MetricsSnapshot, SnapshotError, SpanSnapshot};

@@ -1,0 +1,211 @@
+//! The metric primitives: counters, gauges and log2-bucket histograms.
+//!
+//! All three are lock-free (plain relaxed atomics): metrics are written
+//! from campaign hot paths and from the parallel matrix workers, and a
+//! metric write must never serialize the writers. Relaxed ordering is
+//! enough because metrics carry no synchronization duty — readers (the
+//! progress ticker, the final snapshot) tolerate being a few increments
+//! behind.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic counter.
+///
+/// ```
+/// use pdf_obs::Counter;
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge (e.g. the current queue depth).
+///
+/// ```
+/// use pdf_obs::Gauge;
+/// let g = Gauge::new();
+/// g.set(41);
+/// g.set(7);
+/// assert_eq!(g.get(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The last value set.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to 2⁶³, so every `u64` maps to exactly one bucket.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucket histogram of `u64` observations.
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds values `v` with
+/// `floor(log2(v)) == i - 1`, i.e. `2^(i-1) <= v < 2^i`. Exponential
+/// buckets keep the histogram a fixed 65 slots while spanning
+/// nanosecond latencies and million-deep queues alike — the classic
+/// fuzzer/profiler trick (AFL's hit-count buckets use the same shape).
+///
+/// ```
+/// use pdf_obs::Histogram;
+/// let h = Histogram::new();
+/// h.observe(0);   // bucket 0
+/// h.observe(1);   // bucket 1
+/// h.observe(1000); // 512 <= 1000 < 1024: bucket 10
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 1001);
+/// assert_eq!(h.bucket_counts()[10], 1);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_of(v: u64) -> usize {
+    match v {
+        0 => 0,
+        _ => 64 - v.leading_zeros() as usize,
+    }
+}
+
+/// The inclusive lower bound of bucket `i` (the label a renderer
+/// prints next to the count).
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (mean = `sum / count`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket observation counts, in bucket order.
+    pub fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let g = Gauge::new();
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i, "lower bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 109);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1); // the zero
+        assert_eq!(b[1], 2); // the ones
+        assert_eq!(b[3], 1); // 7 in [4, 8)
+        assert_eq!(b[7], 1); // 100 in [64, 128)
+        assert_eq!(b.iter().sum::<u64>(), h.count());
+    }
+}

@@ -1,0 +1,272 @@
+//! The fixed-schema [`MetricsRegistry`] every instrumented crate writes
+//! into, plus the span table it aggregates phase timings in.
+//!
+//! The registry is *fixed-schema*: every metric is a named struct field,
+//! not a map entry, so the hot path (one exec = one counter bump + two
+//! histogram observes) is a handful of relaxed atomic adds with no
+//! hashing, no locking, and no allocation. Only spans — recorded at
+//! phase granularity, thousands of times per campaign rather than
+//! millions — go through a small `Mutex`'d table.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::{HistSnapshot, MetricsSnapshot, SpanSnapshot};
+
+/// Accumulated time for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds spent inside the span.
+    pub total_ns: u64,
+}
+
+/// The full set of metrics one campaign (or one eval run spanning many
+/// campaigns) accumulates. All methods take `&self`; a single registry
+/// behind an [`Arc`](std::sync::Arc) is safely shared by every matrix
+/// worker thread.
+///
+/// The counter schema is the contract the identity checks in
+/// [`MetricsSnapshot::check_identities`] rely on: the four verdict
+/// counters are bumped exactly once per `execs` bump, at the same
+/// chokepoint.
+///
+/// ```
+/// use pdf_obs::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// reg.execs.inc();
+/// reg.accepts.inc();
+/// reg.exec_latency_ns.observe(1_500);
+/// reg.input_len.observe(12);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("execs"), Some(1));
+/// assert!(snap.check_identities().is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Total subject executions (one per `Subject::exec`).
+    pub execs: Counter,
+    /// Executions whose verdict was `Accept`.
+    pub accepts: Counter,
+    /// Executions whose verdict was `Reject`.
+    pub rejects: Counter,
+    /// Executions whose verdict was `Hang` (fuel exhausted).
+    pub hangs: Counter,
+    /// Executions whose verdict was `Crash` (panic caught).
+    pub crashes: Counter,
+
+    /// Substitution candidates enqueued by the driver (Algorithm 1's
+    /// comparison-guided byte replacements).
+    pub substitutions: Counter,
+    /// Append-driven extensions enqueued by the driver.
+    pub appends: Counter,
+    /// EOF-driven extensions (parser ran off the end of the prefix).
+    pub eof_extensions: Counter,
+    /// Times the driver restarted from a fresh random byte because the
+    /// queue ran dry.
+    pub restarts: Counter,
+    /// Valid (accepted) inputs discovered by the search.
+    pub valid_inputs: Counter,
+    /// New coverage branches discovered by the search.
+    pub new_branches: Counter,
+
+    /// Eval matrix cells that completed (any non-poisoned outcome).
+    pub cells_completed: Counter,
+    /// Eval matrix cells abandoned after exhausting retries.
+    pub cells_poisoned: Counter,
+    /// Supervised retries across all eval cells.
+    pub cell_retries: Counter,
+
+    /// Wall-clock latency of each `Subject::exec`, in nanoseconds.
+    pub exec_latency_ns: Histogram,
+    /// Length in bytes of each executed input.
+    pub input_len: Histogram,
+    /// Candidate queue depth, observed once per scheduling decision.
+    pub queue_depth: Histogram,
+    /// The most recent queue depth (for live progress display).
+    pub queue_depth_now: Gauge,
+
+    spans: Mutex<Vec<(&'static str, SpanStat)>>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry with every metric at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dur` to the named span's accumulated time.
+    ///
+    /// Span names are static strings at phase granularity
+    /// (`"driver.exec"`, `"eval.cell"`, ...), so the table stays a few
+    /// entries long and a linear scan beats any map.
+    pub fn record_span(&self, name: &'static str, dur: Duration) {
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = self.spans.lock().expect("span table poisoned");
+        match spans.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, stat)) => {
+                stat.count += 1;
+                stat.total_ns = stat.total_ns.saturating_add(ns);
+            }
+            None => spans.push((
+                name,
+                SpanStat {
+                    count: 1,
+                    total_ns: ns,
+                },
+            )),
+        }
+    }
+
+    /// The accumulated stat for one span, if it was ever entered.
+    pub fn span_stat(&self, name: &str) -> Option<SpanStat> {
+        let spans = self.spans.lock().expect("span table poisoned");
+        spans.iter().find(|(n, _)| *n == name).map(|(_, s)| *s)
+    }
+
+    /// Freezes the current values into a plain-data [`MetricsSnapshot`].
+    ///
+    /// Concurrent writers may race individual loads (a snapshot taken
+    /// mid-campaign is a consistent-enough progress report, not a
+    /// barrier); a snapshot taken after all workers joined is exact.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = [
+            ("execs", &self.execs),
+            ("verdict.accept", &self.accepts),
+            ("verdict.reject", &self.rejects),
+            ("verdict.hang", &self.hangs),
+            ("verdict.crash", &self.crashes),
+            ("driver.substitutions", &self.substitutions),
+            ("driver.appends", &self.appends),
+            ("driver.eof_extensions", &self.eof_extensions),
+            ("driver.restarts", &self.restarts),
+            ("search.valid_inputs", &self.valid_inputs),
+            ("search.new_branches", &self.new_branches),
+            ("eval.cells_completed", &self.cells_completed),
+            ("eval.cells_poisoned", &self.cells_poisoned),
+            ("eval.cell_retries", &self.cell_retries),
+        ]
+        .into_iter()
+        .map(|(name, c)| (name.to_string(), c.get()))
+        .collect();
+
+        let gauges = vec![(
+            "driver.queue_depth_now".to_string(),
+            self.queue_depth_now.get(),
+        )];
+
+        let hists = [
+            ("exec.latency_ns", &self.exec_latency_ns),
+            ("exec.input_len", &self.input_len),
+            ("driver.queue_depth", &self.queue_depth),
+        ]
+        .into_iter()
+        .map(|(name, h)| {
+            let counts = h.bucket_counts();
+            HistSnapshot {
+                name: name.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                buckets: counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n != 0)
+                    .map(|(i, &n)| (i as u32, n))
+                    .collect(),
+            }
+        })
+        .collect();
+
+        let mut spans: Vec<SpanSnapshot> = {
+            let table = self.spans.lock().expect("span table poisoned");
+            table
+                .iter()
+                .map(|(name, stat)| SpanSnapshot {
+                    name: name.to_string(),
+                    count: stat.count,
+                    total_ns: stat.total_ns,
+                })
+                .collect()
+        };
+        // Spans land in the table in first-entered order, which varies
+        // across thread interleavings; sort so the snapshot encoding is
+        // stable.
+        spans.sort_by(|a, b| a.name.cmp(&b.name));
+
+        MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_accumulates_per_name() {
+        let reg = MetricsRegistry::new();
+        reg.record_span("driver.exec", Duration::from_nanos(100));
+        reg.record_span("driver.exec", Duration::from_nanos(50));
+        reg.record_span("driver.pick", Duration::from_nanos(7));
+        assert_eq!(
+            reg.span_stat("driver.exec"),
+            Some(SpanStat {
+                count: 2,
+                total_ns: 150
+            })
+        );
+        assert_eq!(
+            reg.span_stat("driver.pick"),
+            Some(SpanStat {
+                count: 1,
+                total_ns: 7
+            })
+        );
+        assert_eq!(reg.span_stat("driver.classify"), None);
+    }
+
+    #[test]
+    fn snapshot_contains_all_counters_and_sorted_spans() {
+        let reg = MetricsRegistry::new();
+        reg.execs.add(3);
+        reg.accepts.add(1);
+        reg.rejects.add(2);
+        reg.record_span("z.late", Duration::from_nanos(1));
+        reg.record_span("a.early", Duration::from_nanos(2));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("execs"), Some(3));
+        assert_eq!(snap.counter("verdict.reject"), Some(2));
+        assert_eq!(snap.counter("eval.cell_retries"), Some(0));
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a.early", "z.late"]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = std::sync::Arc::clone(&reg);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.execs.inc();
+                        reg.rejects.inc();
+                        reg.exec_latency_ns.observe(10);
+                        reg.input_len.observe(3);
+                    }
+                    reg.record_span("worker", Duration::from_nanos(5));
+                });
+            }
+        });
+        assert_eq!(reg.execs.get(), 4000);
+        assert_eq!(reg.exec_latency_ns.count(), 4000);
+        assert_eq!(reg.span_stat("worker").unwrap().count, 4);
+        assert!(reg.snapshot().check_identities().is_ok());
+    }
+}

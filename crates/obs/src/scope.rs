@@ -1,0 +1,198 @@
+//! Thread-local registry installation: how instrumented code finds the
+//! registry without threading a handle through every signature.
+//!
+//! Instrumentation sites call [`record`] or [`span`], which look up the
+//! registry installed on the *current thread* and silently do nothing
+//! when there is none. Callers that want metrics [`install`] a registry
+//! for a scope:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pdf_obs::MetricsRegistry;
+//!
+//! let reg = Arc::new(MetricsRegistry::new());
+//! {
+//!     let _scope = pdf_obs::install(Arc::clone(&reg));
+//!     pdf_obs::record(|m| m.execs.inc()); // lands in `reg`
+//! }
+//! pdf_obs::record(|m| m.execs.inc()); // no registry: silently dropped
+//! assert_eq!(reg.execs.get(), 1);
+//! ```
+//!
+//! The install stack is per-thread, so parallel eval workers each
+//! install the shared registry once at thread start (and tests that run
+//! concurrently under `cargo test` never observe each other's metrics).
+//! Installation nests: an inner `install` shadows the outer registry
+//! until its scope guard drops.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::MetricsRegistry;
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<MetricsRegistry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`install`]; uninstalls the registry when dropped.
+#[derive(Debug)]
+#[must_use = "dropping the scope immediately uninstalls the registry"]
+pub struct MetricsScope {
+    installed: Arc<MetricsRegistry>,
+}
+
+impl Drop for MetricsScope {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            let popped = stack.borrow_mut().pop();
+            debug_assert!(
+                popped.is_some_and(|r| Arc::ptr_eq(&r, &self.installed)),
+                "metrics scopes dropped out of order"
+            );
+        });
+    }
+}
+
+/// Installs `registry` as the current thread's metrics destination until
+/// the returned [`MetricsScope`] is dropped. Scopes nest (inner shadows
+/// outer) and must drop in LIFO order — which `let`-bound guards do
+/// naturally.
+pub fn install(registry: Arc<MetricsRegistry>) -> MetricsScope {
+    CURRENT.with(|stack| stack.borrow_mut().push(Arc::clone(&registry)));
+    MetricsScope {
+        installed: registry,
+    }
+}
+
+/// The registry currently installed on this thread, if any. Used to hand
+/// the ambient registry to worker threads before spawning them.
+pub fn current() -> Option<Arc<MetricsRegistry>> {
+    CURRENT.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Whether a registry is installed on this thread. Lets hot paths skip
+/// measurement work (e.g. reading the clock) entirely when metrics are
+/// off.
+pub fn enabled() -> bool {
+    CURRENT.with(|stack| !stack.borrow().is_empty())
+}
+
+/// Runs `f` against the installed registry; a no-op when none is
+/// installed. This is the one call every instrumentation site makes, so
+/// it never clones the `Arc` — it borrows straight off the thread-local
+/// stack.
+pub fn record(f: impl FnOnce(&MetricsRegistry)) {
+    CURRENT.with(|stack| {
+        if let Some(reg) = stack.borrow().last() {
+            f(reg);
+        }
+    });
+}
+
+/// Timer guard returned by [`span`]; records elapsed time into the span
+/// table when dropped.
+#[derive(Debug)]
+#[must_use = "dropping the span guard immediately records a zero-length span"]
+pub struct SpanGuard {
+    // `None` when no registry was installed at entry: the drop is free.
+    active: Option<(Arc<MetricsRegistry>, Instant)>,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((reg, start)) = self.active.take() {
+            reg.record_span(self.name, start.elapsed());
+        }
+    }
+}
+
+/// Starts a named span; the time until the returned guard drops is added
+/// to the registry's span table. Reads the clock only when a registry is
+/// installed.
+///
+/// ```
+/// use std::sync::Arc;
+/// use pdf_obs::MetricsRegistry;
+///
+/// let reg = Arc::new(MetricsRegistry::new());
+/// let _scope = pdf_obs::install(Arc::clone(&reg));
+/// {
+///     let _span = pdf_obs::span("phase.work");
+///     // ... timed work ...
+/// }
+/// assert_eq!(reg.span_stat("phase.work").unwrap().count, 1);
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        active: current().map(|reg| (reg, Instant::now())),
+        name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_noop_without_registry() {
+        assert!(!enabled());
+        record(|m| m.execs.inc()); // must not panic
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn install_scopes_and_nests() {
+        let outer = Arc::new(MetricsRegistry::new());
+        let inner = Arc::new(MetricsRegistry::new());
+        let scope_a = install(Arc::clone(&outer));
+        record(|m| m.execs.inc());
+        {
+            let _scope_b = install(Arc::clone(&inner));
+            assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+            record(|m| m.execs.inc());
+        }
+        assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        record(|m| m.execs.inc());
+        drop(scope_a);
+        assert!(!enabled());
+        assert_eq!(outer.execs.get(), 2);
+        assert_eq!(inner.execs.get(), 1);
+    }
+
+    #[test]
+    fn install_is_per_thread() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let _scope = install(Arc::clone(&reg));
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert!(!enabled(), "other threads see no registry");
+                record(|m| m.execs.inc());
+            });
+        });
+        assert_eq!(reg.execs.get(), 0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let _scope = install(Arc::clone(&reg));
+        {
+            let _span = span("test.phase");
+            std::hint::black_box(42);
+        }
+        {
+            let _span = span("test.phase");
+        }
+        let stat = reg.span_stat("test.phase").unwrap();
+        assert_eq!(stat.count, 2);
+    }
+
+    #[test]
+    fn span_without_registry_is_free() {
+        let guard = span("orphan");
+        assert!(guard.active.is_none());
+        drop(guard); // must not panic
+    }
+}

@@ -1,0 +1,414 @@
+//! [`MetricsSnapshot`]: frozen metric values plus the `pdf-metrics v1`
+//! text codec, in the same line-oriented `k=v` style as `pdf-journal`
+//! and `pdf-checkpoint`. Hand-rolled because the build environment has
+//! no serde; [`MetricsSnapshot::encode`]/[`decode`](MetricsSnapshot::decode)
+//! round-trip exactly.
+
+use std::fmt;
+
+/// Frozen values of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Metric name (e.g. `exec.latency_ns`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Sparse `(bucket index, observations)` pairs, in index order,
+    /// zero-count buckets omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Frozen values of one span.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name (e.g. `driver.exec`).
+    pub name: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds spent inside it.
+    pub total_ns: u64,
+}
+
+/// A frozen, plain-data view of a
+/// [`MetricsRegistry`](crate::MetricsRegistry) — what `--metrics-out`
+/// writes and post-hoc analysis reads back.
+///
+/// ```
+/// use pdf_obs::MetricsRegistry;
+/// let reg = MetricsRegistry::new();
+/// reg.execs.inc();
+/// reg.rejects.inc();
+/// reg.exec_latency_ns.observe(900);
+/// reg.input_len.observe(4);
+/// let snap = reg.snapshot();
+/// let text = snap.encode();
+/// assert!(text.starts_with("pdf-metrics v1\n"));
+/// let back = pdf_obs::MetricsSnapshot::decode(&text).unwrap();
+/// assert_eq!(back, snap);
+/// assert!(back.check_identities().is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, in schema order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// Every histogram.
+    pub hists: Vec<HistSnapshot>,
+    /// Every span, sorted by name.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+/// Errors produced when decoding a metrics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The first line is not the expected `pdf-metrics v1` header.
+    BadHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadHeader => write!(f, "missing or unsupported metrics header"),
+            SnapshotError::BadLine { line, reason } => {
+                write!(f, "metrics line {line}: {reason}")
+            }
+        }
+    }
+}
+
+const HEADER: &str = "pdf-metrics v1";
+
+/// Names go into whitespace-separated `k=v` pairs; reject anything that
+/// would break the framing.
+fn valid_name(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(|c| !c.is_whitespace() && c != '=')
+}
+
+fn encode_buckets(buckets: &[(u32, u64)]) -> String {
+    if buckets.is_empty() {
+        return "-".to_string();
+    }
+    buckets
+        .iter()
+        .map(|(i, n)| format!("{i}:{n}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_buckets(s: &str) -> Option<Vec<(u32, u64)>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|pair| {
+            let (i, n) = pair.split_once(':')?;
+            Some((i.parse().ok()?, n.parse().ok()?))
+        })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// The value of a named counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The value of a named gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A named histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// A named span, if present.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Checks the structural identities the instrumentation guarantees:
+    ///
+    /// - every execution got exactly one verdict:
+    ///   `accept + reject + hang + crash == execs`;
+    /// - every execution was measured:
+    ///   `exec.latency_ns.count == execs` and
+    ///   `exec.input_len.count == execs` (when those histograms are
+    ///   present);
+    /// - every histogram's bucket counts sum to its `count`.
+    ///
+    /// Returns a human-readable description of the first violated
+    /// identity.
+    pub fn check_identities(&self) -> Result<(), String> {
+        let c = |name: &str| self.counter(name).unwrap_or(0);
+        let execs = c("execs");
+        let verdicts =
+            c("verdict.accept") + c("verdict.reject") + c("verdict.hang") + c("verdict.crash");
+        if verdicts != execs {
+            return Err(format!(
+                "verdict counters sum to {verdicts} but execs={execs}"
+            ));
+        }
+        for name in ["exec.latency_ns", "exec.input_len"] {
+            if let Some(h) = self.hist(name) {
+                if h.count != execs {
+                    return Err(format!("{name}.count={} but execs={execs}", h.count));
+                }
+            }
+        }
+        for h in &self.hists {
+            let bucket_total: u64 = h.buckets.iter().map(|(_, n)| n).sum();
+            if bucket_total != h.count {
+                return Err(format!(
+                    "{} buckets sum to {bucket_total} but count={}",
+                    h.name, h.count
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the snapshot in the `pdf-metrics v1` text format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a metric name contains whitespace or `=` — such names
+    /// cannot round-trip through the line format, and the fixed registry
+    /// schema never produces them.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        let check = |name: &str| {
+            assert!(valid_name(name), "unencodable metric name {name:?}");
+        };
+        for (name, value) in &self.counters {
+            check(name);
+            let _ = writeln!(out, "counter name={name} value={value}");
+        }
+        for (name, value) in &self.gauges {
+            check(name);
+            let _ = writeln!(out, "gauge name={name} value={value}");
+        }
+        for h in &self.hists {
+            check(&h.name);
+            let _ = writeln!(
+                out,
+                "hist name={} count={} sum={} buckets={}",
+                h.name,
+                h.count,
+                h.sum,
+                encode_buckets(&h.buckets)
+            );
+        }
+        for s in &self.spans {
+            check(&s.name);
+            let _ = writeln!(
+                out,
+                "span name={} count={} ns={}",
+                s.name, s.count, s.total_ns
+            );
+        }
+        out
+    }
+
+    /// Parses a snapshot previously produced by [`encode`](Self::encode).
+    /// Blank lines and `#` comment lines are ignored.
+    pub fn decode(text: &str) -> Result<MetricsSnapshot, SnapshotError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == HEADER => {}
+            _ => return Err(SnapshotError::BadHeader),
+        }
+        let mut snap = MetricsSnapshot::default();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |reason: &str| SnapshotError::BadLine {
+                line: line_no,
+                reason: reason.to_string(),
+            };
+            let (kind, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| bad("expected 'kind k=v ...'"))?;
+            let mut name = None;
+            let mut value = None;
+            let mut count = None;
+            let mut sum = None;
+            let mut ns = None;
+            let mut buckets = None;
+            for pair in rest.split_whitespace() {
+                let (key, val) = pair.split_once('=').ok_or_else(|| bad("expected k=v"))?;
+                match key {
+                    "name" => name = Some(val.to_string()),
+                    "value" => value = Some(val.parse().map_err(|_| bad("bad value"))?),
+                    "count" => count = Some(val.parse().map_err(|_| bad("bad count"))?),
+                    "sum" => sum = Some(val.parse().map_err(|_| bad("bad sum"))?),
+                    "ns" => ns = Some(val.parse().map_err(|_| bad("bad ns"))?),
+                    "buckets" => {
+                        buckets = Some(decode_buckets(val).ok_or_else(|| bad("bad buckets"))?)
+                    }
+                    other => return Err(bad(&format!("unknown key {other:?}"))),
+                }
+            }
+            let name = name.ok_or_else(|| bad("missing key \"name\""))?;
+            let need = |opt: Option<u64>, key: &str| {
+                opt.ok_or_else(|| bad(&format!("missing key {key:?}")))
+            };
+            match kind {
+                "counter" => snap.counters.push((name, need(value, "value")?)),
+                "gauge" => snap.gauges.push((name, need(value, "value")?)),
+                "hist" => snap.hists.push(HistSnapshot {
+                    name,
+                    count: need(count, "count")?,
+                    sum: need(sum, "sum")?,
+                    buckets: buckets.ok_or_else(|| bad("missing key \"buckets\""))?,
+                }),
+                "span" => snap.spans.push(SpanSnapshot {
+                    name,
+                    count: need(count, "count")?,
+                    total_ns: need(ns, "ns")?,
+                }),
+                other => return Err(bad(&format!("unknown line kind {other:?}"))),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("execs".to_string(), 4),
+                ("verdict.accept".to_string(), 1),
+                ("verdict.reject".to_string(), 3),
+                ("verdict.hang".to_string(), 0),
+                ("verdict.crash".to_string(), 0),
+            ],
+            gauges: vec![("driver.queue_depth_now".to_string(), 2)],
+            hists: vec![
+                HistSnapshot {
+                    name: "exec.latency_ns".to_string(),
+                    count: 4,
+                    sum: 5000,
+                    buckets: vec![(10, 3), (11, 1)],
+                },
+                HistSnapshot {
+                    name: "driver.queue_depth".to_string(),
+                    count: 0,
+                    sum: 0,
+                    buckets: Vec::new(),
+                },
+            ],
+            spans: vec![SpanSnapshot {
+                name: "driver.exec".to_string(),
+                count: 4,
+                total_ns: 5100,
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let snap = sample();
+        let text = snap.encode();
+        assert_eq!(MetricsSnapshot::decode(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn accessors_find_by_name() {
+        let snap = sample();
+        assert_eq!(snap.counter("execs"), Some(4));
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("driver.queue_depth_now"), Some(2));
+        assert_eq!(snap.hist("exec.latency_ns").unwrap().sum, 5000);
+        assert_eq!(snap.span("driver.exec").unwrap().total_ns, 5100);
+    }
+
+    #[test]
+    fn identities_hold_and_fail() {
+        let mut snap = sample();
+        assert_eq!(snap.check_identities(), Ok(()));
+        snap.counters[1].1 += 1; // accepts no longer match execs
+        assert!(snap.check_identities().is_err());
+        let mut snap = sample();
+        snap.hists[0].count = 5; // latency count != execs
+        assert!(snap.check_identities().is_err());
+        let mut snap = sample();
+        snap.hists[0].buckets.pop(); // buckets no longer sum to count
+        assert!(snap.check_identities().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(MetricsSnapshot::decode(""), Err(SnapshotError::BadHeader));
+        assert_eq!(
+            MetricsSnapshot::decode("nonsense"),
+            Err(SnapshotError::BadHeader)
+        );
+        for bad in [
+            "pdf-metrics v1\nwhat",
+            "pdf-metrics v1\nblob name=x value=1",
+            "pdf-metrics v1\ncounter value=1",
+            "pdf-metrics v1\ncounter name=x",
+            "pdf-metrics v1\ncounter name=x value=abc",
+            "pdf-metrics v1\nhist name=x count=1 sum=2",
+            "pdf-metrics v1\nhist name=x count=1 sum=2 buckets=zz",
+            "pdf-metrics v1\nspan name=x count=1",
+        ] {
+            assert!(
+                matches!(
+                    MetricsSnapshot::decode(bad),
+                    Err(SnapshotError::BadLine { .. })
+                ),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_skips_comments_and_blanks() {
+        let snap = sample();
+        let mut text = snap.encode();
+        text.push_str("\n# trailing comment\n\n");
+        assert_eq!(MetricsSnapshot::decode(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!SnapshotError::BadHeader.to_string().is_empty());
+        let e = SnapshotError::BadLine {
+            line: 3,
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property test: any `MetricsSnapshot` the codec can express survives
+//! an encode/decode round trip byte-exactly, and a registry-produced
+//! snapshot always round-trips through `pdf-metrics v1` text.
+
+use pdf_obs::{HistSnapshot, MetricsRegistry, MetricsSnapshot, SpanSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Metric-name strategy: dotted lowercase segments, the shape every name
+/// in the fixed registry schema has (the class includes `.` and `_`).
+fn name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.]{0,10}"
+}
+
+fn hist() -> impl Strategy<Value = HistSnapshot> {
+    (
+        name(),
+        any::<u64>(),
+        any::<u64>(),
+        vec((0u32..65, 1u64..1_000_000), 0..6),
+    )
+        .prop_map(|(name, count, sum, mut buckets)| {
+            // The codec stores buckets sparsely in index order with no
+            // duplicates, as `MetricsRegistry::snapshot` emits them.
+            buckets.sort_by_key(|(i, _)| *i);
+            buckets.dedup_by_key(|(i, _)| *i);
+            HistSnapshot {
+                name,
+                count,
+                sum,
+                buckets,
+            }
+        })
+}
+
+fn span() -> impl Strategy<Value = SpanSnapshot> {
+    (name(), any::<u64>(), any::<u64>()).prop_map(|(name, count, total_ns)| SpanSnapshot {
+        name,
+        count,
+        total_ns,
+    })
+}
+
+proptest! {
+    #[test]
+    fn snapshot_roundtrips(
+        counters in vec((name(), any::<u64>()), 0..8),
+        gauges in vec((name(), any::<u64>()), 0..3),
+        hists in vec(hist(), 0..4),
+        spans in vec(span(), 0..6),
+    ) {
+        let snap = MetricsSnapshot { counters, gauges, hists, spans };
+        let text = snap.encode();
+        let back = MetricsSnapshot::decode(&text).expect("codec must accept its own output");
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrips(
+        execs in 0u64..10_000,
+        latencies in vec(any::<u64>(), 0..20),
+        depths in vec(0u64..1_000, 0..10),
+    ) {
+        let reg = MetricsRegistry::new();
+        reg.execs.add(execs);
+        reg.rejects.add(execs); // keep the verdict identity satisfiable
+        for v in &latencies {
+            reg.exec_latency_ns.observe(*v);
+        }
+        for d in &depths {
+            reg.queue_depth.observe(*d);
+            reg.queue_depth_now.set(*d);
+        }
+        reg.record_span("driver.exec", std::time::Duration::from_nanos(17));
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::decode(&snap.encode()).expect("registry output decodes");
+        prop_assert_eq!(&back, &snap);
+        prop_assert_eq!(back.counter("execs"), Some(execs));
+        prop_assert_eq!(back.hist("exec.latency_ns").unwrap().count, latencies.len() as u64);
+    }
+}

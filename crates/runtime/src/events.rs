@@ -66,8 +66,9 @@ impl CmpValue {
 }
 
 /// A borrowing, allocation-free view of what a tainted byte was compared
-/// against. This is what streams through [`EventSink::on_cmp`]
-/// (crate::EventSink): sinks that need to retain the value call
+/// against. This is what streams through
+/// [`EventSink::on_cmp`](crate::EventSink::on_cmp): sinks that need to
+/// retain the value call
 /// [`materialise`](LazyCmpValue::materialise); sinks that only need the
 /// satisfying replacements visit them in place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

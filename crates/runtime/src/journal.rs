@@ -127,6 +127,32 @@ pub struct CellRecord {
 }
 
 /// A recorded evaluation: an ordered list of campaign records.
+///
+/// # Example
+///
+/// The text encoding round-trips exactly, so a journal can be written,
+/// stored, and replayed later:
+///
+/// ```
+/// use pdf_runtime::{CellRecord, Journal};
+///
+/// let journal = Journal {
+///     cells: vec![CellRecord {
+///         tool: "pFuzzer".to_string(),
+///         subject: "csv".to_string(),
+///         seed: 1,
+///         execs: 500,
+///         config_hash: 0xabcd,
+///         decision_count: 2,
+///         decision_digest: pdf_runtime::digest_bytes(&[7, 9]),
+///         decisions: vec![7, 9],
+///         outcome_digest: 0x1234,
+///     }],
+/// };
+/// let text = journal.encode();
+/// assert!(text.starts_with("pdf-journal v1"));
+/// assert_eq!(Journal::decode(&text).unwrap(), journal);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Journal {
     /// The recorded cells, in matrix order.

@@ -30,6 +30,38 @@ use crate::events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpVa
 /// decide how much of the stream to retain; `on_cmp` receives the
 /// expected value lazily ([`LazyCmpValue`]) so sinks that ignore it pay
 /// no allocation.
+///
+/// # Example
+///
+/// A custom sink that reduces the whole stream to an event count:
+///
+/// ```
+/// use pdf_runtime::{cov, lit, BranchId, CmpMeta, EventSink, ExecCtx, LazyCmpValue, ParseError};
+///
+/// #[derive(Default)]
+/// struct CountEvents(u64);
+///
+/// impl EventSink for CountEvents {
+///     type Summary = u64;
+///     fn begin(&mut self, _input_len: usize) {}
+///     fn on_cmp(&mut self, _meta: CmpMeta, _expected: LazyCmpValue<'_>) { self.0 += 1; }
+///     fn on_branch(&mut self, _branch: BranchId, _pos: usize) { self.0 += 1; }
+///     fn on_eof(&mut self, _index: usize) { self.0 += 1; }
+///     fn finish(self) -> u64 { self.0 }
+/// }
+///
+/// fn parse(ctx: &mut ExecCtx<CountEvents>) -> Result<(), ParseError> {
+///     cov!(ctx);
+///     if !lit!(ctx, b'x') {
+///         return Err(ctx.reject("expected 'x'"));
+///     }
+///     ctx.expect_end()
+/// }
+///
+/// let mut ctx = ExecCtx::with_sink(b"x", 1_000, CountEvents::default());
+/// assert!(parse(&mut ctx).is_ok());
+/// assert!(ctx.finish() > 0);
+/// ```
 pub trait EventSink {
     /// What the sink reduces the event stream to.
     type Summary;

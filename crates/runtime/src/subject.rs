@@ -22,6 +22,27 @@ pub type LastFailureSubjectFn = fn(&mut ExecCtx<LastFailure>) -> Result<(), Pars
 /// in-process analogue of a timeout kill); a crash is a panic that
 /// unwound out of the subject and was caught at the
 /// [`Subject`] chokepoint.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::{lit, ExecCtx, ParseError, Subject, Verdict};
+///
+/// fn p(ctx: &mut ExecCtx) -> Result<(), ParseError> {
+///     if !lit!(ctx, b'a') {
+///         return Err(ctx.reject("want 'a'"));
+///     }
+///     if ctx.peek().is_some() {
+///         panic!("trailing input");
+///     }
+///     Ok(())
+/// }
+/// let s = Subject::new("a", p);
+/// assert_eq!(s.run(b"a").verdict, Verdict::Accept);
+/// assert!(matches!(s.run(b"b").verdict, Verdict::Reject { .. }));
+/// // the panic is caught at the chokepoint; the campaign survives
+/// assert!(matches!(s.run(b"ab").verdict, Verdict::Crash { .. }));
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
     /// The input was accepted as valid.
@@ -235,18 +256,40 @@ impl Subject {
 
     /// The single execution chokepoint: every run of every sink flavour
     /// goes through here, so panic isolation (the subject runs under
-    /// [`catch_silent`]) and the hang/crash classification are uniform
-    /// across [`run`](Self::run), [`run_coverage`](Self::run_coverage)
-    /// and [`run_last_failure`](Self::run_last_failure).
+    /// [`catch_silent`]), the hang/crash classification and the metrics
+    /// instrumentation are uniform across [`run`](Self::run),
+    /// [`run_coverage`](Self::run_coverage) and
+    /// [`run_last_failure`](Self::run_last_failure).
+    ///
+    /// Metrics (exec count, verdict class, latency, input length) go to
+    /// the thread's installed `pdf-obs` registry, if any. The clock is
+    /// read only when a registry is installed, and nothing recorded here
+    /// flows back into the run — metrics are observe-only by
+    /// construction.
     fn exec<S: EventSink>(
         &self,
         input: &[u8],
         entry: fn(&mut ExecCtx<S>) -> Result<(), ParseError>,
         sink: S,
     ) -> (Verdict, S::Summary) {
+        let start = pdf_obs::enabled().then(std::time::Instant::now);
         let mut ctx = ExecCtx::with_sink(input, self.fuel, sink);
         let result = catch_silent(|| entry(&mut ctx));
         let verdict = classify(result, ctx.exhausted(), ctx.crash_dedup_key());
+        if let Some(start) = start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            pdf_obs::record(|m| {
+                m.execs.inc();
+                match &verdict {
+                    Verdict::Accept => m.accepts.inc(),
+                    Verdict::Reject { .. } => m.rejects.inc(),
+                    Verdict::Hang => m.hangs.inc(),
+                    Verdict::Crash { .. } => m.crashes.inc(),
+                }
+                m.exec_latency_ns.observe(ns);
+                m.input_len.observe(input.len() as u64);
+            });
+        }
         (verdict, ctx.finish())
     }
 
@@ -513,6 +556,25 @@ mod tests {
         assert_ne!(key(b"1"), key(b"2"));
         // same site, same approach: stable key
         assert_eq!(key(b"1"), key(b"1"));
+    }
+
+    #[test]
+    fn exec_chokepoint_records_metrics() {
+        let reg = std::sync::Arc::new(pdf_obs::MetricsRegistry::new());
+        let _scope = pdf_obs::install(std::sync::Arc::clone(&reg));
+        let s = instrument_subject!("a", accept_a);
+        s.run(b"a"); // accept
+        s.run_coverage(b"b"); // reject, native sink
+        s.run_last_failure(b"ab"); // reject, native sink
+        let hang = Subject::new("spin", spin).with_fuel(10);
+        hang.run(b"x");
+        assert_eq!(reg.execs.get(), 4);
+        assert_eq!(reg.accepts.get(), 1);
+        assert_eq!(reg.rejects.get(), 2);
+        assert_eq!(reg.hangs.get(), 1);
+        assert_eq!(reg.input_len.count(), 4);
+        assert_eq!(reg.exec_latency_ns.count(), 4);
+        assert!(reg.snapshot().check_identities().is_ok());
     }
 
     #[test]

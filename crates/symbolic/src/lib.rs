@@ -187,6 +187,7 @@ impl KleeFuzzer {
 
     /// Runs the campaign to completion.
     pub fn run(self) -> KleeReport {
+        let _span = pdf_obs::span("klee.campaign");
         let mut report = KleeReport {
             valid_inputs: Vec::new(),
             valid_found_at: Vec::new(),
@@ -212,6 +213,11 @@ impl KleeFuzzer {
             if report.execs >= self.cfg.max_execs {
                 break;
             }
+            pdf_obs::record(|m| {
+                let depth = frontier.len() as u64;
+                m.queue_depth.observe(depth);
+                m.queue_depth_now.set(depth);
+            });
             report.execs += 1;
             // the concolic loop negates conjuncts of the full path
             // condition, so this tool genuinely needs the FullLog sink
@@ -226,7 +232,12 @@ impl KleeFuzzer {
             }
             let branches = exec.log.branches();
             report.all_branches.union_with(&branches);
-            if exec.valid && branches.difference_size(&report.valid_branches) > 0 {
+            let new_branches = branches.difference_size(&report.valid_branches);
+            if exec.valid && new_branches > 0 {
+                pdf_obs::record(|m| {
+                    m.valid_inputs.inc();
+                    m.new_branches.add(new_branches as u64);
+                });
                 report.valid_branches.union_with(&branches);
                 report.valid_inputs.push(state.input.clone());
                 report.valid_found_at.push(report.execs);

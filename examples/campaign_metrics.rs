@@ -1,0 +1,65 @@
+//! Campaign observability: run one mjs pFuzzer campaign with the
+//! metrics layer installed and print the per-phase time breakdown plus
+//! the full `pdf-metrics v1` snapshot.
+//!
+//! Run with: `cargo run --release --example campaign_metrics`
+
+use std::sync::Arc;
+
+use parser_directed_fuzzing::obs;
+use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
+use parser_directed_fuzzing::subjects;
+
+fn main() {
+    // Installing a registry turns the (otherwise no-op) instrumentation
+    // on for this thread. Metrics are observe-only: the campaign below
+    // computes exactly what it would without the registry.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    let _scope = obs::install(Arc::clone(&registry));
+
+    let config = DriverConfig {
+        seed: 1,
+        max_execs: 20_000,
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(subjects::mjs::subject(), config).run();
+    println!(
+        "mjs campaign: {} executions, {} valid inputs\n",
+        report.execs,
+        report.valid_inputs.len()
+    );
+
+    // Per-phase breakdown of the driver loop (pick -> exec -> classify
+    // -> enqueue), from the spans recorded around each phase.
+    println!("phase breakdown:");
+    let total: u64 = [
+        "driver.pick",
+        "driver.exec",
+        "driver.classify",
+        "driver.enqueue",
+    ]
+    .iter()
+    .filter_map(|p| registry.span_stat(p))
+    .map(|s| s.total_ns)
+    .sum();
+    for phase in [
+        "driver.pick",
+        "driver.exec",
+        "driver.classify",
+        "driver.enqueue",
+    ] {
+        let stat = registry.span_stat(phase).unwrap_or_default();
+        println!(
+            "  {phase:<16} {:>9} spans  {:>9.1} ms  {:>5.1}%",
+            stat.count,
+            stat.total_ns as f64 / 1e6,
+            100.0 * stat.total_ns as f64 / total.max(1) as f64,
+        );
+    }
+
+    let snapshot = registry.snapshot();
+    snapshot
+        .check_identities()
+        .expect("counter identities hold by construction");
+    println!("\n{}", snapshot.encode());
+}

@@ -21,7 +21,10 @@
 //!   scoring;
 //! - [`eval`] — the harness regenerating every table and figure;
 //! - [`grammar`] — the Section 7.4 future-work pipeline: grammar mining
-//!   from pFuzzer's valid inputs and grammar-based generation.
+//!   from pFuzzer's valid inputs and grammar-based generation;
+//! - [`obs`] — the zero-dependency observability layer: campaign
+//!   metrics, phase spans and the `pdf-metrics v1` snapshot codec
+//!   (observe-only; enabling it never changes a campaign result).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use pdf_afl as afl;
 pub use pdf_core as pfuzzer;
 pub use pdf_eval as eval;
 pub use pdf_grammar as grammar;
+pub use pdf_obs as obs;
 pub use pdf_runtime as runtime;
 pub use pdf_subjects as subjects;
 pub use pdf_symbolic as symbolic;
