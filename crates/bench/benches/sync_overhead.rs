@@ -1,0 +1,55 @@
+//! Cost of the fleet coordinator's coverage merge.
+//!
+//! At every sync epoch the coordinator folds the per-shard `BranchSet`s
+//! into a fleet-wide union (`pdf_fleet::merge_coverage`). This bench
+//! measures that merge over realistic campaign-sized branch sets — the
+//! `valid_branches` of real short campaigns, one per shard seed — for
+//! fleet widths 2, 4, 8 and 16, plus the single-pair `union_with` it is
+//! built from (see EXPERIMENTS.md "Sync overhead").
+//!
+//! The sets are built once, outside the timing loop: the bench times
+//! the merge, not the campaigns that produced its inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pdf_core::{DriverConfig, Fuzzer};
+use pdf_runtime::BranchSet;
+
+/// `valid_branches` of a short mjs campaign per shard seed — the same
+/// shape of set a real fleet hands to the coordinator.
+fn shard_sets(shards: usize) -> Vec<BranchSet> {
+    let info = pdf_subjects::by_name("mjs").unwrap();
+    (0..shards as u64)
+        .map(|shard| {
+            let cfg = DriverConfig {
+                seed: 1 + shard,
+                max_execs: 2_000,
+                ..DriverConfig::default()
+            };
+            Fuzzer::new(info.subject, cfg).run().valid_branches
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let sets = shard_sets(16);
+    let mut group = c.benchmark_group("sync_overhead");
+    group.sample_size(30);
+    for shards in [2usize, 4, 8, 16] {
+        group.bench_function(format!("merge_{shards:02}_shards"), |b| {
+            b.iter(|| pdf_fleet::merge_coverage(black_box(&sets[..shards])))
+        });
+    }
+    group.bench_function("union_with_pair", |b| {
+        b.iter(|| {
+            let mut acc = black_box(&sets[0]).clone();
+            acc.union_with(black_box(&sets[1]));
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -110,6 +110,10 @@ pub struct Checkpoint {
     pub valid_branches: Vec<(u64, bool)>,
     /// Branches covered by any run.
     pub all_branches: Vec<(u64, bool)>,
+    /// The candidate-scoring (steering) set: `vBr` plus any coverage
+    /// adopted from fleet peers. Absent in pre-fleet checkpoints, in
+    /// which case resuming falls back to `vBr`.
+    pub steer_branches: Vec<(u64, bool)>,
     /// The verdict cache of known-invalid inputs, sorted.
     pub known_invalid: Vec<Vec<u8>>,
     /// The candidate queue.
@@ -268,6 +272,7 @@ impl Checkpoint {
         }
         let _ = writeln!(out, "vbr set={}", encode_branches(&self.valid_branches));
         let _ = writeln!(out, "abr set={}", encode_branches(&self.all_branches));
+        let _ = writeln!(out, "sbr set={}", encode_branches(&self.steer_branches));
         for input in &self.known_invalid {
             let _ = writeln!(out, "inv hex={}", hex_encode(input));
         }
@@ -362,6 +367,9 @@ impl Checkpoint {
                 "abr" => {
                     ck.all_branches = rec.branches_of("set").ok_or_else(|| err("bad set"))?;
                 }
+                "sbr" => {
+                    ck.steer_branches = rec.branches_of("set").ok_or_else(|| err("bad set"))?;
+                }
                 "inv" => {
                     ck.known_invalid
                         .push(rec.bytes_of("hex").ok_or_else(|| err("bad hex"))?);
@@ -423,6 +431,7 @@ mod tests {
             valid: vec![(b"1".to_vec(), 12), (b"1+1".to_vec(), 50)],
             valid_branches: vec![(1, true), (2, false)],
             all_branches: vec![(1, true), (2, false), (3, true)],
+            steer_branches: vec![(1, true), (2, false), (9, true)],
             known_invalid: vec![b"(".to_vec(), b")".to_vec()],
             queue: QueueSnapshot {
                 seq: 9,

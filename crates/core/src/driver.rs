@@ -126,6 +126,105 @@ enum ByteSource {
     Replay { stream: Vec<u8>, pos: usize },
 }
 
+/// A coordinator's window into a paused campaign, obtained from
+/// [`Fuzzer::sync_point`] between [`Fuzzer::run_until`] calls.
+///
+/// This is the hook the `pdf-fleet` crate builds sharded campaigns on:
+/// at every synchronization epoch the coordinator reads each shard's
+/// discoveries through its sync point and [injects](Self::inject) the
+/// valid inputs other shards found into this shard's candidate queue.
+///
+/// The window is deliberately narrow. Reads expose only the
+/// deterministic search state (valid inputs, coverage, execution
+/// count, queue depth); the two write operations enqueue an input
+/// through the ordinary [`CandidateQueue`] scoring path
+/// ([`inject`](Self::inject)) and union peer coverage into the
+/// candidate-scoring set ([`adopt_coverage`](Self::adopt_coverage)).
+/// None of them touches the RNG, so sync points preserve the
+/// campaign's determinism contract: with a fixed pause/injection
+/// schedule, re-running reproduces the decision stream and report
+/// digest exactly.
+#[derive(Debug)]
+pub struct SyncPoint<'a> {
+    fuzzer: &'a mut Fuzzer,
+}
+
+impl SyncPoint<'_> {
+    /// Valid inputs discovered so far, in discovery order.
+    pub fn valid_inputs(&self) -> &[Vec<u8>] {
+        &self.fuzzer.state.report.valid_inputs
+    }
+
+    /// For each valid input, the execution count at which it was found
+    /// (parallel to [`valid_inputs`](Self::valid_inputs)).
+    pub fn valid_found_at(&self) -> &[u64] {
+        &self.fuzzer.state.report.valid_found_at
+    }
+
+    /// Branches covered by valid inputs so far (`vBr`).
+    pub fn valid_branches(&self) -> &BranchSet {
+        &self.fuzzer.state.report.valid_branches
+    }
+
+    /// Branches covered by any run so far, valid or not.
+    pub fn all_branches(&self) -> &BranchSet {
+        &self.fuzzer.state.report.all_branches
+    }
+
+    /// Subject executions spent so far.
+    pub fn execs(&self) -> u64 {
+        self.fuzzer.state.report.execs
+    }
+
+    /// Current candidate queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.fuzzer.state.queue.len()
+    }
+
+    /// Enqueues an externally discovered input as a candidate.
+    ///
+    /// The input enters through the ordinary queue-scoring path with no
+    /// parent lineage: empty parent branches (its coverage is unknown
+    /// to *this* shard until it runs), a replacement length equal to
+    /// the input length (a whole foreign input is the strongest form of
+    /// "large known-good splice", which ranks it above most locally
+    /// derived candidates), and a path hash of the input bytes so
+    /// repeated injections of the same input decay via the usual
+    /// path-seen penalty. No RNG byte is consumed, and checkpointing
+    /// serializes injected entries like any other queue item.
+    pub fn inject(&mut self, input: Vec<u8>) {
+        let st = &mut self.fuzzer.state;
+        let replacement_len = input.len().max(1);
+        let path_hash = digest_bytes(&input);
+        st.queue.push(
+            QueueEntry {
+                input,
+                parent_branches: BranchSet::new(),
+                replacement_len,
+                avg_stack: 0.0,
+                num_parents: 0,
+                path_hash,
+            },
+            &st.steer_branches,
+        );
+    }
+
+    /// Merges externally discovered valid-branch coverage into this
+    /// shard's *steering* set.
+    ///
+    /// Adopted branches count as "already covered by a valid input"
+    /// for candidate scoring only: the heuristic stops rewarding
+    /// candidates that merely rediscover them, pushing this shard
+    /// toward regions no shard has validated yet. `run_check` keeps
+    /// gating on the shard's own `vBr`, so locally new valid inputs
+    /// are still recorded (and can still carry tokens the branch
+    /// picture says nothing about). Deterministic (a set union) and
+    /// RNG-free; the steering set is checkpointed alongside `vBr`.
+    pub fn adopt_coverage(&mut self, coverage: &BranchSet) {
+        self.fuzzer.state.steer_branches.union_with(coverage);
+    }
+}
+
 /// The live search state of a campaign, separated from the driver's
 /// immutable configuration so [`Fuzzer::run_until`] can pause between
 /// iterations and [`Fuzzer::checkpoint`] can serialize everything the
@@ -135,6 +234,11 @@ struct CampaignState {
     report: FuzzReport,
     queue: CandidateQueue,
     known_invalid: HashSet<Vec<u8>>,
+    /// The branch set candidates are scored against: the shard's own
+    /// `vBr` plus any coverage adopted from fleet peers
+    /// ([`SyncPoint::adopt_coverage`]). Equal to `report.valid_branches`
+    /// in a standalone campaign; only ever a superset of it.
+    steer_branches: BranchSet,
     current: Vec<u8>,
     parents: usize,
     /// Whether the initial input (Algorithm 1, line 4) was drawn yet.
@@ -160,6 +264,7 @@ impl CampaignState {
             },
             queue: CandidateQueue::new(heuristic),
             known_invalid: HashSet::new(),
+            steer_branches: BranchSet::new(),
             current: Vec::new(),
             parents: 0,
             primed: false,
@@ -270,6 +375,31 @@ impl Fuzzer {
         self.state.report.execs
     }
 
+    /// Opens a [`SyncPoint`] on the paused campaign: a coordinator's
+    /// window for reading search state and injecting externally
+    /// discovered inputs between [`run_until`](Self::run_until) calls.
+    ///
+    /// Everything a sync point does is RNG-free — reading state draws
+    /// nothing, and [`SyncPoint::inject`] goes straight into the
+    /// candidate queue — so a fixed schedule of pauses and injections
+    /// keeps the campaign deterministic: the decision stream stays a
+    /// pure function of the seed and the injected inputs.
+    ///
+    /// ```
+    /// use pdf_core::{CampaignBudget, DriverConfig, Fuzzer};
+    ///
+    /// let cfg = DriverConfig { seed: 1, max_execs: 400, ..DriverConfig::default() };
+    /// let mut fuzzer = Fuzzer::new(pdf_subjects::dyck::subject(), cfg);
+    /// fuzzer.run_until(&CampaignBudget::execs(100));
+    /// let mut sp = fuzzer.sync_point();
+    /// let before = sp.queue_len();
+    /// sp.inject(b"()".to_vec());
+    /// assert_eq!(sp.queue_len(), before + 1);
+    /// ```
+    pub fn sync_point(&mut self) -> SyncPoint<'_> {
+        SyncPoint { fuzzer: self }
+    }
+
     /// Runs the campaign to completion and reports the results.
     pub fn run(mut self) -> FuzzReport {
         self.run_until(&CampaignBudget::unbounded());
@@ -344,6 +474,7 @@ impl Fuzzer {
                 let accepted = self.run_check(
                     &mut st.report,
                     &mut st.queue,
+                    &mut st.steer_branches,
                     &st.current,
                     &exec,
                     st.parents,
@@ -367,8 +498,14 @@ impl Fuzzer {
                 extended.push(self.next_byte());
                 pdf_obs::record(|m| m.appends.inc());
                 let exec2 = clock.time("execute", || self.execute(&mut st.report, &extended));
-                let accepted2 =
-                    self.run_check(&mut st.report, &mut st.queue, &extended, &exec2, st.parents);
+                let accepted2 = self.run_check(
+                    &mut st.report,
+                    &mut st.queue,
+                    &mut st.steer_branches,
+                    &extended,
+                    &exec2,
+                    st.parents,
+                );
                 if !accepted2 {
                     // Line 11: derive substitution candidates from the
                     // extended run.
@@ -377,7 +514,7 @@ impl Fuzzer {
                         &extended,
                         &exec2.failure,
                         st.parents,
-                        &st.report,
+                        &st.steer_branches,
                     );
                     if exec2.failure.candidates.is_empty()
                         && st.current.len() <= self.cfg.max_input_len
@@ -396,7 +533,7 @@ impl Fuzzer {
                                 num_parents: st.parents + 1,
                                 path_hash: exec2.failure.path_hash,
                             },
-                            &st.report.valid_branches,
+                            &st.steer_branches,
                         );
                     }
                 }
@@ -404,15 +541,15 @@ impl Fuzzer {
             }
             // Line 14: next candidate, or a fresh random restart.
             let st_queue = &mut st.queue;
-            let st_report = &st.report;
+            let st_steer = &st.steer_branches;
             let search = self.cfg.search;
             let next = clock.time("schedule", || {
                 let _span = pdf_obs::span("driver.pick");
                 if st_queue.len() > QUEUE_HIGH_WATER {
-                    st_queue.shrink(QUEUE_LOW_WATER, &st_report.valid_branches);
+                    st_queue.shrink(QUEUE_LOW_WATER, st_steer);
                 }
                 match search {
-                    SearchMode::Heuristic => st_queue.pop(&st_report.valid_branches),
+                    SearchMode::Heuristic => st_queue.pop(st_steer),
                     SearchMode::DepthFirst => st_queue.pop_newest(),
                     SearchMode::BreadthFirst => st_queue.pop_oldest(),
                 }
@@ -507,6 +644,7 @@ impl Fuzzer {
                 .collect(),
             valid_branches: branch_pairs_of(&st.report.valid_branches),
             all_branches: branch_pairs_of(&st.report.all_branches),
+            steer_branches: branch_pairs_of(&st.steer_branches),
             known_invalid,
             queue: QueueSnapshot {
                 seq: qs.seq,
@@ -627,10 +765,15 @@ impl Fuzzer {
                 pops_since_rebuild: ck.queue.pops_since_rebuild as usize,
             },
         );
+        // Pre-fleet checkpoints have no steering record; vBr is the
+        // correct fallback (they are equal outside a fleet).
+        let mut steer_branches = branch_set_of(&ck.steer_branches);
+        steer_branches.union_with(&report.valid_branches);
         let state = CampaignState {
             report,
             queue,
             known_invalid: ck.known_invalid.iter().cloned().collect(),
+            steer_branches,
             current: ck.current.clone(),
             parents: ck.parents as usize,
             primed: ck.primed,
@@ -696,6 +839,7 @@ impl Fuzzer {
         &mut self,
         report: &mut FuzzReport,
         queue: &mut CandidateQueue,
+        steer: &mut BranchSet,
         input: &[u8],
         exec: &FailureExecution,
         parents: usize,
@@ -714,9 +858,10 @@ impl Fuzzer {
             report.valid_found_at.push(report.execs);
             report.first_valid_execs.get_or_insert(report.execs);
             report.valid_branches.union_with(&summary.branches);
+            steer.union_with(&summary.branches);
             // Queue rescoring (line 40) is implicit: scores are computed
-            // against the live vBr at pop time.
-            self.add_inputs(queue, input, summary, parents, report);
+            // against the live steering set at pop time.
+            self.add_inputs(queue, input, summary, parents, steer);
             true
         } else {
             false
@@ -731,7 +876,7 @@ impl Fuzzer {
         input: &[u8],
         summary: &FailureSummary,
         parents: usize,
-        report: &FuzzReport,
+        steer: &BranchSet,
     ) {
         let _span = pdf_obs::span("driver.enqueue");
         if input.len() > self.cfg.max_input_len {
@@ -751,7 +896,7 @@ impl Fuzzer {
                     num_parents: parents + 1,
                     path_hash: summary.path_hash,
                 },
-                &report.valid_branches,
+                steer,
             );
             return;
         }
@@ -774,7 +919,7 @@ impl Fuzzer {
                     num_parents: parents + 1,
                     path_hash: summary.path_hash,
                 },
-                &report.valid_branches,
+                steer,
             );
         }
         if pushed > 0 {

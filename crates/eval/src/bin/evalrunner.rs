@@ -33,14 +33,14 @@ fn main() {
     let metrics_out = pdf_eval::metrics_out_from_args();
 
     if let Some(path) = pdf_eval::replay_path_from_args() {
-        let jobs = pdf_eval::jobs_from_args();
+        let jobs = pdf_eval::require_arg(pdf_eval::jobs_from_args());
         let code = replay(&path, jobs);
         drop(ticker);
         write_metrics(metrics_out.as_deref(), &registry);
         std::process::exit(code);
     }
     let budget = pdf_eval::budget_from_args(30_000);
-    let jobs = pdf_eval::jobs_from_args();
+    let jobs = pdf_eval::require_arg(pdf_eval::jobs_from_args());
     let sup = pdf_eval::supervisor_from_args();
     let chaos_seed = pdf_eval::chaos_seed_from_args();
     let stats_out = pdf_eval::stats_out_from_args();

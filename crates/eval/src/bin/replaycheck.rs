@@ -91,7 +91,7 @@ fn main() {
 }
 
 fn run() -> i32 {
-    let jobs = pdf_eval::jobs_from_args();
+    let jobs = pdf_eval::require_arg(pdf_eval::jobs_from_args());
     if let Some(pause_at) = pdf_eval::resume_at_from_args() {
         let budget = pdf_eval::budget_from_args(2_000);
         if resume_selftest(pause_at, &budget) > 0 {

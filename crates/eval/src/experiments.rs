@@ -236,6 +236,157 @@ pub fn token_discovery(outcomes: &[Outcome]) -> Vec<DiscoveryRow> {
     rows
 }
 
+/// One campaign's side of the sharding experiment
+/// ([`FleetComparison`]): its token discoveries and what they cost.
+#[derive(Debug, Clone)]
+pub struct FleetSide {
+    /// Inventory tokens found, in discovery-cost order.
+    pub tokens: Vec<&'static str>,
+    /// Total executions spent when the last token of the *single*
+    /// campaign's token set had been found; `None` when that exact set
+    /// was never covered. (For the single campaign itself this is
+    /// always `Some`: the cost of its own last token.)
+    pub execs_to_cover: Option<u64>,
+    /// Total executions spent when this campaign had found as *many*
+    /// distinct tokens as the single campaign — the Figure-3 y-axis is
+    /// a count, so this is the identity-free version of
+    /// `execs_to_cover`. `None` when the count was never reached.
+    pub execs_to_count: Option<u64>,
+    /// Executions actually spent in total.
+    pub total_execs: u64,
+}
+
+/// Result of the sharding experiment: a single-shard campaign of
+/// `budget` executions vs a cooperative fleet vs N independent shards,
+/// each shard also running `budget` executions (so the fleet and the
+/// ensemble spend `shards × budget` in total — the paper's "N
+/// restarts" baseline). Fleet/ensemble costs are total executions
+/// summed across shards (within-epoch lockstep upper bound — see
+/// [`FleetReport::valid_found_at`](pdf_fleet::FleetReport::valid_found_at));
+/// divide by `shards` for the wall-clock (per-worker) cost.
+#[derive(Debug, Clone)]
+pub struct FleetComparison {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Fleet shard count.
+    pub shards: usize,
+    /// Per-shard executions between fleet sync epochs.
+    pub sync_every: u64,
+    /// Per-shard (and single-campaign) execution budget.
+    pub budget: u64,
+    /// The single-shard driver.
+    pub single: FleetSide,
+    /// The cooperative fleet (syncing every `sync_every` execs).
+    pub fleet: FleetSide,
+    /// The same shards with no mid-campaign cooperation (one sync at
+    /// the very end, which merges reports but can no longer help the
+    /// search).
+    pub independent: FleetSide,
+}
+
+/// For every inventory token some input produced, the discovery cost of
+/// the *first* input producing it (inputs paired with their costs, in
+/// cost order).
+fn token_costs(
+    subject: &'static str,
+    inputs: &[Vec<u8>],
+    costs: &[u64],
+) -> Vec<(&'static str, u64)> {
+    let mut found: Vec<(&'static str, u64)> = Vec::new();
+    for (input, &cost) in inputs.iter().zip(costs) {
+        for token in pdf_tokens::found_tokens(subject, input) {
+            match found.iter_mut().find(|(name, _)| *name == token) {
+                Some(slot) => slot.1 = slot.1.min(cost),
+                None => found.push((token, cost)),
+            }
+        }
+    }
+    found.sort_by_key(|&(name, cost)| (cost, name));
+    found
+}
+
+/// Builds one [`FleetSide`] from discovery costs, measured against the
+/// single campaign's token set.
+fn fleet_side(
+    costs: &[(&'static str, u64)],
+    single_costs: &[(&'static str, u64)],
+    total_execs: u64,
+) -> FleetSide {
+    let execs_to_cover = single_costs
+        .iter()
+        .map(|&(name, _)| costs.iter().find(|&&(n, _)| n == name).map(|&(_, c)| c))
+        .collect::<Option<Vec<u64>>>()
+        .map(|c| c.into_iter().max().unwrap_or(0));
+    // costs are sorted ascending, so the n-th entry is the cost of
+    // reaching n distinct tokens
+    let execs_to_count = match single_costs.len() {
+        0 => Some(0),
+        n => costs.get(n - 1).map(|&(_, c)| c),
+    };
+    FleetSide {
+        tokens: costs.iter().map(|&(n, _)| n).collect(),
+        execs_to_cover,
+        execs_to_count,
+        total_execs,
+    }
+}
+
+/// The sharding experiment (EXPERIMENTS.md "Fleet sharding"): runs the
+/// plain single-shard driver for `budget` executions, then a
+/// cooperative [`pdf_fleet::Fleet`] of `shards` workers and the same
+/// shards run independently (no mid-campaign sync), each shard with
+/// the same `budget`, and reports how many total executions each side
+/// needed to match the single campaign's token discoveries.
+/// Deterministic in all arguments.
+pub fn fleet_vs_single(
+    info: &pdf_subjects::SubjectInfo,
+    budget: u64,
+    seed: u64,
+    shards: usize,
+    sync_every: u64,
+) -> FleetComparison {
+    let single = Fuzzer::new(
+        info.subject,
+        DriverConfig {
+            seed,
+            max_execs: budget,
+            ..DriverConfig::default()
+        },
+    )
+    .run();
+    let single_costs = token_costs(info.name, &single.valid_inputs, &single.valid_found_at);
+
+    let run_fleet = |sync: u64| {
+        let base = DriverConfig {
+            seed,
+            max_execs: budget.max(1),
+            ..DriverConfig::default()
+        };
+        let report = pdf_fleet::Fleet::new(
+            info.subject,
+            pdf_fleet::FleetConfig::new(shards, sync, base),
+        )
+        .expect("fleet_vs_single called with a valid shard/sync shape")
+        .run();
+        let costs = token_costs(info.name, &report.valid_inputs, &report.valid_found_at);
+        fleet_side(&costs, &single_costs, report.total_execs)
+    };
+    let fleet = run_fleet(sync_every);
+    // syncing only once, after every shard has exhausted its budget,
+    // is exactly the N-independent-restarts baseline
+    let independent = run_fleet(budget.max(1));
+
+    FleetComparison {
+        subject: info.name,
+        shards,
+        sync_every,
+        budget,
+        single: fleet_side(&single_costs, &single_costs, single.execs),
+        fleet,
+        independent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +397,28 @@ mod tests {
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0], ("ini", "2018-10-25", 293));
         assert_eq!(rows[4], ("mjs", "2018-06-21", 10_920));
+    }
+
+    #[test]
+    fn fleet_vs_single_is_deterministic_and_budget_bounded() {
+        let info = pdf_subjects::by_name("cjson").unwrap();
+        let a = fleet_vs_single(&info, 1_000, 1, 2, 250);
+        let b = fleet_vs_single(&info, 1_000, 1, 2, 250);
+        assert_eq!(a.single.tokens, b.single.tokens);
+        assert_eq!(a.fleet.tokens, b.fleet.tokens);
+        assert_eq!(a.fleet.execs_to_cover, b.fleet.execs_to_cover);
+        assert_eq!(a.fleet.execs_to_count, b.fleet.execs_to_count);
+        assert!(a.single.total_execs <= 1_000);
+        // fleet and ensemble each get `budget` per shard
+        assert!(a.fleet.total_execs <= 2_000);
+        assert!(a.independent.total_execs <= 2_000);
+        // the single campaign trivially covers its own token set, at
+        // the same cost as reaching its own count
+        assert_eq!(
+            a.single.execs_to_cover, a.single.execs_to_count,
+            "single side must be self-consistent"
+        );
+        assert_eq!(a.shards, 2);
     }
 
     #[test]

@@ -36,8 +36,9 @@ mod runner;
 
 pub use coverage::{coverage_universe, relative_coverage};
 pub use experiments::{
-    fig1_walkthrough, fig2_coverage, fig3_tokens, headline_aggregates, run_matrix, run_matrix_jobs,
-    table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow,
+    fig1_walkthrough, fig2_coverage, fig3_tokens, fleet_vs_single, headline_aggregates, run_matrix,
+    run_matrix_jobs, table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row,
+    Fig3Cell, FleetComparison, FleetSide, HeadlineRow,
 };
 pub use progress::ProgressTicker;
 pub use render::{
@@ -48,10 +49,10 @@ pub use replay::{
     cell_config_hash, journal_of, record_cells, replay_journal, CellDiff, ReplayReport,
 };
 pub use runner::{
-    attempt_seed, best_outcome, collapse_matrix, completed_outcomes, matrix_cells,
-    matrix_cells_for, outcome_digest, run_cell_supervised, run_cells, run_cells_supervised,
-    run_tool, run_tool_seeded, supervision_summary, CellOutcome, EvalBudget, MatrixCell, Outcome,
-    PoisonedCell, SupervisorConfig, Tool,
+    attempt_seed, best_outcome, collapse_matrix, completed_outcomes, fleet_config_for,
+    matrix_cells, matrix_cells_for, outcome_digest, run_cell_supervised, run_cells,
+    run_cells_supervised, run_tool, run_tool_seeded, supervision_summary, CellOutcome, EvalBudget,
+    MatrixCell, Outcome, PoisonedCell, SupervisorConfig, Tool, FLEET_SHARDS,
 };
 
 /// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
@@ -94,18 +95,85 @@ pub fn budget_from_args(default_execs: u64) -> EvalBudget {
     budget
 }
 
-/// Parses `--jobs N` from the command line: worker threads for the
-/// matrix fan-out. Defaults to 1 (serial). Zero is clamped to 1.
-pub fn jobs_from_args() -> usize {
-    let args: Vec<String> = std::env::args().collect();
+/// Parses a positive-integer `--flag N` argument from `args`: the flag
+/// is optional (absent → `default`), but a present flag must carry a
+/// well-formed value of at least 1 — `--jobs 0` or `--shards 0`
+/// silently degenerate (a serial "parallel" run, an empty fleet), so
+/// they are rejected with a clear error instead of being clamped.
+///
+/// The shared parsing core behind [`jobs_from_args`],
+/// [`shards_from_args`] and [`sync_every_from_args`]; exposed so every
+/// binary rejects bad counts with the same wording.
+///
+/// # Errors
+///
+/// A human-readable message naming the flag when its value is missing,
+/// malformed or zero.
+pub fn positive_arg_in(args: &[String], flag: &str, default: u64) -> Result<u64, String> {
     for i in 1..args.len() {
-        if args[i] == "--jobs" {
-            if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
-                return n.max(1);
+        if args[i] == flag {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            let n: u64 = raw
+                .parse()
+                .map_err(|_| format!("{flag} expects a positive integer, got {raw:?}"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be at least 1 (got 0)"));
             }
+            return Ok(n);
         }
     }
-    1
+    Ok(default)
+}
+
+/// Parses `--jobs N` from the command line: worker threads for the
+/// matrix fan-out. Defaults to 1 (serial).
+///
+/// # Errors
+///
+/// A clear message when `--jobs` is present with a missing, malformed
+/// or zero value (`--jobs 0` would silently run serially).
+pub fn jobs_from_args() -> Result<usize, String> {
+    let args: Vec<String> = std::env::args().collect();
+    positive_arg_in(&args, "--jobs", 1).map(|n| n as usize)
+}
+
+/// Parses `--shards N` from the command line: fleet worker shards.
+/// Defaults to [`FLEET_SHARDS`].
+///
+/// # Errors
+///
+/// A clear message when `--shards` is present with a missing, malformed
+/// or zero value (`--shards 0` would be an empty fleet).
+pub fn shards_from_args() -> Result<usize, String> {
+    let args: Vec<String> = std::env::args().collect();
+    positive_arg_in(&args, "--shards", FLEET_SHARDS as u64).map(|n| n as usize)
+}
+
+/// Parses `--sync-every N` from the command line: per-shard executions
+/// between fleet synchronization epochs. Defaults to `default`.
+///
+/// # Errors
+///
+/// A clear message when `--sync-every` is present with a missing,
+/// malformed or zero value (a zero interval would never advance).
+pub fn sync_every_from_args(default: u64) -> Result<u64, String> {
+    let args: Vec<String> = std::env::args().collect();
+    positive_arg_in(&args, "--sync-every", default)
+}
+
+/// Unwraps a CLI parse result, printing the error to stderr and
+/// exiting with status 2 on failure — the shared rejection path of
+/// `evalrunner`, `replaycheck` and `fleetrunner`.
+pub fn require_arg<T>(parsed: Result<T, String>) -> T {
+    match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parses `--stats-out PATH` from the command line: where to write the
@@ -155,6 +223,13 @@ pub fn chaos_seed_from_args() -> Option<u64> {
         }
     }
     None
+}
+
+/// Parses `--checkpoint-dir PATH` from the command line: the directory
+/// `fleetrunner` checkpoints the fleet into at every epoch boundary
+/// (and resumes from with `--resume`).
+pub fn checkpoint_dir_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--checkpoint-dir")
 }
 
 /// Parses `--metrics-out PATH` from the command line: where to write
@@ -226,4 +301,50 @@ pub fn stats_json_line(o: &Outcome) -> String {
         o.seed,
         o.stats.json_fields()
     )
+}
+
+#[cfg(test)]
+mod cli_tests {
+    use super::positive_arg_in;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        std::iter::once("prog")
+            .chain(list.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn absent_flag_falls_back_to_default() {
+        assert_eq!(positive_arg_in(&args(&[]), "--jobs", 1), Ok(1));
+        assert_eq!(
+            positive_arg_in(&args(&["--execs", "100"]), "--shards", 4),
+            Ok(4)
+        );
+    }
+
+    #[test]
+    fn present_flag_parses_positive_values() {
+        assert_eq!(positive_arg_in(&args(&["--jobs", "8"]), "--jobs", 1), Ok(8));
+        assert_eq!(
+            positive_arg_in(&args(&["--shards", "2", "--jobs", "8"]), "--shards", 4),
+            Ok(2)
+        );
+    }
+
+    #[test]
+    fn zero_is_rejected_with_a_clear_error() {
+        let err = positive_arg_in(&args(&["--jobs", "0"]), "--jobs", 1).unwrap_err();
+        assert!(err.contains("--jobs"), "error must name the flag: {err}");
+        assert!(err.contains("at least 1"), "error must explain: {err}");
+        let err = positive_arg_in(&args(&["--shards", "0"]), "--shards", 4).unwrap_err();
+        assert!(err.contains("--shards"));
+    }
+
+    #[test]
+    fn malformed_and_missing_values_are_rejected() {
+        assert!(positive_arg_in(&args(&["--jobs", "many"]), "--jobs", 1).is_err());
+        assert!(positive_arg_in(&args(&["--jobs", "-3"]), "--jobs", 1).is_err());
+        assert!(positive_arg_in(&args(&["--jobs"]), "--jobs", 1).is_err());
+    }
 }

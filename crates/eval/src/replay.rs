@@ -26,6 +26,17 @@ use crate::runner::{outcome_digest, pfuzzer_outcome, run_cells, CellOutcome, Mat
 pub fn cell_config_hash(tool: Tool) -> u64 {
     match tool {
         Tool::PFuzzer => DriverConfig::default().config_hash(),
+        // The fleet derives its shape (shards, sync interval, per-shard
+        // budget) from the cell's execs and seed, so mixing the shard
+        // count into the driver hash pins down everything that is not
+        // already in the journal cell.
+        Tool::PFuzzerFleet => {
+            let mut d = pdf_runtime::Digest::new();
+            d.write_str("fleet");
+            d.write_u64(crate::runner::FLEET_SHARDS as u64);
+            d.write_u64(DriverConfig::default().config_hash());
+            d.finish()
+        }
         Tool::Afl => pdf_afl::AflConfig::default().config_hash(),
         Tool::Klee => pdf_symbolic::KleeConfig::default().config_hash(),
     }
@@ -323,9 +334,35 @@ mod tests {
 
     #[test]
     fn cell_config_hashes_are_distinct_per_tool() {
-        let hashes: Vec<u64> = Tool::ALL.into_iter().map(cell_config_hash).collect();
-        assert_ne!(hashes[0], hashes[1]);
-        assert_ne!(hashes[1], hashes[2]);
-        assert_ne!(hashes[0], hashes[2]);
+        let hashes: Vec<u64> = Tool::ALL
+            .into_iter()
+            .chain([Tool::PFuzzerFleet])
+            .map(cell_config_hash)
+            .collect();
+        for i in 0..hashes.len() {
+            for j in 0..i {
+                assert_ne!(hashes[i], hashes[j], "tools {i} and {j} share a hash");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_cells_record_and_replay() {
+        let info = pdf_subjects::by_name("arith").unwrap();
+        let cells = vec![MatrixCell {
+            info,
+            tool: Tool::PFuzzerFleet,
+            execs: 800,
+            seed: 3,
+        }];
+        let (_, journal) = record_cells(&cells, 1);
+        assert_eq!(journal.cells.len(), 1);
+        assert_eq!(journal.cells[0].tool, "pFuzzerFleet");
+        let report = replay_journal(&journal, 1);
+        assert!(
+            report.is_clean(),
+            "fleet replay diverged: {:?}",
+            report.diffs
+        );
     }
 }

@@ -17,11 +17,19 @@ use pdf_runtime::{catch_silent, BranchSet, Digest, RunStats};
 use pdf_subjects::SubjectInfo;
 use pdf_symbolic::{KleeConfig, KleeFuzzer};
 
-/// The three tools of the evaluation.
+/// The three tools of the evaluation, plus the sharded-fleet variant
+/// of pFuzzer for 1-shard vs N-shard comparisons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tool {
     /// The paper's contribution.
     PFuzzer,
+    /// The paper's contribution run as a sharded cooperative fleet
+    /// ([`pdf_fleet::Fleet`], [`FLEET_SHARDS`] workers splitting the
+    /// execution budget and sharing discoveries every sync epoch). Not
+    /// part of [`Tool::ALL`]: the paper's matrix compares the three
+    /// single-campaign tools, and the fleet rides alongside for the
+    /// sharding experiment (`fleetrunner`, EXPERIMENTS.md).
+    PFuzzerFleet,
     /// The "lexical" baseline.
     Afl,
     /// The "semantic" baseline.
@@ -29,22 +37,53 @@ pub enum Tool {
 }
 
 impl Tool {
-    /// All tools in the paper's plotting order.
+    /// The paper's three tools, in plotting order.
     pub const ALL: [Tool; 3] = [Tool::Afl, Tool::Klee, Tool::PFuzzer];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
             Tool::PFuzzer => "pFuzzer",
+            Tool::PFuzzerFleet => "pFuzzerFleet",
             Tool::Afl => "AFL",
             Tool::Klee => "KLEE",
         }
     }
 
     /// The inverse of [`Tool::name`], used when decoding journals.
+    /// Covers the fleet variant too, so recorded fleet cells replay.
     pub fn from_name(name: &str) -> Option<Tool> {
-        Tool::ALL.into_iter().find(|t| t.name() == name)
+        Tool::ALL
+            .into_iter()
+            .chain([Tool::PFuzzerFleet])
+            .find(|t| t.name() == name)
     }
+}
+
+/// Shard count [`Tool::PFuzzerFleet`] runs with. Fixed (rather than an
+/// [`EvalBudget`] knob) so a journaled fleet cell pins down its whole
+/// configuration from `(tool, execs, seed)` alone.
+pub const FLEET_SHARDS: usize = 4;
+
+/// The fleet configuration [`Tool::PFuzzerFleet`] derives from a cell's
+/// total execution budget and seed: [`FLEET_SHARDS`] workers splitting
+/// `execs` evenly, syncing eight times per shard-budget (at least every
+/// 50 execs, so tiny budgets still cooperate). Shared by the fresh-run
+/// and replay paths so both digest identically; `fleetrunner` uses it
+/// as the default shape too.
+pub fn fleet_config_for(execs: u64, seed: u64) -> pdf_fleet::FleetConfig {
+    let per_shard = (execs / FLEET_SHARDS as u64).max(1);
+    let sync_every = (per_shard / 8).clamp(50, per_shard.max(50));
+    let base = DriverConfig {
+        seed,
+        max_execs: per_shard,
+        ..DriverConfig::default()
+    };
+    // Serial inside the cell: the eval matrix already fans out across
+    // cells, and serial vs parallel fleets are digest-identical anyway.
+    let mut cfg = pdf_fleet::FleetConfig::new(FLEET_SHARDS, sync_every, base);
+    cfg.parallel = false;
+    cfg
 }
 
 /// Per-run budget: executions and the seeds to try (best run reported,
@@ -162,6 +201,48 @@ pub(crate) fn pfuzzer_outcome(subject: &'static str, seed: u64, r: FuzzReport) -
     }
 }
 
+/// Converts a [`pdf_fleet::FleetReport`] into the tool-independent
+/// [`Outcome`] form. The fleet's deduplicated valid inputs carry
+/// fleet-total discovery costs (see
+/// [`FleetReport::valid_found_at`](pdf_fleet::FleetReport::valid_found_at)),
+/// deterministic counters sum across shards, and the decision digest is
+/// a length-framed digest over the per-shard journals — `decisions`
+/// itself stays empty like the baselines (one byte stream cannot
+/// represent N journals).
+pub(crate) fn fleet_outcome(
+    subject: &'static str,
+    seed: u64,
+    r: pdf_fleet::FleetReport,
+) -> Outcome {
+    let mut stats = RunStats::default();
+    let mut stream_digest = Digest::new();
+    for shard in &r.shards {
+        stats.events += shard.stats.events;
+        stats.hangs += shard.stats.hangs;
+        stats.crashes += shard.stats.crashes;
+        stats.queue_depth += shard.stats.queue_depth;
+        stats.decisions += shard.stats.decisions;
+        stats.wall_secs += shard.stats.wall_secs;
+        stream_digest.write_u64(shard.decisions.len() as u64);
+        stream_digest.write_bytes(&shard.decisions);
+    }
+    stats.executions = r.total_execs;
+    stats.valid_inputs = r.valid_inputs.len() as u64;
+    stats.decision_digest = stream_digest.finish();
+    Outcome {
+        tool: Tool::PFuzzerFleet,
+        subject,
+        seed,
+        valid_inputs: r.valid_inputs,
+        valid_found_at: r.valid_found_at,
+        execs: r.total_execs,
+        valid_branches: r.valid_branches,
+        all_branches: r.all_branches,
+        decisions: Vec::new(),
+        stats,
+    }
+}
+
 /// Runs one tool on one subject with one seed.
 pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) -> Outcome {
     match tool {
@@ -173,6 +254,13 @@ pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) ->
             };
             let r = Fuzzer::new(info.subject, cfg).run();
             pfuzzer_outcome(info.name, seed, r)
+        }
+        Tool::PFuzzerFleet => {
+            let cfg = fleet_config_for(execs, seed);
+            let r = pdf_fleet::Fleet::new(info.subject, cfg)
+                .expect("fleet_config_for produces a valid config")
+                .run();
+            fleet_outcome(info.name, seed, r)
         }
         Tool::Afl => {
             let cfg = AflConfig {
@@ -587,10 +675,46 @@ mod tests {
     }
 
     #[test]
+    fn fleet_tool_is_deterministic_and_spends_the_split_budget() {
+        let info = pdf_subjects::by_name("arith").unwrap();
+        let a = run_tool_seeded(Tool::PFuzzerFleet, &info, 1_000, 1);
+        let b = run_tool_seeded(Tool::PFuzzerFleet, &info, 1_000, 1);
+        assert_eq!(outcome_digest(&a), outcome_digest(&b));
+        assert!(a.execs <= 1_000, "fleet overspent the total budget");
+        assert!(a.decisions.is_empty(), "fleet journals live per shard");
+        let c = run_tool_seeded(Tool::PFuzzerFleet, &info, 1_000, 2);
+        assert_ne!(outcome_digest(&a), outcome_digest(&c));
+    }
+
+    #[test]
+    fn fleet_config_derivation_is_valid_for_tiny_budgets() {
+        for execs in [1, 3, 50, 999, 30_000] {
+            let cfg = fleet_config_for(execs, 7);
+            assert_eq!(cfg.shards, FLEET_SHARDS);
+            assert!(cfg.sync_every >= 1);
+            assert!(cfg.base.max_execs >= 1);
+            assert!(
+                cfg.validate().is_ok(),
+                "execs={execs} derived invalid config"
+            );
+        }
+    }
+
+    #[test]
     fn tool_names() {
         assert_eq!(Tool::PFuzzer.name(), "pFuzzer");
+        assert_eq!(Tool::PFuzzerFleet.name(), "pFuzzerFleet");
         assert_eq!(Tool::Afl.name(), "AFL");
         assert_eq!(Tool::Klee.name(), "KLEE");
+        assert_eq!(
+            Tool::from_name("pFuzzerFleet"),
+            Some(Tool::PFuzzerFleet),
+            "fleet cells must decode from journals"
+        );
+        assert!(
+            !Tool::ALL.contains(&Tool::PFuzzerFleet),
+            "the paper's matrix stays three tools wide"
+        );
         for tool in Tool::ALL {
             assert_eq!(Tool::from_name(tool.name()), Some(tool));
         }

@@ -1,0 +1,304 @@
+//! The `pdf-fleet v1` manifest codec plus the crate's error type.
+//!
+//! A fleet checkpoint is a directory: one `pdf-checkpoint v1` file per
+//! shard (`shard-NN.ck`, written by the existing
+//! [`Fuzzer::checkpoint_to`](pdf_core::Fuzzer::checkpoint_to)) plus one
+//! `fleet.manifest` file holding the coordinator's own state — the
+//! epoch counter, how many of each shard's valid inputs the coordinator
+//! has already seen, and the sorted digest set of every input promoted
+//! so far. Together they reconstruct the fleet exactly: resuming and
+//! running to completion yields the same
+//! [`FleetReport::digest`](crate::FleetReport::digest) as an
+//! uninterrupted run.
+//!
+//! The text format follows the workspace's line-codec conventions
+//! (`pdf-journal` / `pdf-checkpoint` / `pdf-metrics`): a `pdf-fleet v1`
+//! header, one `meta` record, then one `seen` record per shard and one
+//! `prom` record per promoted digest. Unordered data (the promoted set)
+//! is emitted sorted, so encoding is canonical.
+
+use std::fmt;
+
+use pdf_core::CheckpointError;
+
+/// Name of the manifest file inside a fleet checkpoint directory.
+pub const MANIFEST_FILE: &str = "fleet.manifest";
+
+const HEADER: &str = "pdf-fleet v1";
+
+/// The file name of shard `i`'s checkpoint inside a fleet checkpoint
+/// directory.
+pub fn shard_file(shard: usize) -> String {
+    format!("shard-{shard:02}.ck")
+}
+
+/// Why a fleet could not be configured, checkpointed or resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The fleet configuration is invalid (zero shards, zero sync
+    /// interval, or a replay stream count that does not match the
+    /// shard count).
+    Config(String),
+    /// The manifest text does not start with the `pdf-fleet v1` header.
+    Header,
+    /// A manifest line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The configuration, subject or shard layout drifted since the
+    /// checkpoint was taken.
+    Drift(String),
+    /// A per-shard checkpoint failed to decode or resume.
+    Shard(CheckpointError),
+    /// Reading or writing a checkpoint file failed.
+    Io(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Config(what) => write!(f, "fleet config: {what}"),
+            FleetError::Header => write!(f, "missing `{HEADER}` header"),
+            FleetError::Parse { line, reason } => {
+                write!(f, "fleet manifest line {line}: {reason}")
+            }
+            FleetError::Drift(what) => write!(f, "fleet drift: {what}"),
+            FleetError::Shard(e) => write!(f, "fleet shard: {e}"),
+            FleetError::Io(e) => write!(f, "fleet io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CheckpointError> for FleetError {
+    fn from(e: CheckpointError) -> Self {
+        FleetError::Shard(e)
+    }
+}
+
+/// The coordinator's serialized state: everything a resumed fleet needs
+/// beyond the per-shard checkpoints.
+///
+/// ```
+/// use pdf_fleet::FleetManifest;
+///
+/// let m = FleetManifest {
+///     subject: "dyck".to_string(),
+///     config_hash: 0xabcd,
+///     base_seed: 7,
+///     shards: 2,
+///     sync_every: 500,
+///     epoch: 3,
+///     promotions: 2,
+///     injections: 2,
+///     seen_valid: vec![1, 1],
+///     promoted: vec![0x1111, 0x2222],
+/// };
+/// let back = FleetManifest::decode(&m.encode()).unwrap();
+/// assert_eq!(back, m);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetManifest {
+    /// Subject name the fleet runs against.
+    pub subject: String,
+    /// Shared [`DriverConfig::config_hash`](pdf_core::DriverConfig::config_hash)
+    /// of the base configuration (seed-independent, so one hash covers
+    /// every shard).
+    pub config_hash: u64,
+    /// The fleet's base seed (shard `i` runs with `base_seed + i`).
+    pub base_seed: u64,
+    /// Number of worker shards.
+    pub shards: u64,
+    /// Per-shard executions between synchronization epochs.
+    pub sync_every: u64,
+    /// Synchronization epochs completed.
+    pub epoch: u64,
+    /// Distinct valid inputs promoted so far.
+    pub promotions: u64,
+    /// Queue injections performed so far.
+    pub injections: u64,
+    /// Per shard: how many of its valid inputs the coordinator has
+    /// already examined (indexed by shard id).
+    pub seen_valid: Vec<u64>,
+    /// Digests of every promoted input, sorted ascending.
+    pub promoted: Vec<u64>,
+}
+
+impl FleetManifest {
+    /// Renders the manifest as `pdf-fleet v1` text.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(
+            out,
+            "meta subject={} cfg={:016x} seed={} shards={} sync={} epoch={} \
+             promotions={} injections={}",
+            self.subject,
+            self.config_hash,
+            self.base_seed,
+            self.shards,
+            self.sync_every,
+            self.epoch,
+            self.promotions,
+            self.injections,
+        );
+        for (shard, n) in self.seen_valid.iter().enumerate() {
+            let _ = writeln!(out, "seen shard={shard} valid={n}");
+        }
+        for dg in &self.promoted {
+            let _ = writeln!(out, "prom digest={dg:016x}");
+        }
+        out
+    }
+
+    /// Parses `pdf-fleet v1` text.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Header`] on a missing header, [`FleetError::Parse`]
+    /// on any malformed line (including `seen` records out of shard
+    /// order or an unsorted promoted set — encoding is canonical).
+    pub fn decode(text: &str) -> Result<FleetManifest, FleetError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l.trim() == HEADER => {}
+            _ => return Err(FleetError::Header),
+        }
+        let mut m = FleetManifest::default();
+        let mut saw_meta = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.trim().is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: &str| FleetError::Parse {
+                line: lineno,
+                reason: reason.to_string(),
+            };
+            let mut toks = line.split_whitespace();
+            let tag = toks.next().ok_or_else(|| err("empty record"))?;
+            let mut get = |key: &str| -> Result<&str, FleetError> {
+                toks.next()
+                    .and_then(|tok| tok.strip_prefix(key))
+                    .and_then(|tok| tok.strip_prefix('='))
+                    .ok_or_else(|| err(&format!("expected {key}=...")))
+            };
+            match tag {
+                "meta" => {
+                    m.subject = get("subject")?.to_string();
+                    m.config_hash =
+                        u64::from_str_radix(get("cfg")?, 16).map_err(|_| err("bad cfg hash"))?;
+                    m.base_seed = get("seed")?.parse().map_err(|_| err("bad seed"))?;
+                    m.shards = get("shards")?.parse().map_err(|_| err("bad shards"))?;
+                    m.sync_every = get("sync")?.parse().map_err(|_| err("bad sync"))?;
+                    m.epoch = get("epoch")?.parse().map_err(|_| err("bad epoch"))?;
+                    m.promotions = get("promotions")?
+                        .parse()
+                        .map_err(|_| err("bad promotions"))?;
+                    m.injections = get("injections")?
+                        .parse()
+                        .map_err(|_| err("bad injections"))?;
+                    saw_meta = true;
+                }
+                "seen" => {
+                    let shard: u64 = get("shard")?.parse().map_err(|_| err("bad shard"))?;
+                    if shard != m.seen_valid.len() as u64 {
+                        return Err(err("seen records out of shard order"));
+                    }
+                    m.seen_valid
+                        .push(get("valid")?.parse().map_err(|_| err("bad valid"))?);
+                }
+                "prom" => {
+                    let dg =
+                        u64::from_str_radix(get("digest")?, 16).map_err(|_| err("bad digest"))?;
+                    if m.promoted.last().is_some_and(|&last| last >= dg) {
+                        return Err(err("promoted digests not strictly ascending"));
+                    }
+                    m.promoted.push(dg);
+                }
+                other => return Err(err(&format!("unknown record tag {other:?}"))),
+            }
+        }
+        if !saw_meta {
+            return Err(FleetError::Parse {
+                line: 0,
+                reason: "missing meta record".to_string(),
+            });
+        }
+        if m.seen_valid.len() as u64 != m.shards {
+            return Err(FleetError::Parse {
+                line: 0,
+                reason: format!(
+                    "meta says {} shards but {} seen records",
+                    m.shards,
+                    m.seen_valid.len()
+                ),
+            });
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetManifest {
+        FleetManifest {
+            subject: "arith".to_string(),
+            config_hash: 0xdead_beef,
+            base_seed: 42,
+            shards: 3,
+            sync_every: 250,
+            epoch: 7,
+            promotions: 2,
+            injections: 4,
+            seen_valid: vec![5, 0, 2],
+            promoted: vec![0x0101, 0xff00],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let text = m.encode();
+        assert_eq!(FleetManifest::decode(&text).unwrap(), m);
+        // canonical: re-encoding the decoded value is byte-identical
+        assert_eq!(FleetManifest::decode(&text).unwrap().encode(), text);
+    }
+
+    #[test]
+    fn rejects_missing_header_and_garbage() {
+        assert_eq!(FleetManifest::decode(""), Err(FleetError::Header));
+        assert_eq!(
+            FleetManifest::decode("pdf-checkpoint v1\n"),
+            Err(FleetError::Header)
+        );
+        let bad = "pdf-fleet v1\nwhat is=this\n";
+        assert!(matches!(
+            FleetManifest::decode(bad),
+            Err(FleetError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_shard_count_mismatch_and_disorder() {
+        let mut m = sample();
+        m.seen_valid.pop();
+        assert!(matches!(
+            FleetManifest::decode(&m.encode()),
+            Err(FleetError::Parse { .. })
+        ));
+        let mut m = sample();
+        m.promoted = vec![0xff00, 0x0101]; // unsorted
+        assert!(matches!(
+            FleetManifest::decode(&m.encode()),
+            Err(FleetError::Parse { .. })
+        ));
+    }
+}

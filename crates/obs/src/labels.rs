@@ -1,0 +1,59 @@
+//! Static label names for per-shard instrumentation.
+//!
+//! Span names must be `&'static str` (the span table interns nothing),
+//! so per-shard labels come from a fixed table rather than `format!`.
+
+/// One label per shard index, used as span names for fleet worker legs.
+const SHARD_LABELS: [&str; 16] = [
+    "fleet.shard00",
+    "fleet.shard01",
+    "fleet.shard02",
+    "fleet.shard03",
+    "fleet.shard04",
+    "fleet.shard05",
+    "fleet.shard06",
+    "fleet.shard07",
+    "fleet.shard08",
+    "fleet.shard09",
+    "fleet.shard10",
+    "fleet.shard11",
+    "fleet.shard12",
+    "fleet.shard13",
+    "fleet.shard14",
+    "fleet.shard15",
+];
+
+/// The static span label for fleet shard `shard`.
+///
+/// Shard counts beyond the table (more shards than any realistic core
+/// count) collapse into one overflow label; their timings still land in
+/// the span table, just aggregated.
+///
+/// ```
+/// assert_eq!(pdf_obs::shard_label(0), "fleet.shard00");
+/// assert_eq!(pdf_obs::shard_label(3), "fleet.shard03");
+/// assert_eq!(pdf_obs::shard_label(99), "fleet.shard.overflow");
+/// ```
+pub fn shard_label(shard: usize) -> &'static str {
+    SHARD_LABELS
+        .get(shard)
+        .copied()
+        .unwrap_or("fleet.shard.overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_ordered() {
+        for (i, label) in SHARD_LABELS.iter().enumerate() {
+            assert_eq!(shard_label(i), *label);
+            for j in 0..i {
+                assert_ne!(shard_label(i), shard_label(j));
+            }
+        }
+        assert_eq!(shard_label(16), "fleet.shard.overflow");
+        assert_eq!(shard_label(usize::MAX), "fleet.shard.overflow");
+    }
+}

@@ -60,11 +60,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod labels;
 mod metric;
 mod registry;
 mod scope;
 mod snapshot;
 
+pub use labels::shard_label;
 pub use metric::{bucket_lo, bucket_of, Counter, Gauge, Histogram, HIST_BUCKETS};
 pub use registry::{MetricsRegistry, SpanStat};
 pub use scope::{current, enabled, install, record, span, MetricsScope, SpanGuard};

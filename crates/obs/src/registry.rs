@@ -79,12 +79,25 @@ pub struct MetricsRegistry {
     /// Supervised retries across all eval cells.
     pub cell_retries: Counter,
 
+    /// Fleet synchronization epochs completed (one per coordinator
+    /// barrier across all shards).
+    pub fleet_epochs: Counter,
+    /// Valid inputs the fleet coordinator promoted (deduplicated by
+    /// digest across shards and epochs).
+    pub fleet_promotions: Counter,
+    /// Queue injections the coordinator performed (each promotion is
+    /// injected into every shard except its origin).
+    pub fleet_injections: Counter,
+
     /// Wall-clock latency of each `Subject::exec`, in nanoseconds.
     pub exec_latency_ns: Histogram,
     /// Length in bytes of each executed input.
     pub input_len: Histogram,
     /// Candidate queue depth, observed once per scheduling decision.
     pub queue_depth: Histogram,
+    /// Wall-clock nanoseconds each fleet sync epoch spent merging
+    /// coverage and promoting inputs (the coordinator's serial section).
+    pub fleet_sync_ns: Histogram,
     /// The most recent queue depth (for live progress display).
     pub queue_depth_now: Gauge,
 
@@ -147,6 +160,9 @@ impl MetricsRegistry {
             ("eval.cells_completed", &self.cells_completed),
             ("eval.cells_poisoned", &self.cells_poisoned),
             ("eval.cell_retries", &self.cell_retries),
+            ("fleet.epochs", &self.fleet_epochs),
+            ("fleet.promotions", &self.fleet_promotions),
+            ("fleet.injections", &self.fleet_injections),
         ]
         .into_iter()
         .map(|(name, c)| (name.to_string(), c.get()))
@@ -161,6 +177,7 @@ impl MetricsRegistry {
             ("exec.latency_ns", &self.exec_latency_ns),
             ("exec.input_len", &self.input_len),
             ("driver.queue_depth", &self.queue_depth),
+            ("fleet.sync_ns", &self.fleet_sync_ns),
         ]
         .into_iter()
         .map(|(name, h)| {

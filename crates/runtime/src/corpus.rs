@@ -135,6 +135,37 @@ mod tests {
     }
 
     #[test]
+    fn all_duplicate_corpus_collapses_to_one() {
+        let corpus = vec![b"ab".to_vec(); 6];
+        assert_eq!(distill(subject(), &corpus), vec![b"ab".to_vec()]);
+    }
+
+    #[test]
+    fn distilled_set_is_order_independent() {
+        // Every permutation of the corpus distills to the same *set* of
+        // inputs (selection order may differ, membership may not).
+        let corpus = [b"a".to_vec(), b"b".to_vec(), b"ab".to_vec(), b"a".to_vec()];
+        let permutations: [[usize; 4]; 6] = [
+            [0, 1, 2, 3],
+            [3, 2, 1, 0],
+            [1, 0, 3, 2],
+            [2, 3, 0, 1],
+            [2, 0, 1, 3],
+            [1, 3, 2, 0],
+        ];
+        let mut reference: Option<Vec<Vec<u8>>> = None;
+        for perm in permutations {
+            let shuffled: Vec<Vec<u8>> = perm.iter().map(|&i| corpus[i].clone()).collect();
+            let mut kept = distill(subject(), &shuffled);
+            kept.sort();
+            match &reference {
+                None => reference = Some(kept),
+                Some(first) => assert_eq!(&kept, first, "order {perm:?} changed the set"),
+            }
+        }
+    }
+
+    #[test]
     fn greedy_picks_high_gain_first() {
         let corpus = vec![b"a".to_vec(), b"ab".to_vec(), b"b".to_vec()];
         let kept = distill(subject(), &corpus);

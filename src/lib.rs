@@ -15,6 +15,9 @@
 //!   tinyC, mjs) plus the paper's running examples (arith, dyck);
 //! - [`pfuzzer`] — the parser-directed fuzzing algorithm itself
 //!   (Algorithm 1: candidate queue, heuristic, substitution driver);
+//! - [`fleet`] — sharded cooperative campaigns: N workers with
+//!   deterministic coverage/corpus synchronization epochs and fleet
+//!   checkpointing;
 //! - [`afl`] — the coverage-guided mutational "lexical" baseline;
 //! - [`symbolic`] — the KLEE-style "semantic" baseline;
 //! - [`tokens`] — token inventories (Tables 2–4) and input-coverage
@@ -46,6 +49,7 @@
 pub use pdf_afl as afl;
 pub use pdf_core as pfuzzer;
 pub use pdf_eval as eval;
+pub use pdf_fleet as fleet;
 pub use pdf_grammar as grammar;
 pub use pdf_obs as obs;
 pub use pdf_runtime as runtime;

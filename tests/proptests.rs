@@ -126,6 +126,60 @@ proptest! {
     }
 }
 
+/// Builds a `BranchSet` from raw (site, outcome) pairs. Small site
+/// numbers (`u8`) force overlaps between generated sets, which is
+/// where the merge laws could actually break.
+fn branch_set(pairs: &[(u8, bool)]) -> parser_directed_fuzzing::runtime::BranchSet {
+    use parser_directed_fuzzing::runtime::{BranchId, SiteId};
+    pairs
+        .iter()
+        .map(|&(site, outcome)| BranchId::new(SiteId::from_raw(site as u64), outcome))
+        .collect()
+}
+
+proptest! {
+    /// Fleet coverage merge is commutative: `a ∪ b == b ∪ a`.
+    #[test]
+    fn branch_merge_commutative(
+        a in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        b in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+    ) {
+        use parser_directed_fuzzing::fleet::merge_coverage;
+        let (a, b) = (branch_set(&a), branch_set(&b));
+        prop_assert_eq!(merge_coverage([&a, &b]), merge_coverage([&b, &a]));
+    }
+
+    /// Fleet coverage merge is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`,
+    /// and both equal the flat three-way merge.
+    #[test]
+    fn branch_merge_associative(
+        a in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        b in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        c in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+    ) {
+        use parser_directed_fuzzing::fleet::merge_coverage;
+        let (a, b, c) = (branch_set(&a), branch_set(&b), branch_set(&c));
+        let left = merge_coverage([&merge_coverage([&a, &b]), &c]);
+        let right = merge_coverage([&a, &merge_coverage([&b, &c])]);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &merge_coverage([&a, &b, &c]));
+    }
+
+    /// Fleet coverage merge is idempotent: `a ∪ a == a`, and merging a
+    /// set into an existing union never changes it a second time.
+    #[test]
+    fn branch_merge_idempotent(
+        a in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+        b in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..32),
+    ) {
+        use parser_directed_fuzzing::fleet::merge_coverage;
+        let (a, b) = (branch_set(&a), branch_set(&b));
+        prop_assert_eq!(&merge_coverage([&a, &a]), &a);
+        let once = merge_coverage([&a, &b]);
+        prop_assert_eq!(&merge_coverage([&once, &b]), &once);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
