@@ -1,0 +1,160 @@
+//! Throughput of the batched fast-failure hot path against
+//! full-instrumentation candidate scoring (the acceptance gate of the
+//! tiered-execution work: >= 5x execs/sec on arith and dyck).
+//!
+//! Three ways to score the same candidate workload:
+//!
+//! * `full` — the pre-tiering driver path: `run()` (FullLog sink,
+//!   every comparison materialised) plus `failure_summary()` per
+//!   candidate.
+//! * `last_failure` — the streaming `LastFailure` sink, one fresh sink
+//!   and input buffer allocated per execution.
+//! * `exec_batch_fast` — the whole batch pushed through one reusable
+//!   [`ExecArena`](pdf_runtime::ExecArena) under the `FastFailure`
+//!   sink (rejection index + last comparison only, buffers cleared
+//!   between executions, never reallocated).
+//!
+//! Besides the Criterion timings the bench prints machine-readable
+//! `execs/s` and `speedup <subject>: N.Nx` lines (fast batch over
+//! `full`); the CI `throughput-smoke` job gates on the speedup
+//! staying at 5x or better. `EXEC_BATCH_QUICK=1` shrinks the
+//! measurement rounds for that job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use pdf_runtime::{ExecArena, Rng, Subject};
+
+/// Candidate-shaped workload for one subject, mirroring what the
+/// driver's queue feeds `exec_batch` at promotion time: for every
+/// prefix length up to 64 bytes, the grown prefix itself plus two
+/// substitution variants at the frontier byte (candidates are
+/// near-valid by construction — a parsed prefix with one replaced
+/// byte), and a sprinkle of short random strings for the restart case.
+fn workload(alphabet: &[u8], nearly: &[u8]) -> Vec<Vec<u8>> {
+    let mut inputs: Vec<Vec<u8>> = Vec::new();
+    let mut rng = Rng::new(41);
+    for len in 1..=nearly.len().min(64) {
+        inputs.push(nearly[..len].to_vec());
+        for _ in 0..2 {
+            let mut variant = nearly[..len].to_vec();
+            variant[len - 1] = alphabet[rng.gen_range(0, alphabet.len())];
+            inputs.push(variant);
+        }
+    }
+    for len in 1..=16usize {
+        let mut input = Vec::with_capacity(len);
+        for _ in 0..len {
+            input.push(alphabet[rng.gen_range(0, alphabet.len())]);
+        }
+        inputs.push(input);
+    }
+    inputs
+}
+
+fn subjects() -> Vec<(&'static str, Subject, Vec<Vec<u8>>)> {
+    vec![
+        (
+            "arith",
+            pdf_subjects::arith::subject(),
+            workload(
+                b"0123456789+-*/() ",
+                b"((1+2)*(3-4))/((5+6)*(7-8))+((9*1)-(2/3))*((4+5)-(6*7))",
+            ),
+        ),
+        (
+            "dyck",
+            pdf_subjects::dyck::subject(),
+            workload(
+                b"()[]{}",
+                b"([{}])([{}])([{}])([{}])([{}])([{}])([{}])([{}])([{}])([{}])",
+            ),
+        ),
+    ]
+}
+
+fn score_full(subject: &Subject, inputs: &[Vec<u8>]) -> usize {
+    let mut valid = 0;
+    for input in inputs {
+        let exec = subject.run(input);
+        black_box(exec.log.failure_summary());
+        valid += usize::from(exec.valid);
+    }
+    valid
+}
+
+fn score_last_failure(subject: &Subject, inputs: &[Vec<u8>]) -> usize {
+    inputs
+        .iter()
+        .map(|i| usize::from(subject.run_last_failure(i).valid))
+        .sum()
+}
+
+fn score_batch_fast(subject: &Subject, arena: &mut ExecArena, inputs: &[Vec<u8>]) -> usize {
+    subject
+        .exec_batch_fast(arena, inputs)
+        .iter()
+        .map(|e| usize::from(e.valid))
+        .sum()
+}
+
+/// Executions per second of `f`: the best of several timed trials of
+/// `rounds` workload passes each. Best-of filters scheduler noise out
+/// of both sides of the speedup ratio — a descheduled trial can only
+/// lose, never inflate — which keeps the CI gate stable on loaded
+/// machines.
+fn rate(rounds: usize, execs_per_round: usize, mut f: impl FnMut() -> usize) -> f64 {
+    // one warm-up pass populates arenas and caches
+    black_box(f());
+    let mut best = f64::MAX;
+    for _ in 0..8 {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (rounds * execs_per_round) as f64 / best
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("EXEC_BATCH_QUICK").is_ok_and(|v| v == "1");
+    let rounds = if quick { 60 } else { 300 };
+
+    for (name, subject, inputs) in subjects() {
+        let mut arena = ExecArena::new();
+        // the three paths must agree on the verdicts they score
+        let want = score_full(&subject, &inputs);
+        assert_eq!(want, score_last_failure(&subject, &inputs));
+        assert_eq!(want, score_batch_fast(&subject, &mut arena, &inputs));
+
+        let full = rate(rounds, inputs.len(), || score_full(&subject, &inputs));
+        let last = rate(rounds, inputs.len(), || {
+            score_last_failure(&subject, &inputs)
+        });
+        let fast = rate(rounds, inputs.len(), || {
+            score_batch_fast(&subject, &mut arena, &inputs)
+        });
+        println!("exec_batch {name}: full {full:.0} execs/s");
+        println!("exec_batch {name}: last_failure {last:.0} execs/s");
+        println!("exec_batch {name}: batch_fast {fast:.0} execs/s");
+        println!("speedup {name}: {:.1}x", fast / full);
+
+        let mut group = c.benchmark_group(format!("exec_batch_{name}"));
+        group.sample_size(if quick { 10 } else { 30 });
+        group.bench_function("full", |b| {
+            b.iter(|| score_full(black_box(&subject), black_box(&inputs)))
+        });
+        group.bench_function("last_failure", |b| {
+            b.iter(|| score_last_failure(black_box(&subject), black_box(&inputs)))
+        });
+        group.bench_function("batch_fast", |b| {
+            b.iter(|| score_batch_fast(black_box(&subject), &mut arena, black_box(&inputs)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

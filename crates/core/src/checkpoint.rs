@@ -116,6 +116,14 @@ pub struct Checkpoint {
     pub steer_branches: Vec<(u64, bool)>,
     /// The verdict cache of known-invalid inputs, sorted.
     pub known_invalid: Vec<Vec<u8>>,
+    /// Tiered-mode escalation watermark: the highest rejection index any
+    /// escalated fast-tier run reached. Always `None` outside tiered
+    /// mode, so full-mode checkpoints stay byte-identical to releases
+    /// that predate execution tiering.
+    pub tier_max_rejection: Option<u64>,
+    /// Last-comparison fingerprints the tiered filter has already
+    /// escalated, sorted. Empty outside tiered mode.
+    pub tier_fingerprints: Vec<u64>,
     /// The candidate queue.
     pub queue: QueueSnapshot,
 }
@@ -273,6 +281,22 @@ impl Checkpoint {
         let _ = writeln!(out, "vbr set={}", encode_branches(&self.valid_branches));
         let _ = writeln!(out, "abr set={}", encode_branches(&self.all_branches));
         let _ = writeln!(out, "sbr set={}", encode_branches(&self.steer_branches));
+        if self.tier_max_rejection.is_some() || !self.tier_fingerprints.is_empty() {
+            let maxrej = match self.tier_max_rejection {
+                Some(n) => n.to_string(),
+                None => "-".to_string(),
+            };
+            let fps = if self.tier_fingerprints.is_empty() {
+                "-".to_string()
+            } else {
+                self.tier_fingerprints
+                    .iter()
+                    .map(|f| format!("{f:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            let _ = writeln!(out, "tier maxrej={maxrej} fps={fps}");
+        }
         for input in &self.known_invalid {
             let _ = writeln!(out, "inv hex={}", hex_encode(input));
         }
@@ -374,6 +398,22 @@ impl Checkpoint {
                     ck.known_invalid
                         .push(rec.bytes_of("hex").ok_or_else(|| err("bad hex"))?);
                 }
+                "tier" => {
+                    ck.tier_max_rejection = match rec.get("maxrej") {
+                        Some("-") => None,
+                        Some(n) => Some(n.parse().map_err(|_| err("bad maxrej"))?),
+                        None => return Err(err("missing maxrej")),
+                    };
+                    ck.tier_fingerprints = match rec.get("fps") {
+                        Some("-") => Vec::new(),
+                        Some(s) => s
+                            .split(',')
+                            .map(|tok| u64::from_str_radix(tok, 16))
+                            .collect::<Result<_, _>>()
+                            .map_err(|_| err("bad fps"))?,
+                        None => return Err(err("missing fps")),
+                    };
+                }
                 "path" => {
                     let hash = rec.hex_u64_of("hash").ok_or_else(|| err("bad hash"))?;
                     let n = rec.u64_of("n").ok_or_else(|| err("bad n"))?;
@@ -433,6 +473,8 @@ mod tests {
             all_branches: vec![(1, true), (2, false), (3, true)],
             steer_branches: vec![(1, true), (2, false), (9, true)],
             known_invalid: vec![b"(".to_vec(), b")".to_vec()],
+            tier_max_rejection: Some(4),
+            tier_fingerprints: vec![0x11, 0x22, 0x33],
             queue: QueueSnapshot {
                 seq: 9,
                 last_vbr_len: 2,
@@ -493,6 +535,32 @@ mod tests {
             Checkpoint::decode(&bad_hex),
             Err(CheckpointError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn empty_tier_state_emits_no_record() {
+        // full-mode checkpoints must stay byte-identical to the
+        // pre-tiering format
+        let mut ck = sample();
+        ck.tier_max_rejection = None;
+        ck.tier_fingerprints = Vec::new();
+        let text = ck.encode();
+        assert!(!text.contains("tier "), "spurious tier record:\n{text}");
+        let decoded = Checkpoint::decode(&text).expect("decodes");
+        assert_eq!(ck, decoded);
+    }
+
+    #[test]
+    fn tier_record_round_trips() {
+        let mut ck = sample();
+        ck.tier_max_rejection = None;
+        ck.tier_fingerprints = vec![0xdead];
+        let decoded = Checkpoint::decode(&ck.encode()).expect("decodes");
+        assert_eq!(ck, decoded);
+        ck.tier_max_rejection = Some(0);
+        ck.tier_fingerprints = Vec::new();
+        let decoded = Checkpoint::decode(&ck.encode()).expect("decodes");
+        assert_eq!(ck, decoded);
     }
 
     #[test]

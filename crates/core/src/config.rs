@@ -110,6 +110,33 @@ pub enum SinkMode {
     LastFailure,
 }
 
+/// How much instrumentation each candidate execution carries.
+///
+/// `Full` is the paper's behaviour: every execution produces a complete
+/// [`FailureSummary`](pdf_runtime::FailureSummary) (branch sets, path
+/// hash, substitution candidates). `Fast` runs every candidate under the
+/// near-zero-cost [`FastFailure`](pdf_runtime::FastFailure) sink and
+/// escalates only *valid* inputs to full instrumentation (coverage is
+/// only ever learned from accepted inputs). `Tiered` adds the
+/// fast-failure filter of *Fuzzing with Fast Failure Feedback*: a
+/// rejected candidate is escalated only when its rejection index
+/// advanced past the campaign's watermark or its last comparison is one
+/// the campaign has not seen before — everything else is discarded
+/// without paying for full instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Full instrumentation on every execution (the default; campaign
+    /// digests and journals are byte-identical to earlier releases).
+    #[default]
+    Full,
+    /// Fast-failure sink on every execution; only valid inputs are
+    /// re-run under full instrumentation.
+    Fast,
+    /// Two-tier schedule: fast-failure first, escalate survivors of the
+    /// rejection-index / last-comparison filter.
+    Tiered,
+}
+
 /// Driver configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DriverConfig {
@@ -134,6 +161,9 @@ pub struct DriverConfig {
     pub trace: bool,
     /// Which event sink executions run with (see [`SinkMode`]).
     pub sink: SinkMode,
+    /// Instrumentation tiering for candidate executions (see
+    /// [`ExecMode`]).
+    pub exec_mode: ExecMode,
 }
 
 impl Default for DriverConfig {
@@ -148,6 +178,7 @@ impl Default for DriverConfig {
             max_input_len: 128,
             trace: false,
             sink: SinkMode::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -197,6 +228,20 @@ impl DriverConfig {
             SinkMode::FullLog => 0,
             SinkMode::LastFailure => 1,
         });
+        // Folded in only when non-default so that hashes (and the
+        // checkpoints / journals that embed them) from releases that
+        // predate `exec_mode` keep verifying byte-for-byte.
+        match self.exec_mode {
+            ExecMode::Full => {}
+            ExecMode::Fast => {
+                d.write_str("exec-mode");
+                d.write_u8(1);
+            }
+            ExecMode::Tiered => {
+                d.write_str("exec-mode");
+                d.write_u8(2);
+            }
+        }
         d.finish()
     }
 }
@@ -277,6 +322,14 @@ mod tests {
             },
             DriverConfig {
                 sink: SinkMode::FullLog,
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                exec_mode: ExecMode::Fast,
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                exec_mode: ExecMode::Tiered,
                 ..DriverConfig::default()
             },
         ];

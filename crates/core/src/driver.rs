@@ -1,19 +1,19 @@
 //! The fuzzing driver: Algorithm 1 of the paper.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::path::Path;
 use std::time::Instant;
 
 use pdf_runtime::{
-    digest_bytes, BranchSet, Digest, FailureExecution, FailureSummary, PhaseClock, Rng, RunStats,
-    Subject,
+    digest_bytes, BranchSet, Candidate, Digest, ExecArena, FailureExecution, FailureSummary,
+    FastExecution, PhaseClock, Rng, RunStats, Subject,
 };
 
 use crate::budget::{CampaignBudget, StopReason, DEADLINE_CHECK_INTERVAL};
 use crate::checkpoint::{
     branch_pairs_of, branch_set_of, Checkpoint, CheckpointError, QueueItemSnapshot, QueueSnapshot,
 };
-use crate::config::{DriverConfig, ExtensionMode, HeuristicConfig, SearchMode, SinkMode};
+use crate::config::{DriverConfig, ExecMode, ExtensionMode, HeuristicConfig, SearchMode, SinkMode};
 use crate::queue::{CandidateQueue, QueueEntry, QueueState};
 
 /// Cap on the candidate queue; when exceeded, the worst half is dropped.
@@ -225,6 +225,68 @@ impl SyncPoint<'_> {
     }
 }
 
+/// Lifts a fast-tier result into the [`FailureExecution`] shape the
+/// rest of the driver consumes. Branch sets stay empty (the fast sink
+/// records none) and the path hash falls back to the last-comparison
+/// fingerprint, so path-seen decay still distinguishes executions that
+/// died at different comparisons. Substitution candidates are expanded
+/// from the one failed comparison the fast sink kept — the *Fast
+/// Failure Feedback* reduction of
+/// [`ExecLog::substitution_candidates`](pdf_runtime::ExecLog::substitution_candidates),
+/// which sees every comparison at the rejection index, not just the
+/// last.
+fn synthesize_failure(fast: &FastExecution) -> FailureExecution {
+    let f = &fast.fast;
+    let mut candidates = Vec::new();
+    if let (Some(idx), Some(expected)) = (f.rejection_index, &f.last_failed) {
+        let replacement_len = expected.replacement_len();
+        expected.for_each_replacement(|bytes| {
+            let duplicate = candidates
+                .iter()
+                .any(|o: &Candidate| o.replacement_len == replacement_len && o.bytes == bytes);
+            if !duplicate {
+                candidates.push(Candidate {
+                    at_index: idx,
+                    replacement_len,
+                    bytes: bytes.to_vec(),
+                });
+            }
+        });
+    }
+    FailureExecution {
+        valid: fast.valid,
+        error: fast.error(),
+        verdict: fast.verdict.clone(),
+        failure: FailureSummary {
+            branches: BranchSet::new(),
+            branches_up_to_rejection: BranchSet::new(),
+            path_hash: f.last_cmp_fingerprint,
+            rejection_index: f.rejection_index,
+            candidates,
+            avg_stack_size: f.avg_stack_size,
+            eof_access: f.eof_access,
+            events: f.events,
+            last_cmp_fingerprint: f.last_cmp_fingerprint,
+        },
+    }
+}
+
+/// The escalation filter of [`ExecMode::Tiered`]: a rejected fast-tier
+/// run pays for full instrumentation only when it pushed the rejection
+/// watermark forward or ended on a comparison the campaign has not
+/// escalated before (*Fuzzing with Fast Failure Feedback*: rejection
+/// index and last comparison carry the actionable signal). Both fields
+/// are deterministic functions of the executions seen so far, so the
+/// filter checkpoints and resumes byte-identically (`BTreeSet` keeps
+/// the serialized fingerprints canonically ordered).
+#[derive(Debug, Default)]
+struct TierState {
+    /// Highest rejection index any escalated run reached.
+    max_rejection: Option<usize>,
+    /// Last-comparison fingerprints already escalated.
+    seen_fingerprints: BTreeSet<u64>,
+}
+
 /// The live search state of a campaign, separated from the driver's
 /// immutable configuration so [`Fuzzer::run_until`] can pause between
 /// iterations and [`Fuzzer::checkpoint`] can serialize everything the
@@ -241,6 +303,9 @@ struct CampaignState {
     steer_branches: BranchSet,
     current: Vec<u8>,
     parents: usize,
+    /// Escalation-filter state ([`ExecMode::Tiered`] only; stays at its
+    /// default in the other modes).
+    tier: TierState,
     /// Whether the initial input (Algorithm 1, line 4) was drawn yet.
     /// Priming lazily — on the first `run_until` call rather than at
     /// construction — keeps construction free of RNG draws, so a
@@ -267,6 +332,7 @@ impl CampaignState {
             steer_branches: BranchSet::new(),
             current: Vec::new(),
             parents: 0,
+            tier: TierState::default(),
             primed: false,
         }
     }
@@ -300,6 +366,10 @@ pub struct Fuzzer {
     source: ByteSource,
     decisions: Vec<u8>,
     state: CampaignState,
+    /// Reusable execution scratch (input buffer, sink buffers) shared by
+    /// every run the driver makes; cleared, never reallocated, between
+    /// executions.
+    arena: ExecArena,
     /// Started on the first `run_until` call and kept across pauses;
     /// `Option` so `run_until` can take it out while driving and
     /// `into_report` can consume it with `finish()`.
@@ -317,6 +387,7 @@ impl Fuzzer {
             source,
             decisions: Vec::new(),
             state,
+            arena: ExecArena::new(),
             clock: None,
         }
     }
@@ -336,6 +407,7 @@ impl Fuzzer {
             },
             decisions: Vec::new(),
             state,
+            arena: ExecArena::new(),
             clock: None,
         }
     }
@@ -467,7 +539,9 @@ impl Fuzzer {
             let accepted = if use_cache && st.known_invalid.contains(&st.current) {
                 false
             } else {
-                let exec = clock.time("execute", || self.execute(&mut st.report, &st.current));
+                let exec = clock.time("execute", || {
+                    self.execute(&mut st.report, &mut st.tier, &st.current)
+                });
                 if !exec.valid {
                     st.known_invalid.insert(st.current.clone());
                 }
@@ -497,7 +571,9 @@ impl Fuzzer {
                 let mut extended = st.current.clone();
                 extended.push(self.next_byte());
                 pdf_obs::record(|m| m.appends.inc());
-                let exec2 = clock.time("execute", || self.execute(&mut st.report, &extended));
+                let exec2 = clock.time("execute", || {
+                    self.execute(&mut st.report, &mut st.tier, &extended)
+                });
                 let accepted2 = self.run_check(
                     &mut st.report,
                     &mut st.queue,
@@ -646,6 +722,8 @@ impl Fuzzer {
             all_branches: branch_pairs_of(&st.report.all_branches),
             steer_branches: branch_pairs_of(&st.steer_branches),
             known_invalid,
+            tier_max_rejection: st.tier.max_rejection.map(|n| n as u64),
+            tier_fingerprints: st.tier.seen_fingerprints.iter().copied().collect(),
             queue: QueueSnapshot {
                 seq: qs.seq,
                 last_vbr_len: qs.last_vbr_len as u64,
@@ -776,6 +854,10 @@ impl Fuzzer {
             steer_branches,
             current: ck.current.clone(),
             parents: ck.parents as usize,
+            tier: TierState {
+                max_rejection: ck.tier_max_rejection.map(|n| n as usize),
+                seen_fingerprints: ck.tier_fingerprints.iter().copied().collect(),
+            },
             primed: ck.primed,
         };
         Ok(Fuzzer {
@@ -784,6 +866,7 @@ impl Fuzzer {
             source: ByteSource::Fresh(rng),
             decisions: ck.decisions.clone(),
             state,
+            arena: ExecArena::new(),
             clock: None,
         })
     }
@@ -805,11 +888,87 @@ impl Fuzzer {
         Self::resume_from_checkpoint(subject, cfg, &ck)
     }
 
-    fn execute(&mut self, report: &mut FuzzReport, input: &[u8]) -> FailureExecution {
+    /// Executes one candidate under the configured [`ExecMode`].
+    ///
+    /// `Full` runs full instrumentation directly — byte-identical
+    /// campaigns (journal encodings, replay digests) to releases that
+    /// predate tiering. `Fast` and `Tiered` run the candidate under the
+    /// near-zero-cost fast-failure sink first and only *escalate* to a
+    /// second, fully instrumented run when the cheap result warrants it;
+    /// everything else returns a summary synthesized from the fast
+    /// signal alone (no branch sets — coverage is only ever learned from
+    /// escalated runs). Escalation costs a second execution, charged to
+    /// the same budget. No mode draws RNG bytes here, so each mode is
+    /// deterministic per seed.
+    fn execute(
+        &mut self,
+        report: &mut FuzzReport,
+        tier: &mut TierState,
+        input: &[u8],
+    ) -> FailureExecution {
+        match self.cfg.exec_mode {
+            ExecMode::Full => self.execute_full(report, input),
+            ExecMode::Fast => {
+                let fast = self.execute_fast(report, input);
+                if fast.valid {
+                    // Coverage decides whether a valid input counts as a
+                    // find; that needs the real branch set.
+                    pdf_obs::record(|m| m.tier_escalations.inc());
+                    self.execute_full(report, input)
+                } else {
+                    synthesize_failure(&fast)
+                }
+            }
+            ExecMode::Tiered => {
+                let fast = self.execute_fast(report, input);
+                let f = &fast.fast;
+                let escalate = fast.valid
+                    || f.eof_access.is_some()
+                    || f.rejection_index.is_none()
+                    || f.rejection_index > tier.max_rejection
+                    || !tier.seen_fingerprints.contains(&f.last_cmp_fingerprint);
+                if escalate {
+                    if f.rejection_index > tier.max_rejection {
+                        tier.max_rejection = f.rejection_index;
+                    }
+                    tier.seen_fingerprints.insert(f.last_cmp_fingerprint);
+                    pdf_obs::record(|m| m.tier_escalations.inc());
+                    self.execute_full(report, input)
+                } else {
+                    // The fast signal still yields its one-comparison
+                    // candidate set for free; the filter only decides
+                    // whether to pay for the fully instrumented re-run
+                    // (complete candidates, real branch coverage).
+                    pdf_obs::record(|m| m.tier_skips.inc());
+                    synthesize_failure(&fast)
+                }
+            }
+        }
+    }
+
+    /// One fast-tier execution: fast-failure sink through the arena,
+    /// charged to the budget and accounted like any other run.
+    fn execute_fast(&mut self, report: &mut FuzzReport, input: &[u8]) -> FastExecution {
+        let _span = pdf_obs::span("driver.exec");
+        report.execs += 1;
+        let exec = self.subject.run_fast_failure_arena(&mut self.arena, input);
+        if exec.verdict.is_hang() {
+            report.stats.hangs += 1;
+        }
+        if exec.verdict.is_crash() {
+            report.stats.crashes += 1;
+        }
+        report.stats.events += exec.fast.events;
+        pdf_obs::record(|m| m.tier_fast_execs.inc());
+        exec
+    }
+
+    /// One fully instrumented execution (the pre-tiering hot path).
+    fn execute_full(&mut self, report: &mut FuzzReport, input: &[u8]) -> FailureExecution {
         let _span = pdf_obs::span("driver.exec");
         report.execs += 1;
         let exec = match self.cfg.sink {
-            SinkMode::LastFailure => self.subject.run_last_failure(input),
+            SinkMode::LastFailure => self.subject.run_last_failure_arena(&mut self.arena, input),
             SinkMode::FullLog => {
                 let e = self.subject.run(input);
                 FailureExecution {
@@ -1418,6 +1577,132 @@ mod tests {
                 "span {name} was never recorded"
             );
         }
+    }
+
+    #[test]
+    fn fast_and_tiered_modes_are_deterministic() {
+        for mode in [ExecMode::Fast, ExecMode::Tiered] {
+            let run = || {
+                let cfg = DriverConfig {
+                    seed: 9,
+                    max_execs: 2_000,
+                    exec_mode: mode,
+                    ..DriverConfig::default()
+                };
+                Fuzzer::new(pdf_subjects::arith::subject(), cfg).run()
+            };
+            let a = run();
+            let b = run();
+            assert_eq!(a.digest(), b.digest(), "{mode:?} not deterministic");
+            assert_eq!(a.valid_inputs, b.valid_inputs);
+        }
+    }
+
+    #[test]
+    fn fast_and_tiered_valid_inputs_are_genuinely_valid() {
+        for mode in [ExecMode::Fast, ExecMode::Tiered] {
+            for subject in [
+                pdf_subjects::arith::subject(),
+                pdf_subjects::dyck::subject(),
+            ] {
+                let cfg = DriverConfig {
+                    seed: 3,
+                    max_execs: 4_000,
+                    exec_mode: mode,
+                    ..DriverConfig::default()
+                };
+                let report = Fuzzer::new(subject, cfg).run();
+                assert!(
+                    !report.valid_inputs.is_empty(),
+                    "{mode:?} on {} found nothing",
+                    subject.name()
+                );
+                for input in &report.valid_inputs {
+                    assert!(
+                        subject.run(input).valid,
+                        "{mode:?} reported invalid input {:?}",
+                        String::from_utf8_lossy(input)
+                    );
+                }
+                // every valid input went through a full run, so its
+                // coverage is real
+                for b in report.valid_branches.iter() {
+                    assert!(report.all_branches.contains(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiered_replay_reproduces_digest() {
+        let cfg = DriverConfig {
+            seed: 5,
+            max_execs: 1_500,
+            exec_mode: ExecMode::Tiered,
+            ..DriverConfig::default()
+        };
+        let recorded = Fuzzer::new(pdf_subjects::dyck::subject(), cfg.clone()).run();
+        let replayed = Fuzzer::replaying(
+            pdf_subjects::dyck::subject(),
+            cfg,
+            recorded.decisions.clone(),
+        )
+        .run();
+        assert_eq!(recorded.digest(), replayed.digest());
+    }
+
+    #[test]
+    fn tiered_checkpoint_resume_matches_uninterrupted_digest() {
+        // the tier filter state (watermark + fingerprints) must survive
+        // the checkpoint round-trip, or the resumed campaign escalates
+        // differently and diverges
+        let cfg = DriverConfig {
+            seed: 11,
+            max_execs: 1_600,
+            exec_mode: ExecMode::Tiered,
+            ..DriverConfig::default()
+        };
+        let uninterrupted = Fuzzer::new(pdf_subjects::dyck::subject(), cfg.clone()).run();
+
+        let mut first = Fuzzer::new(pdf_subjects::dyck::subject(), cfg.clone());
+        assert_eq!(
+            first.run_until(&CampaignBudget::execs(400)),
+            StopReason::PausedExecs
+        );
+        let ck = first.checkpoint();
+        drop(first);
+        let decoded = Checkpoint::decode(&ck.encode()).expect("decodes");
+        assert_eq!(ck, decoded);
+        let mut resumed =
+            Fuzzer::resume_from_checkpoint(pdf_subjects::dyck::subject(), cfg, &decoded)
+                .expect("resumes");
+        assert_eq!(
+            resumed.run_until(&CampaignBudget::unbounded()),
+            StopReason::Finished
+        );
+        assert_eq!(resumed.into_report().digest(), uninterrupted.digest());
+    }
+
+    #[test]
+    fn tiered_mode_records_escalation_counters() {
+        let reg = std::sync::Arc::new(pdf_obs::MetricsRegistry::new());
+        let _scope = pdf_obs::install(std::sync::Arc::clone(&reg));
+        let cfg = DriverConfig {
+            seed: 2,
+            max_execs: 1_000,
+            exec_mode: ExecMode::Tiered,
+            ..DriverConfig::default()
+        };
+        let report = Fuzzer::new(pdf_subjects::arith::subject(), cfg).run();
+        assert!(reg.tier_fast_execs.get() > 0, "no fast-tier executions");
+        assert!(reg.tier_escalations.get() > 0, "nothing ever escalated");
+        assert!(reg.tier_skips.get() > 0, "the filter never skipped");
+        // every execution is either a fast run or an escalated full run
+        assert_eq!(
+            reg.tier_fast_execs.get() + reg.tier_escalations.get(),
+            report.execs
+        );
+        assert!(reg.snapshot().check_identities().is_ok());
     }
 
     #[test]

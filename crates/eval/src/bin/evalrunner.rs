@@ -1,6 +1,7 @@
 //! Runs the complete evaluation once and prints every table and figure.
 //! Usage: evalrunner [--execs N] [--seeds a,b,c] [--afl-mult N]
-//!                   [--jobs N] [--stats-out PATH]
+//!                   [--jobs N] [--exec-mode full|fast|tiered]
+//!                   [--stats-out PATH]
 //!                   [--record PATH] [--replay PATH]
 //!                   [--max-retries N] [--chaos SEED]
 //!                   [--metrics-out PATH] [--progress]
@@ -15,6 +16,14 @@
 //! cell supervisor's retry budget for crashed or fuel-hung cells;
 //! `--chaos SEED` runs the matrix on chaos-wrapped subjects (injected
 //! panics, fuel burns, flaky rejections) to exercise the supervisor.
+//!
+//! `--exec-mode` selects the pFuzzer cells' instrumentation tiering:
+//! `full` (default) runs every execution fully instrumented and is the
+//! mode whose journals and digests define the byte-identical replay
+//! contract; `fast` runs the near-zero-cost fast-failure sink and
+//! escalates only valid inputs; `tiered` escalates the survivors of
+//! the rejection-watermark/fingerprint filter. AFL and KLEE cells have
+//! no instrumentation tiers and ignore the flag.
 //!
 //! `--metrics-out PATH` writes the final campaign-wide metrics snapshot
 //! (`pdf-metrics v1` text codec); `--progress` prints a live one-line
@@ -43,13 +52,20 @@ fn main() {
     let jobs = pdf_eval::require_arg(pdf_eval::jobs_from_args());
     let sup = pdf_eval::supervisor_from_args();
     let chaos_seed = pdf_eval::chaos_seed_from_args();
+    let exec_mode = pdf_eval::require_arg(pdf_eval::exec_mode_from_args());
     let stats_out = pdf_eval::stats_out_from_args();
     let record_out = pdf_eval::record_path_from_args();
+    if record_out.is_some() && exec_mode != pdf_core::ExecMode::Full {
+        eprintln!(
+            "warning: recording under --exec-mode {exec_mode:?}; journals replay \
+             under full instrumentation and will diverge"
+        );
+    }
     println!("{}", pdf_eval::render_table1(&pdf_eval::table1_subjects()));
     for inv in pdf_eval::token_tables() {
         println!("{}", pdf_eval::render_token_table(&inv));
     }
-    let cells = match chaos_seed {
+    let mut cells = match chaos_seed {
         Some(seed) => {
             let cfg = pdf_subjects::chaos::ChaosConfig::stormy(seed);
             eprintln!("chaos mode: subjects wrapped with {cfg:?}");
@@ -60,6 +76,9 @@ fn main() {
         }
         None => pdf_eval::matrix_cells(&budget),
     };
+    for cell in &mut cells {
+        cell.exec_mode = exec_mode;
+    }
     eprintln!(
         "running 5 subjects x 3 tools, {} execs x {} seeds ({} cells, {} jobs, {} retries) ...",
         budget.execs,

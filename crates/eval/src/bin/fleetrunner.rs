@@ -1,6 +1,7 @@
 //! Runs one fuzzing campaign as a sharded cooperative fleet.
 //! Usage: fleetrunner [--subject NAME] [--execs N] [--seeds S]
 //!                    [--shards N] [--sync-every E]
+//!                    [--exec-mode full|fast|tiered]
 //!                    [--checkpoint-dir D] [--resume]
 //!                    [--stop-after-epochs K] [--compare]
 //!                    [--metrics-out PATH]
@@ -20,10 +21,15 @@
 //! single driver's token count and exact token set
 //! (EXPERIMENTS.md "Fleet sharding").
 //!
+//! `--exec-mode` selects the shards' instrumentation tiering (`full`,
+//! the default, runs every execution fully instrumented; `fast` and
+//! `tiered` run the fast-failure sink and escalate selectively — see
+//! DESIGN.md §12). All three modes are deterministic per seed.
+//!
 //! The run always ends by printing `fleet digest:` and
 //! `merged coverage digest:` lines; two invocations with the same
 //! arguments print identical digests, which is what the CI
-//! `fleet-determinism` job diffs.
+//! `fleet-determinism` and `throughput-smoke` jobs diff.
 
 use std::sync::Arc;
 
@@ -75,9 +81,11 @@ fn main() {
         )
     });
 
+    let exec_mode = pdf_eval::require_arg(pdf_eval::exec_mode_from_args());
     let base = DriverConfig {
         seed,
         max_execs: per_shard,
+        exec_mode,
         ..DriverConfig::default()
     };
     let cfg = FleetConfig::new(shards, sync_every, base);
@@ -112,7 +120,7 @@ fn main() {
 
     println!(
         "fleet: subject={} shards={shards} sync-every={sync_every} seed={seed} \
-         budget={} ({per_shard}/shard)",
+         mode={exec_mode:?} budget={} ({per_shard}/shard)",
         info.name, budget.execs
     );
     loop {

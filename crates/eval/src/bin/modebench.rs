@@ -1,0 +1,79 @@
+//! Coverage-vs-throughput comparison of the three execution modes.
+//! Usage: modebench [--execs N] [--seeds S] [--subject NAME]
+//!
+//! Runs the pFuzzer driver on every evaluation subject (or just
+//! `--subject NAME`) under each of `full`, `fast` and `tiered`
+//! execution modes with the same seed and execution budget, and prints
+//! one markdown table row per (subject, mode): valid inputs found,
+//! branches covered by valid inputs, total branches, wall-clock time
+//! and executions per second. The numbers feed the EXPERIMENTS.md
+//! "Execution tiers" table.
+//!
+//! Coverage columns are deterministic per `(subject, seed, execs)`;
+//! the time and execs/s columns are wall-clock measurements and vary
+//! with the machine.
+
+use std::time::Instant;
+
+use pdf_core::{DriverConfig, ExecMode, Fuzzer};
+
+fn main() {
+    let budget = pdf_eval::budget_from_args(20_000);
+    let seed = budget.seeds.first().copied().unwrap_or(1);
+    let subjects: Vec<pdf_subjects::SubjectInfo> = match std::env::args()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--subject")
+        .map(|w| w[1].clone())
+    {
+        Some(name) => match pdf_subjects::by_name(&name) {
+            Some(info) => vec![info],
+            None => {
+                eprintln!("error: unknown subject {name:?}");
+                std::process::exit(2);
+            }
+        },
+        None => pdf_subjects::evaluation_subjects(),
+    };
+
+    println!(
+        "modebench: {} execs, seed {seed} (coverage columns deterministic, \
+         time columns machine-dependent)",
+        budget.execs
+    );
+    println!("| subject | mode | valid | valid br | all br | time (s) | execs/s |");
+    println!("|---------|------|------:|---------:|-------:|---------:|--------:|");
+    for info in &subjects {
+        for mode in [ExecMode::Full, ExecMode::Fast, ExecMode::Tiered] {
+            let cfg = DriverConfig {
+                seed,
+                max_execs: budget.execs,
+                exec_mode: mode,
+                ..DriverConfig::default()
+            };
+            let start = Instant::now();
+            let r = Fuzzer::new(info.subject, cfg).run();
+            let secs = start.elapsed().as_secs_f64();
+            let rate = r.execs as f64 / secs.max(1e-9);
+            println!(
+                "| {} | {} | {} | {} | {} | {:.2} | {:.0} |",
+                info.name,
+                mode_name(mode),
+                r.valid_inputs.len(),
+                r.valid_branches.len(),
+                r.all_branches.len(),
+                secs,
+                rate,
+            );
+        }
+    }
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Full => "full",
+        ExecMode::Fast => "fast",
+        ExecMode::Tiered => "tiered",
+    }
+}

@@ -51,8 +51,9 @@ pub use replay::{
 pub use runner::{
     attempt_seed, best_outcome, collapse_matrix, completed_outcomes, fleet_config_for,
     matrix_cells, matrix_cells_for, outcome_digest, run_cell_supervised, run_cells,
-    run_cells_supervised, run_tool, run_tool_seeded, supervision_summary, CellOutcome, EvalBudget,
-    MatrixCell, Outcome, PoisonedCell, SupervisorConfig, Tool, FLEET_SHARDS,
+    run_cells_supervised, run_tool, run_tool_seeded, run_tool_seeded_in, supervision_summary,
+    CellOutcome, EvalBudget, MatrixCell, Outcome, PoisonedCell, SupervisorConfig, Tool,
+    FLEET_SHARDS,
 };
 
 /// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
@@ -161,6 +162,49 @@ pub fn shards_from_args() -> Result<usize, String> {
 pub fn sync_every_from_args(default: u64) -> Result<u64, String> {
     let args: Vec<String> = std::env::args().collect();
     positive_arg_in(&args, "--sync-every", default)
+}
+
+/// Parses `--exec-mode full|fast|tiered` from `args`: the
+/// instrumentation tiering the pFuzzer campaigns run under
+/// ([`pdf_core::ExecMode`]). The flag is optional (absent →
+/// [`ExecMode::Full`](pdf_core::ExecMode::Full), the byte-identical
+/// replay mode), but a present flag must carry one of the three mode
+/// names — a typo silently falling back to full would invalidate a
+/// throughput experiment.
+///
+/// # Errors
+///
+/// A human-readable message naming the flag when its value is missing
+/// or not one of `full`, `fast`, `tiered`.
+pub fn exec_mode_in(args: &[String]) -> Result<pdf_core::ExecMode, String> {
+    for i in 1..args.len() {
+        if args[i] == "--exec-mode" {
+            let raw = args
+                .get(i + 1)
+                .ok_or_else(|| "--exec-mode requires a value".to_string())?;
+            return match raw.as_str() {
+                "full" => Ok(pdf_core::ExecMode::Full),
+                "fast" => Ok(pdf_core::ExecMode::Fast),
+                "tiered" => Ok(pdf_core::ExecMode::Tiered),
+                _ => Err(format!(
+                    "--exec-mode expects full, fast or tiered, got {raw:?}"
+                )),
+            };
+        }
+    }
+    Ok(pdf_core::ExecMode::Full)
+}
+
+/// Parses `--exec-mode full|fast|tiered` from the command line — see
+/// [`exec_mode_in`]. Used by `evalrunner` and `fleetrunner`.
+///
+/// # Errors
+///
+/// A clear message when `--exec-mode` is present with a missing or
+/// unknown value.
+pub fn exec_mode_from_args() -> Result<pdf_core::ExecMode, String> {
+    let args: Vec<String> = std::env::args().collect();
+    exec_mode_in(&args)
 }
 
 /// Unwraps a CLI parse result, printing the error to stderr and
@@ -305,7 +349,8 @@ pub fn stats_json_line(o: &Outcome) -> String {
 
 #[cfg(test)]
 mod cli_tests {
-    use super::positive_arg_in;
+    use super::{exec_mode_in, positive_arg_in};
+    use pdf_core::ExecMode;
 
     fn args(list: &[&str]) -> Vec<String> {
         std::iter::once("prog")
@@ -346,5 +391,34 @@ mod cli_tests {
         assert!(positive_arg_in(&args(&["--jobs", "many"]), "--jobs", 1).is_err());
         assert!(positive_arg_in(&args(&["--jobs", "-3"]), "--jobs", 1).is_err());
         assert!(positive_arg_in(&args(&["--jobs"]), "--jobs", 1).is_err());
+    }
+
+    #[test]
+    fn exec_mode_defaults_to_full_and_parses_all_three() {
+        assert_eq!(exec_mode_in(&args(&[])), Ok(ExecMode::Full));
+        assert_eq!(exec_mode_in(&args(&["--execs", "100"])), Ok(ExecMode::Full));
+        assert_eq!(
+            exec_mode_in(&args(&["--exec-mode", "full"])),
+            Ok(ExecMode::Full)
+        );
+        assert_eq!(
+            exec_mode_in(&args(&["--exec-mode", "fast"])),
+            Ok(ExecMode::Fast)
+        );
+        assert_eq!(
+            exec_mode_in(&args(&["--jobs", "2", "--exec-mode", "tiered"])),
+            Ok(ExecMode::Tiered)
+        );
+    }
+
+    #[test]
+    fn exec_mode_rejects_unknown_and_missing_values() {
+        let err = exec_mode_in(&args(&["--exec-mode", "turbo"])).unwrap_err();
+        assert!(
+            err.contains("--exec-mode"),
+            "error must name the flag: {err}"
+        );
+        assert!(err.contains("turbo"), "error must quote the value: {err}");
+        assert!(exec_mode_in(&args(&["--exec-mode"])).is_err());
     }
 }

@@ -166,11 +166,15 @@ pub fn replay_journal(journal: &Journal, jobs: usize) -> ReplayReport {
         }
         runnable.push((
             rec,
+            // Journals are recorded (and warned about otherwise) under
+            // full instrumentation — the mode whose journal encodings
+            // and digests are the replay contract.
             MatrixCell {
                 info,
                 tool,
                 execs: rec.execs,
                 seed: rec.seed,
+                exec_mode: pdf_core::ExecMode::Full,
             },
         ));
     }
@@ -354,6 +358,7 @@ mod tests {
             tool: Tool::PFuzzerFleet,
             execs: 800,
             seed: 3,
+            exec_mode: pdf_core::ExecMode::Full,
         }];
         let (_, journal) = record_cells(&cells, 1);
         assert_eq!(journal.cells.len(), 1);

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use pdf_afl::{AflConfig, AflFuzzer};
-use pdf_core::{DriverConfig, FuzzReport, Fuzzer};
+use pdf_core::{DriverConfig, ExecMode, FuzzReport, Fuzzer};
 use pdf_runtime::{catch_silent, BranchSet, Digest, RunStats};
 use pdf_subjects::SubjectInfo;
 use pdf_symbolic::{KleeConfig, KleeFuzzer};
@@ -243,20 +243,39 @@ pub(crate) fn fleet_outcome(
     }
 }
 
-/// Runs one tool on one subject with one seed.
+/// Runs one tool on one subject with one seed, in full-instrumentation
+/// execution mode. Equivalent to [`run_tool_seeded_in`] with
+/// [`ExecMode::Full`]; kept as the short form because the journaled
+/// record/replay path is defined over full-fidelity campaigns only.
 pub fn run_tool_seeded(tool: Tool, info: &SubjectInfo, execs: u64, seed: u64) -> Outcome {
+    run_tool_seeded_in(tool, info, execs, seed, ExecMode::Full)
+}
+
+/// Runs one tool on one subject with one seed under an explicit
+/// [`ExecMode`]. The mode only shapes the two pFuzzer variants (they
+/// own the fast-failure tier); AFL and KLEE have no instrumentation
+/// tiers and ignore it.
+pub fn run_tool_seeded_in(
+    tool: Tool,
+    info: &SubjectInfo,
+    execs: u64,
+    seed: u64,
+    exec_mode: ExecMode,
+) -> Outcome {
     match tool {
         Tool::PFuzzer => {
             let cfg = DriverConfig {
                 seed,
                 max_execs: execs,
+                exec_mode,
                 ..DriverConfig::default()
             };
             let r = Fuzzer::new(info.subject, cfg).run();
             pfuzzer_outcome(info.name, seed, r)
         }
         Tool::PFuzzerFleet => {
-            let cfg = fleet_config_for(execs, seed);
+            let mut cfg = fleet_config_for(execs, seed);
+            cfg.base.exec_mode = exec_mode;
             let r = pdf_fleet::Fleet::new(info.subject, cfg)
                 .expect("fleet_config_for produces a valid config")
                 .run();
@@ -350,6 +369,11 @@ pub struct MatrixCell {
     pub execs: u64,
     /// Campaign seed.
     pub seed: u64,
+    /// Instrumentation tiering for the pFuzzer variants (AFL and KLEE
+    /// ignore it). Journaled record/replay cells always run
+    /// [`ExecMode::Full`], the mode whose digests define the
+    /// byte-identical replay contract.
+    pub exec_mode: ExecMode,
 }
 
 /// Expands a budget into the full deterministic cell list: subjects in
@@ -378,6 +402,7 @@ pub fn matrix_cells_for(subjects: &[SubjectInfo], budget: &EvalBudget) -> Vec<Ma
                     tool,
                     execs,
                     seed,
+                    exec_mode: ExecMode::Full,
                 });
             }
         }
@@ -484,7 +509,9 @@ pub fn run_cell_supervised(cell: &MatrixCell, sup: &SupervisorConfig) -> CellOut
             pdf_obs::record(|m| m.cell_retries.inc());
         }
         let seed = attempt_seed(cell.seed, attempt);
-        match catch_silent(|| run_tool_seeded(cell.tool, &cell.info, cell.execs, seed)) {
+        match catch_silent(|| {
+            run_tool_seeded_in(cell.tool, &cell.info, cell.execs, seed, cell.exec_mode)
+        }) {
             Ok(mut outcome) if !cell_hung(&outcome) => {
                 outcome.stats.retries = attempt;
                 pdf_obs::record(|m| m.cells_completed.inc());
@@ -858,6 +885,36 @@ mod tests {
     }
 
     #[test]
+    fn exec_modes_thread_through_the_seeded_runner() {
+        let info = pdf_subjects::by_name("arith").unwrap();
+        // the short form IS full mode
+        let full = run_tool_seeded(Tool::PFuzzer, &info, 400, 1);
+        let explicit = run_tool_seeded_in(Tool::PFuzzer, &info, 400, 1, ExecMode::Full);
+        assert_eq!(outcome_digest(&full), outcome_digest(&explicit));
+        for mode in [ExecMode::Fast, ExecMode::Tiered] {
+            for tool in [Tool::PFuzzer, Tool::PFuzzerFleet] {
+                let a = run_tool_seeded_in(tool, &info, 2_000, 3, mode);
+                let b = run_tool_seeded_in(tool, &info, 2_000, 3, mode);
+                assert_eq!(
+                    outcome_digest(&a),
+                    outcome_digest(&b),
+                    "{} in {mode:?} not deterministic",
+                    tool.name()
+                );
+                assert!(
+                    !a.valid_inputs.is_empty(),
+                    "{} in {mode:?} found nothing",
+                    tool.name()
+                );
+            }
+            // AFL has no tiers: the mode changes nothing
+            let afl = run_tool_seeded_in(Tool::Afl, &info, 400, 1, mode);
+            let afl_full = run_tool_seeded(Tool::Afl, &info, 400, 1);
+            assert_eq!(outcome_digest(&afl), outcome_digest(&afl_full));
+        }
+    }
+
+    #[test]
     fn attempt_zero_runs_the_original_seed() {
         assert_eq!(attempt_seed(42, 0), 42);
         assert_ne!(attempt_seed(42, 1), 42);
@@ -871,6 +928,7 @@ mod tests {
             tool: Tool::PFuzzer,
             execs: 200,
             seed: 1,
+            exec_mode: ExecMode::Full,
         };
         let co = run_cell_supervised(&cell, &SupervisorConfig::default());
         let o = co.outcome().expect("healthy cell completes");
@@ -900,6 +958,7 @@ mod tests {
             tool: Tool::PFuzzer,
             execs: 50,
             seed: 3,
+            exec_mode: ExecMode::Full,
         };
         let sup = SupervisorConfig { max_retries: 1 };
         let co = run_cell_supervised(&cell, &sup);

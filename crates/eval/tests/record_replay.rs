@@ -21,7 +21,7 @@ proptest! {
     ) {
         let info = pdf_subjects::evaluation_subjects()[subject_idx];
         let tool = Tool::ALL[tool_idx];
-        let cell = MatrixCell { info, tool, execs, seed };
+        let cell = MatrixCell { info, tool, execs, seed, exec_mode: pdf_core::ExecMode::Full };
         let (outcomes, journal) = record_cells(&[cell], 1);
         prop_assert_eq!(outcomes.len(), 1);
         prop_assert_eq!(journal.cells.len(), 1);
@@ -58,6 +58,7 @@ proptest! {
                 tool,
                 execs,
                 seed: seed + i as u64,
+                exec_mode: pdf_core::ExecMode::Full,
             })
             .collect();
         let (_, journal) = record_cells(&cells, 2);

@@ -101,6 +101,28 @@ fn checkpoint_and_resume_is_digest_identical() {
 }
 
 #[test]
+fn tiered_fleet_is_deterministic_and_finds_valid_inputs() {
+    // the batched fast-failure promotion pass at sync epochs is RNG-free
+    // and deterministic, so the fleet digest contract extends to the
+    // tiered exec modes
+    for mode in [pdf_core::ExecMode::Fast, pdf_core::ExecMode::Tiered] {
+        let subject = pdf_subjects::arith::subject();
+        let mut cfg = fleet_cfg(3, 300, 11, 1_500);
+        cfg.base.exec_mode = mode;
+        let a = Fleet::new(subject, cfg.clone()).unwrap().run();
+        let b = Fleet::new(subject, cfg).unwrap().run();
+        assert_eq!(a.digest(), b.digest(), "{mode:?} fleet not deterministic");
+        assert!(
+            !a.valid_inputs.is_empty(),
+            "{mode:?} fleet found no valid inputs"
+        );
+        for input in &a.valid_inputs {
+            assert!(subject.run(input).valid);
+        }
+    }
+}
+
+#[test]
 fn resume_rejects_drift() {
     let subject = pdf_subjects::dyck::subject();
     let cfg = fleet_cfg(2, 200, 1, 600);

@@ -67,6 +67,14 @@ pub struct MetricsRegistry {
     /// Times the driver restarted from a fresh random byte because the
     /// queue ran dry.
     pub restarts: Counter,
+    /// Executions that ran under the fast-failure tier (fast and tiered
+    /// exec modes).
+    pub tier_fast_execs: Counter,
+    /// Fast-tier executions escalated to full instrumentation by the
+    /// tier filter.
+    pub tier_escalations: Counter,
+    /// Fast-tier executions the filter discarded without escalation.
+    pub tier_skips: Counter,
     /// Valid (accepted) inputs discovered by the search.
     pub valid_inputs: Counter,
     /// New coverage branches discovered by the search.
@@ -155,6 +163,9 @@ impl MetricsRegistry {
             ("driver.appends", &self.appends),
             ("driver.eof_extensions", &self.eof_extensions),
             ("driver.restarts", &self.restarts),
+            ("tier.fast_execs", &self.tier_fast_execs),
+            ("tier.escalations", &self.tier_escalations),
+            ("tier.skips", &self.tier_skips),
             ("search.valid_inputs", &self.valid_inputs),
             ("search.new_branches", &self.new_branches),
             ("eval.cells_completed", &self.cells_completed),

@@ -1,5 +1,6 @@
 //! The tracked execution context subject parsers run against.
 
+use std::borrow::Cow;
 use std::error::Error;
 use std::fmt;
 
@@ -23,21 +24,29 @@ pub const SITE_TAIL_LEN: usize = 8;
 /// Error returned by subject parsers on rejecting an input.
 ///
 /// The fuzzers only look at accept/reject (the paper's "non-zero exit
-/// code"); the message exists for debugging and example output.
+/// code"); the message exists for debugging and example output. It is
+/// a [`Cow`] because rejections happen millions of times per campaign
+/// and virtually every message is a static literal — the common case
+/// must not allocate on the execution hot path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    msg: String,
+    msg: Cow<'static, str>,
 }
 
 impl ParseError {
     /// Creates an error with the given message.
-    pub fn new(msg: impl Into<String>) -> Self {
+    pub fn new(msg: impl Into<Cow<'static, str>>) -> Self {
         ParseError { msg: msg.into() }
     }
 
     /// The rejection message.
     pub fn message(&self) -> &str {
         &self.msg
+    }
+
+    /// Consumes the error into its message without copying it.
+    pub fn into_message(self) -> Cow<'static, str> {
+        self.msg
     }
 }
 
@@ -118,10 +127,17 @@ impl ExecCtx<FullLog> {
 
 impl<S: EventSink> ExecCtx<S> {
     /// Creates a context that streams events into `sink`.
-    pub fn with_sink(input: &[u8], fuel: u64, mut sink: S) -> Self {
+    pub fn with_sink(input: &[u8], fuel: u64, sink: S) -> Self {
+        Self::with_sink_owned(input.to_vec(), fuel, sink)
+    }
+
+    /// [`with_sink`](Self::with_sink) over an owned input buffer: the
+    /// batch executors pass a recycled arena buffer here to skip the
+    /// per-execution input copy.
+    pub fn with_sink_owned(input: Vec<u8>, fuel: u64, mut sink: S) -> Self {
         sink.begin(input.len());
         ExecCtx {
-            input: input.to_vec(),
+            input,
             pos: 0,
             depth: 0,
             fuel,
@@ -135,6 +151,14 @@ impl<S: EventSink> ExecCtx<S> {
     /// Consumes the context, yielding the sink's summary of the run.
     pub fn finish(self) -> S::Summary {
         self.sink.finish()
+    }
+
+    /// Dismantles the context into its input buffer and sink *without*
+    /// finishing the sink, so batch executors can recycle the buffer and
+    /// summarise through an arena-aware path (e.g.
+    /// [`LastFailure::finish_into`](crate::LastFailure::finish_into)).
+    pub fn into_parts(self) -> (Vec<u8>, S) {
+        (self.input, self.sink)
     }
 
     /// The input being parsed.
@@ -418,7 +442,7 @@ impl<S: EventSink> ExecCtx<S> {
 
     /// Builds a rejection error. Also spends a fuel tick so that rejection
     /// loops terminate.
-    pub fn reject(&mut self, msg: impl Into<String>) -> ParseError {
+    pub fn reject(&mut self, msg: impl Into<Cow<'static, str>>) -> ParseError {
         self.tick();
         ParseError::new(msg)
     }

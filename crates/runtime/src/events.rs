@@ -1,6 +1,7 @@
 //! The execution event log and the queries the fuzzers run over it.
 
 use crate::coverage::{BranchId, BranchSet};
+use crate::journal::Digest;
 use crate::site::SiteId;
 
 /// What a tainted input byte was compared against.
@@ -138,6 +139,79 @@ impl LazyCmpValue<'_> {
     }
 }
 
+/// Caller-supplied scratch for replacement expansion: one flat byte
+/// buffer plus spans into it, cleared-and-reused instead of allocating a
+/// `Vec<Vec<u8>>` per call. This is the allocation-free counterpart of
+/// [`CmpValue::satisfying_replacements`] for callers that expand
+/// replacements per comparison in a hot loop.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::{CmpValue, ReplacementScratch};
+///
+/// let mut scratch = ReplacementScratch::default();
+/// CmpValue::Byte(b'(').satisfying_replacements_into(&mut scratch);
+/// assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![&b"("[..]]);
+/// // the same scratch is reused — no fresh allocation once warm
+/// CmpValue::Range(b'0', b'9').satisfying_replacements_into(&mut scratch);
+/// assert_eq!(scratch.len(), 10);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ReplacementScratch {
+    bytes: Vec<u8>,
+    spans: Vec<(u32, u32)>,
+}
+
+impl ReplacementScratch {
+    /// Empties the scratch, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.spans.clear();
+    }
+
+    /// Number of replacements currently held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the scratch holds no replacements.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th replacement.
+    pub fn get(&self, i: usize) -> &[u8] {
+        let (off, len) = self.spans[i];
+        &self.bytes[off as usize..off as usize + len as usize]
+    }
+
+    /// Iterates the replacements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.spans
+            .iter()
+            .map(|&(off, len)| &self.bytes[off as usize..off as usize + len as usize])
+    }
+
+    fn push(&mut self, replacement: &[u8]) {
+        let off = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(replacement);
+        self.spans.push((off, replacement.len() as u32));
+    }
+}
+
+impl CmpValue {
+    /// Writes the satisfying replacements into caller-supplied scratch —
+    /// same values, same order as
+    /// [`satisfying_replacements`](CmpValue::satisfying_replacements),
+    /// but reusing the scratch's buffers across calls. The scratch is
+    /// cleared first.
+    pub fn satisfying_replacements_into(&self, scratch: &mut ReplacementScratch) {
+        scratch.clear();
+        self.for_each_replacement(|bytes| scratch.push(bytes));
+    }
+}
+
 /// The position-and-outcome half of a comparison event: everything
 /// except the expected value, which streams separately as a
 /// [`LazyCmpValue`] so sinks can skip materialising it.
@@ -153,6 +227,47 @@ pub struct CmpMeta {
     pub depth: usize,
     /// Static location of the comparison.
     pub site: SiteId,
+}
+
+/// Stable fingerprint of one comparison event: FNV-1a over the input
+/// index, observed byte, outcome, comparison site and expected value.
+///
+/// This is the "last comparison value" of *Fuzzing with Fast Failure
+/// Feedback*: two executions whose final comparisons fingerprint
+/// equally stalled against the same check, so the tiered driver treats
+/// the later one as redundant. The streaming
+/// [`FastFailure`](crate::FastFailure) sink and the [`ExecLog`]
+/// reference reductions must call this same function so their summaries
+/// agree bit-for-bit.
+pub fn cmp_fingerprint(meta: &CmpMeta, expected: &LazyCmpValue<'_>) -> u64 {
+    let mut d = Digest::new();
+    d.write_u64(meta.index as u64);
+    match meta.observed {
+        Some(b) => {
+            d.write_u8(1);
+            d.write_u8(b);
+        }
+        None => d.write_u8(0),
+    }
+    d.write_u8(meta.outcome as u8);
+    d.write_u64(meta.site.0);
+    match *expected {
+        LazyCmpValue::Byte(b) => {
+            d.write_u8(1);
+            d.write_u8(b);
+        }
+        LazyCmpValue::Range(lo, hi) => {
+            d.write_u8(2);
+            d.write_u8(lo);
+            d.write_u8(hi);
+        }
+        LazyCmpValue::Str { full, matched } => {
+            d.write_u8(3);
+            d.write_u64(matched as u64);
+            d.write_bytes(full);
+        }
+    }
+    d.finish()
 }
 
 /// A recorded comparison of a tainted input byte.
@@ -172,6 +287,24 @@ pub struct Cmp {
     pub depth: usize,
     /// Static location of the comparison.
     pub site: SiteId,
+}
+
+impl Cmp {
+    /// The position-and-outcome half of this comparison.
+    pub fn meta(&self) -> CmpMeta {
+        CmpMeta {
+            index: self.index,
+            observed: self.observed,
+            outcome: self.outcome,
+            depth: self.depth,
+            site: self.site,
+        }
+    }
+
+    /// This comparison's [`cmp_fingerprint`].
+    pub fn fingerprint(&self) -> u64 {
+        cmp_fingerprint(&self.meta(), &self.expected.as_lazy())
+    }
 }
 
 /// One entry of the execution event stream, in program order.
@@ -402,6 +535,62 @@ mod tests {
         };
         assert!(v.satisfying_replacements().is_empty());
         assert_eq!(v.replacement_len(), 0);
+    }
+
+    #[test]
+    fn scratch_replacements_match_allocating_replacements() {
+        let values = [
+            CmpValue::Byte(b'('),
+            CmpValue::Range(b'0', b'9'),
+            CmpValue::Range(b'a', b'z'),
+            CmpValue::Range(b'9', b'0'),
+            CmpValue::Str {
+                full: b"while".to_vec(),
+                matched: 2,
+            },
+            CmpValue::Str {
+                full: b"if".to_vec(),
+                matched: 2,
+            },
+        ];
+        let mut scratch = ReplacementScratch::default();
+        for v in &values {
+            v.satisfying_replacements_into(&mut scratch);
+            let via_scratch: Vec<Vec<u8>> = scratch.iter().map(<[u8]>::to_vec).collect();
+            assert_eq!(via_scratch, v.satisfying_replacements(), "{v:?}");
+            assert_eq!(scratch.len(), via_scratch.len());
+            assert_eq!(scratch.is_empty(), via_scratch.is_empty());
+            for (i, r) in via_scratch.iter().enumerate() {
+                assert_eq!(scratch.get(i), &r[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_comparisons() {
+        let base = Cmp {
+            index: 3,
+            observed: Some(b'x'),
+            expected: CmpValue::Byte(b'a'),
+            outcome: false,
+            depth: 1,
+            site: SiteId::from_raw(9),
+        };
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let mut other = base.clone();
+        other.index = 4;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut other = base.clone();
+        other.expected = CmpValue::Byte(b'b');
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut other = base.clone();
+        other.outcome = true;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        // the fingerprint matches the lazy-view computation the sinks use
+        assert_eq!(
+            base.fingerprint(),
+            cmp_fingerprint(&base.meta(), &base.expected.as_lazy())
+        );
     }
 
     #[test]

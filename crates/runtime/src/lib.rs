@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod corpus;
 mod coverage;
 mod ctx;
@@ -60,20 +61,27 @@ mod stats;
 mod subject;
 mod taint;
 
+pub use arena::ExecArena;
 pub use corpus::distill;
 pub use coverage::{BranchId, BranchSet};
 pub use ctx::{ExecCtx, ParseError, DEFAULT_FUEL, SITE_TAIL_LEN};
-pub use events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue};
+pub use events::{
+    cmp_fingerprint, Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue,
+    ReplacementScratch,
+};
 pub use isolate::catch_silent;
 pub use journal::{
     digest_bytes, hex_decode, hex_encode, CellRecord, Digest, Journal, JournalError,
 };
 pub use rng::Rng;
-pub use sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
+pub use sink::{
+    CovSummary, CoverageOnly, EventSink, FailureSummary, FastFailure, FastSummary, FullLog,
+    LastFailure,
+};
 pub use site::SiteId;
 pub use stats::{PhaseClock, RunStats};
 pub use subject::{
-    CovExecution, CoverageSubjectFn, Execution, FailureExecution, LastFailureSubjectFn, Subject,
-    SubjectFn, Verdict,
+    CovExecution, CoverageSubjectFn, Execution, FailureExecution, FastExecution,
+    FastFailureSubjectFn, LastFailureSubjectFn, Subject, SubjectFn, Verdict,
 };
 pub use taint::TStr;

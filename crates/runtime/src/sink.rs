@@ -12,16 +12,29 @@
 //! - [`CoverageOnly`] — branch sequence + EOF flag, zero per-comparison
 //!   allocation (the AFL baseline consumes nothing else),
 //! - [`LastFailure`] — rejection index, substitution candidates and
-//!   coverage without an event vector (the fast driver mode).
+//!   coverage without an event vector (the full-instrumentation driver
+//!   tier),
+//! - [`FastFailure`] — rejection index + last comparison only, near
+//!   zero cost per event (the fast driver tier; see *Fuzzing with Fast
+//!   Failure Feedback* in PAPERS.md).
 //!
-//! `CoverageOnly` and `LastFailure` summaries are *defined* by
-//! equivalence: they must equal what the corresponding [`ExecLog`]
-//! queries compute ([`ExecLog::coverage_summary`] /
-//! [`ExecLog::failure_summary`] are the reference implementations, and
-//! the property tests in `tests/` hold the streaming versions to them).
+//! Streaming summaries are *defined* by equivalence: they must equal
+//! what the corresponding [`ExecLog`] queries compute
+//! ([`ExecLog::coverage_summary`] / [`ExecLog::failure_summary`] /
+//! [`ExecLog::fast_summary`] are the reference implementations, and the
+//! property tests in `tests/` hold the streaming versions to them).
+//!
+//! [`FullLog`] and [`LastFailure`] additionally support *recycled*
+//! construction from an [`ExecArena`]: their internal vectors are taken
+//! from the arena on construction and handed back cleared after the
+//! summary is built, so a batch of executions reuses one allocation set
+//! (see [`Subject::exec_batch_fast`](crate::Subject::exec_batch_fast)).
 
+use crate::arena::ExecArena;
 use crate::coverage::{BranchId, BranchSet};
-use crate::events::{Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue};
+use crate::events::{
+    cmp_fingerprint, Candidate, Cmp, CmpMeta, CmpValue, Event, ExecLog, LazyCmpValue,
+};
 
 /// Consumes instrumentation events during a subject execution.
 ///
@@ -121,6 +134,23 @@ impl EventSink for FullLog {
     }
 }
 
+impl FullLog {
+    /// A full-log sink whose event buffer comes from `arena`, so
+    /// repeated executions reuse one allocation. Hand the finished
+    /// [`ExecLog`] back with [`ExecArena::recycle_log`] once its events
+    /// have been reduced.
+    pub fn recycled(arena: &mut ExecArena) -> Self {
+        let mut events = std::mem::take(&mut arena.events);
+        events.clear();
+        FullLog {
+            log: ExecLog {
+                events,
+                input_len: 0,
+            },
+        }
+    }
+}
+
 // ---- CoverageOnly ----------------------------------------------------------
 
 /// What a coverage-guided consumer needs from one execution.
@@ -204,6 +234,10 @@ pub struct FailureSummary {
     pub eof_access: Option<usize>,
     /// Instrumentation events the run emitted.
     pub events: u64,
+    /// [`cmp_fingerprint`] of the last comparison event (any outcome),
+    /// `0` when the run made no comparison — the tier-escalation filter
+    /// key, kept here so full instrumentation can seed the filter state.
+    pub last_cmp_fingerprint: u64,
 }
 
 const WATERMARK_UNSET: u32 = u32::MAX;
@@ -231,60 +265,45 @@ pub struct LastFailure {
     /// Depths of the previous-to-last and last comparison.
     last_depths: [usize; 2],
     cmp_seen: u64,
+    /// [`cmp_fingerprint`] of the last comparison, any outcome.
+    last_cmp: u64,
     eof: Option<usize>,
     events: u64,
 }
 
-impl EventSink for LastFailure {
-    type Summary = FailureSummary;
-
-    fn begin(&mut self, input_len: usize) {
-        self.watermarks = vec![WATERMARK_UNSET; input_len + 1];
-    }
-
-    fn on_cmp(&mut self, meta: CmpMeta, expected: LazyCmpValue<'_>) {
-        self.events += 1;
-        if self.cmp_seen == 0 {
-            self.last_depths = [meta.depth, meta.depth];
-        } else {
-            self.last_depths[0] = self.last_depths[1];
-            self.last_depths[1] = meta.depth;
-        }
-        self.cmp_seen += 1;
-        if meta.observed.is_none() {
-            return;
-        }
-        let w = &mut self.watermarks[meta.index];
-        if *w == WATERMARK_UNSET {
-            *w = self.seq.len() as u32;
-        }
-        if meta.outcome {
-            return;
-        }
-        match self.rejection {
-            Some(r) if meta.index < r => {}
-            Some(r) if meta.index == r => self.failed.push(expected.materialise()),
-            _ => {
-                self.rejection = Some(meta.index);
-                self.failed.clear();
-                self.failed.push(expected.materialise());
-            }
+impl LastFailure {
+    /// A sink whose internal buffers come from `arena`, so repeated
+    /// executions reuse one allocation set. Pair with
+    /// [`finish_into`](LastFailure::finish_into) to hand them back.
+    pub fn recycled(arena: &mut ExecArena) -> Self {
+        let mut seq = std::mem::take(&mut arena.seq);
+        seq.clear();
+        let mut watermarks = std::mem::take(&mut arena.watermarks);
+        watermarks.clear();
+        let mut failed = std::mem::take(&mut arena.failed);
+        failed.clear();
+        LastFailure {
+            seq,
+            watermarks,
+            failed,
+            ..LastFailure::default()
         }
     }
 
-    fn on_branch(&mut self, branch: BranchId, _pos: usize) {
-        self.events += 1;
-        self.seq.push(branch);
+    /// [`finish`](EventSink::finish), then returns the internal buffers
+    /// to `arena` for the next execution.
+    pub fn finish_into(mut self, arena: &mut ExecArena) -> FailureSummary {
+        let summary = self.summarize();
+        self.seq.clear();
+        self.watermarks.clear();
+        self.failed.clear();
+        arena.seq = std::mem::take(&mut self.seq);
+        arena.watermarks = std::mem::take(&mut self.watermarks);
+        arena.failed = std::mem::take(&mut self.failed);
+        summary
     }
 
-    fn on_eof(&mut self, index: usize) {
-        self.events += 1;
-        if self.eof.is_none() {
-            self.eof = Some(index);
-        }
-    }
-
-    fn finish(self) -> FailureSummary {
+    fn summarize(&self) -> FailureSummary {
         let branches = BranchSet::from_seq(&self.seq);
         let branches_up_to_rejection = match self.rejection {
             None => branches.clone(),
@@ -325,6 +344,166 @@ impl EventSink for LastFailure {
             branches_up_to_rejection,
             rejection_index: self.rejection,
             candidates,
+            avg_stack_size,
+            eof_access: self.eof,
+            events: self.events,
+            last_cmp_fingerprint: self.last_cmp,
+        }
+    }
+}
+
+impl EventSink for LastFailure {
+    type Summary = FailureSummary;
+
+    fn begin(&mut self, input_len: usize) {
+        // clear-and-resize rather than a fresh `vec![...]` so recycled
+        // sinks reuse the arena's watermark allocation
+        self.watermarks.clear();
+        self.watermarks.resize(input_len + 1, WATERMARK_UNSET);
+    }
+
+    fn on_cmp(&mut self, meta: CmpMeta, expected: LazyCmpValue<'_>) {
+        self.events += 1;
+        if self.cmp_seen == 0 {
+            self.last_depths = [meta.depth, meta.depth];
+        } else {
+            self.last_depths[0] = self.last_depths[1];
+            self.last_depths[1] = meta.depth;
+        }
+        self.cmp_seen += 1;
+        self.last_cmp = cmp_fingerprint(&meta, &expected);
+        if meta.observed.is_none() {
+            return;
+        }
+        let w = &mut self.watermarks[meta.index];
+        if *w == WATERMARK_UNSET {
+            *w = self.seq.len() as u32;
+        }
+        if meta.outcome {
+            return;
+        }
+        match self.rejection {
+            Some(r) if meta.index < r => {}
+            Some(r) if meta.index == r => self.failed.push(expected.materialise()),
+            _ => {
+                self.rejection = Some(meta.index);
+                self.failed.clear();
+                self.failed.push(expected.materialise());
+            }
+        }
+    }
+
+    fn on_branch(&mut self, branch: BranchId, _pos: usize) {
+        self.events += 1;
+        self.seq.push(branch);
+    }
+
+    fn on_eof(&mut self, index: usize) {
+        self.events += 1;
+        if self.eof.is_none() {
+            self.eof = Some(index);
+        }
+    }
+
+    fn finish(self) -> FailureSummary {
+        self.summarize()
+    }
+}
+
+// ---- FastFailure -----------------------------------------------------------
+
+/// What the fast execution tier keeps from one run: the rejection index
+/// plus the last comparison — nothing else. *Fuzzing with Fast Failure
+/// Feedback* observes that this pair is enough to score most candidates;
+/// the tiered driver escalates to full instrumentation only when it
+/// changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastSummary {
+    /// Index of the first invalid character
+    /// (see [`ExecLog::rejection_index`]).
+    pub rejection_index: Option<usize>,
+    /// Expected value of the last failed observed comparison at the
+    /// rejection index — the single comparison fast-mode substitution
+    /// candidates derive from.
+    pub last_failed: Option<CmpValue>,
+    /// [`cmp_fingerprint`] of the last comparison event (any outcome),
+    /// `0` when the run made no comparison.
+    pub last_cmp_fingerprint: u64,
+    /// Average stack depth over the last two comparisons.
+    pub avg_stack_size: f64,
+    /// First past-the-end access, if any.
+    pub eof_access: Option<usize>,
+    /// Instrumentation events the run emitted.
+    pub events: u64,
+}
+
+/// The near-zero-cost sink of the fast execution tier: no branch
+/// sequence, no watermarks, no candidate expansion — just the rejection
+/// index, the expected value of the last failed comparison there, and a
+/// running fingerprint of the latest comparison. Per-event work is a
+/// handful of integer stores plus one FNV fold; the only allocation is
+/// materialising a failed `strcmp`'s expected string.
+#[derive(Debug, Default)]
+pub struct FastFailure {
+    rejection: Option<usize>,
+    last_failed: Option<CmpValue>,
+    last_cmp: u64,
+    last_depths: [usize; 2],
+    cmp_seen: u64,
+    eof: Option<usize>,
+    events: u64,
+}
+
+impl EventSink for FastFailure {
+    type Summary = FastSummary;
+
+    fn begin(&mut self, _input_len: usize) {}
+
+    fn on_cmp(&mut self, meta: CmpMeta, expected: LazyCmpValue<'_>) {
+        self.events += 1;
+        if self.cmp_seen == 0 {
+            self.last_depths = [meta.depth, meta.depth];
+        } else {
+            self.last_depths[0] = self.last_depths[1];
+            self.last_depths[1] = meta.depth;
+        }
+        self.cmp_seen += 1;
+        self.last_cmp = cmp_fingerprint(&meta, &expected);
+        if meta.observed.is_none() || meta.outcome {
+            return;
+        }
+        match self.rejection {
+            // a failed comparison at or past the current rejection index
+            // both advances the index and becomes the new last failure
+            Some(r) if meta.index < r => {}
+            _ => {
+                self.rejection = Some(meta.index);
+                self.last_failed = Some(expected.materialise());
+            }
+        }
+    }
+
+    fn on_branch(&mut self, _branch: BranchId, _pos: usize) {
+        self.events += 1;
+    }
+
+    fn on_eof(&mut self, index: usize) {
+        self.events += 1;
+        if self.eof.is_none() {
+            self.eof = Some(index);
+        }
+    }
+
+    fn finish(self) -> FastSummary {
+        let avg_stack_size = match self.cmp_seen {
+            0 => 0.0,
+            1 => self.last_depths[1] as f64,
+            _ => (self.last_depths[0] + self.last_depths[1]) as f64 / 2.0,
+        };
+        FastSummary {
+            rejection_index: self.rejection,
+            last_failed: self.last_failed,
+            last_cmp_fingerprint: self.last_cmp,
             avg_stack_size,
             eof_access: self.eof,
             events: self.events,
@@ -370,7 +549,35 @@ impl ExecLog {
             avg_stack_size: self.avg_stack_size(),
             eof_access: self.eof_access(),
             events: self.events.len() as u64,
+            last_cmp_fingerprint: self.last_cmp_fingerprint(),
         }
+    }
+
+    /// Reduces a full log to the [`FastFailure`] summary — the reference
+    /// implementation the streaming sink must agree with, and the
+    /// fallback for subjects without a native fast-failure entry point.
+    pub fn fast_summary(&self) -> FastSummary {
+        let rejection_index = self.rejection_index();
+        let last_failed = rejection_index.and_then(|idx| {
+            self.comparisons()
+                .filter(|c| c.index == idx && c.observed.is_some() && !c.outcome)
+                .last()
+                .map(|c| c.expected.clone())
+        });
+        FastSummary {
+            rejection_index,
+            last_failed,
+            last_cmp_fingerprint: self.last_cmp_fingerprint(),
+            avg_stack_size: self.avg_stack_size(),
+            eof_access: self.eof_access(),
+            events: self.events.len() as u64,
+        }
+    }
+
+    /// [`cmp_fingerprint`] of the last comparison event, `0` when the
+    /// run made no comparison.
+    pub fn last_cmp_fingerprint(&self) -> u64 {
+        self.comparisons().last().map_or(0, Cmp::fingerprint)
     }
 }
 
@@ -436,5 +643,83 @@ mod tests {
         let (log, cov, last) = summaries(b"w123");
         assert_eq!(cov.events, log.events.len() as u64);
         assert_eq!(last.events, log.events.len() as u64);
+    }
+
+    const INPUTS: [&[u8]; 7] = [b"", b"(", b"w7", b"while(", b"zzz", b"{0while", b"whale"];
+
+    #[test]
+    fn fast_failure_sink_matches_full_log_reduction() {
+        for input in INPUTS {
+            let (log, _, _) = summaries(input);
+            let mut fast =
+                ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, FastFailure::default());
+            drive(&mut fast);
+            assert_eq!(fast.finish(), log.fast_summary(), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn fast_failure_agrees_with_last_failure_on_shared_fields() {
+        for input in INPUTS {
+            let (_, _, last) = summaries(input);
+            let mut ctx =
+                ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, FastFailure::default());
+            drive(&mut ctx);
+            let fast = ctx.finish();
+            assert_eq!(
+                fast.rejection_index, last.rejection_index,
+                "input {input:?}"
+            );
+            assert_eq!(
+                fast.last_cmp_fingerprint, last.last_cmp_fingerprint,
+                "input {input:?}"
+            );
+            assert_eq!(fast.eof_access, last.eof_access, "input {input:?}");
+            assert_eq!(fast.events, last.events, "input {input:?}");
+            assert_eq!(fast.avg_stack_size, last.avg_stack_size, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn recycled_last_failure_matches_fresh_sink() {
+        let mut arena = ExecArena::default();
+        for _ in 0..3 {
+            // repeat so later rounds run on reused (dirty) buffers
+            for input in INPUTS {
+                let mut fresh =
+                    ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, LastFailure::default());
+                drive(&mut fresh);
+                let fresh = fresh.finish();
+
+                let sink = LastFailure::recycled(&mut arena);
+                let mut ctx = ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, sink);
+                drive(&mut ctx);
+                let (_, sink) = ctx.into_parts();
+                let recycled = sink.finish_into(&mut arena);
+                assert_eq!(recycled, fresh, "input {input:?}");
+            }
+        }
+        assert!(arena.seq.capacity() > 0, "buffers returned to the arena");
+    }
+
+    #[test]
+    fn recycled_full_log_matches_fresh_sink() {
+        let mut arena = ExecArena::default();
+        for _ in 0..3 {
+            for input in INPUTS {
+                let mut fresh = ExecCtx::new(input);
+                drive(&mut fresh);
+                let fresh = fresh.into_log();
+
+                let sink = FullLog::recycled(&mut arena);
+                let mut ctx = ExecCtx::with_sink(input, crate::ctx::DEFAULT_FUEL, sink);
+                drive(&mut ctx);
+                let log = ctx.finish();
+                assert_eq!(log.events, fresh.events, "input {input:?}");
+                assert_eq!(log.input_len, fresh.input_len, "input {input:?}");
+                arena.recycle_log(log);
+            }
+        }
+        assert!(arena.events.capacity() > 0, "buffer returned to the arena");
     }
 }

@@ -2,10 +2,14 @@
 
 use std::fmt;
 
+use crate::arena::ExecArena;
 use crate::ctx::{ExecCtx, ParseError, DEFAULT_FUEL};
 use crate::events::ExecLog;
 use crate::isolate::catch_silent;
-use crate::sink::{CovSummary, CoverageOnly, EventSink, FailureSummary, FullLog, LastFailure};
+use crate::sink::{
+    CovSummary, CoverageOnly, EventSink, FailureSummary, FastFailure, FastSummary, FullLog,
+    LastFailure,
+};
 
 /// The type of an instrumented parser entry point (full-log sink).
 pub type SubjectFn = fn(&mut ExecCtx) -> Result<(), ParseError>;
@@ -15,6 +19,9 @@ pub type CoverageSubjectFn = fn(&mut ExecCtx<CoverageOnly>) -> Result<(), ParseE
 
 /// A parser entry point monomorphised for the last-failure sink.
 pub type LastFailureSubjectFn = fn(&mut ExecCtx<LastFailure>) -> Result<(), ParseError>;
+
+/// A parser entry point monomorphised for the fast-failure sink.
+pub type FastFailureSubjectFn = fn(&mut ExecCtx<FastFailure>) -> Result<(), ParseError>;
 
 /// How one subject execution ended — the paper's process exit status,
 /// refined into a four-point lattice. Accept and reject are the normal
@@ -49,8 +56,10 @@ pub enum Verdict {
     Accept,
     /// The parser rejected the input.
     Reject {
-        /// The parser's rejection message.
-        msg: String,
+        /// The parser's rejection message. A [`Cow`](std::borrow::Cow)
+        /// so the (near-universal) static-literal rejection costs no
+        /// allocation per execution.
+        msg: std::borrow::Cow<'static, str>,
     },
     /// The run exhausted its fuel budget before finishing. Takes
     /// precedence over accept/reject: whatever the parser returned after
@@ -91,7 +100,7 @@ impl Verdict {
     pub fn error(&self) -> Option<String> {
         match self {
             Verdict::Accept => None,
-            Verdict::Reject { msg } => Some(msg.clone()),
+            Verdict::Reject { msg } => Some(msg.clone().into_owned()),
             Verdict::Hang => Some("hang: fuel exhausted".to_string()),
             Verdict::Crash { panic_msg, .. } => Some(format!("crash: {panic_msg}")),
         }
@@ -138,6 +147,31 @@ pub struct FailureExecution {
     pub failure: FailureSummary,
 }
 
+/// The result of a fast-failure run (the cheap tier).
+///
+/// Unlike the other execution results there is no eager `error` field:
+/// the fast tier exists to keep per-execution cost near zero, and
+/// cloning the rejection message out of the verdict would put one
+/// allocation back on every rejected execution. Use
+/// [`error`](FastExecution::error) when a message is actually needed.
+#[derive(Debug, Clone)]
+pub struct FastExecution {
+    /// Whether the input was accepted as valid.
+    pub valid: bool,
+    /// How the run ended (accept / reject / hang / crash).
+    pub verdict: Verdict,
+    /// The fast summary of the run.
+    pub fast: FastSummary,
+}
+
+impl FastExecution {
+    /// Rejection message, when invalid — cloned out of the verdict on
+    /// demand rather than on every execution.
+    pub fn error(&self) -> Option<String> {
+        self.verdict.error()
+    }
+}
+
 /// An instrumented program under test.
 ///
 /// Wraps a parser entry point together with a display name; each call to
@@ -170,6 +204,7 @@ pub struct Subject {
     entry: SubjectFn,
     coverage_entry: Option<CoverageSubjectFn>,
     last_failure_entry: Option<LastFailureSubjectFn>,
+    fast_failure_entry: Option<FastFailureSubjectFn>,
     fuel: u64,
 }
 
@@ -186,7 +221,7 @@ fn classify(
         Ok(_) if ctx_hung => Verdict::Hang,
         Ok(Ok(())) => Verdict::Accept,
         Ok(Err(e)) => Verdict::Reject {
-            msg: e.message().to_string(),
+            msg: e.into_message(),
         },
     }
 }
@@ -199,6 +234,7 @@ impl Subject {
             entry,
             coverage_entry: None,
             last_failure_entry: None,
+            fast_failure_entry: None,
             fuel: DEFAULT_FUEL,
         }
     }
@@ -220,6 +256,13 @@ impl Subject {
     /// monomorphised over [`LastFailure`]).
     pub fn with_last_failure_entry(mut self, entry: LastFailureSubjectFn) -> Self {
         self.last_failure_entry = Some(entry);
+        self
+    }
+
+    /// Registers a fast-failure entry point (the same parser
+    /// monomorphised over [`FastFailure`]).
+    pub fn with_fast_failure_entry(mut self, entry: FastFailureSubjectFn) -> Self {
+        self.fast_failure_entry = Some(entry);
         self
     }
 
@@ -249,17 +292,25 @@ impl Subject {
         self.last_failure_entry
     }
 
+    /// The fast-failure entry point, when registered.
+    pub fn fast_failure_entry(&self) -> Option<FastFailureSubjectFn> {
+        self.fast_failure_entry
+    }
+
     /// The per-run fuel budget.
     pub fn fuel(&self) -> u64 {
         self.fuel
     }
 
-    /// The single execution chokepoint: every run of every sink flavour
-    /// goes through here, so panic isolation (the subject runs under
-    /// [`catch_silent`]), the hang/crash classification and the metrics
-    /// instrumentation are uniform across [`run`](Self::run),
-    /// [`run_coverage`](Self::run_coverage) and
-    /// [`run_last_failure`](Self::run_last_failure).
+    /// The single execution chokepoint (with [`exec_ctx`](Self::exec_ctx)
+    /// as its body): every run of every sink flavour — including the
+    /// batch executors — goes through here, so panic isolation (the
+    /// subject runs under [`catch_silent`]), the hang/crash
+    /// classification and the metrics instrumentation are uniform across
+    /// [`run`](Self::run), [`run_coverage`](Self::run_coverage),
+    /// [`run_last_failure`](Self::run_last_failure),
+    /// [`run_fast_failure`](Self::run_fast_failure) and the
+    /// `exec_batch_*` family.
     ///
     /// Metrics (exec count, verdict class, latency, input length) go to
     /// the thread's installed `pdf-obs` registry, if any. The clock is
@@ -272,8 +323,23 @@ impl Subject {
         entry: fn(&mut ExecCtx<S>) -> Result<(), ParseError>,
         sink: S,
     ) -> (Verdict, S::Summary) {
+        let (verdict, ctx) = self.exec_ctx(input.to_vec(), entry, sink);
+        (verdict, ctx.finish())
+    }
+
+    /// The chokepoint body over an owned input buffer, returning the
+    /// context unfinished so the batch executors can recycle its input
+    /// buffer and sink. All metrics are recorded here, before the sink
+    /// is summarised.
+    fn exec_ctx<S: EventSink>(
+        &self,
+        input: Vec<u8>,
+        entry: fn(&mut ExecCtx<S>) -> Result<(), ParseError>,
+        sink: S,
+    ) -> (Verdict, ExecCtx<S>) {
         let start = pdf_obs::enabled().then(std::time::Instant::now);
-        let mut ctx = ExecCtx::with_sink(input, self.fuel, sink);
+        let input_len = input.len();
+        let mut ctx = ExecCtx::with_sink_owned(input, self.fuel, sink);
         let result = catch_silent(|| entry(&mut ctx));
         let verdict = classify(result, ctx.exhausted(), ctx.crash_dedup_key());
         if let Some(start) = start {
@@ -287,10 +353,10 @@ impl Subject {
                     Verdict::Crash { .. } => m.crashes.inc(),
                 }
                 m.exec_latency_ns.observe(ns);
-                m.input_len.observe(input.len() as u64);
+                m.input_len.observe(input_len as u64);
             });
         }
-        (verdict, ctx.finish())
+        (verdict, ctx)
     }
 
     /// Runs the subject on `input`, returning verdict and log.
@@ -356,6 +422,154 @@ impl Subject {
             }
         }
     }
+
+    /// Runs the subject with the [`FastFailure`] sink: verdict, rejection
+    /// index and last comparison, nothing else. Falls back to a full-log
+    /// run reduced via [`ExecLog::fast_summary`] for subjects without a
+    /// native fast-failure entry point.
+    pub fn run_fast_failure(&self, input: &[u8]) -> FastExecution {
+        match self.fast_failure_entry {
+            Some(entry) => {
+                let (verdict, fast) = self.exec(input, entry, FastFailure::default());
+                FastExecution {
+                    valid: verdict.is_accept(),
+                    verdict,
+                    fast,
+                }
+            }
+            None => {
+                let exec = self.run(input);
+                FastExecution {
+                    valid: exec.valid,
+                    verdict: exec.verdict,
+                    fast: exec.log.fast_summary(),
+                }
+            }
+        }
+    }
+
+    /// [`run_fast_failure`](Self::run_fast_failure) through an
+    /// [`ExecArena`]: the input copy reuses the arena's buffer. Summary
+    /// and verdict are identical to the arena-less run.
+    pub fn run_fast_failure_arena(&self, arena: &mut ExecArena, input: &[u8]) -> FastExecution {
+        let Some(entry) = self.fast_failure_entry else {
+            return self.run_fast_failure(input);
+        };
+        let mut buf = std::mem::take(&mut arena.input_buf);
+        buf.clear();
+        buf.extend_from_slice(input);
+        let (verdict, ctx) = self.exec_ctx(buf, entry, FastFailure::default());
+        let (buf, sink) = ctx.into_parts();
+        arena.input_buf = buf;
+        FastExecution {
+            valid: verdict.is_accept(),
+            verdict,
+            fast: sink.finish(),
+        }
+    }
+
+    /// [`run_last_failure`](Self::run_last_failure) through an
+    /// [`ExecArena`]: the input copy and the sink's internal vectors all
+    /// reuse the arena's buffers. Summary and verdict are identical to
+    /// the arena-less run (the recycled-sink property tests hold the two
+    /// paths equal).
+    pub fn run_last_failure_arena(&self, arena: &mut ExecArena, input: &[u8]) -> FailureExecution {
+        let Some(entry) = self.last_failure_entry else {
+            return self.run_last_failure(input);
+        };
+        let mut buf = std::mem::take(&mut arena.input_buf);
+        buf.clear();
+        buf.extend_from_slice(input);
+        let sink = LastFailure::recycled(arena);
+        let (verdict, ctx) = self.exec_ctx(buf, entry, sink);
+        let (buf, sink) = ctx.into_parts();
+        arena.input_buf = buf;
+        let failure = sink.finish_into(arena);
+        FailureExecution {
+            valid: verdict.is_accept(),
+            error: verdict.error(),
+            verdict,
+            failure,
+        }
+    }
+
+    /// Executes every candidate in `inputs` under the [`FastFailure`]
+    /// sink, amortising input copies, sink wiring and result storage
+    /// through `arena`. Returns the per-candidate results in input
+    /// order; the slice lives in the arena and is overwritten by the
+    /// next batch call.
+    ///
+    /// Each candidate still passes through the metrics chokepoint
+    /// individually, so exec counters and verdict identities are
+    /// unchanged relative to N single runs.
+    pub fn exec_batch_fast<'a, I: AsRef<[u8]>>(
+        &self,
+        arena: &'a mut ExecArena,
+        inputs: &[I],
+    ) -> &'a [FastExecution] {
+        let mut results = std::mem::take(&mut arena.fast_results);
+        results.clear();
+        results.reserve(inputs.len());
+        match self.fast_failure_entry {
+            Some(entry) => {
+                let mut buf = std::mem::take(&mut arena.input_buf);
+                for input in inputs {
+                    buf.clear();
+                    buf.extend_from_slice(input.as_ref());
+                    let (verdict, ctx) = self.exec_ctx(buf, entry, FastFailure::default());
+                    let (ret, sink) = ctx.into_parts();
+                    buf = ret;
+                    results.push(FastExecution {
+                        valid: verdict.is_accept(),
+                        verdict,
+                        fast: sink.finish(),
+                    });
+                }
+                arena.input_buf = buf;
+            }
+            None => {
+                // full-log fallback, still recycling the event buffer
+                for input in inputs {
+                    let sink = FullLog::recycled(arena);
+                    let mut buf = std::mem::take(&mut arena.input_buf);
+                    buf.clear();
+                    buf.extend_from_slice(input.as_ref());
+                    let (verdict, ctx) = self.exec_ctx(buf, self.entry, sink);
+                    let (ret, sink) = ctx.into_parts();
+                    arena.input_buf = ret;
+                    let log = sink.finish();
+                    let fast = log.fast_summary();
+                    arena.recycle_log(log);
+                    results.push(FastExecution {
+                        valid: verdict.is_accept(),
+                        verdict,
+                        fast,
+                    });
+                }
+            }
+        }
+        arena.fast_results = results;
+        &arena.fast_results
+    }
+
+    /// Executes every candidate in `inputs` under the [`LastFailure`]
+    /// sink through `arena` — the full-instrumentation counterpart of
+    /// [`exec_batch_fast`](Self::exec_batch_fast), with the same
+    /// amortisation and the same result-slice lifetime.
+    pub fn exec_batch_failure<'a, I: AsRef<[u8]>>(
+        &self,
+        arena: &'a mut ExecArena,
+        inputs: &[I],
+    ) -> &'a [FailureExecution] {
+        let mut results = std::mem::take(&mut arena.failure_results);
+        results.clear();
+        results.reserve(inputs.len());
+        for input in inputs {
+            results.push(self.run_last_failure_arena(arena, input.as_ref()));
+        }
+        arena.failure_results = results;
+        &arena.failure_results
+    }
 }
 
 impl fmt::Debug for Subject {
@@ -369,8 +583,8 @@ impl fmt::Debug for Subject {
 }
 
 /// Builds a [`Subject`] from a sink-generic parser entry point,
-/// registering all three monomorphisations (full log, coverage only,
-/// last failure):
+/// registering all four monomorphisations (full log, coverage only,
+/// last failure, fast failure):
 ///
 /// ```
 /// use pdf_runtime::{instrument_subject, lit, EventSink, ExecCtx, ParseError};
@@ -383,6 +597,7 @@ impl fmt::Debug for Subject {
 /// let subject = instrument_subject!("bang", parse);
 /// assert!(subject.has_native_sinks());
 /// assert!(subject.run_coverage(b"!").valid);
+/// assert!(subject.run_fast_failure(b"!").valid);
 /// ```
 #[macro_export]
 macro_rules! instrument_subject {
@@ -390,6 +605,7 @@ macro_rules! instrument_subject {
         $crate::Subject::new($name, $entry::<$crate::FullLog>)
             .with_coverage_entry($entry::<$crate::CoverageOnly>)
             .with_last_failure_entry($entry::<$crate::LastFailure>)
+            .with_fast_failure_entry($entry::<$crate::FastFailure>)
     };
 }
 
@@ -467,6 +683,80 @@ mod tests {
     }
 
     #[test]
+    fn fast_failure_native_and_emulated_agree() {
+        let native = instrument_subject!("a", accept_a);
+        let emulated = Subject::new("a", accept_a);
+        for input in [&b""[..], b"a", b"b", b"ab"] {
+            let n = native.run_fast_failure(input);
+            let e = emulated.run_fast_failure(input);
+            assert_eq!(n.valid, e.valid);
+            assert_eq!(n.error(), e.error());
+            assert_eq!(n.fast, e.fast, "fast summary mismatch on {input:?}");
+        }
+    }
+
+    #[test]
+    fn batch_results_match_single_runs() {
+        let inputs: Vec<&[u8]> = vec![b"", b"a", b"b", b"ab", b"aa"];
+        for s in [
+            instrument_subject!("a", accept_a),
+            Subject::new("a", accept_a),
+        ] {
+            let mut arena = crate::ExecArena::new();
+            let fast = s.exec_batch_fast(&mut arena, &inputs).to_vec();
+            assert_eq!(fast.len(), inputs.len());
+            for (got, input) in fast.iter().zip(&inputs) {
+                let single = s.run_fast_failure(input);
+                assert_eq!(got.valid, single.valid, "input {input:?}");
+                assert_eq!(got.error(), single.error(), "input {input:?}");
+                assert_eq!(got.fast, single.fast, "input {input:?}");
+            }
+            let failure = s.exec_batch_failure(&mut arena, &inputs).to_vec();
+            for (got, input) in failure.iter().zip(&inputs) {
+                let single = s.run_last_failure(input);
+                assert_eq!(got.valid, single.valid, "input {input:?}");
+                assert_eq!(got.failure, single.failure, "input {input:?}");
+            }
+            // the accessors expose the latest batch
+            assert_eq!(arena.failure_results().len(), inputs.len());
+        }
+    }
+
+    #[test]
+    fn arena_runs_match_plain_runs() {
+        let s = instrument_subject!("a", accept_a);
+        let mut arena = crate::ExecArena::new();
+        for _ in 0..2 {
+            for input in [&b""[..], b"a", b"b", b"ab"] {
+                let a = s.run_last_failure_arena(&mut arena, input);
+                let p = s.run_last_failure(input);
+                assert_eq!(a.valid, p.valid);
+                assert_eq!(a.failure, p.failure, "input {input:?}");
+                let a = s.run_fast_failure_arena(&mut arena, input);
+                let p = s.run_fast_failure(input);
+                assert_eq!(a.fast, p.fast, "input {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_execs_hit_the_metrics_chokepoint() {
+        let reg = std::sync::Arc::new(pdf_obs::MetricsRegistry::new());
+        let _scope = pdf_obs::install(std::sync::Arc::clone(&reg));
+        let s = instrument_subject!("a", accept_a);
+        let inputs: Vec<&[u8]> = vec![b"a", b"b", b"ab"];
+        let mut arena = crate::ExecArena::new();
+        s.exec_batch_fast(&mut arena, &inputs);
+        assert_eq!(reg.execs.get(), 3);
+        assert_eq!(reg.accepts.get(), 1);
+        assert_eq!(reg.rejects.get(), 2);
+        s.exec_batch_failure(&mut arena, &inputs);
+        assert_eq!(reg.execs.get(), 6);
+        assert_eq!(reg.input_len.count(), 6);
+        assert!(reg.snapshot().check_identities().is_ok());
+    }
+
+    #[test]
     fn hang_verdict_matches_across_sinks() {
         fn spin_generic<S: EventSink>(ctx: &mut ExecCtx<S>) -> Result<(), ParseError> {
             while ctx.tick() {}
@@ -476,6 +766,8 @@ mod tests {
         assert!(!s.run(b"x").valid);
         assert!(!s.run_coverage(b"x").valid);
         assert!(!s.run_last_failure(b"x").valid);
+        assert!(!s.run_fast_failure(b"x").valid);
+        assert_eq!(s.run_fast_failure(b"x").verdict, Verdict::Hang);
     }
 
     #[test]
@@ -582,11 +874,7 @@ mod tests {
         assert_eq!(Verdict::Accept.error(), None);
         assert!(Verdict::Accept.is_accept());
         assert_eq!(
-            Verdict::Reject {
-                msg: "nope".to_string()
-            }
-            .error()
-            .as_deref(),
+            Verdict::Reject { msg: "nope".into() }.error().as_deref(),
             Some("nope")
         );
         assert!(Verdict::Hang.is_hang());

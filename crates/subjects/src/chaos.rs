@@ -42,8 +42,8 @@
 use std::sync::{Mutex, OnceLock};
 
 use pdf_runtime::{
-    cov, CoverageOnly, CoverageSubjectFn, EventSink, ExecCtx, FullLog, LastFailure,
-    LastFailureSubjectFn, ParseError, Subject, SubjectFn,
+    cov, CoverageOnly, CoverageSubjectFn, EventSink, ExecCtx, FastFailure, FastFailureSubjectFn,
+    FullLog, LastFailure, LastFailureSubjectFn, ParseError, Subject, SubjectFn,
 };
 
 /// Fault schedule for a chaos-wrapped subject. Rates are per-mille and
@@ -188,6 +188,15 @@ fn chaos_lf<const I: usize>(ctx: &mut ExecCtx<LastFailure>) -> Result<(), ParseE
     chaos_run(&s.cfg, ctx, inner)
 }
 
+fn chaos_ff<const I: usize>(ctx: &mut ExecCtx<FastFailure>) -> Result<(), ParseError> {
+    let s = slot(I);
+    let inner = s
+        .inner
+        .fast_failure_entry()
+        .expect("slot registered without a fast-failure entry");
+    chaos_run(&s.cfg, ctx, inner)
+}
+
 macro_rules! fn_table {
     ($f:ident, $t:ty) => {{
         const T: [$t; CHAOS_SLOTS] = [
@@ -213,6 +222,7 @@ pub fn wrap(inner: Subject, cfg: ChaosConfig) -> Subject {
     let full: [SubjectFn; CHAOS_SLOTS] = fn_table!(chaos_full, SubjectFn);
     let covs: [CoverageSubjectFn; CHAOS_SLOTS] = fn_table!(chaos_cov, CoverageSubjectFn);
     let lfs: [LastFailureSubjectFn; CHAOS_SLOTS] = fn_table!(chaos_lf, LastFailureSubjectFn);
+    let ffs: [FastFailureSubjectFn; CHAOS_SLOTS] = fn_table!(chaos_ff, FastFailureSubjectFn);
 
     let (idx, name) = {
         let mut table = slots().lock().expect("chaos slot table poisoned");
@@ -244,6 +254,9 @@ pub fn wrap(inner: Subject, cfg: ChaosConfig) -> Subject {
     }
     if inner.last_failure_entry().is_some() {
         subject = subject.with_last_failure_entry(lfs[idx]);
+    }
+    if inner.fast_failure_entry().is_some() {
+        subject = subject.with_fast_failure_entry(ffs[idx]);
     }
     subject
 }
@@ -342,8 +355,10 @@ mod tests {
             let full = subject.run(input.as_bytes()).verdict;
             let lf = subject.run_last_failure(input.as_bytes()).verdict;
             let cov = subject.run_coverage(input.as_bytes()).verdict;
+            let ff = subject.run_fast_failure(input.as_bytes()).verdict;
             assert_eq!(full, lf, "input {input:?}");
             assert_eq!(full, cov, "input {input:?}");
+            assert_eq!(full, ff, "input {input:?}");
         }
     }
 

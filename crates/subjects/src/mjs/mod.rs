@@ -182,10 +182,9 @@ mod tests {
             .find(|c| matches!(&c.expected, pdf_runtime::CmpValue::Str { full, .. } if full == b"typeof"))
             .expect("typeof strcmp recorded");
         assert!(!cmp.outcome);
-        assert_eq!(
-            cmp.expected.satisfying_replacements(),
-            vec![b"eof".to_vec()]
-        );
+        let mut scratch = pdf_runtime::ReplacementScratch::default();
+        cmp.expected.satisfying_replacements_into(&mut scratch);
+        assert_eq!(scratch.iter().collect::<Vec<_>>(), vec![&b"eof"[..]]);
     }
 
     #[test]

@@ -1,31 +1,59 @@
 //! Property tests for the streaming sinks: on any input and any
-//! subject, the `CoverageOnly` and `LastFailure` sinks must report
-//! exactly what a reduction of the `FullLog` event vector reports —
-//! same branch set, same EOF access, same rejection index, same
-//! substitution candidates.
+//! subject, the `CoverageOnly`, `LastFailure` and `FastFailure` sinks
+//! must report exactly what a reduction of the `FullLog` event vector
+//! reports — same branch set, same EOF access, same rejection index,
+//! same substitution candidates, same last-comparison fingerprint.
 
+use pdf_runtime::ExecArena;
 use proptest::prelude::*;
 
 /// Checks every subject against the full-log reference reductions.
 fn assert_sinks_agree(input: &[u8]) {
+    let mut arena = ExecArena::new();
     for info in pdf_subjects::all_subjects() {
         let full = info.subject.run(input);
         let cov = info.subject.run_coverage(input);
         let fail = info.subject.run_last_failure(input);
+        let fast = info.subject.run_fast_failure(input);
 
         assert_eq!(cov.valid, full.valid, "{}: verdicts differ", info.name);
         assert_eq!(fail.valid, full.valid, "{}: verdicts differ", info.name);
+        assert_eq!(fast.valid, full.valid, "{}: verdicts differ", info.name);
         assert_eq!(cov.error, full.error, "{}: errors differ", info.name);
         assert_eq!(fail.error, full.error, "{}: errors differ", info.name);
+        assert_eq!(fast.error(), full.error, "{}: errors differ", info.name);
 
         let cov_ref = full.log.coverage_summary();
         let fail_ref = full.log.failure_summary();
+        let fast_ref = full.log.fast_summary();
         assert_eq!(cov.cov, cov_ref, "{}: coverage summary differs", info.name);
         assert_eq!(
             fail.failure, fail_ref,
             "{}: failure summary differs",
             info.name
         );
+        assert_eq!(fast.fast, fast_ref, "{}: fast summary differs", info.name);
+
+        // the fast-failure reduction keeps exactly the two signals the
+        // tiered driver filters on, so they must match the streaming
+        // LastFailure summary bit for bit
+        assert_eq!(
+            fast.fast.rejection_index, fail_ref.rejection_index,
+            "{}: rejection index differs between fast and last-failure",
+            info.name
+        );
+        assert_eq!(
+            fast.fast.last_cmp_fingerprint, fail_ref.last_cmp_fingerprint,
+            "{}: last-comparison fingerprint differs between fast and last-failure",
+            info.name
+        );
+        assert_eq!(fast.fast.eof_access, fail_ref.eof_access, "{}", info.name);
+
+        // arena reuse must not change a single field of the summary
+        let arena_run = info.subject.run_fast_failure_arena(&mut arena, input);
+        assert_eq!(arena_run.valid, fast.valid, "{}", info.name);
+        assert_eq!(arena_run.verdict, fast.verdict, "{}", info.name);
+        assert_eq!(arena_run.fast, fast.fast, "{}", info.name);
     }
 }
 
@@ -59,5 +87,27 @@ proptest! {
         // rejection typically lands deep inside the input here
         let input = format!("{prefix}{tail}");
         assert_sinks_agree(input.as_bytes());
+    }
+
+    #[test]
+    fn batched_fast_failure_agrees_with_single_runs(
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..24),
+            0..8,
+        ),
+    ) {
+        // one arena across the whole batch: buffer reuse must be
+        // invisible in the results, in any order, for every subject
+        let mut arena = ExecArena::new();
+        for info in pdf_subjects::all_subjects() {
+            let batch = info.subject.exec_batch_fast(&mut arena, &inputs);
+            prop_assert_eq!(batch.len(), inputs.len());
+            for (exec, input) in batch.iter().zip(&inputs) {
+                let single = info.subject.run_fast_failure(input);
+                prop_assert_eq!(exec.valid, single.valid, "{}", info.name);
+                prop_assert_eq!(&exec.verdict, &single.verdict, "{}", info.name);
+                prop_assert_eq!(&exec.fast, &single.fast, "{}", info.name);
+            }
+        }
     }
 }
