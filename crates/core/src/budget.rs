@@ -77,6 +77,27 @@ impl CampaignBudget {
             deadline: Some(d),
         }
     }
+
+    /// Pause at whichever comes first: total executions reaching `n` or
+    /// `d` of wall time in this `run_until` call. The slice budget an
+    /// external scheduler (the `pdf-serve` daemon) hands each campaign:
+    /// the execution bound keeps slices deterministic, the wall bound
+    /// keeps one slow campaign from hogging a worker slot.
+    pub fn execs_or_wall(n: u64, d: Duration) -> Self {
+        CampaignBudget {
+            max_execs: Some(n),
+            deadline: Some(d),
+        }
+    }
+
+    /// Adds a wall-clock deadline to an existing budget, keeping its
+    /// execution pause point.
+    pub fn with_deadline(self, d: Duration) -> Self {
+        CampaignBudget {
+            deadline: Some(d),
+            ..self
+        }
+    }
 }
 
 /// Why [`Fuzzer::run_until`](crate::Fuzzer::run_until) returned.
@@ -98,6 +119,12 @@ impl StopReason {
     pub fn is_finished(&self) -> bool {
         matches!(self, StopReason::Finished)
     }
+
+    /// Whether the campaign merely paused (execution pause point or
+    /// wall deadline) and can be continued with another `run_until`.
+    pub fn is_paused(&self) -> bool {
+        !self.is_finished()
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +139,12 @@ mod tests {
         let w = CampaignBudget::wall(Duration::from_millis(5));
         assert_eq!(w.deadline, Some(Duration::from_millis(5)));
         assert_eq!(w.max_execs, None);
+        let both = CampaignBudget::execs_or_wall(7, Duration::from_millis(3));
+        assert_eq!(both.max_execs, Some(7));
+        assert_eq!(both.deadline, Some(Duration::from_millis(3)));
+        let chained = CampaignBudget::execs(9).with_deadline(Duration::from_millis(2));
+        assert_eq!(chained.max_execs, Some(9));
+        assert_eq!(chained.deadline, Some(Duration::from_millis(2)));
     }
 
     #[test]
@@ -119,5 +152,8 @@ mod tests {
         assert!(StopReason::Finished.is_finished());
         assert!(!StopReason::PausedExecs.is_finished());
         assert!(!StopReason::PausedDeadline.is_finished());
+        assert!(!StopReason::Finished.is_paused());
+        assert!(StopReason::PausedExecs.is_paused());
+        assert!(StopReason::PausedDeadline.is_paused());
     }
 }

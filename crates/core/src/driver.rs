@@ -447,6 +447,24 @@ impl Fuzzer {
         self.state.report.execs
     }
 
+    /// Valid inputs the campaign has discovered so far.
+    pub fn valid_count(&self) -> usize {
+        self.state.report.valid_inputs.len()
+    }
+
+    /// Whether the campaign is complete: the configured `max_execs`
+    /// budget is spent or `max_valid_inputs` was reached. A complete
+    /// campaign's [`run_until`](Self::run_until) returns
+    /// [`StopReason::Finished`] immediately; an external scheduler uses
+    /// this to finalize a resumed campaign without dispatching it.
+    pub fn is_complete(&self) -> bool {
+        self.state.report.execs >= self.cfg.max_execs
+            || self
+                .cfg
+                .max_valid_inputs
+                .is_some_and(|max| self.state.report.valid_inputs.len() >= max)
+    }
+
     /// Opens a [`SyncPoint`] on the paused campaign: a coordinator's
     /// window for reading search state and injecting externally
     /// discovered inputs between [`run_until`](Self::run_until) calls.

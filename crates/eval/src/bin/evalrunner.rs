@@ -5,6 +5,7 @@
 //!                   [--record PATH] [--replay PATH]
 //!                   [--max-retries N] [--chaos SEED]
 //!                   [--metrics-out PATH] [--progress]
+//!                   [--submit ADDR] [--shards N]
 //!
 //! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
 //! worker threads; results are identical to `--jobs 1`. `--stats-out`
@@ -25,6 +26,15 @@
 //! the rejection-watermark/fingerprint filter. AFL and KLEE cells have
 //! no instrumentation tiers and ignore the flag.
 //!
+//! `--submit ADDR` runs the pFuzzer side of the matrix as a service
+//! client instead of in-process: one fleet campaign per
+//! (subject, seed) — `--shards` shards each — is submitted over
+//! `pdf-wire v1` to the `pdf-serve` daemon at `ADDR`, the runner waits
+//! for every campaign to reach a terminal phase, and prints one result
+//! row per campaign (phase, executions, valid inputs, report digest).
+//! Exits non-zero if any campaign ends anywhere but `done`. AFL and
+//! KLEE cells are not submitted — the daemon schedules pFuzzer fleets.
+//!
 //! `--metrics-out PATH` writes the final campaign-wide metrics snapshot
 //! (`pdf-metrics v1` text codec); `--progress` prints a live one-line
 //! stderr ticker (execs/s, valid inputs, queue depth, poisoned cells)
@@ -44,6 +54,15 @@ fn main() {
     if let Some(path) = pdf_eval::replay_path_from_args() {
         let jobs = pdf_eval::require_arg(pdf_eval::jobs_from_args());
         let code = replay(&path, jobs);
+        drop(ticker);
+        write_metrics(metrics_out.as_deref(), &registry);
+        std::process::exit(code);
+    }
+    if let Some(addr) = pdf_eval::submit_addr_from_args() {
+        let budget = pdf_eval::budget_from_args(30_000);
+        let exec_mode = pdf_eval::require_arg(pdf_eval::exec_mode_from_args());
+        let shards = pdf_eval::require_arg(pdf_eval::shards_from_args());
+        let code = submit_matrix(&addr, &budget, exec_mode, shards as u64);
         drop(ticker);
         write_metrics(metrics_out.as_deref(), &registry);
         std::process::exit(code);
@@ -136,6 +155,78 @@ fn main() {
 fn write_metrics(path: Option<&std::path::Path>, registry: &pdf_obs::MetricsRegistry) {
     if let Some(path) = path {
         pdf_eval::write_metrics_snapshot(path, registry);
+    }
+}
+
+fn submit_matrix(
+    addr: &str,
+    budget: &pdf_eval::EvalBudget,
+    exec_mode: pdf_core::ExecMode,
+    shards: u64,
+) -> i32 {
+    let mut client = match pdf_serve::ServeClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach pdf-serve daemon at {addr}: {e}");
+            return 2;
+        }
+    };
+    let subjects = pdf_subjects::evaluation_subjects();
+    eprintln!(
+        "submitting {} subjects x {} seeds ({} execs, {} shard(s) each) to {addr} ...",
+        subjects.len(),
+        budget.seeds.len(),
+        budget.execs,
+        shards,
+    );
+    let mut ids: Vec<(u64, String, u64)> = Vec::new();
+    for info in &subjects {
+        for &seed in &budget.seeds {
+            let spec = pdf_serve::CampaignSpec {
+                shards,
+                sync_every: pdf_serve::default_sync_every(budget.execs, shards),
+                exec_mode,
+                ..pdf_serve::CampaignSpec::new(info.name, seed, budget.execs)
+            };
+            match client.submit(&spec) {
+                Ok(id) => ids.push((id, info.name.to_string(), seed)),
+                Err(e) => {
+                    eprintln!("submit {}/{seed} refused: {e}", info.name);
+                    return 2;
+                }
+            }
+        }
+    }
+    let mut failures = 0u64;
+    println!("| id | subject | seed | state | execs | valid | digest |");
+    println!("|---:|---------|-----:|-------|------:|------:|--------|");
+    for (id, subject, seed) in &ids {
+        let status = match client.wait_terminal(*id, std::time::Duration::from_secs(600)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("waiting on campaign {id}: {e}");
+                return 2;
+            }
+        };
+        if status.phase != pdf_serve::Phase::Done {
+            failures += 1;
+        }
+        println!(
+            "| {id} | {subject} | {seed} | {} | {} | {} | {} |",
+            status.phase,
+            status.spent,
+            status.valid,
+            status
+                .digest
+                .map_or_else(|| "-".to_string(), |d| format!("{d:016x}")),
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{} campaigns did not finish cleanly", ids.len());
+        1
+    } else {
+        eprintln!("all {} campaigns done", ids.len());
+        0
     }
 }
 

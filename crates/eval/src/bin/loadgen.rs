@@ -1,0 +1,159 @@
+//! Bounded-burst load generator for `pdf-serve`; the CI `serve-soak`
+//! job's latency gate.
+//! Usage: loadgen [--addr HOST:PORT] [--campaigns N] [--execs N]
+//!                [--workers N] [--shards N] [--subject NAME]
+//!                [--deadline-ms N] [--seed N]
+//!
+//! Submits a burst of `--campaigns` small fleet campaigns (default 12,
+//! `--execs` executions each, default 400) to a `pdf-serve` daemon and
+//! waits for all of them. Without `--addr` it spins up an in-process
+//! daemon (`--workers` pool slots, default 4) plus a loopback TCP
+//! server and talks to itself over real sockets, so one binary
+//! exercises the full wire path. Subjects rotate over the evaluation
+//! set unless pinned with `--subject`.
+//!
+//! Every campaign carries `--deadline-ms` (default 30000) as its
+//! advisory deadline. The gate: a campaign whose submit-to-terminal
+//! wall time exceeds **2x** its deadline is a violation, as is any
+//! campaign that ends `failed` or `cancelled`. Exit status 0 when the
+//! whole burst passes, 1 on any violation, 2 on usage or transport
+//! errors. Wall times are machine-dependent; the default deadline is
+//! sized so only a wedged scheduler (a lost wakeup, a leaked pool
+//! slot) trips the gate, not a slow machine.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pdf_serve::{CampaignSpec, Daemon, DaemonConfig, Phase, ServeClient, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let campaigns = pdf_eval::require_arg(pdf_eval::positive_arg_in(&args, "--campaigns", 12));
+    let execs = pdf_eval::require_arg(pdf_eval::positive_arg_in(&args, "--execs", 400));
+    let workers = pdf_eval::require_arg(pdf_eval::positive_arg_in(&args, "--workers", 4));
+    let shards = pdf_eval::require_arg(pdf_eval::positive_arg_in(&args, "--shards", 1));
+    let deadline_ms =
+        pdf_eval::require_arg(pdf_eval::positive_arg_in(&args, "--deadline-ms", 30_000));
+    let base_seed = pdf_eval::require_arg(pdf_eval::positive_arg_in(&args, "--seed", 1));
+    let exec_mode = pdf_eval::require_arg(pdf_eval::exec_mode_in(&args));
+    let pinned = string_arg(&args, "--subject");
+    let remote = string_arg(&args, "--addr");
+
+    let subjects: Vec<String> = match &pinned {
+        Some(name) => vec![name.clone()],
+        None => pdf_subjects::evaluation_subjects()
+            .iter()
+            .map(|info| info.name.to_string())
+            .collect(),
+    };
+
+    // Without --addr, stand up the whole service in-process and talk to
+    // it over a real loopback socket.
+    let local = if remote.is_none() {
+        let daemon = Arc::new(
+            Daemon::open(DaemonConfig::in_memory(workers as usize)).expect("in-memory daemon"),
+        );
+        let server = Server::start(Arc::clone(&daemon), "127.0.0.1:0").unwrap_or_else(|e| {
+            eprintln!("error: cannot bind loopback server: {e}");
+            std::process::exit(2);
+        });
+        Some((daemon, server))
+    } else {
+        None
+    };
+    let addr = match (&remote, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some((_, server))) => server.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let mut client = match ServeClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot reach {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "loadgen: burst of {campaigns} campaigns ({execs} execs x {shards} shard(s) each, \
+         deadline {deadline_ms}ms, gate 2x) against {addr}"
+    );
+    let burst_start = Instant::now();
+    let mut submitted: Vec<(u64, String, u64, Instant)> = Vec::new();
+    for i in 0..campaigns {
+        let subject = subjects[(i % subjects.len() as u64) as usize].clone();
+        let seed = base_seed + i;
+        let spec = CampaignSpec {
+            shards,
+            sync_every: pdf_serve::default_sync_every(execs, shards),
+            exec_mode,
+            deadline_ms: Some(deadline_ms),
+            ..CampaignSpec::new(&subject, seed, execs)
+        };
+        match client.submit(&spec) {
+            Ok(id) => submitted.push((id, subject, seed, Instant::now())),
+            Err(e) => {
+                eprintln!("error: submit {subject}/{seed} refused: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let allowance = Duration::from_millis(deadline_ms.saturating_mul(2));
+    let mut violations = 0u64;
+    println!("| id | subject | seed | state | elapsed (ms) | allowed (ms) | verdict |");
+    println!("|---:|---------|-----:|-------|-------------:|-------------:|---------|");
+    for (id, subject, seed, started) in &submitted {
+        let wait = allowance.saturating_sub(started.elapsed()) + Duration::from_millis(250);
+        let status = match client.wait_terminal(*id, wait) {
+            Ok(s) => Some(s),
+            Err(pdf_serve::ClientError::Timeout) => None,
+            Err(e) => {
+                eprintln!("error: waiting on campaign {id}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let elapsed = started.elapsed();
+        let (state, ok) = match &status {
+            None => ("timeout".to_string(), false),
+            Some(s) => (s.phase.to_string(), s.phase == Phase::Done),
+        };
+        let within = elapsed <= allowance;
+        let pass = ok && within;
+        if !pass {
+            violations += 1;
+        }
+        println!(
+            "| {id} | {subject} | {seed} | {state} | {} | {} | {} |",
+            elapsed.as_millis(),
+            allowance.as_millis(),
+            if pass { "ok" } else { "VIOLATION" },
+        );
+    }
+
+    if let Some((daemon, mut server)) = local {
+        let _ = client.shutdown();
+        server.stop();
+        daemon.shutdown();
+        assert_eq!(daemon.busy_slots(), 0, "pool slots leaked after burst");
+    }
+    eprintln!(
+        "loadgen: {} campaigns, {} violation(s), burst wall time {}ms",
+        submitted.len(),
+        violations,
+        burst_start.elapsed().as_millis(),
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn string_arg(args: &[String], flag: &str) -> Option<String> {
+    for i in 1..args.len() {
+        if args[i] == flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}

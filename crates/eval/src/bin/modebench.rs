@@ -1,9 +1,11 @@
 //! Coverage-vs-throughput comparison of the three execution modes.
 //! Usage: modebench [--execs N] [--seeds S] [--subject NAME]
+//!                  [--exec-mode full|fast|tiered]
 //!
 //! Runs the pFuzzer driver on every evaluation subject (or just
 //! `--subject NAME`) under each of `full`, `fast` and `tiered`
-//! execution modes with the same seed and execution budget, and prints
+//! execution modes (or just `--exec-mode MODE`, matched
+//! case-insensitively) with the same seed and execution budget, and prints
 //! one markdown table row per (subject, mode): valid inputs found,
 //! branches covered by valid inputs, total branches, wall-clock time
 //! and executions per second. The numbers feed the EXPERIMENTS.md
@@ -20,6 +22,11 @@ use pdf_core::{DriverConfig, ExecMode, Fuzzer};
 fn main() {
     let budget = pdf_eval::budget_from_args(20_000);
     let seed = budget.seeds.first().copied().unwrap_or(1);
+    let modes: Vec<ExecMode> = if std::env::args().any(|a| a == "--exec-mode") {
+        vec![pdf_eval::require_arg(pdf_eval::exec_mode_from_args())]
+    } else {
+        vec![ExecMode::Full, ExecMode::Fast, ExecMode::Tiered]
+    };
     let subjects: Vec<pdf_subjects::SubjectInfo> = match std::env::args()
         .skip(1)
         .collect::<Vec<_>>()
@@ -45,7 +52,7 @@ fn main() {
     println!("| subject | mode | valid | valid br | all br | time (s) | execs/s |");
     println!("|---------|------|------:|---------:|-------:|---------:|--------:|");
     for info in &subjects {
-        for mode in [ExecMode::Full, ExecMode::Fast, ExecMode::Tiered] {
+        for &mode in &modes {
             let cfg = DriverConfig {
                 seed,
                 max_execs: budget.execs,

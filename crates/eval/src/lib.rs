@@ -170,24 +170,26 @@ pub fn sync_every_from_args(default: u64) -> Result<u64, String> {
 /// [`ExecMode::Full`](pdf_core::ExecMode::Full), the byte-identical
 /// replay mode), but a present flag must carry one of the three mode
 /// names — a typo silently falling back to full would invalidate a
-/// throughput experiment.
+/// throughput experiment. Mode names are matched case-insensitively
+/// (`FULL`, `Tiered` and `fast` all work), so scripts that upcase
+/// configuration values are not rejected.
 ///
 /// # Errors
 ///
-/// A human-readable message naming the flag when its value is missing
-/// or not one of `full`, `fast`, `tiered`.
+/// A human-readable message naming the flag and listing the valid
+/// modes when its value is missing or unknown.
 pub fn exec_mode_in(args: &[String]) -> Result<pdf_core::ExecMode, String> {
     for i in 1..args.len() {
         if args[i] == "--exec-mode" {
             let raw = args
                 .get(i + 1)
                 .ok_or_else(|| "--exec-mode requires a value".to_string())?;
-            return match raw.as_str() {
+            return match raw.to_ascii_lowercase().as_str() {
                 "full" => Ok(pdf_core::ExecMode::Full),
                 "fast" => Ok(pdf_core::ExecMode::Fast),
                 "tiered" => Ok(pdf_core::ExecMode::Tiered),
                 _ => Err(format!(
-                    "--exec-mode expects full, fast or tiered, got {raw:?}"
+                    "--exec-mode expects one of full, fast, tiered (case-insensitive), got {raw:?}"
                 )),
             };
         }
@@ -281,6 +283,21 @@ pub fn checkpoint_dir_from_args() -> Option<std::path::PathBuf> {
 /// encoding after the run completes.
 pub fn metrics_out_from_args() -> Option<std::path::PathBuf> {
     path_arg("--metrics-out")
+}
+
+/// Parses `--submit ADDR` from the command line: when present,
+/// `evalrunner` submits the pFuzzer matrix as fleet campaigns to the
+/// `pdf-serve` daemon at `ADDR` over `pdf-wire v1` instead of running
+/// it in-process, waits for every campaign to reach a terminal phase
+/// and prints one result row per campaign.
+pub fn submit_addr_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 1..args.len() {
+        if args[i] == "--submit" {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
 }
 
 /// Parses the `--progress` flag from the command line: when present,
@@ -419,6 +436,25 @@ mod cli_tests {
             "error must name the flag: {err}"
         );
         assert!(err.contains("turbo"), "error must quote the value: {err}");
+        for mode in ["full", "fast", "tiered"] {
+            assert!(err.contains(mode), "error must list {mode}: {err}");
+        }
         assert!(exec_mode_in(&args(&["--exec-mode"])).is_err());
+    }
+
+    #[test]
+    fn exec_mode_is_case_insensitive() {
+        assert_eq!(
+            exec_mode_in(&args(&["--exec-mode", "FULL"])),
+            Ok(ExecMode::Full)
+        );
+        assert_eq!(
+            exec_mode_in(&args(&["--exec-mode", "Fast"])),
+            Ok(ExecMode::Fast)
+        );
+        assert_eq!(
+            exec_mode_in(&args(&["--exec-mode", "TiErEd"])),
+            Ok(ExecMode::Tiered)
+        );
     }
 }

@@ -174,6 +174,22 @@ impl FleetReport {
     }
 }
 
+/// A read-only progress summary of a running fleet, cheap enough to
+/// take between every epoch — what the `pdf-serve` daemon streams to
+/// `watch` subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetProgress {
+    /// Synchronization epochs completed so far.
+    pub epoch: u64,
+    /// Total subject executions across all shards so far.
+    pub total_execs: u64,
+    /// Distinct valid inputs discovered so far (see
+    /// [`Fleet::progress`] for the one-epoch lag caveat).
+    pub valid_inputs: u64,
+    /// Whether every shard has finished its budget.
+    pub complete: bool,
+}
+
 /// Unions any number of [`BranchSet`]s — the fleet's coverage merge,
 /// exposed for the `sync_overhead` bench and anyone composing coverage
 /// outside a [`Fleet`]. Commutative, associative and idempotent (it is
@@ -289,6 +305,37 @@ impl Fleet {
     /// Total subject executions across all shards so far.
     pub fn total_execs(&self) -> u64 {
         self.workers.iter().map(Fuzzer::execs).sum()
+    }
+
+    /// Whether every shard has finished its execution budget. A
+    /// complete fleet's [`run_epoch`](Self::run_epoch) returns `true`
+    /// immediately; an external scheduler (the `pdf-serve` daemon) uses
+    /// this to finalize a resumed campaign without dispatching it.
+    pub fn is_complete(&self) -> bool {
+        self.workers.iter().all(Fuzzer::is_complete)
+    }
+
+    /// A cheap, read-only progress summary for subscribers: epoch
+    /// counter, execution totals and distinct valid-input count. Safe to
+    /// call between [`run_epoch`](Self::run_epoch) calls without
+    /// touching the search (draws no RNG bytes, mutates nothing).
+    pub fn progress(&self) -> FleetProgress {
+        FleetProgress {
+            epoch: self.epoch,
+            total_execs: self.total_execs(),
+            // Distinct inputs the coordinator has examined, plus the
+            // tails it has not synced yet (at most one epoch behind;
+            // unsynced duplicates may briefly overcount — this is a
+            // progress display, not an accounting invariant).
+            valid_inputs: self.promoted.len() as u64
+                + self
+                    .workers
+                    .iter()
+                    .zip(&self.seen_valid)
+                    .map(|(w, &seen)| (w.valid_count() - seen) as u64)
+                    .sum::<u64>(),
+            complete: self.is_complete(),
+        }
     }
 
     /// Runs one synchronization epoch: every shard advances by

@@ -35,5 +35,5 @@
 mod campaign;
 mod manifest;
 
-pub use campaign::{merge_coverage, Fleet, FleetConfig, FleetReport};
+pub use campaign::{merge_coverage, Fleet, FleetConfig, FleetProgress, FleetReport};
 pub use manifest::{shard_file, FleetError, FleetManifest, MANIFEST_FILE};

@@ -41,6 +41,41 @@ pub fn shard_label(shard: usize) -> &'static str {
         .unwrap_or("fleet.shard.overflow")
 }
 
+/// One label per daemon campaign slot, used as span names for the
+/// `pdf-serve` scheduler's per-campaign epoch slices. Campaign ids are
+/// unbounded, so labels are assigned by `id % 16` — a fixed-cardinality
+/// breakdown (like histogram buckets), not a per-campaign identity; the
+/// wire protocol's `status`/`watch` carry exact per-campaign numbers.
+const CAMPAIGN_LABELS: [&str; 16] = [
+    "serve.campaign00",
+    "serve.campaign01",
+    "serve.campaign02",
+    "serve.campaign03",
+    "serve.campaign04",
+    "serve.campaign05",
+    "serve.campaign06",
+    "serve.campaign07",
+    "serve.campaign08",
+    "serve.campaign09",
+    "serve.campaign10",
+    "serve.campaign11",
+    "serve.campaign12",
+    "serve.campaign13",
+    "serve.campaign14",
+    "serve.campaign15",
+];
+
+/// The static span label for daemon campaign `id` (assigned `id % 16`).
+///
+/// ```
+/// assert_eq!(pdf_obs::campaign_label(0), "serve.campaign00");
+/// assert_eq!(pdf_obs::campaign_label(5), "serve.campaign05");
+/// assert_eq!(pdf_obs::campaign_label(21), "serve.campaign05");
+/// ```
+pub fn campaign_label(id: u64) -> &'static str {
+    CAMPAIGN_LABELS[(id % CAMPAIGN_LABELS.len() as u64) as usize]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +90,14 @@ mod tests {
         }
         assert_eq!(shard_label(16), "fleet.shard.overflow");
         assert_eq!(shard_label(usize::MAX), "fleet.shard.overflow");
+    }
+
+    #[test]
+    fn campaign_labels_cycle_mod_16() {
+        for id in 0..16u64 {
+            assert_eq!(campaign_label(id), CAMPAIGN_LABELS[id as usize]);
+            assert_eq!(campaign_label(id + 16), campaign_label(id));
+        }
+        assert_eq!(campaign_label(u64::MAX), campaign_label(u64::MAX % 16));
     }
 }

@@ -66,7 +66,7 @@ mod registry;
 mod scope;
 mod snapshot;
 
-pub use labels::shard_label;
+pub use labels::{campaign_label, shard_label};
 pub use metric::{bucket_lo, bucket_of, Counter, Gauge, Histogram, HIST_BUCKETS};
 pub use registry::{MetricsRegistry, SpanStat};
 pub use scope::{current, enabled, install, record, span, MetricsScope, SpanGuard};

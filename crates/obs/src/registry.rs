@@ -87,6 +87,23 @@ pub struct MetricsRegistry {
     /// Supervised retries across all eval cells.
     pub cell_retries: Counter,
 
+    /// Campaigns submitted to the serve daemon (accepted `submit`
+    /// requests).
+    pub serve_submitted: Counter,
+    /// Daemon campaigns that reached the `Done` state.
+    pub serve_completed: Counter,
+    /// Daemon campaigns that reached the `Failed` state.
+    pub serve_failed: Counter,
+    /// Daemon campaigns that reached the `Cancelled` state.
+    pub serve_cancelled: Counter,
+    /// Journaled lifecycle transitions across all daemon campaigns.
+    pub serve_transitions: Counter,
+    /// Epoch slices the daemon's worker pool dispatched.
+    pub serve_slices: Counter,
+    /// Campaign checkpoints the daemon wrote (one per slice boundary
+    /// when a state directory is configured).
+    pub serve_checkpoints: Counter,
+
     /// Fleet synchronization epochs completed (one per coordinator
     /// barrier across all shards).
     pub fleet_epochs: Counter,
@@ -171,6 +188,13 @@ impl MetricsRegistry {
             ("eval.cells_completed", &self.cells_completed),
             ("eval.cells_poisoned", &self.cells_poisoned),
             ("eval.cell_retries", &self.cell_retries),
+            ("serve.submitted", &self.serve_submitted),
+            ("serve.completed", &self.serve_completed),
+            ("serve.failed", &self.serve_failed),
+            ("serve.cancelled", &self.serve_cancelled),
+            ("serve.transitions", &self.serve_transitions),
+            ("serve.slices", &self.serve_slices),
+            ("serve.checkpoints", &self.serve_checkpoints),
             ("fleet.epochs", &self.fleet_epochs),
             ("fleet.promotions", &self.fleet_promotions),
             ("fleet.injections", &self.fleet_injections),

@@ -1,0 +1,78 @@
+//! `pdfserved` — run the fuzzing-as-a-service daemon.
+//!
+//! ```text
+//! pdfserved --listen 127.0.0.1:7700 --workers 4 --state-dir /var/lib/pdf-serve
+//! ```
+//!
+//! Prints the bound address (useful with `--listen 127.0.0.1:0`) and
+//! serves until a wire `shutdown` command arrives. With `--state-dir`,
+//! restarting the daemon on the same directory resumes every
+//! in-flight campaign digest-identically.
+
+use std::sync::Arc;
+
+use pdf_serve::{Daemon, DaemonConfig, Server};
+
+fn string_arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: pdfserved [--listen ADDR] [--workers N] [--state-dir DIR]\n\
+             defaults: --listen 127.0.0.1:7700, --workers 4, in-memory state"
+        );
+        return;
+    }
+    // Reject unknown flags instead of silently serving on the defaults
+    // (a typo'd `--addr` must not leave a daemon listening elsewhere).
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" | "--workers" | "--state-dir" => i += 2,
+            other => {
+                eprintln!("error: unknown argument {other:?} (see --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let listen = string_arg(&args, "--listen").unwrap_or_else(|| "127.0.0.1:7700".to_string());
+    let workers: usize = match string_arg(&args, "--workers").as_deref() {
+        None => 4,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --workers expects a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let cfg = match string_arg(&args, "--state-dir") {
+        Some(dir) => DaemonConfig::persistent(workers, dir),
+        None => DaemonConfig::in_memory(workers),
+    };
+    let daemon = match Daemon::open(cfg) {
+        Ok(d) => Arc::new(d),
+        Err(e) => {
+            eprintln!("error: cannot open daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut server = match Server::start(Arc::clone(&daemon), &listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("pdfserved listening on {}", server.local_addr());
+    server.wait_shutdown();
+    server.stop();
+    daemon.shutdown();
+    println!("pdfserved stopped");
+}

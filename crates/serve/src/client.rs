@@ -1,0 +1,266 @@
+//! A blocking `pdf-wire v1` client, used by `servecli`, `loadgen`,
+//! `evalrunner --submit` and the serve test-suite.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use crate::wire::{
+    read_capped_line, status_from_fields, CampaignSpec, CampaignStatus, Request, Response,
+    WireError, WIRE_HEADER,
+};
+
+/// A client-side protocol or transport failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The server spoke something other than `pdf-wire v1`.
+    Protocol(WireError),
+    /// The server answered with an `err` frame.
+    Server {
+        /// The machine-readable error code.
+        code: String,
+        /// The human-readable message.
+        msg: String,
+    },
+    /// The server answered with an unexpected frame kind.
+    Unexpected(String),
+    /// A wait ran out of time.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            ClientError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+/// One connection to a `pdf-serve` daemon.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn get<'a>(fields: &'a [(String, String)], key: &str) -> Result<&'a str, ClientError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| ClientError::Unexpected(format!("response missing {key:?}")))
+}
+
+impl ServeClient {
+    /// Connects to `addr` and verifies the server's greeting.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a greeting that is not [`WIRE_HEADER`].
+    pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let greeting = read_capped_line(&mut reader)?;
+        if greeting.trim_end() != WIRE_HEADER {
+            return Err(ClientError::Unexpected(format!(
+                "greeting {:?}, want {WIRE_HEADER:?}",
+                greeting.trim_end()
+            )));
+        }
+        Ok(ServeClient { reader, writer })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        writeln!(self.writer, "{}", req.encode())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match Response::read(&mut self.reader)? {
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Ok(other),
+        }
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<Vec<(String, String)>, ClientError> {
+        match self.roundtrip(req)? {
+            Response::Ok(fields) => Ok(fields),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Submits a campaign; returns its daemon-assigned id.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `Server` with code `bad-spec`,
+    /// `unknown-subject` or `stopping` on refused submissions.
+    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<u64, ClientError> {
+        let fields = self.expect_ok(&Request::Submit(spec.clone()))?;
+        get(&fields, "id")?
+            .parse()
+            .map_err(|_| ClientError::Unexpected("non-numeric id".into()))
+    }
+
+    /// Fetches one campaign's status.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `Server` with code `no-such-campaign` for
+    /// unknown ids.
+    pub fn status(&mut self, id: u64) -> Result<CampaignStatus, ClientError> {
+        let fields = self.expect_ok(&Request::Status { id })?;
+        Ok(status_from_fields(&fields)?)
+    }
+
+    fn phase_request(&mut self, req: Request) -> Result<String, ClientError> {
+        let fields = self.expect_ok(&req)?;
+        Ok(get(&fields, "state")?.to_string())
+    }
+
+    /// Requests a pause; returns the phase after the request (still
+    /// `running` when the pause is pending a slice boundary).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `illegal-transition` when not pausable.
+    pub fn pause(&mut self, id: u64) -> Result<String, ClientError> {
+        self.phase_request(Request::Pause { id })
+    }
+
+    /// Resumes a paused campaign.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `illegal-transition` when not resumable.
+    pub fn resume(&mut self, id: u64) -> Result<String, ClientError> {
+        self.phase_request(Request::Resume { id })
+    }
+
+    /// Requests cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; `illegal-transition` when already terminal.
+    pub fn cancel(&mut self, id: u64) -> Result<String, ClientError> {
+        self.phase_request(Request::Cancel { id })
+    }
+
+    /// Lists every campaign the daemon knows.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn list(&mut self) -> Result<Vec<CampaignStatus>, ClientError> {
+        writeln!(self.writer, "{}", Request::List.encode())?;
+        self.writer.flush()?;
+        let mut out = Vec::new();
+        loop {
+            match self.read_response()? {
+                Response::Item(fields) => out.push(status_from_fields(&fields)?),
+                Response::End(_) => return Ok(out),
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Streams progress ticks for campaign `id`, invoking `tick` for
+    /// each update, until the campaign is terminal; returns the final
+    /// status.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut tick: impl FnMut(&CampaignStatus),
+    ) -> Result<CampaignStatus, ClientError> {
+        writeln!(self.writer, "{}", Request::Watch { id }.encode())?;
+        self.writer.flush()?;
+        loop {
+            match self.read_response()? {
+                Response::Item(fields) => tick(&status_from_fields(&fields)?),
+                Response::End(fields) => return Ok(status_from_fields(&fields)?),
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Fetches the daemon's `pdf-metrics v1` snapshot text.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Blob(lines) => Ok(lines.join("\n") + "\n"),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Ping).map(|_| ())
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect_ok(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Polls `status` until campaign `id` reaches a terminal phase or
+    /// `timeout` elapses; returns the terminal status.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] on expiry, otherwise any
+    /// [`ClientError`] from the polling.
+    pub fn wait_terminal(
+        &mut self,
+        id: u64,
+        timeout: Duration,
+    ) -> Result<CampaignStatus, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.phase.is_terminal() {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The daemon's append-only transition journal (`pdf-serve v1`).
+//!
+//! Every lifecycle transition the daemon accepts is appended to
+//! `<state_dir>/serve.journal` before it takes effect, in the same
+//! header-plus-`tag k=v` line style as the workspace's other codecs:
+//!
+//! ```text
+//! pdf-serve v1
+//! txn seq=0 id=1 ev=dispatch from=queued to=running
+//! txn seq=1 id=1 ev=finish from=running to=done digest=91aa50fe01c0ef2d
+//! ```
+//!
+//! `seq` is a global monotonically increasing counter (restarts resume
+//! it from the last persisted record), `digest` is attached to `finish`
+//! records so final report digests are part of the durable history —
+//! the kill/resume test diffs exactly these. The journal is replayable:
+//! [`read_journal`] re-parses every record and the soak test re-checks
+//! each one against [`transition`](crate::lifecycle::transition).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use crate::lifecycle::{Event, Phase};
+use crate::wire::WireError;
+
+/// The journal header/version line.
+pub const JOURNAL_HEADER: &str = "pdf-serve v1";
+
+/// One journaled lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Global sequence number, dense and increasing across restarts.
+    pub seq: u64,
+    /// The campaign the transition applies to.
+    pub id: u64,
+    /// The event that fired.
+    pub event: Event,
+    /// Phase before the event.
+    pub from: Phase,
+    /// Phase after the event.
+    pub to: Phase,
+    /// The final fleet-report digest, present on `finish` records.
+    pub digest: Option<u64>,
+}
+
+impl JournalRecord {
+    fn encode(&self) -> String {
+        let mut line = format!(
+            "txn seq={} id={} ev={} from={} to={}",
+            self.seq, self.id, self.event, self.from, self.to
+        );
+        if let Some(d) = self.digest {
+            line.push_str(&format!(" digest={d:016x}"));
+        }
+        line
+    }
+
+    fn decode(line: &str) -> Result<JournalRecord, WireError> {
+        let rest = line
+            .strip_prefix("txn ")
+            .ok_or_else(|| WireError::BadResponse(format!("not a txn record: {line:?}")))?;
+        let mut seq = None;
+        let mut id = None;
+        let mut event = None;
+        let mut from = None;
+        let mut to = None;
+        let mut digest = None;
+        for pair in rest.split_whitespace() {
+            let (k, v) = pair.split_once('=').ok_or_else(|| WireError::BadValue {
+                key: pair.into(),
+                reason: "expected k=v".into(),
+            })?;
+            let bad = |reason: &str| WireError::BadValue {
+                key: k.into(),
+                reason: format!("{reason}: {v:?}"),
+            };
+            match k {
+                "seq" => seq = Some(v.parse().map_err(|_| bad("expected integer"))?),
+                "id" => id = Some(v.parse().map_err(|_| bad("expected integer"))?),
+                "ev" => event = Some(Event::parse(v).ok_or_else(|| bad("unknown event"))?),
+                "from" => from = Some(Phase::parse(v).ok_or_else(|| bad("unknown phase"))?),
+                "to" => to = Some(Phase::parse(v).ok_or_else(|| bad("unknown phase"))?),
+                "digest" => {
+                    digest =
+                        Some(u64::from_str_radix(v, 16).map_err(|_| bad("expected hex digest"))?)
+                }
+                other => return Err(WireError::UnexpectedKey(other.into())),
+            }
+        }
+        Ok(JournalRecord {
+            seq: seq.ok_or_else(|| WireError::Missing("seq".into()))?,
+            id: id.ok_or_else(|| WireError::Missing("id".into()))?,
+            event: event.ok_or_else(|| WireError::Missing("ev".into()))?,
+            from: from.ok_or_else(|| WireError::Missing("from".into()))?,
+            to: to.ok_or_else(|| WireError::Missing("to".into()))?,
+            digest,
+        })
+    }
+}
+
+/// Append-only writer over `<state_dir>/serve.journal`.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, positioning `seq` after
+    /// the last persisted record so restarts continue the sequence.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a corrupt existing journal.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let next_seq = if path.exists() {
+            read_journal(path)?.last().map(|r| r.seq + 1).unwrap_or(0)
+        } else {
+            let mut f = File::create(path)?;
+            writeln!(f, "{JOURNAL_HEADER}")?;
+            f.sync_all()?;
+            0
+        };
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+            next_seq,
+        })
+    }
+
+    /// Appends one transition record and flushes it to disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append or flush.
+    pub fn append(
+        &mut self,
+        id: u64,
+        event: Event,
+        from: Phase,
+        to: Phase,
+        digest: Option<u64>,
+    ) -> std::io::Result<JournalRecord> {
+        let record = JournalRecord {
+            seq: self.next_seq,
+            id,
+            event,
+            from,
+            to,
+            digest,
+        };
+        writeln!(self.file, "{}", record.encode())?;
+        self.file.flush()?;
+        self.next_seq += 1;
+        Ok(record)
+    }
+
+    /// The journal file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Reads and parses the whole journal at `path`.
+///
+/// # Errors
+///
+/// I/O errors; parse failures surface as `InvalidData`.
+pub fn read_journal(path: &Path) -> std::io::Result<Vec<JournalRecord>> {
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut lines = BufReader::new(File::open(path)?).lines();
+    match lines.next() {
+        Some(Ok(h)) if h == JOURNAL_HEADER => {}
+        Some(Ok(h)) => return Err(invalid(format!("bad journal header {h:?}"))),
+        Some(Err(e)) => return Err(e),
+        None => return Err(invalid("empty journal (missing header)".into())),
+    }
+    let mut records = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(JournalRecord::decode(&line).map_err(|e| invalid(e.to_string()))?);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pdf-serve-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let dir = tmpdir("rt");
+        let path = dir.join("serve.journal");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, Event::Dispatch, Phase::Queued, Phase::Running, None)
+            .unwrap();
+        j.append(1, Event::Finish, Phase::Running, Phase::Done, Some(0xabcd))
+            .unwrap();
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].digest, Some(0xabcd));
+        assert_eq!(records[1].event, Event::Finish);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_continues_sequence() {
+        let dir = tmpdir("seq");
+        let path = dir.join("serve.journal");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(7, Event::Dispatch, Phase::Queued, Phase::Running, None)
+                .unwrap();
+            assert_eq!(j.next_seq(), 1);
+        }
+        {
+            let mut j = Journal::open(&path).unwrap();
+            assert_eq!(j.next_seq(), 1);
+            let r = j
+                .append(7, Event::Pause, Phase::Running, Phase::Paused, None)
+                .unwrap();
+            assert_eq!(r.seq, 1);
+        }
+        let records = read_journal(&path).unwrap();
+        assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), [0, 1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_rejected() {
+        let dir = tmpdir("bad");
+        let path = dir.join("serve.journal");
+        std::fs::write(
+            &path,
+            "pdf-serve v1\ntxn seq=0 id=1 ev=warp from=queued to=running\n",
+        )
+        .unwrap();
+        assert!(read_journal(&path).is_err());
+        std::fs::write(&path, "not-a-journal\n").unwrap();
+        assert!(read_journal(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

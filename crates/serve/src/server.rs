@@ -1,0 +1,314 @@
+//! The TCP front end: one listener, one thread per connection,
+//! `pdf-wire v1` framing over a shared [`Daemon`].
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::daemon::{Daemon, ServeError};
+use crate::wire::{
+    read_capped_line, status_fields, CampaignStatus, Request, Response, WireError, WIRE_HEADER,
+};
+
+/// How often `watch` polls the campaign it is streaming.
+const WATCH_POLL: Duration = Duration::from_millis(25);
+
+/// State shared between the server handle, the accept thread and every
+/// connection thread.
+#[derive(Debug)]
+struct Shared {
+    daemon: Arc<Daemon>,
+    stopping: AtomicBool,
+    /// One clone of every open connection's stream, so
+    /// [`Server::stop`] can force-unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn finish(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        *self.done.lock().expect("server state poisoned") = true;
+        self.done_cv.notify_all();
+    }
+}
+
+/// A listening `pdf-wire v1` server over a [`Daemon`].
+///
+/// Dropping the server (or calling [`stop`](Server::stop)) closes the
+/// listener and every open connection; it does **not** shut the daemon
+/// down — callers decide whether the daemon outlives its socket. The
+/// wire `shutdown` command does both: it gracefully stops the daemon,
+/// marks the server finished, and wakes
+/// [`wait_shutdown`](Server::wait_shutdown).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the bind.
+    pub fn start(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            daemon,
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pdf-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (the real port when started with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon this server fronts.
+    pub fn daemon(&self) -> &Arc<Daemon> {
+        &self.shared.daemon
+    }
+
+    /// Blocks until a wire `shutdown` command (or [`stop`](Server::stop))
+    /// closes the server.
+    pub fn wait_shutdown(&self) {
+        let mut finished = self.shared.done.lock().expect("server state poisoned");
+        while !*finished {
+            finished = self
+                .shared
+                .done_cv
+                .wait(finished)
+                .expect("server state poisoned");
+        }
+    }
+
+    /// Stops the server: closes every open connection (unblocking their
+    /// reader threads), stops accepting, and joins the accept thread.
+    /// Idempotent; does not touch the daemon.
+    pub fn stop(&mut self) {
+        self.shared.finish();
+        // Force-close open connections so their threads stop waiting on
+        // clients that may never send another byte.
+        for s in self
+            .shared
+            .conns
+            .lock()
+            .expect("server state poisoned")
+            .drain(..)
+        {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            h.join().expect("accept thread panicked");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("server state poisoned")
+                .push(clone);
+        }
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("pdf-serve-conn".into())
+                .spawn(move || {
+                    let _ = serve_connection(stream, &shared);
+                })
+                .expect("spawn connection thread"),
+        );
+        // Reap finished connection threads so a long-lived daemon does
+        // not accumulate handles.
+        threads.retain(|h| !h.is_finished());
+    }
+    // Streams were force-closed by stop(); the threads are unblocked.
+    for h in threads {
+        let _ = h.join();
+    }
+}
+
+fn err_response(e: &ServeError) -> Response {
+    let code = match e {
+        ServeError::NoSuchCampaign(_) => "no-such-campaign",
+        ServeError::Illegal(_) => "illegal-transition",
+        ServeError::UnknownSubject(_) => "unknown-subject",
+        ServeError::BadSpec(_) => "bad-spec",
+        ServeError::Stopping => "stopping",
+    };
+    Response::Err {
+        code: code.to_string(),
+        msg: e.to_string(),
+    }
+}
+
+fn phase_ok(id: u64, result: Result<crate::lifecycle::Phase, ServeError>) -> Response {
+    match result {
+        Ok(phase) => Response::Ok(vec![
+            ("id".to_string(), id.to_string()),
+            ("state".to_string(), phase.name().to_string()),
+        ]),
+        Err(e) => err_response(&e),
+    }
+}
+
+fn status_or_missing(daemon: &Daemon, id: u64) -> Result<CampaignStatus, Response> {
+    daemon
+        .status(id)
+        .ok_or_else(|| err_response(&ServeError::NoSuchCampaign(id)))
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let daemon = &*shared.daemon;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{WIRE_HEADER}")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_capped_line(&mut reader) {
+            Ok(line) => line,
+            Err(WireError::UnexpectedEof) => return Ok(()),
+            Err(e) => {
+                let resp = Response::Err {
+                    code: "bad-request".to_string(),
+                    msg: e.to_string(),
+                };
+                writer.write_all(resp.encode().as_bytes())?;
+                writer.flush()?;
+                return Ok(());
+            }
+        };
+        let request = match Request::decode(&line) {
+            Ok(req) => req,
+            Err(WireError::Empty) => continue,
+            Err(e) => {
+                let resp = Response::Err {
+                    code: "bad-request".to_string(),
+                    msg: e.to_string(),
+                };
+                writer.write_all(resp.encode().as_bytes())?;
+                writer.flush()?;
+                continue;
+            }
+        };
+        let mut quit = false;
+        match request {
+            Request::Submit(spec) => {
+                let resp = match daemon.submit(spec) {
+                    Ok(id) => Response::Ok(vec![("id".to_string(), id.to_string())]),
+                    Err(e) => err_response(&e),
+                };
+                writer.write_all(resp.encode().as_bytes())?;
+            }
+            Request::Status { id } => {
+                let resp = match status_or_missing(daemon, id) {
+                    Ok(s) => Response::Ok(status_fields(&s)),
+                    Err(resp) => resp,
+                };
+                writer.write_all(resp.encode().as_bytes())?;
+            }
+            Request::Pause { id } => {
+                writer.write_all(phase_ok(id, daemon.pause(id)).encode().as_bytes())?;
+            }
+            Request::Resume { id } => {
+                writer.write_all(phase_ok(id, daemon.resume(id)).encode().as_bytes())?;
+            }
+            Request::Cancel { id } => {
+                writer.write_all(phase_ok(id, daemon.cancel(id)).encode().as_bytes())?;
+            }
+            Request::List => {
+                let all = daemon.list();
+                for s in &all {
+                    writer.write_all(Response::Item(status_fields(s)).encode().as_bytes())?;
+                }
+                let end = Response::End(vec![("n".to_string(), all.len().to_string())]);
+                writer.write_all(end.encode().as_bytes())?;
+            }
+            Request::Watch { id } => match status_or_missing(daemon, id) {
+                Err(resp) => writer.write_all(resp.encode().as_bytes())?,
+                Ok(mut last) => {
+                    writer.write_all(Response::Item(status_fields(&last)).encode().as_bytes())?;
+                    writer.flush()?;
+                    while !last.phase.is_terminal() && !shared.stopping.load(Ordering::SeqCst) {
+                        std::thread::sleep(WATCH_POLL);
+                        let now = match status_or_missing(daemon, id) {
+                            Ok(s) => s,
+                            Err(_) => break,
+                        };
+                        if now != last {
+                            last = now;
+                            if !last.phase.is_terminal() {
+                                writer.write_all(
+                                    Response::Item(status_fields(&last)).encode().as_bytes(),
+                                )?;
+                                writer.flush()?;
+                            }
+                        }
+                    }
+                    writer.write_all(Response::End(status_fields(&last)).encode().as_bytes())?;
+                }
+            },
+            Request::Metrics => {
+                let text = daemon.registry().snapshot().encode();
+                let lines = text.lines().map(str::to_string).collect();
+                writer.write_all(Response::Blob(lines).encode().as_bytes())?;
+            }
+            Request::Ping => {
+                let resp = Response::Ok(vec![("pong".to_string(), "1".to_string())]);
+                writer.write_all(resp.encode().as_bytes())?;
+            }
+            Request::Shutdown => {
+                let resp = Response::Ok(vec![("stopping".to_string(), "1".to_string())]);
+                writer.write_all(resp.encode().as_bytes())?;
+                writer.flush()?;
+                daemon.shutdown();
+                shared.finish();
+                quit = true;
+            }
+        }
+        writer.flush()?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
