@@ -162,6 +162,41 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+/// The recovery-relevant classification of a checkpoint (or other
+/// persistence) failure: what a consumer holding an older generation
+/// of the same state should *do* about the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The bytes on disk are damaged (torn write, truncation, bit
+    /// rot). An older generation of the same state is still good —
+    /// **fall back** to it, quarantine the damage.
+    Corrupt,
+    /// The configuration or subject changed since the state was
+    /// written. Every generation was written under the old
+    /// configuration, so falling back cannot help — **fail** the
+    /// resume and surface the mismatch.
+    Drift,
+    /// The storage itself misbehaved (permission, `ENOSPC`, missing
+    /// file). Retrying or falling back *may* help; the caller decides
+    /// based on what it knows about the medium.
+    Io,
+}
+
+impl CheckpointError {
+    /// Classifies this error for fallback decisions (see
+    /// [`ErrorClass`]). Torn or truncated checkpoint files surface as
+    /// [`Header`](CheckpointError::Header) or
+    /// [`Parse`](CheckpointError::Parse) and classify as
+    /// [`Corrupt`](ErrorClass::Corrupt).
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            CheckpointError::Header | CheckpointError::Parse { .. } => ErrorClass::Corrupt,
+            CheckpointError::Drift(_) => ErrorClass::Drift,
+            CheckpointError::Io(_) => ErrorClass::Io,
+        }
+    }
+}
+
 /// Renders a `(site, outcome)` set as `SITE+` / `SITE-` entries joined
 /// with commas; the empty set is the single character `-`.
 fn encode_branches(set: &[(u64, bool)]) -> String {

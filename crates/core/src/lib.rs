@@ -37,7 +37,7 @@ mod heuristic;
 mod queue;
 
 pub use budget::{CampaignBudget, StopReason, DEADLINE_CHECK_INTERVAL};
-pub use checkpoint::{Checkpoint, CheckpointError, QueueItemSnapshot, QueueSnapshot};
+pub use checkpoint::{Checkpoint, CheckpointError, ErrorClass, QueueItemSnapshot, QueueSnapshot};
 pub use config::{DriverConfig, ExecMode, ExtensionMode, HeuristicConfig, SearchMode, SinkMode};
 pub use driver::{FuzzReport, Fuzzer, SyncPoint, TraceStep};
 pub use heuristic::score;

@@ -164,13 +164,15 @@ fn submit_matrix(
     exec_mode: pdf_core::ExecMode,
     shards: u64,
 ) -> i32 {
-    let mut client = match pdf_serve::ServeClient::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot reach pdf-serve daemon at {addr}: {e}");
-            return 2;
-        }
-    };
+    // Submissions ride the retrying client: shed hints and dropped
+    // connections are absorbed with backoff, and the auto idempotency
+    // key keeps a resubmit-after-lost-reply from forking a duplicate
+    // campaign.
+    let mut client = pdf_serve::RetryClient::new(addr);
+    if let Err(e) = client.ping() {
+        eprintln!("cannot reach pdf-serve daemon at {addr}: {e}");
+        return 2;
+    }
     let subjects = pdf_subjects::evaluation_subjects();
     eprintln!(
         "submitting {} subjects x {} seeds ({} execs, {} shard(s) each) to {addr} ...",

@@ -1,16 +1,26 @@
 //! Bounded-burst load generator for `pdf-serve`; the CI `serve-soak`
-//! job's latency gate.
+//! job's latency gate and the `chaos-recovery` job's overload gate.
 //! Usage: loadgen [--addr HOST:PORT] [--campaigns N] [--execs N]
 //!                [--workers N] [--shards N] [--subject NAME]
-//!                [--deadline-ms N] [--seed N]
+//!                [--deadline-ms N] [--seed N] [--max-queued N]
+//!                [--expect-sheds]
 //!
 //! Submits a burst of `--campaigns` small fleet campaigns (default 12,
 //! `--execs` executions each, default 400) to a `pdf-serve` daemon and
 //! waits for all of them. Without `--addr` it spins up an in-process
-//! daemon (`--workers` pool slots, default 4) plus a loopback TCP
-//! server and talks to itself over real sockets, so one binary
-//! exercises the full wire path. Subjects rotate over the evaluation
-//! set unless pinned with `--subject`.
+//! daemon (`--workers` pool slots, default 4, queue capped at
+//! `--max-queued` when given) plus a loopback TCP server and talks to
+//! itself over real sockets, so one binary exercises the full wire
+//! path. Subjects rotate over the evaluation set unless pinned with
+//! `--subject`.
+//!
+//! Submissions go through a [`RetryClient`]: when the daemon sheds
+//! load (`err code=overloaded retry-after-ms=N`) the client backs off
+//! per the hint and resubmits under the same idempotency key, so an
+//! overloaded daemon slows the burst down instead of hanging or
+//! forking duplicates. The summary reports how many sheds were
+//! absorbed; `--expect-sheds` makes *zero* sheds a failure (exit 1) —
+//! the overload gate proves shedding actually fires.
 //!
 //! Every campaign carries `--deadline-ms` (default 30000) as its
 //! advisory deadline. The gate: a campaign whose submit-to-terminal
@@ -24,7 +34,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pdf_serve::{CampaignSpec, Daemon, DaemonConfig, Phase, ServeClient, Server};
+use pdf_serve::{CampaignSpec, Daemon, DaemonConfig, Phase, RetryClient, Server};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,6 +48,15 @@ fn main() {
     let exec_mode = pdf_eval::require_arg(pdf_eval::exec_mode_in(&args));
     let pinned = string_arg(&args, "--subject");
     let remote = string_arg(&args, "--addr");
+    let max_queued = match pdf_eval::positive_arg_in(&args, "--max-queued", 0) {
+        Ok(0) => None,
+        Ok(n) => Some(n as usize),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let expect_sheds = args.iter().any(|a| a == "--expect-sheds");
 
     let subjects: Vec<String> = match &pinned {
         Some(name) => vec![name.clone()],
@@ -50,9 +69,11 @@ fn main() {
     // Without --addr, stand up the whole service in-process and talk to
     // it over a real loopback socket.
     let local = if remote.is_none() {
-        let daemon = Arc::new(
-            Daemon::open(DaemonConfig::in_memory(workers as usize)).expect("in-memory daemon"),
-        );
+        let mut cfg = DaemonConfig::in_memory(workers as usize);
+        if let Some(cap) = max_queued {
+            cfg = cfg.with_max_queued(cap);
+        }
+        let daemon = Arc::new(Daemon::open(cfg).expect("in-memory daemon"));
         let server = Server::start(Arc::clone(&daemon), "127.0.0.1:0").unwrap_or_else(|e| {
             eprintln!("error: cannot bind loopback server: {e}");
             std::process::exit(2);
@@ -67,13 +88,11 @@ fn main() {
         (None, None) => unreachable!(),
     };
 
-    let mut client = match ServeClient::connect(&addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: cannot reach {addr}: {e}");
-            std::process::exit(2);
-        }
-    };
+    let mut client = RetryClient::new(&addr);
+    if let Err(e) = client.ping() {
+        eprintln!("error: cannot reach {addr}: {e} (connection refused? check that pdfserved is running there)");
+        std::process::exit(2);
+    }
 
     eprintln!(
         "loadgen: burst of {campaigns} campaigns ({execs} execs x {shards} shard(s) each, \
@@ -94,11 +113,12 @@ fn main() {
         match client.submit(&spec) {
             Ok(id) => submitted.push((id, subject, seed, Instant::now())),
             Err(e) => {
-                eprintln!("error: submit {subject}/{seed} refused: {e}");
+                eprintln!("error: submit {subject}/{seed} refused after retries: {e}");
                 std::process::exit(2);
             }
         }
     }
+    let sheds_absorbed = client.sheds();
 
     let allowance = Duration::from_millis(deadline_ms.saturating_mul(2));
     let mut violations = 0u64;
@@ -110,7 +130,9 @@ fn main() {
             Ok(s) => Some(s),
             Err(pdf_serve::ClientError::Timeout) => None,
             Err(e) => {
-                eprintln!("error: waiting on campaign {id}: {e}");
+                eprintln!(
+                    "error: lost {addr} while waiting on campaign {id}: {e} (retries exhausted)"
+                );
                 std::process::exit(2);
             }
         };
@@ -133,17 +155,22 @@ fn main() {
     }
 
     if let Some((daemon, mut server)) = local {
-        let _ = client.shutdown();
+        let _ = client.with_client(|c| c.shutdown());
         server.stop();
         daemon.shutdown();
         assert_eq!(daemon.busy_slots(), 0, "pool slots leaked after burst");
     }
     eprintln!(
-        "loadgen: {} campaigns, {} violation(s), burst wall time {}ms",
+        "loadgen: {} campaigns, {} violation(s), {} shed(s) absorbed, burst wall time {}ms",
         submitted.len(),
         violations,
+        sheds_absorbed,
         burst_start.elapsed().as_millis(),
     );
+    if expect_sheds && sheds_absorbed == 0 {
+        eprintln!("loadgen: --expect-sheds but the daemon never shed; overload path did not fire");
+        std::process::exit(1);
+    }
     if violations > 0 {
         std::process::exit(1);
     }

@@ -4,10 +4,12 @@
 //! Commands:
 //!   submit --subject NAME [--seed N] [--execs N] [--shards N]
 //!          [--sync-every N] [--exec-mode full|fast|tiered]
-//!          [--deadline-ms N] [--wait]
+//!          [--deadline-ms N] [--key TOKEN] [--wait]
 //!                       submit one campaign; prints its id (with
 //!                       `--wait`, blocks streaming progress until the
-//!                       campaign is terminal and prints the final row)
+//!                       campaign is terminal and prints the final row;
+//!                       `--key` sets an idempotency key so a retried
+//!                       submit returns the original id)
 //!   status ID           one campaign's status row
 //!   pause ID            request a pause at the next slice boundary
 //!   resume ID           resume a paused campaign
@@ -21,9 +23,11 @@
 //! `--addr` defaults to `127.0.0.1:7700`, `pdfserved`'s default listen
 //! address. Exit status: 0 on success, 1 when the server refuses the
 //! request (unknown id, illegal transition, ...), 2 on a usage error or
-//! transport failure.
+//! transport failure. The streaming commands (`watch`, `submit
+//! --wait`) ride a [`RetryClient`], so a daemon restart or dropped
+//! connection mid-stream reconnects with backoff instead of dying.
 
-use pdf_serve::{CampaignSpec, CampaignStatus, ClientError, ServeClient};
+use pdf_serve::{CampaignSpec, CampaignStatus, ClientError, RetryClient, ServeClient};
 
 fn usage() -> ! {
     eprintln!(
@@ -52,12 +56,12 @@ fn main() {
     let mut client = match ServeClient::connect(&addr) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: cannot reach {addr}: {e}");
+            eprintln!("error: cannot reach {addr}: {e} (connection refused? check that pdfserved is running there)");
             std::process::exit(2);
         }
     };
     let outcome = match command.as_str() {
-        "submit" => submit(&mut client, &args),
+        "submit" => submit(&mut client, &addr, &args),
         "status" => id_command(&rest).and_then(|id| client.status(id).map(|s| print_status(&s))),
         "pause" => id_command(&rest).and_then(|id| client.pause(id).map(|s| print_state(id, &s))),
         "resume" => id_command(&rest).and_then(|id| client.resume(id).map(|s| print_state(id, &s))),
@@ -69,7 +73,9 @@ fn main() {
             eprintln!("{} campaigns", all.len());
         }),
         "watch" => id_command(&rest).and_then(|id| {
-            client.watch(id, print_status).map(|last| {
+            // Streaming survives daemon restarts: the RetryClient
+            // re-dials and re-issues the watch with jittered backoff.
+            RetryClient::new(&addr).watch(id, print_status).map(|last| {
                 print_status(&last);
             })
         }),
@@ -80,12 +86,16 @@ fn main() {
     };
     match outcome {
         Ok(()) => {}
-        Err(ClientError::Server { code, msg }) => {
+        Err(ClientError::Server { code, msg, .. }) => {
             eprintln!("error [{code}]: {msg}");
             std::process::exit(1);
         }
+        Err(ClientError::Timeout) => {
+            eprintln!("error: timed out waiting on {addr}: the daemon answered but the campaign never went terminal");
+            std::process::exit(2);
+        }
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: lost {addr}: {e} (retries exhausted)");
             std::process::exit(2);
         }
     }
@@ -114,7 +124,7 @@ fn id_command(rest: &[String]) -> Result<u64, ClientError> {
     }
 }
 
-fn submit(client: &mut ServeClient, args: &[String]) -> Result<(), ClientError> {
+fn submit(client: &mut ServeClient, addr: &str, args: &[String]) -> Result<(), ClientError> {
     let Some(subject) = string_arg(args, "--subject") else {
         eprintln!("error: submit requires --subject NAME");
         std::process::exit(2);
@@ -144,11 +154,12 @@ fn submit(client: &mut ServeClient, args: &[String]) -> Result<(), ClientError> 
         sync_every,
         exec_mode,
         deadline_ms,
+        idempotency_key: string_arg(args, "--key"),
     };
     let id = client.submit(&spec)?;
     println!("submitted id={id}");
     if args.iter().any(|a| a == "--wait") {
-        let last = client.watch(id, print_status)?;
+        let last = RetryClient::new(addr).watch(id, print_status)?;
         print_status(&last);
     }
     Ok(())

@@ -586,4 +586,44 @@ impl Fleet {
             cfg,
         })
     }
+
+    /// [`resume_from`](Self::resume_from) with graceful degradation
+    /// over checkpoint *generations*: tries each directory in `dirs`
+    /// in order (newest first) and resumes from the first one that
+    /// decodes. A corrupt or unreadable generation — a torn
+    /// checkpoint write, a truncated manifest — falls through to the
+    /// next; a [`Drift`](FleetError::Drift)-class failure aborts
+    /// immediately, because every generation was written under the
+    /// same configuration and falling back cannot repair a config
+    /// mismatch.
+    ///
+    /// Returns the resumed fleet and the index into `dirs` that
+    /// succeeded, so callers can quarantine the generations that were
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// The *first* error encountered when every generation fails (the
+    /// newest generation's failure is the most diagnostic), or the
+    /// drift error that aborted the walk.
+    pub fn resume_with_fallback<P: AsRef<Path>>(
+        subject: Subject,
+        cfg: FleetConfig,
+        dirs: &[P],
+    ) -> Result<(Fleet, usize), FleetError> {
+        let mut first_err: Option<FleetError> = None;
+        for (i, dir) in dirs.iter().enumerate() {
+            match Fleet::resume_from(subject, cfg.clone(), dir.as_ref()) {
+                Ok(fleet) => return Ok((fleet, i)),
+                Err(e) => {
+                    if e.class() == pdf_core::ErrorClass::Drift {
+                        return Err(e);
+                    }
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        Err(first_err
+            .unwrap_or_else(|| FleetError::Config("no checkpoint generations given".to_string())))
+    }
 }

@@ -74,6 +74,24 @@ impl fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
+impl FleetError {
+    /// Classifies this error for checkpoint-fallback decisions, the
+    /// fleet analog of [`CheckpointError::class`]
+    /// ([`pdf_core::ErrorClass`] semantics): `Corrupt` means an older
+    /// checkpoint generation is still good and the damaged one should
+    /// be quarantined; `Drift` means no generation can help; `Io`
+    /// leaves the call to the consumer's judgement.
+    pub fn class(&self) -> pdf_core::ErrorClass {
+        use pdf_core::ErrorClass;
+        match self {
+            FleetError::Header | FleetError::Parse { .. } => ErrorClass::Corrupt,
+            FleetError::Drift(_) | FleetError::Config(_) => ErrorClass::Drift,
+            FleetError::Shard(e) => e.class(),
+            FleetError::Io(_) => ErrorClass::Io,
+        }
+    }
+}
+
 impl From<CheckpointError> for FleetError {
     fn from(e: CheckpointError) -> Self {
         FleetError::Shard(e)

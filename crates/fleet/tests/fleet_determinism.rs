@@ -101,6 +101,44 @@ fn checkpoint_and_resume_is_digest_identical() {
 }
 
 #[test]
+fn corrupt_generation_falls_back_to_previous_epoch() {
+    let subject = pdf_subjects::dyck::subject();
+    let cfg = fleet_cfg(2, 250, 44, 1_500);
+    let uninterrupted = Fleet::new(subject, cfg.clone()).unwrap().run();
+
+    let root = std::env::temp_dir().join(format!("pdf-fleet-fallback-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let (prev, cur) = (root.join("ck.prev"), root.join("ck"));
+    let mut fleet = Fleet::new(subject, cfg.clone()).unwrap();
+    assert!(!fleet.run_epoch());
+    fleet.checkpoint_to(&prev).unwrap();
+    assert!(!fleet.run_epoch());
+    fleet.checkpoint_to(&cur).unwrap();
+    drop(fleet);
+
+    // Tear the newest generation's manifest mid-line.
+    let manifest = cur.join(pdf_fleet::MANIFEST_FILE);
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(&manifest, &text[..text.len() / 2]).unwrap();
+
+    // Fallback resumes the epoch-older generation — losing one epoch,
+    // which the deterministic re-run then repays digest-identically.
+    let (resumed, picked) =
+        Fleet::resume_with_fallback(subject, cfg.clone(), &[&cur, &prev]).unwrap();
+    assert_eq!(picked, 1, "should have skipped the corrupt generation");
+    assert_eq!(resumed.run().digest(), uninterrupted.digest());
+
+    // Drift still aborts immediately, even with a healthy fallback.
+    let mut wrong_seed = cfg;
+    wrong_seed.base.seed += 1;
+    assert!(matches!(
+        Fleet::resume_with_fallback(subject, wrong_seed, &[&cur, &prev]),
+        Err(FleetError::Drift(_))
+    ));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn tiered_fleet_is_deterministic_and_finds_valid_inputs() {
     // the batched fast-failure promotion pass at sync epochs is RNG-free
     // and deterministic, so the fleet digest contract extends to the

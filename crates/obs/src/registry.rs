@@ -103,6 +103,30 @@ pub struct MetricsRegistry {
     /// Campaign checkpoints the daemon wrote (one per slice boundary
     /// when a state directory is configured).
     pub serve_checkpoints: Counter,
+    /// Connection threads the accept loop failed to spawn (the
+    /// connection is dropped; the accept loop survives).
+    pub serve_spawn_failed: Counter,
+    /// Submissions refused with `overloaded` + `retry_after_ms` by the
+    /// daemon's load shedder.
+    pub serve_shed: Counter,
+    /// Connections refused at the server's concurrent-connection cap.
+    pub serve_conn_rejected: Counter,
+    /// Connections killed by the per-connection read timeout
+    /// (slowloris defense).
+    pub serve_conn_timeouts: Counter,
+    /// Journal recoveries that salvaged a legal prefix and quarantined
+    /// a torn tail.
+    pub serve_journal_recovered: Counter,
+    /// Checkpoint generations quarantined as corrupt during campaign
+    /// rebuild (the rebuild fell back to an older generation).
+    pub serve_checkpoint_quarantined: Counter,
+    /// Slice-boundary persistence writes (journal append, meta,
+    /// checkpoint) that failed and were survived in degraded mode —
+    /// disk is one generation staler than the contract's best case.
+    pub serve_write_degraded: Counter,
+    /// Faults injected by an installed `pdf-chaos` plan (zero outside
+    /// chaos runs).
+    pub chaos_injected: Counter,
 
     /// Fleet synchronization epochs completed (one per coordinator
     /// barrier across all shards).
@@ -195,6 +219,17 @@ impl MetricsRegistry {
             ("serve.transitions", &self.serve_transitions),
             ("serve.slices", &self.serve_slices),
             ("serve.checkpoints", &self.serve_checkpoints),
+            ("serve.spawn_failed", &self.serve_spawn_failed),
+            ("serve.shed", &self.serve_shed),
+            ("serve.conn_rejected", &self.serve_conn_rejected),
+            ("serve.conn_timeout", &self.serve_conn_timeouts),
+            ("serve.journal_recovered", &self.serve_journal_recovered),
+            (
+                "serve.checkpoint_quarantined",
+                &self.serve_checkpoint_quarantined,
+            ),
+            ("serve.write_degraded", &self.serve_write_degraded),
+            ("chaos.injected", &self.chaos_injected),
             ("fleet.epochs", &self.fleet_epochs),
             ("fleet.promotions", &self.fleet_promotions),
             ("fleet.injections", &self.fleet_injections),

@@ -10,8 +10,9 @@
 //! in-flight campaign digest-identically.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use pdf_serve::{Daemon, DaemonConfig, Server};
+use pdf_serve::{Daemon, DaemonConfig, Server, ServerConfig};
 
 fn string_arg(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -20,12 +21,27 @@ fn string_arg(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+fn numeric_arg(args: &[String], name: &str, default: u64) -> u64 {
+    match string_arg(args, name).as_deref() {
+        None => default,
+        Some(raw) => match raw.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: {name} expects a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: pdfserved [--listen ADDR] [--workers N] [--state-dir DIR]\n\
-             defaults: --listen 127.0.0.1:7700, --workers 4, in-memory state"
+             \x20                [--max-queued N] [--max-conns N] [--read-timeout-ms N]\n\
+             defaults: --listen 127.0.0.1:7700, --workers 4, in-memory state,\n\
+             \x20         unlimited queue, --max-conns 64, --read-timeout-ms 30000"
         );
         return;
     }
@@ -34,7 +50,8 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--listen" | "--workers" | "--state-dir" => i += 2,
+            "--listen" | "--workers" | "--state-dir" | "--max-queued" | "--max-conns"
+            | "--read-timeout-ms" => i += 2,
             other => {
                 eprintln!("error: unknown argument {other:?} (see --help)");
                 std::process::exit(2);
@@ -42,19 +59,22 @@ fn main() {
         }
     }
     let listen = string_arg(&args, "--listen").unwrap_or_else(|| "127.0.0.1:7700".to_string());
-    let workers: usize = match string_arg(&args, "--workers").as_deref() {
-        None => 4,
-        Some(raw) => match raw.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("error: --workers expects a positive integer, got {raw:?}");
-                std::process::exit(2);
-            }
-        },
-    };
-    let cfg = match string_arg(&args, "--state-dir") {
+    let workers = numeric_arg(&args, "--workers", 4) as usize;
+    let mut cfg = match string_arg(&args, "--state-dir") {
         Some(dir) => DaemonConfig::persistent(workers, dir),
         None => DaemonConfig::in_memory(workers),
+    };
+    if string_arg(&args, "--max-queued").is_some() {
+        cfg = cfg.with_max_queued(numeric_arg(&args, "--max-queued", 1) as usize);
+    }
+    let server_cfg = ServerConfig {
+        read_timeout: Some(Duration::from_millis(numeric_arg(
+            &args,
+            "--read-timeout-ms",
+            30_000,
+        ))),
+        max_conns: numeric_arg(&args, "--max-conns", 64) as usize,
+        faults: None,
     };
     let daemon = match Daemon::open(cfg) {
         Ok(d) => Arc::new(d),
@@ -63,7 +83,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut server = match Server::start(Arc::clone(&daemon), &listen) {
+    let mut server = match Server::start_with(Arc::clone(&daemon), &listen, server_cfg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot bind {listen}: {e}");

@@ -33,11 +33,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use pdf_core::DriverConfig;
+use pdf_chaos::{chaos_write_file, FaultKind, FaultPlan, OpKind};
+use pdf_core::{DriverConfig, ErrorClass};
 use pdf_fleet::{Fleet, FleetConfig};
 use pdf_obs::{campaign_label, MetricsRegistry};
 
-use crate::journal::Journal;
+use crate::journal::{recover_journal, Journal};
 use crate::lifecycle::{transition, Event, IllegalTransition, Phase};
 use crate::wire::{
     parse_fields, status_fields, status_from_fields, CampaignSpec, CampaignStatus, RESPONSE_KEYS,
@@ -54,6 +55,14 @@ pub struct DaemonConfig {
     /// Where campaigns checkpoint and the journal lives; `None` runs
     /// fully in memory (no durability, no journal).
     pub state_dir: Option<PathBuf>,
+    /// Load-shedding threshold: submissions are refused with
+    /// [`ServeError::Overloaded`] while this many campaigns are already
+    /// queued or running. `None` admits everything.
+    pub max_queued: Option<usize>,
+    /// Storage fault-injection plan for chaos testing; every journal
+    /// append, meta rewrite and checkpoint write consults it. `None`
+    /// (production) injects nothing.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl DaemonConfig {
@@ -62,6 +71,8 @@ impl DaemonConfig {
         DaemonConfig {
             workers,
             state_dir: None,
+            max_queued: None,
+            faults: None,
         }
     }
 
@@ -70,7 +81,21 @@ impl DaemonConfig {
         DaemonConfig {
             workers,
             state_dir: Some(state_dir.into()),
+            max_queued: None,
+            faults: None,
         }
+    }
+
+    /// Caps admission at `max_queued` active campaigns.
+    pub fn with_max_queued(mut self, max_queued: usize) -> DaemonConfig {
+        self.max_queued = Some(max_queued);
+        self
+    }
+
+    /// Installs a storage fault-injection plan.
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> DaemonConfig {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -87,6 +112,12 @@ pub enum ServeError {
     BadSpec(String),
     /// The daemon is shutting down and accepts no new work.
     Stopping,
+    /// The admission cap is reached; retry after the given delay.
+    Overloaded {
+        /// How long the client should back off before resubmitting,
+        /// in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -97,6 +128,9 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSubject(s) => write!(f, "unknown subject {s:?}"),
             ServeError::BadSpec(what) => write!(f, "bad campaign spec: {what}"),
             ServeError::Stopping => write!(f, "daemon is shutting down"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "daemon is overloaded, retry in {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -251,6 +285,12 @@ pub fn checkpoint_dir(state_dir: &Path, id: u64) -> PathBuf {
     campaign_dir(state_dir, id).join("ck")
 }
 
+/// The previous-epoch checkpoint generation of campaign `id`: the
+/// fallback when the newest generation is torn.
+pub fn prev_checkpoint_dir(state_dir: &Path, id: u64) -> PathBuf {
+    campaign_dir(state_dir, id).join("ck.prev")
+}
+
 /// The journal path under `state_dir`.
 pub fn journal_path(state_dir: &Path) -> PathBuf {
     state_dir.join("serve.journal")
@@ -286,20 +326,40 @@ fn decode_meta(text: &str) -> std::io::Result<CampaignStatus> {
 
 impl Inner {
     /// Writes the campaign's meta file atomically (tmp + rename).
+    ///
+    /// A failed write (real or injected) degrades instead of
+    /// panicking: the previous meta stays in place, the
+    /// `serve.write_degraded` counter ticks, and the next slice
+    /// boundary retries — the restart contract already tolerates a meta
+    /// one boundary behind.
     fn persist_meta(&self, c: &Campaign) {
         let Some(state_dir) = &self.cfg.state_dir else {
             return;
         };
         let dir = campaign_dir(state_dir, c.id);
-        std::fs::create_dir_all(&dir).expect("create campaign dir");
         let tmp = dir.join("meta.tmp");
-        std::fs::write(&tmp, encode_meta(&c.status())).expect("write campaign meta");
-        std::fs::rename(&tmp, dir.join("meta")).expect("commit campaign meta");
+        let wrote = std::fs::create_dir_all(&dir)
+            .and_then(|()| {
+                chaos_write_file(
+                    self.cfg.faults.as_ref(),
+                    OpKind::MetaWrite,
+                    &tmp,
+                    encode_meta(&c.status()).as_bytes(),
+                )
+            })
+            .and_then(|()| std::fs::rename(&tmp, dir.join("meta")));
+        if wrote.is_err() {
+            self.registry.serve_write_degraded.inc();
+        }
     }
 
     /// Journals and applies one lifecycle transition. The journal write
     /// happens *before* the in-memory phase change and the meta rewrite
-    /// after it, so on disk the journal always leads the meta.
+    /// after it, so on disk the journal always leads the meta. A failed
+    /// journal append degrades (the transition still applies, the
+    /// `serve.write_degraded` counter ticks) — refusing the transition
+    /// would wedge the campaign on a storage hiccup, and the meta
+    /// rewrite that follows keeps restart state correct.
     fn apply(
         &self,
         st: &mut DaemonState,
@@ -314,9 +374,9 @@ impl Inner {
             .phase;
         let to = transition(from, event)?;
         if let Some(journal) = &mut st.journal {
-            journal
-                .append(id, event, from, to, digest)
-                .expect("append serve journal");
+            if journal.append(id, event, from, to, digest).is_err() {
+                self.registry.serve_write_degraded.inc();
+            }
         }
         self.registry.serve_transitions.inc();
         match to {
@@ -436,10 +496,13 @@ impl Inner {
                 // settle pending pause/cancel requests.
                 let progress = fleet.progress();
                 if let Some(state_dir) = &self.cfg.state_dir {
-                    fleet
-                        .checkpoint_to(checkpoint_dir(state_dir, id))
-                        .expect("write campaign checkpoint");
-                    self.registry.serve_checkpoints.inc();
+                    match self.checkpoint_rotating(&fleet, state_dir, id) {
+                        Ok(()) => self.registry.serve_checkpoints.inc(),
+                        // Degrade: the previous generation is intact (the
+                        // rotation preserved it), so a crash now loses at
+                        // most this one epoch — the documented contract.
+                        Err(_) => self.registry.serve_write_degraded.inc(),
+                    }
                 }
                 let mut st = self.state.lock().expect("daemon state poisoned");
                 let c = st.campaigns.get_mut(&id).expect("campaign vanished");
@@ -462,20 +525,97 @@ impl Inner {
         }
     }
 
+    /// Writes campaign `id`'s checkpoint with two-generation rotation:
+    /// the current `ck/` is renamed to `ck.prev/` first, so a torn
+    /// write can damage at most the newest generation and restart
+    /// falls back one epoch. With a fault plan installed, the write
+    /// consults it — a scheduled torn write truncates the fresh
+    /// manifest mid-line (the on-disk state a real crash leaves).
+    fn checkpoint_rotating(&self, fleet: &Fleet, state_dir: &Path, id: u64) -> Result<(), String> {
+        let cur = checkpoint_dir(state_dir, id);
+        let prev = prev_checkpoint_dir(state_dir, id);
+        if cur.join(pdf_fleet::MANIFEST_FILE).exists() {
+            let _ = std::fs::remove_dir_all(&prev);
+            std::fs::rename(&cur, &prev).map_err(|e| format!("rotate checkpoint: {e}"))?;
+        }
+        fleet
+            .checkpoint_to(&cur)
+            .map_err(|e| format!("write campaign checkpoint: {e}"))?;
+        if let Some(fault) = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|p| p.decide(OpKind::CheckpointWrite))
+        {
+            let manifest = cur.join(pdf_fleet::MANIFEST_FILE);
+            match fault.kind {
+                FaultKind::TornWrite => {
+                    if let Ok(text) = std::fs::read(&manifest) {
+                        let keep = (fault.magnitude as usize) % text.len().max(1);
+                        let _ = std::fs::write(&manifest, &text[..keep]);
+                    }
+                    return Err("injected: torn checkpoint write".into());
+                }
+                FaultKind::Enospc => {
+                    let _ = std::fs::remove_file(&manifest);
+                    return Err("injected: no space left on device".into());
+                }
+                FaultKind::Delay => {
+                    std::thread::sleep(self.cfg.faults.as_ref().unwrap().delay_of(fault));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Quarantines the damaged checkpoint generation at `dir` (renames
+    /// it aside for post-mortems) and ticks the counter.
+    fn quarantine_checkpoint(&self, dir: &Path) {
+        let q = crate::journal::append_suffix(dir, ".quarantine");
+        let _ = std::fs::remove_dir_all(&q);
+        if std::fs::rename(dir, &q).is_ok() {
+            self.registry.serve_checkpoint_quarantined.inc();
+        }
+    }
+
     fn build_fleet(&self, id: u64, spec: &CampaignSpec) -> Result<Fleet, String> {
         let info = pdf_subjects::by_name(&spec.subject)
             .ok_or_else(|| format!("unknown subject {:?}", spec.subject))?;
         let cfg = fleet_config(spec);
-        let ck = self
-            .cfg
-            .state_dir
-            .as_ref()
-            .map(|d| checkpoint_dir(d, id))
-            .filter(|d| d.join(pdf_fleet::MANIFEST_FILE).exists());
-        match ck {
-            Some(dir) => Fleet::resume_from(info.subject, cfg, dir)
-                .map_err(|e| format!("checkpoint resume failed: {e}")),
-            None => Fleet::new(info.subject, cfg).map_err(|e| format!("fleet config: {e}")),
+        let Some(state_dir) = &self.cfg.state_dir else {
+            return Fleet::new(info.subject, cfg).map_err(|e| format!("fleet config: {e}"));
+        };
+        // Newest generation first; a torn `ck/` falls back to `ck.prev/`
+        // (one epoch older), and the damaged generation is quarantined.
+        let gens: Vec<PathBuf> = [
+            checkpoint_dir(state_dir, id),
+            prev_checkpoint_dir(state_dir, id),
+        ]
+        .into_iter()
+        .filter(|d| d.join(pdf_fleet::MANIFEST_FILE).exists() || d.exists())
+        .collect();
+        if gens.is_empty() {
+            return Fleet::new(info.subject, cfg).map_err(|e| format!("fleet config: {e}"));
+        }
+        match Fleet::resume_with_fallback(info.subject, cfg.clone(), &gens) {
+            Ok((fleet, picked)) => {
+                for dir in &gens[..picked] {
+                    self.quarantine_checkpoint(dir);
+                }
+                Ok(fleet)
+            }
+            Err(e) if e.class() == ErrorClass::Corrupt => {
+                // Every generation is damaged: quarantine them all and
+                // restart the campaign from scratch — deterministic, so
+                // the final digest is unchanged (it just costs re-run
+                // time).
+                for dir in &gens {
+                    self.quarantine_checkpoint(dir);
+                }
+                Fleet::new(info.subject, cfg).map_err(|e| format!("fleet config: {e}"))
+            }
+            Err(e) => Err(format!("checkpoint resume failed: {e}")),
         }
     }
 }
@@ -500,10 +640,14 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// I/O errors creating the state directory or reading persisted
-    /// state; corrupt metas and journals are errors, not skips.
+    /// Real I/O errors creating the state directory or reading
+    /// persisted state. *Corruption* is not an error: a torn journal
+    /// tail is quarantined (`serve.journal.quarantine`) and the legal
+    /// prefix salvaged; a corrupt meta is quarantined
+    /// (`meta.quarantine`) and its campaign dropped from recovery.
     pub fn open(cfg: DaemonConfig) -> std::io::Result<Daemon> {
         assert!(cfg.workers >= 1, "daemon needs at least one worker");
+        let registry = Arc::new(MetricsRegistry::new());
         let mut st = DaemonState {
             campaigns: BTreeMap::new(),
             next_id: 1,
@@ -512,15 +656,32 @@ impl Daemon {
         };
         if let Some(state_dir) = &cfg.state_dir {
             std::fs::create_dir_all(campaigns_root(state_dir))?;
-            st.journal = Some(Journal::open(&journal_path(state_dir))?);
+            let recovered_journal = recover_journal(&journal_path(state_dir))?;
+            if recovered_journal.quarantined_lines > 0 {
+                registry
+                    .serve_journal_recovered
+                    .add(recovered_journal.quarantined_lines as u64);
+            }
+            let mut journal = Journal::open(&journal_path(state_dir))?;
+            journal.set_faults(cfg.faults.clone());
+            st.journal = Some(journal);
             let mut recovered: Vec<Campaign> = Vec::new();
             for entry in std::fs::read_dir(campaigns_root(state_dir))? {
                 let meta = entry?.path().join("meta");
                 if !meta.exists() {
                     continue;
                 }
-                let status = decode_meta(&std::fs::read_to_string(&meta)?)?;
-                recovered.push(Campaign::from_status(status));
+                match decode_meta(&std::fs::read_to_string(&meta)?) {
+                    Ok(status) => recovered.push(Campaign::from_status(status)),
+                    Err(_) => {
+                        // Torn meta (killed mid-rename on a filesystem
+                        // without atomic rename, or injected): quarantine
+                        // it; the campaign is lost but the daemon is not.
+                        let q = crate::journal::append_suffix(&meta, ".quarantine");
+                        let _ = std::fs::rename(&meta, q);
+                        registry.serve_checkpoint_quarantined.inc();
+                    }
+                }
             }
             recovered.sort_by_key(|c| c.id);
             for c in recovered {
@@ -529,7 +690,7 @@ impl Daemon {
             }
         }
         let inner = Arc::new(Inner {
-            registry: Arc::new(MetricsRegistry::new()),
+            registry,
             state: Mutex::new(st),
             work: Condvar::new(),
             idle: Condvar::new(),
@@ -570,10 +731,16 @@ impl Daemon {
     /// Submits a campaign; returns its id. The campaign starts
     /// `Queued` and is dispatched as soon as a pool slot frees up.
     ///
+    /// A spec carrying an idempotency key the daemon has already
+    /// admitted returns the *original* campaign id without creating a
+    /// new campaign — a client that lost the first reply can resubmit
+    /// safely. The key survives restarts (it rides in the meta file).
+    ///
     /// # Errors
     ///
     /// [`ServeError::BadSpec`] / [`ServeError::UnknownSubject`] on an
-    /// unrunnable spec, [`ServeError::Stopping`] during shutdown.
+    /// unrunnable spec, [`ServeError::Stopping`] during shutdown,
+    /// [`ServeError::Overloaded`] past the admission cap.
     pub fn submit(&self, spec: CampaignSpec) -> Result<u64, ServeError> {
         if self.inner.stopping.load(Ordering::SeqCst) {
             return Err(ServeError::Stopping);
@@ -584,6 +751,31 @@ impl Daemon {
             return Err(ServeError::UnknownSubject(spec.subject.clone()));
         }
         let mut st = self.inner.state.lock().expect("daemon state poisoned");
+        if let Some(key) = &spec.idempotency_key {
+            if let Some(existing) = st
+                .campaigns
+                .values()
+                .find(|c| c.spec.idempotency_key.as_ref() == Some(key))
+            {
+                return Ok(existing.id);
+            }
+        }
+        if let Some(cap) = self.inner.cfg.max_queued {
+            let active = st
+                .campaigns
+                .values()
+                .filter(|c| matches!(c.phase, Phase::Queued | Phase::Running))
+                .count();
+            if active >= cap {
+                self.inner.registry.serve_shed.inc();
+                // Deterministic advisory delay: scale with how far over
+                // capacity the pool is, one slice-ish step per excess
+                // campaign.
+                let over = (active - cap) as u64;
+                let retry_after_ms = (25 * (over + 1)).min(1_000);
+                return Err(ServeError::Overloaded { retry_after_ms });
+            }
+        }
         let id = st.next_id;
         st.next_id += 1;
         let c = Campaign::fresh(id, spec);
@@ -789,6 +981,7 @@ mod tests {
             sync_every: 60,
             exec_mode: pdf_core::ExecMode::Full,
             deadline_ms: None,
+            idempotency_key: None,
         }
     }
 
@@ -891,6 +1084,111 @@ mod tests {
             phase = transition(r.from, r.event).expect("journaled transition is legal");
             assert_eq!(phase, r.to);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_idempotency_key_returns_original_id() {
+        let daemon = Daemon::open(DaemonConfig::in_memory(1)).unwrap();
+        let mut spec = small_spec("arith", 3);
+        spec.idempotency_key = Some("retry-abc".into());
+        let first = daemon.submit(spec.clone()).unwrap();
+        let again = daemon.submit(spec.clone()).unwrap();
+        assert_eq!(first, again);
+        // A different key is a different campaign.
+        spec.idempotency_key = Some("retry-def".into());
+        assert_ne!(daemon.submit(spec).unwrap(), first);
+        assert!(daemon.wait_idle(Duration::from_secs(60)));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn idempotency_key_survives_restart() {
+        let dir = tmpdir("idem");
+        let mut spec = small_spec("arith", 4);
+        spec.idempotency_key = Some("boot-1".into());
+        let id = {
+            let daemon = Daemon::open(DaemonConfig::persistent(1, &dir)).unwrap();
+            let id = daemon.submit(spec.clone()).unwrap();
+            assert!(daemon.wait_idle(Duration::from_secs(60)));
+            daemon.shutdown();
+            id
+        };
+        let daemon = Daemon::open(DaemonConfig::persistent(1, &dir)).unwrap();
+        assert_eq!(daemon.submit(spec).unwrap(), id);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submissions_past_the_cap_are_shed_with_retry_hint() {
+        let daemon = Daemon::open(DaemonConfig::in_memory(1).with_max_queued(2)).unwrap();
+        let mut admitted = 0;
+        let mut shed = 0;
+        for seed in 0..6 {
+            match daemon.submit(small_spec("dyck", seed)) {
+                Ok(_) => admitted += 1,
+                Err(ServeError::Overloaded { retry_after_ms }) => {
+                    assert!((1..=1_000).contains(&retry_after_ms));
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(admitted >= 2, "cap must admit up to its limit");
+        assert!(shed > 0, "cap must shed past its limit");
+        assert_eq!(daemon.registry().serve_shed.get(), shed);
+        assert!(daemon.wait_idle(Duration::from_secs(60)));
+        // Idle again: capacity is back.
+        assert!(daemon.submit(small_spec("dyck", 99)).is_ok());
+        assert!(daemon.wait_idle(Duration::from_secs(60)));
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn restart_survives_torn_journal_and_torn_checkpoint() {
+        let dir = tmpdir("torn");
+        let spec = small_spec("arith", 9);
+        let uninterrupted = {
+            let info = pdf_subjects::by_name("arith").unwrap();
+            Fleet::new(info.subject, fleet_config(&spec)).unwrap().run()
+        };
+        let id = {
+            let daemon = Daemon::open(DaemonConfig::persistent(1, &dir)).unwrap();
+            let id = daemon.submit(spec.clone()).unwrap();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while daemon.status(id).unwrap().epoch < 2 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            daemon.hard_stop();
+            id
+        };
+        // Torn journal tail, as a hard kill mid-append would leave.
+        let jpath = journal_path(&dir);
+        let mut text = std::fs::read_to_string(&jpath).unwrap();
+        text.push_str("txn seq=999 id=1 ev=dis");
+        std::fs::write(&jpath, &text).unwrap();
+        // Torn newest checkpoint generation.
+        let manifest = checkpoint_dir(&dir, id).join(pdf_fleet::MANIFEST_FILE);
+        if manifest.exists() {
+            let m = std::fs::read_to_string(&manifest).unwrap();
+            std::fs::write(&manifest, &m[..m.len() / 2]).unwrap();
+        }
+        let daemon = Daemon::open(DaemonConfig::persistent(1, &dir)).unwrap();
+        assert!(
+            daemon.registry().serve_journal_recovered.get() > 0,
+            "torn journal tail must be quarantined"
+        );
+        assert!(daemon.wait_idle(Duration::from_secs(120)));
+        let status = daemon.status(id).unwrap();
+        assert_eq!(status.phase, Phase::Done);
+        assert_eq!(
+            status.digest,
+            Some(uninterrupted.digest()),
+            "recovery from torn state must stay digest-identical"
+        );
+        daemon.shutdown();
+        assert!(crate::journal::append_suffix(&jpath, ".quarantine").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,6 +20,9 @@
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use pdf_chaos::{ChaosWriter, FaultPlan, OpKind};
 
 use crate::lifecycle::{Event, Phase};
 use crate::wire::WireError;
@@ -105,6 +108,7 @@ pub struct Journal {
     file: File,
     path: PathBuf,
     next_seq: u64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Journal {
@@ -113,7 +117,8 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// I/O errors, or a corrupt existing journal.
+    /// I/O errors, or a corrupt existing journal (restart paths that
+    /// must survive a torn tail go through [`recover_journal`] first).
     pub fn open(path: &Path) -> std::io::Result<Journal> {
         let next_seq = if path.exists() {
             read_journal(path)?.last().map(|r| r.seq + 1).unwrap_or(0)
@@ -128,14 +133,27 @@ impl Journal {
             file,
             path: path.to_path_buf(),
             next_seq,
+            faults: None,
         })
+    }
+
+    /// Installs a fault plan: every subsequent [`append`](Self::append)
+    /// consults it for injected torn writes, ENOSPC and delays.
+    pub fn set_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
     }
 
     /// Appends one transition record and flushes it to disk.
     ///
     /// # Errors
     ///
-    /// I/O errors from the append or flush.
+    /// I/O errors from the append or flush — including injected ones
+    /// when a fault plan is installed. A failed append rolls the file
+    /// back to its pre-append length (best effort), so a *live* daemon
+    /// never leaves a torn line mid-journal; torn tails come only from
+    /// hard kills, and [`recover_journal`] quarantines those on the
+    /// next restart. `seq` is not consumed on failure, so the salvaged
+    /// history stays gap-free.
     pub fn append(
         &mut self,
         id: u64,
@@ -152,8 +170,13 @@ impl Journal {
             to,
             digest,
         };
-        writeln!(self.file, "{}", record.encode())?;
-        self.file.flush()?;
+        let rollback_to = self.file.metadata()?.len();
+        let mut w = ChaosWriter::new(&mut self.file, self.faults.clone(), OpKind::JournalWrite);
+        let wrote = writeln!(w, "{}", record.encode()).and_then(|()| self.file.flush());
+        if let Err(e) = wrote {
+            let _ = self.file.set_len(rollback_to);
+            return Err(e);
+        }
         self.next_seq += 1;
         Ok(record)
     }
@@ -192,6 +215,112 @@ pub fn read_journal(path: &Path) -> std::io::Result<Vec<JournalRecord>> {
         records.push(JournalRecord::decode(&line).map_err(|e| invalid(e.to_string()))?);
     }
     Ok(records)
+}
+
+/// `<path><suffix>`, appended to the full file name (unlike
+/// `Path::with_extension`, which would *replace* `.journal`).
+pub(crate) fn append_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+/// What [`recover_journal`] salvaged from a possibly-torn journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredJournal {
+    /// The gap-free legal prefix: every record up to (not including)
+    /// the first unparseable or sequence-breaking line.
+    pub records: Vec<JournalRecord>,
+    /// Lines cut from the journal and appended to the quarantine file
+    /// (zero when the journal was clean).
+    pub quarantined_lines: usize,
+    /// Where the torn tail went (`<journal>.quarantine`), present only
+    /// when something was quarantined.
+    pub quarantine_path: Option<PathBuf>,
+}
+
+/// Restart-safe journal read: salvages the longest gap-free prefix of
+/// legal records and quarantines everything after it.
+///
+/// A hard kill mid-append leaves a torn final line; a torn storage
+/// write can leave worse. Instead of refusing to restart (what
+/// [`read_journal`] does), this cuts the journal at the first
+/// unparseable line *or* the first sequence gap, appends the cut tail
+/// to `<path>.quarantine` for post-mortems, and rewrites the journal
+/// (tmp plus rename) to exactly the salvaged prefix — after which
+/// [`Journal::open`] succeeds and continues the sequence densely.
+///
+/// A missing file recovers to an empty journal. An unreadable *header*
+/// quarantines the entire file.
+///
+/// # Errors
+///
+/// Only real I/O errors (reading the journal, writing the quarantine
+/// or the rewrite); corruption itself is never an error here.
+pub fn recover_journal(path: &Path) -> std::io::Result<RecoveredJournal> {
+    if !path.exists() {
+        return Ok(RecoveredJournal {
+            records: Vec::new(),
+            quarantined_lines: 0,
+            quarantine_path: None,
+        });
+    }
+    // Read as raw bytes: a torn tail can hold arbitrary garbage, and
+    // "not UTF-8" is corruption to quarantine, not an I/O failure.
+    let bytes = std::fs::read(path)?;
+    let mut lines: Vec<String> = bytes
+        .split(|&b| b == b'\n')
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .collect();
+    if lines.last().is_some_and(String::is_empty) {
+        lines.pop(); // the split artifact after a trailing newline
+    }
+    let header_ok = lines.first().is_some_and(|h| h == JOURNAL_HEADER);
+    let mut records = Vec::new();
+    // Index of the first line that does NOT belong to the legal prefix.
+    let mut cut = if header_ok { 1 } else { 0 };
+    if header_ok {
+        for (idx, line) in lines.iter().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                cut = idx + 1;
+                continue;
+            }
+            match JournalRecord::decode(line) {
+                Ok(r) if r.seq == records.len() as u64 => {
+                    records.push(r);
+                    cut = idx + 1;
+                }
+                _ => break,
+            }
+        }
+    }
+    let tail: Vec<&String> = lines.iter().skip(cut).collect();
+    let mut quarantine_path = None;
+    if !tail.is_empty() {
+        let qpath = append_suffix(path, ".quarantine");
+        let mut q = OpenOptions::new().create(true).append(true).open(&qpath)?;
+        for line in &tail {
+            writeln!(q, "{line}")?;
+        }
+        q.sync_all()?;
+        quarantine_path = Some(qpath);
+        // Rewrite the journal to the salvaged prefix, atomically.
+        let tmp = append_suffix(path, ".tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            writeln!(f, "{JOURNAL_HEADER}")?;
+            for r in &records {
+                writeln!(f, "{}", r.encode())?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+    }
+    Ok(RecoveredJournal {
+        records,
+        quarantined_lines: tail.len(),
+        quarantine_path,
+    })
 }
 
 #[cfg(test)]
@@ -243,6 +372,118 @@ mod tests {
         }
         let records = read_journal(&path).unwrap();
         assert_eq!(records.iter().map(|r| r.seq).collect::<Vec<_>>(), [0, 1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_salvages_prefix_and_quarantines_tail() {
+        let dir = tmpdir("recover");
+        let path = dir.join("serve.journal");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(1, Event::Dispatch, Phase::Queued, Phase::Running, None)
+                .unwrap();
+            j.append(1, Event::Finish, Phase::Running, Phase::Done, Some(0xfeed))
+                .unwrap();
+        }
+        // Simulate a hard kill mid-append: a torn final line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("txn seq=2 id=2 ev=dispa");
+        std::fs::write(&path, &text).unwrap();
+
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.quarantined_lines, 1);
+        let qpath = rec.quarantine_path.unwrap();
+        assert!(std::fs::read_to_string(&qpath)
+            .unwrap()
+            .contains("ev=dispa"));
+
+        // The rewritten journal is clean and continues the sequence.
+        let mut j = Journal::open(&path).unwrap();
+        assert_eq!(j.next_seq(), 2);
+        j.append(2, Event::Dispatch, Phase::Queued, Phase::Running, None)
+            .unwrap();
+        assert_eq!(read_journal(&path).unwrap().len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_cuts_at_sequence_gap() {
+        let dir = tmpdir("gap");
+        let path = dir.join("serve.journal");
+        std::fs::write(
+            &path,
+            "pdf-serve v1\n\
+             txn seq=0 id=1 ev=dispatch from=queued to=running\n\
+             txn seq=5 id=1 ev=pause from=running to=paused\n",
+        )
+        .unwrap();
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.quarantined_lines, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_of_clean_or_missing_journal_is_a_no_op() {
+        let dir = tmpdir("clean");
+        let path = dir.join("serve.journal");
+        assert_eq!(recover_journal(&path).unwrap().records.len(), 0);
+        assert!(!path.exists(), "recovery must not invent a journal");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(1, Event::Dispatch, Phase::Queued, Phase::Running, None)
+                .unwrap();
+        }
+        let before = std::fs::read_to_string(&path).unwrap();
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.quarantined_lines, 0);
+        assert_eq!(rec.quarantine_path, None);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_quarantines_whole_file_on_bad_header() {
+        let dir = tmpdir("hdr");
+        let path = dir.join("serve.journal");
+        std::fs::write(&path, "not-a-journal\ngarbage\n").unwrap();
+        let rec = recover_journal(&path).unwrap();
+        assert_eq!(rec.records.len(), 0);
+        assert_eq!(rec.quarantined_lines, 2);
+        assert!(read_journal(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_append_rolls_back_and_journal_stays_clean() {
+        let dir = tmpdir("torn-append");
+        let path = dir.join("serve.journal");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, Event::Dispatch, Phase::Queued, Phase::Running, None)
+            .unwrap();
+        // Every storage write tears: the append must fail but leave the
+        // journal exactly as it was, with seq unconsumed.
+        j.set_faults(Some(std::sync::Arc::new(pdf_chaos::FaultPlan::new(
+            3,
+            pdf_chaos::FaultSpec {
+                torn_write_per_mille: 1000,
+                ..pdf_chaos::FaultSpec::QUIET
+            },
+        ))));
+        let err = j
+            .append(1, Event::Finish, Phase::Running, Phase::Done, Some(1))
+            .unwrap_err();
+        assert!(pdf_chaos::is_injected(&err), "unexpected error {err}");
+        assert_eq!(j.next_seq(), 1);
+        j.set_faults(None);
+        let r = j
+            .append(1, Event::Finish, Phase::Running, Phase::Done, Some(1))
+            .unwrap();
+        assert_eq!(r.seq, 1);
+        assert_eq!(read_journal(&path).unwrap().len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

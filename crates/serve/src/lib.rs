@@ -62,12 +62,20 @@ pub mod lifecycle;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientError, ServeClient};
-pub use daemon::{checkpoint_dir, fleet_config, journal_path, Daemon, DaemonConfig, ServeError};
-pub use journal::{read_journal, Journal, JournalRecord, JOURNAL_HEADER};
+pub use client::{ClientError, RetryClient, RetryPolicy, ServeClient};
+pub use daemon::{
+    checkpoint_dir, fleet_config, journal_path, prev_checkpoint_dir, Daemon, DaemonConfig,
+    ServeError,
+};
+pub use journal::{
+    read_journal, recover_journal, Journal, JournalRecord, RecoveredJournal, JOURNAL_HEADER,
+};
 pub use lifecycle::{transition, Event, IllegalTransition, Phase, LEGAL_TRANSITIONS};
-pub use server::Server;
+// Re-exported so clients of this crate configure chaos/backoff without
+// naming pdf-chaos directly.
+pub use pdf_chaos::{Backoff, FaultPlan, FaultSpec};
+pub use server::{Server, ServerConfig};
 pub use wire::{
-    default_sync_every, parse_mode, status_fields, status_from_fields, CampaignSpec,
-    CampaignStatus, Request, Response, WireError, MAX_LINE, WIRE_HEADER,
+    default_sync_every, parse_mode, read_capped_line, status_fields, status_from_fields,
+    CampaignSpec, CampaignStatus, Request, Response, WireError, MAX_LINE, WIRE_HEADER,
 };

@@ -1,11 +1,30 @@
 //! The TCP front end: one listener, one thread per connection,
 //! `pdf-wire v1` framing over a shared [`Daemon`].
+//!
+//! Degradation posture (the [`ServerConfig`] knobs):
+//!
+//! - **Slowloris kill** — every connection gets a socket read timeout;
+//!   a peer that goes quiet mid-frame is answered with
+//!   `err code=timeout` and closed (`serve.conn_timeout` counts them).
+//! - **Connection cap** — past [`ServerConfig::max_conns`] open
+//!   connections, new ones are greeted, answered with
+//!   `err code=overloaded retry-after-ms=N` and closed
+//!   (`serve.conn_rejected`), so the daemon's thread count is bounded.
+//! - **Spawn failure** — a connection whose thread cannot be spawned is
+//!   dropped and counted (`serve.spawn_failed`), never a panic in the
+//!   accept loop.
+//! - **Wire faults** — with a [`FaultPlan`] installed, every socket
+//!   read and write consults it (short reads, delays, mid-stream
+//!   disconnects), which is how the chaos soak exercises all of the
+//!   above on a reproducible schedule.
 
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+use pdf_chaos::{ChaosReader, ChaosWriter, FaultPlan, OpKind};
 
 use crate::daemon::{Daemon, ServeError};
 use crate::wire::{
@@ -15,15 +34,45 @@ use crate::wire::{
 /// How often `watch` polls the campaign it is streaming.
 const WATCH_POLL: Duration = Duration::from_millis(25);
 
+/// Retry hint handed to connections rejected over the cap.
+const REJECT_RETRY_MS: u64 = 100;
+
+/// Front-end robustness knobs; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Socket read timeout per connection: how long a peer may sit
+    /// silent before it is answered `err code=timeout` and closed.
+    /// `None` waits forever (the pre-hardening behavior; tests only).
+    pub read_timeout: Option<Duration>,
+    /// Maximum simultaneously open connections; the rest are shed.
+    pub max_conns: usize,
+    /// Wire fault-injection plan for chaos testing; `None` (production)
+    /// injects nothing.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            max_conns: 64,
+            faults: None,
+        }
+    }
+}
+
 /// State shared between the server handle, the accept thread and every
 /// connection thread.
 #[derive(Debug)]
 struct Shared {
     daemon: Arc<Daemon>,
+    cfg: ServerConfig,
     stopping: AtomicBool,
-    /// One clone of every open connection's stream, so
-    /// [`Server::stop`] can force-unblock readers.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Open connections right now, for the admission cap.
+    active: AtomicUsize,
+    /// One clone of every open connection's stream keyed by connection
+    /// id, so [`Server::stop`] can force-unblock readers.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -33,6 +82,18 @@ impl Shared {
         self.stopping.store(true, Ordering::SeqCst);
         *self.done.lock().expect("server state poisoned") = true;
         self.done_cv.notify_all();
+    }
+
+    /// Drops (and shuts down) the registered clone of connection `id`.
+    /// Without this, a connection the *server* closes first lingers
+    /// half-open behind the clone — the peer never sees EOF — and a
+    /// long-lived daemon leaks one fd per connection ever served.
+    fn release(&self, id: u64) {
+        let mut conns = self.conns.lock().expect("server state poisoned");
+        if let Some(i) = conns.iter().position(|(cid, _)| *cid == id) {
+            let (_, stream) = conns.swap_remove(i);
+            let _ = stream.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -53,17 +114,32 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts
-    /// accepting connections.
+    /// accepting connections with the default [`ServerConfig`].
     ///
     /// # Errors
     ///
     /// I/O errors from the bind.
     pub fn start(daemon: Arc<Daemon>, addr: &str) -> std::io::Result<Server> {
+        Server::start_with(daemon, addr, ServerConfig::default())
+    }
+
+    /// [`start`](Server::start) with explicit robustness knobs.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the bind.
+    pub fn start_with(
+        daemon: Arc<Daemon>,
+        addr: &str,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             daemon,
+            cfg,
             stopping: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
@@ -112,7 +188,7 @@ impl Server {
         self.shared.finish();
         // Force-close open connections so their threads stop waiting on
         // clients that may never send another byte.
-        for s in self
+        for (_, s) in self
             .shared
             .conns
             .lock()
@@ -135,29 +211,61 @@ impl Drop for Server {
     }
 }
 
+/// Greets, sheds and closes a connection that arrived over the cap.
+fn reject_connection(mut stream: TcpStream) {
+    let resp = Response::Err {
+        code: "overloaded".to_string(),
+        retry_after_ms: Some(REJECT_RETRY_MS),
+        msg: "connection limit reached".to_string(),
+    };
+    let _ = writeln!(stream, "{WIRE_HEADER}");
+    let _ = stream.write_all(resp.encode().as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut next_conn: u64 = 0;
     for stream in listener.incoming() {
         if shared.stopping.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        if shared.active.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+            shared.daemon.registry().serve_conn_rejected.inc();
+            reject_connection(stream);
+            continue;
+        }
+        let conn_id = next_conn;
+        next_conn += 1;
         if let Ok(clone) = stream.try_clone() {
             shared
                 .conns
                 .lock()
                 .expect("server state poisoned")
-                .push(clone);
+                .push((conn_id, clone));
         }
-        let shared = Arc::clone(&shared);
-        threads.push(
-            std::thread::Builder::new()
-                .name("pdf-serve-conn".into())
-                .spawn(move || {
-                    let _ = serve_connection(stream, &shared);
-                })
-                .expect("spawn connection thread"),
-        );
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("pdf-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+                conn_shared.release(conn_id);
+                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(h) => threads.push(h),
+            Err(_) => {
+                // Thread exhaustion: shed this connection instead of
+                // panicking the accept loop; the counter tells the
+                // operator why clients saw a drop.
+                shared.release(conn_id);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.daemon.registry().serve_spawn_failed.inc();
+            }
+        }
         // Reap finished connection threads so a long-lived daemon does
         // not accumulate handles.
         threads.retain(|h| !h.is_finished());
@@ -169,16 +277,23 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 fn err_response(e: &ServeError) -> Response {
-    let code = match e {
-        ServeError::NoSuchCampaign(_) => "no-such-campaign",
-        ServeError::Illegal(_) => "illegal-transition",
-        ServeError::UnknownSubject(_) => "unknown-subject",
-        ServeError::BadSpec(_) => "bad-spec",
-        ServeError::Stopping => "stopping",
-    };
-    Response::Err {
-        code: code.to_string(),
-        msg: e.to_string(),
+    match e {
+        ServeError::Overloaded { retry_after_ms } => Response::Err {
+            code: "overloaded".to_string(),
+            retry_after_ms: Some(*retry_after_ms),
+            msg: e.to_string(),
+        },
+        _ => {
+            let code = match e {
+                ServeError::NoSuchCampaign(_) => "no-such-campaign",
+                ServeError::Illegal(_) => "illegal-transition",
+                ServeError::UnknownSubject(_) => "unknown-subject",
+                ServeError::BadSpec(_) => "bad-spec",
+                ServeError::Stopping => "stopping",
+                ServeError::Overloaded { .. } => unreachable!("handled above"),
+            };
+            Response::err(code, e.to_string())
+        }
     }
 }
 
@@ -200,19 +315,27 @@ fn status_or_missing(daemon: &Daemon, id: u64) -> Result<CampaignStatus, Respons
 
 fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     let daemon = &*shared.daemon;
-    let mut writer = stream.try_clone()?;
+    stream.set_read_timeout(shared.cfg.read_timeout)?;
+    stream.set_nodelay(true)?;
+    let plan = shared.cfg.faults.clone();
+    let mut writer = ChaosWriter::new(stream.try_clone()?, plan.clone(), OpKind::WireWrite);
     writeln!(writer, "{WIRE_HEADER}")?;
     writer.flush()?;
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(ChaosReader::new(stream, plan, OpKind::WireRead));
     loop {
         let line = match read_capped_line(&mut reader) {
             Ok(line) => line,
             Err(WireError::UnexpectedEof) => return Ok(()),
+            Err(WireError::Timeout) => {
+                // Slowloris defense: the peer went silent mid-session.
+                daemon.registry().serve_conn_timeouts.inc();
+                let resp = Response::err("timeout", "no complete frame before read timeout");
+                let _ = writer.write_all(resp.encode().as_bytes());
+                let _ = writer.flush();
+                return Ok(());
+            }
             Err(e) => {
-                let resp = Response::Err {
-                    code: "bad-request".to_string(),
-                    msg: e.to_string(),
-                };
+                let resp = Response::err("bad-request", e.to_string());
                 writer.write_all(resp.encode().as_bytes())?;
                 writer.flush()?;
                 return Ok(());
@@ -222,10 +345,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
             Ok(req) => req,
             Err(WireError::Empty) => continue,
             Err(e) => {
-                let resp = Response::Err {
-                    code: "bad-request".to_string(),
-                    msg: e.to_string(),
-                };
+                let resp = Response::err("bad-request", e.to_string());
                 writer.write_all(resp.encode().as_bytes())?;
                 writer.flush()?;
                 continue;

@@ -57,6 +57,10 @@ pub enum WireError {
     BadSpec(String),
     /// The peer closed the connection mid-frame.
     UnexpectedEof,
+    /// The read timed out before a complete frame arrived (the
+    /// server's slowloris defense surfaces this, as does a client-side
+    /// socket read timeout).
+    Timeout,
     /// A response frame was malformed.
     BadResponse(String),
 }
@@ -72,6 +76,7 @@ impl fmt::Display for WireError {
             WireError::BadValue { key, reason } => write!(f, "bad value for {key:?}: {reason}"),
             WireError::BadSpec(what) => write!(f, "bad campaign spec: {what}"),
             WireError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+            WireError::Timeout => write!(f, "read timed out mid-frame"),
             WireError::BadResponse(what) => write!(f, "bad response frame: {what}"),
         }
     }
@@ -101,6 +106,11 @@ pub struct CampaignSpec {
     /// submitter (`loadgen` asserts against it); the scheduler serves
     /// nearer deadlines first.
     pub deadline_ms: Option<u64>,
+    /// Client-chosen idempotency key (`key=` on the wire). A `submit`
+    /// whose key matches a campaign the daemon already holds returns
+    /// the *original* campaign id instead of forking a duplicate — the
+    /// safe-retry contract for clients that time out mid-submit.
+    pub idempotency_key: Option<String>,
 }
 
 /// The default epoch-slice length for a budget: an eighth of the
@@ -122,6 +132,7 @@ impl CampaignSpec {
             sync_every: default_sync_every(execs, 1),
             exec_mode: ExecMode::Full,
             deadline_ms: None,
+            idempotency_key: None,
         }
     }
 
@@ -147,6 +158,13 @@ impl CampaignSpec {
         }
         if self.sync_every == 0 {
             return Err(WireError::BadSpec("sync must be at least 1".into()));
+        }
+        if let Some(key) = &self.idempotency_key {
+            if !is_token(key) {
+                return Err(WireError::BadSpec(format!(
+                    "idempotency key {key:?} is not a bare token"
+                )));
+            }
         }
         Ok(())
     }
@@ -235,10 +253,24 @@ pub enum Response {
     Err {
         /// Stable kebab-case error code (`no-such-campaign`, ...).
         code: String,
+        /// For retryable failures (`overloaded`): how long the client
+        /// should wait before trying again, in milliseconds.
+        retry_after_ms: Option<u64>,
         /// Human-readable message (rest of the line, may contain
         /// spaces).
         msg: String,
     },
+}
+
+impl Response {
+    /// A plain, non-retryable `err` frame.
+    pub fn err(code: &str, msg: impl Into<String>) -> Response {
+        Response::Err {
+            code: code.to_string(),
+            retry_after_ms: None,
+            msg: msg.into(),
+        }
+    }
 }
 
 /// Whether `s` can be framed as a bare `k=v` value token.
@@ -375,6 +407,9 @@ impl Request {
                 if let Some(d) = spec.deadline_ms {
                     line.push_str(&format!(" deadline-ms={d}"));
                 }
+                if let Some(k) = &spec.idempotency_key {
+                    line.push_str(&format!(" key={k}"));
+                }
                 line
             }
             Request::Status { id } => format!("status id={id}"),
@@ -425,6 +460,7 @@ impl Request {
                         "sync",
                         "mode",
                         "deadline-ms",
+                        "key",
                     ],
                 )?;
                 let subject = require(&fields, "subject")?.to_string();
@@ -446,6 +482,7 @@ impl Request {
                     Some(v) => Some(parse_u64("deadline-ms", v)?),
                     None => None,
                 };
+                let idempotency_key = lookup(&fields, "key").map(str::to_string);
                 let spec = CampaignSpec {
                     subject,
                     seed,
@@ -454,6 +491,7 @@ impl Request {
                     sync_every,
                     exec_mode,
                     deadline_ms,
+                    idempotency_key,
                 };
                 spec.validate()?;
                 Ok(Request::Submit(spec))
@@ -488,7 +526,7 @@ fn encode_fields(tag: &str, fields: &[(String, String)]) -> String {
 }
 
 /// Every key a status/ok/item/end frame may carry.
-pub(crate) const RESPONSE_KEYS: [&str; 18] = [
+pub(crate) const RESPONSE_KEYS: [&str; 19] = [
     "id",
     "state",
     "subject",
@@ -498,6 +536,7 @@ pub(crate) const RESPONSE_KEYS: [&str; 18] = [
     "sync",
     "mode",
     "deadline-ms",
+    "key",
     "epoch",
     "spent",
     "valid",
@@ -517,9 +556,16 @@ impl Response {
             Response::Ok(fields) => encode_fields("ok", fields) + "\n",
             Response::Item(fields) => encode_fields("item", fields) + "\n",
             Response::End(fields) => encode_fields("end", fields) + "\n",
-            Response::Err { code, msg } => {
+            Response::Err {
+                code,
+                retry_after_ms,
+                msg,
+            } => {
                 debug_assert!(is_token(code), "unencodable error code {code:?}");
-                format!("err code={code} msg={msg}\n")
+                match retry_after_ms {
+                    Some(ms) => format!("err code={code} retry-after-ms={ms} msg={msg}\n"),
+                    None => format!("err code={code} msg={msg}\n"),
+                }
             }
             Response::Blob(lines) => {
                 let mut out = format!("blob n={}\n", lines.len());
@@ -555,9 +601,12 @@ impl Response {
             "item" => Ok(Response::Item(parse_fields(rest, &keys)?)),
             "end" => Ok(Response::End(parse_fields(rest, &keys)?)),
             "err" => {
-                let fields = parse_fields(rest, &["code", "msg"])?;
+                let fields = parse_fields(rest, &["code", "retry-after-ms", "msg"])?;
                 Ok(Response::Err {
                     code: require(&fields, "code")?.to_string(),
+                    retry_after_ms: lookup(&fields, "retry-after-ms")
+                        .map(|v| parse_u64("retry-after-ms", v))
+                        .transpose()?,
                     msg: lookup(&fields, "msg").unwrap_or("").to_string(),
                 })
             }
@@ -590,14 +639,28 @@ impl Response {
 pub fn read_capped_line<R: BufRead>(reader: &mut R) -> Result<String, WireError> {
     let mut buf = Vec::new();
     let mut limited = <&mut R as std::io::Read>::take(reader, (MAX_LINE + 2) as u64);
-    let n = limited
-        .read_until(b'\n', &mut buf)
-        .map_err(|e| WireError::BadResponse(format!("io: {e}")))?;
+    let n = limited.read_until(b'\n', &mut buf).map_err(|e| {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => WireError::Timeout,
+            // A connection that dies mid-frame is a (dirty) EOF, not a
+            // protocol violation — callers retry or close, not complain.
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => WireError::UnexpectedEof,
+            _ => WireError::BadResponse(format!("io: {e}")),
+        }
+    })?;
     if n == 0 {
         return Err(WireError::UnexpectedEof);
     }
     if buf.len() > MAX_LINE {
         return Err(WireError::TooLong(buf.len()));
+    }
+    // EOF mid-frame: a torn write delivered a prefix with no newline.
+    // That prefix must never parse as a complete frame — `ok id=` cut
+    // from `ok id=35` is a *different*, wrong message.
+    if buf.last() != Some(&b'\n') {
+        return Err(WireError::UnexpectedEof);
     }
     String::from_utf8(buf).map_err(|_| WireError::BadResponse("frame is not UTF-8".into()))
 }
@@ -620,6 +683,9 @@ pub fn status_fields(s: &CampaignStatus) -> Vec<(String, String)> {
     ];
     if let Some(d) = s.spec.deadline_ms {
         fields.push(("deadline-ms".to_string(), d.to_string()));
+    }
+    if let Some(k) = &s.spec.idempotency_key {
+        fields.push(("key".to_string(), k.clone()));
     }
     if let Some(d) = s.digest {
         fields.push(("digest".to_string(), format!("{d:016x}")));
@@ -668,6 +734,7 @@ pub fn status_from_fields(fields: &[(String, String)]) -> Result<CampaignStatus,
             deadline_ms: lookup(fields, "deadline-ms")
                 .map(|v| parse_u64("deadline-ms", v))
                 .transpose()?,
+            idempotency_key: lookup(fields, "key").map(str::to_string),
         },
         epoch: parse_u64("epoch", require(fields, "epoch")?)?,
         spent: parse_u64("spent", require(fields, "spent")?)?,
@@ -691,6 +758,7 @@ mod tests {
             sync_every: 250,
             exec_mode: ExecMode::Tiered,
             deadline_ms: Some(9000),
+            idempotency_key: Some("retry-7".into()),
         }
     }
 
@@ -793,9 +861,11 @@ mod tests {
                 "counter name=execs value=1".into(),
             ]),
             Response::Blob(Vec::new()),
+            Response::err("no-such-campaign", "campaign 99 does not exist"),
             Response::Err {
-                code: "no-such-campaign".into(),
-                msg: "campaign 99 does not exist".into(),
+                code: "overloaded".into(),
+                retry_after_ms: Some(250),
+                msg: "queue is full".into(),
             },
         ];
         for resp in resps {

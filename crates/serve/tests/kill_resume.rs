@@ -30,6 +30,7 @@ fn spec(subject: &str, seed: u64) -> CampaignSpec {
         sync_every: 50,
         exec_mode: pdf_core::ExecMode::Full,
         deadline_ms: None,
+        idempotency_key: None,
     }
 }
 

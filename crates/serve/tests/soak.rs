@@ -37,6 +37,7 @@ fn spec_for(i: u64) -> CampaignSpec {
         sync_every: 30,
         exec_mode: pdf_core::ExecMode::Full,
         deadline_ms: None,
+        idempotency_key: None,
     }
 }
 

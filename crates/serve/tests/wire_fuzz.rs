@@ -1,0 +1,220 @@
+//! Wire-robustness fuzz: a few hundred seeded hostile frames — binary
+//! garbage, mutated near-valid commands, oversized lines past the
+//! 64 KiB cap — thrown at a live server over real sockets. The
+//! contract for every frame: the server answers with a clean `err`
+//! frame or closes the connection; it never panics, never wedges, and
+//! afterwards keeps serving well-formed clients perfectly. Companion
+//! client-side tests pin the `MAX_LINE` cap itself.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pdf_serve::{
+    read_capped_line, CampaignSpec, Daemon, DaemonConfig, Phase, Response, ServeClient, Server,
+    WireError, MAX_LINE,
+};
+
+/// Deterministic byte source (splitmix-style LCG).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Near-valid command templates the mutator starts from. None may
+/// mutate into `shutdown` (no template shares its prefix), and the
+/// submit lines name subjects that fail validation, so the fuzz loop
+/// cannot start real work behind the test's back.
+const TEMPLATES: [&str; 8] = [
+    "status id=1",
+    "pause id=999",
+    "resume id=0",
+    "cancel id=18446744073709551615",
+    "watch id=nope",
+    "submit subject=no-such-subject seed=1 execs=10 shards=1 sync=5 mode=full",
+    "submit subject= seed= execs=",
+    "list extra=field",
+];
+
+fn hostile_frame(rng: &mut Lcg) -> Vec<u8> {
+    match rng.below(4) {
+        // Raw binary garbage, newline-terminated.
+        0 => {
+            let len = rng.below(200) as usize;
+            let mut f: Vec<u8> = (0..len)
+                .map(|_| {
+                    let b = (rng.next() & 0xff) as u8;
+                    if b == b'\n' {
+                        0xfe
+                    } else {
+                        b
+                    }
+                })
+                .collect();
+            f.push(b'\n');
+            f
+        }
+        // A template with a few byte flips.
+        1 => {
+            let mut f = TEMPLATES[rng.below(TEMPLATES.len() as u64) as usize]
+                .as_bytes()
+                .to_vec();
+            for _ in 0..=rng.below(3) {
+                let i = rng.below(f.len() as u64) as usize;
+                f[i] = (rng.next() & 0x7f) as u8;
+                if f[i] == b'\n' {
+                    f[i] = b'?';
+                }
+            }
+            f.push(b'\n');
+            f
+        }
+        // A truncated template (torn frame, then the newline).
+        2 => {
+            let t = TEMPLATES[rng.below(TEMPLATES.len() as u64) as usize].as_bytes();
+            let cut = 1 + rng.below(t.len() as u64 - 1) as usize;
+            let mut f = t[..cut].to_vec();
+            f.push(b'\n');
+            f
+        }
+        // An empty or whitespace-only line.
+        _ => b"   \n".to_vec(),
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).unwrap();
+    assert!(
+        greeting.starts_with("pdf-wire"),
+        "bad greeting {greeting:?}"
+    );
+    (stream, reader)
+}
+
+#[test]
+fn hundreds_of_hostile_frames_never_wedge_the_server() {
+    let daemon = Arc::new(Daemon::open(DaemonConfig::in_memory(2)).unwrap());
+    let mut server = Server::start(Arc::clone(&daemon), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut rng = Lcg(0xF022_5EED);
+    let (mut stream, mut reader) = connect(&addr);
+    let mut err_frames = 0u64;
+    let mut closes = 0u64;
+    for _ in 0..400 {
+        let frame = hostile_frame(&mut rng);
+        if stream.write_all(&frame).is_err() {
+            // The server already closed on an earlier frame; re-dial.
+            closes += 1;
+            (stream, reader) = connect(&addr);
+            continue;
+        }
+        // The probe: a well-formed ping after the hostile frame. The
+        // server must reach it (answering `ok`) or have closed the
+        // connection cleanly — anything else (a hang, a panic, a
+        // mangled frame) fails here.
+        if stream.write_all(b"ping\n").is_err() {
+            closes += 1;
+            (stream, reader) = connect(&addr);
+            continue;
+        }
+        loop {
+            match Response::read(&mut reader) {
+                Ok(Response::Ok(_)) => break, // the ping's answer
+                Ok(Response::Err { .. }) => err_frames += 1,
+                // item/end/blob: a mutation landed on a valid command.
+                Ok(_) => {}
+                Err(WireError::UnexpectedEof) => {
+                    closes += 1;
+                    (stream, reader) = connect(&addr);
+                    break;
+                }
+                Err(e) => panic!("server wedged or broke framing: {e}"),
+            }
+        }
+    }
+    eprintln!("wire fuzz: {err_frames} err frames, {closes} clean closes");
+
+    // An oversized line (past the 64 KiB cap) must be shed without
+    // buffering it all, then the connection dropped.
+    let (mut stream, mut reader) = connect(&addr);
+    let big = vec![b'a'; MAX_LINE + 4096];
+    // The server may close mid-write; either way no panic and no hang.
+    let _ = stream.write_all(&big);
+    let _ = stream.write_all(b"\n");
+    let mut rest = String::new();
+    let got = reader.read_to_string(&mut rest);
+    assert!(
+        got.is_err() || rest.starts_with("err") || rest.is_empty(),
+        "oversized line was not rejected: {rest:?}"
+    );
+
+    // After all of it, the daemon still does real work end to end.
+    let mut client = ServeClient::connect(&addr).unwrap();
+    client.ping().unwrap();
+    let id = client.submit(&CampaignSpec::new("arith", 5, 60)).unwrap();
+    let done = client.wait_terminal(id, Duration::from_secs(60)).unwrap();
+    assert_eq!(done.phase, Phase::Done);
+    assert_eq!(daemon.busy_slots(), 0);
+
+    server.stop();
+    daemon.shutdown();
+}
+
+#[test]
+fn read_capped_line_enforces_the_cap_and_rejects_torn_frames() {
+    // At the cap: fine.
+    let exact = format!("{}\n", "x".repeat(MAX_LINE - 1));
+    let mut r = BufReader::new(exact.as_bytes());
+    assert_eq!(read_capped_line(&mut r).unwrap().len(), MAX_LINE);
+
+    // One past the cap: rejected with the oversize error, not truncated.
+    let over = format!("{}\n", "x".repeat(MAX_LINE + 1));
+    let mut r = BufReader::new(over.as_bytes());
+    assert!(matches!(
+        read_capped_line(&mut r),
+        Err(WireError::TooLong(_))
+    ));
+
+    // Oversized with no newline at all (slowloris-style): also rejected
+    // without waiting for a terminator that never comes.
+    let endless = "y".repeat(MAX_LINE + 4096);
+    let mut r = BufReader::new(endless.as_bytes());
+    assert!(matches!(
+        read_capped_line(&mut r),
+        Err(WireError::TooLong(_))
+    ));
+
+    // A torn frame — bytes then EOF, no newline — is a dirty EOF, not
+    // a parseable line.
+    let mut r = BufReader::new(&b"ok id="[..]);
+    assert!(matches!(
+        read_capped_line(&mut r),
+        Err(WireError::UnexpectedEof)
+    ));
+
+    // Non-UTF-8 is a framing error, not a panic.
+    let mut r = BufReader::new(&[0xff, 0xfe, 0x41, b'\n'][..]);
+    assert!(matches!(
+        read_capped_line(&mut r),
+        Err(WireError::BadResponse(_))
+    ));
+}

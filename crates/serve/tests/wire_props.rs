@@ -35,10 +35,15 @@ fn spec() -> impl Strategy<Value = CampaignSpec> {
         (token(), any::<u64>()),
         (1u64..1_000_000, 1u64..9, 1u64..10_000),
         exec_mode(),
-        (0u64..2, 1u64..1_000_000),
+        ((0u64..2, 1u64..1_000_000), (0u64..2, token())),
     )
         .prop_map(
-            |((subject, seed), (execs, shards, sync_every), mode, (has_dl, dl))| CampaignSpec {
+            |(
+                (subject, seed),
+                (execs, shards, sync_every),
+                mode,
+                ((has_dl, dl), (has_key, key)),
+            )| CampaignSpec {
                 subject,
                 seed,
                 execs,
@@ -46,6 +51,7 @@ fn spec() -> impl Strategy<Value = CampaignSpec> {
                 sync_every,
                 exec_mode: mode,
                 deadline_ms: (has_dl == 1).then_some(dl),
+                idempotency_key: (has_key == 1).then_some(key),
             },
         )
 }
