@@ -35,7 +35,7 @@ mod bitmap;
 mod mutate;
 
 pub use bitmap::CoverageBitmap;
-pub use mutate::{havoc, splice, MutationOp};
+pub use mutate::{havoc, havoc_preserving, splice, MutationOp};
 
 use pdf_runtime::{BranchSet, CovExecution, Digest, PhaseClock, Rng, RunStats, Subject};
 
@@ -61,6 +61,12 @@ pub struct AflConfig {
     /// inserts and overwrites with these tokens. Used by the ablation
     /// that revisits the paper's AFL-CTP discussion (Section 6).
     pub dictionary: Vec<Vec<u8>>,
+    /// Schedule dictionary mutations *last* in each havoc case
+    /// ([`havoc_preserving`]) instead of mixing them into the rotation,
+    /// so planted tokens survive the byte-level stack (the
+    /// `preserving_tokens` preset of token-discovery fuzzers). No effect
+    /// with an empty dictionary.
+    pub preserve_tokens: bool,
 }
 
 impl Default for AflConfig {
@@ -74,6 +80,7 @@ impl Default for AflConfig {
             deterministic: true,
             max_input_len: 256,
             dictionary: Vec::new(),
+            preserve_tokens: false,
         }
     }
 }
@@ -97,6 +104,12 @@ impl AflConfig {
         d.write_u64(self.dictionary.len() as u64);
         for t in &self.dictionary {
             d.write_bytes(t);
+        }
+        // Folded in only when set, so hashes recorded before the
+        // preserving schedule existed keep verifying byte-for-byte.
+        if self.preserve_tokens {
+            d.write_str("preserve-tokens");
+            d.write_u8(1);
         }
         d.finish()
     }
@@ -209,13 +222,7 @@ impl AflFuzzer {
                 if report.execs >= self.cfg.max_execs {
                     break;
                 }
-                let case = havoc(
-                    &base,
-                    self.cfg.havoc_stack,
-                    self.cfg.max_input_len,
-                    &self.cfg.dictionary,
-                    &mut self.rng,
-                );
+                let case = self.havoc_case(&base);
                 self.try_case(
                     case,
                     &mut report,
@@ -228,13 +235,7 @@ impl AflFuzzer {
             if queue.len() >= 2 && report.execs < self.cfg.max_execs {
                 let other = queue[self.rng.gen_range(0, queue.len())].clone();
                 let case = splice(&base, &other, &mut self.rng);
-                let case = havoc(
-                    &case,
-                    self.cfg.havoc_stack,
-                    self.cfg.max_input_len,
-                    &self.cfg.dictionary,
-                    &mut self.rng,
-                );
+                let case = self.havoc_case(&case);
                 self.try_case(
                     case,
                     &mut report,
@@ -257,6 +258,30 @@ impl AflFuzzer {
         report.stats.wall_secs = wall;
         report.stats.phases = phases;
         report
+    }
+
+    /// One havoc case under the configured schedule: the mixed rotation
+    /// by default, the token-preserving schedule (dictionary operator
+    /// last) when [`AflConfig::preserve_tokens`] is set.
+    fn havoc_case(&mut self, base: &[u8]) -> Vec<u8> {
+        if self.cfg.preserve_tokens && !self.cfg.dictionary.is_empty() {
+            pdf_obs::record(|m| m.tokens_dict_mutations.inc());
+            mutate::havoc_preserving(
+                base,
+                self.cfg.havoc_stack,
+                self.cfg.max_input_len,
+                &self.cfg.dictionary,
+                &mut self.rng,
+            )
+        } else {
+            havoc(
+                base,
+                self.cfg.havoc_stack,
+                self.cfg.max_input_len,
+                &self.cfg.dictionary,
+                &mut self.rng,
+            )
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -401,6 +426,52 @@ mod tests {
             ..base.clone()
         };
         assert_ne!(base.config_hash(), with_dict.config_hash());
+        let preserving = AflConfig {
+            preserve_tokens: true,
+            ..with_dict.clone()
+        };
+        assert_ne!(with_dict.config_hash(), preserving.config_hash());
+    }
+
+    #[test]
+    fn preserving_campaign_is_deterministic_per_seed() {
+        let cfg = AflConfig {
+            seed: 13,
+            max_execs: 1_500,
+            dictionary: vec![b"true".to_vec(), b"null".to_vec()],
+            preserve_tokens: true,
+            ..AflConfig::default()
+        };
+        let a = AflFuzzer::new(pdf_subjects::json::subject(), cfg.clone()).run();
+        let b = AflFuzzer::new(pdf_subjects::json::subject(), cfg).run();
+        assert_eq!(a.valid_inputs, b.valid_inputs);
+        assert_eq!(a.stats.decision_digest, b.stats.decision_digest);
+    }
+
+    #[test]
+    fn preserving_schedule_finds_json_keywords() {
+        // the point of the preserving schedule: whole keywords survive
+        // into cases, so a keyword-bearing valid input shows up inside a
+        // budget where the mixed rotation rarely composes one
+        let cfg = AflConfig {
+            seed: 2,
+            max_execs: 20_000,
+            dictionary: vec![b"true".to_vec(), b"false".to_vec(), b"null".to_vec()],
+            preserve_tokens: true,
+            ..AflConfig::default()
+        };
+        let report = AflFuzzer::new(pdf_subjects::json::subject(), cfg).run();
+        let joined: Vec<String> = report
+            .valid_inputs
+            .iter()
+            .map(|i| String::from_utf8_lossy(i).into_owned())
+            .collect();
+        assert!(
+            joined
+                .iter()
+                .any(|s| s.contains("true") || s.contains("false") || s.contains("null")),
+            "no keyword-bearing valid input: {joined:?}"
+        );
     }
 
     #[test]

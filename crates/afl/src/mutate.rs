@@ -163,6 +163,48 @@ pub fn havoc(base: &[u8], stack: u32, max_len: usize, dict: &[Vec<u8>], rng: &mu
     out
 }
 
+/// Token-preserving havoc: the plain havoc stack first, then exactly one
+/// dictionary operator *last*, so the token survives into the generated
+/// case instead of being shredded by later byte-level mutations (the
+/// `preserving_tokens` schedule of LibAFL-style token-discovery
+/// fuzzers). With an empty dictionary this is plain [`havoc`].
+///
+/// ```
+/// use pdf_afl::havoc_preserving;
+/// use pdf_runtime::Rng;
+///
+/// let dict = vec![b"while".to_vec()];
+/// let mut rng = Rng::new(7);
+/// let mut hit = false;
+/// for _ in 0..50 {
+///     let out = havoc_preserving(b"x = 1;", 6, 64, &dict, &mut rng);
+///     hit |= out.windows(5).any(|w| w == b"while");
+/// }
+/// assert!(hit, "the final dictionary stage plants whole tokens");
+/// ```
+pub fn havoc_preserving(
+    base: &[u8],
+    stack: u32,
+    max_len: usize,
+    dict: &[Vec<u8>],
+    rng: &mut Rng,
+) -> Vec<u8> {
+    // byte-level stack with the dictionary withheld from the rotation
+    let mut out = havoc(base, stack, max_len, &[], rng);
+    if !dict.is_empty() {
+        let op = if rng.chance(1, 2) {
+            MutationOp::InsertDict
+        } else {
+            MutationOp::OverwriteDict
+        };
+        apply_op(op, &mut out, dict, rng);
+        if out.len() > max_len {
+            out.truncate(max_len);
+        }
+    }
+    out
+}
+
 /// AFL's splice stage: the head of one input glued to the tail of
 /// another.
 pub fn splice(a: &[u8], b: &[u8], rng: &mut Rng) -> Vec<u8> {
@@ -317,6 +359,51 @@ mod tests {
             }
         }
         assert!(hit, "dictionary token never inserted");
+    }
+
+    #[test]
+    fn preserving_havoc_ends_with_a_whole_token() {
+        // the dictionary stage runs last, so cases carry intact tokens
+        // far more reliably than the mixed rotation
+        let dict = vec![b"instanceof".to_vec()];
+        let mut rng = Rng::new(17);
+        let mut intact = 0;
+        const ROUNDS: usize = 200;
+        for _ in 0..ROUNDS {
+            let out = havoc_preserving(b"a+b", 6, 64, &dict, &mut rng);
+            if out.windows(10).any(|w| w == b"instanceof") {
+                intact += 1;
+            }
+        }
+        assert!(
+            intact > ROUNDS / 4,
+            "only {intact}/{ROUNDS} cases kept the token intact"
+        );
+    }
+
+    #[test]
+    fn preserving_havoc_with_empty_dict_is_plain_havoc() {
+        let mut r1 = Rng::new(41);
+        let mut r2 = Rng::new(41);
+        for _ in 0..50 {
+            assert_eq!(
+                havoc_preserving(b"abc", 6, 64, &[], &mut r1),
+                havoc(b"abc", 6, 64, &[], &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn preserving_havoc_is_deterministic_per_seed() {
+        let dict = vec![b"null".to_vec(), b"true".to_vec()];
+        let mut r1 = Rng::new(23);
+        let mut r2 = Rng::new(23);
+        for _ in 0..50 {
+            assert_eq!(
+                havoc_preserving(b"xy", 4, 32, &dict, &mut r1),
+                havoc_preserving(b"xy", 4, 32, &dict, &mut r2)
+            );
+        }
     }
 
     #[test]

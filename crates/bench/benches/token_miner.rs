@@ -1,0 +1,58 @@
+//! The token-discovery pipeline: prints the mined-inventory scorecard
+//! for tinyC (the EXPERIMENTS.md "Token discovery" study at bench
+//! scale), then measures the miner's two hot paths — absorbing
+//! observations and reducing them to a ranked dictionary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdf_bench::bench_execs;
+use pdf_tokens::TokenMiner;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let info = pdf_subjects::by_name("tinyC").unwrap();
+    let (dict, row) = pdf_eval::mine_subject_dictionary(&info, bench_execs() * 4, 1);
+    println!(
+        "tinyC mined dictionary ({} execs): {} tokens, inventory len>=2 {}/{} len>=4 {}/{}",
+        row.execs, row.mined, row.multi.0, row.multi.1, row.long.0, row.long.1
+    );
+    println!(
+        "  tokens: {}",
+        dict.tokens()
+            .iter()
+            .map(|t| String::from_utf8_lossy(t).into_owned())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // a realistic observation stream: keyword comparisons + a corpus
+    // of small programs sharing recurring substrings
+    let comparisons: Vec<&[u8]> = vec![b"while", b"if", b"else", b"do", b"=="];
+    let corpus: Vec<Vec<u8>> = (0..64)
+        .map(|i| format!("{{ a = {i} ; while ( a < 9 ) a = a + 1 ; }}").into_bytes())
+        .collect();
+
+    c.bench_function("token_miner/observe", |b| {
+        b.iter(|| {
+            let mut miner = TokenMiner::new();
+            for tok in &comparisons {
+                miner.observe_comparison(black_box(tok));
+            }
+            for input in &corpus {
+                miner.observe_corpus_input(black_box(input));
+            }
+            miner.comparison_observations()
+        })
+    });
+
+    let mut warm = TokenMiner::new();
+    for tok in &comparisons {
+        warm.observe_comparison(tok);
+    }
+    for input in &corpus {
+        warm.observe_corpus_input(input);
+    }
+    c.bench_function("token_miner/mine", |b| b.iter(|| warm.mine().len()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

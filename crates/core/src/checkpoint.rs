@@ -124,6 +124,12 @@ pub struct Checkpoint {
     /// Last-comparison fingerprints the tiered filter has already
     /// escalated, sorted. Empty outside tiered mode.
     pub tier_fingerprints: Vec<u64>,
+    /// Expected-token observation counts mined so far
+    /// ([`DriverConfig::mine_tokens`](crate::DriverConfig::mine_tokens)),
+    /// in canonical (byte-sorted) token order. Empty unless mining is
+    /// enabled, so non-mining checkpoints stay byte-identical to
+    /// releases that predate token discovery.
+    pub mined: Vec<(Vec<u8>, u64)>,
     /// The candidate queue.
     pub queue: QueueSnapshot,
 }
@@ -335,6 +341,9 @@ impl Checkpoint {
         for input in &self.known_invalid {
             let _ = writeln!(out, "inv hex={}", hex_encode(input));
         }
+        for (tok, n) in &self.mined {
+            let _ = writeln!(out, "mine n={n} hex={}", hex_encode(tok));
+        }
         for (hash, n) in &self.queue.path_counts {
             let _ = writeln!(out, "path hash={hash:016x} n={n}");
         }
@@ -433,6 +442,11 @@ impl Checkpoint {
                     ck.known_invalid
                         .push(rec.bytes_of("hex").ok_or_else(|| err("bad hex"))?);
                 }
+                "mine" => {
+                    let n = rec.u64_of("n").ok_or_else(|| err("bad n"))?;
+                    let tok = rec.bytes_of("hex").ok_or_else(|| err("bad hex"))?;
+                    ck.mined.push((tok, n));
+                }
                 "tier" => {
                     ck.tier_max_rejection = match rec.get("maxrej") {
                         Some("-") => None,
@@ -510,6 +524,7 @@ mod tests {
             known_invalid: vec![b"(".to_vec(), b")".to_vec()],
             tier_max_rejection: Some(4),
             tier_fingerprints: vec![0x11, 0x22, 0x33],
+            mined: Vec::new(),
             queue: QueueSnapshot {
                 seq: 9,
                 last_vbr_len: 2,
@@ -596,6 +611,20 @@ mod tests {
         ck.tier_fingerprints = Vec::new();
         let decoded = Checkpoint::decode(&ck.encode()).expect("decodes");
         assert_eq!(ck, decoded);
+    }
+
+    #[test]
+    fn mine_records_round_trip_and_default_to_absent() {
+        // non-mining checkpoints must stay byte-identical to the
+        // pre-token format
+        let ck = sample();
+        assert!(ck.mined.is_empty());
+        assert!(!ck.encode().contains("mine "), "spurious mine record");
+
+        let mut mined = sample();
+        mined.mined = vec![(b"while".to_vec(), 7), (b"}".to_vec(), 1)];
+        let decoded = Checkpoint::decode(&mined.encode()).expect("decodes");
+        assert_eq!(mined, decoded);
     }
 
     #[test]

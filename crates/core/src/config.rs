@@ -164,6 +164,17 @@ pub struct DriverConfig {
     /// Instrumentation tiering for candidate executions (see
     /// [`ExecMode`]).
     pub exec_mode: ExecMode,
+    /// Token dictionary for multi-byte substitution: at each rejection
+    /// point the driver additionally tries replacing the rejected suffix
+    /// with each whole dictionary token (where the baseline substitutes
+    /// one character at a time). Empty disables the stage and keeps
+    /// campaign digests byte-identical to earlier releases.
+    pub dictionary: Vec<Vec<u8>>,
+    /// Mine tokens while fuzzing: record the expected strings of failed
+    /// comparisons and every recorded valid input into the campaign's
+    /// token counts (surfaced via `FuzzReport::mined_tokens` and the
+    /// checkpoint). Observation only — does not alter the search.
+    pub mine_tokens: bool,
 }
 
 impl Default for DriverConfig {
@@ -179,6 +190,8 @@ impl Default for DriverConfig {
             trace: false,
             sink: SinkMode::default(),
             exec_mode: ExecMode::default(),
+            dictionary: Vec::new(),
+            mine_tokens: false,
         }
     }
 }
@@ -241,6 +254,20 @@ impl DriverConfig {
                 d.write_str("exec-mode");
                 d.write_u8(2);
             }
+        }
+        // Same back-compat discipline as `exec_mode`: the dictionary and
+        // the mining flag fold in only when non-default, so pre-token
+        // hashes keep verifying byte-for-byte.
+        if !self.dictionary.is_empty() {
+            d.write_str("dictionary");
+            d.write_u64(self.dictionary.len() as u64);
+            for tok in &self.dictionary {
+                d.write_bytes(tok);
+            }
+        }
+        if self.mine_tokens {
+            d.write_str("mine-tokens");
+            d.write_u8(1);
         }
         d.finish()
     }
@@ -332,9 +359,30 @@ mod tests {
                 exec_mode: ExecMode::Tiered,
                 ..DriverConfig::default()
             },
+            DriverConfig {
+                dictionary: vec![b"while".to_vec()],
+                ..DriverConfig::default()
+            },
+            DriverConfig {
+                mine_tokens: true,
+                ..DriverConfig::default()
+            },
         ];
         for v in variants {
             assert_ne!(v.config_hash(), base, "{v:?} hashed same as default");
         }
+    }
+
+    #[test]
+    fn config_hash_sees_dictionary_order() {
+        let a = DriverConfig {
+            dictionary: vec![b"if".to_vec(), b"while".to_vec()],
+            ..DriverConfig::default()
+        };
+        let b = DriverConfig {
+            dictionary: vec![b"while".to_vec(), b"if".to_vec()],
+            ..DriverConfig::default()
+        };
+        assert_ne!(a.config_hash(), b.config_hash());
     }
 }

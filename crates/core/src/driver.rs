@@ -1,12 +1,12 @@
 //! The fuzzing driver: Algorithm 1 of the paper.
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::path::Path;
 use std::time::Instant;
 
 use pdf_runtime::{
-    digest_bytes, BranchSet, Candidate, Digest, ExecArena, FailureExecution, FailureSummary,
-    FastExecution, PhaseClock, Rng, RunStats, Subject,
+    digest_bytes, BranchSet, Candidate, CmpValue, Digest, ExecArena, FailureExecution,
+    FailureSummary, FastExecution, PhaseClock, Rng, RunStats, Subject,
 };
 
 use crate::budget::{CampaignBudget, StopReason, DEADLINE_CHECK_INTERVAL};
@@ -65,6 +65,13 @@ pub struct FuzzReport {
     /// through [`Fuzzer::replaying`] re-executes the campaign exactly,
     /// without an RNG.
     pub decisions: Vec<u8>,
+    /// Expected-token observations mined while fuzzing
+    /// ([`DriverConfig::mine_tokens`]): the full expected strings of
+    /// failed string comparisons at rejection points, with occurrence
+    /// counts, in canonical (byte-sorted) order. Empty unless mining was
+    /// enabled. Feed these to `pdf_tokens::TokenMiner` together with
+    /// `valid_inputs` to build a dictionary.
+    pub mined_tokens: Vec<(Vec<u8>, u64)>,
 }
 
 impl FuzzReport {
@@ -112,6 +119,16 @@ impl FuzzReport {
         d.write_u64(self.stats.queue_depth as u64);
         d.write_u64(self.stats.decisions);
         d.write_u64(self.stats.decision_digest);
+        // Folded in only when mining ran, so digests of campaigns without
+        // token mining stay byte-identical to pre-token releases.
+        if !self.mined_tokens.is_empty() {
+            d.write_str("mined-tokens");
+            d.write_u64(self.mined_tokens.len() as u64);
+            for (tok, count) in &self.mined_tokens {
+                d.write_bytes(tok);
+                d.write_u64(*count);
+            }
+        }
         d.finish()
     }
 }
@@ -253,6 +270,14 @@ fn synthesize_failure(fast: &FastExecution) -> FailureExecution {
             }
         });
     }
+    let expected_tokens = match &f.last_failed {
+        Some(CmpValue::Str { full, .. }) if full.len() >= 2 => vec![full.clone()],
+        _ => Vec::new(),
+    };
+    let accepted_first = match (f.rejection_index, &f.last_failed) {
+        (Some(_), Some(expected)) => expected.accepted_first().into_iter().collect(),
+        _ => Vec::new(),
+    };
     FailureExecution {
         valid: fast.valid,
         error: fast.error(),
@@ -263,6 +288,8 @@ fn synthesize_failure(fast: &FastExecution) -> FailureExecution {
             path_hash: f.last_cmp_fingerprint,
             rejection_index: f.rejection_index,
             candidates,
+            expected_tokens,
+            accepted_first,
             avg_stack_size: f.avg_stack_size,
             eof_access: f.eof_access,
             events: f.events,
@@ -306,6 +333,10 @@ struct CampaignState {
     /// Escalation-filter state ([`ExecMode::Tiered`] only; stays at its
     /// default in the other modes).
     tier: TierState,
+    /// Expected-token observation counts ([`DriverConfig::mine_tokens`]
+    /// only; stays empty otherwise). `BTreeMap` so the report and
+    /// checkpoint emit tokens in canonical order.
+    mined: BTreeMap<Vec<u8>, u64>,
     /// Whether the initial input (Algorithm 1, line 4) was drawn yet.
     /// Priming lazily — on the first `run_until` call rather than at
     /// construction — keeps construction free of RNG draws, so a
@@ -326,6 +357,7 @@ impl CampaignState {
                 trace: Vec::new(),
                 stats: RunStats::default(),
                 decisions: Vec::new(),
+                mined_tokens: Vec::new(),
             },
             queue: CandidateQueue::new(heuristic),
             known_invalid: HashSet::new(),
@@ -333,6 +365,7 @@ impl CampaignState {
             current: Vec::new(),
             parents: 0,
             tier: TierState::default(),
+            mined: BTreeMap::new(),
             primed: false,
         }
     }
@@ -560,6 +593,7 @@ impl Fuzzer {
                 let exec = clock.time("execute", || {
                     self.execute(&mut st.report, &mut st.tier, &st.current)
                 });
+                self.mine_tokens_from(&mut st.mined, &exec);
                 if !exec.valid {
                     st.known_invalid.insert(st.current.clone());
                 }
@@ -592,6 +626,7 @@ impl Fuzzer {
                 let exec2 = clock.time("execute", || {
                     self.execute(&mut st.report, &mut st.tier, &extended)
                 });
+                self.mine_tokens_from(&mut st.mined, &exec2);
                 let accepted2 = self.run_check(
                     &mut st.report,
                     &mut st.queue,
@@ -680,6 +715,12 @@ impl Fuzzer {
         report.decisions = std::mem::take(&mut self.decisions);
         report.stats.decisions = report.decisions.len() as u64;
         report.stats.decision_digest = digest_bytes(&report.decisions);
+        report.mined_tokens = self
+            .state
+            .mined
+            .iter()
+            .map(|(tok, &count)| (tok.clone(), count))
+            .collect();
         if let Some(clock) = self.clock {
             let (wall, phases) = clock.finish();
             report.stats.wall_secs = wall;
@@ -742,6 +783,11 @@ impl Fuzzer {
             known_invalid,
             tier_max_rejection: st.tier.max_rejection.map(|n| n as u64),
             tier_fingerprints: st.tier.seen_fingerprints.iter().copied().collect(),
+            mined: st
+                .mined
+                .iter()
+                .map(|(tok, &count)| (tok.clone(), count))
+                .collect(),
             queue: QueueSnapshot {
                 seq: qs.seq,
                 last_vbr_len: qs.last_vbr_len as u64,
@@ -827,6 +873,7 @@ impl Fuzzer {
             trace: Vec::new(),
             stats,
             decisions: Vec::new(),
+            mined_tokens: Vec::new(),
         };
         let queue = CandidateQueue::restore_state(
             cfg.heuristic,
@@ -876,6 +923,7 @@ impl Fuzzer {
                 max_rejection: ck.tier_max_rejection.map(|n| n as usize),
                 seen_fingerprints: ck.tier_fingerprints.iter().copied().collect(),
             },
+            mined: ck.mined.iter().cloned().collect(),
             primed: ck.primed,
         };
         Ok(Fuzzer {
@@ -1008,6 +1056,21 @@ impl Fuzzer {
         exec
     }
 
+    /// Feeds one execution's expected tokens into the campaign's mining
+    /// counts ([`DriverConfig::mine_tokens`]). Observation only: no RNG
+    /// draw, no search-state change, so enabling mining leaves the
+    /// decision stream untouched.
+    fn mine_tokens_from(&self, mined: &mut BTreeMap<Vec<u8>, u64>, exec: &FailureExecution) {
+        if !self.cfg.mine_tokens || exec.failure.expected_tokens.is_empty() {
+            return;
+        }
+        let n = exec.failure.expected_tokens.len() as u64;
+        for tok in &exec.failure.expected_tokens {
+            *mined.entry(tok.clone()).or_insert(0) += 1;
+        }
+        pdf_obs::record(|m| m.tokens_observed.add(n));
+    }
+
     /// `runCheck` (Algorithm 1, lines 27–35): an input counts as a find
     /// only when it is accepted *and* covers branches no valid input
     /// covered before. On a find, `validInp` records it and derives new
@@ -1101,6 +1164,64 @@ impl Fuzzer {
         }
         if pushed > 0 {
             pdf_obs::record(|m| m.substitutions.add(pushed));
+        }
+        // Dictionary stage: where the paper substitutes one character at
+        // a time, a mined dictionary lets the driver drop in a whole
+        // candidate keyword at the rejection point. Anchored on the
+        // comparisons at the rejection point — a token is only tried
+        // when some comparison would have accepted its first byte
+        // (`accepted_first` keeps the full span of range comparisons,
+        // so `while` anchors at an identifier-start site even though
+        // candidate expansion only probed `a`/`m`/`z`) — so the stage
+        // refines the paper's search instead of spraying the queue.
+        // Deterministic: token order is the configured dictionary
+        // order, no RNG byte is drawn.
+        if !self.cfg.dictionary.is_empty() {
+            if let Some(idx) = summary.rejection_index {
+                let mut dict_pushed: u64 = 0;
+                for tok in &self.cfg.dictionary {
+                    if tok.len() < 2 || tok.len() > self.cfg.max_input_len {
+                        continue;
+                    }
+                    let anchored = tok.first().is_some_and(|&b| {
+                        summary
+                            .accepted_first
+                            .iter()
+                            .any(|&(lo, hi)| lo <= b && b <= hi)
+                    });
+                    let duplicate = summary.candidates.iter().any(|c| c.bytes == *tok);
+                    if !anchored || duplicate {
+                        continue;
+                    }
+                    let mut new_input = input[..idx.min(input.len())].to_vec();
+                    new_input.extend_from_slice(tok);
+                    if new_input.len() > self.cfg.max_input_len {
+                        continue;
+                    }
+                    dict_pushed += 1;
+                    // `replacement_len` feeds the heuristic's "longer
+                    // replacement = deeper strncmp progress" bonus; a
+                    // dictionary guess carries no such comparison
+                    // evidence, so it competes as a single-character
+                    // substitution and cannot starve the paper's
+                    // search. If the token parses further, its children
+                    // earn their rank the normal way.
+                    queue.push(
+                        QueueEntry {
+                            input: new_input,
+                            parent_branches: summary.branches_up_to_rejection.clone(),
+                            replacement_len: 1,
+                            avg_stack: summary.avg_stack_size,
+                            num_parents: parents + 1,
+                            path_hash: summary.path_hash,
+                        },
+                        steer,
+                    );
+                }
+                if dict_pushed > 0 {
+                    pdf_obs::record(|m| m.tokens_dict_subs.add(dict_pushed));
+                }
+            }
         }
     }
 

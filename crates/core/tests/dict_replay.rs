@@ -1,0 +1,118 @@
+//! Determinism of dictionary-enabled and token-mining campaigns: the
+//! decision-stream journal and the checkpoint must both reproduce the
+//! campaign digest bit-exactly, and mining — an observation-only tap —
+//! must not perturb the search at all.
+
+use pdf_core::{CampaignBudget, DriverConfig, Fuzzer};
+
+fn dict_config(seed: u64, max_execs: u64) -> DriverConfig {
+    DriverConfig {
+        seed,
+        max_execs,
+        dictionary: vec![b"while".to_vec(), b"if".to_vec(), b"else".to_vec()],
+        mine_tokens: true,
+        ..DriverConfig::default()
+    }
+}
+
+/// A scratch file that cleans up after itself even on panic.
+struct ScratchFile(std::path::PathBuf);
+
+impl ScratchFile {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pdf-dict-test-{}-{name}", std::process::id()));
+        ScratchFile(p)
+    }
+}
+
+impl Drop for ScratchFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn dict_campaign_replays_digest_identical_from_journal() {
+    let cfg = dict_config(11, 2_000);
+    let subject = pdf_subjects::tinyc::subject();
+    let recorded = Fuzzer::new(subject, cfg.clone()).run();
+    assert!(
+        !recorded.mined_tokens.is_empty(),
+        "a mining campaign against a keyword parser observes tokens"
+    );
+    let replayed = Fuzzer::replaying(subject, cfg, recorded.decisions.clone()).run();
+    assert_eq!(recorded.digest(), replayed.digest());
+    assert_eq!(recorded.mined_tokens, replayed.mined_tokens);
+}
+
+#[test]
+fn dict_campaign_resumes_from_checkpoint_digest_identical() {
+    let cfg = dict_config(3, 1_500);
+    let subject = pdf_subjects::tinyc::subject();
+    let straight = Fuzzer::new(subject, cfg.clone()).run();
+
+    for pause_at in [1u64, 500] {
+        let file = ScratchFile::new(&format!("resume-{pause_at}"));
+        let mut victim = Fuzzer::new(subject, cfg.clone());
+        victim.run_until(&CampaignBudget::execs(pause_at));
+        victim.checkpoint_to(&file.0).expect("checkpoint written");
+        drop(victim);
+
+        let mut resumed =
+            Fuzzer::resume_from(subject, cfg.clone(), &file.0).expect("resume succeeds");
+        assert!(resumed
+            .run_until(&CampaignBudget::unbounded())
+            .is_finished());
+        let report = resumed.into_report();
+        assert_eq!(
+            report.digest(),
+            straight.digest(),
+            "paused at {pause_at}: digest drifted"
+        );
+        assert_eq!(
+            report.mined_tokens, straight.mined_tokens,
+            "paused at {pause_at}: mined counts drifted"
+        );
+    }
+}
+
+#[test]
+fn mining_is_observation_only() {
+    // Same seed with and without the mining tap: the search must be
+    // byte-identical — mining draws no RNG byte and enqueues nothing.
+    let subject = pdf_subjects::tinyc::subject();
+    let plain = DriverConfig {
+        seed: 7,
+        max_execs: 1_200,
+        ..DriverConfig::default()
+    };
+    let mining = DriverConfig {
+        mine_tokens: true,
+        ..plain.clone()
+    };
+    let a = Fuzzer::new(subject, plain).run();
+    let b = Fuzzer::new(subject, mining).run();
+    assert_eq!(a.decisions, b.decisions);
+    assert_eq!(a.valid_inputs, b.valid_inputs);
+    assert!(a.mined_tokens.is_empty());
+    assert!(!b.mined_tokens.is_empty());
+}
+
+#[test]
+fn dictionary_drift_refuses_resume() {
+    let cfg = dict_config(5, 1_000);
+    let subject = pdf_subjects::tinyc::subject();
+    let file = ScratchFile::new("drift");
+    let mut victim = Fuzzer::new(subject, cfg.clone());
+    victim.run_until(&CampaignBudget::execs(200));
+    victim.checkpoint_to(&file.0).expect("checkpoint written");
+    drop(victim);
+
+    let drifted = DriverConfig {
+        dictionary: vec![b"for".to_vec()],
+        ..cfg
+    };
+    let err = Fuzzer::resume_from(subject, drifted, &file.0).expect_err("drift must be detected");
+    assert!(err.to_string().contains("drift"), "unhelpful error: {err}");
+}

@@ -6,6 +6,7 @@
 //!                   [--max-retries N] [--chaos SEED]
 //!                   [--metrics-out PATH] [--progress]
 //!                   [--submit ADDR] [--shards N]
+//!                   [--dict-out PATH] [--dict-in PATH]
 //!
 //! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
 //! worker threads; results are identical to `--jobs 1`. `--stats-out`
@@ -35,6 +36,15 @@
 //! Exits non-zero if any campaign ends anywhere but `done`. AFL and
 //! KLEE cells are not submitted — the daemon schedules pFuzzer fleets.
 //!
+//! `--dict-out PATH` runs the token-discovery pipeline instead of the
+//! matrix: one mining pFuzzer campaign per subject (`--execs`
+//! executions, first `--seeds` seed), a scorecard of how much of each
+//! literal token inventory the miner recovered, and the union
+//! dictionary written to `PATH` (`pdf-dict v1`). `--dict-in PATH` runs
+//! the companion study: pFuzzer and AFL on the keyword-rich subjects
+//! (tinyC, mjs), bare vs fed the dictionary at `PATH`, at equal
+//! budgets, scored by short/long token coverage. See docs/TOKENS.md.
+//!
 //! `--metrics-out PATH` writes the final campaign-wide metrics snapshot
 //! (`pdf-metrics v1` text codec); `--progress` prints a live one-line
 //! stderr ticker (execs/s, valid inputs, queue depth, poisoned cells)
@@ -63,6 +73,20 @@ fn main() {
         let exec_mode = pdf_eval::require_arg(pdf_eval::exec_mode_from_args());
         let shards = pdf_eval::require_arg(pdf_eval::shards_from_args());
         let code = submit_matrix(&addr, &budget, exec_mode, shards as u64);
+        drop(ticker);
+        write_metrics(metrics_out.as_deref(), &registry);
+        std::process::exit(code);
+    }
+    if let Some(path) = pdf_eval::dict_out_from_args() {
+        let budget = pdf_eval::budget_from_args(8_000);
+        let code = mine_dictionaries(&path, budget.execs, budget.seeds[0]);
+        drop(ticker);
+        write_metrics(metrics_out.as_deref(), &registry);
+        std::process::exit(code);
+    }
+    if let Some(path) = pdf_eval::dict_in_from_args() {
+        let budget = pdf_eval::budget_from_args(8_000);
+        let code = dict_study(&path, budget.execs, budget.seeds[0]);
         drop(ticker);
         write_metrics(metrics_out.as_deref(), &registry);
         std::process::exit(code);
@@ -156,6 +180,47 @@ fn write_metrics(path: Option<&std::path::Path>, registry: &pdf_obs::MetricsRegi
     if let Some(path) = path {
         pdf_eval::write_metrics_snapshot(path, registry);
     }
+}
+
+fn mine_dictionaries(path: &std::path::Path, execs: u64, seed: u64) -> i32 {
+    let subjects = pdf_subjects::evaluation_subjects();
+    eprintln!(
+        "mining dictionaries: {} subjects, {execs} execs each, seed {seed} ...",
+        subjects.len()
+    );
+    let (dict, rows) = pdf_eval::mine_union_dictionary(execs, seed);
+    println!("{}", pdf_eval::render_mined_inventory(&rows));
+    match dict.save(path) {
+        Ok(()) => {
+            eprintln!("wrote {} tokens to {}", dict.len(), path.display());
+            0
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            2
+        }
+    }
+}
+
+fn dict_study(path: &std::path::Path, execs: u64, seed: u64) -> i32 {
+    let dict = match pdf_tokens::Dictionary::load(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot load dictionary {}: {e}", path.display());
+            return 2;
+        }
+    };
+    eprintln!(
+        "dictionary study: {} tokens, {execs} execs per run, seed {seed} ...",
+        dict.len()
+    );
+    let mut rows = Vec::new();
+    for name in ["tinyC", "mjs"] {
+        let info = pdf_subjects::by_name(name).expect("study subjects exist");
+        rows.extend(pdf_eval::dict_vs_baseline(&info, &dict, execs, seed));
+    }
+    println!("{}", pdf_eval::render_dict_study(&rows));
+    0
 }
 
 fn submit_matrix(

@@ -1,8 +1,9 @@
 //! The experiments of Section 5, one function per table/figure.
 
+use pdf_afl::{AflConfig, AflFuzzer};
 use pdf_core::{DriverConfig, Fuzzer, TraceStep};
 use pdf_subjects::evaluation_subjects;
-use pdf_tokens::{inventory, TokenCoverage, TokenInventory};
+use pdf_tokens::{inventory, Dictionary, TokenCoverage, TokenInventory, TokenMiner};
 
 use crate::coverage::{coverage_universe, relative_coverage};
 use crate::runner::{
@@ -387,6 +388,202 @@ pub fn fleet_vs_single(
     }
 }
 
+/// One row of the mined-inventory table (`evalrunner --dict-out`): how
+/// much of a subject's *literal* multi-character token inventory (the
+/// Tables 2–4 keywords and operators, excluding classes like `number`
+/// or `identifier`) a mining campaign recovered without any grammar.
+#[derive(Debug, Clone)]
+pub struct MinedInventoryRow {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Executions the mining campaign actually spent.
+    pub execs: u64,
+    /// Tokens in the mined dictionary.
+    pub mined: usize,
+    /// (mined, total) over literal inventory tokens of length ≥ 2.
+    pub multi: (usize, usize),
+    /// (mined, total) over literal inventory tokens of length ≥ 4 — the
+    /// Figure-3 long-token bucket where AFL and KLEE collapse.
+    pub long: (usize, usize),
+}
+
+/// Scores a mined dictionary against the subject's inventory. Only
+/// *literal* inventory tokens participate (name spelled exactly at its
+/// table length — `while` at 5); class tokens (`number`, `string`,
+/// `identifier`) have no single spelling a dictionary entry could match.
+fn mined_inventory_row(subject: &'static str, execs: u64, dict: &Dictionary) -> MinedInventoryRow {
+    let inv = inventory(subject).expect("mining runs on evaluation subjects");
+    let hits = |min_len: usize| {
+        let literal: Vec<&str> = inv
+            .tokens
+            .iter()
+            .filter(|t| t.name.len() == t.length && t.length >= min_len)
+            .map(|t| t.name)
+            .collect();
+        let found = literal
+            .iter()
+            .filter(|name| dict.contains(name.as_bytes()))
+            .count();
+        (found, literal.len())
+    };
+    MinedInventoryRow {
+        subject,
+        execs,
+        mined: dict.len(),
+        multi: hits(2),
+        long: hits(4),
+    }
+}
+
+/// Mines a dictionary for one subject: runs a token-mining pFuzzer
+/// campaign ([`DriverConfig::mine_tokens`]) for `execs` executions,
+/// feeds the observed comparison operands and the valid-input corpus to
+/// a [`TokenMiner`], and returns the mined [`Dictionary`] with its
+/// inventory scorecard. Deterministic in `(execs, seed)`.
+pub fn mine_subject_dictionary(
+    info: &pdf_subjects::SubjectInfo,
+    execs: u64,
+    seed: u64,
+) -> (Dictionary, MinedInventoryRow) {
+    let cfg = DriverConfig {
+        seed,
+        max_execs: execs,
+        mine_tokens: true,
+        ..DriverConfig::default()
+    };
+    let report = Fuzzer::new(info.subject, cfg).run();
+    let mut miner = TokenMiner::new();
+    for (token, count) in &report.mined_tokens {
+        for _ in 0..*count {
+            miner.observe_comparison(token);
+        }
+    }
+    for input in &report.valid_inputs {
+        miner.observe_corpus_input(input);
+    }
+    let dict = miner.mine();
+    pdf_obs::record(|m| m.tokens_mined.add(dict.len() as u64));
+    let row = mined_inventory_row(info.name, report.execs, &dict);
+    (dict, row)
+}
+
+/// Mines every evaluation subject at the same `(execs, seed)` budget
+/// and merges the results into one union [`Dictionary`] — exactly what
+/// `evalrunner --dict-out` writes. Per-subject token order is the
+/// miner's rank order and subjects merge in paper order, so the union
+/// is deterministic; [`Dictionary::from_tokens`] keeps the first
+/// occurrence of a token mined by several subjects.
+pub fn mine_union_dictionary(execs: u64, seed: u64) -> (Dictionary, Vec<MinedInventoryRow>) {
+    let mut rows = Vec::new();
+    let mut union: Vec<Vec<u8>> = Vec::new();
+    for info in evaluation_subjects() {
+        let (dict, row) = mine_subject_dictionary(&info, execs, seed);
+        union.extend(dict.into_tokens());
+        rows.push(row);
+    }
+    (Dictionary::from_tokens(union), rows)
+}
+
+/// One row of the dictionary study (`evalrunner --dict-in`): a tool run
+/// with or without the mined dictionary, scored by token coverage at
+/// equal execution budget.
+#[derive(Debug, Clone)]
+pub struct DictStudyRow {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Tool ([`Tool::PFuzzer`] or [`Tool::Afl`]).
+    pub tool: Tool,
+    /// Whether the mined dictionary was fed to the tool.
+    pub with_dict: bool,
+    /// Executions actually spent.
+    pub execs: u64,
+    /// Valid inputs produced.
+    pub valid_inputs: usize,
+    /// (found, total) over inventory tokens of length ≤ 3.
+    pub short: (usize, usize),
+    /// (found, total) over inventory tokens of length ≥ 4.
+    pub long: (usize, usize),
+}
+
+fn study_row(
+    subject: &'static str,
+    tool: Tool,
+    with_dict: bool,
+    execs: u64,
+    inputs: &[Vec<u8>],
+) -> DictStudyRow {
+    let mut cov = TokenCoverage::new(subject).expect("study subjects have inventories");
+    for input in inputs {
+        cov.add_input(input);
+    }
+    DictStudyRow {
+        subject,
+        tool,
+        with_dict,
+        execs,
+        valid_inputs: inputs.len(),
+        short: cov.fraction_in(1, 3),
+        long: cov.fraction_in(4, usize::MAX),
+    }
+}
+
+/// The dictionary study: pFuzzer and AFL each run twice on `info` at
+/// the same `(execs, seed)` budget — once bare, once fed the mined
+/// dictionary (pFuzzer as whole-token substitution candidates, AFL as
+/// token-preserving havoc per [`pdf_afl::AflConfig::preserve_tokens`]).
+/// Returns four [`DictStudyRow`]s in (pFuzzer, AFL) × (bare, dict)
+/// order. Deterministic in all arguments.
+pub fn dict_vs_baseline(
+    info: &pdf_subjects::SubjectInfo,
+    dict: &Dictionary,
+    execs: u64,
+    seed: u64,
+) -> Vec<DictStudyRow> {
+    let mut rows = Vec::new();
+    for with_dict in [false, true] {
+        let cfg = DriverConfig {
+            seed,
+            max_execs: execs,
+            dictionary: if with_dict {
+                dict.tokens().to_vec()
+            } else {
+                Vec::new()
+            },
+            ..DriverConfig::default()
+        };
+        let r = Fuzzer::new(info.subject, cfg).run();
+        rows.push(study_row(
+            info.name,
+            Tool::PFuzzer,
+            with_dict,
+            r.execs,
+            &r.valid_inputs,
+        ));
+    }
+    for with_dict in [false, true] {
+        let cfg = AflConfig {
+            seed,
+            max_execs: execs,
+            dictionary: if with_dict {
+                dict.tokens().to_vec()
+            } else {
+                Vec::new()
+            },
+            preserve_tokens: with_dict,
+            ..AflConfig::default()
+        };
+        let r = AflFuzzer::new(info.subject, cfg).run();
+        rows.push(study_row(
+            info.name,
+            Tool::Afl,
+            with_dict,
+            r.execs,
+            &r.valid_inputs,
+        ));
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +635,54 @@ mod tests {
         assert_eq!(tables[2].total(), 12); // Table 2
         assert_eq!(tables[3].total(), 15); // Table 3
         assert_eq!(tables[4].total(), 99); // Table 4
+    }
+
+    #[test]
+    fn mined_dictionary_recovers_inventory_keywords() {
+        let info = pdf_subjects::by_name("tinyC").unwrap();
+        let (dict, row) = mine_subject_dictionary(&info, 3_000, 1);
+        assert!(!dict.is_empty(), "mining tinyC must surface tokens");
+        assert_eq!(row.subject, "tinyC");
+        assert!(row.execs <= 3_000);
+        assert_eq!(row.mined, dict.len());
+        // tinyC's literal multi-char inventory is if/do/else/while
+        assert_eq!(row.multi.1, 4);
+        assert_eq!(row.long.1, 2);
+        assert!(
+            row.multi.0 > 0,
+            "comparison mining must recover at least one keyword, dict: {:?}",
+            dict.tokens()
+        );
+        // deterministic in (execs, seed)
+        let (again, _) = mine_subject_dictionary(&info, 3_000, 1);
+        assert_eq!(dict.tokens(), again.tokens());
+    }
+
+    #[test]
+    fn dict_study_produces_four_bounded_rows() {
+        let info = pdf_subjects::by_name("cjson").unwrap();
+        let dict =
+            Dictionary::from_tokens(vec![b"true".to_vec(), b"false".to_vec(), b"null".to_vec()]);
+        let rows = dict_vs_baseline(&info, &dict, 800, 1);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows.iter()
+                .map(|r| (r.tool, r.with_dict))
+                .collect::<Vec<_>>(),
+            vec![
+                (Tool::PFuzzer, false),
+                (Tool::PFuzzer, true),
+                (Tool::Afl, false),
+                (Tool::Afl, true),
+            ]
+        );
+        for row in &rows {
+            assert_eq!(row.subject, "cjson");
+            assert!(row.execs <= 800);
+            assert!(row.short.0 <= row.short.1);
+            assert!(row.long.0 <= row.long.1);
+            assert_eq!(row.long.1, 3);
+        }
     }
 
     #[test]

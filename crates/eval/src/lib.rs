@@ -36,14 +36,16 @@ mod runner;
 
 pub use coverage::{coverage_universe, relative_coverage};
 pub use experiments::{
-    fig1_walkthrough, fig2_coverage, fig3_tokens, fleet_vs_single, headline_aggregates, run_matrix,
-    run_matrix_jobs, table1_subjects, token_discovery, token_tables, DiscoveryRow, Fig2Row,
-    Fig3Cell, FleetComparison, FleetSide, HeadlineRow,
+    dict_vs_baseline, fig1_walkthrough, fig2_coverage, fig3_tokens, fleet_vs_single,
+    headline_aggregates, mine_subject_dictionary, mine_union_dictionary, run_matrix,
+    run_matrix_jobs, table1_subjects, token_discovery, token_tables, DictStudyRow, DiscoveryRow,
+    Fig2Row, Fig3Cell, FleetComparison, FleetSide, HeadlineRow, MinedInventoryRow,
 };
 pub use progress::ProgressTicker;
 pub use render::{
-    fig2_csv, fig3_csv, headline_csv, render_discovery, render_fig2, render_fig3, render_headline,
-    render_supervision, render_table1, render_token_table,
+    fig2_csv, fig3_csv, headline_csv, render_dict_study, render_discovery, render_fig2,
+    render_fig3, render_headline, render_mined_inventory, render_supervision, render_table1,
+    render_token_table,
 };
 pub use replay::{
     cell_config_hash, journal_of, record_cells, replay_journal, CellDiff, ReplayReport,
@@ -269,6 +271,23 @@ pub fn chaos_seed_from_args() -> Option<u64> {
         }
     }
     None
+}
+
+/// Parses `--dict-out PATH` from the command line: when present,
+/// `evalrunner` runs one token-mining pFuzzer campaign per subject,
+/// prints the mined-inventory scorecard, writes the union dictionary to
+/// `PATH` in the `pdf-dict v1` text encoding, and exits.
+pub fn dict_out_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--dict-out")
+}
+
+/// Parses `--dict-in PATH` from the command line: when present,
+/// `evalrunner` loads the `pdf-dict v1` dictionary at `PATH`, runs the
+/// dictionary study (pFuzzer and AFL, bare vs dictionary-fed, equal
+/// budgets) on the keyword-rich subjects, prints the comparison table,
+/// and exits.
+pub fn dict_in_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--dict-in")
 }
 
 /// Parses `--checkpoint-dir PATH` from the command line: the directory

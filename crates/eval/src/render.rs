@@ -2,7 +2,9 @@
 
 use pdf_tokens::TokenInventory;
 
-use crate::experiments::{DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow};
+use crate::experiments::{
+    DictStudyRow, DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow, MinedInventoryRow,
+};
 use crate::runner::{CellOutcome, Tool};
 
 /// Renders Table 1 as aligned text.
@@ -256,6 +258,54 @@ pub fn render_discovery(rows: &[DiscoveryRow]) -> String {
     out
 }
 
+/// Renders the mined-inventory table (`--dict-out`): per subject, how
+/// much of the literal multi-character token inventory the miner
+/// recovered without a grammar.
+pub fn render_mined_inventory(rows: &[MinedInventoryRow]) -> String {
+    let mut out = String::from(
+        "Mined dictionaries vs the paper's token inventories (literal tokens only).\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>7} {:>16} {:>16}\n",
+        "Subject", "Execs", "Mined", "len >= 2 found", "len >= 4 found"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>7} {:>16} {:>16}\n",
+            row.subject,
+            row.execs,
+            row.mined,
+            format!("{}/{}", row.multi.0, row.multi.1),
+            format!("{}/{}", row.long.0, row.long.1),
+        ));
+    }
+    out
+}
+
+/// Renders the dictionary study (`--dict-in`): bare vs dictionary-fed
+/// runs at equal budget, scored by short/long token coverage.
+pub fn render_dict_study(rows: &[DictStudyRow]) -> String {
+    let mut out =
+        String::from("Dictionary study: mined tokens fed back to the fuzzers (equal budgets).\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {:<6} {:>8} {:>7} {:>14} {:>14}\n",
+        "Subject", "Tool", "Dict", "Execs", "Valid", "len <= 3", "len >= 4"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:<10} {:<6} {:>8} {:>7} {:>14} {:>14}\n",
+            row.subject,
+            row.tool.name(),
+            if row.with_dict { "yes" } else { "no" },
+            row.execs,
+            row.valid_inputs,
+            format!("{}/{}", row.short.0, row.short.1),
+            format!("{}/{}", row.long.0, row.long.1),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,6 +466,49 @@ mod tests {
         let totals = text.lines().last().unwrap();
         assert!(totals.contains('3'), "{totals}");
         assert!(totals.contains("3 cells, 1 poisoned"), "{totals}");
+    }
+
+    #[test]
+    fn mined_inventory_table_shows_fractions() {
+        let rows = vec![MinedInventoryRow {
+            subject: "tinyC",
+            execs: 5_000,
+            mined: 9,
+            multi: (3, 4),
+            long: (2, 2),
+        }];
+        let text = render_mined_inventory(&rows);
+        assert!(text.contains("tinyC"), "{text}");
+        assert!(text.contains("3/4"), "{text}");
+        assert!(text.contains("2/2"), "{text}");
+    }
+
+    #[test]
+    fn dict_study_table_marks_dictionary_runs() {
+        let rows = vec![
+            DictStudyRow {
+                subject: "mjs",
+                tool: Tool::PFuzzer,
+                with_dict: false,
+                execs: 10_000,
+                valid_inputs: 12,
+                short: (20, 64),
+                long: (3, 35),
+            },
+            DictStudyRow {
+                subject: "mjs",
+                tool: Tool::PFuzzer,
+                with_dict: true,
+                execs: 10_000,
+                valid_inputs: 15,
+                short: (22, 64),
+                long: (9, 35),
+            },
+        ];
+        let text = render_dict_study(&rows);
+        assert!(text.contains("yes"), "{text}");
+        assert!(text.contains("no"), "{text}");
+        assert!(text.contains("9/35"), "{text}");
     }
 
     #[test]

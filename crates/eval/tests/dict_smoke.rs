@@ -1,0 +1,48 @@
+//! The token-discovery smoke of the CI `token-discovery` job: an
+//! end-to-end run of the pipeline — mine a dictionary from an mjs
+//! campaign, feed it back to the driver, and check the Figure-3
+//! long-token claim: at equal execution budgets, the dictionary-fed
+//! driver recovers strictly more length-≥4 inventory tokens than the
+//! single-character substitution baseline.
+//!
+//! The budgets and seeds are calibrated (see EXPERIMENTS.md "Token
+//! discovery"): campaigns are deterministic, so this is a fixed
+//! regression gate, not a flaky statistical test.
+
+use pdf_eval::{dict_vs_baseline, mine_union_dictionary};
+
+#[test]
+fn mined_dictionary_beats_single_char_baseline_on_mjs_long_tokens() {
+    let info = pdf_subjects::by_name("mjs").unwrap();
+
+    // Mine: one token-mining campaign per subject, merged into the
+    // union dictionary `evalrunner --dict-out` would write.
+    let (dict, rows) = mine_union_dictionary(8_000, 1);
+    assert!(!dict.is_empty(), "mining must surface tokens");
+    let mjs = rows.iter().find(|r| r.subject == "mjs").unwrap();
+    assert!(
+        mjs.long.0 >= 20,
+        "the mined mjs dictionary itself recovers most of the Table-4 \
+         length-≥4 inventory, got {}/{}",
+        mjs.long.0,
+        mjs.long.1
+    );
+
+    // Feed: bare vs dictionary-fed pFuzzer at equal budgets, summed
+    // over two seeds so one lucky baseline seed cannot flip the gate.
+    let (mut baseline, mut with_dict) = (0, 0);
+    for seed in [1, 2] {
+        let rows = dict_vs_baseline(&info, &dict, 20_000, seed);
+        let bare = &rows[0];
+        let fed = &rows[1];
+        assert!(!bare.with_dict && fed.with_dict);
+        assert!(bare.execs <= 20_000 && fed.execs <= 20_000);
+        baseline += bare.long.0;
+        with_dict += fed.long.0;
+    }
+    assert!(
+        with_dict > baseline,
+        "dictionary-fed driver must recover strictly more length-≥4 \
+         tokens: {with_dict} vs {baseline}"
+    );
+}

@@ -75,6 +75,15 @@ pub struct MetricsRegistry {
     pub tier_escalations: Counter,
     /// Fast-tier executions the filter discarded without escalation.
     pub tier_skips: Counter,
+    /// Expected-token observations fed to the miner (failed string
+    /// comparisons at rejection points, mining enabled).
+    pub tokens_observed: Counter,
+    /// Tokens emitted by `TokenMiner::mine` reductions.
+    pub tokens_mined: Counter,
+    /// Whole-token dictionary substitutions enqueued by the driver.
+    pub tokens_dict_subs: Counter,
+    /// Dictionary mutations applied by the AFL baseline's havoc stages.
+    pub tokens_dict_mutations: Counter,
     /// Valid (accepted) inputs discovered by the search.
     pub valid_inputs: Counter,
     /// New coverage branches discovered by the search.
@@ -207,6 +216,10 @@ impl MetricsRegistry {
             ("tier.fast_execs", &self.tier_fast_execs),
             ("tier.escalations", &self.tier_escalations),
             ("tier.skips", &self.tier_skips),
+            ("tokens.observations", &self.tokens_observed),
+            ("tokens.mined", &self.tokens_mined),
+            ("tokens.dict_subs", &self.tokens_dict_subs),
+            ("tokens.dict_mutations", &self.tokens_dict_mutations),
             ("search.valid_inputs", &self.valid_inputs),
             ("search.new_branches", &self.new_branches),
             ("eval.cells_completed", &self.cells_completed),

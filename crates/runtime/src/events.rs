@@ -64,6 +64,20 @@ impl CmpValue {
             CmpValue::Str { full, matched } => full.len().saturating_sub(*matched),
         }
     }
+
+    /// The inclusive range of bytes that would satisfy this comparison
+    /// as the *next* input byte: the byte itself, the full range (even
+    /// where replacement expansion compresses wide ranges to probe
+    /// bytes), or the first unmatched byte of an expected string.
+    /// `None` for a fully-matched string comparison, which constrains
+    /// no further byte.
+    pub fn accepted_first(&self) -> Option<(u8, u8)> {
+        match self {
+            CmpValue::Byte(b) => Some((*b, *b)),
+            CmpValue::Range(lo, hi) => Some((*lo.min(hi), *lo.max(hi))),
+            CmpValue::Str { full, matched } => full.get(*matched).map(|&b| (b, b)),
+        }
+    }
 }
 
 /// A borrowing, allocation-free view of what a tainted byte was compared
@@ -418,6 +432,51 @@ impl ExecLog {
         out
     }
 
+    /// Full expected byte strings (length ≥ 2) of the failed string
+    /// comparisons at the rejection point, in program order with
+    /// duplicates removed — the token-miner feed. Unlike
+    /// [`substitution_candidates`](ExecLog::substitution_candidates),
+    /// which yields only the unmatched suffix of a keyword comparison,
+    /// this returns the whole keyword: a failed `strcmp` against
+    /// `"while"` contributes `b"while"` even when the input already
+    /// matched `"wh"`.
+    pub fn expected_tokens(&self) -> Vec<Vec<u8>> {
+        let Some(idx) = self.rejection_index() else {
+            return Vec::new();
+        };
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for c in self.comparisons().filter(|c| c.index == idx && !c.outcome) {
+            if let CmpValue::Str { full, .. } = &c.expected {
+                if full.len() >= 2 && !out.iter().any(|t| t == full) {
+                    out.push(full.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Inclusive ranges of bytes the failed comparisons at the
+    /// rejection point would have accepted as the next byte, in program
+    /// order with exact duplicates removed — see
+    /// [`CmpValue::accepted_first`]. The dictionary-anchoring feed:
+    /// keeps the full span of wide range comparisons that
+    /// [`substitution_candidates`](ExecLog::substitution_candidates)
+    /// compresses to three probe bytes.
+    pub fn accepted_first_bytes(&self) -> Vec<(u8, u8)> {
+        let Some(idx) = self.rejection_index() else {
+            return Vec::new();
+        };
+        let mut out: Vec<(u8, u8)> = Vec::new();
+        for c in self.comparisons().filter(|c| c.index == idx && !c.outcome) {
+            if let Some(span) = c.expected.accepted_first() {
+                if !out.contains(&span) {
+                    out.push(span);
+                }
+            }
+        }
+        out
+    }
+
     /// All branches covered during the execution.
     pub fn branches(&self) -> BranchSet {
         self.events
@@ -535,6 +594,51 @@ mod tests {
         };
         assert!(v.satisfying_replacements().is_empty());
         assert_eq!(v.replacement_len(), 0);
+    }
+
+    #[test]
+    fn accepted_first_keeps_full_range_spans() {
+        assert_eq!(CmpValue::Byte(b'(').accepted_first(), Some((b'(', b'(')));
+        // wide ranges keep their whole span where replacement
+        // expansion compresses them to three probe bytes
+        assert_eq!(
+            CmpValue::Range(b'a', b'z').accepted_first(),
+            Some((b'a', b'z'))
+        );
+        assert_eq!(
+            CmpValue::Range(b'9', b'0').accepted_first(),
+            Some((b'0', b'9'))
+        );
+        let partial = CmpValue::Str {
+            full: b"while".to_vec(),
+            matched: 2,
+        };
+        assert_eq!(partial.accepted_first(), Some((b'i', b'i')));
+        let done = CmpValue::Str {
+            full: b"if".to_vec(),
+            matched: 2,
+        };
+        assert_eq!(done.accepted_first(), None);
+    }
+
+    #[test]
+    fn accepted_first_bytes_dedups_in_program_order() {
+        let log = ExecLog {
+            events: vec![
+                cmp(0, Some(b'x'), CmpValue::Range(b'a', b'z'), false),
+                cmp(0, Some(b'x'), CmpValue::Byte(b'{'), false),
+                cmp(0, Some(b'x'), CmpValue::Range(b'a', b'z'), false),
+                // passed comparisons contribute nothing
+                cmp(0, Some(b'x'), CmpValue::Byte(b'x'), true),
+            ],
+            input_len: 1,
+        };
+        assert_eq!(log.accepted_first_bytes(), vec![(b'a', b'z'), (b'{', b'{')]);
+        let empty = ExecLog {
+            events: vec![],
+            input_len: 0,
+        };
+        assert!(empty.accepted_first_bytes().is_empty());
     }
 
     #[test]

@@ -228,6 +228,21 @@ pub struct FailureSummary {
     /// Substitution candidates at the rejection point
     /// (see [`ExecLog::substitution_candidates`]).
     pub candidates: Vec<Candidate>,
+    /// Full expected byte strings (length ≥ 2) of the failed observed
+    /// string comparisons at the rejection index, in program order with
+    /// duplicates removed — the token-miner feed: a failed keyword-table
+    /// `strcmp` names the whole keyword here even when only a prefix of
+    /// the input matched.
+    pub expected_tokens: Vec<Vec<u8>>,
+    /// Inclusive ranges of bytes the failed observed comparisons at the
+    /// rejection index would have accepted as the *next* byte, in
+    /// program order with exact duplicates removed — `Byte` and the
+    /// first unmatched `Str` byte collapse to single-byte ranges. Where
+    /// [`candidates`](FailureSummary::candidates) compresses a wide
+    /// range to three probe bytes, this keeps the full span, so a
+    /// dictionary consumer can ask "would the parser have accepted a
+    /// token starting with this byte?" exactly.
+    pub accepted_first: Vec<(u8, u8)>,
     /// Average stack depth over the last two comparisons.
     pub avg_stack_size: f64,
     /// First past-the-end access, if any.
@@ -319,6 +334,8 @@ impl LastFailure {
             _ => (self.last_depths[0] + self.last_depths[1]) as f64 / 2.0,
         };
         let mut candidates: Vec<Candidate> = Vec::new();
+        let mut expected_tokens: Vec<Vec<u8>> = Vec::new();
+        let mut accepted_first: Vec<(u8, u8)> = Vec::new();
         if let Some(idx) = self.rejection {
             for expected in &self.failed {
                 let replacement_len = expected.replacement_len();
@@ -336,6 +353,16 @@ impl LastFailure {
                         });
                     }
                 });
+                if let CmpValue::Str { full, .. } = expected {
+                    if full.len() >= 2 && !expected_tokens.iter().any(|t| t == full) {
+                        expected_tokens.push(full.clone());
+                    }
+                }
+                if let Some(span) = expected.accepted_first() {
+                    if !accepted_first.contains(&span) {
+                        accepted_first.push(span);
+                    }
+                }
             }
         }
         FailureSummary {
@@ -344,6 +371,8 @@ impl LastFailure {
             branches_up_to_rejection,
             rejection_index: self.rejection,
             candidates,
+            expected_tokens,
+            accepted_first,
             avg_stack_size,
             eof_access: self.eof,
             events: self.events,
@@ -546,6 +575,8 @@ impl ExecLog {
             branches,
             rejection_index: self.rejection_index(),
             candidates: self.substitution_candidates(),
+            expected_tokens: self.expected_tokens(),
+            accepted_first: self.accepted_first_bytes(),
             avg_stack_size: self.avg_stack_size(),
             eof_access: self.eof_access(),
             events: self.events.len() as u64,

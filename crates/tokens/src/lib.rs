@@ -37,10 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dict;
+mod miner;
 mod scan;
 
 use std::collections::BTreeSet;
 
+pub use dict::{DictError, Dictionary};
+pub use miner::{MinerConfig, TokenMiner};
 pub use scan::found_tokens;
 
 /// One token of a subject's input language.

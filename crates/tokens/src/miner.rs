@@ -1,0 +1,319 @@
+//! Automatic token discovery: mining a [`Dictionary`] from comparison
+//! feedback and from the valid-input corpus.
+//!
+//! Two sources, per the ROADMAP item this module closes:
+//!
+//! - **Comparisons.** The driver's event sinks surface the exact
+//!   strings each rejection index was compared against (the
+//!   `expected_tokens` of a `FailureSummary` in pdf-runtime). *Fuzzing
+//!   with Fast Failure Feedback* observes that this set is a free,
+//!   exact dictionary: a failed keyword-table `strcmp` hands over the
+//!   whole keyword. These enter the miner via
+//!   [`observe_comparison`](TokenMiner::observe_comparison).
+//! - **Corpus.** Recurring substrings across the valid inputs a
+//!   campaign already produced (the TokenDiscoveryFuzzer shape:
+//!   n-gram counting with frequency and length filters, reduced to
+//!   maximal repeats). These enter via
+//!   [`observe_corpus_input`](TokenMiner::observe_corpus_input).
+//!
+//! Mining is **order-insensitive**: the miner keeps pure occurrence
+//! counts in ordered maps, so observing the same multiset of
+//! comparisons and corpus inputs in any order yields a byte-identical
+//! [`Dictionary`] — the property that lets mined dictionaries ride in
+//! journals and checkpoints without breaking bit-exact replay.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::Dictionary;
+
+/// Filters applied when reducing raw counts to a [`Dictionary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinerConfig {
+    /// Shortest token kept (single characters carry no dictionary
+    /// value; the driver's per-character substitution already covers
+    /// them).
+    pub min_len: usize,
+    /// Longest substring counted from the corpus (comparison-mined
+    /// tokens are exact and exempt — a parser that compares against a
+    /// long keyword named that keyword itself).
+    pub max_len: usize,
+    /// A corpus substring must occur in at least this many inputs to
+    /// count as recurring.
+    pub min_corpus_count: u64,
+    /// Cap on the mined dictionary size (comparison tokens rank first
+    /// and are never displaced by corpus grams).
+    pub max_tokens: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            min_len: 2,
+            max_len: 16,
+            min_corpus_count: 3,
+            max_tokens: 64,
+        }
+    }
+}
+
+/// Accumulates token observations and reduces them to a [`Dictionary`].
+///
+/// # Example
+///
+/// ```
+/// use pdf_tokens::TokenMiner;
+///
+/// let mut miner = TokenMiner::new();
+/// // a failed strcmp surfaced the whole keyword:
+/// miner.observe_comparison(b"while");
+/// // three valid inputs share the substring "if":
+/// miner.observe_corpus_input(b"if(a)b;");
+/// miner.observe_corpus_input(b"if[c]d;");
+/// miner.observe_corpus_input(b"if{e}f;");
+/// let dict = miner.mine();
+/// assert!(dict.contains(b"while"));
+/// assert!(dict.contains(b"if"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenMiner {
+    cfg: MinerConfig,
+    /// Expected strings observed at rejection points, with occurrence
+    /// counts. `BTreeMap` so iteration (and therefore ranking
+    /// tie-breaks) is canonical regardless of observation order.
+    cmp_counts: BTreeMap<Vec<u8>, u64>,
+    /// Corpus substrings, counted once per input that contains them.
+    gram_counts: BTreeMap<Vec<u8>, u64>,
+    /// Inputs observed (for the frequency filter's denominator and the
+    /// stats line).
+    corpus_inputs: u64,
+}
+
+impl TokenMiner {
+    /// A miner with the default [`MinerConfig`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A miner with an explicit configuration.
+    pub fn with_config(cfg: MinerConfig) -> Self {
+        TokenMiner {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.cfg
+    }
+
+    /// Records one expected string observed at a rejection point (the
+    /// `expected_tokens` of a failure summary). Strings shorter than
+    /// `min_len` are ignored — the single-character comparisons are the
+    /// substitution baseline, not dictionary material.
+    pub fn observe_comparison(&mut self, token: &[u8]) {
+        if token.len() >= self.cfg.min_len {
+            *self.cmp_counts.entry(token.to_vec()).or_insert(0) += 1;
+        }
+    }
+
+    /// Records one valid corpus input: every distinct substring with
+    /// length in `[min_len, max_len]` is counted once for this input,
+    /// so a token repeated within a single input is not over-weighted.
+    pub fn observe_corpus_input(&mut self, input: &[u8]) {
+        self.corpus_inputs += 1;
+        let mut seen: BTreeSet<&[u8]> = BTreeSet::new();
+        for len in self.cfg.min_len..=self.cfg.max_len.min(input.len()) {
+            for gram in input.windows(len) {
+                seen.insert(gram);
+            }
+        }
+        for gram in seen {
+            *self.gram_counts.entry(gram.to_vec()).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of comparison observations recorded (with multiplicity).
+    pub fn comparison_observations(&self) -> u64 {
+        self.cmp_counts.values().sum()
+    }
+
+    /// Number of corpus inputs observed.
+    pub fn corpus_inputs(&self) -> u64 {
+        self.corpus_inputs
+    }
+
+    /// Reduces the accumulated counts to a [`Dictionary`].
+    ///
+    /// Comparison-mined tokens come first, ranked by occurrence count
+    /// descending with byte order breaking ties — they are exact (the
+    /// parser itself named them) and need no frequency filter. Corpus
+    /// grams follow, kept only when they recur in at least
+    /// `min_corpus_count` inputs and survive the maximal-repeat filter:
+    /// a gram contained in a strictly longer gram with the same count
+    /// only ever occurs inside it (`"whil"` inside `"while"`) and is
+    /// dropped. The result is truncated to `max_tokens`.
+    ///
+    /// Deterministic by construction: counts are permutation-invariant
+    /// over observations and every ordering has a total tie-break.
+    pub fn mine(&self) -> Dictionary {
+        let mut ranked: Vec<Vec<u8>> = Vec::new();
+
+        let mut cmp: Vec<(&Vec<u8>, u64)> = self.cmp_counts.iter().map(|(t, &n)| (t, n)).collect();
+        cmp.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        for (t, _) in cmp {
+            ranked.push(t.clone());
+        }
+
+        let recurring: Vec<(&Vec<u8>, u64)> = self
+            .gram_counts
+            .iter()
+            .filter(|&(_, &n)| n >= self.cfg.min_corpus_count)
+            .map(|(t, &n)| (t, n))
+            .collect();
+        let mut grams: Vec<(&Vec<u8>, u64)> = recurring
+            .iter()
+            .filter(|(g, n)| {
+                !recurring.iter().any(|(h, m)| {
+                    h.len() > g.len() && m == n && h.windows(g.len()).any(|w| w == &g[..])
+                })
+            })
+            .copied()
+            .collect();
+        grams.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        for (t, _) in grams {
+            ranked.push(t.clone());
+        }
+
+        let mut dict = Dictionary::from_tokens(ranked).into_tokens();
+        dict.truncate(self.cfg.max_tokens);
+        Dictionary::from_tokens(dict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_tokens_are_kept_without_frequency() {
+        let mut miner = TokenMiner::new();
+        miner.observe_comparison(b"instanceof");
+        let dict = miner.mine();
+        assert_eq!(dict.tokens(), &[b"instanceof".to_vec()]);
+        assert_eq!(miner.comparison_observations(), 1);
+    }
+
+    #[test]
+    fn short_comparisons_are_ignored() {
+        let mut miner = TokenMiner::new();
+        miner.observe_comparison(b"a");
+        miner.observe_comparison(b"");
+        assert!(miner.mine().is_empty());
+        assert_eq!(miner.comparison_observations(), 0);
+    }
+
+    #[test]
+    fn comparison_rank_is_count_then_bytes() {
+        let mut miner = TokenMiner::new();
+        miner.observe_comparison(b"zz");
+        miner.observe_comparison(b"aa");
+        miner.observe_comparison(b"zz");
+        let dict = miner.mine();
+        assert_eq!(dict.tokens(), &[b"zz".to_vec(), b"aa".to_vec()]);
+    }
+
+    #[test]
+    fn corpus_grams_need_recurrence() {
+        let mut miner = TokenMiner::new();
+        miner.observe_corpus_input(b"null");
+        miner.observe_corpus_input(b"null");
+        assert!(miner.mine().is_empty(), "2 < min_corpus_count");
+        miner.observe_corpus_input(b"null");
+        assert!(miner.mine().contains(b"null"));
+    }
+
+    #[test]
+    fn maximal_repeat_filter_drops_contained_grams() {
+        let mut miner = TokenMiner::new();
+        for _ in 0..3 {
+            miner.observe_corpus_input(b"while");
+        }
+        let dict = miner.mine();
+        assert!(dict.contains(b"while"));
+        assert!(
+            !dict.contains(b"whil") && !dict.contains(b"hile"),
+            "contained grams with equal counts must be dropped: {:?}",
+            dict.tokens()
+        );
+    }
+
+    #[test]
+    fn contained_gram_with_independent_occurrences_survives() {
+        let mut miner = TokenMiner::new();
+        for _ in 0..3 {
+            miner.observe_corpus_input(b"while");
+        }
+        for _ in 0..2 {
+            miner.observe_corpus_input(b"whx");
+        }
+        let dict = miner.mine();
+        // "wh" occurs in 5 inputs, "while" only in 3: "wh" recurs outside
+        // the longer gram and is kept.
+        assert!(dict.contains(b"wh"), "{:?}", dict.tokens());
+        assert!(dict.contains(b"while"));
+    }
+
+    #[test]
+    fn repeats_within_one_input_count_once() {
+        let mut miner = TokenMiner::new();
+        miner.observe_corpus_input(b"ababab");
+        assert!(miner.mine().is_empty(), "one input is not recurrence");
+        assert_eq!(miner.corpus_inputs(), 1);
+    }
+
+    #[test]
+    fn mining_is_order_insensitive() {
+        let inputs: [&[u8]; 4] = [b"if(a)b;", b"while(c)d;", b"if(e)f;", b"if(g)h;"];
+        let cmps: [&[u8]; 3] = [b"while", b"else", b"while"];
+        let mut forward = TokenMiner::new();
+        for i in &inputs {
+            forward.observe_corpus_input(i);
+        }
+        for c in &cmps {
+            forward.observe_comparison(c);
+        }
+        let mut backward = TokenMiner::new();
+        for c in cmps.iter().rev() {
+            backward.observe_comparison(c);
+        }
+        for i in inputs.iter().rev() {
+            backward.observe_corpus_input(i);
+        }
+        assert_eq!(forward.mine(), backward.mine());
+    }
+
+    #[test]
+    fn max_tokens_caps_the_dictionary() {
+        let cfg = MinerConfig {
+            max_tokens: 2,
+            ..MinerConfig::default()
+        };
+        let mut miner = TokenMiner::with_config(cfg);
+        miner.observe_comparison(b"aa");
+        miner.observe_comparison(b"bb");
+        miner.observe_comparison(b"cc");
+        assert_eq!(miner.mine().len(), 2);
+    }
+
+    #[test]
+    fn comparison_tokens_rank_ahead_of_corpus_grams() {
+        let mut miner = TokenMiner::new();
+        for _ in 0..5 {
+            miner.observe_corpus_input(b"zzz");
+        }
+        miner.observe_comparison(b"if");
+        let toks = miner.mine().into_tokens();
+        assert_eq!(toks[0], b"if".to_vec());
+    }
+}

@@ -1,14 +1,18 @@
 //! The input-coverage story on JSON: pFuzzer synthesizes `true`,
 //! `false` and `null` from `strcmp` feedback, while the AFL baseline —
 //! seeing coverage only — finds the punctuation but not the keywords
-//! (Table 2 / Figure 3 of the paper).
+//! (Table 2 / Figure 3 of the paper). The twist: the pFuzzer campaign
+//! *mines* those keywords into a dictionary (no grammar, no hand-rolled
+//! list), and handing that mined dictionary to AFL's token-preserving
+//! havoc closes most of its keyword gap — the Section 6 AFL-CTP
+//! discussion, reproduced end to end.
 //!
 //! Run with: `cargo run --release --example json_keywords`
 
 use parser_directed_fuzzing::afl::{AflConfig, AflFuzzer};
 use parser_directed_fuzzing::pfuzzer::{DriverConfig, Fuzzer};
 use parser_directed_fuzzing::subjects;
-use parser_directed_fuzzing::tokens::TokenCoverage;
+use parser_directed_fuzzing::tokens::{TokenCoverage, TokenMiner};
 
 const EXECS: u64 = 40_000;
 
@@ -22,28 +26,48 @@ fn score(name: &str, inputs: &[Vec<u8>]) {
     println!("\n{name}: {} valid inputs", inputs.len());
     println!("  tokens len<=3: {short_found}/{short_total}   keywords (len>3): {long_found}/{long_total}");
     println!("  found: {}", cov.found_names().join(" "));
-    for kw in ["true", "false", "null"] {
-        println!(
-            "  {kw:<6} {}",
-            if cov.found(kw) { "FOUND" } else { "missing" }
-        );
-    }
 }
 
 fn main() {
     println!("JSON keyword discovery, {EXECS} executions each:");
 
+    // pFuzzer, with the token-mining tap on: every failed string
+    // comparison at a rejection point names the whole expected keyword.
     let report = Fuzzer::new(
         subjects::json::subject(),
         DriverConfig {
             seed: 1,
             max_execs: EXECS,
+            mine_tokens: true,
             ..DriverConfig::default()
         },
     )
     .run();
     score("pFuzzer", &report.valid_inputs);
 
+    // Mine the dictionary from what the campaign observed — the
+    // comparison operands plus recurring valid-corpus substrings.
+    let mut miner = TokenMiner::new();
+    for (token, count) in &report.mined_tokens {
+        for _ in 0..*count {
+            miner.observe_comparison(token);
+        }
+    }
+    for input in &report.valid_inputs {
+        miner.observe_corpus_input(input);
+    }
+    let dict = miner.mine();
+    println!(
+        "\nmined dictionary ({} tokens): {}",
+        dict.len(),
+        dict.tokens()
+            .iter()
+            .map(|t| String::from_utf8_lossy(t).into_owned())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // AFL bare: coverage feedback alone rarely spells a keyword.
     let afl = AflFuzzer::new(
         subjects::json::subject(),
         AflConfig {
@@ -54,4 +78,19 @@ fn main() {
     )
     .run();
     score("AFL", &afl.valid_inputs);
+
+    // AFL fed the mined dictionary, with token-preserving havoc: the
+    // dictionary op runs last so the spliced keyword survives the stack.
+    let afl_dict = AflFuzzer::new(
+        subjects::json::subject(),
+        AflConfig {
+            seed: 1,
+            max_execs: EXECS,
+            dictionary: dict.tokens().to_vec(),
+            preserve_tokens: true,
+            ..AflConfig::default()
+        },
+    )
+    .run();
+    score("AFL + mined dictionary", &afl_dict.valid_inputs);
 }
