@@ -7,6 +7,7 @@
 //!                   [--metrics-out PATH] [--progress]
 //!                   [--submit ADDR] [--shards N]
 //!                   [--dict-out PATH] [--dict-in PATH]
+//!                   [--grammar-out DIR] [--grammar-in DIR]
 //!
 //! `--jobs N` fans the (subject, tool, seed) matrix cells out over N
 //! worker threads; results are identical to `--jobs 1`. `--stats-out`
@@ -44,6 +45,19 @@
 //! the companion study: pFuzzer and AFL on the keyword-rich subjects
 //! (tinyC, mjs), bare vs fed the dictionary at `PATH`, at equal
 //! budgets, scored by short/long token coverage. See docs/TOKENS.md.
+//!
+//! `--grammar-out DIR` runs the grammar-mining pipeline instead of the
+//! matrix: one combined three-stage campaign per subject (`--execs`
+//! total executions, first `--seeds` seed) — pFuzzer explores, the
+//! grammar miner generalizes, the compiled generator floods with
+//! evolutionary weighting while a fleet keeps fuzzing — a scorecard of
+//! each mined grammar, and the learned grammar + weights written to
+//! `DIR/<subject>.grammar` (`pdf-grammar v1`). `--grammar-in DIR` runs
+//! the companion study: on every subject with a grammar file under
+//! `DIR`, pFuzzer alone vs the persisted-grammar flood vs the full
+//! combined pipeline at equal budgets, scored by branch and Figure-3
+//! token coverage. Both runs are seed-deterministic end to end: the
+//! same arguments produce identical grammar files and digests.
 //!
 //! `--metrics-out PATH` writes the final campaign-wide metrics snapshot
 //! (`pdf-metrics v1` text codec); `--progress` prints a live one-line
@@ -87,6 +101,20 @@ fn main() {
     if let Some(path) = pdf_eval::dict_in_from_args() {
         let budget = pdf_eval::budget_from_args(8_000);
         let code = dict_study(&path, budget.execs, budget.seeds[0]);
+        drop(ticker);
+        write_metrics(metrics_out.as_deref(), &registry);
+        std::process::exit(code);
+    }
+    if let Some(dir) = pdf_eval::grammar_out_from_args() {
+        let budget = pdf_eval::budget_from_args(8_000);
+        let code = mine_grammars(&dir, budget.execs, budget.seeds[0]);
+        drop(ticker);
+        write_metrics(metrics_out.as_deref(), &registry);
+        std::process::exit(code);
+    }
+    if let Some(dir) = pdf_eval::grammar_in_from_args() {
+        let budget = pdf_eval::budget_from_args(8_000);
+        let code = grammar_study(&dir, budget.execs, budget.seeds[0]);
         drop(ticker);
         write_metrics(metrics_out.as_deref(), &registry);
         std::process::exit(code);
@@ -220,6 +248,70 @@ fn dict_study(path: &std::path::Path, execs: u64, seed: u64) -> i32 {
         rows.extend(pdf_eval::dict_vs_baseline(&info, &dict, execs, seed));
     }
     println!("{}", pdf_eval::render_dict_study(&rows));
+    0
+}
+
+fn mine_grammars(dir: &std::path::Path, execs: u64, seed: u64) -> i32 {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return 2;
+    }
+    let subjects = pdf_subjects::evaluation_subjects();
+    eprintln!(
+        "mining grammars: {} subjects, {execs} execs each, seed {seed} ...",
+        subjects.len()
+    );
+    let mut rows = Vec::new();
+    let mut written = 0usize;
+    for info in &subjects {
+        let (file, row) = pdf_eval::mine_subject_grammar(info, execs, seed);
+        if let Some(file) = file {
+            let path = dir.join(format!("{}.grammar", info.name));
+            if let Err(e) = file.save(&path) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return 2;
+            }
+            written += 1;
+        }
+        rows.push(row);
+    }
+    println!("{}", pdf_eval::render_grammar_mine(&rows));
+    eprintln!(
+        "wrote {written}/{} grammar files to {}",
+        subjects.len(),
+        dir.display()
+    );
+    0
+}
+
+fn grammar_study(dir: &std::path::Path, execs: u64, seed: u64) -> i32 {
+    let mut rows = Vec::new();
+    let mut loaded = 0usize;
+    for info in pdf_subjects::evaluation_subjects() {
+        let path = dir.join(format!("{}.grammar", info.name));
+        if !path.exists() {
+            continue;
+        }
+        let file = match pdf_grammar::GrammarFile::load(&path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot load grammar {}: {e}", path.display());
+                return 2;
+            }
+        };
+        loaded += 1;
+        eprintln!(
+            "grammar study: {} ({} rules, {execs} execs per run, seed {seed}) ...",
+            info.name,
+            file.grammar().len()
+        );
+        rows.extend(pdf_eval::grammar_vs_baseline(&info, &file, execs, seed));
+    }
+    if loaded == 0 {
+        eprintln!("no <subject>.grammar files under {}", dir.display());
+        return 2;
+    }
+    println!("{}", pdf_eval::render_grammar_study(&rows));
     0
 }
 

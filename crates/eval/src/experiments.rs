@@ -5,9 +5,13 @@ use pdf_core::{DriverConfig, Fuzzer, TraceStep};
 use pdf_subjects::evaluation_subjects;
 use pdf_tokens::{inventory, Dictionary, TokenCoverage, TokenInventory, TokenMiner};
 
+use pdf_gen::EvolveConfig;
+use pdf_grammar::GrammarFile;
+
 use crate::coverage::{coverage_universe, relative_coverage};
 use crate::runner::{
-    collapse_matrix, completed_outcomes, matrix_cells, run_cells, EvalBudget, Outcome, Tool,
+    collapse_matrix, combined_config_for, completed_outcomes, matrix_cells, run_cells,
+    run_tool_seeded, EvalBudget, Outcome, Tool,
 };
 
 /// Table 1: the subjects with their access dates and original LoC.
@@ -584,6 +588,174 @@ pub fn dict_vs_baseline(
     rows
 }
 
+/// One row of the grammar-mining scorecard (`evalrunner
+/// --grammar-out`): what the combined campaign mined and learned on one
+/// subject.
+#[derive(Debug, Clone)]
+pub struct GrammarMineRow {
+    /// Subject name.
+    pub subject: &'static str,
+    /// Instrumented executions spent (explore + fleet stages).
+    pub execs: u64,
+    /// Nonterminals in the mined grammar.
+    pub rules: usize,
+    /// Alternatives across all rules (weight-table width).
+    pub alts: usize,
+    /// Inputs the generator flood produced (fast tier).
+    pub generated: u64,
+    /// Generated inputs the subject accepted (duplicates included).
+    pub generated_valid: u64,
+    /// Distinct generator-found valid inputs promoted into fleet queues.
+    pub promoted: u64,
+    /// The persisted `pdf-grammar v1` file digest; zero when the flood
+    /// was skipped.
+    pub digest: u64,
+    /// Why the flood did not run, when it did not.
+    pub skipped: Option<String>,
+}
+
+/// Runs the combined three-stage campaign on one subject
+/// ([`combined_config_for`] shape) and returns the learned
+/// grammar + weights (when the flood ran) with its scorecard row —
+/// exactly what `evalrunner --grammar-out` persists per subject.
+/// Deterministic in `(execs, seed)`.
+pub fn mine_subject_grammar(
+    info: &pdf_subjects::SubjectInfo,
+    execs: u64,
+    seed: u64,
+) -> (Option<GrammarFile>, GrammarMineRow) {
+    let cfg = combined_config_for(execs, seed);
+    let report = pdf_gen::run_combined(info.subject, &cfg)
+        .expect("combined_config_for produces a valid fleet shape");
+    let row = GrammarMineRow {
+        subject: info.name,
+        execs: report.explore_execs + report.fleet.total_execs,
+        rules: report.grammar_rules,
+        alts: report.grammar_file().map_or(0, GrammarFile::alt_count),
+        generated: report.flood.as_ref().map_or(0, |f| f.generated),
+        generated_valid: report.flood.as_ref().map_or(0, |f| f.generated_valid),
+        promoted: report.promoted,
+        digest: report.grammar_digest,
+        skipped: report.flood_skipped.clone(),
+    };
+    (report.grammar, row)
+}
+
+/// One row of the grammar-generation study (`evalrunner --grammar-in`):
+/// one mode run on a subject at equal budget, scored by Figure-3 token
+/// coverage and valid-input branch coverage.
+#[derive(Debug, Clone)]
+pub struct GrammarStudyRow {
+    /// Subject name.
+    pub subject: &'static str,
+    /// `"pFuzzer"` (paper's tool alone), `"flood"` (compiled generator
+    /// alone, seeded from the persisted grammar + learned weights) or
+    /// `"combined"` (the full three-stage pipeline, re-mining).
+    pub mode: &'static str,
+    /// Instrumented executions spent.
+    pub execs: u64,
+    /// Generator fast-tier executions (zero for the pFuzzer row).
+    pub generated: u64,
+    /// Distinct valid inputs produced.
+    pub valid_inputs: usize,
+    /// Branches covered by the valid inputs.
+    pub branches: usize,
+    /// (found, total) over inventory tokens of length ≤ 3.
+    pub short: (usize, usize),
+    /// (found, total) over inventory tokens of length ≥ 4.
+    pub long: (usize, usize),
+}
+
+fn grammar_study_row(
+    subject: &'static str,
+    mode: &'static str,
+    execs: u64,
+    generated: u64,
+    inputs: &[Vec<u8>],
+    branches: usize,
+) -> GrammarStudyRow {
+    let mut cov = TokenCoverage::new(subject).expect("study subjects have inventories");
+    for input in inputs {
+        cov.add_input(input);
+    }
+    GrammarStudyRow {
+        subject,
+        mode,
+        execs,
+        generated,
+        valid_inputs: inputs.len(),
+        branches,
+        short: cov.fraction_in(1, 3),
+        long: cov.fraction_in(4, usize::MAX),
+    }
+}
+
+/// The grammar-generation study: on one subject, at the same
+/// `(execs, seed)` budget, (1) pFuzzer alone, (2) the compiled
+/// generator flooding from a previously persisted grammar + learned
+/// weights (no exploration — the `--grammar-in` reuse path), and
+/// (3) the full combined pipeline re-mining from scratch. Returns three
+/// [`GrammarStudyRow`]s in that order. The flood row spends its budget
+/// as fast-tier generations (plus one coverage escalation per fresh
+/// distinct valid input); a grammar whose cheapest expansions cycle is
+/// reported with zeroed generator columns rather than aborting the
+/// study. Deterministic in all arguments.
+pub fn grammar_vs_baseline(
+    info: &pdf_subjects::SubjectInfo,
+    file: &GrammarFile,
+    execs: u64,
+    seed: u64,
+) -> Vec<GrammarStudyRow> {
+    let alone = run_tool_seeded(Tool::PFuzzer, info, execs, seed);
+    let mut rows = vec![grammar_study_row(
+        info.name,
+        "pFuzzer",
+        alone.execs,
+        0,
+        &alone.valid_inputs,
+        alone.valid_branches.len(),
+    )];
+
+    let cfg = combined_config_for(execs, seed);
+    let epochs = 8usize;
+    rows.push(
+        match pdf_gen::CompiledGrammar::compile(file, cfg.max_depth) {
+            Ok(compiled) => {
+                let report = pdf_gen::evolve(
+                    info.subject,
+                    compiled,
+                    EvolveConfig {
+                        seed,
+                        epochs,
+                        batch: (execs as usize / epochs).max(1),
+                        ..EvolveConfig::default()
+                    },
+                );
+                grammar_study_row(
+                    info.name,
+                    "flood",
+                    report.distinct_valid.len() as u64, // coverage escalations
+                    report.generated,
+                    &report.distinct_valid,
+                    report.branches.len(),
+                )
+            }
+            Err(_) => grammar_study_row(info.name, "flood", 0, 0, &[], 0),
+        },
+    );
+
+    let combined = run_tool_seeded(Tool::GrammarGen, info, execs, seed);
+    rows.push(grammar_study_row(
+        info.name,
+        "combined",
+        combined.execs,
+        combined.stats.executions - combined.execs,
+        &combined.valid_inputs,
+        combined.valid_branches.len(),
+    ));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +855,38 @@ mod tests {
             assert!(row.long.0 <= row.long.1);
             assert_eq!(row.long.1, 3);
         }
+    }
+
+    #[test]
+    fn grammar_pipeline_mines_persists_and_studies() {
+        let info = pdf_subjects::by_name("cjson").unwrap();
+        let (file, row) = mine_subject_grammar(&info, 3_000, 1);
+        assert_eq!(row.subject, "cjson");
+        assert!(row.execs <= 3_000);
+        let file = file.expect("cjson exploration mines a usable grammar");
+        assert!(row.skipped.is_none());
+        assert!(row.rules > 0);
+        assert!(row.alts > 0);
+        assert!(row.generated > 0);
+        assert_eq!(row.digest, file.digest());
+        // determinism: the scorecard is a pure function of (execs, seed)
+        let (file2, row2) = mine_subject_grammar(&info, 3_000, 1);
+        assert_eq!(row2.digest, row.digest);
+        assert_eq!(file2.expect("same campaign").encode(), file.encode());
+
+        let rows = grammar_vs_baseline(&info, &file, 1_000, 1);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(
+            rows.iter().map(|r| r.mode).collect::<Vec<_>>(),
+            vec!["pFuzzer", "flood", "combined"]
+        );
+        for r in &rows {
+            assert_eq!(r.subject, "cjson");
+            assert!(r.short.0 <= r.short.1);
+            assert!(r.long.0 <= r.long.1);
+        }
+        assert!(rows[1].generated > 0, "flood row must generate");
+        assert_eq!(rows[0].generated, 0, "pFuzzer row has no generator");
     }
 
     #[test]

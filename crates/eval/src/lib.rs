@@ -37,25 +37,26 @@ mod runner;
 pub use coverage::{coverage_universe, relative_coverage};
 pub use experiments::{
     dict_vs_baseline, fig1_walkthrough, fig2_coverage, fig3_tokens, fleet_vs_single,
-    headline_aggregates, mine_subject_dictionary, mine_union_dictionary, run_matrix,
-    run_matrix_jobs, table1_subjects, token_discovery, token_tables, DictStudyRow, DiscoveryRow,
-    Fig2Row, Fig3Cell, FleetComparison, FleetSide, HeadlineRow, MinedInventoryRow,
+    grammar_vs_baseline, headline_aggregates, mine_subject_dictionary, mine_subject_grammar,
+    mine_union_dictionary, run_matrix, run_matrix_jobs, table1_subjects, token_discovery,
+    token_tables, DictStudyRow, DiscoveryRow, Fig2Row, Fig3Cell, FleetComparison, FleetSide,
+    GrammarMineRow, GrammarStudyRow, HeadlineRow, MinedInventoryRow,
 };
 pub use progress::ProgressTicker;
 pub use render::{
     fig2_csv, fig3_csv, headline_csv, render_dict_study, render_discovery, render_fig2,
-    render_fig3, render_headline, render_mined_inventory, render_supervision, render_table1,
-    render_token_table,
+    render_fig3, render_grammar_mine, render_grammar_study, render_headline,
+    render_mined_inventory, render_supervision, render_table1, render_token_table,
 };
 pub use replay::{
     cell_config_hash, journal_of, record_cells, replay_journal, CellDiff, ReplayReport,
 };
 pub use runner::{
-    attempt_seed, best_outcome, collapse_matrix, completed_outcomes, fleet_config_for,
-    matrix_cells, matrix_cells_for, outcome_digest, run_cell_supervised, run_cells,
-    run_cells_supervised, run_tool, run_tool_seeded, run_tool_seeded_in, supervision_summary,
-    CellOutcome, EvalBudget, MatrixCell, Outcome, PoisonedCell, SupervisorConfig, Tool,
-    FLEET_SHARDS,
+    attempt_seed, best_outcome, collapse_matrix, combined_config_for, completed_outcomes,
+    fleet_config_for, matrix_cells, matrix_cells_for, outcome_digest, run_cell_supervised,
+    run_cells, run_cells_supervised, run_tool, run_tool_seeded, run_tool_seeded_in,
+    supervision_summary, CellOutcome, EvalBudget, MatrixCell, Outcome, PoisonedCell,
+    SupervisorConfig, Tool, FLEET_SHARDS,
 };
 
 /// Parses `--execs N`, `--seeds a,b,c` and `--afl-mult N` from the
@@ -288,6 +289,25 @@ pub fn dict_out_from_args() -> Option<std::path::PathBuf> {
 /// and exits.
 pub fn dict_in_from_args() -> Option<std::path::PathBuf> {
     path_arg("--dict-in")
+}
+
+/// Parses `--grammar-out DIR` from the command line: when present,
+/// `evalrunner` runs one combined three-stage campaign per subject
+/// (pFuzzer explores, the miner generalizes, the compiled generator
+/// floods with evolutionary weighting), prints the mining scorecard,
+/// writes each learned grammar + weights to `DIR/<subject>.grammar` in
+/// the `pdf-grammar v1` text encoding, and exits.
+pub fn grammar_out_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--grammar-out")
+}
+
+/// Parses `--grammar-in DIR` from the command line: when present,
+/// `evalrunner` loads the `pdf-grammar v1` files under `DIR`, runs the
+/// grammar-generation study (pFuzzer alone vs persisted-grammar flood
+/// vs full combined pipeline, equal budgets) on every subject with a
+/// grammar file, prints the comparison table, and exits.
+pub fn grammar_in_from_args() -> Option<std::path::PathBuf> {
+    path_arg("--grammar-in")
 }
 
 /// Parses `--checkpoint-dir PATH` from the command line: the directory

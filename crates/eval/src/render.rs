@@ -3,7 +3,8 @@
 use pdf_tokens::TokenInventory;
 
 use crate::experiments::{
-    DictStudyRow, DiscoveryRow, Fig2Row, Fig3Cell, HeadlineRow, MinedInventoryRow,
+    DictStudyRow, DiscoveryRow, Fig2Row, Fig3Cell, GrammarMineRow, GrammarStudyRow, HeadlineRow,
+    MinedInventoryRow,
 };
 use crate::runner::{CellOutcome, Tool};
 
@@ -306,6 +307,66 @@ pub fn render_dict_study(rows: &[DictStudyRow]) -> String {
     out
 }
 
+/// Renders the grammar-mining scorecard (`--grammar-out`): per subject,
+/// the mined grammar's shape, what the weighted flood produced, and the
+/// persisted file digest. Skipped floods print their reason.
+pub fn render_grammar_mine(rows: &[GrammarMineRow]) -> String {
+    let mut out = String::from(
+        "Mined grammars: combined campaign per subject (explore, mine, weighted flood).\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>6} {:>6} {:>10} {:>7} {:>9}  Digest\n",
+        "Subject", "Execs", "Rules", "Alts", "Generated", "Valid", "Promoted"
+    ));
+    for row in rows {
+        match &row.skipped {
+            Some(reason) => out.push_str(&format!(
+                "{:<10} {:>8} {:>6} {:>6} {:>10} {:>7} {:>9}  SKIPPED ({reason})\n",
+                row.subject, row.execs, row.rules, "-", "-", "-", "-",
+            )),
+            None => out.push_str(&format!(
+                "{:<10} {:>8} {:>6} {:>6} {:>10} {:>7} {:>9}  {:016x}\n",
+                row.subject,
+                row.execs,
+                row.rules,
+                row.alts,
+                row.generated,
+                row.generated_valid,
+                row.promoted,
+                row.digest,
+            )),
+        }
+    }
+    out
+}
+
+/// Renders the grammar-generation study (`--grammar-in`): pFuzzer alone
+/// vs the persisted-grammar flood vs the full combined pipeline, at
+/// equal budgets, scored by valid-input branch coverage and Figure-3
+/// token coverage.
+pub fn render_grammar_study(rows: &[GrammarStudyRow]) -> String {
+    let mut out =
+        String::from("Grammar study: compiled generation vs pFuzzer alone (equal budgets).\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>8} {:>10} {:>7} {:>9} {:>14} {:>14}\n",
+        "Subject", "Mode", "Execs", "Generated", "Valid", "Branches", "len <= 3", "len >= 4"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<10} {:<10} {:>8} {:>10} {:>7} {:>9} {:>14} {:>14}\n",
+            row.subject,
+            row.mode,
+            row.execs,
+            row.generated,
+            row.valid_inputs,
+            row.branches,
+            format!("{}/{}", row.short.0, row.short.1),
+            format!("{}/{}", row.long.0, row.long.1),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +570,69 @@ mod tests {
         assert!(text.contains("yes"), "{text}");
         assert!(text.contains("no"), "{text}");
         assert!(text.contains("9/35"), "{text}");
+    }
+
+    #[test]
+    fn grammar_mine_table_shows_digests_and_skips() {
+        let rows = vec![
+            GrammarMineRow {
+                subject: "cjson",
+                execs: 4_000,
+                rules: 12,
+                alts: 30,
+                generated: 512,
+                generated_valid: 44,
+                promoted: 9,
+                digest: 0xabcd,
+                skipped: None,
+            },
+            GrammarMineRow {
+                subject: "tinyC",
+                execs: 4_000,
+                rules: 0,
+                alts: 0,
+                generated: 0,
+                generated_valid: 0,
+                promoted: 0,
+                digest: 0,
+                skipped: Some("no start alternatives".to_string()),
+            },
+        ];
+        let text = render_grammar_mine(&rows);
+        assert!(text.contains("000000000000abcd"), "{text}");
+        assert!(text.contains("SKIPPED (no start alternatives)"), "{text}");
+        assert!(text.contains("Promoted"), "{text}");
+    }
+
+    #[test]
+    fn grammar_study_table_shows_all_three_modes() {
+        let rows = vec![
+            GrammarStudyRow {
+                subject: "cjson",
+                mode: "pFuzzer",
+                execs: 1_000,
+                generated: 0,
+                valid_inputs: 7,
+                branches: 40,
+                short: (6, 9),
+                long: (1, 3),
+            },
+            GrammarStudyRow {
+                subject: "cjson",
+                mode: "flood",
+                execs: 12,
+                generated: 1_000,
+                valid_inputs: 12,
+                branches: 44,
+                short: (7, 9),
+                long: (2, 3),
+            },
+        ];
+        let text = render_grammar_study(&rows);
+        assert!(text.contains("pFuzzer"), "{text}");
+        assert!(text.contains("flood"), "{text}");
+        assert!(text.contains("7/9"), "{text}");
+        assert!(text.contains("Branches"), "{text}");
     }
 
     #[test]

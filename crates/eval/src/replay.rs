@@ -39,6 +39,15 @@ pub fn cell_config_hash(tool: Tool) -> u64 {
         }
         Tool::Afl => pdf_afl::AflConfig::default().config_hash(),
         Tool::Klee => pdf_symbolic::KleeConfig::default().config_hash(),
+        // Like the fleet, the combined pipeline derives its whole shape
+        // (stage split, shards, generator epochs) from (execs, seed) —
+        // hash the underlying driver config plus a tag for the derive.
+        Tool::GrammarGen => {
+            let mut d = pdf_runtime::Digest::new();
+            d.write_str("grammar-gen");
+            d.write_u64(DriverConfig::default().config_hash());
+            d.finish()
+        }
     }
 }
 

@@ -34,6 +34,15 @@ pub enum Tool {
     Afl,
     /// The "semantic" baseline.
     Klee,
+    /// The combined three-stage pipeline: pFuzzer explores, the grammar
+    /// miner generalizes, and the compiled [`pdf_gen`] generator floods
+    /// coverage alongside a cooperative fleet
+    /// ([`pdf_gen::run_combined`]). Not part of [`Tool::ALL`] for the
+    /// same reason as [`Tool::PFuzzerFleet`]: the paper's matrix stays
+    /// three tools wide, and the pipeline rides alongside for the
+    /// grammar-generation study (`evalrunner --grammar-in`,
+    /// EXPERIMENTS.md).
+    GrammarGen,
 }
 
 impl Tool {
@@ -47,15 +56,16 @@ impl Tool {
             Tool::PFuzzerFleet => "pFuzzerFleet",
             Tool::Afl => "AFL",
             Tool::Klee => "KLEE",
+            Tool::GrammarGen => "GrammarGen",
         }
     }
 
     /// The inverse of [`Tool::name`], used when decoding journals.
-    /// Covers the fleet variant too, so recorded fleet cells replay.
+    /// Covers the off-matrix variants too, so recorded cells replay.
     pub fn from_name(name: &str) -> Option<Tool> {
         Tool::ALL
             .into_iter()
-            .chain([Tool::PFuzzerFleet])
+            .chain([Tool::PFuzzerFleet, Tool::GrammarGen])
             .find(|t| t.name() == name)
     }
 }
@@ -84,6 +94,31 @@ pub fn fleet_config_for(execs: u64, seed: u64) -> pdf_fleet::FleetConfig {
     let mut cfg = pdf_fleet::FleetConfig::new(FLEET_SHARDS, sync_every, base);
     cfg.parallel = false;
     cfg
+}
+
+/// The combined-campaign configuration [`Tool::GrammarGen`] derives
+/// from a cell's total execution budget and seed: half the budget goes
+/// to the pFuzzer exploration stage (the miner needs its comparison
+/// log), the rest is split across two fleet shards, and eight
+/// generator re-weighting epochs of 64 inputs each interleave with the
+/// fleet's sync epochs. Like [`fleet_config_for`], the whole shape pins
+/// down from `(execs, seed)` alone, so a journaled cell replays.
+pub fn combined_config_for(execs: u64, seed: u64) -> pdf_gen::CombinedConfig {
+    let explore = (execs / 2).max(1);
+    let shards = 2usize;
+    let per_shard = (execs.saturating_sub(explore) / shards as u64).max(1);
+    let sync_every = (per_shard / 8).clamp(50, per_shard.max(50));
+    pdf_gen::CombinedConfig {
+        seed,
+        explore_execs: explore,
+        shards,
+        fleet_execs_per_shard: per_shard,
+        sync_every,
+        gen_epochs: 8,
+        gen_batch: 64,
+        max_depth: 10,
+        exec_mode: ExecMode::Full,
+    }
 }
 
 /// Per-run budget: executions and the seeds to try (best run reported,
@@ -243,6 +278,45 @@ pub(crate) fn fleet_outcome(
     }
 }
 
+/// Converts a [`pdf_gen::CombinedReport`] into the tool-independent
+/// [`Outcome`] form: the fleet stage's outcome, widened with the
+/// exploration budget, the generator's fast-tier executions
+/// (`stats.executions` counts them; `execs` stays the instrumented
+/// explore + fleet budget the cell was promised), and the
+/// generator-found valid inputs the fleet never re-discovered (charged
+/// the full budget as their discovery cost — the flood has no per-input
+/// exec accounting). The decision digest folds every stage's digest so
+/// [`outcome_digest`] witnesses the whole campaign.
+pub(crate) fn combined_outcome(
+    subject: &'static str,
+    seed: u64,
+    r: pdf_gen::CombinedReport,
+) -> Outcome {
+    let gen_execs = r.flood.as_ref().map_or(0, |f| f.generated);
+    let mut o = fleet_outcome(subject, seed, r.fleet);
+    o.tool = Tool::GrammarGen;
+    o.execs += r.explore_execs;
+    o.stats.executions = o.execs + gen_execs;
+    let mut d = Digest::new();
+    d.write_u64(o.stats.decision_digest);
+    d.write_u64(r.explore_digest);
+    d.write_u64(r.grammar_digest);
+    if let Some(flood) = &r.flood {
+        d.write_u64(flood.digest());
+        for input in &flood.distinct_valid {
+            if !o.valid_inputs.contains(input) {
+                o.valid_inputs.push(input.clone());
+                o.valid_found_at.push(o.execs);
+            }
+        }
+        o.valid_branches.union_with(&flood.branches);
+        o.all_branches.union_with(&flood.branches);
+    }
+    o.stats.decision_digest = d.finish();
+    o.stats.valid_inputs = o.valid_inputs.len() as u64;
+    o
+}
+
 /// Runs one tool on one subject with one seed, in full-instrumentation
 /// execution mode. Equivalent to [`run_tool_seeded_in`] with
 /// [`ExecMode::Full`]; kept as the short form because the journaled
@@ -280,6 +354,13 @@ pub fn run_tool_seeded_in(
                 .expect("fleet_config_for produces a valid config")
                 .run();
             fleet_outcome(info.name, seed, r)
+        }
+        Tool::GrammarGen => {
+            let mut cfg = combined_config_for(execs, seed);
+            cfg.exec_mode = exec_mode;
+            let r = pdf_gen::run_combined(info.subject, &cfg)
+                .expect("combined_config_for produces a valid fleet shape");
+            combined_outcome(info.name, seed, r)
         }
         Tool::Afl => {
             let cfg = AflConfig {
@@ -714,6 +795,37 @@ mod tests {
     }
 
     #[test]
+    fn grammar_gen_tool_is_deterministic_and_budget_bounded() {
+        let info = pdf_subjects::by_name("arith").unwrap();
+        let a = run_tool_seeded(Tool::GrammarGen, &info, 3_000, 1);
+        let b = run_tool_seeded(Tool::GrammarGen, &info, 3_000, 1);
+        assert_eq!(outcome_digest(&a), outcome_digest(&b));
+        assert_eq!(a.tool, Tool::GrammarGen);
+        assert!(!a.valid_inputs.is_empty(), "combined run found nothing");
+        assert_eq!(a.valid_inputs.len(), a.valid_found_at.len());
+        assert!(a.execs <= 3_000, "instrumented budget overspent");
+        // the generator's fast-tier floods count as executions
+        assert!(a.stats.executions >= a.execs);
+        let c = run_tool_seeded(Tool::GrammarGen, &info, 3_000, 2);
+        assert_ne!(outcome_digest(&a), outcome_digest(&c));
+    }
+
+    #[test]
+    fn combined_config_derivation_is_valid_for_tiny_budgets() {
+        for execs in [1, 3, 50, 999, 30_000] {
+            let cfg = combined_config_for(execs, 7);
+            assert!(cfg.explore_execs >= 1);
+            assert!(cfg.fleet_execs_per_shard >= 1);
+            assert!(cfg.sync_every >= 1);
+            assert_eq!(cfg.shards, 2);
+            if execs >= 4 {
+                let total = cfg.explore_execs + cfg.shards as u64 * cfg.fleet_execs_per_shard;
+                assert!(total <= execs, "execs={execs} overspends: {total}");
+            }
+        }
+    }
+
+    #[test]
     fn fleet_config_derivation_is_valid_for_tiny_budgets() {
         for execs in [1, 3, 50, 999, 30_000] {
             let cfg = fleet_config_for(execs, 7);
@@ -733,13 +845,23 @@ mod tests {
         assert_eq!(Tool::PFuzzerFleet.name(), "pFuzzerFleet");
         assert_eq!(Tool::Afl.name(), "AFL");
         assert_eq!(Tool::Klee.name(), "KLEE");
+        assert_eq!(Tool::GrammarGen.name(), "GrammarGen");
         assert_eq!(
             Tool::from_name("pFuzzerFleet"),
             Some(Tool::PFuzzerFleet),
             "fleet cells must decode from journals"
         );
+        assert_eq!(
+            Tool::from_name("GrammarGen"),
+            Some(Tool::GrammarGen),
+            "combined-pipeline cells must decode from journals"
+        );
         assert!(
             !Tool::ALL.contains(&Tool::PFuzzerFleet),
+            "the paper's matrix stays three tools wide"
+        );
+        assert!(
+            !Tool::ALL.contains(&Tool::GrammarGen),
             "the paper's matrix stays three tools wide"
         );
         for tool in Tool::ALL {

@@ -436,6 +436,46 @@ impl Fleet {
         });
     }
 
+    /// Injects externally discovered valid inputs — e.g. inputs a
+    /// grammar-generation flood (`pdf-gen`) found between epochs — into
+    /// every shard's candidate queue, deduplicated against everything
+    /// the coordinator has promoted so far. Returns how many inputs
+    /// were fresh; each fresh input counts as one promotion and one
+    /// injection per shard. RNG-free and processed in input order, so
+    /// the fleet determinism contract extends to campaigns driven by a
+    /// deterministic external source.
+    pub fn inject_external(&mut self, inputs: &[Vec<u8>]) -> u64 {
+        let mut fresh: u64 = 0;
+        let mut injected: u64 = 0;
+        for input in inputs {
+            if self.promoted.insert(digest_bytes(input)) {
+                fresh += 1;
+                for w in self.workers.iter_mut() {
+                    w.sync_point().inject(input.clone());
+                    injected += 1;
+                }
+            }
+        }
+        self.promotions += fresh;
+        self.injections += injected;
+        pdf_obs::record(|m| {
+            m.fleet_promotions.add(fresh);
+            m.fleet_injections.add(injected);
+        });
+        fresh
+    }
+
+    /// Folds externally observed valid-input coverage (e.g. from a
+    /// generator flood's escalated coverage runs) into every shard's
+    /// scoring baseline, so shards stop chasing branches the external
+    /// source already covered. Deterministic: a plain set union per
+    /// shard.
+    pub fn adopt_external_coverage(&mut self, coverage: &BranchSet) {
+        for w in self.workers.iter_mut() {
+            w.sync_point().adopt_coverage(coverage);
+        }
+    }
+
     /// Runs the whole campaign: epochs until every shard finishes, then
     /// the merged report.
     pub fn run(mut self) -> FleetReport {

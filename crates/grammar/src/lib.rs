@@ -24,8 +24,13 @@
 //!    walk, yielding inputs far longer and more deeply nested than the
 //!    fuzzer's own outputs.
 //! 3. [`pipeline`] — glue: fuzz, mine, generate, validate (every
-//!    generated input is re-run through the subject; the report keeps
-//!    only accepted ones and the acceptance rate).
+//!    generated input is re-run through the subject in one
+//!    fast-failure batch; the report keeps only accepted ones and the
+//!    acceptance rate).
+//! 4. [`codec`] — persist a grammar plus learned generation weights as
+//!    `pdf-grammar v1` text (count + digest integrity), the format
+//!    behind `evalrunner --grammar-out` / `--grammar-in` and the input
+//!    to the compiled generator in `pdf-gen`.
 //!
 //! # Example
 //!
@@ -45,10 +50,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod gen;
 pub mod mine;
 pub mod pipeline;
 
+pub use codec::{GrammarError, GrammarFile};
 pub use gen::Generator;
-pub use mine::{mine_corpus, Grammar, Label, Sym};
+pub use mine::{mine_corpus, Grammar, Label, Sym, START};
 pub use pipeline::{run_pipeline, PipelineConfig, PipelineReport};

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use pdf_runtime::{Event, Execution, Subject};
+use pdf_runtime::{Digest, Event, Execution, Subject};
 
 /// A nonterminal of the mined grammar: the site id of the production's
 /// first comparison (`0` is reserved for the synthetic start symbol).
@@ -31,7 +31,7 @@ pub enum Sym {
 }
 
 /// A mined context-free grammar: alternatives per nonterminal.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Grammar {
     rules: BTreeMap<Label, Vec<Vec<Sym>>>,
 }
@@ -80,6 +80,49 @@ impl Grammar {
             }
         }
         false
+    }
+
+    /// The nonterminals that have at least one alternative, in sorted
+    /// label order — the canonical rule order of the `pdf-grammar v1`
+    /// codec and the compiled generator's dense-id assignment.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.rules.keys().copied()
+    }
+
+    /// Adds an alternative to a nonterminal, deduplicating exactly like
+    /// mining does — the entry point the codec and tests use to build
+    /// grammars outside [`mine_corpus`].
+    pub fn add_alternative(&mut self, label: Label, alt: Vec<Sym>) {
+        self.add_alt(label, alt);
+    }
+
+    /// FNV-1a digest over the full rule structure (labels, alternative
+    /// order, symbol bytes). Two grammars that generate identically
+    /// under the same seed digest equally.
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_str("pdf-grammar-rules");
+        d.write_u64(self.rules.len() as u64);
+        for (label, alts) in &self.rules {
+            d.write_u64(label.0);
+            d.write_u64(alts.len() as u64);
+            for alt in alts {
+                d.write_u64(alt.len() as u64);
+                for sym in alt {
+                    match sym {
+                        Sym::Lit(bytes) => {
+                            d.write_u8(0);
+                            d.write_bytes(bytes);
+                        }
+                        Sym::Ref(r) => {
+                            d.write_u8(1);
+                            d.write_u64(r.0);
+                        }
+                    }
+                }
+            }
+        }
+        d.finish()
     }
 
     fn add_alt(&mut self, label: Label, alt: Vec<Sym>) {

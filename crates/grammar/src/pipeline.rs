@@ -7,7 +7,7 @@
 //! comparison detail mining needs.
 
 use pdf_core::{DriverConfig, Fuzzer};
-use pdf_runtime::{Rng, Subject};
+use pdf_runtime::{ExecArena, Rng, Subject};
 
 use crate::gen::Generator;
 use crate::mine::{mine_corpus, Grammar};
@@ -81,14 +81,27 @@ pub fn run_pipeline(subject: Subject, cfg: &PipelineConfig) -> PipelineReport {
     let grammar = mine_corpus(subject, &fuzzed);
     let mut generator = Generator::new(&grammar, cfg.max_depth);
     let mut rng = Rng::new(cfg.seed ^ 0x9e37_79b9);
-    let mut generated_valid = Vec::new();
+    let mut inputs = vec![Vec::new(); cfg.generate];
+    for buf in &mut inputs {
+        generator.generate_into(&mut rng, buf);
+    }
+    // Validation needs only an accept/reject verdict, not the per-index
+    // comparison detail mining needed — so it runs as one amortized
+    // fast-failure batch. Fast and full sinks agree on validity (the
+    // sink-agreement contract, certified by the test below).
+    let mut arena = ExecArena::new();
+    let verdicts: Vec<bool> = subject
+        .exec_batch_fast(&mut arena, &inputs)
+        .iter()
+        .map(|e| e.valid)
+        .collect();
+    let mut generated_valid: Vec<Vec<u8>> = Vec::new();
     let mut generated_valid_count = 0;
-    for _ in 0..cfg.generate {
-        let input = generator.generate(&mut rng);
-        if subject.run(&input).valid {
+    for (input, valid) in inputs.iter().zip(verdicts) {
+        if valid {
             generated_valid_count += 1;
-            if !generated_valid.contains(&input) {
-                generated_valid.push(input);
+            if !generated_valid.contains(input) {
+                generated_valid.push(input.clone());
             }
         }
     }
@@ -147,6 +160,51 @@ mod tests {
         let b = run_pipeline(pdf_subjects::dyck::subject(), &cfg);
         assert_eq!(a.fuzzed, b.fuzzed);
         assert_eq!(a.generated_valid, b.generated_valid);
+    }
+
+    /// Certifies the pipeline's batched validation: for the same
+    /// generated inputs, the fast-failure batch and the full
+    /// instrumentation sink agree input-by-input on validity, so the
+    /// pipeline's valid set is exactly what one-at-a-time full execs
+    /// would have produced.
+    #[test]
+    fn batched_validation_agrees_with_full_sink() {
+        for (subject, seed) in [
+            (pdf_subjects::arith::subject(), 11u64),
+            (pdf_subjects::json::subject(), 12u64),
+        ] {
+            let report = run_pipeline(
+                subject,
+                &PipelineConfig {
+                    seed,
+                    fuzz_execs: 3_000,
+                    generate: 120,
+                    max_depth: 8,
+                },
+            );
+            // regenerate the same inputs the pipeline validated
+            let grammar = mine_corpus(subject, &report.fuzzed);
+            let mut generator = Generator::new(&grammar, 8);
+            let mut rng = Rng::new(seed ^ 0x9e37_79b9);
+            let mut full_valid: Vec<Vec<u8>> = Vec::new();
+            let mut full_count = 0;
+            for _ in 0..120 {
+                let input = generator.generate(&mut rng);
+                if subject.run(&input).valid {
+                    full_count += 1;
+                    if !full_valid.contains(&input) {
+                        full_valid.push(input);
+                    }
+                }
+            }
+            assert_eq!(
+                report.generated_valid_count,
+                full_count,
+                "{}",
+                subject.name()
+            );
+            assert_eq!(report.generated_valid, full_valid, "{}", subject.name());
+        }
     }
 
     #[test]

@@ -147,6 +147,16 @@ pub struct MetricsRegistry {
     /// injected into every shard except its origin).
     pub fleet_injections: Counter,
 
+    /// Inputs produced by the compiled grammar generator (`pdf-gen`).
+    pub grammar_generated: Counter,
+    /// Generated inputs the subject accepted (duplicates included).
+    pub grammar_generated_valid: Counter,
+    /// Evolutionary re-weighting epochs the generator completed.
+    pub grammar_weight_epochs: Counter,
+    /// Distinct generator-found valid inputs promoted into fleet
+    /// shard queues by the combined campaign.
+    pub grammar_promotions: Counter,
+
     /// Wall-clock latency of each `Subject::exec`, in nanoseconds.
     pub exec_latency_ns: Histogram,
     /// Length in bytes of each executed input.
@@ -246,6 +256,10 @@ impl MetricsRegistry {
             ("fleet.epochs", &self.fleet_epochs),
             ("fleet.promotions", &self.fleet_promotions),
             ("fleet.injections", &self.fleet_injections),
+            ("grammar.generated", &self.grammar_generated),
+            ("grammar.generated_valid", &self.grammar_generated_valid),
+            ("grammar.weight_epochs", &self.grammar_weight_epochs),
+            ("grammar.promotions", &self.grammar_promotions),
         ]
         .into_iter()
         .map(|(name, c)| (name.to_string(), c.get()))

@@ -73,7 +73,7 @@ pub use isolate::catch_silent;
 pub use journal::{
     digest_bytes, hex_decode, hex_encode, CellRecord, Digest, Journal, JournalError,
 };
-pub use rng::Rng;
+pub use rng::{DerivedRng, Rng};
 pub use sink::{
     CovSummary, CoverageOnly, EventSink, FailureSummary, FastFailure, FastSummary, FullLog,
     LastFailure,

@@ -139,6 +139,63 @@ impl Rng {
             self.next_u64();
         }
     }
+
+    /// Expands one accounted draw into a [`DerivedRng`] bulk stream.
+    ///
+    /// Costs exactly one [`next_u64`](Self::next_u64) — counted and
+    /// digest-folded like any other draw — and every value the derived
+    /// stream will ever produce is a pure function of that draw. A
+    /// seeded campaign therefore replays derived values byte-identically,
+    /// and the parent's draw count and stream digest still witness them.
+    pub fn derive_stream(&mut self) -> DerivedRng {
+        DerivedRng {
+            state: self.next_u64(),
+        }
+    }
+}
+
+/// A cheap bulk stream expanded from a single accounted [`Rng`] draw.
+///
+/// This is the randomness source for inner loops that would otherwise be
+/// dominated by the chokepoint's per-draw accounting (counter bump plus
+/// an eight-step digest fold): the compiled grammar generator samples
+/// one alternative per expanded rule, and at millions of inputs per
+/// second the accounting would cost more than the generation. The
+/// derived stream is plain SplitMix64 — a few arithmetic instructions
+/// per value, no accounting — and it has **no public seed constructor**:
+/// the only way to obtain one is [`Rng::derive_stream`], so bulk
+/// consumers still cannot acquire randomness outside the chokepoint.
+///
+/// # Example
+///
+/// ```
+/// use pdf_runtime::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// let mut sa = a.derive_stream();
+/// let mut sb = b.derive_stream();
+/// assert_eq!(sa.next_u64(), sb.next_u64());
+/// assert_eq!(a.draw_count(), 1); // the derivation is one accounted draw
+/// ```
+#[derive(Debug, Clone)]
+pub struct DerivedRng {
+    state: u64,
+}
+
+impl DerivedRng {
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform index in `[0, n)` by multiply-shift (one draw, no
+    /// division; bias is bounded by `n / 2^64`). Returns `0` when `n`
+    /// is `0`.
+    #[inline]
+    pub fn index(&mut self, n: u64) -> u64 {
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
 }
 
 #[cfg(test)]
@@ -250,5 +307,42 @@ mod tests {
         let before = r.draw_count();
         r.byte_ascii();
         assert_eq!(r.draw_count(), before + 2);
+    }
+
+    #[test]
+    fn derived_stream_is_one_draw_and_deterministic() {
+        let mut a = Rng::new(51);
+        let mut b = Rng::new(51);
+        let mut sa = a.derive_stream();
+        let mut sb = b.derive_stream();
+        assert_eq!(a.draw_count(), 1);
+        assert_eq!(a.stream_digest(), b.stream_digest());
+        for _ in 0..1000 {
+            assert_eq!(sa.next_u64(), sb.next_u64());
+        }
+        // arbitrarily many derived values cost no further accounting
+        assert_eq!(a.draw_count(), 1);
+    }
+
+    #[test]
+    fn derived_streams_from_successive_draws_differ() {
+        let mut r = Rng::new(8);
+        let mut s1 = r.derive_stream();
+        let mut s2 = r.derive_stream();
+        let a: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| s2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derived_index_in_bounds() {
+        let mut r = Rng::new(19);
+        let mut s = r.derive_stream();
+        assert_eq!(s.index(0), 0);
+        for n in [1u64, 2, 3, 7, 100] {
+            for _ in 0..200 {
+                assert!(s.index(n) < n);
+            }
+        }
     }
 }
